@@ -1,0 +1,49 @@
+"""Ablation: first-order (Najm) vs exact (ref. [11]) activity estimation.
+
+§4.1 accepts Najm's first-order transition densities, "a first order
+approximation to more complex transition density computation algorithms
+[11]". This bench quantifies what that approximation costs the headline
+numbers: the joint optimization is run with both activity estimators and
+the energies compared. Expected shape: Najm's densities are upper bounds
+on reconvergent logic, so the first-order optimum reports slightly
+*more* energy (both designs are timing-identical — activities do not
+enter the delay model).
+"""
+
+from repro.activity.profiles import uniform_profile
+from repro.analysis.report import format_table
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.optimize.heuristic import optimize_joint
+from repro.optimize.problem import OptimizationProblem
+from repro.technology.process import Technology
+from repro.units import MHZ
+
+
+def optimize_with_activity(circuit: str, method: str):
+    network = benchmark_circuit(circuit)
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    problem = OptimizationProblem.build(Technology.default(), network,
+                                        profile, frequency=300 * MHZ,
+                                        activity_method=method)
+    return optimize_joint(problem)
+
+
+def test_activity_ablation(benchmark, record_artifact):
+    rows = []
+    for circuit in ("s27", "s298", "s386"):
+        najm = optimize_with_activity(circuit, "najm")
+        exact = optimize_with_activity(circuit, "exact")
+        ratio = najm.total_energy / exact.total_energy
+        # Najm overestimates switching on reconvergent logic; the exact
+        # evaluation can only lower (or match) the reported energy.
+        assert ratio >= 0.99
+        assert ratio < 1.5  # the approximation is mild, as §4.1 assumes
+        rows.append([circuit, f"{najm.total_energy:.3e}",
+                     f"{exact.total_energy:.3e}", f"{ratio:.3f}x"])
+
+    benchmark.pedantic(lambda: optimize_with_activity("s298", "exact"),
+                       rounds=2, iterations=1)
+    record_artifact("ablation_activity", format_table(
+        headers=["circuit", "Najm E (J)", "exact E (J)", "Najm/exact"],
+        rows=rows,
+        title="Ablation — first-order vs exact (BDD) activity estimation"))

@@ -1,0 +1,37 @@
+"""Ablation: grid+refine search vs the paper's steered nested bisection.
+
+DESIGN.md §5: Procedure 2's published search halves the (Vdd, Vth)
+ranges based on feasibility/improvement predicates; our default replaces
+it with an exhaustive coarse grid plus ternary refinement. This bench
+times both and archives the energy gap — the grid must never lose, and
+the paper variant must stay within a modest factor (it is a heuristic,
+not a global search).
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.common import build_problem
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+
+PAPER = HeuristicSettings(strategy="paper", m_steps=12)
+
+
+def test_search_strategy_ablation(benchmark, record_artifact):
+    rows = []
+    for circuit in ("s298", "s386", "s526"):
+        problem = build_problem(circuit, 0.1)
+        grid = optimize_joint(problem)
+        paper = optimize_joint(problem, settings=PAPER)
+        assert grid.total_energy <= paper.total_energy * 1.001
+        rows.append([circuit,
+                     f"{grid.total_energy:.3e}", f"{grid.evaluations}",
+                     f"{paper.total_energy:.3e}", f"{paper.evaluations}",
+                     f"{paper.total_energy / grid.total_energy:.2f}x"])
+
+    problem = build_problem("s298", 0.1)
+    benchmark.pedantic(lambda: optimize_joint(problem, settings=PAPER),
+                       rounds=2, iterations=1)
+    record_artifact("ablation_search", format_table(
+        headers=["circuit", "grid E (J)", "grid evals", "paper E (J)",
+                 "paper evals", "paper/grid"],
+        rows=rows,
+        title="Ablation — Procedure 2 search strategy"))

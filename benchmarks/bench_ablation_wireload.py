@@ -1,0 +1,52 @@
+"""Ablation: stochastic (Davis) wire loads vs a fixed per-fanout load.
+
+DESIGN.md §5: the paper insists on "a complete stochastic wire-length
+distribution model" for the interconnect load. This bench re-optimizes
+with the naive one-pitch-per-branch model and archives the difference in
+the chosen design point and energy — quantifying how much the wire model
+matters for the headline numbers.
+"""
+
+from repro.activity.profiles import uniform_profile
+from repro.analysis.report import format_table
+from repro.interconnect.parasitics import WireModel
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.optimize.heuristic import optimize_joint
+from repro.optimize.problem import OptimizationProblem
+from repro.technology.process import Technology
+from repro.units import MHZ
+
+
+def optimize_with_model(circuit: str, model: WireModel):
+    tech = Technology.default()
+    network = benchmark_circuit(circuit)
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    problem = OptimizationProblem.build(tech, network, profile,
+                                        frequency=300 * MHZ,
+                                        wire_model=model)
+    return optimize_joint(problem)
+
+
+def test_wireload_ablation(benchmark, record_artifact):
+    rows = []
+    for circuit in ("s298", "s444"):
+        stochastic = optimize_with_model(circuit, WireModel.STOCHASTIC_MEAN)
+        fixed = optimize_with_model(circuit, WireModel.FIXED)
+        # Fixed one-pitch loads understate wiring: the optimizer sees a
+        # lighter circuit and reports less energy.
+        assert fixed.total_energy < stochastic.total_energy
+        rows.append([circuit,
+                     f"{stochastic.total_energy:.3e}",
+                     f"{stochastic.design.vdd:.2f}",
+                     f"{fixed.total_energy:.3e}",
+                     f"{fixed.design.vdd:.2f}",
+                     f"{stochastic.total_energy / fixed.total_energy:.2f}x"])
+
+    benchmark.pedantic(
+        lambda: optimize_with_model("s298", WireModel.STOCHASTIC_MEAN),
+        rounds=2, iterations=1)
+    record_artifact("ablation_wireload", format_table(
+        headers=["circuit", "Davis E (J)", "Davis Vdd", "fixed E (J)",
+                 "fixed Vdd", "Davis/fixed"],
+        rows=rows,
+        title="Ablation — stochastic vs fixed wire-load model"))

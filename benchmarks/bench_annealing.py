@@ -1,0 +1,42 @@
+"""Bench: §5 heuristic-vs-annealing comparison.
+
+Timed units: the heuristic and the annealer on the same problem. The
+paper's claim — annealing "does not perform as well as the proposed
+heuristic" despite a much larger time budget — is asserted on the
+regenerated comparison rows.
+"""
+
+from repro.experiments.annealing_compare import (
+    format_annealing_comparison,
+    run_annealing_comparison,
+)
+from repro.experiments.common import build_problem
+from repro.optimize.annealing import AnnealingSettings, optimize_annealing
+from repro.optimize.heuristic import optimize_joint
+
+FAST_ANNEAL = AnnealingSettings(passes=1, iterations_per_pass=500, seed=1)
+
+
+def test_heuristic_runtime(benchmark):
+    problem = build_problem("s298", 0.1)
+    result = benchmark.pedantic(
+        lambda: optimize_joint(problem), rounds=3, iterations=1)
+    assert result.feasible
+
+
+def test_annealing_runtime(benchmark):
+    problem = build_problem("s298", 0.1)
+    result = benchmark.pedantic(
+        lambda: optimize_annealing(problem, settings=FAST_ANNEAL),
+        rounds=1, iterations=1)
+    assert result.feasible
+
+
+def test_annealing_comparison_rows(benchmark, record_artifact):
+    rows = benchmark.pedantic(
+        lambda: run_annealing_comparison(circuits=("s298", "s386")),
+        rounds=1, iterations=1)
+    for row in rows:
+        excess = row.annealing_excess
+        assert excess is None or excess > 1.0  # heuristic wins everywhere
+    record_artifact("annealing", format_annealing_comparison(rows))

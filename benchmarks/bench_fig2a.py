@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 2(a) — savings vs worst-case Vth tolerance.
+
+Timed unit: one variation-aware optimization of s298. The full tolerance
+series (0–30 %) is regenerated once and asserted to decay monotonically,
+the paper's reported shape.
+"""
+
+from repro.experiments.common import build_problem
+from repro.experiments.figure2a import (
+    DEFAULT_TOLERANCES,
+    format_figure2a,
+    run_figure2a,
+)
+from repro.optimize.variation import VariationModel, optimize_with_variation
+
+
+def test_fig2a_single_point(benchmark):
+    problem = build_problem("s298", 0.1)
+
+    result = benchmark.pedantic(
+        lambda: optimize_with_variation(problem, VariationModel(0.15)),
+        rounds=3, iterations=1)
+    assert result.feasible
+
+
+def test_fig2a_full_series(benchmark, record_artifact):
+    points = benchmark.pedantic(
+        lambda: run_figure2a(tolerances=DEFAULT_TOLERANCES),
+        rounds=1, iterations=1)
+    savings = [point.savings for point in points]
+    assert savings == sorted(savings, reverse=True)
+    assert savings[0] > 5.0          # zero-tolerance savings stay large
+    assert savings[-1] > 1.0         # still a win at 30 % tolerance
+    record_artifact("figure2a", format_figure2a(points))

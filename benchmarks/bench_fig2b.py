@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 2(b) — savings vs cycle-time slack.
+
+Timed unit: the joint optimization of s298 at one relaxed clock. The full
+slack series (1x–3x) is regenerated once; the paper's shape — savings
+rising from the pinned clock toward the ~25x headline, saturating as
+leakage integrates over the longer cycle — is asserted.
+"""
+
+from repro.experiments.common import build_problem
+from repro.experiments.figure2b import (
+    DEFAULT_SLACKS,
+    format_figure2b,
+    run_figure2b,
+)
+from repro.optimize.heuristic import optimize_joint
+from repro.optimize.problem import OptimizationProblem
+
+
+def test_fig2b_single_point(benchmark):
+    problem = build_problem("s298", 0.1)
+    relaxed = OptimizationProblem(ctx=problem.ctx,
+                                  frequency=problem.frequency / 2.0)
+
+    result = benchmark.pedantic(
+        lambda: optimize_joint(relaxed), rounds=3, iterations=1)
+    assert result.feasible
+
+
+def test_fig2b_full_series(benchmark, record_artifact):
+    points = benchmark.pedantic(
+        lambda: run_figure2b(slack_factors=DEFAULT_SLACKS),
+        rounds=1, iterations=1)
+    savings = [point.savings for point in points]
+    assert savings[-1] > savings[0]
+    assert max(savings) > 15.0  # toward the paper's "typically 25x"
+    best = savings[0]
+    for value in savings[1:]:
+        assert value >= 0.95 * best  # saturation allowed, collapse is not
+        best = max(best, value)
+    record_artifact("figure2b", format_figure2b(points))

@@ -1,0 +1,70 @@
+"""Bench: the §3 physics — stationarity and balance at the optimum.
+
+§3 states the optimum is the unique point where the static-energy growth
+of a supply step cancels the dynamic-energy reduction. This bench
+regenerates that balance numerically for each Table 2 circuit: the
+reduced objective's Vdd slope decomposes into opposing static and
+dynamic components of near-equal magnitude.
+
+Also regenerates the Burr–Shott-style energy-delay frontier ([2]'s
+min-E*t philosophy the paper's intro discusses): the ET-optimal clock is
+a relaxed one, quantifying what a hard 300 MHz constraint costs in ET
+terms.
+"""
+
+from repro.analysis.pareto import (
+    energy_delay_tradeoff,
+    minimum_energy_delay_product,
+)
+from repro.analysis.report import format_table
+from repro.analysis.sensitivity import analyze_optimum_sensitivity
+from repro.experiments.common import build_problem
+from repro.optimize.heuristic import optimize_joint
+from repro.units import NS
+
+
+def test_balance_at_optimum(benchmark, record_artifact):
+    rows = []
+    for circuit in ("s298", "s382", "s526"):
+        problem = build_problem(circuit, 0.1)
+        result = optimize_joint(problem)
+        report = analyze_optimum_sensitivity(problem, result)
+        assert report.vdd_stationary
+        if not report.vdd_at_boundary:
+            assert report.d_static_d_vdd < 0.0 < report.d_dynamic_d_vdd
+            assert 0.6 < report.balance_ratio < 1.6
+        rows.append([circuit, f"{report.vdd:.2f}",
+                     f"{report.vth * 1000:.0f}",
+                     f"{report.d_static_d_vdd:.2e}",
+                     f"{report.d_dynamic_d_vdd:.2e}",
+                     f"{report.balance_ratio:.3f}"])
+
+    problem = build_problem("s298", 0.1)
+    result = optimize_joint(problem)
+    benchmark.pedantic(
+        lambda: analyze_optimum_sensitivity(problem, result),
+        rounds=3, iterations=1)
+    record_artifact("section3_balance", format_table(
+        headers=["circuit", "Vdd (V)", "Vth (mV)", "dE_s/dVdd",
+                 "dE_d/dVdd", "|balance|"],
+        rows=rows,
+        title="§3 physics — static/dynamic slope balance at the optimum "
+              "(1.0 = exact cancellation)"))
+
+
+def test_energy_delay_frontier(benchmark, record_artifact):
+    problem = build_problem("s298", 0.1)
+    points = benchmark.pedantic(
+        lambda: energy_delay_tradeoff(problem, (1.0, 1.5, 2.0, 3.0, 4.0)),
+        rounds=1, iterations=1)
+    best = minimum_energy_delay_product(points)
+    assert best.cycle_time > points[0].cycle_time  # relaxed clock wins ET
+    record_artifact("energy_delay_frontier", format_table(
+        headers=["cycle (ns)", "energy (J)", "E*T (Js)", "Vdd (V)",
+                 "Vth (mV)"],
+        rows=[[f"{point.cycle_time / NS:.1f}", f"{point.energy:.3e}",
+               f"{point.energy_delay_product:.3e}", f"{point.vdd:.2f}",
+               f"{point.vth * 1000:.0f}"]
+              for point in points],
+        title="Energy-delay frontier for s298 (min E*T marked by the "
+              f"{best.cycle_time / NS:.1f} ns row)"))

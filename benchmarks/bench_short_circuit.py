@@ -1,0 +1,64 @@
+"""Bench: the short-circuit extension (the paper's "next version").
+
+Quantifies the term Appendix A.1 neglects: at each Table 2 optimum, how
+large is the short-circuit energy relative to the optimized switching
+energy? The paper's justification (Veendrick: order of magnitude below
+switching) should hold both at the conventional corner and — even more
+strongly — near the joint optimum, which sits close to the
+``Vdd = 2*Vth`` no-conduction boundary.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.common import build_problem
+from repro.optimize.baseline import optimize_fixed_vth
+from repro.optimize.heuristic import optimize_joint
+from repro.power.short_circuit import (
+    total_short_circuit_energy,
+    transition_times_from_budgets,
+)
+
+
+def test_short_circuit_magnitude(benchmark, record_artifact):
+    rows = []
+    for circuit in ("s298", "s386"):
+        problem = build_problem(circuit, 0.1)
+        budgets = problem.budgets()
+        times = transition_times_from_budgets(problem.ctx, budgets.budgets)
+
+        baseline = optimize_fixed_vth(problem, budgets=budgets)
+        joint = optimize_joint(problem, budgets=budgets)
+
+        sc_base = total_short_circuit_energy(
+            problem.ctx, baseline.design.vdd, baseline.design.vth,
+            baseline.design.widths, times)
+        sc_joint = total_short_circuit_energy(
+            problem.ctx, joint.design.vdd, joint.design.vth,
+            joint.design.widths, times)
+
+        base_fraction = sc_base.fraction_of(baseline.energy.dynamic)
+        joint_fraction = sc_joint.fraction_of(joint.energy.dynamic)
+        # Veendrick's order-of-magnitude claim at the conventional corner;
+        # even smaller near the joint optimum's Vdd ~ 2*Vth boundary.
+        assert base_fraction < 0.35
+        assert joint_fraction < 0.35
+        rows.append([circuit,
+                     f"{base_fraction * 100:.1f} %",
+                     f"{joint_fraction * 100:.1f} %",
+                     f"{joint.design.vdd:.2f}",
+                     f"{2 * float(joint.design.distinct_vths()[0]):.2f}"])
+
+    problem = build_problem("s298", 0.1)
+    budgets = problem.budgets()
+    times = transition_times_from_budgets(problem.ctx, budgets.budgets)
+    joint = optimize_joint(problem, budgets=budgets)
+    benchmark.pedantic(
+        lambda: total_short_circuit_energy(
+            problem.ctx, joint.design.vdd, joint.design.vth,
+            joint.design.widths, times),
+        rounds=5, iterations=2)
+
+    record_artifact("short_circuit", format_table(
+        headers=["circuit", "E_sc/E_dyn (baseline)", "E_sc/E_dyn (joint)",
+                 "joint Vdd (V)", "2*Vth (V)"],
+        rows=rows,
+        title="Extension — short-circuit energy the paper's A.1 neglects"))

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table 1 (fixed-Vth baseline, all circuits).
+
+Timed unit: the baseline optimization of one circuit (the paper reports
+5–20 s per circuit for the whole flow on 1997 hardware). The full table
+over all 8 circuits × 2 activities is regenerated once and archived.
+"""
+
+from repro.experiments.common import ExperimentConfig, build_problem
+from repro.experiments.table1 import format_table1, run_table1
+from repro.optimize.baseline import optimize_fixed_vth
+
+
+def test_table1_single_circuit_baseline(benchmark):
+    problem = build_problem("s298", 0.1)
+
+    result = benchmark.pedantic(
+        lambda: optimize_fixed_vth(problem), rounds=3, iterations=1)
+    assert result.feasible
+    assert result.energy.static < 1e-3 * result.energy.dynamic
+
+
+def test_table1_full_regeneration(benchmark, record_artifact):
+    rows = benchmark.pedantic(
+        lambda: run_table1(ExperimentConfig()), rounds=1, iterations=1)
+    assert len(rows) == 16  # 8 circuits x 2 activities
+    for row in rows:
+        assert row.critical_delay <= (1.0 / 300e6) * (1 + 1e-9)
+    record_artifact("table1", format_table1(rows))

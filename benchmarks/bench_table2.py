@@ -1,0 +1,42 @@
+"""Bench: regenerate Table 2 (joint Vdd/Vth/width optimization).
+
+Timed unit: Procedure 1 + Procedure 2 on one circuit. The full table is
+regenerated once with its Table 1 baselines and archived; the savings
+column is asserted to reproduce the paper's shape (large factors, larger
+at higher activity, comparable static/dynamic components).
+"""
+
+from repro.experiments.common import ExperimentConfig, build_problem
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.optimize.heuristic import optimize_joint
+
+
+def test_table2_single_circuit_joint(benchmark):
+    problem = build_problem("s298", 0.1)
+
+    result = benchmark.pedantic(
+        lambda: optimize_joint(problem), rounds=3, iterations=1)
+    assert result.feasible
+    assert result.design.vdd < 1.6
+
+
+def test_table2_full_regeneration(benchmark, record_artifact):
+    config = ExperimentConfig()
+    baseline = run_table1(config)
+
+    rows = benchmark.pedantic(
+        lambda: run_table2(config, baseline_rows=baseline),
+        rounds=1, iterations=1)
+    assert len(rows) == 16
+    by_circuit = {}
+    for row in rows:
+        assert row.savings > 3.0
+        assert row.vth <= 0.30
+        assert 0.03 < row.static_to_dynamic < 10.0
+        by_circuit.setdefault(row.circuit, []).append(row)
+    # Savings grow with activity on every circuit (paper §5).
+    for circuit_rows in by_circuit.values():
+        ordered = sorted(circuit_rows, key=lambda row: row.activity)
+        assert ordered[-1].savings > ordered[0].savings
+    record_artifact("table2", format_table2(rows))

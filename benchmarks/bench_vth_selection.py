@@ -1,0 +1,38 @@
+"""Bench: §1 use case — selecting the process threshold voltage.
+
+"In determining the threshold voltage for a process being developed for
+future applications, one may use the algorithms on existing benchmarks
+... to find the most desirable threshold voltage."
+
+Timed unit: the recommendation over a 4-circuit suite on the default and
+a scaled deck; the recommendation must fall in the paper's 100–300 mV
+band and the per-circuit spread must be small (the choice is robust).
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.technology_selection import recommend_threshold
+from repro.technology.process import Technology
+from repro.units import MHZ
+
+SUITE = ("s27", "s298", "s386", "s526")
+
+
+def test_vth_recommendation(benchmark, record_artifact):
+    tech = Technology.default()
+
+    recommendation = benchmark.pedantic(
+        lambda: recommend_threshold(tech, SUITE, frequency=300 * MHZ),
+        rounds=1, iterations=1)
+
+    assert 0.095 <= recommendation.recommended_vth <= 0.30
+    assert recommendation.vth_spread < 0.10
+    assert recommendation.infeasible == ()
+
+    rows = [[name, f"{vth * 1000:.0f}", f"{vdd:.2f}", f"{energy:.3e}"]
+            for name, vth, vdd, energy in recommendation.per_circuit]
+    rows.append(["RECOMMENDED",
+                 f"{recommendation.recommended_vth * 1000:.0f}", "-", "-"])
+    record_artifact("vth_selection", format_table(
+        headers=["circuit", "Vth (mV)", "Vdd (V)", "energy (J)"],
+        rows=rows,
+        title="§1 — process Vth selection over the benchmark suite"))

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures, prints it (run
+with ``-s`` to see it live) and archives the text under
+``benchmarks/results/`` so EXPERIMENTS.md can reference concrete runs.
+Benches use ``benchmark.pedantic(..., rounds=1)``: the interesting number
+is the one-shot wall time of regenerating the artifact (the paper quotes
+5–20 s per circuit), not a statistical distribution.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_artifact():
+    """Print a regenerated artifact and archive it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scenario: picking the threshold voltage for a future low-power process.
+
+The paper's §1 pitch: "In determining the threshold voltage for a process
+being developed for future applications, one may use the algorithms on
+existing benchmarks with predicted circuit timing parameters to find the
+most desirable threshold voltage."
+
+This example plays process engineer:
+
+1. run the joint optimizer over the benchmark suite on the current deck
+   and on a constant-field-scaled future deck,
+2. pool the per-circuit Vth choices into a recommendation,
+3. show how the Figure 1 static back-bias scheme would realize that Vth
+   from natural (un-implanted) devices — the substrate/n-well voltages a
+   designer would actually program.
+
+Run with::
+
+    python examples/process_designer.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import recommend_threshold
+from repro.analysis.report import format_table
+from repro.technology import Technology, bias_for_target_vth
+from repro.units import MHZ
+
+CIRCUITS = ("s298", "s382", "s386", "s526")
+
+
+def report(tech: Technology, frequency: float) -> None:
+    recommendation = recommend_threshold(tech, CIRCUITS,
+                                         frequency=frequency,
+                                         activity=0.1)
+    print(format_table(
+        headers=["Circuit", "chosen Vth (mV)", "chosen Vdd (V)",
+                 "energy/cycle (fJ)"],
+        rows=[[name, f"{vth * 1000:.0f}", f"{vdd:.2f}",
+               f"{energy * 1e15:.1f}"]
+              for name, vth, vdd, energy in recommendation.per_circuit],
+        title=f"Deck {tech.name!r} at {frequency / MHZ:.0f} MHz"))
+    print(f"  -> recommended process Vth: "
+          f"{recommendation.recommended_vth * 1000:.0f} mV "
+          f"(spread {recommendation.vth_spread * 1000:.0f} mV)")
+    if recommendation.infeasible:
+        print(f"  -> infeasible on this deck: {recommendation.infeasible}")
+
+    target = recommendation.recommended_vth
+    if target >= tech.vth_natural:
+        bias = bias_for_target_vth(tech, target)
+        print(f"  -> Figure 1 static back-bias realizing it from natural "
+              f"devices (Vth0 = {tech.vth_natural * 1000:.0f} mV): "
+              f"reverse bias = {bias:.2f} V "
+              f"(V_SUBSTRATE = -{bias:.2f} V, V_NWELL = Vdd + {bias:.2f} V)")
+    else:
+        print(f"  -> target below the natural threshold "
+              f"({tech.vth_natural * 1000:.0f} mV); needs a lower-Vth "
+              "starting device rather than back-bias")
+    print()
+
+
+def main() -> None:
+    print("Threshold selection for a low-power process (paper §1 use case)\n")
+    report(Technology.default(), frequency=300 * MHZ)
+    future = Technology.scaled(0.18e-6, name="future-0.18um")
+    report(future, frequency=300 * MHZ)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of Pant, De & Chatterjee, DAC 1997.
+
+"Device-Circuit Optimization for Minimal Energy and Power Consumption in
+CMOS Random Logic Networks": joint optimization of the supply voltage,
+threshold voltage(s) and per-gate device widths of a CMOS random logic
+network, minimizing total (static + dynamic) energy per cycle under a
+clock-frequency constraint.
+
+Public API highlights
+---------------------
+
+* :class:`repro.technology.Technology` — the process deck.
+* :mod:`repro.netlist` — logic networks, ``.bench`` I/O, benchmark suite.
+* :mod:`repro.activity` — Najm transition-density activity estimation.
+* :mod:`repro.interconnect` — Rent's-rule stochastic wire-length model.
+* :mod:`repro.timing` — transregional delay model, STA, path enumeration
+  and the paper's Procedure 1 delay budgeting.
+* :mod:`repro.power` — static/dynamic energy models (Appendix A.1).
+* :mod:`repro.optimize` — the paper's Procedure 2 heuristic, the
+  fixed-Vth baseline, simulated annealing and SciPy comparators, plus
+  the multi-Vth/multi-Vdd/variation/yield/discretization extensions.
+* :mod:`repro.bdd` / :mod:`repro.fastpath` — the ROBDD engine behind the
+  exact activity estimator and the vectorized evaluation engine.
+* :mod:`repro.experiments` — drivers regenerating each paper table/figure.
+"""
+
+from repro.technology import Technology
+from repro.netlist import LogicNetwork, benchmark_circuit, benchmark_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Technology",
+    "LogicNetwork",
+    "benchmark_circuit",
+    "benchmark_names",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Switching-activity estimation.
+
+The paper's energy model needs an activity factor ``a_i`` (expected output
+transitions per clock cycle) for every gate. Following §4.1, input signal
+probabilities and transition densities are given, and internal activities
+are computed with Najm's *transition density* propagation [8]:
+
+    D(y) = sum_i P(dy/dx_i) * D(x_i)
+
+where ``dy/dx_i`` is the Boolean difference of the gate function with
+respect to input ``i``. As in the paper this is first order: input signal
+correlations (spatial and temporal) are neglected. A Monte-Carlo logic
+simulator (:mod:`repro.activity.simulation`) validates the propagation on
+small circuits, and a BDD-based exact estimator
+(:mod:`repro.activity.exact`, the paper's ref. [11]) computes
+correlation-aware probabilities and densities where the cone supports
+allow it.
+"""
+
+from repro.activity.profiles import InputProfile, uniform_profile
+from repro.activity.transition_density import ActivityEstimate, estimate_activity
+from repro.activity.boolean_diff import (
+    output_probability,
+    boolean_difference_probabilities,
+)
+from repro.activity.simulation import simulate_activity, SimulatedActivity
+from repro.activity.exact import (
+    ExactActivityResult,
+    correlation_error,
+    estimate_activity_exact,
+)
+
+__all__ = [
+    "InputProfile",
+    "uniform_profile",
+    "ActivityEstimate",
+    "estimate_activity",
+    "output_probability",
+    "boolean_difference_probabilities",
+    "simulate_activity",
+    "SimulatedActivity",
+    "ExactActivityResult",
+    "correlation_error",
+    "estimate_activity_exact",
+]

@@ -1,0 +1,124 @@
+"""Boolean-difference probabilities for gate functions.
+
+Najm's transition-density propagation [8] needs, for every gate input
+``x_i``, the probability that the Boolean difference
+
+    df/dx_i = f(..., x_i = 1, ...) XOR f(..., x_i = 0, ...)
+
+evaluates to 1 under the (assumed independent) input signal probabilities.
+For the standard gate family the differences have closed forms:
+
+* AND/NAND: ``prod_{j != i} p_j``
+* OR/NOR:   ``prod_{j != i} (1 - p_j)``
+* XOR/XNOR: 1 (every input change propagates)
+* NOT/BUF:  1
+
+A truth-table fallback handles any supported gate exactly (still under the
+independence assumption) and lets tests cross-check the closed forms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ActivityError
+from repro.netlist.gates import GateType, truth_table
+
+
+def _validate_probabilities(probabilities: Sequence[float]) -> None:
+    for probability in probabilities:
+        if not 0.0 <= probability <= 1.0:
+            raise ActivityError(
+                f"signal probability {probability} not in [0, 1]")
+
+
+def output_probability(gate_type: GateType,
+                       probabilities: Sequence[float]) -> float:
+    """``P(f = 1)`` for a gate with independent input probabilities."""
+    _validate_probabilities(probabilities)
+    if gate_type is GateType.INPUT:
+        raise ActivityError("INPUT pseudo-gates carry their own probability")
+    if gate_type is GateType.BUF:
+        return probabilities[0]
+    if gate_type is GateType.NOT:
+        return 1.0 - probabilities[0]
+    if gate_type is GateType.AND or gate_type is GateType.NAND:
+        product = 1.0
+        for probability in probabilities:
+            product *= probability
+        return product if gate_type is GateType.AND else 1.0 - product
+    if gate_type is GateType.OR or gate_type is GateType.NOR:
+        product = 1.0
+        for probability in probabilities:
+            product *= 1.0 - probability
+        return 1.0 - product if gate_type is GateType.OR else product
+    if gate_type is GateType.XOR or gate_type is GateType.XNOR:
+        # P(odd parity) via the product formula: E[(-1)^sum] = prod(1 - 2p).
+        signed = 1.0
+        for probability in probabilities:
+            signed *= 1.0 - 2.0 * probability
+        odd = 0.5 * (1.0 - signed)
+        return odd if gate_type is GateType.XOR else 1.0 - odd
+    raise ActivityError(f"unsupported gate type {gate_type}")
+
+
+def boolean_difference_probabilities(
+        gate_type: GateType,
+        probabilities: Sequence[float]) -> Tuple[float, ...]:
+    """``P(df/dx_i = 1)`` for every input ``i`` (closed forms)."""
+    _validate_probabilities(probabilities)
+    arity = len(probabilities)
+    if gate_type is GateType.INPUT:
+        raise ActivityError("INPUT pseudo-gates have no Boolean difference")
+    if gate_type in (GateType.BUF, GateType.NOT):
+        return (1.0,)
+    if gate_type in (GateType.AND, GateType.NAND):
+        return tuple(_product_excluding(probabilities, index)
+                     for index in range(arity))
+    if gate_type in (GateType.OR, GateType.NOR):
+        complements = [1.0 - probability for probability in probabilities]
+        return tuple(_product_excluding(complements, index)
+                     for index in range(arity))
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        return tuple(1.0 for _ in range(arity))
+    raise ActivityError(f"unsupported gate type {gate_type}")
+
+
+def _product_excluding(values: Sequence[float], skip: int) -> float:
+    product = 1.0
+    for index, value in enumerate(values):
+        if index != skip:
+            product *= value
+    return product
+
+
+def boolean_difference_probabilities_exact(
+        gate_type: GateType,
+        probabilities: Sequence[float]) -> Tuple[float, ...]:
+    """Truth-table evaluation of the Boolean-difference probabilities.
+
+    Exponential in fanin (capped at 16 by :func:`truth_table`); used by
+    tests to validate the closed forms and available for exotic gates.
+    """
+    _validate_probabilities(probabilities)
+    arity = len(probabilities)
+    table = truth_table(gate_type, arity)
+    results: List[float] = []
+    for index in range(arity):
+        total = 0.0
+        for assignment in range(1 << arity):
+            if (assignment >> index) & 1:
+                continue  # enumerate assignments of the *other* inputs
+            flipped = assignment | (1 << index)
+            if table[assignment] == table[flipped]:
+                continue
+            weight = 1.0
+            for position in range(arity):
+                if position == index:
+                    continue
+                bit = (assignment >> position) & 1
+                weight *= probabilities[position] if bit \
+                    else 1.0 - probabilities[position]
+            total += weight
+        results.append(total)
+    return tuple(results)

@@ -1,0 +1,91 @@
+"""Input activity profiles.
+
+An :class:`InputProfile` supplies, for every primary input of a network,
+its stationary signal probability ``P(x = 1)`` and its transition density
+``D(x)`` in expected transitions per clock cycle. The paper's Tables use
+uniform profiles ("the activity levels are the same over all the inputs",
+§5); :func:`uniform_profile` builds those.
+
+Transition densities are bounded by the two-state Markov limit
+``D <= 2 * min(p, 1 - p)`` (a signal cannot toggle more often than it
+visits its rarer state allows); profiles are validated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ActivityError
+from repro.netlist.network import LogicNetwork
+
+
+def max_density(probability: float) -> float:
+    """Largest transition density consistent with signal probability ``p``."""
+    return 2.0 * min(probability, 1.0 - probability)
+
+
+@dataclass(frozen=True)
+class InputProfile:
+    """Signal probability and transition density for each primary input."""
+
+    probabilities: Mapping[str, float]
+    densities: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if set(self.probabilities) != set(self.densities):
+            raise ActivityError(
+                "probability and density maps must cover the same inputs")
+        for name, probability in self.probabilities.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ActivityError(
+                    f"input {name!r}: probability {probability} not in [0, 1]")
+            density = self.densities[name]
+            if density < 0.0:
+                raise ActivityError(
+                    f"input {name!r}: density {density} negative")
+            limit = max_density(probability)
+            if density > limit + 1e-12:
+                raise ActivityError(
+                    f"input {name!r}: density {density} exceeds the Markov "
+                    f"limit {limit} for probability {probability}")
+
+    def probability(self, name: str) -> float:
+        try:
+            return self.probabilities[name]
+        except KeyError:
+            raise ActivityError(f"no profile for input {name!r}") from None
+
+    def density(self, name: str) -> float:
+        try:
+            return self.densities[name]
+        except KeyError:
+            raise ActivityError(f"no profile for input {name!r}") from None
+
+    def covers(self, network: LogicNetwork) -> bool:
+        return set(network.inputs) <= set(self.probabilities)
+
+    def require_covers(self, network: LogicNetwork) -> None:
+        missing = sorted(set(network.inputs) - set(self.probabilities))
+        if missing:
+            raise ActivityError(
+                f"profile misses {len(missing)} input(s) of "
+                f"{network.name!r}: {missing[:5]}")
+
+
+def uniform_profile(network: LogicNetwork, probability: float = 0.5,
+                    density: float | None = None) -> InputProfile:
+    """Uniform profile over all inputs of ``network``.
+
+    ``density`` defaults to the random-data value ``2 p (1 - p)``
+    (independent samples each cycle). The paper's experiments use uniform
+    activities of e.g. 0.1 and 0.5 transitions/cycle across all inputs.
+    """
+    if density is None:
+        density = 2.0 * probability * (1.0 - probability)
+    probabilities: Dict[str, float] = {}
+    densities: Dict[str, float] = {}
+    for name in network.inputs:
+        probabilities[name] = probability
+        densities[name] = density
+    return InputProfile(probabilities=probabilities, densities=densities)

@@ -1,0 +1,92 @@
+"""Najm transition-density propagation (§4.1 of the paper, ref. [8]).
+
+Signal probabilities and transition densities are propagated through the
+network in topological order under the independence assumption:
+
+* ``P(y)`` from the gate's output-probability formula,
+* ``D(y) = sum_i P(dy/dx_i) * D(x_i)``.
+
+The result's ``activity(name)`` is the paper's ``a_i`` — the expected
+output transitions per clock cycle used directly in the dynamic-energy
+equation (A2).
+
+The propagation is exact for tree (fanout-free) circuits with independent
+inputs; with reconvergent fanout it is the standard first-order
+approximation the paper adopts ("does not take into account input signal
+correlations"). Densities are clamped to the Markov feasibility limit
+``2 * min(p, 1-p)`` so reconvergence can never produce a physically
+impossible activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.activity.boolean_diff import (
+    boolean_difference_probabilities,
+    output_probability,
+)
+from repro.activity.profiles import InputProfile, max_density
+from repro.errors import ActivityError
+from repro.netlist.network import LogicNetwork
+
+
+@dataclass(frozen=True)
+class ActivityEstimate:
+    """Per-node signal probabilities and transition densities."""
+
+    network_name: str
+    probabilities: Mapping[str, float]
+    densities: Mapping[str, float]
+
+    def probability(self, name: str) -> float:
+        try:
+            return self.probabilities[name]
+        except KeyError:
+            raise ActivityError(
+                f"no probability for node {name!r} "
+                f"(network {self.network_name!r})") from None
+
+    def density(self, name: str) -> float:
+        try:
+            return self.densities[name]
+        except KeyError:
+            raise ActivityError(
+                f"no density for node {name!r} "
+                f"(network {self.network_name!r})") from None
+
+    def activity(self, name: str) -> float:
+        """The paper's ``a_i`` — alias for :meth:`density`."""
+        return self.density(name)
+
+    def total_density(self) -> float:
+        """Sum of all node densities (a scalar switching-volume metric)."""
+        return sum(self.densities.values())
+
+
+def estimate_activity(network: LogicNetwork,
+                      profile: InputProfile) -> ActivityEstimate:
+    """Propagate ``profile`` through ``network`` (topological, one pass)."""
+    profile.require_covers(network)
+    probabilities: Dict[str, float] = {}
+    densities: Dict[str, float] = {}
+
+    for name in network.topological_order():
+        gate = network.gate(name)
+        if gate.is_input:
+            probabilities[name] = profile.probability(name)
+            densities[name] = profile.density(name)
+            continue
+        fanin_probs = [probabilities[fanin] for fanin in gate.fanins]
+        probabilities[name] = output_probability(gate.gate_type, fanin_probs)
+        sensitivities = boolean_difference_probabilities(gate.gate_type,
+                                                         fanin_probs)
+        density = 0.0
+        for sensitivity, fanin in zip(sensitivities, gate.fanins):
+            density += sensitivity * densities[fanin]
+        densities[name] = min(density, max_density(probabilities[name]))
+
+    return ActivityEstimate(network_name=network.name,
+                            probabilities=probabilities,
+                            densities=densities)

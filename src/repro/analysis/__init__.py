@@ -1,0 +1,70 @@
+"""Analysis harnesses: sweeps, reporting, technology selection.
+
+* :mod:`~repro.analysis.sweeps` — parameter sweeps over Vth tolerance
+  (Figure 2a) and cycle-time slack (Figure 2b), plus general (Vdd, Vth)
+  energy-surface scans.
+* :mod:`~repro.analysis.report` — plain-text table rendering shared by
+  the experiment drivers and benches.
+* :mod:`~repro.analysis.technology_selection` — the §1 use case: run the
+  optimizer across benchmarks on scaled process decks to recommend the
+  threshold voltage a future low-power process should target.
+* :mod:`~repro.analysis.sensitivity` — numerical verification of §3's
+  stationarity/balance condition at the joint optimum.
+* :mod:`~repro.analysis.pareto` — energy/cycle-time frontier and the
+  Burr–Shott-style minimum energy-delay product point.
+* :mod:`~repro.analysis.montecarlo` — statistical Vth-variation sampling
+  (timing yield, energy percentiles) complementing Figure 2a's worst
+  case.
+"""
+
+from repro.analysis.sweeps import (
+    SlackSweepPoint,
+    VariationSweepPoint,
+    sweep_cycle_slack,
+    sweep_vth_tolerance,
+)
+from repro.analysis.report import format_table
+from repro.analysis.technology_selection import (
+    VthRecommendation,
+    recommend_threshold,
+)
+from repro.analysis.sensitivity import (
+    SensitivityReport,
+    analyze_optimum_sensitivity,
+)
+from repro.analysis.pareto import (
+    ParetoPoint,
+    energy_delay_tradeoff,
+    minimum_energy_delay_product,
+)
+from repro.analysis.timing_report import SlackReport, slack_report
+from repro.analysis.export import render_csv, write_csv
+from repro.analysis.montecarlo import (
+    MonteCarloOutcome,
+    VariationStatistics,
+    monte_carlo_variation,
+    worst_case_pessimism,
+)
+
+__all__ = [
+    "SlackSweepPoint",
+    "VariationSweepPoint",
+    "sweep_cycle_slack",
+    "sweep_vth_tolerance",
+    "format_table",
+    "VthRecommendation",
+    "recommend_threshold",
+    "SensitivityReport",
+    "analyze_optimum_sensitivity",
+    "ParetoPoint",
+    "energy_delay_tradeoff",
+    "minimum_energy_delay_product",
+    "MonteCarloOutcome",
+    "VariationStatistics",
+    "monte_carlo_variation",
+    "worst_case_pessimism",
+    "SlackReport",
+    "slack_report",
+    "render_csv",
+    "write_csv",
+]

@@ -1,0 +1,87 @@
+"""CSV export of experiment series.
+
+The experiment drivers print aligned text; downstream plotting (the
+figures a paper or report would carry) wants machine-readable series.
+This module writes the regenerated tables/figures as plain CSV with a
+one-line provenance comment, so ``benchmarks/results/*.csv`` can be
+dropped straight into any plotting tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro import __version__
+from repro.errors import ReproError
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]],
+               provenance: str | None = None) -> str:
+    """CSV text with an optional ``# provenance`` first line."""
+    buffer = io.StringIO()
+    if provenance:
+        buffer.write(f"# {provenance} (repro {__version__})\n")
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    count = len(headers)
+    for row in rows:
+        materialized = list(row)
+        if len(materialized) != count:
+            raise ReproError(
+                f"row has {len(materialized)} cells for {count} headers")
+        writer.writerow(materialized)
+    return buffer.getvalue()
+
+
+def write_csv(path: str | Path, headers: Sequence[str],
+              rows: Iterable[Sequence[object]],
+              provenance: str | None = None) -> Path:
+    """Write :func:`render_csv` output to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_csv(headers, rows, provenance=provenance))
+    return path
+
+
+def table1_rows_to_csv(rows) -> str:
+    """CSV form of Table 1 rows (see repro.experiments.table1)."""
+    return render_csv(
+        headers=["circuit", "gates", "depth", "activity", "static_J",
+                 "dynamic_J", "total_J", "critical_delay_s", "vdd_V"],
+        rows=[[row.circuit, row.gates, row.depth, row.activity,
+               row.static_energy, row.dynamic_energy, row.total_energy,
+               row.critical_delay, row.vdd] for row in rows],
+        provenance="Table 1 - fixed-Vth baseline")
+
+
+def table2_rows_to_csv(rows) -> str:
+    """CSV form of Table 2 rows (see repro.experiments.table2)."""
+    return render_csv(
+        headers=["circuit", "activity", "static_J", "dynamic_J", "total_J",
+                 "critical_delay_s", "vdd_V", "vth_V", "savings"],
+        rows=[[row.circuit, row.activity, row.static_energy,
+               row.dynamic_energy, row.total_energy, row.critical_delay,
+               row.vdd, row.vth, row.savings] for row in rows],
+        provenance="Table 2 - joint Vdd/Vth/width optimization")
+
+
+def figure_points_to_csv(points, x_field: str, provenance: str) -> str:
+    """Generic series export for the Figure 2 point dataclasses."""
+    if not points:
+        raise ReproError("no points to export")
+    first = points[0]
+    fields = [name for name in first.__dataclass_fields__]  # type: ignore[attr-defined]
+    if x_field not in fields:
+        raise ReproError(f"unknown x field {x_field!r}; have {fields}")
+    ordered = [x_field] + [name for name in fields if name != x_field]
+    extra = [name for name in ("savings",)
+             if hasattr(first, name) and name not in ordered]
+    return render_csv(
+        headers=ordered + extra,
+        rows=[[getattr(point, name) for name in ordered]
+              + [getattr(point, name) for name in extra]
+              for point in points],
+        provenance=provenance)

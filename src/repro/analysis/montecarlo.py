@@ -1,0 +1,146 @@
+"""Statistical process-variation analysis (the Figure 2a complement).
+
+The paper's §5 robustness study is a *worst-case* analysis: every device
+simultaneously at the slow (or leaky) Vth corner. Real die-to-die and
+within-die variation is statistical, and worst-casing every gate at once
+is pessimistic. This module quantifies that pessimism:
+
+* each sample draws an independent Gaussian Vth offset per gate
+  (within-die, ``sigma_within``) on top of one shared offset per sample
+  (die-to-die, ``sigma_die``),
+* each sample is evaluated with full STA and the energy model at the
+  *fixed* design (voltages and widths do not change per die),
+* the result is a timing-yield estimate and energy percentiles —
+  the numbers a production engineer would hold next to Figure 2a.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import OptimizationError
+from repro.optimize.problem import DesignPoint, OptimizationProblem
+from repro.power.energy import total_energy
+from repro.timing.sta import analyze_timing
+
+
+@dataclass(frozen=True)
+class VariationStatistics:
+    """Gaussian Vth variation parameters (volts)."""
+
+    #: Die-to-die (shared) standard deviation.
+    sigma_die: float = 0.015
+    #: Within-die (per gate, independent) standard deviation.
+    sigma_within: float = 0.010
+
+    def __post_init__(self) -> None:
+        if self.sigma_die < 0.0 or self.sigma_within < 0.0:
+            raise OptimizationError("sigmas must be >= 0")
+
+
+@dataclass(frozen=True)
+class MonteCarloOutcome:
+    """Aggregate of one Monte-Carlo variation run."""
+
+    samples: int
+    #: Fraction of samples meeting the cycle time.
+    timing_yield: float
+    #: Per-sample total energies (J), sorted ascending.
+    energies: Tuple[float, ...]
+    #: Per-sample critical delays (s), sorted ascending.
+    delays: Tuple[float, ...]
+    nominal_energy: float
+    nominal_delay: float
+
+    def energy_percentile(self, fraction: float) -> float:
+        return _percentile(self.energies, fraction)
+
+    def delay_percentile(self, fraction: float) -> float:
+        return _percentile(self.delays, fraction)
+
+    @property
+    def mean_energy(self) -> float:
+        return sum(self.energies) / len(self.energies)
+
+
+def _percentile(sorted_values: Tuple[float, ...], fraction: float) -> float:
+    if not sorted_values:
+        raise OptimizationError("no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise OptimizationError(f"fraction must be in [0, 1], got {fraction}")
+    index = min(int(fraction * len(sorted_values)),
+                len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
+                          statistics: VariationStatistics | None = None,
+                          samples: int = 200, seed: int = 0
+                          ) -> MonteCarloOutcome:
+    """Sample Vth variation around ``design`` and measure timing/energy.
+
+    The design's nominal Vth (scalar or per-gate) is perturbed per sample;
+    offsets are clamped so every perturbed threshold stays positive.
+    """
+    if samples < 1:
+        raise OptimizationError(f"samples must be >= 1, got {samples}")
+    statistics = statistics or VariationStatistics()
+    rng = random.Random(seed)
+    gates = problem.network.logic_gates
+
+    nominal_timing = analyze_timing(problem.ctx, design.vdd, design.vth,
+                                    design.widths)
+    nominal_energy = total_energy(problem.ctx, design.vdd, design.vth,
+                                  design.widths, problem.frequency).total
+
+    energies: List[float] = []
+    delays: List[float] = []
+    met = 0
+    cycle = problem.cycle_time
+    for _ in range(samples):
+        die_offset = rng.gauss(0.0, statistics.sigma_die)
+        vth_map: Dict[str, float] = {}
+        for name in gates:
+            nominal = design.vth_of(name)
+            offset = die_offset + rng.gauss(0.0, statistics.sigma_within)
+            vth_map[name] = max(nominal + offset, 0.02)
+        timing = analyze_timing(problem.ctx, design.vdd, vth_map,
+                                design.widths)
+        energy = total_energy(problem.ctx, design.vdd, vth_map,
+                              design.widths, problem.frequency).total
+        delays.append(timing.critical_delay)
+        energies.append(energy)
+        if timing.meets(cycle, tolerance=1e-9):
+            met += 1
+
+    return MonteCarloOutcome(samples=samples,
+                             timing_yield=met / samples,
+                             energies=tuple(sorted(energies)),
+                             delays=tuple(sorted(delays)),
+                             nominal_energy=nominal_energy,
+                             nominal_delay=nominal_timing.critical_delay)
+
+
+def worst_case_pessimism(problem: OptimizationProblem,
+                         nominal: DesignPoint,
+                         robust: DesignPoint,
+                         statistics: VariationStatistics | None = None,
+                         samples: int = 200, seed: int = 0
+                         ) -> Tuple[MonteCarloOutcome, MonteCarloOutcome]:
+    """Monte-Carlo both the nominal and the worst-case-robust designs.
+
+    Returns ``(nominal_outcome, robust_outcome)``. Expected shape: the
+    robust design yields ~100 % while the nominal design loses yield —
+    and the statistical energy of the robust design sits *below* its
+    worst-case guarantee (quantifying Figure 2a's pessimism).
+    """
+    nominal_outcome = monte_carlo_variation(problem, nominal,
+                                            statistics=statistics,
+                                            samples=samples, seed=seed)
+    robust_outcome = monte_carlo_variation(problem, robust,
+                                           statistics=statistics,
+                                           samples=samples, seed=seed)
+    return nominal_outcome, robust_outcome

@@ -1,0 +1,81 @@
+"""Energy-vs-cycle-time trade-off and the energy-delay product.
+
+The paper's introduction contrasts its hard-constraint formulation with
+Burr–Shott [2], who choose supply/threshold so leakage equals switching
+*without* a performance requirement and temper the speed loss by
+minimizing the energy-delay product instead. This module provides that
+complementary view on top of the constraint-based optimizer:
+
+* :func:`energy_delay_tradeoff` — the Pareto frontier ``E(T_c)`` obtained
+  by sweeping the cycle-time constraint and re-running Procedure 1 + 2
+  (each point warm-started with its predecessor),
+* :func:`minimum_energy_delay_product` — the frontier point minimizing
+  ``E * T_c``, i.e. the operating point a Burr–Shott-style designer would
+  pick when the clock is negotiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import OptimizationError
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import OptimizationProblem
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of the energy/cycle-time frontier."""
+
+    cycle_time: float
+    energy: float
+    vdd: float
+    vth: float
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.energy * self.cycle_time
+
+    @property
+    def power(self) -> float:
+        return self.energy / self.cycle_time
+
+
+def energy_delay_tradeoff(problem: OptimizationProblem,
+                          slack_factors: Sequence[float],
+                          settings: HeuristicSettings | None = None
+                          ) -> Tuple[ParetoPoint, ...]:
+    """Optimized energy at each cycle time ``slack * T_c``.
+
+    ``slack_factors`` should be increasing; each point warm-starts from
+    the previous optimum so the frontier is well-behaved.
+    """
+    if not slack_factors:
+        raise OptimizationError("need at least one slack factor")
+    points: List[ParetoPoint] = []
+    seeds: Tuple[Tuple[float, float], ...] = ()
+    for factor in slack_factors:
+        if factor <= 0.0:
+            raise OptimizationError(
+                f"slack factor must be > 0, got {factor}")
+        relaxed = OptimizationProblem(ctx=problem.ctx,
+                                      frequency=problem.frequency / factor,
+                                      skew_factor=problem.skew_factor,
+                                      n_vth=problem.n_vth)
+        result = optimize_joint(relaxed, settings=settings, seeds=seeds)
+        vdd = float(result.design.distinct_vdds()[0])
+        vth = float(result.design.distinct_vths()[0])
+        seeds = ((vdd, vth),)
+        points.append(ParetoPoint(cycle_time=relaxed.cycle_time,
+                                  energy=result.total_energy,
+                                  vdd=vdd, vth=vth))
+    return tuple(points)
+
+
+def minimum_energy_delay_product(points: Sequence[ParetoPoint]
+                                 ) -> ParetoPoint:
+    """The frontier point with the smallest ``E * T_c``."""
+    if not points:
+        raise OptimizationError("empty frontier")
+    return min(points, key=lambda point: point.energy_delay_product)

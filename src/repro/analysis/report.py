@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment drivers print the same rows the paper's tables report;
+this module keeps the formatting in one place (fixed-width columns,
+engineering notation for energies/delays).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.units import format_si
+
+
+def format_energy(value: float) -> str:
+    """Engineering-notation joules, e.g. ``'123.456 fJ'``."""
+    return format_si(value, "J")
+
+
+def format_delay(value: float) -> str:
+    return format_si(value, "s")
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned plain-text table.
+
+    >>> print(format_table(['a', 'b'], [[1, 'x']]))
+    a  b
+    -  -
+    1  x
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * width for width in widths]))
+    for row in materialized:
+        lines.append(render_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Sensitivity analysis of the joint optimum — the physics of §3.
+
+§3 explains *why* a unique (Vdd, Vth, w) choice minimizes total energy:
+"the sum total of the static and the dynamic components of dissipation is
+minimized ... when the sum of the increased static dissipation due to
+lower threshold voltage and larger device width and the increased dynamic
+dissipation due to larger device width equals the reduction in the
+dynamic power due to power supply voltage scaling."
+
+This module verifies that stationarity numerically. The *reduced*
+objective ``g(Vdd, Vth)`` — total energy after re-running the
+minimum-width sizing — is differentiated by central differences at a
+returned optimum:
+
+* in the interior of the search box, both partials vanish (to the
+  optimizer's resolution) and the §3 balance holds: the static gain and
+  dynamic loss of a supply step cancel;
+* on a box face (the common ``Vth = Vth_min`` case), the one-sided
+  derivative points *into* the box — the optimizer is pressed against
+  the technology limit, exactly the situation §2's ``n_v``/process
+  discussion anticipates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import OptimizationError
+from repro.optimize.problem import OptimizationProblem, OptimizationResult
+from repro.optimize.width_search import size_widths
+from repro.power.energy import total_energy
+from repro.timing.budgeting import BudgetResult
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Numerical stationarity data at a (Vdd, Vth) design point."""
+
+    vdd: float
+    vth: float
+    energy: float
+    #: Central-difference (or one-sided at a boundary) partials (J/V).
+    d_energy_d_vdd: float
+    d_energy_d_vth: float
+    #: Static/dynamic split of the Vdd partial (the §3 balance terms).
+    d_static_d_vdd: float
+    d_dynamic_d_vdd: float
+    #: Whether each variable sits on its search-box boundary.
+    vdd_at_boundary: bool
+    vth_at_boundary: bool
+
+    @property
+    def vdd_stationary(self) -> bool:
+        """Is the Vdd direction stationary (interior) or inward (boundary)?"""
+        scale = max(self.energy / max(self.vdd, 1e-9), 1e-30)
+        if self.vdd_at_boundary:
+            return True
+        return abs(self.d_energy_d_vdd) < 0.25 * scale
+
+    @property
+    def balance_ratio(self) -> float:
+        """§3's balance: |dE_static/dVdd| / |dE_dynamic/dVdd| at optimum.
+
+        Moving the supply down trades dynamic savings against static (and
+        width-induced dynamic) growth; at a true interior optimum the
+        ratio of opposing slopes is 1.
+        """
+        if self.d_dynamic_d_vdd == 0.0:
+            return math.inf if self.d_static_d_vdd != 0.0 else 1.0
+        return abs(self.d_static_d_vdd / self.d_dynamic_d_vdd)
+
+
+def _reduced_energy(problem: OptimizationProblem, budgets: BudgetResult,
+                    vdd: float, vth: float) -> Tuple[float, float, float]:
+    """(total, static, dynamic) of the re-sized design; inf if infeasible."""
+    assignment = size_widths(problem.ctx, budgets.budgets, vdd, vth,
+                             repair_ceiling=budgets.effective_cycle_time)
+    if not assignment.feasible:
+        return math.inf, math.inf, math.inf
+    report = total_energy(problem.ctx, vdd, vth, assignment.widths,
+                          problem.frequency)
+    return report.total, report.static, report.dynamic
+
+
+def analyze_optimum_sensitivity(problem: OptimizationProblem,
+                                result: OptimizationResult,
+                                budgets: BudgetResult | None = None,
+                                relative_step: float = 0.02
+                                ) -> SensitivityReport:
+    """Differentiate the reduced objective at ``result``'s design point."""
+    if not 0.0 < relative_step < 0.5:
+        raise OptimizationError(
+            f"relative_step must lie in (0, 0.5), got {relative_step}")
+    if budgets is None:
+        budgets = problem.budgets()
+    tech = problem.tech
+    vdds = result.design.distinct_vdds()
+    vths = result.design.distinct_vths()
+    if len(vdds) != 1 or len(vths) != 1:
+        raise OptimizationError(
+            "sensitivity analysis expects a single-Vdd, single-Vth design")
+    vdd, vth = float(vdds[0]), float(vths[0])
+
+    energy, _, _ = _reduced_energy(problem, budgets, vdd, vth)
+
+    vdd_step = relative_step * vdd
+    vdd_low = max(vdd - vdd_step, tech.vdd_min)
+    vdd_high = min(vdd + vdd_step, tech.vdd_max)
+    vdd_boundary = math.isclose(vdd, tech.vdd_min, rel_tol=1e-6) \
+        or math.isclose(vdd, tech.vdd_max, rel_tol=1e-6)
+    total_lo, static_lo, dynamic_lo = _reduced_energy(problem, budgets,
+                                                      vdd_low, vth)
+    total_hi, static_hi, dynamic_hi = _reduced_energy(problem, budgets,
+                                                      vdd_high, vth)
+    span = vdd_high - vdd_low
+    if math.isinf(total_lo):
+        # Lower supply infeasible: one-sided derivative upward.
+        span = vdd_high - vdd
+        total_lo, static_lo, dynamic_lo = energy, *_reduced_energy(
+            problem, budgets, vdd, vth)[1:]
+    d_total_vdd = (total_hi - total_lo) / span
+    d_static_vdd = (static_hi - static_lo) / span
+    d_dynamic_vdd = (dynamic_hi - dynamic_lo) / span
+
+    vth_step = relative_step * vth
+    vth_low = max(vth - vth_step, tech.vth_min)
+    vth_high = min(vth + vth_step, tech.vth_max)
+    vth_boundary = math.isclose(vth, tech.vth_min, rel_tol=1e-6) \
+        or math.isclose(vth, tech.vth_max, rel_tol=1e-6)
+    total_vth_lo, _, _ = _reduced_energy(problem, budgets, vdd, vth_low)
+    total_vth_hi, _, _ = _reduced_energy(problem, budgets, vdd, vth_high)
+    vth_span = vth_high - vth_low
+    if math.isinf(total_vth_hi):
+        # Higher threshold infeasible (too slow): one-sided downward.
+        vth_span = vth - vth_low
+        total_vth_hi = energy
+    d_total_vth = (total_vth_hi - total_vth_lo) / vth_span \
+        if vth_span > 0.0 else 0.0
+
+    return SensitivityReport(
+        vdd=vdd, vth=vth, energy=energy,
+        d_energy_d_vdd=d_total_vdd,
+        d_energy_d_vth=d_total_vth,
+        d_static_d_vdd=d_static_vdd,
+        d_dynamic_d_vdd=d_dynamic_vdd,
+        vdd_at_boundary=vdd_boundary,
+        vth_at_boundary=vth_boundary)

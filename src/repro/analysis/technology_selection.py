@@ -1,0 +1,81 @@
+"""Process threshold-voltage selection (the §1 use case).
+
+"In determining the threshold voltage for a process being developed for
+future applications, one may use the algorithms on existing benchmarks
+with predicted circuit timing parameters to find the most desirable
+threshold voltage."
+
+:func:`recommend_threshold` runs the joint optimizer over a benchmark
+suite on a (possibly scaled) technology deck and aggregates the chosen
+thresholds into a single recommendation, reporting the spread so a
+process engineer can judge how benchmark-sensitive the choice is.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.activity.profiles import uniform_profile
+from repro.errors import InfeasibleError
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import OptimizationProblem
+from repro.technology.process import Technology
+
+
+@dataclass(frozen=True)
+class VthRecommendation:
+    """Aggregated optimizer-chosen thresholds over a benchmark suite."""
+
+    technology: str
+    frequency: float
+    #: (circuit, chosen Vth, chosen Vdd, total energy) per benchmark.
+    per_circuit: Tuple[Tuple[str, float, float, float], ...]
+    recommended_vth: float
+    vth_spread: float
+    #: Circuits that could not meet the clock on this deck.
+    infeasible: Tuple[str, ...]
+
+
+def recommend_threshold(tech: Technology, circuits: Sequence[str],
+                        frequency: float,
+                        activity: float = 0.1,
+                        probability: float = 0.5,
+                        settings: HeuristicSettings | None = None
+                        ) -> VthRecommendation:
+    """Run the joint optimizer over ``circuits`` and pool the Vth choices.
+
+    The recommendation is the energy-weighted median of the per-circuit
+    optima (median, not mean: a single outlier benchmark should not drag
+    the process target).
+    """
+    per_circuit: List[Tuple[str, float, float, float]] = []
+    infeasible: List[str] = []
+    for name in circuits:
+        network = benchmark_circuit(name)
+        profile = uniform_profile(network, probability=probability,
+                                  density=activity)
+        problem = OptimizationProblem.build(tech, network, profile,
+                                            frequency=frequency)
+        try:
+            result = optimize_joint(problem, settings=settings)
+        except InfeasibleError:
+            infeasible.append(name)
+            continue
+        vth = float(result.design.distinct_vths()[0])
+        per_circuit.append((name, vth, result.design.vdd,
+                            result.total_energy))
+
+    if not per_circuit:
+        raise InfeasibleError(
+            f"no benchmark met {frequency:.3g} Hz on deck {tech.name!r}")
+    vths = [vth for _, vth, _, _ in per_circuit]
+    recommended = statistics.median(vths)
+    spread = max(vths) - min(vths)
+    return VthRecommendation(technology=tech.name, frequency=frequency,
+                             per_circuit=tuple(per_circuit),
+                             recommended_vth=recommended,
+                             vth_spread=spread,
+                             infeasible=tuple(infeasible))

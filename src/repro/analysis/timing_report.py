@@ -1,0 +1,78 @@
+"""Slack reporting: where a design's timing margin lives.
+
+After Procedure 2, per-gate slack against the Procedure 1 budgets tells a
+designer which gates constrain the design (zero slack — sized at their
+budget edge) and where margin is parked. This module assembles the
+standard reports: per-gate slacks, the K worst endpoints by arrival
+slack, and a slack histogram for dashboards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.optimize.problem import OptimizationProblem, OptimizationResult
+from repro.timing.budgeting import BudgetResult
+
+
+@dataclass(frozen=True)
+class SlackReport:
+    """Per-gate and per-endpoint slack at one design point."""
+
+    network_name: str
+    cycle_time: float
+    #: Gate budget minus measured gate delay (s); >= 0 by construction.
+    gate_slacks: Mapping[str, float]
+    #: (output, cycle slack) pairs, worst first.
+    endpoint_slacks: Tuple[Tuple[str, float], ...]
+
+    @property
+    def worst_endpoint(self) -> Tuple[str, float]:
+        return self.endpoint_slacks[0]
+
+    @property
+    def critical_gates(self) -> Tuple[str, ...]:
+        """Gates sized against their budget edge (< 1 % slack)."""
+        return tuple(name for name, slack in sorted(self.gate_slacks.items())
+                     if slack < 0.01 * self.cycle_time / 10)
+
+    def histogram(self, bins: int = 8) -> Tuple[Tuple[float, int], ...]:
+        """(upper edge, count) pairs over the gate-slack range."""
+        if bins < 1:
+            raise ReproError(f"bins must be >= 1, got {bins}")
+        values = sorted(self.gate_slacks.values())
+        if not values:
+            raise ReproError("no gates to histogram")
+        top = max(values[-1], 1e-30)
+        width = top / bins
+        counts = [0] * bins
+        for value in values:
+            index = min(int(value / width), bins - 1)
+            counts[index] += 1
+        return tuple(((i + 1) * width, counts[i]) for i in range(bins))
+
+
+def slack_report(problem: OptimizationProblem, result: OptimizationResult,
+                 budgets: BudgetResult | None = None) -> SlackReport:
+    """Build the slack report for an optimization result."""
+    if budgets is None:
+        budgets = problem.budgets()
+    network = problem.network
+    gate_slacks: Dict[str, float] = {}
+    for name in network.logic_gates:
+        budget = budgets.budgets[name]
+        delay = result.timing.delay(name)
+        gate_slacks[name] = max(budget - delay, 0.0)
+
+    endpoint: List[Tuple[str, float]] = []
+    cycle = problem.cycle_time
+    for output in network.outputs:
+        arrival = result.timing.arrival(output)
+        endpoint.append((output, cycle - arrival))
+    endpoint.sort(key=lambda item: item[1])
+
+    return SlackReport(network_name=network.name, cycle_time=cycle,
+                       gate_slacks=gate_slacks,
+                       endpoint_slacks=tuple(endpoint))

@@ -1,0 +1,24 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+The paper's §4.1 adopts Najm's first-order transition densities and
+points at "more complex transition density computation algorithms [11]"
+(Stamoulis–Hajj: probabilistic simulation with signal correlation) for
+exactness. This subpackage is the substrate for that exact computation:
+a small, dependency-free ROBDD engine with
+
+* hash-consed nodes (a unique table per manager),
+* memoized ``apply`` for AND/OR/XOR and complement,
+* cofactor/restrict,
+* probability evaluation under independent variables, and
+* *paired* probability evaluation where adjacent variable pairs carry a
+  joint distribution — exactly what the two-timestep transition-density
+  computation of :mod:`repro.activity.exact` needs.
+
+Sizing note: the exact algorithms are exponential in the worst case; the
+callers cap the support size per cone and fall back to the first-order
+estimate beyond it, mirroring how [11]-style methods are deployed.
+"""
+
+from repro.bdd.core import BDD, BDDFunction
+
+__all__ = ["BDD", "BDDFunction"]

@@ -1,0 +1,373 @@
+"""A compact ROBDD manager.
+
+Nodes are integers: 0 and 1 are the terminals; every other node is a
+triple ``(level, low, high)`` interned in a unique table, so structural
+equality is pointer equality and the canonicity invariants (ordered,
+reduced) hold by construction. :class:`BDDFunction` wraps a node id with
+its manager for an ergonomic operator API.
+
+Only what the exact activity computation needs is implemented — apply
+(AND/OR/XOR), NOT, ITE, restrict, support, satisfying-fraction and the
+two probability evaluators — but each piece is general-purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Terminal node ids.
+FALSE = 0
+TRUE = 1
+
+
+class BDD:
+    """An ROBDD manager over a fixed variable order.
+
+    Variables are addressed by *level* (0 = top). Callers map their own
+    names onto levels (see :meth:`variable`).
+    """
+
+    def __init__(self, num_vars: int):
+        if num_vars < 0:
+            raise ReproError(f"num_vars must be >= 0, got {num_vars}")
+        self.num_vars = num_vars
+        # node id -> (level, low, high); ids 0/1 are terminals.
+        self._level: List[int] = [num_vars, num_vars]
+        self._low: List[int] = [FALSE, TRUE]
+        self._high: List[int] = [FALSE, TRUE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._restrict_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # --- node plumbing -----------------------------------------------------
+
+    def _make(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node = len(self._level)
+        self._level.append(level)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    def level_of(self, node: int) -> int:
+        return self._level[node]
+
+    def low_of(self, node: int) -> int:
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        return self._high[node]
+
+    @property
+    def node_count(self) -> int:
+        return len(self._level)
+
+    # --- constructors -----------------------------------------------------
+
+    def variable(self, level: int) -> "BDDFunction":
+        """The function of the single variable at ``level``."""
+        if not 0 <= level < self.num_vars:
+            raise ReproError(
+                f"variable level {level} outside [0, {self.num_vars})")
+        return BDDFunction(self, self._make(level, FALSE, TRUE))
+
+    @property
+    def true(self) -> "BDDFunction":
+        return BDDFunction(self, TRUE)
+
+    @property
+    def false(self) -> "BDDFunction":
+        return BDDFunction(self, FALSE)
+
+    # --- operations --------------------------------------------------------
+
+    def _apply(self, op: str, left: int, right: int) -> int:
+        if op == "and":
+            if left == FALSE or right == FALSE:
+                return FALSE
+            if left == TRUE:
+                return right
+            if right == TRUE:
+                return left
+            if left == right:
+                return left
+        elif op == "or":
+            if left == TRUE or right == TRUE:
+                return TRUE
+            if left == FALSE:
+                return right
+            if right == FALSE:
+                return left
+            if left == right:
+                return left
+        elif op == "xor":
+            if left == right:
+                return FALSE
+            if left == FALSE:
+                return right
+            if right == FALSE:
+                return left
+        else:  # pragma: no cover - internal
+            raise ReproError(f"unknown op {op!r}")
+
+        if left > right and op in ("and", "or", "xor"):
+            left, right = right, left  # commutative: canonical cache key
+        key = (op, left, right)
+        found = self._apply_cache.get(key)
+        if found is not None:
+            return found
+
+        level_left = self._level[left]
+        level_right = self._level[right]
+        level = min(level_left, level_right)
+        low_left, high_left = (self._low[left], self._high[left]) \
+            if level_left == level else (left, left)
+        low_right, high_right = (self._low[right], self._high[right]) \
+            if level_right == level else (right, right)
+        result = self._make(level,
+                            self._apply(op, low_left, low_right),
+                            self._apply(op, high_left, high_right))
+        self._apply_cache[key] = result
+        return result
+
+    def _not(self, node: int) -> int:
+        if node == FALSE:
+            return TRUE
+        if node == TRUE:
+            return FALSE
+        found = self._not_cache.get(node)
+        if found is not None:
+            return found
+        result = self._make(self._level[node],
+                            self._not(self._low[node]),
+                            self._not(self._high[node]))
+        self._not_cache[node] = result
+        return result
+
+    def _restrict(self, node: int, level: int, value: int) -> int:
+        node_level = self._level[node]
+        if node_level > level:
+            return node
+        key = (node, level, value)
+        found = self._restrict_cache.get(key)
+        if found is not None:
+            return found
+        if node_level == level:
+            result = self._high[node] if value else self._low[node]
+        else:
+            result = self._make(node_level,
+                                self._restrict(self._low[node], level, value),
+                                self._restrict(self._high[node], level,
+                                               value))
+        self._restrict_cache[key] = result
+        return result
+
+    # --- analysis ------------------------------------------------------------
+
+    def _support(self, node: int, accumulator: set) -> None:
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen or current <= TRUE:
+                continue
+            seen.add(current)
+            accumulator.add(self._level[current])
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+
+    def _probability(self, node: int, probs: Sequence[float],
+                     cache: Dict[int, float]) -> float:
+        if node == FALSE:
+            return 0.0
+        if node == TRUE:
+            return 1.0
+        found = cache.get(node)
+        if found is not None:
+            return found
+        level = self._level[node]
+        p = probs[level]
+        value = ((1.0 - p) * self._probability(self._low[node], probs, cache)
+                 + p * self._probability(self._high[node], probs, cache))
+        cache[node] = value
+        return value
+
+    def _paired_probability(self, node: int,
+                            joints: Sequence[Tuple[float, float, float,
+                                                   float]],
+                            marginals_now: Sequence[float],
+                            marginals_next: Sequence[float],
+                            cache: Dict[int, float]) -> float:
+        """Probability with variable pairs ``(2k, 2k+1)`` jointly distributed.
+
+        ``joints[k] = (p00, p01, p10, p11)`` is the joint distribution of
+        (var 2k, var 2k+1); ``marginals_*[k]`` are the marginals used when
+        only one of the pair appears in the function's support.
+        """
+        if node == FALSE:
+            return 0.0
+        if node == TRUE:
+            return 1.0
+        found = cache.get(node)
+        if found is not None:
+            return found
+        level = self._level[node]
+        pair = level // 2
+        if level % 2 == 0:
+            # Top variable is x_t of pair `pair`; expand both halves.
+            p00, p01, p10, p11 = joints[pair]
+            low = self._low[node]
+            high = self._high[node]
+            partner = level + 1
+            low0 = self._restrict(low, partner, 0)
+            low1 = self._restrict(low, partner, 1)
+            high0 = self._restrict(high, partner, 0)
+            high1 = self._restrict(high, partner, 1)
+            value = (
+                p00 * self._paired_probability(low0, joints, marginals_now,
+                                               marginals_next, cache)
+                + p01 * self._paired_probability(low1, joints, marginals_now,
+                                                 marginals_next, cache)
+                + p10 * self._paired_probability(high0, joints,
+                                                 marginals_now,
+                                                 marginals_next, cache)
+                + p11 * self._paired_probability(high1, joints,
+                                                 marginals_now,
+                                                 marginals_next, cache))
+        else:
+            # x_t of this pair is absent above: use the x_{t+1} marginal.
+            p = marginals_next[pair]
+            value = ((1.0 - p) * self._paired_probability(
+                self._low[node], joints, marginals_now, marginals_next,
+                cache)
+                + p * self._paired_probability(
+                    self._high[node], joints, marginals_now, marginals_next,
+                    cache))
+        cache[node] = value
+        return value
+
+
+class BDDFunction:
+    """A Boolean function: a node id bound to its manager."""
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: BDD, node: int):
+        self.manager = manager
+        self.node = node
+
+    def _coerce(self, other: "BDDFunction") -> int:
+        if other.manager is not self.manager:
+            raise ReproError("cannot combine functions from different "
+                             "BDD managers")
+        return other.node
+
+    def __and__(self, other: "BDDFunction") -> "BDDFunction":
+        return BDDFunction(self.manager,
+                           self.manager._apply("and", self.node,
+                                               self._coerce(other)))
+
+    def __or__(self, other: "BDDFunction") -> "BDDFunction":
+        return BDDFunction(self.manager,
+                           self.manager._apply("or", self.node,
+                                               self._coerce(other)))
+
+    def __xor__(self, other: "BDDFunction") -> "BDDFunction":
+        return BDDFunction(self.manager,
+                           self.manager._apply("xor", self.node,
+                                               self._coerce(other)))
+
+    def __invert__(self) -> "BDDFunction":
+        return BDDFunction(self.manager, self.manager._not(self.node))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, BDDFunction)
+                and other.manager is self.manager
+                and other.node == self.node)
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    @property
+    def is_true(self) -> bool:
+        return self.node == TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self.node == FALSE
+
+    def restrict(self, level: int, value: bool) -> "BDDFunction":
+        """Cofactor with the variable at ``level`` fixed to ``value``."""
+        return BDDFunction(self.manager,
+                           self.manager._restrict(self.node, level,
+                                                  1 if value else 0))
+
+    def support(self) -> Tuple[int, ...]:
+        """Levels of the variables the function actually depends on."""
+        accumulator: set = set()
+        self.manager._support(self.node, accumulator)
+        return tuple(sorted(accumulator))
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate under a level→value assignment."""
+        node = self.node
+        manager = self.manager
+        while node > TRUE:
+            level = manager.level_of(node)
+            try:
+                value = assignment[level]
+            except KeyError:
+                raise ReproError(
+                    f"assignment misses variable level {level}") from None
+            node = manager.high_of(node) if value else manager.low_of(node)
+        return node == TRUE
+
+    def probability(self, probs: Sequence[float]) -> float:
+        """``P(f = 1)`` under independent variables; ``probs[level]``."""
+        if len(probs) < self.manager.num_vars:
+            raise ReproError(
+                f"need {self.manager.num_vars} probabilities, got "
+                f"{len(probs)}")
+        for p in probs:
+            if not 0.0 <= p <= 1.0:
+                raise ReproError(f"probability {p} not in [0, 1]")
+        return self.manager._probability(self.node, probs, {})
+
+    def paired_probability(self,
+                           joints: Sequence[Tuple[float, float, float,
+                                                  float]],
+                           marginals_now: Sequence[float],
+                           marginals_next: Sequence[float]) -> float:
+        """``P(f = 1)`` with adjacent variable pairs jointly distributed.
+
+        The variable order must interleave pairs: levels ``2k`` and
+        ``2k+1`` belong to pair ``k``. ``joints[k]`` is
+        ``(p00, p01, p10, p11)`` over (var ``2k``, var ``2k+1``).
+        """
+        if self.manager.num_vars % 2 != 0:
+            raise ReproError("paired probability needs an even variable "
+                             "count (interleaved pairs)")
+        pairs = self.manager.num_vars // 2
+        if len(joints) < pairs:
+            raise ReproError(f"need {pairs} joint distributions, got "
+                             f"{len(joints)}")
+        for joint in joints:
+            total = sum(joint)
+            if not 0.999999 < total < 1.000001:
+                raise ReproError(f"joint distribution {joint} does not "
+                                 "sum to 1")
+        return self.manager._paired_probability(
+            self.node, joints, marginals_now, marginals_next, {})
+
+    def satisfying_fraction(self) -> float:
+        """Fraction of assignments satisfying f (uniform variables)."""
+        return self.probability([0.5] * self.manager.num_vars)

@@ -1,0 +1,274 @@
+"""Command-line interface.
+
+::
+
+    python -m repro optimize s298 --frequency 300 --activity 0.1
+    python -m repro optimize my_design.bench --baseline
+    python -m repro info s344
+    python -m repro activity s27 --compare
+    python -m repro decks
+    python -m repro experiments table2 fig2a
+
+``optimize`` accepts a built-in benchmark name or a path to an ISCAS
+``.bench`` file (flip-flops are cut automatically; pass
+``--register-margin`` to charge their clock-to-Q + setup against the
+cycle). Results print as an aligned table; ``--json`` emits a
+machine-readable summary instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.activity.profiles import uniform_profile
+from repro.activity.simulation import simulate_activity
+from repro.activity.transition_density import estimate_activity
+from repro.analysis.report import format_energy, format_table
+from repro.errors import ReproError
+from repro.netlist.bench import parse_bench_file
+from repro.netlist.benchmarks import benchmark_circuit, benchmark_names
+from repro.netlist.sequential import (
+    RegisterTiming,
+    parse_sequential_bench_file,
+)
+from repro.netlist.stats import network_stats
+from repro.netlist.validate import lint
+from repro.optimize.baseline import optimize_fixed_vth
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import OptimizationProblem
+from repro.technology.library import deck, deck_names, load_technology
+from repro.technology.process import Technology
+from repro.units import MHZ, NS, PS
+
+
+def _resolve_network(spec: str):
+    """A benchmark name or a ``.bench`` path → LogicNetwork."""
+    path = Path(spec)
+    if path.suffix == ".bench" or path.exists():
+        return parse_bench_file(path)
+    return benchmark_circuit(spec)
+
+
+def _resolve_technology(args: argparse.Namespace) -> Technology:
+    if getattr(args, "deck_file", None):
+        return load_technology(args.deck_file)
+    return deck(args.deck)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--deck", default="generic-0.25um",
+                        help="built-in technology deck name")
+    parser.add_argument("--deck-file", default=None,
+                        help="JSON technology deck file (overrides --deck)")
+    parser.add_argument("--frequency", type=float, default=300.0,
+                        help="clock frequency in MHz (default 300)")
+    parser.add_argument("--activity", type=float, default=0.1,
+                        help="uniform input transition density (default 0.1)")
+    parser.add_argument("--probability", type=float, default=0.5,
+                        help="uniform input signal probability (default 0.5)")
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    tech = _resolve_technology(args)
+    spec_path = Path(args.circuit)
+    if args.register_margin and (spec_path.suffix == ".bench"
+                                 or spec_path.exists()):
+        circuit = parse_sequential_bench_file(spec_path)
+        from repro.netlist.sequential import sequential_problem
+
+        profile = uniform_profile(circuit.core,
+                                  probability=args.probability,
+                                  density=args.activity)
+        timing = RegisterTiming(clock_to_q=args.register_margin * PS / 2,
+                                setup=args.register_margin * PS / 2)
+        problem = sequential_problem(tech, circuit, profile,
+                                     frequency=args.frequency * MHZ,
+                                     timing=timing, n_vth=args.n_vth)
+        network = circuit.core
+    else:
+        network = _resolve_network(args.circuit)
+        profile = uniform_profile(network, probability=args.probability,
+                                  density=args.activity)
+        problem = OptimizationProblem.build(
+            tech, network, profile, frequency=args.frequency * MHZ,
+            n_vth=args.n_vth, activity_method=args.activity_method)
+
+    settings = HeuristicSettings(strategy=args.strategy)
+    if problem.n_vth > 1:
+        from repro.optimize.multivth import optimize_multi_vth
+
+        result = optimize_multi_vth(problem)
+    else:
+        result = optimize_joint(problem, settings=settings)
+
+    rows = [["joint",
+             "/".join(f"{v:.2f}" for v in result.design.distinct_vdds()),
+             "/".join(f"{v * 1000:.0f}"
+                      for v in result.design.distinct_vths()),
+             format_energy(result.energy.static),
+             format_energy(result.energy.dynamic),
+             format_energy(result.total_energy),
+             f"{result.timing.critical_delay / NS:.3f}"]]
+    payload = {"joint": result.summary()}
+    if args.baseline:
+        baseline = optimize_fixed_vth(problem)
+        rows.insert(0, ["baseline (Vth=700mV)",
+                        f"{baseline.design.vdd:.2f}", "700",
+                        format_energy(baseline.energy.static),
+                        format_energy(baseline.energy.dynamic),
+                        format_energy(baseline.total_energy),
+                        f"{baseline.timing.critical_delay / NS:.3f}"])
+        payload["baseline"] = baseline.summary()
+        payload["savings"] = baseline.total_energy / result.total_energy
+
+    if args.save_design:
+        from repro.optimize.persist import save_design
+
+        saved_path = save_design(result, args.save_design)
+        payload["design_file"] = str(saved_path)
+
+    if args.json:
+        print(json.dumps(payload, default=str, indent=2))
+    else:
+        print(format_table(
+            headers=["design", "Vdd (V)", "Vth (mV)", "static",
+                     "dynamic", "total", "delay (ns)"],
+            rows=rows,
+            title=f"{network.name} @ {args.frequency:.0f} MHz, "
+                  f"a = {args.activity}"))
+        if args.baseline:
+            print(f"\nsavings: {payload['savings']:.1f}x")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    network = _resolve_network(args.circuit)
+    stats = network_stats(network)
+    for key, value in stats.as_dict().items():
+        print(f"{key:12s} {value}")
+    print(f"{'gate mix':12s} "
+          + ", ".join(f"{kind}:{count}"
+                      for kind, count in stats.gate_type_counts))
+    issues = lint(network)
+    if issues:
+        print(f"lint: {len(issues)} issue(s)")
+        for issue in issues[:10]:
+            print(f"  {issue}")
+    else:
+        print("lint: clean")
+    return 0
+
+
+def _cmd_activity(args: argparse.Namespace) -> int:
+    network = _resolve_network(args.circuit)
+    profile = uniform_profile(network, probability=args.probability,
+                              density=args.activity)
+    estimate = estimate_activity(network, profile)
+    columns = ["node", "Najm D"]
+    exact = None
+    measured = None
+    if args.compare:
+        from repro.activity.exact import estimate_activity_exact
+
+        exact = estimate_activity_exact(network, profile)
+        measured = simulate_activity(network, profile, cycles=args.cycles,
+                                     seed=0)
+        columns += ["exact D", "MC D"]
+    rows = []
+    for name in network.outputs:
+        row = [name, f"{estimate.density(name):.4f}"]
+        if exact is not None and measured is not None:
+            row += [f"{exact.density(name):.4f}",
+                    f"{measured.density(name):.4f}"]
+        rows.append(row)
+    print(format_table(headers=columns, rows=rows,
+                       title=f"Output activities of {network.name}"))
+    return 0
+
+
+def _cmd_decks(args: argparse.Namespace) -> int:
+    for name in deck_names():
+        tech = deck(name)
+        print(f"{name:18s} F={tech.feature_size * 1e6:.2f} um  "
+              f"Idsat={tech.idsat_reference * 1e6:.0f} uA/sq  "
+              f"S={tech.subthreshold_slope * 1000:.0f} mV/dec")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    return runner.main(args.names or ["all"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Device-circuit optimization for minimal CMOS energy "
+                    "(Pant/De/Chatterjee, DAC 1997).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    optimize = subparsers.add_parser(
+        "optimize", help="jointly optimize a circuit")
+    optimize.add_argument("circuit",
+                          help="benchmark name or .bench file path")
+    _add_common(optimize)
+    optimize.add_argument("--baseline", action="store_true",
+                          help="also run the fixed-Vth=700mV baseline")
+    optimize.add_argument("--strategy", choices=("grid", "paper"),
+                          default="grid")
+    optimize.add_argument("--n-vth", type=int, default=1,
+                          help="number of distinct threshold voltages")
+    optimize.add_argument("--activity-method", choices=("najm", "exact"),
+                          default="najm")
+    optimize.add_argument("--register-margin", type=float, default=0.0,
+                          help="total register margin in ps "
+                               "(.bench inputs only)")
+    optimize.add_argument("--json", action="store_true",
+                          help="emit a JSON summary")
+    optimize.add_argument("--save-design", default=None, metavar="PATH",
+                          help="write the optimized design point to a "
+                               "JSON file")
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    info = subparsers.add_parser("info", help="show circuit statistics")
+    info.add_argument("circuit")
+    info.set_defaults(handler=_cmd_info)
+
+    activity = subparsers.add_parser(
+        "activity", help="estimate switching activities")
+    activity.add_argument("circuit")
+    _add_common(activity)
+    activity.add_argument("--compare", action="store_true",
+                          help="also run exact + Monte-Carlo estimates")
+    activity.add_argument("--cycles", type=int, default=20000)
+    activity.set_defaults(handler=_cmd_activity)
+
+    decks = subparsers.add_parser("decks",
+                                  help="list built-in technology decks")
+    decks.set_defaults(handler=_cmd_decks)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables/figures")
+    experiments.add_argument("names", nargs="*", default=[])
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Physical constants used by the device models."""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge (C).
+ELECTRON_CHARGE = 1.602176634e-19
+
+#: Default junction temperature for all models (K). The paper's models are
+#: evaluated at a single operating temperature; 300 K keeps kT/q at the
+#: textbook 25.85 mV.
+ROOM_TEMPERATURE = 300.0
+
+
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Thermal voltage ``kT/q`` in volts at ``temperature`` kelvin.
+
+    >>> round(thermal_voltage(300.0), 5)
+    0.02585
+    """
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return BOLTZMANN * temperature / ELECTRON_CHARGE
+
+
+def subthreshold_slope_to_ideality(slope: float,
+                                   temperature: float = ROOM_TEMPERATURE) -> float:
+    """Convert a subthreshold slope ``S`` (V/decade) to the ideality factor n.
+
+    ``S = n * vT * ln(10)`` so ``n = S / (vT * ln 10)``.
+    """
+    if slope <= 0.0:
+        raise ValueError(f"subthreshold slope must be positive, got {slope}")
+    return slope / (thermal_voltage(temperature) * math.log(10.0))
+
+
+def ideality_to_subthreshold_slope(ideality: float,
+                                   temperature: float = ROOM_TEMPERATURE) -> float:
+    """Inverse of :func:`subthreshold_slope_to_ideality`."""
+    if ideality < 1.0:
+        raise ValueError(f"ideality factor must be >= 1, got {ideality}")
+    return ideality * thermal_voltage(temperature) * math.log(10.0)

@@ -1,0 +1,171 @@
+"""Shared per-circuit evaluation context.
+
+The delay model (Appendix A.2), the energy model (Appendix A.1) and every
+optimizer all evaluate the same gate-level quantities — fanin counts,
+per-unit-width capacitances, interconnect branches, activities. The
+:class:`CircuitContext` precomputes them once per (technology, network,
+activity profile, wire model) so that the inner loops of Procedure 2,
+which evaluate the circuit ``O(M^3)`` times, touch only flat tuples.
+
+Branch data for a gate's output net is aligned with
+``network.fanouts(name)``; sink-less primary outputs carry one *boundary*
+branch whose receiver is modelled as a unit-width 2-input gate at the
+module port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.activity.profiles import InputProfile
+from repro.activity.transition_density import ActivityEstimate, estimate_activity
+from repro.errors import ReproError
+from repro.interconnect.parasitics import (
+    NetParasitics,
+    WireModel,
+    network_parasitics,
+)
+from repro.interconnect.rent import RentParameters
+from repro.netlist.network import LogicNetwork
+from repro.technology.capacitance import gate_capacitances
+from repro.technology.process import Technology
+
+
+@dataclass(frozen=True)
+class GateInfo:
+    """Precomputed per-gate constants (everything width-independent)."""
+
+    name: str
+    fanin_count: int
+    #: The paper's f_oi (boundary load counts as one fanout).
+    fanout_count: int
+    #: Output-node parasitic capacitance per unit of this gate's width (F):
+    #: C_PD + (fanin - 1) * C_mi, beta-scaled.
+    self_cap: float
+    #: Input capacitance this gate presents per unit of its width (F).
+    input_cap: float
+    #: Activity factor a_i (transitions/cycle) of the output node.
+    activity: float
+    #: Names of driven gates ('' marks the boundary branch of a PO).
+    fanout_names: Tuple[str, ...]
+    #: Input capacitance per unit width of each fanout gate (F).
+    fanout_input_caps: Tuple[float, ...]
+    #: Interconnect branch capacitances C_INTij (F).
+    branch_caps: Tuple[float, ...]
+    #: Interconnect branch resistances R_INTij (ohm).
+    branch_resistances: Tuple[float, ...]
+    #: Branch time-of-flight delays (s).
+    branch_flights: Tuple[float, ...]
+    #: Fanin gate names (empty for primary inputs).
+    fanin_names: Tuple[str, ...]
+
+    @property
+    def wire_cap(self) -> float:
+        return sum(self.branch_caps)
+
+
+class CircuitContext:
+    """Precomputed evaluation state for one (network, tech, profile) triple."""
+
+    #: Width assumed for the receiver of a boundary (primary output) branch.
+    BOUNDARY_WIDTH = 1.0
+
+    def __init__(self, tech: Technology, network: LogicNetwork,
+                 profile: InputProfile,
+                 rent: RentParameters | None = None,
+                 wire_model: WireModel = WireModel.STOCHASTIC_MEAN,
+                 wire_seed: int = 0,
+                 activity: ActivityEstimate | None = None,
+                 parasitics: Mapping[str, NetParasitics] | None = None):
+        self.tech = tech
+        self.network = network
+        self.profile = profile
+        self.activity = activity or estimate_activity(network, profile)
+        if parasitics is None:
+            parasitics = network_parasitics(tech, network, rent=rent,
+                                            model=wire_model, seed=wire_seed)
+        self.parasitics = dict(parasitics)
+        self._info: Dict[str, GateInfo] = {}
+        self._build()
+        #: Logic gates in topological order (inputs excluded).
+        self.gates: Tuple[str, ...] = network.logic_gates
+        #: Logic gates in reverse topological order (outputs first).
+        self.gates_reversed: Tuple[str, ...] = tuple(reversed(self.gates))
+
+    def _build(self) -> None:
+        network = self.network
+        tech = self.tech
+        boundary_input_cap = gate_capacitances(tech, 2).input_cap
+        for name in network.topological_order():
+            gate = network.gate(name)
+            fanouts = network.fanouts(name)
+            parasitic = self.parasitics.get(name)
+            if parasitic is None:
+                raise ReproError(f"no parasitics supplied for net {name!r}")
+            fanout_names: Tuple[str, ...]
+            fanout_caps: Tuple[float, ...]
+            if fanouts:
+                fanout_names = fanouts
+                fanout_caps = tuple(
+                    gate_capacitances(
+                        tech, network.gate(sink).fanin_count).input_cap
+                    for sink in fanouts)
+            else:
+                # Sink-less primary output: one boundary branch.
+                fanout_names = ("",)
+                fanout_caps = (boundary_input_cap,)
+            if len(parasitic.branch_caps) != len(fanout_names):
+                raise ReproError(
+                    f"net {name!r}: {len(parasitic.branch_caps)} parasitic "
+                    f"branches for {len(fanout_names)} fanouts")
+            fanin_count = max(gate.fanin_count, 1)
+            caps = gate_capacitances(tech, fanin_count)
+            self._info[name] = GateInfo(
+                name=name,
+                fanin_count=fanin_count,
+                fanout_count=network.fanout_count(name),
+                self_cap=caps.self_cap,
+                input_cap=caps.input_cap,
+                activity=self.activity.density(name),
+                fanout_names=fanout_names,
+                fanout_input_caps=fanout_caps,
+                branch_caps=parasitic.branch_caps,
+                branch_resistances=parasitic.branch_resistances,
+                branch_flights=parasitic.branch_flight_times,
+                fanin_names=gate.fanins,
+            )
+
+    def info(self, name: str) -> GateInfo:
+        try:
+            return self._info[name]
+        except KeyError:
+            raise ReproError(
+                f"no gate {name!r} in context for {self.network.name!r}"
+            ) from None
+
+    def output_load(self, name: str, widths: Mapping[str, float]) -> float:
+        """Total switched capacitance at the output of ``name`` (F).
+
+        ``widths`` maps logic-gate names to width multipliers; boundary
+        branches use :attr:`BOUNDARY_WIDTH`, primary-input *drivers* are
+        not needed (inputs have no output load of their own in the energy
+        sums, but their nets do drive gates — callers pass input names
+        too when they need input-net loads, with width 1).
+        """
+        info = self.info(name)
+        load = widths.get(name, 1.0) * info.self_cap + info.wire_cap
+        for sink, cap_per_width in zip(info.fanout_names,
+                                       info.fanout_input_caps):
+            sink_width = self.BOUNDARY_WIDTH if sink == "" \
+                else widths.get(sink, 1.0)
+            load += sink_width * cap_per_width
+        return load
+
+    def uniform_widths(self, width: float = 1.0) -> Dict[str, float]:
+        """A width map assigning ``width`` to every logic gate."""
+        if width < self.tech.width_min or width > self.tech.width_max:
+            raise ReproError(
+                f"width {width} outside technology range "
+                f"[{self.tech.width_min}, {self.tech.width_max}]")
+        return {name: width for name in self.gates}

@@ -1,0 +1,51 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all :mod:`repro` errors."""
+
+
+class NetlistError(ReproError):
+    """A logic network is malformed (cycle, dangling net, bad gate...)."""
+
+
+class BenchParseError(NetlistError):
+    """An ISCAS ``.bench`` file could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class TechnologyError(ReproError):
+    """A technology description is inconsistent or out of model range."""
+
+
+class TimingError(ReproError):
+    """Timing analysis failed (e.g. no budget assignment possible)."""
+
+
+class InfeasibleError(ReproError):
+    """No design point satisfies the delay constraint.
+
+    Raised when even the fastest corner of the search space (maximum
+    ``Vdd``, maximum width, best ``Vth``) cannot meet the requested cycle
+    time for the given network.
+    """
+
+
+class OptimizationError(ReproError):
+    """The optimizer failed for a reason other than infeasibility."""
+
+
+class ActivityError(ReproError):
+    """Activity/transition-density estimation was given invalid inputs."""

@@ -1,0 +1,42 @@
+"""Experiment drivers regenerating each of the paper's tables and figures.
+
+Every module exposes a ``run_*`` function returning structured rows and a
+``format_*`` function rendering the same text table the bench targets
+print. ``runner.main()`` drives the full set from the command line::
+
+    python -m repro.experiments.runner [table1|table2|fig2a|fig2b|anneal|all]
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.experiments.common import ExperimentConfig, build_problem
+from repro.experiments.table1 import Table1Row, format_table1, run_table1
+from repro.experiments.table2 import Table2Row, format_table2, run_table2
+from repro.experiments.figure2a import Figure2aPoint, format_figure2a, run_figure2a
+from repro.experiments.figure2b import Figure2bPoint, format_figure2b, run_figure2b
+from repro.experiments.annealing_compare import (
+    AnnealingComparisonRow,
+    format_annealing_comparison,
+    run_annealing_comparison,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "build_problem",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "Table2Row",
+    "run_table2",
+    "format_table2",
+    "Figure2aPoint",
+    "run_figure2a",
+    "format_figure2a",
+    "Figure2bPoint",
+    "run_figure2b",
+    "format_figure2b",
+    "AnnealingComparisonRow",
+    "run_annealing_comparison",
+    "format_annealing_comparison",
+]

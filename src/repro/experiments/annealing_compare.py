@@ -1,0 +1,113 @@
+"""§5 comparison: the Procedure 1+2 heuristic vs simulated annealing.
+
+"We ran a simulated annealing based algorithm on the benchmark circuits.
+Though we expect simulated annealing to return a near-optimal solution,
+in most cases, we find that it does not perform as well as the proposed
+heuristic. This is because the size of the optimization problem is too
+large for annealing to converge in a practical amount of time."
+
+Each row pits the two optimizers on the same problem at a comparable (or
+far larger, for annealing) evaluation budget; expected shape: the
+heuristic's energy is lower on every circuit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.report import format_energy, format_table
+from repro.errors import InfeasibleError
+from repro.experiments.common import ExperimentConfig, build_problem
+from repro.optimize.annealing import AnnealingSettings, optimize_annealing
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+
+
+@dataclass(frozen=True)
+class AnnealingComparisonRow:
+    """One circuit's heuristic-vs-annealing result."""
+
+    circuit: str
+    activity: float
+    heuristic_energy: float
+    heuristic_seconds: float
+    heuristic_evaluations: int
+    annealing_energy: float | None
+    annealing_seconds: float
+    annealing_evaluations: int
+
+    @property
+    def annealing_excess(self) -> float | None:
+        """annealing / heuristic energy (None if annealing failed)."""
+        if self.annealing_energy is None:
+            return None
+        return self.annealing_energy / self.heuristic_energy
+
+
+def run_annealing_comparison(circuits: Tuple[str, ...] = ("s298", "s386"),
+                             activity: float = 0.1,
+                             config: ExperimentConfig | None = None,
+                             heuristic_settings: HeuristicSettings | None = None,
+                             annealing_settings: AnnealingSettings | None = None
+                             ) -> Tuple[AnnealingComparisonRow, ...]:
+    """Run both optimizers on each circuit and collect the comparison."""
+    config = config or ExperimentConfig()
+    annealing_settings = annealing_settings or AnnealingSettings()
+    rows: List[AnnealingComparisonRow] = []
+    for circuit in circuits:
+        problem = build_problem(circuit, activity,
+                                frequency=config.frequency,
+                                probability=config.probability)
+        start = time.perf_counter()
+        heuristic = optimize_joint(problem, settings=heuristic_settings)
+        heuristic_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        try:
+            annealed = optimize_annealing(problem,
+                                          settings=annealing_settings)
+            annealing_energy: float | None = annealed.total_energy
+            annealing_evaluations = annealed.evaluations
+        except InfeasibleError:
+            annealing_energy = None
+            annealing_evaluations = (annealing_settings.passes
+                                     * annealing_settings.iterations_per_pass)
+        annealing_seconds = time.perf_counter() - start
+
+        rows.append(AnnealingComparisonRow(
+            circuit=circuit, activity=activity,
+            heuristic_energy=heuristic.total_energy,
+            heuristic_seconds=heuristic_seconds,
+            heuristic_evaluations=heuristic.evaluations,
+            annealing_energy=annealing_energy,
+            annealing_seconds=annealing_seconds,
+            annealing_evaluations=annealing_evaluations))
+    return tuple(rows)
+
+
+def format_annealing_comparison(rows: Tuple[AnnealingComparisonRow, ...]) -> str:
+    """Render the comparison as aligned text."""
+    def excess_cell(row: AnnealingComparisonRow) -> str:
+        excess = row.annealing_excess
+        return "no feasible state" if excess is None else f"{excess:.2f}x"
+
+    return format_table(
+        headers=["Circuit", "Heuristic E", "Heur. s", "Annealing E",
+                 "Anneal s", "Anneal/Heur"],
+        rows=[[row.circuit, format_energy(row.heuristic_energy),
+               f"{row.heuristic_seconds:.2f}",
+               "-" if row.annealing_energy is None
+               else format_energy(row.annealing_energy),
+               f"{row.annealing_seconds:.2f}",
+               excess_cell(row)]
+              for row in rows],
+        title="§5 — heuristic vs multiple-pass simulated annealing")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_annealing_comparison(run_annealing_comparison()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,76 @@
+"""Figure 2(a): power savings vs worst-case threshold-voltage tolerance.
+
+"We performed experiments to determine the impact of the threshold
+voltage variation due to process fluctuations on the amount of power
+savings possible. ... The worst case power under the stipulated Vts
+variation is used to compute the power savings over the benchmark of
+Table 1 for different Vts tolerance values. This data is shown in
+Figure 2(a) for the circuit s298."
+
+Expected shape: savings decay monotonically as the tolerance grows — the
+optimizer must size against slow devices while paying for leaky ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.sweeps import sweep_vth_tolerance
+from repro.experiments.common import ExperimentConfig, build_problem
+from repro.optimize.heuristic import HeuristicSettings
+
+#: The paper sweeps the tolerance on s298; we sample 0–30 %.
+DEFAULT_TOLERANCES: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20,
+                                         0.25, 0.30)
+DEFAULT_CIRCUIT = "s298"
+DEFAULT_ACTIVITY = 0.1
+
+
+@dataclass(frozen=True)
+class Figure2aPoint:
+    """One sample of the Figure 2(a) curve."""
+
+    tolerance: float
+    savings: float
+    vdd: float
+    vth_nominal: float
+
+
+def run_figure2a(circuit: str = DEFAULT_CIRCUIT,
+                 activity: float = DEFAULT_ACTIVITY,
+                 tolerances: Sequence[float] = DEFAULT_TOLERANCES,
+                 config: ExperimentConfig | None = None,
+                 settings: HeuristicSettings | None = None
+                 ) -> Tuple[Figure2aPoint, ...]:
+    """Regenerate the Figure 2(a) series."""
+    config = config or ExperimentConfig()
+    problem = build_problem(circuit, activity, frequency=config.frequency,
+                            probability=config.probability)
+    sweep = sweep_vth_tolerance(problem, tolerances, settings=settings)
+    return tuple(Figure2aPoint(tolerance=point.tolerance,
+                               savings=point.savings,
+                               vdd=point.vdd,
+                               vth_nominal=point.vth_nominal)
+                 for point in sweep)
+
+
+def format_figure2a(points: Tuple[Figure2aPoint, ...],
+                    circuit: str = DEFAULT_CIRCUIT) -> str:
+    """Render the Figure 2(a) series as aligned text."""
+    return format_table(
+        headers=["Vth tolerance (%)", "Power savings", "Vdd (V)",
+                 "nominal Vth (V)"],
+        rows=[[f"{point.tolerance * 100:.0f}", f"{point.savings:.2f}x",
+               f"{point.vdd:.2f}", f"{point.vth_nominal:.3f}"]
+              for point in points],
+        title=f"Figure 2(a) — savings vs worst-case Vth variation ({circuit})")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_figure2a(run_figure2a()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

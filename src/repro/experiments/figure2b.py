@@ -1,0 +1,79 @@
+"""Figure 2(b): power savings vs cycle-time slack.
+
+"We also explored the role of the available cycle time on the power
+savings obtained for different circuits. Figure 2(b) shows the data
+obtained for s298."
+
+Expected shape: savings grow with slack — "the larger the allowed delay
+of a single CMOS gate, the lower is the optimum power consumption of the
+gate" (§4), so a relaxed clock lets the joint optimizer push ``Vdd``
+further down while the (clock-pinned) baseline stands still — and then
+saturate: with a longer cycle the static energy integrates leakage for
+longer, capping the per-cycle gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.sweeps import sweep_cycle_slack
+from repro.experiments.common import ExperimentConfig, build_problem
+from repro.optimize.heuristic import HeuristicSettings
+from repro.units import NS
+
+DEFAULT_SLACKS: Tuple[float, ...] = (1.0, 1.25, 1.5, 2.0, 2.5, 3.0)
+DEFAULT_CIRCUIT = "s298"
+DEFAULT_ACTIVITY = 0.1
+
+
+@dataclass(frozen=True)
+class Figure2bPoint:
+    """One sample of the Figure 2(b) curve."""
+
+    slack_factor: float
+    cycle_time: float
+    savings: float
+    vdd: float
+    vth: float
+
+
+def run_figure2b(circuit: str = DEFAULT_CIRCUIT,
+                 activity: float = DEFAULT_ACTIVITY,
+                 slack_factors: Sequence[float] = DEFAULT_SLACKS,
+                 config: ExperimentConfig | None = None,
+                 settings: HeuristicSettings | None = None
+                 ) -> Tuple[Figure2bPoint, ...]:
+    """Regenerate the Figure 2(b) series."""
+    config = config or ExperimentConfig()
+    problem = build_problem(circuit, activity, frequency=config.frequency,
+                            probability=config.probability)
+    sweep = sweep_cycle_slack(problem, slack_factors, settings=settings)
+    return tuple(Figure2bPoint(slack_factor=point.slack_factor,
+                               cycle_time=point.cycle_time,
+                               savings=point.savings,
+                               vdd=point.vdd,
+                               vth=point.vth)
+                 for point in sweep)
+
+
+def format_figure2b(points: Tuple[Figure2bPoint, ...],
+                    circuit: str = DEFAULT_CIRCUIT) -> str:
+    """Render the Figure 2(b) series as aligned text."""
+    return format_table(
+        headers=["Slack factor", "Cycle (ns)", "Power savings", "Vdd (V)",
+                 "Vth (V)"],
+        rows=[[f"{point.slack_factor:.2f}", f"{point.cycle_time / NS:.2f}",
+               f"{point.savings:.2f}x", f"{point.vdd:.2f}",
+               f"{point.vth:.3f}"]
+              for point in points],
+        title=f"Figure 2(b) — savings vs cycle-time slack ({circuit})")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_figure2b(run_figure2b()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

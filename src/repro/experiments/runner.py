@@ -1,0 +1,60 @@
+"""Command-line driver for the full experiment suite.
+
+Usage::
+
+    python -m repro.experiments.runner              # everything
+    python -m repro.experiments.runner table1 fig2a # a subset
+
+Prints the regenerated tables/figures to stdout, in the paper's order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Sequence
+
+from repro.experiments.annealing_compare import (
+    format_annealing_comparison,
+    run_annealing_comparison,
+)
+from repro.experiments.figure2a import format_figure2a, run_figure2a
+from repro.experiments.figure2b import format_figure2b, run_figure2b
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.table2 import run_table2, format_table2
+
+_EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": lambda: format_table1(run_table1()),
+    "table2": lambda: format_table2(run_table2()),
+    "fig2a": lambda: format_figure2a(run_figure2a()),
+    "fig2b": lambda: format_figure2b(run_figure2b()),
+    "anneal": lambda: format_annealing_comparison(run_annealing_comparison()),
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the selected experiments (all by default)."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[*_EXPERIMENTS, "all"],
+                        default=["all"],
+                        help="which experiments to run (default: all)")
+    arguments = parser.parse_args(argv)
+    selected = list(arguments.experiments)
+    if not selected or "all" in selected:
+        selected = list(_EXPERIMENTS)
+
+    for name in selected:
+        start = time.perf_counter()
+        output = _EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f} s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Table 2: joint (Vdd, Vth, width) optimization results and savings.
+
+"Table 2 shows the static and dynamic energy components yielded by our
+algorithm for all the benchmark logic networks of Table 1. It is seen
+that the total energy dissipation of the circuits reduces by factors
+larger than 10 ... the static and the dynamic power components are
+approximately equal ... the savings increase with specified input
+activity levels. ... The values for the threshold voltage returned by the
+heuristic were in the range of 100–300 mV while the supply voltages
+ranged between 600 mV and 1.2 V."
+
+Each row pairs the joint optimum with its Table 1 baseline and reports
+the savings factor — the paper's headline result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.report import format_energy, format_table
+from repro.experiments.common import ExperimentConfig, build_problem
+from repro.experiments.table1 import Table1Row, run_table1
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.units import NS
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One (circuit, activity) joint-optimization row."""
+
+    circuit: str
+    activity: float
+    static_energy: float
+    dynamic_energy: float
+    critical_delay: float
+    vdd: float
+    vth: float
+    baseline_total: float
+
+    @property
+    def total_energy(self) -> float:
+        return self.static_energy + self.dynamic_energy
+
+    @property
+    def savings(self) -> float:
+        """Baseline / optimized total energy (the paper's last column)."""
+        return self.baseline_total / self.total_energy
+
+    @property
+    def static_to_dynamic(self) -> float:
+        return self.static_energy / self.dynamic_energy
+
+
+def run_table2(config: ExperimentConfig | None = None,
+               settings: HeuristicSettings | None = None,
+               baseline_rows: Tuple[Table1Row, ...] | None = None
+               ) -> Tuple[Table2Row, ...]:
+    """Regenerate Table 2 (and its Table 1 baselines if not supplied)."""
+    config = config or ExperimentConfig()
+    if baseline_rows is None:
+        baseline_rows = run_table1(config)
+    baseline_lookup = {(row.circuit, row.activity): row.total_energy
+                       for row in baseline_rows}
+    rows: List[Table2Row] = []
+    for circuit in config.circuits:
+        for activity in config.activities:
+            problem = build_problem(circuit, activity,
+                                    frequency=config.frequency,
+                                    probability=config.probability)
+            result = optimize_joint(problem, settings=settings)
+            rows.append(Table2Row(
+                circuit=circuit,
+                activity=activity,
+                static_energy=result.energy.static,
+                dynamic_energy=result.energy.dynamic,
+                critical_delay=result.timing.critical_delay,
+                vdd=result.design.vdd,
+                vth=float(result.design.distinct_vths()[0]),
+                baseline_total=baseline_lookup[(circuit, activity)]))
+    return tuple(rows)
+
+
+def format_table2(rows: Tuple[Table2Row, ...]) -> str:
+    """Render the Table 2 rows as aligned text."""
+    return format_table(
+        headers=["Circuit", "Activity", "Static E", "Dynamic E", "Total E",
+                 "Delay (ns)", "Vdd (V)", "Vth (V)", "Savings"],
+        rows=[[row.circuit, f"{row.activity:.2f}",
+               format_energy(row.static_energy),
+               format_energy(row.dynamic_energy),
+               format_energy(row.total_energy),
+               f"{row.critical_delay / NS:.3f}",
+               f"{row.vdd:.2f}", f"{row.vth:.3f}",
+               f"{row.savings:.1f}x"]
+              for row in rows],
+        title="Table 2 — joint Vdd/Vth/width optimization (Procedure 1 + 2, "
+              "300 MHz)")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_table2(run_table2()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,34 @@
+"""Vectorized (NumPy) evaluation engine.
+
+Procedure 2 evaluates the circuit hundreds of times; the scalar
+reference implementation walks Python dicts gate by gate. This subpackage
+provides a drop-in vectorized engine:
+
+* :class:`~repro.fastpath.arrays.ArrayContext` — flat NumPy mirrors of a
+  :class:`~repro.context.CircuitContext` (CSR fanin/fanout structure,
+  per-gate capacitance coefficients, level partition for topological
+  vectorization),
+* :mod:`~repro.fastpath.evaluate` — vectorized minimum-width sizing,
+  STA and energy evaluation.
+
+The engine is *bit-compatible by construction* with the scalar path (the
+same formulas over the same numbers, just batched); the test suite
+asserts agreement to float tolerance on every benchmark circuit and on
+random design points. The heuristic uses it via
+``HeuristicSettings(engine="fast")`` with automatic fallback to the
+scalar path wherever budget repair is needed.
+"""
+
+from repro.fastpath.arrays import ArrayContext
+from repro.fastpath.evaluate import (
+    fast_size_widths,
+    fast_sta,
+    fast_total_energy,
+)
+
+__all__ = [
+    "ArrayContext",
+    "fast_size_widths",
+    "fast_sta",
+    "fast_total_energy",
+]

@@ -1,0 +1,189 @@
+"""Flat NumPy mirrors of a :class:`~repro.context.CircuitContext`.
+
+Gates are indexed ``0..N-1`` in *reverse topological order* (the width
+search's processing order), so per-level slices are contiguous both for
+the reverse sweep (sizing) and, reversed, for the forward sweep (STA).
+Fanin and fanout adjacency is CSR: ``ptr[i]:ptr[i+1]`` delimits gate
+``i``'s entries, enabling ``np.maximum.reduceat`` / ``np.add.reduceat``
+segment reductions.
+
+Primary inputs are not gates; fanins that are primary inputs are simply
+absent from the fanin CSR (their delay/budget contribution is zero, their
+dynamic energy is handled by a dedicated input-net term mirroring
+``repro.power.energy``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.context import CircuitContext
+
+
+@dataclass(frozen=True)
+class _CSR:
+    """One CSR adjacency: ``indices[ptr[i]:ptr[i+1]]`` belong to row i."""
+
+    ptr: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.ptr)
+
+
+class ArrayContext:
+    """Precomputed array state for one :class:`CircuitContext`."""
+
+    def __init__(self, ctx: CircuitContext):
+        self.ctx = ctx
+        network = ctx.network
+
+        # Gate order: descending level (a valid reverse-topological order —
+        # every fanout sits at a strictly higher level — with contiguous
+        # level groups), stable in topological position within a level.
+        topo_position = {name: i
+                         for i, name in enumerate(network.topological_order())}
+        self.gate_names: Tuple[str, ...] = tuple(sorted(
+            ctx.gates,
+            key=lambda name: (-network.level(name), topo_position[name])))
+        self.index: Dict[str, int] = {name: i
+                                      for i, name in enumerate(self.gate_names)}
+        n = len(self.gate_names)
+        self.n_gates = n
+
+        levels = [network.level(name) for name in self.gate_names]
+        slices: List[Tuple[int, int]] = []
+        start = 0
+        for i in range(1, n + 1):
+            if i == n or levels[i] != levels[start]:
+                slices.append((start, i))
+                start = i
+        #: (start, stop) per level group, in processing order.
+        self.level_slices: Tuple[Tuple[int, int], ...] = tuple(slices)
+
+        # Per-gate scalars.
+        self.fanin_count = np.empty(n, dtype=np.int64)
+        self.self_cap = np.empty(n)
+        self.activity = np.empty(n)
+        self.wire_cap = np.empty(n)
+        for i, name in enumerate(self.gate_names):
+            info = ctx.info(name)
+            self.fanin_count[i] = info.fanin_count
+            self.self_cap[i] = info.self_cap
+            self.activity[i] = info.activity
+            self.wire_cap[i] = info.wire_cap
+
+        # Fanout CSR with per-entry receiver caps and branch parasitics.
+        fanout_ptr = [0]
+        fanout_idx: List[int] = []
+        fanout_cap: List[float] = []
+        branch_res: List[float] = []
+        branch_cap: List[float] = []
+        branch_flight: List[float] = []
+        boundary_cap: List[float] = []   # per gate: width-independent sinks
+        for name in self.gate_names:
+            info = ctx.info(name)
+            fixed = 0.0
+            for sink, cap, b_cap, b_res, b_flt in zip(
+                    info.fanout_names, info.fanout_input_caps,
+                    info.branch_caps, info.branch_resistances,
+                    info.branch_flights):
+                if sink == "":
+                    # Boundary branch: unit-width receiver, fold into the
+                    # fixed cap; RC/flight handled via the branch arrays
+                    # with a sentinel receiver of fixed width.
+                    fixed += ctx.BOUNDARY_WIDTH * cap
+                    fanout_idx.append(-1)
+                else:
+                    fanout_idx.append(self.index[sink])
+                fanout_cap.append(cap)
+                branch_res.append(b_res)
+                branch_cap.append(b_cap)
+                branch_flight.append(b_flt)
+            boundary_cap.append(fixed)
+            fanout_ptr.append(len(fanout_idx))
+        self.fanout = _CSR(np.asarray(fanout_ptr, dtype=np.int64),
+                           np.asarray(fanout_idx, dtype=np.int64))
+        self.fanout_cap = np.asarray(fanout_cap)
+        self.branch_res = np.asarray(branch_res)
+        self.branch_cap = np.asarray(branch_cap)
+        self.branch_flight = np.asarray(branch_flight)
+        self.boundary_cap = np.asarray(boundary_cap)
+        #: True where the CSR entry is a real gate (width looked up).
+        self.fanout_is_gate = self.fanout.indices >= 0
+
+        # Fanin CSR (logic-gate fanins only; PI fanins contribute zero).
+        fanin_ptr = [0]
+        fanin_idx: List[int] = []
+        for name in self.gate_names:
+            info = ctx.info(name)
+            for fanin in info.fanin_names:
+                if fanin in self.index:
+                    fanin_idx.append(self.index[fanin])
+            fanin_ptr.append(len(fanin_idx))
+        self.fanin = _CSR(np.asarray(fanin_ptr, dtype=np.int64),
+                          np.asarray(fanin_idx, dtype=np.int64))
+
+        # Input nets: activity and width-independent/width-dependent loads
+        # for the module-port dynamic-energy term.
+        input_names = list(network.inputs)
+        self.input_activity = np.asarray(
+            [ctx.info(name).activity for name in input_names])
+        self.input_self_plus_wire = np.asarray(
+            [1.0 * ctx.info(name).self_cap + ctx.info(name).wire_cap
+             for name in input_names])
+        in_ptr = [0]
+        in_idx: List[int] = []
+        in_cap: List[float] = []
+        in_fixed: List[float] = []
+        for name in input_names:
+            info = ctx.info(name)
+            fixed = 0.0
+            for sink, cap in zip(info.fanout_names, info.fanout_input_caps):
+                if sink == "":
+                    fixed += ctx.BOUNDARY_WIDTH * cap
+                else:
+                    in_idx.append(self.index[sink])
+                    in_cap.append(cap)
+            in_fixed.append(fixed)
+            in_ptr.append(len(in_idx))
+        self.input_fanout = _CSR(np.asarray(in_ptr, dtype=np.int64),
+                                 np.asarray(in_idx, dtype=np.int64))
+        self.input_fanout_cap = np.asarray(in_cap)
+        self.input_fixed_cap = np.asarray(in_fixed)
+
+    # --- helpers -----------------------------------------------------------
+
+    def widths_to_array(self, widths: Dict[str, float]) -> np.ndarray:
+        """A ``{name: w}`` map in processing order."""
+        return np.asarray([widths[name] for name in self.gate_names])
+
+    def array_to_widths(self, array: np.ndarray) -> Dict[str, float]:
+        return {name: float(array[i])
+                for i, name in enumerate(self.gate_names)}
+
+    def budgets_to_array(self, budgets: Dict[str, float]) -> np.ndarray:
+        return np.asarray([budgets[name] for name in self.gate_names])
+
+    def segment_sum(self, csr: _CSR, values: np.ndarray) -> np.ndarray:
+        """Per-row sums of ``values`` (aligned with csr.indices)."""
+        result = np.zeros(len(csr.ptr) - 1)
+        nonempty = csr.row_lengths > 0
+        if values.size:
+            sums = np.add.reduceat(values, csr.ptr[:-1][nonempty])
+            result[nonempty] = sums
+        return result
+
+    def segment_max(self, csr: _CSR, values: np.ndarray,
+                    empty: float = 0.0) -> np.ndarray:
+        """Per-row maxima of ``values`` (``empty`` for empty rows)."""
+        result = np.full(len(csr.ptr) - 1, empty)
+        nonempty = csr.row_lengths > 0
+        if values.size:
+            maxima = np.maximum.reduceat(values, csr.ptr[:-1][nonempty])
+            result[nonempty] = maxima
+        return result

@@ -1,0 +1,174 @@
+"""Vectorized sizing, STA and energy over an :class:`ArrayContext`.
+
+Scalar-global ``Vdd``/``Vth`` only (the hot loop of Procedure 2);
+per-gate voltage maps stay on the scalar reference path. Formulas mirror
+``repro.optimize.width_search`` / ``repro.timing`` / ``repro.power``
+term by term — the equivalence tests assert agreement to float
+round-off on every benchmark circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.fastpath.arrays import ArrayContext, _CSR
+from repro.technology import leakage, mosfet
+from repro.timing.delay_model import slope_coefficient
+
+
+def _drive_per_width(arrays: ArrayContext, vdd: float,
+                     vth: float) -> np.ndarray:
+    """Vectorized ``effective_drive_per_width`` over all gates."""
+    tech = arrays.ctx.tech
+    current = mosfet.drain_current_per_width(tech, vdd, vth)
+    off = leakage.off_current_per_width(tech, vth, vds=vdd)
+    stack = 1.0 + tech.stack_derating * (arrays.fanin_count - 1)
+    return current / stack - arrays.fanin_count * off
+
+
+def _external_caps(arrays: ArrayContext, w: np.ndarray, start: int,
+                   stop: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(ext_cap, wire_rc, flight) for gate rows ``start:stop``."""
+    lo = arrays.fanout.ptr[start]
+    hi = arrays.fanout.ptr[stop]
+    idx = arrays.fanout.indices[lo:hi]
+    is_gate = arrays.fanout_is_gate[lo:hi]
+    sink_w = np.where(is_gate, w[np.clip(idx, 0, None)],
+                      arrays.ctx.BOUNDARY_WIDTH)
+    cap_entries = np.where(is_gate,
+                           sink_w * arrays.fanout_cap[lo:hi], 0.0)
+    rc_entries = arrays.branch_res[lo:hi] * (
+        0.5 * arrays.branch_cap[lo:hi]
+        + sink_w * arrays.fanout_cap[lo:hi])
+    flight_entries = arrays.branch_flight[lo:hi]
+
+    view = _CSR(arrays.fanout.ptr[start:stop + 1] - lo, idx)
+    ext = (arrays.wire_cap[start:stop] + arrays.boundary_cap[start:stop]
+           + _segment(view, cap_entries, np.add, 0.0))
+    rc = _segment(view, rc_entries, np.maximum, 0.0)
+    flight = _segment(view, flight_entries, np.maximum, 0.0)
+    return ext, rc, flight
+
+
+def _segment(csr: _CSR, values: np.ndarray, op, empty: float) -> np.ndarray:
+    result = np.full(len(csr.ptr) - 1, empty)
+    lengths = np.diff(csr.ptr)
+    nonempty = lengths > 0
+    if values.size and nonempty.any():
+        result[nonempty] = op.reduceat(values, csr.ptr[:-1][nonempty])
+    return result
+
+
+@dataclass(frozen=True)
+class FastSizing:
+    """Vectorized sizing outcome (processing order = reverse topological)."""
+
+    widths: np.ndarray
+    feasible: bool
+
+    def widths_map(self, arrays: ArrayContext) -> Dict[str, float]:
+        return arrays.array_to_widths(self.widths)
+
+
+def fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
+                     vdd: float, vth: float) -> FastSizing:
+    """Vectorized minimum-width sizing (no budget repair — callers fall
+    back to the scalar path when this reports infeasible)."""
+    tech = arrays.ctx.tech
+    n = arrays.n_gates
+    drive = _drive_per_width(arrays, vdd, vth)
+    if np.any(drive <= 0.0):
+        return FastSizing(widths=np.full(n, tech.width_max), feasible=False)
+
+    slope_k = slope_coefficient(tech, vdd, vth)
+    fanin_budget = arrays.segment_max(arrays.fanin, budgets[
+        arrays.fanin.indices], empty=0.0)
+    slope = slope_k * fanin_budget
+
+    k_vdd = tech.velocity_saturation_coeff * vdd
+    self_term = k_vdd * arrays.self_cap / drive
+
+    w = np.ones(n)
+    feasible = True
+    for start, stop in arrays.level_slices:
+        ext, rc, flight = _external_caps(arrays, w, start, stop)
+        available = (budgets[start:stop] - slope[start:stop]
+                     - rc - flight - self_term[start:stop])
+        ext_term = k_vdd * ext / drive[start:stop]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            needed = np.where(available > 0.0, ext_term / available,
+                              np.inf)
+        if np.any(needed > tech.width_max):
+            feasible = False
+            needed = np.minimum(needed, tech.width_max)
+        w[start:stop] = np.maximum(needed, tech.width_min)
+    return FastSizing(widths=w, feasible=feasible)
+
+
+def fast_sta(arrays: ArrayContext, vdd: float, vth: float,
+             w: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Vectorized STA: ``(critical delay, per-gate delays)``.
+
+    Matches ``repro.timing.sta.analyze_timing`` (primary inputs ideal).
+    """
+    tech = arrays.ctx.tech
+    n = arrays.n_gates
+    drive = _drive_per_width(arrays, vdd, vth)
+    slope_k = slope_coefficient(tech, vdd, vth)
+    k_vdd = tech.velocity_saturation_coeff * vdd
+
+    ext, rc, flight = _external_caps(arrays, w, 0, n)
+    load = w * arrays.self_cap + ext
+    with np.errstate(divide="ignore", invalid="ignore"):
+        switching = np.where(drive > 0.0, k_vdd * load / (drive * w),
+                             np.inf)
+    fixed = switching + rc + flight
+
+    delays = np.zeros(n)
+    arrivals = np.zeros(n)
+    for start, stop in reversed(arrays.level_slices):
+        lo = arrays.fanin.ptr[start]
+        hi = arrays.fanin.ptr[stop]
+        idx = arrays.fanin.indices[lo:hi]
+        view = _CSR(arrays.fanin.ptr[start:stop + 1] - lo, idx)
+        max_fanin_delay = _segment(view, delays[idx], np.maximum, 0.0)
+        max_fanin_arrival = _segment(view, arrivals[idx], np.maximum, 0.0)
+        delays[start:stop] = slope_k * max_fanin_delay + fixed[start:stop]
+        arrivals[start:stop] = max_fanin_arrival + delays[start:stop]
+
+    outputs = arrays.ctx.network.outputs
+    critical = 0.0
+    for name in outputs:
+        position = arrays.index.get(name)
+        arrival = 0.0 if position is None else float(arrivals[position])
+        critical = max(critical, arrival)
+    return critical, delays
+
+
+def fast_total_energy(arrays: ArrayContext, vdd: float, vth: float,
+                      w: np.ndarray, frequency: float
+                      ) -> Tuple[float, float]:
+    """Vectorized eqs. A1 + A2: ``(static, dynamic)`` totals (J/cycle)."""
+    if frequency <= 0.0:
+        raise OptimizationError(f"frequency must be > 0, got {frequency}")
+    tech = arrays.ctx.tech
+    off = leakage.off_current_per_width(tech, vth, vds=vdd)
+    static = float(np.sum(vdd * w * off / frequency))
+
+    ext, _, _ = _external_caps(arrays, w, 0, arrays.n_gates)
+    load = w * arrays.self_cap + ext
+    dynamic = float(np.sum(0.5 * arrays.activity * vdd * vdd * load))
+
+    # Input-net term (module ports drive gate inputs and wire).
+    sink_caps = arrays.segment_sum(
+        arrays.input_fanout,
+        w[arrays.input_fanout.indices] * arrays.input_fanout_cap)
+    input_load = (arrays.input_self_plus_wire + arrays.input_fixed_cap
+                  + sink_caps)
+    dynamic += float(np.sum(0.5 * arrays.input_activity * vdd * vdd
+                            * input_load))
+    return static, dynamic

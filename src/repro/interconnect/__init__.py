@@ -1,0 +1,33 @@
+"""Stochastic interconnect estimation.
+
+The paper determines the capacitive load of every net with "a complete
+stochastic wire-length distribution model, derived from first principles
+through recursive application of Rent's rule and the principle of
+conservation of I/Os" (§2, refs. [4][5] — Davis/De/Meindl). This
+subpackage implements that substrate:
+
+* :mod:`~repro.interconnect.rent` — Rent's rule parameters and fitting.
+* :mod:`~repro.interconnect.wirelength` — the Davis a-priori point-to-point
+  wire-length distribution (closed form in gate pitches) with mean,
+  quantiles and deterministic sampling.
+* :mod:`~repro.interconnect.parasitics` — conversion of net lengths into
+  the per-branch ``C_INT``, ``R_INT`` and time-of-flight terms consumed by
+  the energy and delay models.
+"""
+
+from repro.interconnect.rent import RentParameters, fit_rent_exponent
+from repro.interconnect.wirelength import WireLengthDistribution
+from repro.interconnect.parasitics import (
+    NetParasitics,
+    WireModel,
+    network_parasitics,
+)
+
+__all__ = [
+    "RentParameters",
+    "fit_rent_exponent",
+    "WireLengthDistribution",
+    "NetParasitics",
+    "WireModel",
+    "network_parasitics",
+]

@@ -1,0 +1,116 @@
+"""Per-net interconnect parasitics.
+
+Bridges the stochastic wire-length model (lengths in gate pitches) to the
+electrical quantities the paper's equations consume:
+
+* ``C_INTij`` — interconnect capacitance of fanout branch ``j`` (A2, A3),
+* ``R_INTij`` — branch resistance for the distributed-RC delay term (A3),
+* ``L_INTij / v_ij`` — the time-of-flight term (A3).
+
+Each driver net is split into per-branch segments, one per fanout, in the
+order of ``network.fanouts(driver)``; primary-output nets with no internal
+sinks get a single boundary branch. Two wire models are offered for the
+ablation study: the Davis stochastic distribution (paper's choice) and a
+fixed length-per-fanout model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+from repro.errors import ReproError
+from repro.interconnect.rent import RentParameters, fit_rent_exponent
+from repro.interconnect.wirelength import WireLengthDistribution
+from repro.netlist.network import LogicNetwork
+from repro.technology.process import Technology
+
+
+class WireModel(Enum):
+    """How branch lengths are assigned."""
+
+    #: Expected lengths from the Davis distribution (deterministic).
+    STOCHASTIC_MEAN = "stochastic-mean"
+    #: Lengths sampled per branch from the Davis distribution (seeded).
+    STOCHASTIC_SAMPLED = "stochastic-sampled"
+    #: Fixed one-pitch branch per fanout (ablation baseline).
+    FIXED = "fixed"
+
+
+@dataclass(frozen=True)
+class NetParasitics:
+    """Electrical parasitics of one driver net, split per fanout branch."""
+
+    driver: str
+    #: Branch lengths in metres, one per fanout (>= 1 entry).
+    branch_lengths: Tuple[float, ...]
+    #: Branch capacitances C_INTij (F).
+    branch_caps: Tuple[float, ...]
+    #: Branch resistances R_INTij (ohm).
+    branch_resistances: Tuple[float, ...]
+    #: Branch time-of-flight delays L_INTij / v (s).
+    branch_flight_times: Tuple[float, ...]
+
+    @property
+    def total_cap(self) -> float:
+        """Total net capacitance ``sum_j C_INTij`` (F)."""
+        return sum(self.branch_caps)
+
+    @property
+    def total_length(self) -> float:
+        return sum(self.branch_lengths)
+
+    @property
+    def branch_count(self) -> int:
+        return len(self.branch_lengths)
+
+
+def _branch_lengths_pitches(model: WireModel,
+                            distribution: WireLengthDistribution,
+                            fanout: int, rng: random.Random) -> Tuple[float, ...]:
+    branches = max(fanout, 1)
+    if model is WireModel.FIXED:
+        return tuple(1.0 for _ in range(branches))
+    if model is WireModel.STOCHASTIC_SAMPLED:
+        return tuple(float(distribution.sample(rng)) for _ in range(branches))
+    # STOCHASTIC_MEAN: expected net length split evenly over branches.
+    total = distribution.net_length(branches)
+    return tuple(total / branches for _ in range(branches))
+
+
+def net_parasitics(tech: Technology, driver: str, lengths_pitches: Tuple[float, ...]) -> NetParasitics:
+    """Convert branch lengths in gate pitches into a :class:`NetParasitics`."""
+    if not lengths_pitches:
+        raise ReproError(f"net {driver!r} must have at least one branch")
+    lengths = tuple(length * tech.gate_pitch for length in lengths_pitches)
+    caps = tuple(length * tech.wire_cap_per_meter for length in lengths)
+    resistances = tuple(length * tech.wire_res_per_meter for length in lengths)
+    flights = tuple(length / tech.wire_velocity for length in lengths)
+    return NetParasitics(driver=driver, branch_lengths=lengths,
+                         branch_caps=caps, branch_resistances=resistances,
+                         branch_flight_times=flights)
+
+
+def network_parasitics(tech: Technology, network: LogicNetwork,
+                       rent: RentParameters | None = None,
+                       model: WireModel = WireModel.STOCHASTIC_MEAN,
+                       seed: int = 0) -> Dict[str, NetParasitics]:
+    """Parasitics for every driver net of ``network``.
+
+    ``rent`` defaults to a fit of the network's own boundary statistics
+    (clamped into the random-logic band). The returned dict is keyed by
+    driver name; branch order matches ``network.fanouts(driver)`` (one
+    boundary branch for sink-less primary outputs).
+    """
+    if rent is None:
+        rent = fit_rent_exponent(network)
+    distribution = WireLengthDistribution(max(network.gate_count, 1), rent)
+    rng = random.Random(seed)
+    result: Dict[str, NetParasitics] = {}
+    for name in network.topological_order():
+        fanout = len(network.fanouts(name))
+        lengths = _branch_lengths_pitches(model, distribution, fanout, rng)
+        result[name] = net_parasitics(tech, name, lengths)
+    return result

@@ -1,0 +1,72 @@
+"""Rent's rule: ``T = t * N^p``.
+
+``T`` is the number of terminals (I/Os) of a block of ``N`` gates, ``t``
+the average terminals per gate and ``p`` the Rent exponent. Random logic
+sits around ``p ≈ 0.55–0.75``; the default matches the classic value for
+random logic networks used by the Davis wire-length derivation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.netlist.network import LogicNetwork
+
+
+@dataclass(frozen=True)
+class RentParameters:
+    """Rent's-rule coefficients of a design style."""
+
+    #: Average terminals per gate (Rent coefficient t).
+    terminals_per_gate: float = 4.0
+
+    #: Rent exponent p in (0, 1).
+    exponent: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.terminals_per_gate <= 0.0:
+            raise ReproError(
+                f"terminals_per_gate must be > 0, got {self.terminals_per_gate}")
+        if not 0.0 < self.exponent < 1.0:
+            raise ReproError(
+                f"Rent exponent must lie in (0, 1), got {self.exponent}")
+
+    def terminals(self, n_gates: float) -> float:
+        """Expected terminal count of an ``n_gates`` block, ``t * N^p``."""
+        if n_gates < 1:
+            raise ReproError(f"n_gates must be >= 1, got {n_gates}")
+        return self.terminals_per_gate * n_gates ** self.exponent
+
+    @classmethod
+    def random_logic(cls) -> "RentParameters":
+        """The default random-logic style (t = 4, p = 0.6)."""
+        return cls()
+
+
+def fit_rent_exponent(network: LogicNetwork,
+                      terminals_per_gate: float | None = None) -> RentParameters:
+    """Fit Rent parameters from a network's boundary statistics.
+
+    A single-level fit using the conservation-of-I/O identity at the module
+    boundary: with ``T`` the observed primary I/O count and ``N`` the gate
+    count, ``p = log(T / t) / log(N)``. ``t`` defaults to the network's
+    average pin count per gate (fanin + 1 output). The exponent is clamped
+    into the physically sensible (0.1, 0.9) band — tiny benchmarks can
+    otherwise produce degenerate fits.
+    """
+    n_gates = network.gate_count
+    terminals = len(network.inputs) + len(network.outputs)
+    if terminals_per_gate is None:
+        total_pins = sum(network.gate(name).fanin_count + 1
+                         for name in network.logic_gates)
+        terminals_per_gate = total_pins / max(n_gates, 1)
+    if n_gates < 2:
+        return RentParameters(terminals_per_gate=terminals_per_gate,
+                              exponent=0.6)
+    exponent = math.log(max(terminals, 1.0) / terminals_per_gate) \
+        / math.log(n_gates)
+    exponent = min(max(exponent, 0.1), 0.9)
+    return RentParameters(terminals_per_gate=terminals_per_gate,
+                          exponent=exponent)

@@ -1,0 +1,37 @@
+"""Logic-network substrate.
+
+The paper's input is "a random logic network of N static CMOS gates" (§2).
+This subpackage provides that substrate:
+
+* :mod:`~repro.netlist.gates` — gate types, logic evaluation, truth tables.
+* :mod:`~repro.netlist.network` — the :class:`LogicNetwork` DAG with
+  topological/levelized traversal, fanout queries and validation.
+* :mod:`~repro.netlist.bench` — ISCAS ``.bench`` reader/writer (sequential
+  elements are cut into pseudo PI/PO pairs, i.e. the combinational core
+  the paper optimizes).
+* :mod:`~repro.netlist.generator` — deterministic random-logic generator
+  with Rent's-rule-shaped fanout statistics.
+* :mod:`~repro.netlist.benchmarks` — the benchmark suite used by the
+  experiments (genuine ``s27`` plus an ISCAS'89-like synthetic family with
+  the published gate counts and depths).
+"""
+
+from repro.netlist.gates import GateType
+from repro.netlist.network import Gate, LogicNetwork
+from repro.netlist.bench import parse_bench, parse_bench_file, write_bench
+from repro.netlist.generator import GeneratorSpec, generate_network
+from repro.netlist.benchmarks import benchmark_circuit, benchmark_names, s27
+
+__all__ = [
+    "GateType",
+    "Gate",
+    "LogicNetwork",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "GeneratorSpec",
+    "generate_network",
+    "benchmark_circuit",
+    "benchmark_names",
+    "s27",
+]

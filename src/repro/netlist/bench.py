@@ -1,0 +1,182 @@
+"""ISCAS ``.bench`` format reader and writer.
+
+The paper evaluates on ISCAS'89 benchmark circuits. Those are sequential;
+the optimization operates on the *combinational core*, so the parser cuts
+every ``DFF`` (and ``DFFSR``) element: the flip-flop's output becomes a
+pseudo primary input and its data input becomes a pseudo primary output —
+the standard combinational-core extraction.
+
+Grammar accepted (case-insensitive keywords, ``#`` comments)::
+
+    INPUT(name)
+    OUTPUT(name)
+    name = FUNC(arg1, arg2, ...)
+
+Duplicate fanins (legal in ``.bench``, e.g. ``AND(a, a)``) are collapsed;
+a gate left with a single fanin degrades to BUF/NOT as appropriate.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import BenchParseError, NetlistError
+from repro.netlist.gates import GateType, gate_type_from_name
+from repro.netlist.network import Gate, LogicNetwork
+
+_ASSIGNMENT = re.compile(
+    r"^(?P<target>[^\s=]+)\s*=\s*(?P<func>[A-Za-z]+)\s*\((?P<args>[^)]*)\)$")
+_DECLARATION = re.compile(
+    r"^(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[^)]+)\)$", re.IGNORECASE)
+
+_FLIPFLOPS = {"DFF", "DFFSR", "FF"}
+
+
+def _collapse_duplicates(gate_type: GateType,
+                         fanins: Sequence[str]) -> Tuple[GateType, Tuple[str, ...]]:
+    """Deduplicate fanins, degrading the gate type if arity drops to 1."""
+    unique: List[str] = []
+    for fanin in fanins:
+        if fanin not in unique:
+            unique.append(fanin)
+    if len(unique) == 1 and gate_type.min_fanin >= 2:
+        if gate_type in (GateType.AND, GateType.OR):
+            return GateType.BUF, tuple(unique)
+        if gate_type in (GateType.NAND, GateType.NOR):
+            return GateType.NOT, tuple(unique)
+        if gate_type is GateType.XOR:
+            # XOR(a, a) == 0; without constant nets we keep a buffer of the
+            # (rare) single remaining signal — flagged by the validator.
+            return GateType.BUF, tuple(unique)
+        if gate_type is GateType.XNOR:
+            return GateType.NOT, tuple(unique)
+    return gate_type, tuple(unique)
+
+
+def parse_bench(text: str, name: str = "bench") -> LogicNetwork:
+    """Parse ``.bench`` source text into a combinational :class:`LogicNetwork`."""
+    declared_inputs: List[str] = []
+    declared_outputs: List[str] = []
+    assignments: List[Tuple[int, str, str, List[str]]] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        declaration = _DECLARATION.match(line)
+        if declaration:
+            net = declaration.group("name").strip()
+            if not net:
+                raise BenchParseError("empty net name", line_number)
+            if declaration.group("kind").upper() == "INPUT":
+                declared_inputs.append(net)
+            else:
+                declared_outputs.append(net)
+            continue
+        assignment = _ASSIGNMENT.match(line)
+        if assignment:
+            args = [arg.strip() for arg in assignment.group("args").split(",")
+                    if arg.strip()]
+            if not args:
+                raise BenchParseError(
+                    f"gate {assignment.group('target')!r} has no fanins",
+                    line_number)
+            assignments.append((line_number, assignment.group("target").strip(),
+                                assignment.group("func").strip().upper(), args))
+            continue
+        raise BenchParseError(f"unrecognized syntax: {line!r}", line_number)
+
+    gates: List[Gate] = []
+    seen: Dict[str, int] = {}
+    pseudo_outputs: List[str] = []
+
+    for net in declared_inputs:
+        if net in seen:
+            raise BenchParseError(f"net {net!r} declared twice", seen[net])
+        seen[net] = 0
+        gates.append(Gate(net, GateType.INPUT))
+
+    for line_number, target, func, args in assignments:
+        if target in seen:
+            raise BenchParseError(f"net {target!r} defined twice", line_number)
+        seen[target] = line_number
+        if func in _FLIPFLOPS:
+            # Cut the register: Q becomes a pseudo primary input and D a
+            # pseudo primary output of the combinational core.
+            gates.append(Gate(target, GateType.INPUT))
+            pseudo_outputs.append(args[0])
+            continue
+        try:
+            gate_type = gate_type_from_name(func)
+        except NetlistError as error:
+            raise BenchParseError(str(error), line_number) from None
+        if gate_type is GateType.INPUT:
+            raise BenchParseError(
+                f"INPUT used as a gate function for {target!r}", line_number)
+        gate_type, fanins = _collapse_duplicates(gate_type, args)
+        try:
+            gates.append(Gate(target, gate_type, fanins))
+        except NetlistError as error:
+            raise BenchParseError(str(error), line_number) from None
+
+    outputs: List[str] = []
+    for net in declared_outputs + pseudo_outputs:
+        if net not in outputs:
+            outputs.append(net)
+    try:
+        return LogicNetwork(name, gates, outputs)
+    except NetlistError as error:
+        raise BenchParseError(str(error)) from None
+
+
+def extract_registers(text: str) -> Tuple[Tuple[str, str], ...]:
+    """All ``(Q, D)`` net pairs of the flip-flops in ``.bench`` source.
+
+    Companion to :func:`parse_bench` (which cuts the registers into
+    pseudo PI/PO); :mod:`repro.netlist.sequential` uses both to keep the
+    sequential view.
+    """
+    registers = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        assignment = _ASSIGNMENT.match(line)
+        if not assignment:
+            continue
+        if assignment.group("func").strip().upper() not in _FLIPFLOPS:
+            continue
+        args = [arg.strip() for arg in assignment.group("args").split(",")
+                if arg.strip()]
+        if args:
+            registers.append((assignment.group("target").strip(), args[0]))
+    return tuple(registers)
+
+
+def parse_bench_file(path: str | Path) -> LogicNetwork:
+    """Parse a ``.bench`` file; the network is named after the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(network: LogicNetwork) -> str:
+    """Serialize a combinational network back to ``.bench`` text.
+
+    The output round-trips through :func:`parse_bench` to an isomorphic
+    network (pseudo PI/PO introduced by flip-flop cutting are emitted as
+    ordinary INPUT/OUTPUT declarations).
+    """
+    lines: List[str] = [f"# {network.name}"]
+    for net in network.inputs:
+        lines.append(f"INPUT({net})")
+    for net in network.outputs:
+        lines.append(f"OUTPUT({net})")
+    lines.append("")
+    for name in network.topological_order():
+        gate = network.gate(name)
+        if gate.is_input:
+            continue
+        args = ", ".join(gate.fanins)
+        lines.append(f"{gate.name} = {gate.gate_type.value.upper()}({args})")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""The benchmark circuit suite used by the experiments.
+
+The paper evaluates on ISCAS'89 circuits (s298 ... s526). Offline we embed:
+
+* the genuine ``s27`` combinational core (small enough to reproduce from
+  the published netlist), used heavily by tests, and
+* a deterministic *ISCAS-like* synthetic family produced by
+  :mod:`repro.netlist.generator` with the published combinational-core
+  statistics (input count = PIs + flip-flops, gate count, logic depth) of
+  each paper circuit. DESIGN.md §3 documents this substitution: the
+  optimization algorithms only consume gate counts, types and
+  fanin/fanout topology, all of which the family matches.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.bench import parse_bench
+from repro.netlist.generator import GeneratorSpec, generate_network
+from repro.netlist.network import LogicNetwork
+
+#: The genuine ISCAS'89 s27 netlist (combinational core obtained by the
+#: parser's flip-flop cutting).
+S27_BENCH = """
+# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+#: The genuine ISCAS'85 c17 netlist (purely combinational).
+C17_BENCH = """
+# c17 (ISCAS'85)
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+"""
+
+#: Published combinational-core statistics of the paper's ISCAS'89 suite:
+#: (inputs = PIs + FFs, outputs = POs + FFs, logic gates, depth, seed).
+ISCAS_LIKE_SPECS: Dict[str, Tuple[int, int, int, int, int]] = {
+    "s298": (17, 20, 119, 9, 298),
+    "s344": (24, 26, 160, 20, 344),
+    "s349": (24, 26, 161, 20, 349),
+    "s382": (24, 27, 158, 11, 382),
+    "s386": (13, 13, 159, 11, 386),
+    "s400": (24, 27, 162, 11, 400),
+    "s444": (24, 27, 181, 11, 444),
+    "s526": (24, 27, 193, 9, 526),
+}
+
+#: ISCAS'85-like combinational circuits (not in the paper's tables, but
+#: the standard companion suite): (inputs, outputs, gates, depth, seed).
+#: Gate counts and depths follow the published characteristics.
+ISCAS85_LIKE_SPECS: Dict[str, Tuple[int, int, int, int, int]] = {
+    "c432": (36, 7, 160, 17, 432),
+    "c499": (41, 32, 202, 11, 499),
+    "c880": (60, 26, 383, 24, 880),
+    "c1355": (41, 32, 546, 24, 1355),
+    "c1908": (33, 25, 880, 40, 1908),
+    "c2670": (233, 140, 1193, 32, 2670),
+    "c3540": (50, 22, 1669, 47, 3540),
+    "c5315": (178, 123, 2307, 49, 5315),
+}
+
+#: Order in which the paper's tables list the circuits.
+PAPER_CIRCUITS: Tuple[str, ...] = tuple(ISCAS_LIKE_SPECS)
+
+
+@lru_cache(maxsize=1)
+def s27() -> LogicNetwork:
+    """The genuine s27 combinational core."""
+    return parse_bench(S27_BENCH, name="s27")
+
+
+@lru_cache(maxsize=1)
+def c17() -> LogicNetwork:
+    """The genuine c17 netlist (ISCAS'85, purely combinational)."""
+    return parse_bench(C17_BENCH, name="c17")
+
+
+@lru_cache(maxsize=32)
+def benchmark_circuit(name: str) -> LogicNetwork:
+    """Return a benchmark circuit by name.
+
+    Available: ``'s27'`` and ``'c17'`` (genuine netlists), the paper's
+    ISCAS'89-like suite (``s298`` ... ``s526``) and the ISCAS'85-like
+    companion suite (``c432`` ... ``c5315``).
+    """
+    if name == "s27":
+        return s27()
+    if name == "c17":
+        return c17()
+    spec_entry = ISCAS_LIKE_SPECS.get(name) or ISCAS85_LIKE_SPECS.get(name)
+    if spec_entry is None:
+        available = ["s27", "c17", *ISCAS_LIKE_SPECS, *ISCAS85_LIKE_SPECS]
+        raise NetlistError(
+            f"unknown benchmark {name!r}; available: {available}")
+    inputs, outputs, gates, depth, seed = spec_entry
+    spec = GeneratorSpec(name=name, n_inputs=inputs, n_outputs=outputs,
+                         n_gates=gates, depth=depth, seed=seed)
+    return generate_network(spec)
+
+
+def benchmark_names(include_s27: bool = True,
+                    include_c_suite: bool = False) -> Tuple[str, ...]:
+    """Benchmark circuit names, the paper's table order first."""
+    names: Tuple[str, ...] = PAPER_CIRCUITS
+    if include_c_suite:
+        names = names + tuple(ISCAS85_LIKE_SPECS)
+    if include_s27:
+        return ("s27",) + names
+    return names

@@ -1,0 +1,152 @@
+"""Gate types and their Boolean semantics.
+
+The paper assumes "simple multi-input gates with symmetric series or
+parallel pull-up and pull-down MOSFET configurations" (Appendix A.1) —
+i.e. the standard static-CMOS AND/OR/NAND/NOR family, plus inverters and
+buffers. XOR/XNOR appear in ISCAS netlists and are supported throughout
+(activity estimation, simulation); their CMOS realization is modelled as a
+two-level stack for delay/energy purposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence, Tuple
+
+from repro.errors import NetlistError
+
+
+class GateType(enum.Enum):
+    """Supported combinational gate types (plus the INPUT pseudo-gate)."""
+
+    INPUT = "input"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+
+    @property
+    def is_input(self) -> bool:
+        return self is GateType.INPUT
+
+    @property
+    def inverting(self) -> bool:
+        """True if the gate's output is the complement of its core function."""
+        return self in _INVERTING
+
+    @property
+    def min_fanin(self) -> int:
+        if self is GateType.INPUT:
+            return 0
+        if self in (GateType.BUF, GateType.NOT):
+            return 1
+        return 2
+
+    @property
+    def max_fanin(self) -> int | None:
+        """Upper fanin bound (None = unbounded)."""
+        if self is GateType.INPUT:
+            return 0
+        if self in (GateType.BUF, GateType.NOT):
+            return 1
+        return None
+
+    @property
+    def series_stack_height(self) -> int:
+        """Height of the series transistor stack for a 2-input instance.
+
+        Used to sanity-check stack-related capacitance modelling; the
+        actual per-fanin stack contribution is ``fanin - 1`` intermediate
+        nodes (Appendix A.1).
+        """
+        if self in (GateType.NAND, GateType.AND):
+            return 2
+        if self in (GateType.NOR, GateType.OR):
+            return 2
+        if self in (GateType.XOR, GateType.XNOR):
+            return 2
+        return 1
+
+
+_INVERTING = {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+
+_BENCH_NAMES = {
+    "INPUT": GateType.INPUT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+}
+
+
+def gate_type_from_name(name: str) -> GateType:
+    """Map a ``.bench`` function name (case-insensitive) to a GateType.
+
+    >>> gate_type_from_name('nand') is GateType.NAND
+    True
+    """
+    try:
+        return _BENCH_NAMES[name.strip().upper()]
+    except KeyError:
+        raise NetlistError(f"unknown gate function {name!r}") from None
+
+
+def evaluate(gate_type: GateType, inputs: Sequence[bool]) -> bool:
+    """Evaluate a gate on Boolean inputs.
+
+    >>> evaluate(GateType.NAND, (True, True))
+    False
+    """
+    arity = len(inputs)
+    if arity < gate_type.min_fanin:
+        raise NetlistError(
+            f"{gate_type.value} needs >= {gate_type.min_fanin} inputs, "
+            f"got {arity}")
+    max_fanin = gate_type.max_fanin
+    if max_fanin is not None and arity > max_fanin:
+        raise NetlistError(
+            f"{gate_type.value} takes <= {max_fanin} inputs, got {arity}")
+    if gate_type is GateType.INPUT:
+        raise NetlistError("INPUT pseudo-gates cannot be evaluated")
+    if gate_type is GateType.BUF:
+        return bool(inputs[0])
+    if gate_type is GateType.NOT:
+        return not inputs[0]
+    if gate_type is GateType.AND:
+        return all(inputs)
+    if gate_type is GateType.NAND:
+        return not all(inputs)
+    if gate_type is GateType.OR:
+        return any(inputs)
+    if gate_type is GateType.NOR:
+        return not any(inputs)
+    parity = sum(1 for bit in inputs if bit) % 2 == 1
+    if gate_type is GateType.XOR:
+        return parity
+    return not parity  # XNOR
+
+
+def truth_table(gate_type: GateType, fanin: int) -> Tuple[bool, ...]:
+    """Full truth table of a ``fanin``-input gate.
+
+    Entry ``k`` is the output for the input assignment whose bit ``i``
+    (LSB = input 0) is ``(k >> i) & 1``. Fanin is capped at 16 to keep the
+    table enumerable.
+    """
+    if fanin > 16:
+        raise NetlistError(f"truth tables limited to fanin <= 16, got {fanin}")
+    rows = []
+    for assignment in range(1 << fanin):
+        bits = [bool((assignment >> position) & 1) for position in range(fanin)]
+        rows.append(evaluate(gate_type, bits))
+    return tuple(rows)

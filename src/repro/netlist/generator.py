@@ -1,0 +1,263 @@
+"""Deterministic random-logic network generator.
+
+The paper optimizes "random logic networks" whose interconnect statistics
+follow Rent's rule (§2). This generator produces combinational DAGs with:
+
+* an exact gate count, input count and logic depth,
+* a configurable fanin distribution (mostly 2-input gates, as in the
+  ISCAS suites),
+* a heavy-tailed fanout distribution obtained by preferential attachment,
+  whose skew is controlled by ``fanout_skew`` (a Rent-exponent-like knob:
+  0 = uniform fanouts, 1 = strongly preferential, matching the long-tail
+  fanouts of real random logic).
+
+Generation is fully deterministic given the spec's ``seed``; the
+ISCAS-like benchmark family (:mod:`repro.netlist.benchmarks`) is built on
+top of this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.network import LogicNetwork, NetworkBuilder
+
+#: Default fanin distribution: (fanin, probability). Mirrors the ISCAS'89
+#: mix: predominantly 2-input gates, some 3/4-input, a sprinkle of
+#: inverters.
+DEFAULT_FANIN_PROBS: Tuple[Tuple[int, float], ...] = (
+    (1, 0.10),
+    (2, 0.60),
+    (3, 0.20),
+    (4, 0.10),
+)
+
+#: Gate types by fanin: inverters for fanin 1, the static-CMOS family
+#: otherwise (NAND/NOR dominate, as in technology-mapped random logic).
+_SINGLE_INPUT_TYPES: Tuple[Tuple[GateType, float], ...] = (
+    (GateType.NOT, 0.8),
+    (GateType.BUF, 0.2),
+)
+_MULTI_INPUT_TYPES: Tuple[Tuple[GateType, float], ...] = (
+    (GateType.NAND, 0.35),
+    (GateType.NOR, 0.30),
+    (GateType.AND, 0.15),
+    (GateType.OR, 0.15),
+    (GateType.XOR, 0.05),
+)
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Parameters of a generated network."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    depth: int
+    seed: int = 0
+    fanin_probs: Tuple[Tuple[int, float], ...] = DEFAULT_FANIN_PROBS
+    #: Preferential-attachment exponent shaping the fanout tail (>= 0).
+    fanout_skew: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise NetlistError(f"n_inputs must be >= 1, got {self.n_inputs}")
+        if self.n_outputs < 1:
+            raise NetlistError(f"n_outputs must be >= 1, got {self.n_outputs}")
+        if self.depth < 1:
+            raise NetlistError(f"depth must be >= 1, got {self.depth}")
+        if self.n_gates < self.depth:
+            raise NetlistError(
+                f"n_gates ({self.n_gates}) must be >= depth ({self.depth}) "
+                "so every level can hold a gate")
+        if self.fanout_skew < 0.0:
+            raise NetlistError(
+                f"fanout_skew must be >= 0, got {self.fanout_skew}")
+        total = sum(probability for _, probability in self.fanin_probs)
+        if not 0.999 < total < 1.001:
+            raise NetlistError(
+                f"fanin probabilities must sum to 1, got {total}")
+
+
+def _pick_weighted(rng: random.Random,
+                   table: Sequence[Tuple[object, float]]) -> object:
+    roll = rng.random()
+    cumulative = 0.0
+    for value, probability in table:
+        cumulative += probability
+        if roll < cumulative:
+            return value
+    return table[-1][0]
+
+
+def _gates_per_level(spec: GeneratorSpec, rng: random.Random) -> List[int]:
+    """Split ``n_gates`` over ``depth`` levels, each level non-empty.
+
+    Real random logic is widest in the early-middle levels and tapers
+    toward the outputs; we use a triangular profile with a random jitter.
+    """
+    weights = []
+    for level in range(1, spec.depth + 1):
+        peak = max(spec.depth * 0.35, 1.0)
+        distance = abs(level - peak) / spec.depth
+        weights.append(max(0.15, 1.0 - distance) * (0.8 + 0.4 * rng.random()))
+    total_weight = sum(weights)
+    counts = [max(1, round(spec.n_gates * weight / total_weight))
+              for weight in weights]
+    # Repair rounding drift while keeping every level >= 1.
+    surplus = sum(counts) - spec.n_gates
+    index = 0
+    while surplus > 0:
+        position = index % spec.depth
+        if counts[position] > 1:
+            counts[position] -= 1
+            surplus -= 1
+        index += 1
+    index = 0
+    while surplus < 0:
+        counts[index % spec.depth] += 1
+        surplus += 1
+        index += 1
+    return counts
+
+
+def generate_network(spec: GeneratorSpec) -> LogicNetwork:
+    """Generate the network described by ``spec`` (deterministic in seed)."""
+    rng = random.Random(spec.seed)
+
+    input_names = [f"pi{index}" for index in range(spec.n_inputs)]
+    level_nodes: Dict[int, List[str]] = {0: list(input_names)}
+    fanout_counts: Dict[str, int] = {name: 0 for name in input_names}
+    counts = _gates_per_level(spec, rng)
+    #: Mutable gate records (name, type, fanins, level) so post-passes can
+    #: still adjust connectivity before the network is frozen.
+    records: List[Tuple[str, GateType, List[str], int]] = []
+
+    gate_index = 0
+    for level in range(1, spec.depth + 1):
+        level_nodes[level] = []
+        candidates_below: List[str] = []
+        for lower in range(level):
+            candidates_below.extend(level_nodes[lower])
+        previous_level = level_nodes[level - 1]
+        for _ in range(counts[level - 1]):
+            name = f"g{gate_index}"
+            gate_index += 1
+            fanin_count = int(_pick_weighted(rng, spec.fanin_probs))
+            fanin_count = min(fanin_count, len(candidates_below))
+            fanins: List[str] = []
+            # First fanin from the immediately preceding level keeps the
+            # level assignment (and hence the requested depth) exact.
+            first = _preferential_choice(rng, previous_level, fanout_counts,
+                                         spec.fanout_skew, exclude=fanins)
+            fanins.append(first)
+            while len(fanins) < fanin_count:
+                choice = _preferential_choice(rng, candidates_below,
+                                              fanout_counts, spec.fanout_skew,
+                                              exclude=fanins)
+                if choice is None:
+                    break
+                fanins.append(choice)
+            gate_type = _type_for_fanin(rng, len(fanins))
+            records.append((name, gate_type, fanins, level))
+            for fanin in fanins:
+                fanout_counts[fanin] += 1
+            fanout_counts[name] = 0
+            level_nodes[level].append(name)
+
+    _wire_unused_inputs(rng, records, input_names, fanout_counts)
+
+    builder = NetworkBuilder(spec.name)
+    for name in input_names:
+        builder.add_input(name)
+    for name, gate_type, fanins, _ in records:
+        builder.add_gate(name, gate_type, fanins)
+    outputs = _choose_outputs(spec, rng, level_nodes, fanout_counts)
+    return builder.build(outputs)
+
+
+def _wire_unused_inputs(rng: random.Random,
+                        records: List[Tuple[str, GateType, List[str], int]],
+                        input_names: Sequence[str],
+                        fanout_counts: Dict[str, int]) -> None:
+    """Append each unused primary input to some multi-input gate's fanins.
+
+    Real netlists have no floating inputs; the preferential choice mostly
+    avoids them, and this post-pass guarantees it. Only multi-input gate
+    types can absorb an extra fanin, and only up to fanin 6.
+    """
+    unused = [name for name in input_names if fanout_counts[name] == 0]
+    if not unused:
+        return
+    absorbers = [record for record in records
+                 if record[1] not in (GateType.NOT, GateType.BUF)]
+    rng.shuffle(absorbers)
+    for input_name in unused:
+        for record in absorbers:
+            if len(record[2]) < 6 and input_name not in record[2]:
+                record[2].append(input_name)
+                fanout_counts[input_name] += 1
+                break
+
+
+def _type_for_fanin(rng: random.Random, fanin_count: int) -> GateType:
+    if fanin_count <= 1:
+        return _pick_weighted(rng, _SINGLE_INPUT_TYPES)  # type: ignore[return-value]
+    gate_type = _pick_weighted(rng, _MULTI_INPUT_TYPES)
+    return gate_type  # type: ignore[return-value]
+
+
+def _preferential_choice(rng: random.Random, pool: Sequence[str],
+                         fanout_counts: Dict[str, int], skew: float,
+                         exclude: Sequence[str]) -> str | None:
+    """Pick a node with probability ∝ ``(1 + fanout)**skew``.
+
+    Nodes with zero fanout get a strong bonus so the generator rarely
+    leaves dangling logic (any remainder is promoted to a primary output).
+    """
+    candidates = [name for name in pool if name not in exclude]
+    if not candidates:
+        return None
+    weights = []
+    for name in candidates:
+        fanout = fanout_counts[name]
+        weight = (1.0 + fanout) ** skew
+        if fanout == 0:
+            weight *= 3.0
+        weights.append(weight)
+    total = sum(weights)
+    roll = rng.random() * total
+    cumulative = 0.0
+    for name, weight in zip(candidates, weights):
+        cumulative += weight
+        if roll < cumulative:
+            return name
+    return candidates[-1]
+
+
+def _choose_outputs(spec: GeneratorSpec, rng: random.Random,
+                    level_nodes: Dict[int, List[str]],
+                    fanout_counts: Dict[str, int]) -> List[str]:
+    """Primary outputs: last level first, then any still-dangling gates."""
+    outputs: List[str] = []
+    last_level = list(level_nodes[spec.depth])
+    rng.shuffle(last_level)
+    outputs.extend(last_level)
+    dangling = [name
+                for level in range(1, spec.depth)
+                for name in level_nodes[level]
+                if fanout_counts[name] == 0]
+    outputs.extend(dangling)
+    if len(outputs) < spec.n_outputs:
+        extras = [name
+                  for level in range(spec.depth - 1, 0, -1)
+                  for name in level_nodes[level]
+                  if name not in outputs]
+        outputs.extend(extras[:spec.n_outputs - len(outputs)])
+    return outputs[:max(spec.n_outputs, len(last_level) + len(dangling))]

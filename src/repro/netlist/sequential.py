@@ -1,0 +1,142 @@
+"""Sequential circuits: registers around the combinational core.
+
+The paper optimizes combinational cores at a cycle-time constraint; real
+ISCAS'89 circuits are sequential, and the clock period must also absorb
+the registers' clock-to-Q delay, setup time and the clock skew (the
+paper's ``b`` factor of eq. 1 covers skew). This module keeps the
+register view next to the cut core:
+
+* :class:`SequentialCircuit` — the combinational core plus its
+  ``(Q, D)`` register pairs (from :func:`repro.netlist.bench.extract_registers`),
+* :class:`RegisterTiming` — clock-to-Q / setup margins,
+* :func:`sequential_problem` — an :class:`~repro.optimize.problem.OptimizationProblem`
+  whose effective cycle time is the register-adjusted
+  ``b*T_c - t_clk2q - t_setup``, folded into the skew factor so every
+  downstream algorithm (Procedure 1/2, sweeps) applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple
+
+from repro.activity.profiles import InputProfile
+from repro.errors import NetlistError, TimingError
+from repro.netlist.bench import extract_registers, parse_bench
+from repro.netlist.network import LogicNetwork
+from repro.optimize.problem import OptimizationProblem
+from repro.technology.process import Technology
+from repro.units import PS
+
+
+@dataclass(frozen=True)
+class RegisterTiming:
+    """Register margins charged against every cycle (seconds)."""
+
+    clock_to_q: float = 80.0 * PS
+    setup: float = 50.0 * PS
+
+    def __post_init__(self) -> None:
+        if self.clock_to_q < 0.0 or self.setup < 0.0:
+            raise TimingError("register margins must be >= 0")
+
+    @property
+    def total(self) -> float:
+        return self.clock_to_q + self.setup
+
+
+@dataclass(frozen=True)
+class SequentialCircuit:
+    """A combinational core with its register boundary."""
+
+    core: LogicNetwork
+    #: ``(Q net, D net)`` pairs; Q is a pseudo PI, D a pseudo PO of core.
+    registers: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        for q_net, d_net in self.registers:
+            if q_net not in self.core:
+                raise NetlistError(
+                    f"register output {q_net!r} missing from the core")
+            if d_net not in self.core:
+                raise NetlistError(
+                    f"register input {d_net!r} missing from the core")
+
+    @property
+    def name(self) -> str:
+        return self.core.name
+
+    @property
+    def register_count(self) -> int:
+        return len(self.registers)
+
+    @property
+    def true_inputs(self) -> Tuple[str, ...]:
+        """Primary inputs that are *not* register outputs."""
+        q_nets = {q for q, _ in self.registers}
+        return tuple(name for name in self.core.inputs
+                     if name not in q_nets)
+
+    @property
+    def true_outputs(self) -> Tuple[str, ...]:
+        """Primary outputs that are *not* register data inputs."""
+        d_nets = {d for _, d in self.registers}
+        return tuple(name for name in self.core.outputs
+                     if name not in d_nets)
+
+    def usable_cycle_fraction(self, cycle_time: float,
+                              timing: RegisterTiming,
+                              skew_factor: float = 1.0) -> float:
+        """Fraction of ``cycle_time`` left for combinational logic.
+
+        ``b*T_c - t_clk2q - t_setup`` expressed as a fraction of ``T_c``
+        — the effective skew factor handed to the optimizer.
+        """
+        if cycle_time <= 0.0:
+            raise TimingError(f"cycle_time must be > 0, got {cycle_time}")
+        if not 0.0 < skew_factor <= 1.0:
+            raise TimingError(
+                f"skew_factor must lie in (0, 1], got {skew_factor}")
+        usable = skew_factor * cycle_time - timing.total
+        if usable <= 0.0:
+            raise TimingError(
+                f"{self.name}: register margins ({timing.total:.3e} s) "
+                f"consume the whole {cycle_time:.3e} s cycle")
+        return usable / cycle_time
+
+
+def parse_sequential_bench(text: str, name: str = "bench"
+                           ) -> SequentialCircuit:
+    """Parse ``.bench`` source keeping the register boundary."""
+    core = parse_bench(text, name=name)
+    return SequentialCircuit(core=core, registers=extract_registers(text))
+
+
+def parse_sequential_bench_file(path: str | Path) -> SequentialCircuit:
+    path = Path(path)
+    return parse_sequential_bench(path.read_text(), name=path.stem)
+
+
+def sequential_problem(tech: Technology, circuit: SequentialCircuit,
+                       profile: InputProfile, frequency: float,
+                       timing: RegisterTiming | None = None,
+                       skew_factor: float = 1.0,
+                       n_vth: int = 1,
+                       activity_method: str = "najm"
+                       ) -> OptimizationProblem:
+    """Build the register-aware optimization problem for a circuit.
+
+    The register margins are folded into the problem's skew factor, so
+    Procedure 1 budgets exactly the cycle that remains after clock-to-Q
+    and setup; the clock frequency reported in results stays the real
+    one.
+    """
+    timing = timing or RegisterTiming()
+    effective = circuit.usable_cycle_fraction(1.0 / frequency, timing,
+                                              skew_factor=skew_factor)
+    return OptimizationProblem.build(tech, circuit.core, profile,
+                                     frequency=frequency,
+                                     skew_factor=effective,
+                                     n_vth=n_vth,
+                                     activity_method=activity_method)

@@ -1,0 +1,81 @@
+"""Structural statistics of logic networks.
+
+Used by reports, by the wire-length model (which needs gate counts and
+fanout statistics) and by tests validating the benchmark family against
+its published statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.netlist.gates import GateType
+from repro.netlist.network import LogicNetwork
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Summary statistics of one network."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    depth: int
+    gate_type_counts: Tuple[Tuple[str, int], ...]
+    fanin_histogram: Tuple[Tuple[int, int], ...]
+    fanout_histogram: Tuple[Tuple[int, int], ...]
+    mean_fanin: float
+    mean_fanout: float
+    max_fanout: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "inputs": self.n_inputs,
+            "outputs": self.n_outputs,
+            "gates": self.n_gates,
+            "depth": self.depth,
+            "mean_fanin": round(self.mean_fanin, 3),
+            "mean_fanout": round(self.mean_fanout, 3),
+            "max_fanout": self.max_fanout,
+        }
+
+
+def network_stats(network: LogicNetwork) -> NetworkStats:
+    """Compute :class:`NetworkStats` for ``network``."""
+    type_counter: Counter = Counter()
+    fanin_counter: Counter = Counter()
+    fanout_counter: Counter = Counter()
+    total_fanin = 0
+    total_fanout = 0
+    max_fanout = 0
+
+    for name in network.logic_gates:
+        gate = network.gate(name)
+        type_counter[gate.gate_type.value] += 1
+        fanin_counter[gate.fanin_count] += 1
+        total_fanin += gate.fanin_count
+    for name in network.topological_order():
+        fanout = network.fanout_count(name)
+        fanout_counter[fanout] += 1
+        total_fanout += fanout
+        max_fanout = max(max_fanout, fanout)
+
+    gate_count = max(network.gate_count, 1)
+    node_count = len(network)
+    return NetworkStats(
+        name=network.name,
+        n_inputs=len(network.inputs),
+        n_outputs=len(network.outputs),
+        n_gates=network.gate_count,
+        depth=network.depth,
+        gate_type_counts=tuple(sorted(type_counter.items())),
+        fanin_histogram=tuple(sorted(fanin_counter.items())),
+        fanout_histogram=tuple(sorted(fanout_counter.items())),
+        mean_fanin=total_fanin / gate_count,
+        mean_fanout=total_fanout / node_count,
+        max_fanout=max_fanout,
+    )

@@ -1,0 +1,67 @@
+"""Structural lint of logic networks.
+
+:class:`LogicNetwork` already enforces hard invariants at construction
+(acyclicity, arity, referenced nets). This module reports *soft* issues
+that are legal but usually indicate a benchmark problem — dead logic,
+buffers of buffers, inputs that drive nothing — so experiments can assert
+their circuits are clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.netlist.gates import GateType
+from repro.netlist.network import LogicNetwork
+
+
+@dataclass(frozen=True)
+class Issue:
+    """A single lint finding."""
+
+    kind: str
+    node: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.node}: {self.message}"
+
+
+def lint(network: LogicNetwork) -> Tuple[Issue, ...]:
+    """Return all soft issues found in ``network`` (empty = clean)."""
+    issues: List[Issue] = []
+    outputs = set(network.outputs)
+
+    dead = network.dead_nodes()
+    for name in dead:
+        issues.append(Issue("dead-logic", name,
+                            "no primary output is reachable from this node"))
+
+    for name in network.topological_order():
+        gate = network.gate(name)
+        if gate.is_input and not network.fanouts(name) and name not in outputs:
+            issues.append(Issue("unused-input", name,
+                                "primary input drives nothing"))
+        if gate.gate_type is GateType.BUF and not gate.is_input:
+            driver = network.gate(gate.fanins[0])
+            if driver.gate_type is GateType.BUF:
+                issues.append(Issue("buffer-chain", name,
+                                    f"buffer of buffer {driver.name!r}"))
+        if not gate.is_input and not network.fanouts(name) \
+                and name not in outputs:
+            issues.append(Issue("dangling-gate", name,
+                                "gate output drives nothing and is not a "
+                                "primary output"))
+    return tuple(issues)
+
+
+def assert_clean(network: LogicNetwork,
+                 allow_kinds: Tuple[str, ...] = ()) -> None:
+    """Raise ``AssertionError`` listing any lint issues not in ``allow_kinds``."""
+    issues = [issue for issue in lint(network) if issue.kind not in allow_kinds]
+    if issues:
+        summary = "\n".join(str(issue) for issue in issues[:20])
+        raise AssertionError(
+            f"network {network.name!r} has {len(issues)} lint issue(s):\n"
+            f"{summary}")

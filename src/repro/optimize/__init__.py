@@ -1,0 +1,79 @@
+"""Device-circuit optimizers (§4 of the paper).
+
+* :mod:`~repro.optimize.problem` — problem/design-point/result types.
+* :mod:`~repro.optimize.width_search` — per-gate minimum-width sizing
+  under Procedure 1 budgets (the inner loop of Procedure 2).
+* :mod:`~repro.optimize.heuristic` — Procedure 2: the joint
+  (Vdd, Vth, widths) search, in both the paper's feasibility-steered
+  binary-search form and a robust grid+ternary refinement.
+* :mod:`~repro.optimize.baseline` — the Table 1 comparator: fixed
+  ``Vth = 700 mV``, widths + Vdd only.
+* :mod:`~repro.optimize.annealing` — multiple-pass simulated annealing
+  comparator (§4.3/§5).
+* :mod:`~repro.optimize.scipy_opt` — SciPy continuous optimizers over the
+  same objective (cross-validation of the heuristic).
+* :mod:`~repro.optimize.multivth` — ``n_v > 1`` distinct threshold
+  voltages by gate grouping.
+* :mod:`~repro.optimize.multivdd` — dual supply rails by clustered
+  voltage scaling (the paper's "more than one ... power supply voltage
+  if desired" extension).
+* :mod:`~repro.optimize.variation` — worst-case Vth-tolerance robust
+  optimization (Figure 2a).
+"""
+
+from repro.optimize.problem import (
+    DesignPoint,
+    OptimizationProblem,
+    OptimizationResult,
+)
+from repro.optimize.width_search import WidthAssignment, size_widths
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.baseline import optimize_fixed_vth
+from repro.optimize.annealing import AnnealingSettings, optimize_annealing
+from repro.optimize.scipy_opt import optimize_scipy
+from repro.optimize.multivth import MultiVthSettings, optimize_multi_vth
+from repro.optimize.multivdd import MultiVddSettings, optimize_multi_vdd
+from repro.optimize.variation import VariationModel, optimize_with_variation
+from repro.optimize.yield_opt import YieldResult, YieldTarget, optimize_for_yield
+from repro.optimize.continuous_vth import (
+    ContinuousVthOutcome,
+    optimize_continuous_vth,
+)
+from repro.optimize.persist import load_design, save_design
+from repro.optimize.discretize import (
+    DiscretizationOutcome,
+    discretize_result,
+    geometric_grid,
+    snap_widths,
+)
+
+__all__ = [
+    "DesignPoint",
+    "OptimizationProblem",
+    "OptimizationResult",
+    "WidthAssignment",
+    "size_widths",
+    "HeuristicSettings",
+    "optimize_joint",
+    "optimize_fixed_vth",
+    "AnnealingSettings",
+    "optimize_annealing",
+    "optimize_scipy",
+    "MultiVthSettings",
+    "optimize_multi_vth",
+    "MultiVddSettings",
+    "optimize_multi_vdd",
+    "VariationModel",
+    "optimize_with_variation",
+    "YieldResult",
+    "YieldTarget",
+    "optimize_for_yield",
+    "ContinuousVthOutcome",
+    "optimize_continuous_vth",
+    "load_design",
+    "save_design",
+    "DiscretizationOutcome",
+    "discretize_result",
+    "geometric_grid",
+    "snap_widths",
+]

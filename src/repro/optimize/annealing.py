@@ -1,0 +1,180 @@
+"""Multiple-pass simulated annealing comparator (§4.3, §5).
+
+The paper implemented "an optimization tool for the above problem using
+multiple-pass simulated annealing" and found the heuristic "performed
+significantly better than annealing over all the circuits" — the search
+space (N + 2 continuous variables) is simply too large for annealing to
+converge in practical time. This module reproduces that comparator so the
+claim can be re-measured (``benchmarks/bench_annealing.py``).
+
+State: ``(Vdd, Vth, w_1..w_N)``. Moves perturb one variable at a time
+(multiplicative for widths, additive for voltages). The objective is the
+total energy with a multiplicative penalty for cycle-time violation, so
+the annealer may traverse infeasible regions but converges to feasible
+designs. Each *pass* restarts the temperature schedule from the best
+state found so far.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.optimize.problem import (
+    DesignPoint,
+    OptimizationProblem,
+    OptimizationResult,
+)
+from repro.power.energy import total_energy
+from repro.timing.sta import analyze_timing
+
+
+@dataclass(frozen=True)
+class AnnealingSettings:
+    """Schedule and move parameters."""
+
+    passes: int = 3
+    iterations_per_pass: int = 1500
+    initial_temperature: float = 1.0
+    cooling: float = 0.995
+    #: Multiplicative penalty weight on relative cycle-time violation.
+    penalty: float = 20.0
+    #: Move sizes: voltages (V), width (log-space factor).
+    vdd_step: float = 0.15
+    vth_step: float = 0.05
+    width_step: float = 0.35
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.passes < 1:
+            raise OptimizationError(f"passes must be >= 1, got {self.passes}")
+        if self.iterations_per_pass < 1:
+            raise OptimizationError("iterations_per_pass must be >= 1")
+        if not 0.0 < self.cooling < 1.0:
+            raise OptimizationError(
+                f"cooling must lie in (0, 1), got {self.cooling}")
+
+
+class _State:
+    """Mutable annealing state."""
+
+    def __init__(self, vdd: float, vth: float, widths: Dict[str, float]):
+        self.vdd = vdd
+        self.vth = vth
+        self.widths = widths
+
+    def copy(self) -> "_State":
+        return _State(self.vdd, self.vth, dict(self.widths))
+
+
+def _cost(problem: OptimizationProblem, state: _State,
+          penalty: float, reference_energy: float) -> tuple[float, float, bool]:
+    """(cost, energy, feasible) of a state; cost is energy-normalized."""
+    energy = total_energy(problem.ctx, state.vdd, state.vth, state.widths,
+                          problem.frequency).total
+    timing = analyze_timing(problem.ctx, state.vdd, state.vth, state.widths)
+    cycle = problem.cycle_time
+    violation = max(0.0, (timing.critical_delay - cycle) / cycle)
+    if math.isinf(violation):
+        return math.inf, energy, False
+    cost = (energy / reference_energy) * (1.0 + penalty * violation)
+    return cost, energy, violation <= 1e-9
+
+
+def optimize_annealing(problem: OptimizationProblem,
+                       settings: AnnealingSettings | None = None,
+                       initial: Optional[DesignPoint] = None,
+                       ) -> OptimizationResult:
+    """Run the annealing comparator; returns the best *feasible* design.
+
+    Raises :class:`InfeasibleError` if no feasible state was ever visited
+    (can happen with very tight clocks and short schedules — which is the
+    paper's point about annealing on this problem).
+    """
+    settings = settings or AnnealingSettings()
+    rng = random.Random(settings.seed)
+    tech = problem.tech
+    gates = list(problem.ctx.gates)
+
+    if initial is None:
+        state = _State(vdd=tech.vdd_max, vth=0.5 * (tech.vth_min + tech.vth_max),
+                       widths={name: 10.0 for name in gates})
+    else:
+        state = _State(initial.vdd,
+                       initial.vth if isinstance(initial.vth, float)
+                       else sum(initial.vth.values()) / len(initial.vth),
+                       dict(initial.widths))
+
+    reference = total_energy(problem.ctx, tech.vdd_max, tech.vth_max,
+                             {name: 10.0 for name in gates},
+                             problem.frequency).total
+    cost, energy, feasible = _cost(problem, state, settings.penalty, reference)
+    evaluations = 1
+
+    best_feasible: Optional[_State] = state.copy() if feasible else None
+    best_feasible_energy = energy if feasible else math.inf
+    best_cost = cost
+
+    for _ in range(settings.passes):
+        temperature = settings.initial_temperature
+        for _ in range(settings.iterations_per_pass):
+            candidate = state.copy()
+            _perturb(candidate, rng, settings, tech, gates)
+            new_cost, new_energy, new_feasible = _cost(
+                problem, candidate, settings.penalty, reference)
+            evaluations += 1
+            accept = new_cost <= cost or (
+                math.isfinite(new_cost)
+                and rng.random() < math.exp((cost - new_cost) / temperature))
+            if accept:
+                state, cost = candidate, new_cost
+                if new_feasible and new_energy < best_feasible_energy:
+                    best_feasible = candidate.copy()
+                    best_feasible_energy = new_energy
+                best_cost = min(best_cost, new_cost)
+            temperature *= settings.cooling
+        if best_feasible is not None:
+            state = best_feasible.copy()
+            cost, _, _ = _cost(problem, state, settings.penalty, reference)
+
+    if best_feasible is None:
+        raise InfeasibleError(
+            f"{problem.network.name}: annealing never reached a feasible "
+            f"state in {evaluations} evaluations")
+
+    design = DesignPoint(vdd=best_feasible.vdd, vth=best_feasible.vth,
+                         widths=dict(best_feasible.widths))
+    energy_report = total_energy(problem.ctx, design.vdd, design.vth,
+                                 design.widths, problem.frequency)
+    timing = analyze_timing(problem.ctx, design.vdd, design.vth,
+                            design.widths)
+    return OptimizationResult(
+        problem=problem, design=design, energy=energy_report, timing=timing,
+        evaluations=evaluations,
+        details={"strategy": "annealing", "passes": settings.passes,
+                 "iterations_per_pass": settings.iterations_per_pass,
+                 "seed": settings.seed})
+
+
+def _perturb(state: _State, rng: random.Random, settings: AnnealingSettings,
+             tech, gates: List[str]) -> None:
+    """Mutate one randomly chosen variable in place."""
+    roll = rng.random()
+    if roll < 0.15:
+        state.vdd = _clamp(state.vdd + rng.uniform(-1.0, 1.0)
+                           * settings.vdd_step, tech.vdd_min, tech.vdd_max)
+    elif roll < 0.30:
+        state.vth = _clamp(state.vth + rng.uniform(-1.0, 1.0)
+                           * settings.vth_step, tech.vth_min, tech.vth_max)
+    else:
+        name = gates[rng.randrange(len(gates))]
+        factor = math.exp(rng.uniform(-1.0, 1.0) * settings.width_step)
+        state.widths[name] = _clamp(state.widths[name] * factor,
+                                    tech.width_min, tech.width_max)
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return min(max(value, low), high)

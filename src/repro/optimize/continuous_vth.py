@@ -1,0 +1,169 @@
+"""Per-gate continuous threshold assignment: the ``n_v → ∞`` bound.
+
+§4 fixes "the same threshold voltage V_TSi and the same supply voltage
+V_dd to all the logic gates" as the practical limiting case, while §2
+prices each extra distinct threshold in masks or tub biases. The natural
+question a technologist asks is: *how much is left on the table?* — what
+would an unconstrained, per-gate threshold assignment (every gate its own
+tub bias) save over ``n_v = 1, 2, 3``?
+
+The safe local move is **slack reclamation**. At the single-Vth optimum,
+many gates sit at the minimum width ``w = 1`` with their budget-required
+width *below* 1 — the width clamp parks timing slack in them. For such a
+gate, raising its private ``Vth`` until the required width grows back to
+exactly 1 changes *nothing* outside the gate (its width, and therefore
+every load and every other gate's sizing, stays identical) while its
+subthreshold leakage falls exponentially. The refinement is therefore
+provably non-worsening gate by gate; a full STA re-verifies the result.
+
+(A greedier variant — letting every gate trade width for threshold under
+a first-order cost model — measurably *loses*: the upstream width cascade
+it ignores dominates. That experiment motivated this conservative design
+and is kept in the bench notes.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.context import CircuitContext
+from repro.errors import OptimizationError
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import (
+    DesignPoint,
+    OptimizationProblem,
+    OptimizationResult,
+)
+from repro.optimize.width_search import _closed_form_width, _slope_term
+from repro.power.energy import total_energy
+from repro.timing.budgeting import BudgetResult
+from repro.timing.delay_model import effective_drive_per_width
+from repro.timing.sta import analyze_timing
+
+
+def _required_width(ctx: CircuitContext, name: str, vdd: float, vth: float,
+                    budget: float, budgets: Dict[str, float],
+                    widths: Dict[str, float]) -> float | None:
+    """Unclamped budget-required width of one gate (None = infeasible)."""
+    info = ctx.info(name)
+    drive = effective_drive_per_width(ctx.tech, vdd, vth, info.fanin_count)
+    if drive <= 0.0:
+        return None
+    slope = _slope_term(ctx, name, vdd, vth, budgets)
+    width, _ = _closed_form_width(ctx, name, budget, slope, vdd, drive,
+                                  widths)
+    return width
+
+
+def reclaim_slack_with_vth(problem: OptimizationProblem,
+                           base: OptimizationResult,
+                           budgets: BudgetResult,
+                           refine_iters: int = 24,
+                           width_tolerance: float = 1e-6
+                           ) -> Tuple[Dict[str, float], Tuple[str, ...]]:
+    """Raise slack-parked gates' thresholds at constant width.
+
+    Returns ``(vth_map, reclaimed)`` — the per-gate thresholds and the
+    names of gates whose slack was converted into leakage savings. All
+    widths are untouched by construction.
+    """
+    if refine_iters < 2:
+        raise OptimizationError("refine_iters must be >= 2")
+    ctx = problem.ctx
+    tech = problem.tech
+    vdd = float(base.design.distinct_vdds()[0])
+    base_vth = float(base.design.distinct_vths()[0])
+    budget_map = dict(budgets.budgets)
+    widths = dict(base.design.widths)
+
+    vth_map: Dict[str, float] = {name: base_vth for name in ctx.gates}
+    reclaimed = []
+    floor = tech.width_min * (1.0 + width_tolerance)
+    for name in ctx.gates:
+        if widths[name] > floor:
+            continue  # sized above the clamp: no parked slack.
+        budget = budget_map[name]
+        needed = _required_width(ctx, name, vdd, base_vth, budget,
+                                 budget_map, widths)
+        if needed is None or needed > tech.width_min:
+            continue
+        if base_vth >= tech.vth_max:
+            continue
+        # Required width is monotone increasing in Vth: bisect the
+        # highest Vth whose requirement still fits under the clamp.
+        low, high = base_vth, tech.vth_max
+        top = _required_width(ctx, name, vdd, high, budget, budget_map,
+                              widths)
+        if top is not None and top <= tech.width_min:
+            vth_map[name] = high
+            reclaimed.append(name)
+            continue
+        for _ in range(refine_iters):
+            middle = 0.5 * (low + high)
+            needed = _required_width(ctx, name, vdd, middle, budget,
+                                     budget_map, widths)
+            if needed is not None and needed <= tech.width_min:
+                low = middle
+            else:
+                high = middle
+        if low > base_vth * (1.0 + 1e-9):
+            vth_map[name] = low
+            reclaimed.append(name)
+    return vth_map, tuple(reclaimed)
+
+
+@dataclass(frozen=True)
+class ContinuousVthOutcome:
+    """The n_v → ∞ bound next to its single-Vth starting point."""
+
+    single: OptimizationResult
+    refined: OptimizationResult
+    reclaimed: Tuple[str, ...]
+
+    @property
+    def gain(self) -> float:
+        """single / refined total energy (>= 1)."""
+        return self.single.total_energy / self.refined.total_energy
+
+
+def optimize_continuous_vth(problem: OptimizationProblem,
+                            settings: HeuristicSettings | None = None,
+                            budgets: BudgetResult | None = None,
+                            refine_iters: int = 24
+                            ) -> ContinuousVthOutcome:
+    """Per-gate Vth slack reclamation on top of the single-Vth optimum.
+
+    Never worse than the single-Vth design (widths untouched, leakage
+    only reduced); re-verified with a full STA pass.
+    """
+    if budgets is None:
+        budgets = problem.budgets()
+    single = optimize_joint(problem, settings=settings, budgets=budgets)
+    vth_map, reclaimed = reclaim_slack_with_vth(problem, single, budgets,
+                                                refine_iters=refine_iters)
+    if not reclaimed:
+        return ContinuousVthOutcome(single=single, refined=single,
+                                    reclaimed=())
+    vdd = float(single.design.distinct_vdds()[0])
+    widths = dict(single.design.widths)
+    timing = analyze_timing(problem.ctx, vdd, vth_map, widths)
+    energy = total_energy(problem.ctx, vdd, vth_map, widths,
+                          problem.frequency)
+    if not timing.meets(problem.cycle_time * problem.skew_factor,
+                        tolerance=1e-9) \
+            or energy.total >= single.total_energy:
+        return ContinuousVthOutcome(single=single, refined=single,
+                                    reclaimed=())
+    refined = OptimizationResult(
+        problem=problem,
+        design=DesignPoint(vdd=vdd, vth=vth_map, widths=widths),
+        energy=energy, timing=timing, evaluations=single.evaluations,
+        details={"strategy": "continuous-vth",
+                 "single_vth_energy": single.total_energy,
+                 "reclaimed_gates": len(reclaimed),
+                 "distinct_vths": len(set(round(value, 6)
+                                          for value in vth_map.values()))})
+    return ContinuousVthOutcome(single=single, refined=refined,
+                                reclaimed=reclaimed)

@@ -1,0 +1,142 @@
+"""Discrete device widths: snapping the continuous optimum to a library.
+
+The paper sizes each transistor continuously in ``[1, 100]``; a standard
+cell library only offers a geometric ladder of drive strengths (X1, X1.4,
+X2, ...). This module quantifies that manufacturability step:
+
+* :func:`geometric_grid` — the size ladder,
+* :func:`snap_widths` — per-gate rounding of a continuous width map.
+  Rounding **up** preserves every gate's own delay bound; it also grows
+  the loads of driving gates, so the snapped design is re-verified with
+  a full STA pass and — if the load growth broke timing — iteratively
+  bumps the violating gates' drivers one step (at most a few passes; the
+  ladder is finite),
+* :func:`discretize_result` — the end-to-end wrapper producing a new
+  :class:`~repro.optimize.problem.OptimizationResult` plus the measured
+  energy penalty of discreteness.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.optimize.problem import (
+    DesignPoint,
+    OptimizationProblem,
+    OptimizationResult,
+)
+from repro.power.energy import total_energy
+from repro.timing.sta import analyze_timing
+
+
+def geometric_grid(minimum: float = 1.0, maximum: float = 100.0,
+                   ratio: float = math.sqrt(2.0)) -> Tuple[float, ...]:
+    """A geometric drive-strength ladder covering ``[minimum, maximum]``.
+
+    The default sqrt(2) ratio is the classic X1/X1.4/X2/... library
+    progression; the top size is always included.
+    """
+    if minimum <= 0.0 or maximum <= minimum:
+        raise OptimizationError(
+            f"need 0 < minimum < maximum, got [{minimum}, {maximum}]")
+    if ratio <= 1.0:
+        raise OptimizationError(f"ratio must be > 1, got {ratio}")
+    sizes: List[float] = []
+    size = minimum
+    while size < maximum * (1.0 - 1e-12):
+        sizes.append(size)
+        size *= ratio
+    sizes.append(maximum)
+    return tuple(sizes)
+
+
+def _snap_up(grid: Tuple[float, ...], width: float) -> float:
+    index = bisect_left(grid, width * (1.0 - 1e-12))
+    if index >= len(grid):
+        return grid[-1]
+    return grid[index]
+
+
+def _bump(grid: Tuple[float, ...], width: float) -> float:
+    """The next ladder step above ``width`` (saturates at the top)."""
+    index = bisect_left(grid, width * (1.0 + 1e-12))
+    if index >= len(grid):
+        return grid[-1]
+    return grid[index]
+
+
+def snap_widths(problem: OptimizationProblem, design: DesignPoint,
+                grid: Tuple[float, ...] | None = None,
+                max_repair_passes: int = 8) -> Dict[str, float]:
+    """Snap a continuous design's widths up onto ``grid``, repair timing.
+
+    Raises :class:`InfeasibleError` if even saturating the ladder cannot
+    recover the cycle time (practically impossible when the continuous
+    design was feasible, since the ladder tops out at ``width_max``).
+    """
+    tech = problem.tech
+    if grid is None:
+        grid = geometric_grid(tech.width_min, tech.width_max)
+    snapped = {name: _snap_up(grid, width)
+               for name, width in design.widths.items()}
+
+    cycle = problem.cycle_time * problem.skew_factor
+    for _ in range(max_repair_passes):
+        report = analyze_timing(problem.ctx, design.vdd, design.vth,
+                                snapped)
+        if report.meets(cycle, tolerance=1e-9):
+            return snapped
+        # Bump the drivers along the violating critical path one step.
+        moved = False
+        for name in report.critical_path:
+            if name not in snapped:
+                continue
+            bigger = _bump(grid, snapped[name])
+            if bigger > snapped[name]:
+                snapped[name] = bigger
+                moved = True
+        if not moved:
+            break
+    raise InfeasibleError(
+        f"{problem.network.name}: discrete sizing could not recover the "
+        f"cycle time on grid of {len(grid)} sizes")
+
+
+@dataclass(frozen=True)
+class DiscretizationOutcome:
+    """Continuous-vs-discrete comparison."""
+
+    continuous: OptimizationResult
+    discrete: OptimizationResult
+    grid_size: int
+
+    @property
+    def energy_penalty(self) -> float:
+        """discrete / continuous total energy (>= ~1)."""
+        return self.discrete.total_energy / self.continuous.total_energy
+
+
+def discretize_result(problem: OptimizationProblem,
+                      result: OptimizationResult,
+                      grid: Tuple[float, ...] | None = None
+                      ) -> DiscretizationOutcome:
+    """Snap ``result`` to the ladder and package the comparison."""
+    tech = problem.tech
+    if grid is None:
+        grid = geometric_grid(tech.width_min, tech.width_max)
+    snapped = snap_widths(problem, result.design, grid=grid)
+    design = DesignPoint(vdd=result.design.vdd, vth=result.design.vth,
+                         widths=snapped)
+    energy = total_energy(problem.ctx, design.vdd, design.vth, snapped,
+                          problem.frequency)
+    timing = analyze_timing(problem.ctx, design.vdd, design.vth, snapped)
+    discrete = OptimizationResult(
+        problem=problem, design=design, energy=energy, timing=timing,
+        evaluations=result.evaluations,
+        details={"strategy": "discretized", "grid_size": len(grid)})
+    return DiscretizationOutcome(continuous=result, discrete=discrete,
+                                 grid_size=len(grid))

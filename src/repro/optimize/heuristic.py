@@ -1,0 +1,321 @@
+"""Procedure 2: the joint (Vdd, Vth, widths) heuristic (§4.3).
+
+Two search strategies over the (Vdd, Vth) plane are provided; both use
+the same inner loop (Procedure 1 budgets + minimum-width sizing, see
+:mod:`repro.optimize.width_search`) and the same objective (total energy
+per cycle, eqs. A1 + A2), and both exploit the §4.3 observation that
+power and delay are monotonic in each variable individually:
+
+* ``"paper"`` — the published nested binary search: M bisection steps on
+  ``Vdd`` (range [0.1, 3.3] V), M on ``Vth`` (range [0.1, 0.7] V), with
+  range halving steered by feasibility and energy improvement, exactly as
+  in the Procedure 2 pseudocode. ``O(M^2)`` circuit evaluations with the
+  closed-form width solver (the paper's per-gate width bisection adds the
+  third M).
+* ``"grid"`` (default) — a coarse exhaustive grid over the same plane
+  followed by coordinate-descent ternary refinement around the best cell.
+  The published search can get trapped when the feasible region's
+  boundary makes the steering predicate non-monotone; the grid strategy
+  is deterministic, never misses the global basin at grid resolution, and
+  is what the experiments use. The ablation bench
+  (``benchmarks/bench_ablation_search.py``) compares the two.
+
+The returned design is always re-verified with a full STA pass at the
+chosen point; the Procedure 1 + minimum-width construction guarantees the
+verification passes (budget sums bound every path by ``b * T_c``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.optimize.problem import (
+    DesignPoint,
+    OptimizationProblem,
+    OptimizationResult,
+)
+from repro.optimize.width_search import WidthAssignment, size_widths
+from repro.power.energy import total_energy
+from repro.timing.budgeting import BudgetResult
+from repro.timing.sta import analyze_timing
+
+
+@dataclass(frozen=True)
+class HeuristicSettings:
+    """Tuning knobs of Procedure 2."""
+
+    strategy: str = "grid"
+    #: Paper strategy: bisection steps per voltage loop (the paper's M).
+    m_steps: int = 12
+    #: Grid strategy: grid resolution on each axis.
+    grid_vdd: int = 15
+    grid_vth: int = 13
+    #: Grid strategy: ternary-refinement iterations per coordinate pass.
+    refine_iters: int = 18
+    #: Coordinate-descent passes after the grid.
+    refine_rounds: int = 2
+    #: Width solver: "closed_form" (exact) or "bisect" (paper-faithful).
+    width_method: str = "closed_form"
+    #: Evaluation engine: "scalar" (reference) or "fast" (vectorized
+    #: NumPy; falls back to the scalar path wherever budget repair is
+    #: needed, so results are identical).
+    engine: str = "scalar"
+    #: Optional search-range overrides (defaults: technology bounds).
+    vdd_range: Optional[Tuple[float, float]] = None
+    vth_range: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("grid", "paper"):
+            raise OptimizationError(f"unknown strategy {self.strategy!r}")
+        if self.m_steps < 2:
+            raise OptimizationError(f"m_steps must be >= 2, got {self.m_steps}")
+        if self.grid_vdd < 2 or self.grid_vth < 2:
+            raise OptimizationError("grid must be at least 2x2")
+        if self.engine not in ("scalar", "fast"):
+            raise OptimizationError(f"unknown engine {self.engine!r}")
+
+
+@dataclass
+class _SearchState:
+    """Mutable bookkeeping shared by the search strategies."""
+
+    best_energy: float = math.inf
+    best_point: Optional[Tuple[float, float]] = None
+    best_widths: Optional[Mapping[str, float]] = None
+    evaluations: int = 0
+    feasible_points: int = 0
+
+
+def _make_objective(problem: OptimizationProblem, budgets: BudgetResult,
+                    settings: HeuristicSettings,
+                    state: _SearchState,
+                    energy_vth_bias: Callable[[float], float] | None = None,
+                    delay_vth_bias: Callable[[float], float] | None = None,
+                    ) -> Callable[[float, float], float]:
+    """Objective: total energy at (vdd, vth), inf when sizing fails.
+
+    The two bias hooks let the variation-aware optimizer evaluate delay at
+    the slow-corner threshold and leakage at the leaky-corner threshold
+    while the search variable remains the nominal Vth (Figure 2a).
+    """
+
+    fast_state: Dict[str, object] = {}
+    if settings.engine == "fast":
+        from repro.fastpath import ArrayContext
+
+        fast_state["arrays"] = ArrayContext(problem.ctx)
+        fast_state["budgets"] = fast_state["arrays"].budgets_to_array(
+            dict(budgets.budgets))
+
+    def objective(vdd: float, vth: float) -> float:
+        state.evaluations += 1
+        delay_vth = vth if delay_vth_bias is None else delay_vth_bias(vth)
+        energy_vth = vth if energy_vth_bias is None else energy_vth_bias(vth)
+
+        if settings.engine == "fast":
+            from repro.fastpath import fast_size_widths, fast_total_energy
+
+            arrays = fast_state["arrays"]
+            sizing = fast_size_widths(arrays, fast_state["budgets"], vdd,
+                                      delay_vth)
+            if sizing.feasible:
+                state.feasible_points += 1
+                static, dynamic = fast_total_energy(
+                    arrays, vdd, energy_vth, sizing.widths,
+                    problem.frequency)
+                energy = static + dynamic
+                if energy < state.best_energy:
+                    state.best_energy = energy
+                    state.best_point = (vdd, vth)
+                    state.best_widths = sizing.widths_map(arrays)
+                return energy
+            # Fall through: the scalar path may still succeed via repair.
+
+        assignment = size_widths(
+            problem.ctx, budgets.budgets, vdd, delay_vth,
+            method=settings.width_method,
+            repair_ceiling=budgets.effective_cycle_time)
+        if not assignment.feasible:
+            return math.inf
+        state.feasible_points += 1
+        report = total_energy(problem.ctx, vdd, energy_vth,
+                              assignment.widths, problem.frequency)
+        energy = report.total
+        if energy < state.best_energy:
+            state.best_energy = energy
+            state.best_point = (vdd, vth)
+            state.best_widths = assignment.widths
+        return energy
+
+    return objective
+
+
+def _ranges(problem: OptimizationProblem,
+            settings: HeuristicSettings) -> Tuple[Tuple[float, float],
+                                                  Tuple[float, float]]:
+    tech = problem.tech
+    vdd_range = settings.vdd_range or (tech.vdd_min, tech.vdd_max)
+    vth_range = settings.vth_range or (tech.vth_min, tech.vth_max)
+    if vdd_range[0] >= vdd_range[1] or vth_range[0] >= vth_range[1]:
+        raise OptimizationError(
+            f"bad search ranges vdd={vdd_range}, vth={vth_range}")
+    return vdd_range, vth_range
+
+
+def _linspace(low: float, high: float, count: int) -> List[float]:
+    if count == 1:
+        return [0.5 * (low + high)]
+    step = (high - low) / (count - 1)
+    return [low + index * step for index in range(count)]
+
+
+def _grid_search(objective: Callable[[float, float], float],
+                 vdd_range: Tuple[float, float],
+                 vth_range: Tuple[float, float],
+                 settings: HeuristicSettings) -> None:
+    vdd_values = _linspace(*vdd_range, settings.grid_vdd)
+    vth_values = _linspace(*vth_range, settings.grid_vth)
+    for vdd in vdd_values:
+        for vth in vth_values:
+            objective(vdd, vth)
+
+
+def _ternary_min(function: Callable[[float], float], low: float, high: float,
+                 iterations: int) -> float:
+    """Ternary search for the minimizer of a (near) unimodal function."""
+    for _ in range(iterations):
+        third = (high - low) / 3.0
+        left = low + third
+        right = high - third
+        if function(left) <= function(right):
+            high = right
+        else:
+            low = left
+    return 0.5 * (low + high)
+
+
+def _refine(objective: Callable[[float, float], float], state: _SearchState,
+            vdd_range: Tuple[float, float], vth_range: Tuple[float, float],
+            settings: HeuristicSettings) -> None:
+    """Coordinate-descent ternary refinement around the best grid cell."""
+    if state.best_point is None:
+        return
+    vdd_step = (vdd_range[1] - vdd_range[0]) / (settings.grid_vdd - 1)
+    vth_step = (vth_range[1] - vth_range[0]) / (settings.grid_vth - 1)
+    for _ in range(settings.refine_rounds):
+        vdd_best, vth_best = state.best_point
+        low = max(vdd_range[0], vdd_best - vdd_step)
+        high = min(vdd_range[1], vdd_best + vdd_step)
+        vdd_candidate = _ternary_min(
+            lambda vdd: objective(vdd, state.best_point[1]),
+            low, high, settings.refine_iters)
+        objective(vdd_candidate, state.best_point[1])
+        vdd_best, vth_best = state.best_point
+        low = max(vth_range[0], vth_best - vth_step)
+        high = min(vth_range[1], vth_best + vth_step)
+        vth_candidate = _ternary_min(
+            lambda vth: objective(state.best_point[0], vth),
+            low, high, settings.refine_iters)
+        objective(state.best_point[0], vth_candidate)
+
+
+def _paper_search(objective: Callable[[float, float], float],
+                  state: _SearchState,
+                  vdd_range: Tuple[float, float],
+                  vth_range: Tuple[float, float],
+                  settings: HeuristicSettings) -> None:
+    """The published feasibility/improvement-steered nested bisection."""
+    vdd_low, vdd_high = vdd_range
+    previous_outer_best = math.inf
+    for _ in range(settings.m_steps):
+        vdd = 0.5 * (vdd_low + vdd_high)
+        vth_low, vth_high = vth_range
+        inner_best = math.inf
+        previous_inner_best = math.inf
+        for _ in range(settings.m_steps):
+            vth = 0.5 * (vth_low + vth_high)
+            energy = objective(vdd, vth)
+            improved = energy < previous_inner_best
+            if improved:
+                previous_inner_best = energy
+                inner_best = min(inner_best, energy)
+            if math.isfinite(energy) and improved:
+                # Feasible and improving: raise Vth to shave more leakage.
+                vth_low = vth
+            else:
+                vth_high = vth
+        if math.isfinite(inner_best) and inner_best < previous_outer_best:
+            previous_outer_best = inner_best
+            # Feasible and improving: push the supply further down.
+            vdd_high = vdd
+        else:
+            vdd_low = vdd
+
+
+def optimize_joint(problem: OptimizationProblem,
+                   settings: HeuristicSettings | None = None,
+                   budgets: BudgetResult | None = None,
+                   seeds: "Tuple[Tuple[float, float], ...]" = (),
+                   _energy_vth_bias: Callable[[float], float] | None = None,
+                   _delay_vth_bias: Callable[[float], float] | None = None,
+                   ) -> OptimizationResult:
+    """Run Procedure 2 on ``problem`` and return the optimized design.
+
+    ``seeds`` are extra (Vdd, Vth) candidates evaluated alongside the
+    search — sweeps warm-start each point with the previous optimum so a
+    relaxed problem can never appear worse than a tighter one.
+
+    Raises :class:`InfeasibleError` when no (Vdd, Vth, widths) point in
+    the technology's ranges meets the cycle time. For ``n_vth > 1`` use
+    :func:`repro.optimize.multivth.optimize_multi_vth`, which builds on
+    this single-Vth optimizer.
+    """
+    settings = settings or HeuristicSettings()
+    if budgets is None:
+        budgets = problem.budgets()
+    state = _SearchState()
+    objective = _make_objective(problem, budgets, settings, state,
+                                energy_vth_bias=_energy_vth_bias,
+                                delay_vth_bias=_delay_vth_bias)
+    vdd_range, vth_range = _ranges(problem, settings)
+
+    for seed_vdd, seed_vth in seeds:
+        objective(seed_vdd, seed_vth)
+    if settings.strategy == "grid":
+        _grid_search(objective, vdd_range, vth_range, settings)
+        _refine(objective, state, vdd_range, vth_range, settings)
+    else:
+        _paper_search(objective, state, vdd_range, vth_range, settings)
+    # Refine once more around the overall best (a seed may have won).
+    if settings.strategy == "grid":
+        _refine(objective, state, vdd_range, vth_range, settings)
+
+    if state.best_point is None or state.best_widths is None:
+        raise InfeasibleError(
+            f"{problem.network.name}: no (Vdd, Vth) point meets "
+            f"T_c = {problem.cycle_time:.3e} s — even the fastest corner "
+            f"fails; relax the clock or widen the technology ranges")
+
+    vdd, vth = state.best_point
+    design = DesignPoint(vdd=vdd, vth=vth, widths=dict(state.best_widths))
+    energy = total_energy(problem.ctx, vdd,
+                          vth if _energy_vth_bias is None
+                          else _energy_vth_bias(vth),
+                          design.widths, problem.frequency)
+    timing = analyze_timing(problem.ctx, vdd,
+                            vth if _delay_vth_bias is None
+                            else _delay_vth_bias(vth),
+                            design.widths)
+    details: Dict[str, object] = {
+        "strategy": settings.strategy,
+        "feasible_points": state.feasible_points,
+        "budget_rescale": budgets.rescale_factor,
+        "budget_paths": budgets.paths_processed,
+        "width_method": settings.width_method,
+    }
+    return OptimizationResult(problem=problem, design=design, energy=energy,
+                              timing=timing, evaluations=state.evaluations,
+                              details=details)

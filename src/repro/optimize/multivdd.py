@@ -1,0 +1,177 @@
+"""Dual supply voltages by clustered voltage scaling (extension).
+
+The paper keeps a single global ``Vdd`` "since it is impractical to have
+more than one power supply in the circuit" but explicitly retains "the
+flexibility to use more than one threshold or power supply voltage if
+desired" (§4). This module is that flexibility: the classic
+*clustered voltage scaling* (CVS) scheme with two rails.
+
+CVS constraint: a low-rail gate may never drive a high-rail gate (its
+output cannot fully turn off the receiver's pmos), so the low-rail
+cluster must be closed under fanout — it grows backwards from the primary
+outputs. Level-shifter overhead at the module boundary is neglected
+(documented; the paper's single-Vdd stance makes this an exploratory
+extension, not a headline result).
+
+Algorithm:
+
+1. Solve the single-Vdd problem with Procedure 2 (high rail, global Vth).
+2. Order gates by *slack* (actual delay vs budget at the optimum); grow
+   the low cluster from the outputs over fanout-closed, slack-rich gates
+   up to a target fraction.
+3. Ternary-search the low rail in ``[vdd_min, vdd_high]``, re-sizing all
+   widths at every candidate; keep the best feasible point.
+
+**Measured finding** (bench ``benchmarks/bench_multivdd.py``): under the
+paper's budget-then-size flow the dual rail does *not* pay — Procedure 1
+already converts all path slack into loose budgets, so low-rail gates
+have no surplus timing to trade and the width inflation outweighs the
+``V^2`` saving. The optimizer detects this and falls back to the
+single-rail design (``strategy="multi-vdd-fallback"``), which quantifies
+and supports the paper's own "impractical to have more than one power
+supply" stance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Set, Tuple
+
+from repro.errors import OptimizationError
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import (
+    DesignPoint,
+    OptimizationProblem,
+    OptimizationResult,
+)
+from repro.optimize.width_search import size_widths
+from repro.power.energy import total_energy
+from repro.timing.budgeting import BudgetResult
+from repro.timing.sta import analyze_timing
+
+
+@dataclass(frozen=True)
+class MultiVddSettings:
+    """Knobs of the CVS refinement."""
+
+    #: Target fraction of gates in the low-rail cluster.
+    cluster_fraction: float = 0.5
+    #: Ternary iterations for the low-rail search.
+    refine_iters: int = 14
+    #: Settings of the bootstrap single-Vdd solve.
+    single: HeuristicSettings = HeuristicSettings()
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cluster_fraction < 1.0:
+            raise OptimizationError(
+                f"cluster_fraction must lie in (0, 1), got "
+                f"{self.cluster_fraction}")
+        if self.refine_iters < 2:
+            raise OptimizationError("refine_iters must be >= 2")
+
+
+def grow_low_cluster(problem: OptimizationProblem,
+                     budgets: BudgetResult,
+                     slacks: Mapping[str, float],
+                     fraction: float) -> Tuple[str, ...]:
+    """Select a fanout-closed low-rail cluster of about ``fraction`` gates.
+
+    Gates are visited in reverse topological order (so each gate's
+    fanouts are decided first — CVS closure is checkable locally) and
+    admitted greedily while slack-rich, preferring larger slack.
+    """
+    network = problem.network
+    target = int(fraction * network.gate_count)
+    ordered = sorted(network.logic_gates,
+                     key=lambda name: -slacks.get(name, 0.0))
+    rank = {name: index for index, name in enumerate(ordered)}
+
+    cluster: Set[str] = set()
+    for name in reversed(network.topological_order()):
+        if network.gate(name).is_input:
+            continue
+        if len(cluster) >= target:
+            break
+        fanouts = network.fanouts(name)
+        if any(sink not in cluster for sink in fanouts):
+            continue  # would drive a high-rail gate
+        if rank[name] > 2 * target:
+            continue  # slack-poor; keep on the fast rail
+        cluster.add(name)
+    return tuple(sorted(cluster))
+
+
+def optimize_multi_vdd(problem: OptimizationProblem,
+                       settings: MultiVddSettings | None = None,
+                       budgets: BudgetResult | None = None
+                       ) -> OptimizationResult:
+    """CVS dual-rail optimization; falls back to single-Vdd if it loses."""
+    settings = settings or MultiVddSettings()
+    if budgets is None:
+        budgets = problem.budgets()
+    single = optimize_joint(problem, settings=settings.single,
+                            budgets=budgets)
+    high_rail = float(single.design.distinct_vdds()[0])
+    vth = single.design.vth
+
+    slacks = {name: budgets.budgets[name] - single.timing.delay(name)
+              for name in problem.network.logic_gates}
+    cluster = grow_low_cluster(problem, budgets, slacks,
+                               settings.cluster_fraction)
+    if not cluster:
+        return single
+
+    evaluations = single.evaluations
+
+    def rail_map(low_rail: float) -> Dict[str, float]:
+        mapping = {name: high_rail for name in problem.network.logic_gates}
+        for name in cluster:
+            mapping[name] = low_rail
+        return mapping
+
+    def evaluate(low_rail: float) -> Tuple[float, Mapping[str, float] | None]:
+        nonlocal evaluations
+        evaluations += 1
+        mapping = rail_map(low_rail)
+        assignment = size_widths(problem.ctx, budgets.budgets, mapping, vth,
+                                 repair_ceiling=budgets.effective_cycle_time)
+        if not assignment.feasible:
+            return math.inf, None
+        energy = total_energy(problem.ctx, mapping, vth, assignment.widths,
+                              problem.frequency).total
+        return energy, assignment.widths
+
+    low, high = problem.tech.vdd_min, high_rail
+    for _ in range(settings.refine_iters):
+        third = (high - low) / 3.0
+        left, right = low + third, high - third
+        if evaluate(left)[0] <= evaluate(right)[0]:
+            high = right
+        else:
+            low = left
+    best_low = 0.5 * (low + high)
+    energy, widths = evaluate(best_low)
+
+    if widths is None or energy >= single.total_energy:
+        details = dict(single.details)
+        details["strategy"] = "multi-vdd-fallback"
+        details["cluster_size"] = len(cluster)
+        return OptimizationResult(problem=problem, design=single.design,
+                                  energy=single.energy,
+                                  timing=single.timing,
+                                  evaluations=evaluations,
+                                  details=details)
+
+    mapping = rail_map(best_low)
+    design = DesignPoint(vdd=mapping, vth=vth, widths=dict(widths))
+    energy_report = total_energy(problem.ctx, mapping, vth, design.widths,
+                                 problem.frequency)
+    timing = analyze_timing(problem.ctx, mapping, vth, design.widths)
+    return OptimizationResult(
+        problem=problem, design=design, energy=energy_report, timing=timing,
+        evaluations=evaluations,
+        details={"strategy": "multi-vdd", "cluster_size": len(cluster),
+                 "high_rail": round(high_rail, 4),
+                 "low_rail": round(best_low, 4),
+                 "single_vdd_energy": single.total_energy})

@@ -1,0 +1,190 @@
+"""Multiple distinct threshold voltages (``n_v > 1``, §2 and §4.3).
+
+The paper keeps a single global ``Vdd`` but "allows the use of multiple
+threshold values in the circuit if desired" — each extra value costs an
+implant mask or a separate tub bias (Figure 1), so ``n_v`` is small
+(1–3). The classic payoff: gates with tight Procedure 1 budgets keep a
+low (fast, leaky) threshold while slack-rich gates take a high (slow,
+frugal) threshold.
+
+Implementation:
+
+1. Solve the single-Vth problem with Procedure 2.
+2. Partition the gates into ``n_v`` groups by *budget tightness* — the
+   per-fanout delay budget ``t_MAXi / f_oi`` (the quantity Procedure 1
+   equalizes along the most critical path), tightest group first.
+3. Coordinate-descent: ternary-search each group's threshold (tightest
+   group last, so it adapts to the relaxed groups), re-sizing all widths
+   at every trial point; then re-refine ``Vdd``. Rounds repeat until no
+   group moves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import (
+    DesignPoint,
+    OptimizationProblem,
+    OptimizationResult,
+)
+from repro.optimize.width_search import size_widths
+from repro.power.energy import total_energy
+from repro.timing.budgeting import BudgetResult
+from repro.timing.paths import node_weight
+from repro.timing.sta import analyze_timing
+
+
+@dataclass(frozen=True)
+class MultiVthSettings:
+    """Knobs of the multi-threshold refinement."""
+
+    #: Ternary iterations per group refinement.
+    refine_iters: int = 14
+    #: Coordinate-descent rounds over the groups.
+    rounds: int = 3
+    #: Settings of the bootstrap single-Vth solve.
+    single: HeuristicSettings = HeuristicSettings()
+
+    def __post_init__(self) -> None:
+        if self.refine_iters < 2 or self.rounds < 1:
+            raise OptimizationError("refine_iters >= 2 and rounds >= 1 required")
+
+
+def group_gates_by_budget(problem: OptimizationProblem,
+                          budgets: BudgetResult,
+                          n_groups: int) -> Tuple[Tuple[str, ...], ...]:
+    """Partition gates into ``n_groups`` by per-fanout budget tightness.
+
+    Group 0 is the tightest (most speed-critical); equal-size quantile
+    split, deterministic by (tightness, name).
+    """
+    if n_groups < 1:
+        raise OptimizationError(f"n_groups must be >= 1, got {n_groups}")
+    network = problem.network
+    keyed = sorted(
+        (budgets.budgets[name] / max(node_weight(network, name), 1), name)
+        for name in network.logic_gates)
+    names = [name for _, name in keyed]
+    total = len(names)
+    groups: List[Tuple[str, ...]] = []
+    for index in range(n_groups):
+        start = index * total // n_groups
+        stop = (index + 1) * total // n_groups
+        groups.append(tuple(names[start:stop]))
+    return tuple(group for group in groups if group)
+
+
+def optimize_multi_vth(problem: OptimizationProblem,
+                       settings: MultiVthSettings | None = None,
+                       budgets: BudgetResult | None = None,
+                       ) -> OptimizationResult:
+    """Solve with ``problem.n_vth`` distinct threshold voltages."""
+    settings = settings or MultiVthSettings()
+    if budgets is None:
+        budgets = problem.budgets()
+    single = optimize_joint(problem, settings=settings.single,
+                            budgets=budgets)
+    if problem.n_vth == 1:
+        return single
+
+    tech = problem.tech
+    groups = group_gates_by_budget(problem, budgets, problem.n_vth)
+    base_vth = float(single.design.distinct_vths()[0])
+    group_vths: List[float] = [base_vth for _ in groups]
+    vdd = single.design.vdd
+    evaluations = single.evaluations
+
+    def vth_map(vths: List[float]) -> Dict[str, float]:
+        mapping: Dict[str, float] = {}
+        for vth, group in zip(vths, groups):
+            for name in group:
+                mapping[name] = vth
+        return mapping
+
+    def evaluate(vdd_value: float, vths: List[float]
+                 ) -> Tuple[float, Mapping[str, float] | None]:
+        nonlocal evaluations
+        evaluations += 1
+        mapping = vth_map(vths)
+        assignment = size_widths(problem.ctx, budgets.budgets, vdd_value,
+                                 mapping,
+                                 repair_ceiling=budgets.effective_cycle_time)
+        if not assignment.feasible:
+            return math.inf, None
+        energy = total_energy(problem.ctx, vdd_value, mapping,
+                              assignment.widths, problem.frequency).total
+        return energy, assignment.widths
+
+    best_energy, best_widths = evaluate(vdd, group_vths)
+    if best_widths is None:
+        raise InfeasibleError(
+            f"{problem.network.name}: single-Vth optimum did not transfer "
+            "to the multi-Vth evaluation")
+    best_vths = list(group_vths)
+    best_vdd = vdd
+
+    for _ in range(settings.rounds):
+        moved = False
+        # Slack-rich groups first (reverse order): they have the most
+        # leakage to give back.
+        for index in reversed(range(len(groups))):
+            low, high = tech.vth_min, tech.vth_max
+
+            def group_objective(vth_value: float) -> float:
+                trial = list(best_vths)
+                trial[index] = vth_value
+                energy, _ = evaluate(best_vdd, trial)
+                return energy
+
+            for _ in range(settings.refine_iters):
+                third = (high - low) / 3.0
+                left, right = low + third, high - third
+                if group_objective(left) <= group_objective(right):
+                    high = right
+                else:
+                    low = left
+            candidate = 0.5 * (low + high)
+            trial = list(best_vths)
+            trial[index] = candidate
+            energy, widths = evaluate(best_vdd, trial)
+            if widths is not None and energy < best_energy:
+                best_energy, best_widths = energy, widths
+                best_vths = trial
+                moved = True
+        # Re-refine the shared supply around the current point.
+        low = max(tech.vdd_min, best_vdd - 0.2)
+        high = min(tech.vdd_max, best_vdd + 0.2)
+        for _ in range(settings.refine_iters):
+            third = (high - low) / 3.0
+            left, right = low + third, high - third
+            left_energy, _ = evaluate(left, best_vths)
+            right_energy, _ = evaluate(right, best_vths)
+            if left_energy <= right_energy:
+                high = right
+            else:
+                low = left
+        candidate_vdd = 0.5 * (low + high)
+        energy, widths = evaluate(candidate_vdd, best_vths)
+        if widths is not None and energy < best_energy:
+            best_energy, best_widths, best_vdd = energy, widths, candidate_vdd
+            moved = True
+        if not moved:
+            break
+
+    mapping = vth_map(best_vths)
+    design = DesignPoint(vdd=best_vdd, vth=mapping, widths=dict(best_widths))
+    energy_report = total_energy(problem.ctx, best_vdd, mapping,
+                                 design.widths, problem.frequency)
+    timing = analyze_timing(problem.ctx, best_vdd, mapping, design.widths)
+    return OptimizationResult(
+        problem=problem, design=design, energy=energy_report, timing=timing,
+        evaluations=evaluations,
+        details={"strategy": "multi-vth", "n_vth": problem.n_vth,
+                 "group_vths": tuple(round(v, 4) for v in best_vths),
+                 "group_sizes": tuple(len(g) for g in groups),
+                 "single_vth_energy": single.energy.total})

@@ -1,0 +1,105 @@
+"""Design-point serialization.
+
+A real flow optimizes once and consumes the design point many times
+(sign-off, discretization, bias programming). This module round-trips
+:class:`~repro.optimize.problem.DesignPoint` through JSON with enough
+provenance (circuit name, frequency, deck name, library version) to
+catch mismatched reloads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping
+
+from repro import __version__
+from repro.errors import OptimizationError
+from repro.optimize.problem import (
+    DesignPoint,
+    OptimizationProblem,
+    OptimizationResult,
+)
+
+FORMAT_KEY = "repro-design"
+FORMAT_VERSION = 1
+
+
+def _voltage_payload(value: float | Mapping[str, float]):
+    if isinstance(value, Mapping):
+        return {name: float(v) for name, v in value.items()}
+    return float(value)
+
+
+def design_to_dict(result: OptimizationResult) -> Dict[str, object]:
+    """JSON-compatible form of a result's design point + provenance."""
+    problem = result.problem
+    return {
+        "_format": FORMAT_KEY,
+        "_version": FORMAT_VERSION,
+        "library_version": __version__,
+        "network": problem.network.name,
+        "gate_count": problem.network.gate_count,
+        "frequency_hz": problem.frequency,
+        "technology": problem.tech.name,
+        "vdd": _voltage_payload(result.design.vdd),
+        "vth": _voltage_payload(result.design.vth),
+        "widths": {name: float(width)
+                   for name, width in result.design.widths.items()},
+        "total_energy_j": result.total_energy,
+        "critical_delay_s": result.timing.critical_delay,
+    }
+
+
+def save_design(result: OptimizationResult, path: str | Path) -> Path:
+    """Write the design point to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(design_to_dict(result), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def design_from_dict(payload: Dict[str, object],
+                     problem: OptimizationProblem) -> DesignPoint:
+    """Rebuild a design point, verifying it matches ``problem``."""
+    if payload.get("_format") != FORMAT_KEY:
+        raise OptimizationError("not a design file (missing format marker)")
+    if payload.get("_version") != FORMAT_VERSION:
+        raise OptimizationError(
+            f"unsupported design format version {payload.get('_version')!r}")
+    if payload.get("network") != problem.network.name:
+        raise OptimizationError(
+            f"design is for network {payload.get('network')!r}, "
+            f"problem is {problem.network.name!r}")
+    widths_raw = payload.get("widths")
+    if not isinstance(widths_raw, dict):
+        raise OptimizationError("design file has no widths map")
+    widths = {str(name): float(width)
+              for name, width in widths_raw.items()}
+    missing = set(problem.network.logic_gates) - set(widths)
+    if missing:
+        raise OptimizationError(
+            f"design misses widths for {len(missing)} gate(s), e.g. "
+            f"{sorted(missing)[:3]}")
+
+    def voltage(value) -> float | Dict[str, float]:
+        if isinstance(value, dict):
+            return {str(name): float(v) for name, v in value.items()}
+        return float(value)
+
+    return DesignPoint(vdd=voltage(payload.get("vdd")),
+                       vth=voltage(payload.get("vth")),
+                       widths=widths)
+
+
+def load_design(path: str | Path,
+                problem: OptimizationProblem) -> DesignPoint:
+    """Read a design point from JSON and validate it against ``problem``."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise OptimizationError(f"{path}: invalid JSON ({error})") from None
+    if not isinstance(payload, dict):
+        raise OptimizationError(f"{path}: design must be a JSON object")
+    return design_from_dict(payload, problem)

@@ -1,0 +1,185 @@
+"""Problem statement and result types for the power minimization (§2).
+
+Given a network, a technology, input activities and a clock frequency,
+find ``Vdd`` (global), ``Vth`` (one value, or ``n_v`` distinct values) and
+per-gate widths minimizing total energy per cycle subject to the critical
+path meeting ``T_c = 1/f_c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.activity.profiles import InputProfile
+from repro.context import CircuitContext
+from repro.errors import OptimizationError
+from repro.interconnect.parasitics import WireModel
+from repro.interconnect.rent import RentParameters
+from repro.netlist.network import LogicNetwork
+from repro.power.energy import EnergyReport, total_energy
+from repro.technology.process import Technology
+from repro.timing.budgeting import BudgetResult, assign_delay_budgets
+from repro.timing.sta import TimingReport, analyze_timing
+
+
+@dataclass(frozen=True)
+class OptimizationProblem:
+    """One instance of the paper's power-minimization problem."""
+
+    ctx: CircuitContext
+    frequency: float
+    #: Clock skew factor b <= 1 of eq. (1).
+    skew_factor: float = 1.0
+    #: Number of distinct threshold voltages permitted (n_v, §2).
+    n_vth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0.0:
+            raise OptimizationError(
+                f"frequency must be > 0, got {self.frequency}")
+        if not 0.0 < self.skew_factor <= 1.0:
+            raise OptimizationError(
+                f"skew_factor must lie in (0, 1], got {self.skew_factor}")
+        if self.n_vth < 1:
+            raise OptimizationError(f"n_vth must be >= 1, got {self.n_vth}")
+
+    @property
+    def tech(self) -> Technology:
+        return self.ctx.tech
+
+    @property
+    def network(self) -> LogicNetwork:
+        return self.ctx.network
+
+    @property
+    def cycle_time(self) -> float:
+        return 1.0 / self.frequency
+
+    def budgets(self, **kwargs) -> BudgetResult:
+        """Run Procedure 1 for this problem's cycle time."""
+        return assign_delay_budgets(self.network, self.cycle_time,
+                                    skew_factor=self.skew_factor, **kwargs)
+
+    @classmethod
+    def build(cls, tech: Technology, network: LogicNetwork,
+              profile: InputProfile, frequency: float,
+              skew_factor: float = 1.0, n_vth: int = 1,
+              rent: RentParameters | None = None,
+              wire_model: WireModel = WireModel.STOCHASTIC_MEAN,
+              activity_method: str = "najm"
+              ) -> "OptimizationProblem":
+        """Assemble the evaluation context and wrap it in a problem.
+
+        ``activity_method``: ``"najm"`` (the paper's first-order
+        propagation, default) or ``"exact"`` (the BDD-based ref. [11]
+        computation, falling back per cone beyond 16 support inputs).
+        """
+        if activity_method not in ("najm", "exact"):
+            raise OptimizationError(
+                f"unknown activity_method {activity_method!r}")
+        activity = None
+        if activity_method == "exact":
+            from repro.activity.exact import estimate_activity_exact
+
+            activity = estimate_activity_exact(network,
+                                               profile).as_estimate()
+        ctx = CircuitContext(tech, network, profile, rent=rent,
+                             wire_model=wire_model, activity=activity)
+        return cls(ctx=ctx, frequency=frequency, skew_factor=skew_factor,
+                   n_vth=n_vth)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A complete assignment of the decision variables.
+
+    ``vdd`` is normally the single global supply of the paper's problem
+    statement; the clustered-voltage-scaling extension
+    (:mod:`repro.optimize.multivdd`) uses a per-gate mapping instead.
+    """
+
+    vdd: float | Mapping[str, float]
+    #: Global threshold, or one per gate (n_v distinct values).
+    vth: float | Mapping[str, float]
+    widths: Mapping[str, float]
+
+    def vdd_of(self, name: str) -> float:
+        if isinstance(self.vdd, Mapping):
+            return self.vdd[name]
+        return self.vdd
+
+    def distinct_vdds(self) -> Tuple[float, ...]:
+        if isinstance(self.vdd, Mapping):
+            return tuple(sorted(set(self.vdd.values())))
+        return (self.vdd,)
+
+    def vth_of(self, name: str) -> float:
+        if isinstance(self.vth, Mapping):
+            return self.vth[name]
+        return self.vth
+
+    def distinct_vths(self) -> Tuple[float, ...]:
+        if isinstance(self.vth, Mapping):
+            return tuple(sorted(set(self.vth.values())))
+        return (self.vth,)
+
+    def width_of(self, name: str) -> float:
+        return self.widths[name]
+
+    def evaluate_energy(self, problem: OptimizationProblem) -> EnergyReport:
+        return total_energy(problem.ctx, self.vdd, self.vth, self.widths,
+                            problem.frequency)
+
+    def evaluate_timing(self, problem: OptimizationProblem) -> TimingReport:
+        return analyze_timing(problem.ctx, self.vdd, self.vth, self.widths)
+
+    def is_feasible(self, problem: OptimizationProblem,
+                    tolerance: float = 1e-9) -> bool:
+        report = self.evaluate_timing(problem)
+        return report.meets(problem.cycle_time, tolerance=tolerance)
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of any of the optimizers."""
+
+    problem: OptimizationProblem
+    design: DesignPoint
+    energy: EnergyReport
+    timing: TimingReport
+    #: Objective evaluations (circuit-level energy evaluations) performed.
+    evaluations: int
+    #: Free-form per-optimizer diagnostics (grid sizes, temperatures, ...).
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        return self.timing.meets(self.problem.cycle_time, tolerance=1e-9)
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+    @property
+    def total_power(self) -> float:
+        return self.energy.total_power
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dict for tables and logs."""
+        vths = self.design.distinct_vths()
+        widths = self.design.widths
+        vdds = self.design.distinct_vdds()
+        return {
+            "network": self.problem.network.name,
+            "vdd": round(vdds[0], 4) if len(vdds) == 1
+            else tuple(round(v, 4) for v in vdds),
+            "vth": tuple(round(v, 4) for v in vths),
+            "mean_width": round(sum(widths.values()) / max(len(widths), 1), 2),
+            "static_energy": self.energy.static,
+            "dynamic_energy": self.energy.dynamic,
+            "total_energy": self.energy.total,
+            "critical_delay": self.timing.critical_delay,
+            "feasible": self.feasible,
+            "evaluations": self.evaluations,
+        }

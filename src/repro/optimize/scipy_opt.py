@@ -1,0 +1,123 @@
+"""SciPy continuous optimizers over the (Vdd, Vth) plane.
+
+An independent cross-check of the Procedure 2 heuristic: the same
+objective (Procedure 1 budgets + minimum-width sizing + total energy) is
+handed to ``scipy.optimize``, either
+
+* ``"differential_evolution"`` (default) — a global stochastic search
+  with bounds, robust to the infeasible plateau (returned as a large
+  finite penalty), or
+* ``"nelder-mead"`` — local polish, seeded from the best corner of a tiny
+  bootstrap grid (or a caller-provided start).
+
+Agreement between the SciPy optimum and the heuristic's (to a few
+percent in energy) is asserted by the integration tests — the repro hint
+for this paper ("scipy optimizers plus simple gate delay models") is this
+module.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy import optimize as scipy_optimize
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.optimize.problem import (
+    DesignPoint,
+    OptimizationProblem,
+    OptimizationResult,
+)
+from repro.optimize.width_search import size_widths
+from repro.power.energy import total_energy
+from repro.timing.budgeting import BudgetResult
+from repro.timing.sta import analyze_timing
+
+#: Penalty (J) returned for infeasible points — colossal next to the
+#: picojoule-scale real energies, yet finite so gradient-free methods can
+#: still rank points.
+_INFEASIBLE_ENERGY = 1.0
+
+
+def optimize_scipy(problem: OptimizationProblem,
+                   method: str = "differential_evolution",
+                   budgets: BudgetResult | None = None,
+                   seed: int = 7,
+                   maxiter: int = 40,
+                   popsize: int = 12,
+                   start: Optional[Tuple[float, float]] = None,
+                   ) -> OptimizationResult:
+    """Minimize total energy over (Vdd, Vth) with SciPy."""
+    if method not in ("differential_evolution", "nelder-mead"):
+        raise OptimizationError(f"unknown scipy method {method!r}")
+    if budgets is None:
+        budgets = problem.budgets()
+    tech = problem.tech
+    bounds = [(tech.vdd_min, tech.vdd_max), (tech.vth_min, tech.vth_max)]
+
+    evaluations = 0
+    best: Dict[str, object] = {"energy": math.inf, "vdd": None, "vth": None,
+                               "widths": None}
+
+    def objective(x: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        vdd = float(min(max(x[0], bounds[0][0]), bounds[0][1]))
+        vth = float(min(max(x[1], bounds[1][0]), bounds[1][1]))
+        assignment = size_widths(problem.ctx, budgets.budgets, vdd, vth,
+                                 repair_ceiling=budgets.effective_cycle_time)
+        if not assignment.feasible:
+            return _INFEASIBLE_ENERGY
+        energy = total_energy(problem.ctx, vdd, vth, assignment.widths,
+                              problem.frequency).total
+        if energy < best["energy"]:
+            best.update(energy=energy, vdd=vdd, vth=vth,
+                        widths=assignment.widths)
+        return energy
+
+    if method == "differential_evolution":
+        scipy_optimize.differential_evolution(
+            objective, bounds=bounds, seed=seed, maxiter=maxiter,
+            popsize=popsize, tol=1e-8, polish=False, init="sobol")
+    else:
+        if start is None:
+            start = _bootstrap_start(objective, bounds)
+        scipy_optimize.minimize(
+            objective, x0=np.asarray(start), method="Nelder-Mead",
+            options={"maxiter": maxiter * 10, "xatol": 1e-4, "fatol": 1e-25})
+
+    if best["vdd"] is None:
+        raise InfeasibleError(
+            f"{problem.network.name}: scipy {method} found no feasible "
+            f"(Vdd, Vth) point")
+
+    vdd = float(best["vdd"])  # type: ignore[arg-type]
+    vth = float(best["vth"])  # type: ignore[arg-type]
+    design = DesignPoint(vdd=vdd, vth=vth,
+                         widths=dict(best["widths"]))  # type: ignore[arg-type]
+    energy = total_energy(problem.ctx, vdd, vth, design.widths,
+                          problem.frequency)
+    timing = analyze_timing(problem.ctx, vdd, vth, design.widths)
+    return OptimizationResult(
+        problem=problem, design=design, energy=energy, timing=timing,
+        evaluations=evaluations,
+        details={"strategy": f"scipy-{method}", "seed": seed,
+                 "maxiter": maxiter})
+
+
+def _bootstrap_start(objective, bounds) -> Tuple[float, float]:
+    """Pick the best corner of a small grid as the Nelder-Mead start."""
+    best_value = math.inf
+    best_start = (0.5 * (bounds[0][0] + bounds[0][1]),
+                  0.5 * (bounds[1][0] + bounds[1][1]))
+    vdd_values = np.linspace(bounds[0][0], bounds[0][1], 6)
+    vth_values = np.linspace(bounds[1][0], bounds[1][1], 5)
+    for vdd in vdd_values:
+        for vth in vth_values:
+            value = objective(np.array([vdd, vth]))
+            if value < best_value:
+                best_value = value
+                best_start = (float(vdd), float(vth))
+    return best_start

@@ -1,0 +1,47 @@
+"""Static and dynamic energy models (Appendix A.1).
+
+* ``E_si = Vdd * w_i * I_off / f_c`` — leakage energy per cycle (A1),
+* ``E_di = 1/2 * a_i * Vdd^2 * C_switched,i`` — switching energy (A2),
+
+with ``C_switched`` assembled from the gate's own parasitics, its fanout
+gates' input capacitances and the net's interconnect capacitance. The
+short-circuit component is neglected in the paper's objective (an order
+of magnitude below switching energy under typical conditions [12]) but
+implemented here as the paper's announced "next version" extension
+(:mod:`repro.power.short_circuit`).
+"""
+
+from repro.power.energy import (
+    EnergyReport,
+    dynamic_energy_of_gate,
+    static_energy_of_gate,
+    total_energy,
+)
+from repro.power.breakdown import EnergyBreakdown, energy_breakdown
+from repro.power.state_leakage import (
+    StateLeakageReport,
+    expected_stack_factor,
+    state_dependent_leakage,
+)
+from repro.power.short_circuit import (
+    ShortCircuitReport,
+    short_circuit_energy_of_gate,
+    total_short_circuit_energy,
+    transition_times_from_budgets,
+)
+
+__all__ = [
+    "EnergyReport",
+    "dynamic_energy_of_gate",
+    "static_energy_of_gate",
+    "total_energy",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "ShortCircuitReport",
+    "short_circuit_energy_of_gate",
+    "total_short_circuit_energy",
+    "transition_times_from_budgets",
+    "StateLeakageReport",
+    "expected_stack_factor",
+    "state_dependent_leakage",
+]

@@ -1,0 +1,67 @@
+"""Diagnostic energy breakdowns.
+
+Splits a design point's energy the ways the paper's discussion does:
+static vs dynamic (§3's "comparable components at the optimum"), device vs
+interconnect capacitance, and per-gate rankings for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.context import CircuitContext
+from repro.power.energy import EnergyReport, total_energy
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Decomposition of one design point's energy (J/cycle)."""
+
+    report: EnergyReport
+    #: Switching energy attributable to interconnect capacitance.
+    wire_dynamic: float
+    #: Switching energy attributable to device capacitance.
+    device_dynamic: float
+    #: Gates ranked by total (static + dynamic) energy, descending.
+    hottest_gates: Tuple[Tuple[str, float], ...]
+
+    @property
+    def static_to_dynamic_ratio(self) -> float:
+        if self.report.dynamic <= 0.0:
+            return float("inf") if self.report.static > 0.0 else 0.0
+        return self.report.static / self.report.dynamic
+
+    @property
+    def wire_fraction(self) -> float:
+        if self.report.dynamic <= 0.0:
+            return 0.0
+        return self.wire_dynamic / self.report.dynamic
+
+
+def energy_breakdown(ctx: CircuitContext, vdd: float | Mapping[str, float],
+                     vth: float | Mapping[str, float],
+                     widths: Mapping[str, float], frequency: float,
+                     top: int = 10) -> EnergyBreakdown:
+    """Full decomposition at one design point (per-gate Vdd supported)."""
+    from repro.power.energy import _io_rail, _vdd_for
+
+    report = total_energy(ctx, vdd, vth, widths, frequency)
+
+    wire_dynamic = 0.0
+    for name in list(ctx.gates) + list(ctx.network.inputs):
+        info = ctx.info(name)
+        rail = _io_rail(vdd) if ctx.network.gate(name).is_input \
+            else _vdd_for(vdd, name)
+        wire_dynamic += 0.5 * info.activity * rail * rail * info.wire_cap
+    device_dynamic = report.dynamic - wire_dynamic
+
+    totals = {}
+    for name in ctx.gates:
+        totals[name] = (report.per_gate_static.get(name, 0.0)
+                        + report.per_gate_dynamic.get(name, 0.0))
+    hottest = tuple(sorted(totals.items(), key=lambda item: -item[1])[:top])
+
+    return EnergyBreakdown(report=report, wire_dynamic=wire_dynamic,
+                           device_dynamic=device_dynamic,
+                           hottest_gates=hottest)

@@ -1,0 +1,148 @@
+"""Per-gate and network energy evaluation (Appendix A.1).
+
+All energies are *per clock cycle* (joules). Power follows as
+``P = E * f_c``; the paper switches freely between the two since ``f_c``
+is a constant of each experiment.
+
+The static energy of a gate charges the supply for one full cycle through
+its off devices: ``E_si = Vdd * w_i * I_off(Vth_i) / f_c`` (eq. A1). The
+dynamic energy switches the output load ``a_i`` times per cycle:
+``E_di = 1/2 * a_i * Vdd^2 * C_i`` with ``C_i`` from eq. A2 — the gate's
+own (width-scaled) parasitics plus every fanout gate's (width-scaled)
+input capacitance plus the net's interconnect capacitance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.context import CircuitContext
+from repro.errors import ReproError
+from repro.technology import leakage
+
+
+def _vth_for(vth: float | Mapping[str, float], name: str) -> float:
+    if isinstance(vth, Mapping):
+        try:
+            return vth[name]
+        except KeyError:
+            raise ReproError(f"no Vth supplied for gate {name!r}") from None
+    return vth
+
+
+def _vdd_for(vdd: float | Mapping[str, float], name: str) -> float:
+    if isinstance(vdd, Mapping):
+        try:
+            return vdd[name]
+        except KeyError:
+            raise ReproError(f"no Vdd supplied for gate {name!r}") from None
+    return vdd
+
+
+def _io_rail(vdd: float | Mapping[str, float]) -> float:
+    """Rail assumed for primary-input nets: the highest rail in use."""
+    if isinstance(vdd, Mapping):
+        if not vdd:
+            raise ReproError("empty Vdd mapping")
+        return max(vdd.values())
+    return vdd
+
+
+def static_energy_of_gate(ctx: CircuitContext, name: str, vdd: float,
+                          vth: float, width: float,
+                          frequency: float) -> float:
+    """Eq. A1: ``E_si = Vdd * w_i * I_off / f_c`` (J/cycle).
+
+    The leakage path sees the full rail, so ``I_off`` is evaluated at
+    ``Vds = Vdd``.
+    """
+    if frequency <= 0.0:
+        raise ReproError(f"frequency must be > 0, got {frequency}")
+    if width <= 0.0:
+        raise ReproError(f"gate {name!r}: width must be > 0, got {width}")
+    off = leakage.off_current_per_width(ctx.tech, vth, vds=vdd)
+    return vdd * width * off / frequency
+
+
+def dynamic_energy_of_gate(ctx: CircuitContext, name: str,
+                           vdd: float | Mapping[str, float],
+                           widths: Mapping[str, float]) -> float:
+    """Eq. A2: ``E_di = 1/2 * a_i * Vdd^2 * C_switched`` (J/cycle).
+
+    With a per-gate ``vdd`` mapping the output swing is the driving
+    gate's own rail; primary-input nets swing at the module's IO rail
+    (the highest rail in the mapping).
+    """
+    info = ctx.info(name)
+    load = ctx.output_load(name, widths)
+    if ctx.network.gate(name).is_input:
+        rail = _io_rail(vdd)
+    else:
+        rail = _vdd_for(vdd, name)
+    return 0.5 * info.activity * rail * rail * load
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Network-level energy summary at one design point."""
+
+    network_name: str
+    frequency: float
+    vdd: float | Mapping[str, float]
+    static: float
+    dynamic: float
+    per_gate_static: Mapping[str, float]
+    per_gate_dynamic: Mapping[str, float]
+
+    @property
+    def total(self) -> float:
+        return self.static + self.dynamic
+
+    @property
+    def static_power(self) -> float:
+        return self.static * self.frequency
+
+    @property
+    def dynamic_power(self) -> float:
+        return self.dynamic * self.frequency
+
+    @property
+    def total_power(self) -> float:
+        return self.total * self.frequency
+
+    @property
+    def static_fraction(self) -> float:
+        total = self.total
+        return self.static / total if total > 0.0 else 0.0
+
+
+def total_energy(ctx: CircuitContext, vdd: float | Mapping[str, float],
+                 vth: float | Mapping[str, float],
+                 widths: Mapping[str, float],
+                 frequency: float) -> EnergyReport:
+    """Evaluate eqs. A1 + A2 over every logic gate of the circuit.
+
+    Eq. A2 books each gate input's capacitance under the *driving* gate,
+    so primary-input nets (whose drivers are module ports) carry their own
+    A2 term with a fixed unit driver width — every piece of switched
+    capacitance in the module is counted exactly once.
+    """
+    per_static: Dict[str, float] = {}
+    per_dynamic: Dict[str, float] = {}
+    for name in ctx.gates:
+        width = widths.get(name)
+        if width is None:
+            raise ReproError(f"no width supplied for gate {name!r}")
+        per_static[name] = static_energy_of_gate(
+            ctx, name, _vdd_for(vdd, name), _vth_for(vth, name), width,
+            frequency)
+        per_dynamic[name] = dynamic_energy_of_gate(ctx, name, vdd, widths)
+    for name in ctx.network.inputs:
+        per_dynamic[name] = dynamic_energy_of_gate(ctx, name, vdd, widths)
+    return EnergyReport(network_name=ctx.network.name, frequency=frequency,
+                        vdd=vdd,
+                        static=sum(per_static.values()),
+                        dynamic=sum(per_dynamic.values()),
+                        per_gate_static=per_static,
+                        per_gate_dynamic=per_dynamic)

@@ -1,0 +1,136 @@
+"""Short-circuit dissipation (the paper's "next version" extension).
+
+Appendix A.1 neglects the short-circuit component, citing Veendrick [12]:
+under typical input rise times and output loads it is an order of
+magnitude below the switching energy — "however, these are being
+incorporated in the next version of the optimization tool". This module
+is that next version's model.
+
+Veendrick's analysis for an unloaded inverter gives
+
+    E_sc per transition = (beta/12) * (Vdd - 2*Vth)^3 * tau / Vdd
+
+with ``tau`` the input transition time. We adapt it to the alpha-power
+devices of this library: during an input ramp both networks conduct while
+``Vth < Vin < Vdd - Vth``; the peak contention current is the
+transregional drain current at ``Vgs = Vdd/2`` and the conduction window
+is the fraction ``(Vdd - 2*Vth)/Vdd`` of the ramp, giving
+
+    E_sc = a_i * k_sc * I_D(Vdd/2, Vth) * w_i * tau_in
+           * max(Vdd - 2*Vth, 0) / Vdd
+
+per cycle (``k_sc`` a fitted shape factor, 1/6 by default — the triangle
+approximation of the current waveform). Two properties the paper's
+argument relies on fall out directly:
+
+* ``E_sc = 0`` whenever ``Vdd <= 2*Vth`` — notably, joint low-power
+  optima sit close to this boundary, so the neglected term is small
+  exactly where the paper operates;
+* ``E_sc`` scales with the input transition time, which Procedure 1
+  bounds by the driver's delay budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.context import CircuitContext
+from repro.errors import ReproError
+from repro.technology import mosfet
+
+#: Triangle-waveform shape factor for the contention current.
+DEFAULT_SHAPE_FACTOR = 1.0 / 6.0
+
+
+def _vth_for(vth: float | Mapping[str, float], name: str) -> float:
+    if isinstance(vth, Mapping):
+        return vth[name]
+    return vth
+
+
+def short_circuit_energy_of_gate(ctx: CircuitContext, name: str, vdd: float,
+                                 vth: float, width: float,
+                                 input_transition_time: float,
+                                 shape_factor: float = DEFAULT_SHAPE_FACTOR
+                                 ) -> float:
+    """Short-circuit energy of one gate per cycle (J).
+
+    ``input_transition_time`` is the transition time of the slowest input
+    (callers typically use the driver's delay budget, the bound
+    Procedure 1 guarantees).
+    """
+    if input_transition_time < 0.0:
+        raise ReproError(
+            f"gate {name!r}: input_transition_time must be >= 0, got "
+            f"{input_transition_time}")
+    if width <= 0.0:
+        raise ReproError(f"gate {name!r}: width must be > 0, got {width}")
+    window = vdd - 2.0 * vth
+    if window <= 0.0:
+        return 0.0
+    info = ctx.info(name)
+    contention = mosfet.drain_current_per_width(ctx.tech, 0.5 * vdd, vth,
+                                                vds=0.5 * vdd)
+    return (info.activity * shape_factor * contention * width
+            * input_transition_time * window / vdd)
+
+
+@dataclass(frozen=True)
+class ShortCircuitReport:
+    """Network-level short-circuit summary at one design point."""
+
+    network_name: str
+    total: float
+    per_gate: Mapping[str, float]
+
+    def fraction_of(self, dynamic_energy: float) -> float:
+        """Short-circuit energy as a fraction of the switching energy."""
+        if dynamic_energy <= 0.0:
+            return 0.0
+        return self.total / dynamic_energy
+
+
+def total_short_circuit_energy(ctx: CircuitContext, vdd: float,
+                               vth: float | Mapping[str, float],
+                               widths: Mapping[str, float],
+                               transition_times: Mapping[str, float],
+                               shape_factor: float = DEFAULT_SHAPE_FACTOR
+                               ) -> ShortCircuitReport:
+    """Sum the short-circuit component over every logic gate.
+
+    ``transition_times`` maps each gate to the transition time of its
+    slowest input; the canonical choice is the maximum Procedure 1 budget
+    over the gate's drivers (see :func:`transition_times_from_budgets`).
+    """
+    per_gate: Dict[str, float] = {}
+    for name in ctx.gates:
+        width = widths.get(name)
+        if width is None:
+            raise ReproError(f"no width supplied for gate {name!r}")
+        tau = transition_times.get(name, 0.0)
+        per_gate[name] = short_circuit_energy_of_gate(
+            ctx, name, vdd, _vth_for(vth, name), width, tau,
+            shape_factor=shape_factor)
+    return ShortCircuitReport(network_name=ctx.network.name,
+                              total=sum(per_gate.values()),
+                              per_gate=per_gate)
+
+
+def transition_times_from_budgets(ctx: CircuitContext,
+                                  budgets: Mapping[str, float]
+                                  ) -> Dict[str, float]:
+    """Per-gate input transition times bounded by the drivers' budgets.
+
+    Primary-input drivers are ideal (zero transition time), matching the
+    delay model's treatment of module ports.
+    """
+    times: Dict[str, float] = {}
+    for name in ctx.gates:
+        info = ctx.info(name)
+        tau = 0.0
+        for fanin in info.fanin_names:
+            if fanin in budgets:
+                tau = max(tau, budgets[fanin])
+        times[name] = tau
+    return times

@@ -1,0 +1,50 @@
+"""Device technology description and MOSFET models.
+
+This subpackage implements the paper's device substrate:
+
+* :class:`~repro.technology.process.Technology` — the process deck
+  (feature size, current factors, subthreshold slope, capacitances,
+  interconnect parasitics).
+* :mod:`~repro.technology.mosfet` — the transregional drain-current model:
+  Sakurai–Newton alpha-power law in strong inversion, exponential
+  subthreshold conduction below threshold, smoothly blended so the
+  optimizer may push ``Vdd`` below ``Vth`` (Appendix A.2 of the paper).
+* :mod:`~repro.technology.leakage` — ``I_off`` (subthreshold + junction).
+* :mod:`~repro.technology.capacitance` — gate parasitic/input/intermediate
+  capacitances per unit width (Appendix A.1).
+* :mod:`~repro.technology.backbias` — body-effect model for the static
+  substrate/n-well reverse bias scheme of Figure 1.
+"""
+
+from repro.technology.process import Technology
+from repro.technology.mosfet import (
+    drain_current_per_width,
+    saturation_current_per_width,
+    subthreshold_current_per_width,
+)
+from repro.technology.leakage import off_current_per_width, junction_leakage_per_width
+from repro.technology.capacitance import GateCapacitances, gate_capacitances
+from repro.technology.backbias import body_effect_vth, bias_for_target_vth
+from repro.technology.library import (
+    deck,
+    deck_names,
+    load_technology,
+    save_technology,
+)
+
+__all__ = [
+    "Technology",
+    "drain_current_per_width",
+    "saturation_current_per_width",
+    "subthreshold_current_per_width",
+    "off_current_per_width",
+    "junction_leakage_per_width",
+    "GateCapacitances",
+    "gate_capacitances",
+    "body_effect_vth",
+    "bias_for_target_vth",
+    "deck",
+    "deck_names",
+    "load_technology",
+    "save_technology",
+]

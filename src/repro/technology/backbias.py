@@ -1,0 +1,67 @@
+"""Static back-bias threshold adjustment (the paper's Figure 1).
+
+The paper proposes manufacturing with *natural* (un-implanted, low-Vth)
+devices and setting the desired threshold voltage statically by reverse
+biasing the p-substrate (for nmos) and the n-wells (for pmos). The standard
+body-effect relation maps a source-to-body reverse bias ``Vsb`` to an
+effective threshold::
+
+    Vth(Vsb) = Vth_natural + gamma * (sqrt(2*phi_F + Vsb) - sqrt(2*phi_F))
+
+This module provides both directions: the forward body-effect curve and
+the inverse ("what substrate/n-well bias realizes the Vth the optimizer
+chose?"), which is what a designer applying the paper's Figure 1 scheme
+actually needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TechnologyError
+from repro.technology.process import Technology
+
+
+def body_effect_vth(tech: Technology, reverse_bias: float) -> float:
+    """Effective threshold voltage under a source-body reverse bias (V).
+
+    ``reverse_bias`` is the magnitude of the reverse bias (>= 0): the
+    substrate voltage below ground for nmos, or the n-well voltage above
+    ``Vdd`` for pmos (the model is symmetric in this abstraction).
+    """
+    if reverse_bias < 0.0:
+        raise TechnologyError(
+            f"reverse_bias must be >= 0 (forward body bias is outside the "
+            f"paper's static scheme), got {reverse_bias}")
+    phi = tech.surface_potential
+    return (tech.vth_natural
+            + tech.body_effect_gamma * (math.sqrt(phi + reverse_bias)
+                                        - math.sqrt(phi)))
+
+
+def bias_for_target_vth(tech: Technology, vth_target: float) -> float:
+    """Reverse bias (V) realizing ``vth_target``; inverse of the body effect.
+
+    Closed form: with ``d = (vth_target - vth_natural)/gamma + sqrt(phi)``,
+    the bias is ``d^2 - phi``. Raises if the target is below the natural
+    threshold (the static scheme can only *raise* Vth) or absurdly high.
+    """
+    if vth_target < tech.vth_natural:
+        raise TechnologyError(
+            f"target Vth {vth_target:.3f} V is below the natural threshold "
+            f"{tech.vth_natural:.3f} V; static reverse bias can only raise Vth")
+    phi = tech.surface_potential
+    root = (vth_target - tech.vth_natural) / tech.body_effect_gamma + math.sqrt(phi)
+    bias = root * root - phi
+    if bias > 20.0:
+        raise TechnologyError(
+            f"target Vth {vth_target:.3f} V needs an unrealistic reverse "
+            f"bias of {bias:.1f} V")
+    return bias
+
+
+def max_adjustable_vth(tech: Technology, max_bias: float = 5.0) -> float:
+    """Highest Vth reachable with at most ``max_bias`` volts of reverse bias."""
+    if max_bias < 0.0:
+        raise TechnologyError(f"max_bias must be >= 0, got {max_bias}")
+    return body_effect_vth(tech, max_bias)

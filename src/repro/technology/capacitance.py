@@ -1,0 +1,88 @@
+"""Gate capacitance models (Appendix A.1 symbols).
+
+The dynamic energy of gate *i* in the paper is::
+
+    E_di = 1/2 * a_i * Vdd^2 * [ w_i * (C_PDi + (f_ii - 1) * C_mi)
+                                 + sum_j (w_ij * C_tij + C_INTij) ]
+
+so the load at a gate's output node has three device contributions, each
+proportional to a device width:
+
+* ``C_PD``  — its own parasitic (overlap + junction + fringe) capacitance,
+* ``C_mi``  — intermediate nodes of its series stack (one per extra input),
+* ``C_t``   — the input (gate oxide) capacitance of each fanout gate,
+
+plus the interconnect capacitance ``C_INT`` of the output net, supplied by
+the stochastic wire-length model (:mod:`repro.interconnect`).
+
+This module centralizes those per-unit-width values and the simple
+load-assembly arithmetic so the energy and delay models cannot disagree
+about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TechnologyError
+from repro.technology.process import Technology
+
+
+@dataclass(frozen=True)
+class GateCapacitances:
+    """Per-unit-width capacitances of a gate of a given fanin.
+
+    Attributes
+    ----------
+    input_cap:
+        ``C_t`` — capacitance presented to each driver per unit of this
+        gate's width (F). Includes the ``(1 + beta)`` factor for the
+        complementary pmos/nmos pair sharing the input.
+    self_cap:
+        ``C_PD + (fanin - 1) * C_mi`` — output-node parasitics per unit of
+        this gate's own width (F).
+    """
+
+    input_cap: float
+    self_cap: float
+
+
+def gate_capacitances(tech: Technology, fanin: int) -> GateCapacitances:
+    """Capacitance coefficients for a symmetric ``fanin``-input static gate.
+
+    The pmos device is ``beta_ratio`` times wider than the nmos, so a unit
+    width multiplier ``w = 1`` loads each input with
+    ``(1 + beta) * c_gate`` and puts ``(1 + beta) * c_parasitic`` plus the
+    series-stack intermediate nodes on the output.
+    """
+    if fanin < 1:
+        raise TechnologyError(f"fanin must be >= 1, got {fanin}")
+    width_factor = 1.0 + tech.beta_ratio
+    input_cap = width_factor * tech.c_gate
+    self_cap = width_factor * tech.c_parasitic
+    self_cap += (fanin - 1) * tech.c_intermediate
+    return GateCapacitances(input_cap=input_cap, self_cap=self_cap)
+
+
+def output_load(tech: Technology, fanin: int, width: float,
+                fanout_widths: Sequence[float], fanout_fanins: Sequence[int],
+                wire_cap: float) -> float:
+    """Total switched capacitance at a gate's output node (F).
+
+    Parameters mirror eq. (A2): the gate's own width ``width`` scales its
+    parasitics; each fanout gate ``j`` contributes its input capacitance
+    scaled by its own width ``fanout_widths[j]``; ``wire_cap`` is the net's
+    interconnect capacitance ``sum_j C_INTij``.
+    """
+    if len(fanout_widths) != len(fanout_fanins):
+        raise TechnologyError(
+            "fanout_widths and fanout_fanins must have equal length, got "
+            f"{len(fanout_widths)} and {len(fanout_fanins)}")
+    if wire_cap < 0.0:
+        raise TechnologyError(f"wire_cap must be >= 0, got {wire_cap}")
+    own = gate_capacitances(tech, fanin)
+    load = width * own.self_cap + wire_cap
+    for fo_width, fo_fanin in zip(fanout_widths, fanout_fanins):
+        load += fo_width * gate_capacitances(tech, fo_fanin).input_cap
+    return load

@@ -1,0 +1,115 @@
+"""Technology deck serialization and the built-in deck library.
+
+The paper treats "a device technology" as an input; real flows keep decks
+as versioned files. This module provides JSON round-tripping for
+:class:`~repro.technology.process.Technology` plus a small library of
+named decks:
+
+* ``"generic-0.35um"`` — a relaxed 3.3 V deck (the ISCAS era),
+* ``"generic-0.25um"`` — the default deck all experiments use,
+* ``"generic-0.18um"`` — a constant-field-scaled forward node,
+
+so experiments and users can pin the exact deck a result was produced
+with.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, fields
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.errors import TechnologyError
+from repro.technology.process import Technology
+
+#: Format marker written into every deck file.
+FORMAT_KEY = "repro-technology"
+FORMAT_VERSION = 1
+
+
+def technology_to_dict(tech: Technology) -> Dict[str, object]:
+    """Plain-dict form of a deck (JSON-compatible scalars only)."""
+    payload = asdict(tech)
+    payload["_format"] = FORMAT_KEY
+    payload["_version"] = FORMAT_VERSION
+    return payload
+
+
+def technology_from_dict(payload: Dict[str, object]) -> Technology:
+    """Rebuild (and validate) a deck from its dict form."""
+    if payload.get("_format") != FORMAT_KEY:
+        raise TechnologyError(
+            "not a technology deck (missing format marker)")
+    version = payload.get("_version")
+    if version != FORMAT_VERSION:
+        raise TechnologyError(
+            f"unsupported deck format version {version!r}")
+    valid = {field.name for field in fields(Technology)}
+    values = {key: value for key, value in payload.items()
+              if not key.startswith("_")}
+    unknown = set(values) - valid
+    if unknown:
+        raise TechnologyError(
+            f"unknown technology field(s) in deck: {sorted(unknown)}")
+    missing = valid - set(values)
+    if missing:
+        raise TechnologyError(
+            f"deck is missing field(s): {sorted(missing)}")
+    return Technology(**values)  # __post_init__ validates
+
+
+def save_technology(tech: Technology, path: str | Path) -> None:
+    """Write a deck to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(technology_to_dict(tech), indent=2,
+                               sort_keys=True) + "\n")
+
+
+def load_technology(path: str | Path) -> Technology:
+    """Read and validate a deck from a JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise TechnologyError(f"{path}: invalid JSON ({error})") from None
+    if not isinstance(payload, dict):
+        raise TechnologyError(f"{path}: deck must be a JSON object")
+    return technology_from_dict(payload)
+
+
+def builtin_decks() -> Dict[str, Technology]:
+    """The named deck library."""
+    default = Technology.default()
+    relaxed = default.with_overrides(
+        name="generic-0.35um",
+        feature_size=0.35e-6,
+        idsat_reference=default.idsat_reference * 1.4,
+        subthreshold_i0=default.subthreshold_i0 * 1.4,
+        c_gate=default.c_gate * 1.4,
+        c_parasitic=default.c_parasitic * 1.4,
+        c_intermediate=default.c_intermediate * 1.4,
+        gate_pitch=default.gate_pitch * 1.4,
+        subthreshold_slope=0.090,
+    )
+    scaled = Technology.scaled(0.18e-6, name="generic-0.18um")
+    return {
+        default.name: default,
+        relaxed.name: relaxed,
+        scaled.name: scaled,
+    }
+
+
+def deck(name: str) -> Technology:
+    """Look up a built-in deck by name."""
+    decks = builtin_decks()
+    try:
+        return decks[name]
+    except KeyError:
+        raise TechnologyError(
+            f"unknown deck {name!r}; available: {sorted(decks)}") from None
+
+
+def deck_names() -> Tuple[str, ...]:
+    """Names of the built-in decks, sorted."""
+    return tuple(sorted(builtin_decks()))

@@ -1,0 +1,266 @@
+"""Process/technology description.
+
+The paper assumes "a device technology" as a given (§2). This module makes
+that input concrete: a :class:`Technology` value object holding every
+process-dependent parameter used by the drain-current, leakage, capacitance,
+interconnect and delay models.
+
+The default deck (:meth:`Technology.default`) is a 0.25 µm-class CMOS
+process of the kind the 1997 paper targets:
+
+* nominal ``Vdd`` 3.3 V, nominal ``Vth`` 0.7 V,
+* saturation drive around 300 µA/µm at the nominal corner,
+* 95 mV/decade subthreshold slope,
+* alpha-power exponent α = 1.2 (velocity saturation plus the
+  quasi-ballistic velocity-overshoot enhancement the paper's drain-current
+  model incorporates).
+
+All values are plain SI units (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace, field, fields
+
+from repro.constants import (
+    ROOM_TEMPERATURE,
+    subthreshold_slope_to_ideality,
+    thermal_voltage,
+)
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Immutable description of a CMOS process.
+
+    Parameters mirror the symbols of the paper's Appendix A. Widths are
+    everywhere expressed as dimensionless multiples ``w`` of the minimum
+    feature-size width ``F`` (the paper's convention ``w_i >= 1``), so all
+    per-width parameters below are *per unit feature-size width*, i.e. the
+    physical quantity for a device of width ``w`` is ``value * w``.
+    """
+
+    name: str = "generic-0.25um"
+
+    #: Minimum feature size F (m). Device width ``w`` is in multiples of F.
+    feature_size: float = 0.25e-6
+
+    #: Alpha-power-law exponent (Sakurai–Newton). 2.0 is the long-channel
+    #: square law; deep-submicron velocity saturation plus quasi-ballistic
+    #: velocity overshoot (both included in the paper's drain-current
+    #: model) push it toward 1.2.
+    alpha: float = 1.2
+
+    #: Saturation drain current per unit feature-size width at the reference
+    #: corner ``(vdd_reference, vth_reference)`` (A). With F = 0.25 µm and
+    #: 300 µA/µm this is 75 µA per unit width.
+    idsat_reference: float = 75e-6
+
+    #: Reference gate drive at which ``idsat_reference`` is quoted (V).
+    vdd_reference: float = 3.3
+    vth_reference: float = 0.7
+
+    #: Subthreshold slope S (V/decade).
+    subthreshold_slope: float = 0.095
+
+    #: Subthreshold current per unit feature-size width extrapolated to
+    #: ``Vgs = Vth`` (A). This anchors I_off: I_off(Vth) = i0 * 10^(-Vth/S).
+    subthreshold_i0: float = 0.8e-6
+
+    #: Drain-junction (diode) leakage per unit feature-size width (A).
+    junction_leakage: float = 1e-15
+
+    #: Operating temperature (K).
+    temperature: float = ROOM_TEMPERATURE
+
+    # --- capacitances, per unit feature-size width (F) ----------------------
+
+    #: Input (gate) capacitance C_t per unit width (F).
+    c_gate: float = 0.45e-15
+
+    #: Output parasitic (overlap + junction + fringe) C_PD per unit width (F).
+    c_parasitic: float = 0.20e-15
+
+    #: Intermediate-node capacitance C_mi of series stacks per unit width (F).
+    c_intermediate: float = 0.10e-15
+
+    # --- circuit style -------------------------------------------------------
+
+    #: pmos/nmos width ratio β (paper's delay model, >= 1).
+    beta_ratio: float = 2.0
+
+    #: Series-stack drive derating: the worst-case switching current of an
+    #: ``f``-high stack is the single-device current divided by
+    #: ``1 + stack_derating * (f - 1)``. 1.0 is the naive series-resistance
+    #: limit; measured stacks derate more mildly (body effect on the upper
+    #: devices is offset by the intermediate nodes being pre-discharged),
+    #: so 0.45 matches the paper's I_Diw(f_ii) behaviour.
+    stack_derating: float = 0.45
+
+    #: Velocity-saturation coefficient (the paper's ½ <= coeff <= 1 factor
+    #: multiplying the switching term; 0.5 recovers the classic CV/2I form).
+    velocity_saturation_coeff: float = 0.5
+
+    # --- interconnect ---------------------------------------------------------
+
+    #: Wire capacitance per metre (F/m). 0.2 fF/µm is a mid-1990s value.
+    wire_cap_per_meter: float = 0.2e-9
+
+    #: Wire resistance per metre (ohm/m). 0.08 ohm/µm.
+    wire_res_per_meter: float = 0.08e6
+
+    #: Signal propagation (time-of-flight) velocity on wires (m/s).
+    wire_velocity: float = 1.5e8
+
+    #: Average gate pitch (m) used to convert wirelength in "gate pitches"
+    #: (from the stochastic wirelength model) into metres.
+    gate_pitch: float = 4.0e-6
+
+    # --- search-space bounds (paper §4.3, Procedure 2) ------------------------
+
+    vdd_min: float = 0.1
+    vdd_max: float = 3.3
+    vth_min: float = 0.1
+    vth_max: float = 0.7
+    width_min: float = 1.0
+    width_max: float = 100.0
+
+    # --- body-effect parameters (Figure 1 back-bias scheme) -------------------
+
+    #: Zero-bias (natural) threshold voltage of the un-implanted device (V).
+    #: The Figure 1 scheme starts from low-Vth natural devices and raises
+    #: Vth by static reverse bias, so this sits below the optimizer's
+    #: typical 100-300 mV choices.
+    vth_natural: float = 0.1
+
+    #: Body-effect coefficient γ (V^0.5).
+    body_effect_gamma: float = 0.4
+
+    #: Surface potential 2φ_F (V).
+    surface_potential: float = 0.6
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # --- derived quantities ----------------------------------------------------
+
+    @property
+    def thermal_voltage(self) -> float:
+        """kT/q at the operating temperature (V)."""
+        return thermal_voltage(self.temperature)
+
+    @property
+    def ideality(self) -> float:
+        """Subthreshold ideality factor n = S / (vT ln 10)."""
+        return subthreshold_slope_to_ideality(self.subthreshold_slope,
+                                              self.temperature)
+
+    @property
+    def current_factor(self) -> float:
+        """Alpha-power current factor B such that Idsat = B (Vgs - Vth)^α.
+
+        Calibrated so the reference corner reproduces ``idsat_reference``.
+        Units: A / V^α per unit feature-size width.
+        """
+        overdrive = self.vdd_reference - self.vth_reference
+        return self.idsat_reference / overdrive ** self.alpha
+
+    def off_current_per_width(self, vth: float) -> float:
+        """Shortcut to :func:`repro.technology.leakage.off_current_per_width`."""
+        from repro.technology import leakage
+
+        return leakage.off_current_per_width(self, vth)
+
+    def drain_current_per_width(self, vdd: float, vth: float) -> float:
+        """Shortcut to :func:`repro.technology.mosfet.drain_current_per_width`."""
+        from repro.technology import mosfet
+
+        return mosfet.drain_current_per_width(self, vdd, vth)
+
+    # --- constructors -----------------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "Technology":
+        """The documented 0.25 µm-class deck used by all experiments."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, feature_size: float, name: str | None = None) -> "Technology":
+        """A crude constant-field scaling of the default deck.
+
+        Used by the technology-selection analysis to ask "what Vth would the
+        optimizer pick for a future process?". Capacitances and drive scale
+        linearly with feature size; wire parasitics scale with pitch.
+        """
+        base = cls.default()
+        if feature_size <= 0.0:
+            raise TechnologyError(
+                f"feature_size must be positive, got {feature_size}")
+        ratio = feature_size / base.feature_size
+        return replace(
+            base,
+            name=name or f"scaled-{feature_size * 1e6:.3g}um",
+            feature_size=feature_size,
+            idsat_reference=base.idsat_reference * ratio,
+            subthreshold_i0=base.subthreshold_i0 * ratio,
+            junction_leakage=base.junction_leakage * ratio,
+            c_gate=base.c_gate * ratio,
+            c_parasitic=base.c_parasitic * ratio,
+            c_intermediate=base.c_intermediate * ratio,
+            gate_pitch=base.gate_pitch * ratio,
+            wire_res_per_meter=base.wire_res_per_meter / ratio,
+        )
+
+    def with_overrides(self, **overrides: float) -> "Technology":
+        """Return a copy with the given fields replaced (validated)."""
+        valid = {f.name for f in fields(self)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise TechnologyError(
+                f"unknown technology field(s): {sorted(unknown)}")
+        return replace(self, **overrides)
+
+    # --- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`TechnologyError` if the deck is inconsistent."""
+        positive = [
+            "feature_size", "alpha", "idsat_reference", "subthreshold_slope",
+            "subthreshold_i0", "temperature", "c_gate", "c_parasitic",
+            "c_intermediate", "beta_ratio", "wire_cap_per_meter",
+            "wire_res_per_meter", "wire_velocity", "gate_pitch",
+            "body_effect_gamma", "surface_potential",
+        ]
+        for field_name in positive:
+            value = getattr(self, field_name)
+            if not (value > 0.0) or not math.isfinite(value):
+                raise TechnologyError(
+                    f"{field_name} must be positive and finite, got {value!r}")
+        if self.junction_leakage < 0.0:
+            raise TechnologyError(
+                f"junction_leakage must be >= 0, got {self.junction_leakage}")
+        if not 1.0 <= self.alpha <= 2.0:
+            raise TechnologyError(
+                f"alpha-power exponent must lie in [1, 2], got {self.alpha}")
+        if self.vdd_reference <= self.vth_reference:
+            raise TechnologyError(
+                "reference corner needs vdd_reference > vth_reference, got "
+                f"{self.vdd_reference} <= {self.vth_reference}")
+        if not 0.0 < self.vdd_min < self.vdd_max:
+            raise TechnologyError(
+                f"bad Vdd range [{self.vdd_min}, {self.vdd_max}]")
+        if not 0.0 < self.vth_min < self.vth_max:
+            raise TechnologyError(
+                f"bad Vth range [{self.vth_min}, {self.vth_max}]")
+        if not 0.0 < self.width_min < self.width_max:
+            raise TechnologyError(
+                f"bad width range [{self.width_min}, {self.width_max}]")
+        if not 0.0 <= self.stack_derating <= 1.0:
+            raise TechnologyError(
+                f"stack_derating must lie in [0, 1], got {self.stack_derating}")
+        if not 0.25 <= self.velocity_saturation_coeff <= 1.0:
+            raise TechnologyError(
+                "velocity_saturation_coeff must lie in [0.25, 1], got "
+                f"{self.velocity_saturation_coeff}")

@@ -1,0 +1,30 @@
+"""Timing: delay model, STA, critical paths and delay budgeting.
+
+* :mod:`~repro.timing.delay_model` — the transregional worst-case gate
+  delay of Appendix A.2 (switching, input-slope, distributed-RC and
+  time-of-flight components).
+* :mod:`~repro.timing.sta` — static timing analysis: per-gate delays,
+  arrival times, critical-path extraction.
+* :mod:`~repro.timing.paths` — K-most-critical path enumeration in
+  decreasing *criticality* (sum of fanouts; modified Ju–Saleh, §4.2).
+* :mod:`~repro.timing.budgeting` — Procedure 1: fanout-proportional
+  maximum-delay assignment plus the slope-feasibility post-processing.
+"""
+
+from repro.timing.delay_model import gate_delay, slope_coefficient, DelayBreakdown
+from repro.timing.sta import TimingReport, analyze_timing
+from repro.timing.paths import Path, enumerate_critical_paths, most_critical_path
+from repro.timing.budgeting import BudgetResult, assign_delay_budgets
+
+__all__ = [
+    "gate_delay",
+    "slope_coefficient",
+    "DelayBreakdown",
+    "TimingReport",
+    "analyze_timing",
+    "Path",
+    "enumerate_critical_paths",
+    "most_critical_path",
+    "BudgetResult",
+    "assign_delay_budgets",
+]

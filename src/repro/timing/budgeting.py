@@ -1,0 +1,285 @@
+"""Procedure 1: fanout-proportional maximum-delay assignment (§4.2).
+
+The budget of each gate distributes the cycle time over paths in
+proportion to gate fanouts, so the delay per fanout ``t_dc`` is constant
+along the most critical path (eqs. 1–3 of the paper). Two equivalent
+formulations are implemented:
+
+* ``method="through"`` (default) — the closed form of the paper's own
+  summary ("the maximum allowable delay of each gate is dictated by the
+  most critical path intersecting that gate")::
+
+      t_MAXi = f_oi * b*T_c / N_c(through i)
+
+  where ``N_c(through i)`` is the criticality (sum of fanouts) of the
+  most critical path passing through gate ``i`` (a two-pass DP). For any
+  path ``P``, ``sum_{i in P} f_oi / N_c(through i) <= sum f_oi / N_c(P)
+  = 1``, so **no path's budgets exceed** ``b*T_c`` by construction.
+
+* ``method="paths"`` — the literal Procedure 1 iteration: enumerate paths
+  in decreasing criticality (lazily, Ju–Saleh-style) and hand each path's
+  unassigned gates the budget left over by its already-assigned gates.
+  Later paths can find their assigned gates over budget; such gates fall
+  back to the ``through`` rate, and a final rescale restores the
+  invariant exactly. Retained for fidelity and ablation.
+
+Both methods then run the paper's post-processing: the delay model's
+input-slope term makes a gate inherit a fraction of its slowest driver's
+delay, so driver budgets are tightened until
+``slope_max * driver_budget <= slope_share * budget`` — otherwise no
+device sizing could meet the driven gate's budget (the paper applies the
+same fix "for a very small fraction of the gates"). A final uniform
+rescale sets the longest budget-path exactly to ``b*T_c``, converting any
+leftover slack into uniformly looser budgets.
+
+The exported invariant — checked by property tests — is that after
+assignment no input→output path has budgets summing over ``b*T_c``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import TimingError
+from repro.netlist.network import LogicNetwork
+from repro.timing.paths import (
+    criticality_through,
+    enumerate_critical_paths,
+    node_weight,
+)
+
+#: Input-slope coefficient assumed by the post-processing. The model's
+#: clamp is 1/2, but at the joint optima the paper's designs actually
+#: reach (Vth/Vdd around 0.2-0.35) the coefficient sits near 0.15-0.25;
+#: 0.25 balances feasibility against budget mangling. The width search
+#: re-checks true feasibility at every candidate (Vdd, Vth) anyway.
+DEFAULT_SLOPE_MAX = 0.25
+
+#: Fraction of a gate's budget that must survive the inherited slope term.
+DEFAULT_SLOPE_SHARE = 0.6
+
+
+@dataclass(frozen=True)
+class BudgetResult:
+    """Outcome of Procedure 1."""
+
+    network_name: str
+    cycle_time: float
+    skew_factor: float
+    #: Maximum-delay budget per logic gate (s).
+    budgets: Mapping[str, float]
+    #: Assignment method used ("through" or "paths").
+    method: str
+    #: Paths consumed from the lazy enumerator (0 for "through").
+    paths_processed: int
+    #: Gates budgeted by the through-rate fallback ("paths" method only).
+    fallback_gates: Tuple[str, ...]
+    #: Gates whose drivers were tightened by the slope post-processing.
+    slope_adjusted_gates: Tuple[str, ...]
+    #: Factor applied by the final rescale.
+    rescale_factor: float
+
+    @property
+    def effective_cycle_time(self) -> float:
+        return self.cycle_time * self.skew_factor
+
+    def budget(self, name: str) -> float:
+        return self.budgets[name]
+
+    def longest_budget_path(self, network: LogicNetwork) -> float:
+        """Max over input→output paths of the sum of gate budgets (s)."""
+        return _longest_budget_path(network, self.budgets)
+
+
+def _longest_budget_path(network: LogicNetwork,
+                         budgets: Mapping[str, float]) -> float:
+    arrival: Dict[str, float] = {}
+    worst = 0.0
+    outputs = set(network.outputs)
+    for name in network.topological_order():
+        gate = network.gate(name)
+        if gate.is_input:
+            arrival[name] = 0.0
+        else:
+            arrival[name] = budgets[name] + max(arrival[fanin]
+                                                for fanin in gate.fanins)
+        if name in outputs:
+            worst = max(worst, arrival[name])
+    return worst
+
+
+def assign_delay_budgets(network: LogicNetwork, cycle_time: float,
+                         skew_factor: float = 1.0,
+                         method: str = "through",
+                         criticality: str = "fanout",
+                         max_paths: int = 20000,
+                         slope_max: float = DEFAULT_SLOPE_MAX,
+                         slope_share: float = DEFAULT_SLOPE_SHARE
+                         ) -> BudgetResult:
+    """Run Procedure 1 on ``network`` for the given cycle time.
+
+    Parameters
+    ----------
+    cycle_time:
+        The required clock period ``T_c = 1/f_c`` (s).
+    skew_factor:
+        The paper's ``b <= 1``; budgets distribute ``b * T_c``.
+    method:
+        ``"through"`` (closed form, default) or ``"paths"`` (literal
+        path iteration); see module docstring.
+    criticality:
+        ``"fanout"`` (the paper's metric) or ``"unit"`` (Ju–Saleh's
+        gate-count criticality, for the ablation bench).
+    max_paths:
+        "paths" method: cap on lazily enumerated paths before the
+        through-rate fallback covers the remainder.
+    slope_max, slope_share:
+        Post-processing aggressiveness; drivers are tightened until
+        ``slope_max * driver <= slope_share * own``. ``slope_max = 0``
+        disables the post-processing.
+    """
+    if cycle_time <= 0.0:
+        raise TimingError(f"cycle_time must be > 0, got {cycle_time}")
+    if not 0.0 < skew_factor <= 1.0:
+        raise TimingError(
+            f"skew_factor must lie in (0, 1], got {skew_factor}")
+    if not 0.0 < slope_share < 1.0:
+        raise TimingError(
+            f"slope_share must lie in (0, 1), got {slope_share}")
+    if not 0.0 <= slope_max <= 0.5:
+        raise TimingError(f"slope_max must lie in [0, 1/2], got {slope_max}")
+    if method not in ("through", "paths"):
+        raise TimingError(f"unknown budgeting method {method!r}")
+
+    target = cycle_time * skew_factor
+    if method == "through":
+        budgets = _through_assignment(network, target, criticality)
+        paths_processed = 0
+        fallback: Tuple[str, ...] = ()
+    else:
+        budgets, paths_processed, fallback = _path_assignment(
+            network, target, max_paths, criticality)
+
+    slope_adjusted = _slope_post_process(network, budgets, slope_max,
+                                         slope_share)
+    rescale = _final_rescale(network, budgets, target)
+
+    return BudgetResult(network_name=network.name, cycle_time=cycle_time,
+                        skew_factor=skew_factor, budgets=budgets,
+                        method=method, paths_processed=paths_processed,
+                        fallback_gates=fallback,
+                        slope_adjusted_gates=slope_adjusted,
+                        rescale_factor=rescale)
+
+
+def _through_assignment(network: LogicNetwork, target: float,
+                        scheme: str = "fanout") -> Dict[str, float]:
+    """Closed-form budgets: ``f_oi * target / criticality_through(i)``."""
+    through = criticality_through(network, scheme)
+    budgets: Dict[str, float] = {}
+    live_rates = [target / crit for crit in through.values() if crit > 0]
+    loosest_rate = max(live_rates) if live_rates else target
+    for name in network.logic_gates:
+        criticality = through.get(name, -1)
+        weight = node_weight(network, name, scheme)
+        if criticality <= 0:
+            # Dead gate: constrains no path; loosest rate = cheapest
+            # sizing (weight can be 0 for dangling gates, so floor it).
+            budgets[name] = max(weight, 1) * loosest_rate
+        else:
+            budgets[name] = weight * target / criticality
+    return budgets
+
+
+def _path_assignment(network: LogicNetwork, target: float,
+                     max_paths: int,
+                     scheme: str = "fanout") -> Tuple[Dict[str, float], int,
+                                                      Tuple[str, ...]]:
+    """Literal Procedure 1: iterate paths in decreasing criticality."""
+    through = criticality_through(network, scheme)
+    budgets: Dict[str, float] = {}
+    unassigned = set(network.logic_gates)
+    paths_processed = 0
+
+    for path in enumerate_critical_paths(network, scheme=scheme):
+        if not unassigned or paths_processed >= max_paths:
+            break
+        paths_processed += 1
+        gates = path.gates(network)
+        fresh = [name for name in gates if name not in budgets]
+        if not fresh:
+            continue
+        already = sum(budgets[name] for name in gates if name in budgets)
+        remaining = target - already
+        fanout_sum = sum(node_weight(network, name, scheme)
+                         for name in fresh)
+        for name in fresh:
+            weight = node_weight(network, name, scheme)
+            if remaining > 0.0 and fanout_sum > 0:
+                budgets[name] = weight * remaining / fanout_sum
+            else:
+                # Earlier (more critical) paths consumed the whole budget
+                # along this one; fall back to the through rate (the final
+                # rescale repairs any residual overshoot).
+                budgets[name] = weight * target / max(through.get(name, 1), 1)
+            unassigned.discard(name)
+
+    fallback = tuple(sorted(unassigned))
+    if fallback:
+        loosest = max(budgets.values(), default=target)
+        for name in fallback:
+            criticality = through.get(name, -1)
+            if criticality <= 0:
+                budgets[name] = loosest
+            else:
+                budgets[name] = node_weight(network, name, scheme) \
+                    * target / criticality
+        unassigned.clear()
+    return budgets, paths_processed, fallback
+
+
+def _slope_post_process(network: LogicNetwork, budgets: Dict[str, float],
+                        slope_max: float,
+                        slope_share: float) -> Tuple[str, ...]:
+    """Tighten driver budgets so the slope term can never eat a budget.
+
+    Processes gates in reverse topological order (outputs first) so a
+    driver tightened here is itself re-checked against the updated value
+    when its turn comes; reducing a driver's budget keeps every path sum
+    non-increasing, so the invariant survives. Returns the gates whose
+    drivers were adjusted.
+    """
+    if slope_max <= 0.0:
+        return ()
+    adjusted = []
+    for name in network.reverse_topological_order():
+        gate = network.gate(name)
+        if gate.is_input:
+            continue
+        own = budgets[name]
+        ceiling = slope_share * own / slope_max
+        touched = False
+        for fanin in gate.fanins:
+            if network.gate(fanin).is_input:
+                continue
+            if budgets[fanin] > ceiling:
+                budgets[fanin] = ceiling
+                touched = True
+        if touched:
+            adjusted.append(name)
+    return tuple(adjusted)
+
+
+def _final_rescale(network: LogicNetwork, budgets: Dict[str, float],
+                   target: float) -> float:
+    """Scale all budgets so the longest budget path equals ``target``."""
+    longest = _longest_budget_path(network, budgets)
+    if longest <= 0.0 or math.isinf(longest):
+        raise TimingError(
+            f"degenerate budget assignment for {network.name!r}")
+    factor = target / longest
+    for name in budgets:
+        budgets[name] *= factor
+    return factor

@@ -1,0 +1,160 @@
+"""Transregional worst-case gate delay (Appendix A.2, eq. A3).
+
+The delay of gate *i* has four components:
+
+1. **Input-slope term** — a fraction of the slowest driving gate's delay,
+   ``[1/2 - (1 - Vth/Vdd)/(1 + alpha)] * max_j t_dij``. The bracket grows
+   as ``Vth`` approaches ``Vdd`` (slow input edges hurt more near/below
+   threshold); it is clamped to ``[0, 1/2]`` — at ``Vth >= Vdd``
+   (subthreshold switching) half the driver delay is inherited.
+2. **Switching term** — ``k_sat * Vdd * C_L / I_eff``: the transregional
+   drive discharging the full output load. The worst-case drive of an
+   ``f_ii``-high series stack is the per-width current divided by the
+   stack height, *minus* the subthreshold contention of the ``f_ii``
+   complementary devices that are nominally off
+   (``I_Diw/f_ii - f_ii * I_off`` per unit width, as in A3). If contention
+   eats the whole drive the gate cannot switch: delay = ``inf``.
+3. **Distributed-RC term** — ``max_j R_INTij * (C_INTij/2 + w_ij C_tij)``.
+4. **Time-of-flight term** — ``max_j L_INTij / v_ij``.
+
+All terms are evaluated from the precomputed :class:`~repro.context.CircuitContext`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.context import CircuitContext
+from repro.errors import TimingError
+from repro.technology import mosfet
+from repro.technology.process import Technology
+
+
+def vdd_for(vdd: "float | Mapping[str, float]", name: str) -> float:
+    """Per-gate supply lookup (scalar = one global rail, the default)."""
+    if isinstance(vdd, Mapping):
+        try:
+            return vdd[name]
+        except KeyError:
+            raise TimingError(f"no Vdd supplied for gate {name!r}") from None
+    return vdd
+
+
+@dataclass(frozen=True)
+class DelayBreakdown:
+    """The four components of one gate's delay (s)."""
+
+    slope: float
+    switching: float
+    wire_rc: float
+    flight: float
+
+    @property
+    def total(self) -> float:
+        return self.slope + self.switching + self.wire_rc + self.flight
+
+
+def slope_coefficient(tech: Technology, vdd: float, vth: float) -> float:
+    """The input-slope fraction ``1/2 - (1 - Vth/Vdd)/(1 + alpha)``.
+
+    Clamped to ``[0, 1/2]``; reaches 1/2 at and below the subthreshold
+    boundary (``Vth >= Vdd``).
+    """
+    if vdd <= 0.0:
+        raise TimingError(f"vdd must be > 0, got {vdd}")
+    raw = 0.5 - (1.0 - vth / vdd) / (1.0 + tech.alpha)
+    return min(max(raw, 0.0), 0.5)
+
+
+def stack_height_factor(tech: Technology, fanin: int) -> float:
+    """Effective series-stack drive divisor, ``1 + derating * (f - 1)``."""
+    if fanin < 1:
+        raise TimingError(f"fanin must be >= 1, got {fanin}")
+    return 1.0 + tech.stack_derating * (fanin - 1)
+
+
+def effective_drive_per_width(tech: Technology, vdd: float, vth: float,
+                              fanin: int) -> float:
+    """Worst-case switching drive per unit width (the paper's ``I_Diw(f_ii)``).
+
+    The single-device transregional current is derated by the series-stack
+    factor and reduced by the subthreshold contention of the ``f_ii``
+    nominally-off complementary devices (``... - f_ii * I_off`` in eq. A3).
+    Returns a non-positive value when contention kills the drive — the
+    caller maps that to an infinite delay.
+    """
+    drive = mosfet.drain_current_per_width(tech, vdd, vth) \
+        / stack_height_factor(tech, fanin)
+    from repro.technology import leakage
+
+    contention = fanin * leakage.off_current_per_width(tech, vth, vds=vdd)
+    return drive - contention
+
+
+def gate_delay_breakdown(ctx: CircuitContext, name: str,
+                         vdd: "float | Mapping[str, float]",
+                         vth: float, widths: Mapping[str, float],
+                         max_fanin_delay: float) -> DelayBreakdown:
+    """Full component breakdown of one gate's worst-case delay.
+
+    ``vdd`` may be a per-gate mapping (multi-Vdd designs); the gate's own
+    rail drives both its switching current and its output swing.
+    """
+    info = ctx.info(name)
+    tech = ctx.tech
+    vdd = vdd_for(vdd, name)
+    width = widths.get(name, 1.0)
+    if width <= 0.0:
+        raise TimingError(f"gate {name!r}: width must be > 0, got {width}")
+    if max_fanin_delay < 0.0:
+        raise TimingError(
+            f"gate {name!r}: max_fanin_delay must be >= 0, "
+            f"got {max_fanin_delay}")
+
+    slope = slope_coefficient(tech, vdd, vth) * max_fanin_delay
+
+    drive_per_width = effective_drive_per_width(tech, vdd, vth,
+                                                info.fanin_count)
+    if drive_per_width <= 0.0:
+        return DelayBreakdown(slope=slope, switching=math.inf,
+                              wire_rc=0.0, flight=0.0)
+    load = ctx.output_load(name, widths)
+    switching = (tech.velocity_saturation_coeff * vdd * load
+                 / (drive_per_width * width))
+
+    wire_rc = 0.0
+    flight = 0.0
+    for sink, cap_per_width, branch_cap, branch_res, branch_flight in zip(
+            info.fanout_names, info.fanout_input_caps, info.branch_caps,
+            info.branch_resistances, info.branch_flights):
+        sink_width = ctx.BOUNDARY_WIDTH if sink == "" \
+            else widths.get(sink, 1.0)
+        rc = branch_res * (0.5 * branch_cap + sink_width * cap_per_width)
+        wire_rc = max(wire_rc, rc)
+        flight = max(flight, branch_flight)
+
+    return DelayBreakdown(slope=slope, switching=switching,
+                          wire_rc=wire_rc, flight=flight)
+
+
+def gate_delay(ctx: CircuitContext, name: str,
+               vdd: "float | Mapping[str, float]", vth: float,
+               widths: Mapping[str, float], max_fanin_delay: float) -> float:
+    """Worst-case delay of gate ``name`` (s); ``inf`` if it cannot switch."""
+    return gate_delay_breakdown(ctx, name, vdd, vth, widths,
+                                max_fanin_delay).total
+
+
+def fixed_delay_floor(ctx: CircuitContext, name: str,
+                      widths: Mapping[str, float]) -> float:
+    """Width/voltage-independent lower bound of a gate's delay (s).
+
+    The RC and time-of-flight terms do not improve with the gate's own
+    width or the supply; Procedure 1's post-processing uses this floor to
+    detect budgets no (Vdd, Vth, w) combination can meet.
+    """
+    breakdown = gate_delay_breakdown(ctx, name, vdd=3.3, vth=0.1,
+                                     widths=widths, max_fanin_delay=0.0)
+    return breakdown.wire_rc + breakdown.flight

@@ -1,0 +1,189 @@
+"""K-most-critical path enumeration (§4.2, modified Ju–Saleh [6]).
+
+The paper defines the *criticality* of an input→output path as the sum of
+the fanouts of its gates, ``N_cj = sum_i f_oij``, and processes paths in
+decreasing criticality. Enumerating all paths up front is exponential, so
+— like Ju and Saleh's K-most-critical-path algorithm, with the criticality
+metric swapped in — paths are produced lazily, best-first:
+
+* a DP pass computes, for every node, the best achievable
+  criticality-to-go (``suffix``),
+* a max-heap of partial paths ordered by ``criticality so far + suffix``
+  then expands only what is needed; every popped *complete* path is
+  emitted, and completed prefixes are guaranteed to come out in
+  non-increasing criticality order (the classic A*-with-perfect-heuristic
+  argument).
+
+Node weights: logic gates contribute their fanout count (a primary output
+with no sinks counts 1 — it drives the module boundary); primary inputs
+contribute 0.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import TimingError
+from repro.netlist.network import LogicNetwork
+
+
+@dataclass(frozen=True)
+class Path:
+    """One input→output path."""
+
+    nodes: Tuple[str, ...]
+    criticality: int
+
+    @property
+    def source(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def sink(self) -> str:
+        return self.nodes[-1]
+
+    def gates(self, network: LogicNetwork) -> Tuple[str, ...]:
+        """The path's logic gates (primary inputs dropped)."""
+        return tuple(name for name in self.nodes
+                     if not network.gate(name).is_input)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def node_weight(network: LogicNetwork, name: str,
+                scheme: str = "fanout") -> int:
+    """Criticality contribution of one node.
+
+    ``scheme="fanout"`` is the paper's metric (``f_oi`` for gates, 0 for
+    primary inputs); ``scheme="unit"`` is Ju–Saleh's original gate-count
+    criticality (1 per gate), kept for the ablation study.
+    """
+    if scheme not in ("fanout", "unit"):
+        raise TimingError(f"unknown criticality scheme {scheme!r}")
+    if network.gate(name).is_input:
+        return 0
+    if scheme == "unit":
+        return 1
+    return network.fanout_count(name)
+
+
+def criticality_suffixes(network: LogicNetwork,
+                         scheme: str = "fanout") -> Dict[str, int]:
+    """Best criticality-to-go from each node (including its own weight).
+
+    ``suffix[n] = weight(n) + max(suffix[fanout])`` over fanouts that can
+    reach a primary output; nodes that reach no output get ``-1`` (they
+    lie on no valid path).
+    """
+    outputs = set(network.outputs)
+    suffix: Dict[str, int] = {}
+    for name in network.reverse_topological_order():
+        weight = node_weight(network, name, scheme)
+        fanouts = network.fanouts(name)
+        best_continuation = None
+        for sink in fanouts:
+            if suffix.get(sink, -1) >= 0:
+                continuation = suffix[sink]
+                if best_continuation is None or continuation > best_continuation:
+                    best_continuation = continuation
+        if name in outputs:
+            # A path may legally terminate here even if fanouts continue.
+            terminal = 0
+            if best_continuation is None or terminal > best_continuation:
+                best_continuation = max(best_continuation or 0, terminal)
+        if best_continuation is None:
+            suffix[name] = -1
+        else:
+            suffix[name] = weight + best_continuation
+    return suffix
+
+
+def enumerate_critical_paths(network: LogicNetwork,
+                             max_paths: int | None = None,
+                             scheme: str = "fanout") -> Iterator[Path]:
+    """Yield input→output paths in non-increasing criticality.
+
+    ``max_paths`` bounds the number of *emitted* paths (None = unbounded;
+    callers such as Procedure 1 stop consuming early instead).
+    """
+    if max_paths is not None and max_paths < 0:
+        raise TimingError(f"max_paths must be >= 0, got {max_paths}")
+    suffix = criticality_suffixes(network, scheme)
+    outputs = set(network.outputs)
+    counter = itertools.count()  # FIFO tie-break, keeps ordering deterministic
+    # Entries: (-priority, tiebreak, accumulated, nodes, terminated). A
+    # non-terminated entry's priority is an upper bound on any completion;
+    # a terminated entry's priority is its exact criticality, so popping a
+    # terminated entry proves nothing more critical remains.
+    heap: list[tuple[int, int, int, Tuple[str, ...], bool]] = []
+
+    for source in network.inputs:
+        if suffix.get(source, -1) >= 0:
+            bound = suffix[source]
+            heapq.heappush(heap, (-bound, next(counter), 0, (source,), False))
+
+    emitted = 0
+    while heap:
+        _, _, accumulated, nodes, terminated = heapq.heappop(heap)
+        current = nodes[-1]
+        if terminated:
+            yield Path(nodes=nodes, criticality=accumulated)
+            emitted += 1
+            if max_paths is not None and emitted >= max_paths:
+                return
+            continue
+        if current in outputs:
+            heapq.heappush(heap, (-accumulated, next(counter), accumulated,
+                                  nodes, True))
+        for sink in network.fanouts(current):
+            sink_suffix = suffix.get(sink, -1)
+            if sink_suffix < 0:
+                continue
+            new_accumulated = accumulated + node_weight(network, sink,
+                                                        scheme)
+            bound = accumulated + sink_suffix
+            heapq.heappush(heap, (-bound, next(counter), new_accumulated,
+                                  nodes + (sink,), False))
+
+
+def most_critical_path(network: LogicNetwork,
+                       scheme: str = "fanout") -> Path:
+    """The single most critical path (pure DP, no enumeration)."""
+    for path in enumerate_critical_paths(network, max_paths=1,
+                                         scheme=scheme):
+        return path
+    raise TimingError(
+        f"network {network.name!r} has no input→output path")
+
+
+def criticality_through(network: LogicNetwork,
+                        scheme: str = "fanout") -> Dict[str, int]:
+    """Max criticality of any path passing *through* each node.
+
+    ``through[n] = prefix[n] + suffix[n] - weight(n)`` where ``prefix`` is
+    the best criticality from any input up to and including ``n``. Used by
+    Procedure 1's closed-form assignment and its fallback for gates the
+    bounded enumeration never reached.
+    """
+    suffix = criticality_suffixes(network, scheme)
+    prefix: Dict[str, int] = {}
+    for name in network.topological_order():
+        gate = network.gate(name)
+        weight = node_weight(network, name, scheme)
+        if gate.is_input:
+            prefix[name] = weight
+        else:
+            prefix[name] = weight + max(prefix[fanin]
+                                        for fanin in gate.fanins)
+    through: Dict[str, int] = {}
+    for name in network.topological_order():
+        if suffix.get(name, -1) < 0:
+            through[name] = -1
+        else:
+            through[name] = prefix[name] + suffix[name] \
+                - node_weight(network, name, scheme)
+    return through

@@ -1,0 +1,110 @@
+"""Static timing analysis.
+
+Computes, for a concrete design point (``Vdd``, per-gate ``Vth``, widths):
+
+* every gate's worst-case delay ``t_di`` (which, per eq. A3, depends
+  recursively on the delays of its driving gates through the input-slope
+  term — hence the single topological pass),
+* arrival times at every node,
+* the critical path and the circuit's critical delay.
+
+Primary inputs are ideal (zero delay, zero arrival time), matching the
+paper's cycle-time constraint "sum of the delays of all the gates in the
+circuit's critical path".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.context import CircuitContext
+from repro.errors import TimingError
+from repro.timing.delay_model import gate_delay
+
+
+def _vth_for(vth: float | Mapping[str, float], name: str) -> float:
+    if isinstance(vth, Mapping):
+        try:
+            return vth[name]
+        except KeyError:
+            raise TimingError(f"no Vth supplied for gate {name!r}") from None
+    return vth
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of one STA run."""
+
+    network_name: str
+    delays: Mapping[str, float]
+    arrivals: Mapping[str, float]
+    critical_delay: float
+    critical_path: Tuple[str, ...]
+
+    def meets(self, cycle_time: float, tolerance: float = 1e-12) -> bool:
+        """Does the circuit meet ``cycle_time``?"""
+        return self.critical_delay <= cycle_time * (1.0 + tolerance)
+
+    def slack(self, cycle_time: float) -> float:
+        """``cycle_time - critical_delay`` (negative = violated)."""
+        return cycle_time - self.critical_delay
+
+    def delay(self, name: str) -> float:
+        return self.delays[name]
+
+    def arrival(self, name: str) -> float:
+        return self.arrivals[name]
+
+
+def analyze_timing(ctx: CircuitContext, vdd: float | Mapping[str, float],
+                   vth: float | Mapping[str, float],
+                   widths: Mapping[str, float]) -> TimingReport:
+    """Run STA at a design point and extract the critical path.
+
+    Both ``vdd`` and ``vth`` accept a per-gate mapping (multi-Vdd /
+    multi-Vth designs) or a single global value.
+    """
+    network = ctx.network
+    delays: Dict[str, float] = {}
+    arrivals: Dict[str, float] = {}
+
+    for name in network.topological_order():
+        gate = network.gate(name)
+        if gate.is_input:
+            delays[name] = 0.0
+            arrivals[name] = 0.0
+            continue
+        max_fanin_delay = max(delays[fanin] for fanin in gate.fanins)
+        delay = gate_delay(ctx, name, vdd, _vth_for(vth, name), widths,
+                           max_fanin_delay)
+        delays[name] = delay
+        arrivals[name] = max(arrivals[fanin] for fanin in gate.fanins) + delay
+
+    critical_delay = max(arrivals[output] for output in network.outputs)
+    critical_path = _trace_critical_path(ctx, delays, arrivals, critical_delay)
+    return TimingReport(network_name=network.name, delays=delays,
+                        arrivals=arrivals, critical_delay=critical_delay,
+                        critical_path=critical_path)
+
+
+def _trace_critical_path(ctx: CircuitContext, delays: Mapping[str, float],
+                         arrivals: Mapping[str, float],
+                         critical_delay: float) -> Tuple[str, ...]:
+    network = ctx.network
+    endpoint = max(network.outputs, key=lambda name: arrivals[name])
+    if math.isinf(critical_delay):
+        # Some gate cannot switch at this design point; report the endpoint
+        # only — callers treat infinite delay as plain infeasibility.
+        return (endpoint,)
+    path = [endpoint]
+    current = endpoint
+    while True:
+        gate = network.gate(current)
+        if gate.is_input:
+            break
+        current = max(gate.fanins, key=lambda fanin: arrivals[fanin])
+        path.append(current)
+    path.reverse()
+    return tuple(path)

@@ -1,0 +1,118 @@
+"""Unit helpers and conversions.
+
+All quantities inside :mod:`repro` are expressed in base SI units:
+volts, amperes, seconds, farads, ohms, metres, joules, watts and hertz.
+These helpers exist so that call sites can say ``300 * MHZ`` or
+``delay / NS`` instead of sprinkling powers of ten through the code.
+"""
+
+from __future__ import annotations
+
+# --- multipliers -----------------------------------------------------------
+
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+# --- frequency -------------------------------------------------------------
+
+HZ = 1.0
+KHZ = KILO
+MHZ = MEGA
+GHZ = GIGA
+
+# --- time ------------------------------------------------------------------
+
+S = 1.0
+MS = MILLI
+US = MICRO
+NS = NANO
+PS = PICO
+
+# --- voltage / current -----------------------------------------------------
+
+V = 1.0
+MV = MILLI
+UA = MICRO
+NA = NANO
+PA = PICO
+MA = MILLI
+
+# --- capacitance / resistance / inductance ---------------------------------
+
+F = 1.0
+PF = PICO
+FF = FEMTO
+OHM = 1.0
+KOHM = KILO
+
+# --- length ----------------------------------------------------------------
+
+M = 1.0
+CM = 1e-2
+MM = MILLI
+UM = MICRO
+NM = NANO
+
+# --- energy / power --------------------------------------------------------
+
+J = 1.0
+PJ = PICO
+FJ = FEMTO
+AJ = ATTO
+W = 1.0
+MW = MILLI
+UW = MICRO
+NW = NANO
+
+
+def to_unit(value: float, unit: float) -> float:
+    """Express ``value`` (in base SI) in multiples of ``unit``.
+
+    >>> to_unit(3.3e-9, NS)
+    3.3
+    """
+    return value / unit
+
+
+def from_unit(value: float, unit: float) -> float:
+    """Convert ``value`` given in ``unit`` into base SI.
+
+    >>> from_unit(300, MHZ)
+    300000000.0
+    """
+    return value * unit
+
+
+def format_si(value: float, base_unit: str = "") -> str:
+    """Render ``value`` with an engineering SI prefix.
+
+    >>> format_si(3.3e-9, 's')
+    '3.300 ns'
+    """
+    prefixes = [
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+    ]
+    big_prefixes = [(1e9, "G"), (1e6, "M"), (1e3, "k")]
+    if value == 0.0:
+        return f"0.000 {base_unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in big_prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.3f} {prefix}{base_unit}"
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.3f} {prefix}{base_unit}"
+    return f"{value:.3e} {base_unit}".rstrip()

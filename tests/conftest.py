@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (contexts, optimization problems) are session-scoped; tests
+never mutate them. Optimizer tests use ``s27`` or small generated
+networks with reduced search settings so the full suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activity.profiles import uniform_profile
+from repro.context import CircuitContext
+from repro.netlist.benchmarks import benchmark_circuit, s27
+from repro.netlist.generator import GeneratorSpec, generate_network
+from repro.optimize.heuristic import HeuristicSettings
+from repro.optimize.problem import OptimizationProblem
+from repro.technology.process import Technology
+from repro.units import MHZ
+
+
+@pytest.fixture(scope="session")
+def tech() -> Technology:
+    return Technology.default()
+
+
+@pytest.fixture(scope="session")
+def s27_network():
+    return s27()
+
+
+@pytest.fixture(scope="session")
+def s27_profile(s27_network):
+    return uniform_profile(s27_network, probability=0.5, density=0.1)
+
+
+@pytest.fixture(scope="session")
+def s27_ctx(tech, s27_network, s27_profile) -> CircuitContext:
+    return CircuitContext(tech, s27_network, s27_profile)
+
+
+@pytest.fixture(scope="session")
+def s27_problem(s27_ctx) -> OptimizationProblem:
+    return OptimizationProblem(ctx=s27_ctx, frequency=300 * MHZ)
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """A ~60-gate generated network for integration tests."""
+    spec = GeneratorSpec(name="small60", n_inputs=8, n_outputs=6,
+                         n_gates=60, depth=7, seed=11)
+    return generate_network(spec)
+
+
+@pytest.fixture(scope="session")
+def small_problem(tech, small_network) -> OptimizationProblem:
+    profile = uniform_profile(small_network, probability=0.5, density=0.1)
+    return OptimizationProblem.build(tech, small_network, profile,
+                                     frequency=300 * MHZ)
+
+
+@pytest.fixture(scope="session")
+def s298_problem(tech) -> OptimizationProblem:
+    network = benchmark_circuit("s298")
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    return OptimizationProblem.build(tech, network, profile,
+                                     frequency=300 * MHZ)
+
+
+@pytest.fixture(scope="session")
+def fast_settings() -> HeuristicSettings:
+    """Reduced Procedure 2 settings for quick optimizer tests."""
+    return HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=8,
+                             refine_rounds=1)

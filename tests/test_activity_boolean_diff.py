@@ -1,0 +1,94 @@
+"""Tests for Boolean-difference probabilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.activity.boolean_diff import (
+    boolean_difference_probabilities,
+    boolean_difference_probabilities_exact,
+    output_probability,
+)
+from repro.errors import ActivityError
+from repro.netlist.gates import GateType
+
+MULTI_GATES = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+               GateType.XOR, GateType.XNOR]
+
+
+@pytest.mark.parametrize("gate_type, probs, expected", [
+    (GateType.AND, [0.5, 0.5], 0.25),
+    (GateType.NAND, [0.5, 0.5], 0.75),
+    (GateType.OR, [0.5, 0.5], 0.75),
+    (GateType.NOR, [0.5, 0.5], 0.25),
+    (GateType.XOR, [0.5, 0.5], 0.5),
+    (GateType.XNOR, [0.5, 0.5], 0.5),
+    (GateType.NOT, [0.3], 0.7),
+    (GateType.BUF, [0.3], 0.3),
+    (GateType.AND, [0.2, 0.4, 0.5], 0.04),
+])
+def test_output_probability(gate_type, probs, expected):
+    assert output_probability(gate_type, probs) == pytest.approx(expected)
+
+
+def test_boolean_difference_closed_forms():
+    probs = [0.2, 0.6, 0.9]
+    and_sens = boolean_difference_probabilities(GateType.AND, probs)
+    assert and_sens[0] == pytest.approx(0.6 * 0.9)
+    assert and_sens[2] == pytest.approx(0.2 * 0.6)
+    or_sens = boolean_difference_probabilities(GateType.OR, probs)
+    assert or_sens[0] == pytest.approx(0.4 * 0.1)
+    xor_sens = boolean_difference_probabilities(GateType.XOR, probs)
+    assert xor_sens == (1.0, 1.0, 1.0)
+    not_sens = boolean_difference_probabilities(GateType.NOT, [0.4])
+    assert not_sens == (1.0,)
+
+
+@given(st.sampled_from(MULTI_GATES),
+       st.lists(st.floats(min_value=0.0, max_value=1.0),
+                min_size=2, max_size=5))
+@settings(max_examples=150)
+def test_closed_form_matches_truth_table(gate_type, probs):
+    closed = boolean_difference_probabilities(gate_type, probs)
+    exact = boolean_difference_probabilities_exact(gate_type, probs)
+    for a, b in zip(closed, exact):
+        assert a == pytest.approx(b, abs=1e-12)
+
+
+@given(st.sampled_from(MULTI_GATES),
+       st.lists(st.floats(min_value=0.0, max_value=1.0),
+                min_size=2, max_size=5))
+@settings(max_examples=150)
+def test_output_probability_matches_truth_table(gate_type, probs):
+    table_prob = 0.0
+    from repro.netlist.gates import truth_table
+    table = truth_table(gate_type, len(probs))
+    for assignment, value in enumerate(table):
+        if not value:
+            continue
+        weight = 1.0
+        for position, probability in enumerate(probs):
+            bit = (assignment >> position) & 1
+            weight *= probability if bit else 1.0 - probability
+        table_prob += weight
+    assert output_probability(gate_type, probs) \
+        == pytest.approx(table_prob, abs=1e-12)
+
+
+def test_inverting_pair_probabilities_complement():
+    probs = [0.3, 0.8]
+    assert output_probability(GateType.NAND, probs) \
+        == pytest.approx(1.0 - output_probability(GateType.AND, probs))
+
+
+def test_invalid_probability_rejected():
+    with pytest.raises(ActivityError):
+        output_probability(GateType.AND, [0.5, 1.5])
+    with pytest.raises(ActivityError):
+        boolean_difference_probabilities(GateType.AND, [-0.1, 0.5])
+
+
+def test_input_gate_rejected():
+    with pytest.raises(ActivityError):
+        output_probability(GateType.INPUT, [])
+    with pytest.raises(ActivityError):
+        boolean_difference_probabilities(GateType.INPUT, [])

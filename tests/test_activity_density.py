@@ -1,0 +1,111 @@
+"""Tests for Najm transition-density propagation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.activity.profiles import InputProfile, max_density, uniform_profile
+from repro.activity.transition_density import estimate_activity
+from repro.errors import ActivityError
+from repro.netlist.benchmarks import s27
+from repro.netlist.gates import GateType
+from repro.netlist.network import NetworkBuilder
+
+
+def tree_network():
+    """A fanout-free tree: the propagation is exact on it."""
+    builder = NetworkBuilder("tree")
+    for name in ("a", "b", "c", "d"):
+        builder.add_input(name)
+    builder.add_gate("n1", GateType.AND, ["a", "b"])
+    builder.add_gate("n2", GateType.OR, ["c", "d"])
+    builder.add_gate("y", GateType.NAND, ["n1", "n2"])
+    return builder.build(outputs=["y"])
+
+
+def test_inverter_passes_density_through():
+    builder = NetworkBuilder("inv")
+    builder.add_input("a")
+    builder.add_gate("y", GateType.NOT, ["a"])
+    network = builder.build(outputs=["y"])
+    profile = uniform_profile(network, probability=0.3, density=0.25)
+    estimate = estimate_activity(network, profile)
+    assert estimate.density("y") == pytest.approx(0.25)
+    assert estimate.probability("y") == pytest.approx(0.7)
+
+
+def test_and_gate_density():
+    network = tree_network()
+    profile = uniform_profile(network, probability=0.5, density=0.2)
+    estimate = estimate_activity(network, profile)
+    # D(n1) = p_b * D_a + p_a * D_b = 0.5*0.2 + 0.5*0.2 = 0.2
+    assert estimate.density("n1") == pytest.approx(0.2)
+    # P(n1) = 0.25, P(n2) = 0.75.
+    assert estimate.probability("n1") == pytest.approx(0.25)
+    assert estimate.probability("n2") == pytest.approx(0.75)
+    # D(y) = P(n2=1)*D(n1) + P(n1=1)*D(n2): NAND diff wrt n1 is n2.
+    d_n2 = 0.5 * 0.2 + 0.5 * 0.2
+    expected = 0.75 * 0.2 + 0.25 * d_n2
+    assert estimate.density("y") == pytest.approx(expected)
+
+
+def test_densities_respect_markov_limit():
+    network = s27()
+    profile = uniform_profile(network, probability=0.5, density=1.0)
+    estimate = estimate_activity(network, profile)
+    for name in network.topological_order():
+        limit = max_density(estimate.probability(name))
+        assert estimate.density(name) <= limit + 1e-12
+
+
+def test_zero_input_activity_gives_zero_everywhere():
+    network = s27()
+    profile = uniform_profile(network, probability=0.5, density=0.0)
+    estimate = estimate_activity(network, profile)
+    assert estimate.total_density() == 0.0
+
+
+@given(probability=st.floats(min_value=0.05, max_value=0.95),
+       density_fraction=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_densities_nonnegative_and_bounded(probability, density_fraction):
+    network = s27()
+    density = density_fraction * 2 * probability * (1 - probability)
+    profile = uniform_profile(network, probability=probability,
+                              density=density)
+    estimate = estimate_activity(network, profile)
+    for name in network.topological_order():
+        assert 0.0 <= estimate.density(name)
+        assert 0.0 <= estimate.probability(name) <= 1.0
+
+
+def test_density_scales_linearly_with_input_density():
+    # D(y) is linear in the input densities (fixed probabilities).
+    network = tree_network()
+    low = estimate_activity(network,
+                            uniform_profile(network, 0.5, density=0.1))
+    high = estimate_activity(network,
+                             uniform_profile(network, 0.5, density=0.2))
+    for name in network.logic_gates:
+        if high.density(name) < max_density(high.probability(name)) - 1e-9:
+            assert high.density(name) == pytest.approx(
+                2 * low.density(name))
+
+
+def test_missing_profile_rejected():
+    network = s27()
+    profile = InputProfile(probabilities={"G0": 0.5}, densities={"G0": 0.1})
+    with pytest.raises(ActivityError):
+        estimate_activity(network, profile)
+
+
+def test_activity_alias():
+    network = tree_network()
+    estimate = estimate_activity(network, uniform_profile(network, 0.5, 0.2))
+    assert estimate.activity("n1") == estimate.density("n1")
+
+
+def test_unknown_node_rejected():
+    network = tree_network()
+    estimate = estimate_activity(network, uniform_profile(network, 0.5, 0.2))
+    with pytest.raises(ActivityError):
+        estimate.density("ghost")

@@ -1,0 +1,131 @@
+"""Tests for the exact (BDD-based, ref. [11]) activity estimator."""
+
+import pytest
+
+from repro.activity.exact import (
+    correlation_error,
+    estimate_activity_exact,
+)
+from repro.activity.profiles import uniform_profile
+from repro.activity.simulation import simulate_activity
+from repro.activity.transition_density import estimate_activity
+from repro.errors import ActivityError
+from repro.netlist.benchmarks import s27
+from repro.netlist.gates import GateType
+from repro.netlist.network import NetworkBuilder
+
+
+def reconvergent_pair():
+    """y = AND(a, NOT(a)) == 0: the classic correlation killer."""
+    builder = NetworkBuilder("rec")
+    builder.add_input("a")
+    builder.add_gate("na", GateType.NOT, ["a"])
+    builder.add_gate("y", GateType.AND, ["a", "na"])
+    return builder.build(outputs=["y"])
+
+
+def test_reconvergence_handled_exactly():
+    network = reconvergent_pair()
+    profile = uniform_profile(network, probability=0.5, density=0.4)
+    exact = estimate_activity_exact(network, profile)
+    # y is constant 0: probability and density exactly zero.
+    assert exact.probability("y") == 0.0
+    assert exact.density("y") == 0.0
+    # Najm's first-order estimate cannot see this.
+    najm = estimate_activity(network, profile)
+    assert najm.density("y") > 0.0
+
+
+def test_exact_matches_monte_carlo_on_s27():
+    network = s27()
+    profile = uniform_profile(network, probability=0.5, density=0.3)
+    exact = estimate_activity_exact(network, profile)
+    assert exact.approximate_nodes == ()
+    measured = simulate_activity(network, profile, cycles=60000, seed=11)
+    for name in network.logic_gates:
+        assert exact.density(name) == pytest.approx(
+            measured.density(name), abs=0.01)
+        assert exact.probability(name) == pytest.approx(
+            measured.probability(name), abs=0.01)
+
+
+def test_exact_agrees_with_najm_on_trees():
+    # Without reconvergence and at low activity they coincide closely;
+    # probabilities coincide exactly.
+    builder = NetworkBuilder("tree")
+    for name in ("a", "b", "c", "d"):
+        builder.add_input(name)
+    builder.add_gate("n1", GateType.AND, ["a", "b"])
+    builder.add_gate("n2", GateType.OR, ["c", "d"])
+    builder.add_gate("y", GateType.XOR, ["n1", "n2"])
+    network = builder.build(outputs=["y"])
+    profile = uniform_profile(network, probability=0.4, density=0.02)
+    exact = estimate_activity_exact(network, profile)
+    najm = estimate_activity(network, profile)
+    for name in network.logic_gates:
+        assert exact.probability(name) == pytest.approx(
+            najm.probability(name), abs=1e-12)
+        assert exact.density(name) == pytest.approx(
+            najm.density(name), rel=0.05)
+
+
+def test_najm_is_upper_bound_in_practice():
+    # Documented direction on reconvergent logic at moderate activity.
+    network = s27()
+    profile = uniform_profile(network, probability=0.5, density=0.3)
+    ratios = correlation_error(network, profile)
+    assert ratios  # non-empty
+    assert all(ratio >= 0.99 for ratio in ratios.values())
+    assert max(ratios.values()) > 1.1  # the error is real
+
+
+def test_support_cap_falls_back_downstream():
+    network = s27()
+    profile = uniform_profile(network, probability=0.5, density=0.3)
+    capped = estimate_activity_exact(network, profile, max_support=2)
+    assert capped.approximate_nodes  # most cones exceed 2 inputs
+    najm = estimate_activity(network, profile)
+    for name in capped.approximate_nodes:
+        assert capped.density(name) == pytest.approx(najm.density(name))
+
+
+def test_extreme_profiles():
+    network = reconvergent_pair()
+    # Constant-1 input: no switching anywhere.
+    from repro.activity.profiles import InputProfile
+
+    profile = InputProfile(probabilities={"a": 1.0}, densities={"a": 0.0})
+    exact = estimate_activity_exact(network, profile)
+    assert exact.density("na") == 0.0
+    assert exact.probability("na") == 0.0
+
+
+def test_as_estimate_view():
+    network = s27()
+    profile = uniform_profile(network, 0.5, 0.2)
+    exact = estimate_activity_exact(network, profile)
+    view = exact.as_estimate()
+    assert view.density("G9") == exact.density("G9")
+    assert view.activity("G9") == exact.activity("G9")
+
+
+def test_validation():
+    network = s27()
+    profile = uniform_profile(network, 0.5, 0.2)
+    with pytest.raises(ActivityError):
+        estimate_activity_exact(network, profile, max_support=0)
+
+
+def test_xor_xnor_gates_supported():
+    builder = NetworkBuilder("x")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_gate("p", GateType.XOR, ["a", "b"])
+    builder.add_gate("q", GateType.XNOR, ["a", "b"])
+    network = builder.build(outputs=["p", "q"])
+    profile = uniform_profile(network, probability=0.5, density=0.5)
+    exact = estimate_activity_exact(network, profile)
+    assert exact.probability("p") == pytest.approx(0.5)
+    assert exact.probability("q") == pytest.approx(0.5)
+    # p and q are complements: identical densities.
+    assert exact.density("p") == pytest.approx(exact.density("q"))

@@ -1,0 +1,67 @@
+"""Tests for input activity profiles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.activity.profiles import InputProfile, max_density, uniform_profile
+from repro.errors import ActivityError
+from repro.netlist.benchmarks import s27
+
+
+def test_uniform_profile_covers_all_inputs():
+    network = s27()
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    assert profile.covers(network)
+    profile.require_covers(network)
+    for name in network.inputs:
+        assert profile.probability(name) == 0.5
+        assert profile.density(name) == 0.1
+
+
+def test_uniform_profile_default_density_is_random_data():
+    network = s27()
+    profile = uniform_profile(network, probability=0.3)
+    assert profile.density(network.inputs[0]) == pytest.approx(2 * 0.3 * 0.7)
+
+
+def test_max_density():
+    assert max_density(0.5) == 1.0
+    assert max_density(0.1) == pytest.approx(0.2)
+    assert max_density(0.9) == pytest.approx(0.2)
+
+
+def test_probability_out_of_range_rejected():
+    with pytest.raises(ActivityError, match="not in"):
+        InputProfile(probabilities={"a": 1.5}, densities={"a": 0.1})
+
+
+def test_density_above_markov_limit_rejected():
+    with pytest.raises(ActivityError, match="Markov limit"):
+        InputProfile(probabilities={"a": 0.05}, densities={"a": 0.5})
+
+
+def test_negative_density_rejected():
+    with pytest.raises(ActivityError, match="negative"):
+        InputProfile(probabilities={"a": 0.5}, densities={"a": -0.1})
+
+
+def test_mismatched_maps_rejected():
+    with pytest.raises(ActivityError, match="same inputs"):
+        InputProfile(probabilities={"a": 0.5}, densities={"b": 0.1})
+
+
+def test_missing_input_detected():
+    network = s27()
+    profile = InputProfile(probabilities={"G0": 0.5}, densities={"G0": 0.1})
+    assert not profile.covers(network)
+    with pytest.raises(ActivityError, match="misses"):
+        profile.require_covers(network)
+    with pytest.raises(ActivityError, match="no profile"):
+        profile.probability("G1")
+
+
+@given(probability=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=50)
+def test_uniform_profile_always_valid(probability):
+    # Default density is 2p(1-p) <= 2*min(p, 1-p): always feasible.
+    uniform_profile(s27(), probability=probability)

@@ -1,0 +1,113 @@
+"""Tests for the Monte-Carlo activity simulator (the HSPICE stand-in)."""
+
+import pytest
+
+from repro.activity.profiles import InputProfile, uniform_profile
+from repro.activity.simulation import simulate_activity
+from repro.activity.transition_density import estimate_activity
+from repro.errors import ActivityError
+from repro.netlist.benchmarks import s27
+from repro.netlist.gates import GateType
+from repro.netlist.network import NetworkBuilder
+
+
+def test_input_statistics_match_profile():
+    network = s27()
+    profile = uniform_profile(network, probability=0.3, density=0.2)
+    measured = simulate_activity(network, profile, cycles=20000, seed=5)
+    for name in network.inputs:
+        assert measured.probability(name) == pytest.approx(0.3, abs=0.03)
+        assert measured.density(name) == pytest.approx(0.2, abs=0.03)
+
+
+def test_propagation_matches_simulation_at_low_activity():
+    # Najm's density neglects simultaneous input toggles (an O(D^2)
+    # effect in synchronous simulation), so exactness on trees holds in
+    # the low-activity limit.
+    builder = NetworkBuilder("tree")
+    for name in ("a", "b", "c"):
+        builder.add_input(name)
+    builder.add_gate("n1", GateType.AND, ["a", "b"])
+    builder.add_gate("y", GateType.OR, ["n1", "c"])
+    network = builder.build(outputs=["y"])
+    profile = uniform_profile(network, probability=0.5, density=0.05)
+    estimate = estimate_activity(network, profile)
+    measured = simulate_activity(network, profile, cycles=60000, seed=9)
+    for name in ("n1", "y"):
+        assert measured.density(name) == pytest.approx(
+            estimate.density(name), abs=0.01)
+        assert measured.probability(name) == pytest.approx(
+            estimate.probability(name), abs=0.02)
+
+
+def test_propagation_overestimates_at_high_activity():
+    # The documented bias direction: with heavy simultaneous switching
+    # the first-order density sits above the synchronous measurement.
+    builder = NetworkBuilder("and2")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_gate("y", GateType.AND, ["a", "b"])
+    network = builder.build(outputs=["y"])
+    profile = uniform_profile(network, probability=0.5, density=0.5)
+    estimate = estimate_activity(network, profile)
+    measured = simulate_activity(network, profile, cycles=30000, seed=2)
+    assert estimate.density("y") >= measured.density("y") - 0.01
+
+
+def test_estimate_reasonable_on_reconvergent_s27():
+    # First-order propagation is approximate with reconvergence; require
+    # agreement within a factor, not equality.
+    network = s27()
+    profile = uniform_profile(network, probability=0.5, density=0.3)
+    estimate = estimate_activity(network, profile)
+    measured = simulate_activity(network, profile, cycles=20000, seed=3)
+    for name in network.logic_gates:
+        measured_density = measured.density(name)
+        estimated_density = estimate.density(name)
+        if measured_density > 0.02:
+            assert estimated_density / measured_density < 4.0
+            assert estimated_density / measured_density > 0.25
+
+
+def test_constant_input_allowed():
+    builder = NetworkBuilder("const")
+    builder.add_input("a")
+    builder.add_input("one")
+    builder.add_gate("y", GateType.AND, ["a", "one"])
+    network = builder.build(outputs=["y"])
+    profile = InputProfile(probabilities={"a": 0.5, "one": 1.0},
+                           densities={"a": 0.5, "one": 0.0})
+    measured = simulate_activity(network, profile, cycles=2000, seed=1)
+    assert measured.probability("one") == 1.0
+    assert measured.density("one") == 0.0
+
+
+def test_constant_input_with_density_rejected():
+    builder = NetworkBuilder("const")
+    builder.add_input("one")
+    builder.add_gate("y", GateType.NOT, ["one"])
+    network = builder.build(outputs=["y"])
+    profile = InputProfile(probabilities={"one": 1.0}, densities={"one": 0.0})
+    simulate_activity(network, profile, cycles=10, seed=0)  # fine
+    with pytest.raises(ActivityError):
+        # Build the inconsistent profile bypassing InputProfile validation
+        # is impossible; check the simulator's own guard via p=1, D>0
+        # which InputProfile rejects first.
+        InputProfile(probabilities={"one": 1.0}, densities={"one": 0.1})
+
+
+def test_cycles_must_be_positive():
+    network = s27()
+    profile = uniform_profile(network, 0.5, 0.1)
+    with pytest.raises(ActivityError):
+        simulate_activity(network, profile, cycles=0)
+
+
+def test_determinism_in_seed():
+    network = s27()
+    profile = uniform_profile(network, 0.5, 0.2)
+    first = simulate_activity(network, profile, cycles=500, seed=42)
+    second = simulate_activity(network, profile, cycles=500, seed=42)
+    assert first.densities == second.densities
+    third = simulate_activity(network, profile, cycles=500, seed=43)
+    assert first.densities != third.densities

@@ -1,0 +1,78 @@
+"""Tests for CSV export."""
+
+import pytest
+
+from repro.analysis.export import (
+    figure_points_to_csv,
+    render_csv,
+    table1_rows_to_csv,
+    table2_rows_to_csv,
+    write_csv,
+)
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.figure2a import Figure2aPoint
+from repro.experiments.table1 import Table1Row
+
+
+def test_render_csv_basic():
+    text = render_csv(["a", "b"], [[1, "x"], [2, "y"]])
+    lines = text.strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,x"
+
+
+def test_render_csv_provenance():
+    text = render_csv(["a"], [[1]], provenance="demo")
+    assert text.startswith("# demo (repro ")
+
+
+def test_render_csv_validates_row_width():
+    with pytest.raises(ReproError):
+        render_csv(["a", "b"], [[1]])
+
+
+def test_write_csv_creates_parents(tmp_path):
+    path = write_csv(tmp_path / "deep" / "series.csv", ["x"], [[1], [2]])
+    assert path.exists()
+    assert path.read_text().splitlines()[0] == "x"
+
+
+def test_table1_csv_shape():
+    row = Table1Row(circuit="s298", gates=119, depth=9, activity=0.1,
+                    static_energy=1e-19, dynamic_energy=3e-13,
+                    critical_delay=3e-9, vdd=2.5)
+    text = table1_rows_to_csv([row])
+    assert "circuit,gates,depth" in text
+    assert "s298,119,9,0.1" in text
+
+
+def test_table2_csv_shape():
+    from repro.experiments.table2 import Table2Row
+
+    row = Table2Row(circuit="s298", activity=0.1, static_energy=1e-14,
+                    dynamic_energy=3e-14, critical_delay=3e-9, vdd=0.7,
+                    vth=0.14, baseline_total=4e-13)
+    text = table2_rows_to_csv([row])
+    assert "savings" in text
+    assert "s298,0.1" in text
+
+
+def test_figure_points_csv():
+    points = [Figure2aPoint(tolerance=0.0, savings=8.0, vdd=0.7,
+                            vth_nominal=0.14),
+              Figure2aPoint(tolerance=0.1, savings=6.5, vdd=0.75,
+                            vth_nominal=0.145)]
+    text = figure_points_to_csv(points, "tolerance", "Figure 2a")
+    lines = text.strip().splitlines()
+    assert lines[1].startswith("tolerance,")
+    assert lines[2].startswith("0.0,")
+
+
+def test_figure_points_csv_validation():
+    with pytest.raises(ReproError):
+        figure_points_to_csv([], "x", "p")
+    points = [Figure2aPoint(tolerance=0.0, savings=8.0, vdd=0.7,
+                            vth_nominal=0.14)]
+    with pytest.raises(ReproError, match="unknown x field"):
+        figure_points_to_csv(points, "bogus", "p")

@@ -1,0 +1,90 @@
+"""Tests for the statistical variation analysis."""
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    MonteCarloOutcome,
+    VariationStatistics,
+    monte_carlo_variation,
+    worst_case_pessimism,
+)
+from repro.errors import OptimizationError
+from repro.optimize.heuristic import optimize_joint
+from repro.optimize.variation import VariationModel, optimize_with_variation
+
+
+@pytest.fixture(scope="module")
+def s27_joint(s27_problem, fast_settings_module):
+    return optimize_joint(s27_problem, settings=fast_settings_module)
+
+
+@pytest.fixture(scope="module")
+def fast_settings_module():
+    from repro.optimize.heuristic import HeuristicSettings
+
+    return HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=8,
+                             refine_rounds=1)
+
+
+def test_statistics_validation():
+    with pytest.raises(OptimizationError):
+        VariationStatistics(sigma_die=-0.01)
+
+
+def test_zero_sigma_reproduces_nominal(s27_problem, s27_joint):
+    outcome = monte_carlo_variation(
+        s27_problem, s27_joint.design,
+        statistics=VariationStatistics(sigma_die=0.0, sigma_within=0.0),
+        samples=5, seed=1)
+    assert outcome.timing_yield == 1.0
+    for energy in outcome.energies:
+        assert energy == pytest.approx(outcome.nominal_energy, rel=1e-9)
+    for delay in outcome.delays:
+        assert delay == pytest.approx(outcome.nominal_delay, rel=1e-9)
+
+
+def test_deterministic_in_seed(s27_problem, s27_joint):
+    first = monte_carlo_variation(s27_problem, s27_joint.design,
+                                  samples=20, seed=3)
+    second = monte_carlo_variation(s27_problem, s27_joint.design,
+                                   samples=20, seed=3)
+    assert first.energies == second.energies
+    assert first.timing_yield == second.timing_yield
+
+
+def test_percentiles_and_validation(s27_problem, s27_joint):
+    outcome = monte_carlo_variation(s27_problem, s27_joint.design,
+                                    samples=50, seed=5)
+    assert outcome.energy_percentile(0.0) == outcome.energies[0]
+    assert outcome.energy_percentile(1.0) == outcome.energies[-1]
+    assert outcome.energy_percentile(0.5) <= outcome.energies[-1]
+    assert outcome.delay_percentile(0.95) >= outcome.delays[0]
+    with pytest.raises(OptimizationError):
+        outcome.energy_percentile(1.5)
+    with pytest.raises(OptimizationError):
+        monte_carlo_variation(s27_problem, s27_joint.design, samples=0)
+
+
+def test_nominal_design_loses_yield_under_variation(s27_problem, s27_joint):
+    # The nominal optimum sits exactly on the timing constraint; random
+    # slow-Vth draws push some samples over.
+    outcome = monte_carlo_variation(
+        s27_problem, s27_joint.design,
+        statistics=VariationStatistics(sigma_die=0.03, sigma_within=0.02),
+        samples=120, seed=7)
+    assert outcome.timing_yield < 1.0
+
+
+def test_robust_design_restores_yield(s27_problem, fast_settings_module,
+                                      s27_joint):
+    robust = optimize_with_variation(s27_problem, VariationModel(0.30),
+                                     settings=fast_settings_module)
+    statistics = VariationStatistics(sigma_die=0.012, sigma_within=0.008)
+    nominal_outcome, robust_outcome = worst_case_pessimism(
+        s27_problem, s27_joint.design, robust.design,
+        statistics=statistics, samples=120, seed=11)
+    assert robust_outcome.timing_yield >= nominal_outcome.timing_yield
+    assert robust_outcome.timing_yield > 0.95
+    # Figure 2a's pessimism: the statistical (median) energy of the
+    # robust design sits below its worst-case guaranteed energy.
+    assert robust_outcome.energy_percentile(0.5) <= robust.total_energy

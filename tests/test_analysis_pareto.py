@@ -1,0 +1,55 @@
+"""Tests for the energy-delay frontier."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    energy_delay_tradeoff,
+    minimum_energy_delay_product,
+)
+from repro.errors import OptimizationError
+from repro.optimize.heuristic import HeuristicSettings
+
+FAST = HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=8,
+                         refine_rounds=1)
+
+
+def test_frontier_energy_decreases_with_cycle_time(s27_problem):
+    points = energy_delay_tradeoff(s27_problem, (1.0, 1.5, 2.5),
+                                   settings=FAST)
+    assert len(points) == 3
+    energies = [point.energy for point in points]
+    # Warm-started relaxations: energy non-increasing up to tiny leakage
+    # effects (see the Figure 2b saturation note).
+    assert energies[1] <= energies[0] * 1.02
+    assert energies[2] <= energies[1] * 1.05
+    cycle_times = [point.cycle_time for point in points]
+    assert cycle_times == sorted(cycle_times)
+
+
+def test_minimum_energy_delay_product_interior(s298_problem):
+    points = energy_delay_tradeoff(s298_problem,
+                                   (1.0, 1.5, 2.0, 3.0, 4.0),
+                                   settings=FAST)
+    best = minimum_energy_delay_product(points)
+    products = [point.energy_delay_product for point in points]
+    assert best.energy_delay_product == min(products)
+    # The ET-optimal point is a *relaxed* clock (Burr-Shott's speed
+    # trade), not the tightest constraint.
+    assert best.cycle_time > points[0].cycle_time
+
+
+def test_point_accessors(s27_problem):
+    points = energy_delay_tradeoff(s27_problem, (1.0,), settings=FAST)
+    point = points[0]
+    assert point.energy_delay_product == pytest.approx(
+        point.energy * point.cycle_time)
+    assert point.power == pytest.approx(point.energy / point.cycle_time)
+
+
+def test_validation(s27_problem):
+    with pytest.raises(OptimizationError):
+        energy_delay_tradeoff(s27_problem, ())
+    with pytest.raises(OptimizationError):
+        energy_delay_tradeoff(s27_problem, (0.0,))
+    with pytest.raises(OptimizationError):
+        minimum_energy_delay_product(())

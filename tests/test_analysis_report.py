@@ -1,0 +1,39 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.report import format_delay, format_energy, format_table
+
+
+def test_format_energy_engineering_units():
+    assert format_energy(1.5e-13) == "150.000 fJ"
+    assert format_energy(2e-12) == "2.000 pJ"
+
+
+def test_format_delay():
+    assert format_delay(3.3e-9) == "3.300 ns"
+
+
+def test_table_alignment():
+    text = format_table(["col", "x"], [["a", 1], ["long-cell", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("col")
+    assert "long-cell" in lines[3]
+    # Header separator matches widths.
+    assert set(lines[1].replace(" ", "")) == {"-"}
+
+
+def test_table_title():
+    text = format_table(["a"], [["x"]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+    assert text.splitlines()[1] == "========"
+
+
+def test_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text and "b" in text

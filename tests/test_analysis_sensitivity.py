@@ -1,0 +1,75 @@
+"""Tests for the §3 stationarity/balance verification."""
+
+import pytest
+
+from repro.analysis.sensitivity import analyze_optimum_sensitivity
+from repro.errors import OptimizationError
+from repro.optimize.heuristic import optimize_joint
+from repro.optimize.problem import DesignPoint
+
+
+def test_optimum_is_stationary_in_vdd(s298_problem):
+    result = optimize_joint(s298_problem)
+    report = analyze_optimum_sensitivity(s298_problem, result)
+    assert report.vdd_stationary
+    # The raw slope is small compared to the energy scale.
+    scale = report.energy / report.vdd
+    assert abs(report.d_energy_d_vdd) < 0.25 * scale
+
+
+def test_section3_balance_at_interior_optimum(s298_problem):
+    # §3: at the optimum, the static increase of a downward supply step
+    # equals the dynamic decrease — opposing slopes of equal magnitude.
+    result = optimize_joint(s298_problem)
+    report = analyze_optimum_sensitivity(s298_problem, result)
+    if not report.vdd_at_boundary:
+        assert report.d_static_d_vdd < 0.0 < report.d_dynamic_d_vdd
+        assert report.balance_ratio == pytest.approx(1.0, abs=0.35)
+
+
+def test_off_optimum_point_is_not_stationary(s298_problem):
+    result = optimize_joint(s298_problem)
+    vth = float(result.design.distinct_vths()[0])
+    # Same widthless design point but at double the supply: strongly
+    # non-stationary (energy falls steeply toward the optimum).
+    shifted = DesignPoint(vdd=min(2 * result.design.vdd, 3.3), vth=vth,
+                          widths=result.design.widths)
+    from repro.optimize.problem import OptimizationResult
+
+    fake = OptimizationResult(problem=s298_problem, design=shifted,
+                              energy=result.energy, timing=result.timing,
+                              evaluations=0)
+    report = analyze_optimum_sensitivity(s298_problem, fake)
+    scale = report.energy / report.vdd
+    assert report.d_energy_d_vdd > 0.5 * scale
+
+
+def test_vth_direction(s27_problem, fast_settings):
+    result = optimize_joint(s27_problem, settings=fast_settings)
+    report = analyze_optimum_sensitivity(s27_problem, result)
+    # At the optimum the vth slope is either ~flat (interior) or the
+    # point sits on a box face.
+    assert report.vth_at_boundary or abs(report.d_energy_d_vth) \
+        < report.energy / report.vth
+
+
+def test_step_validation(s27_problem, fast_settings):
+    result = optimize_joint(s27_problem, settings=fast_settings)
+    with pytest.raises(OptimizationError):
+        analyze_optimum_sensitivity(s27_problem, result, relative_step=0.9)
+
+
+def test_multi_value_designs_rejected(s27_problem, fast_settings):
+    result = optimize_joint(s27_problem, settings=fast_settings)
+    gates = s27_problem.network.logic_gates
+    mapped = DesignPoint(vdd=result.design.vdd,
+                         vth={name: 0.2 + 0.01 * (index % 2)
+                              for index, name in enumerate(gates)},
+                         widths=result.design.widths)
+    from repro.optimize.problem import OptimizationResult
+
+    fake = OptimizationResult(problem=s27_problem, design=mapped,
+                              energy=result.energy, timing=result.timing,
+                              evaluations=0)
+    with pytest.raises(OptimizationError, match="single-Vdd, single-Vth"):
+        analyze_optimum_sensitivity(s27_problem, fake)

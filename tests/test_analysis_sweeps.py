@@ -1,0 +1,70 @@
+"""Tests for the Figure 2 sweeps and surface scans."""
+
+import math
+
+import pytest
+
+from repro.analysis.sweeps import (
+    scan_energy_surface,
+    sweep_cycle_slack,
+    sweep_vth_tolerance,
+)
+from repro.errors import InfeasibleError
+from repro.optimize.heuristic import HeuristicSettings
+
+FAST = HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=6,
+                         refine_rounds=1)
+
+
+def test_vth_tolerance_sweep_monotone_decay(s27_problem):
+    points = sweep_vth_tolerance(s27_problem, (0.0, 0.15, 0.3),
+                                 settings=FAST)
+    savings = [point.savings for point in points]
+    assert len(points) == 3
+    assert savings[0] >= savings[1] >= savings[2]
+    assert all(point.savings > 1.0 for point in points)
+
+
+def test_vth_tolerance_baseline_is_shared(s27_problem):
+    points = sweep_vth_tolerance(s27_problem, (0.0, 0.2), settings=FAST)
+    assert points[0].baseline_energy == points[1].baseline_energy
+
+
+def test_cycle_slack_sweep_grows_then_saturates(s27_problem):
+    points = sweep_cycle_slack(s27_problem, (1.0, 1.5, 2.5),
+                               settings=FAST)
+    savings = [point.savings for point in points]
+    assert savings[-1] > savings[0]
+    best = savings[0]
+    for value in savings[1:]:
+        assert value >= 0.95 * best
+        best = max(best, value)
+    # Relaxing the clock lowers the chosen Vdd (or keeps it, roughly).
+    assert points[-1].vdd <= points[0].vdd + 0.05
+
+
+def test_cycle_slack_rebaseline_mode(s27_problem):
+    pinned = sweep_cycle_slack(s27_problem, (2.0,), settings=FAST)
+    refreshed = sweep_cycle_slack(s27_problem, (2.0,), settings=FAST,
+                                  rebaseline=True)
+    # Re-running the baseline at the relaxed clock lowers the numerator.
+    assert refreshed[0].baseline_energy <= pinned[0].baseline_energy
+
+
+def test_cycle_slack_rejects_nonpositive(s27_problem):
+    with pytest.raises(InfeasibleError):
+        sweep_cycle_slack(s27_problem, (0.0,), settings=FAST)
+
+
+def test_energy_surface_shape(s27_problem):
+    surface = scan_energy_surface(s27_problem,
+                                  vdd_values=(0.1, 1.0, 3.3),
+                                  vth_values=(0.1, 0.7))
+    assert len(surface) == 6
+    # Vdd = 0.1 V cannot possibly make 300 MHz: infeasible.
+    assert math.isinf(surface[(0.1, 0.1)])
+    # The nominal-ish corner is feasible.
+    assert math.isfinite(surface[(3.3, 0.1)])
+    # High Vdd with low Vth costs more than moderate Vdd with low Vth.
+    if math.isfinite(surface[(1.0, 0.1)]):
+        assert surface[(1.0, 0.1)] < surface[(3.3, 0.1)]

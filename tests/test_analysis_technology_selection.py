@@ -1,0 +1,59 @@
+"""Tests for the process Vth recommendation."""
+
+import pytest
+
+from repro.analysis.technology_selection import recommend_threshold
+from repro.errors import InfeasibleError
+from repro.optimize.heuristic import HeuristicSettings
+from repro.technology.process import Technology
+from repro.units import GHZ, MHZ
+
+FAST = HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=6,
+                         refine_rounds=1)
+
+
+def test_recommendation_over_small_suite():
+    recommendation = recommend_threshold(Technology.default(),
+                                         ("s27", "s298"),
+                                         frequency=300 * MHZ,
+                                         settings=FAST)
+    assert len(recommendation.per_circuit) == 2
+    assert recommendation.infeasible == ()
+    tech = Technology.default()
+    assert tech.vth_min <= recommendation.recommended_vth <= tech.vth_max
+    assert recommendation.vth_spread >= 0.0
+
+
+def test_recommendation_is_median_of_choices():
+    recommendation = recommend_threshold(Technology.default(),
+                                         ("s27", "s298"),
+                                         frequency=300 * MHZ,
+                                         settings=FAST)
+    import statistics
+
+    vths = [vth for _, vth, _, _ in recommendation.per_circuit]
+    assert recommendation.recommended_vth == statistics.median(vths)
+
+
+def test_infeasible_circuits_reported():
+    recommendation = recommend_threshold(Technology.default(),
+                                         ("s27", "s344"),
+                                         frequency=1.2 * GHZ,
+                                         settings=FAST)
+    # s344 (depth 20) cannot run at 1.2 GHz; s27 can.
+    assert "s344" in recommendation.infeasible
+    assert len(recommendation.per_circuit) >= 1
+
+
+def test_all_infeasible_raises():
+    with pytest.raises(InfeasibleError):
+        recommend_threshold(Technology.default(), ("s344",),
+                            frequency=5 * GHZ, settings=FAST)
+
+
+def test_relaxed_clock_raises_recommended_vth():
+    tight = recommend_threshold(Technology.default(), ("s27",),
+                                frequency=500 * MHZ, settings=FAST)
+    loose = recommend_threshold(Technology.default(), ("s27",),
+                                frequency=50 * MHZ, settings=FAST)
+    assert loose.recommended_vth >= tight.recommended_vth - 1e-9

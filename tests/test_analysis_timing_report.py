@@ -1,0 +1,60 @@
+"""Tests for the slack reporting."""
+
+import pytest
+
+from repro.analysis.timing_report import slack_report
+from repro.errors import ReproError
+from repro.optimize.heuristic import optimize_joint
+
+
+@pytest.fixture(scope="module")
+def s298_report():
+    from repro.experiments.common import build_problem
+
+    problem = build_problem("s298", 0.1)
+    result = optimize_joint(problem)
+    return problem, result, slack_report(problem, result)
+
+
+def test_gate_slacks_nonnegative(s298_report):
+    _, _, report = s298_report
+    assert all(slack >= 0.0 for slack in report.gate_slacks.values())
+
+
+def test_every_gate_reported(s298_report):
+    problem, _, report = s298_report
+    assert set(report.gate_slacks) == set(problem.network.logic_gates)
+
+
+def test_endpoints_sorted_worst_first(s298_report):
+    _, _, report = s298_report
+    slacks = [slack for _, slack in report.endpoint_slacks]
+    assert slacks == sorted(slacks)
+    assert report.worst_endpoint == report.endpoint_slacks[0]
+
+
+def test_worst_endpoint_matches_critical_delay(s298_report):
+    problem, result, report = s298_report
+    _, worst_slack = report.worst_endpoint
+    assert worst_slack == pytest.approx(
+        problem.cycle_time - result.timing.critical_delay, rel=1e-9)
+    # The optimized design meets timing: worst slack >= ~0.
+    assert worst_slack >= -1e-12
+
+
+def test_some_gates_are_budget_critical(s298_report):
+    # Minimal-width sizing puts most gates exactly at their budget.
+    _, _, report = s298_report
+    assert len(report.critical_gates) > 0
+
+
+def test_histogram_partitions_gates(s298_report):
+    problem, _, report = s298_report
+    histogram = report.histogram(bins=6)
+    assert len(histogram) == 6
+    assert sum(count for _, count in histogram) \
+        == problem.network.gate_count
+    edges = [edge for edge, _ in histogram]
+    assert edges == sorted(edges)
+    with pytest.raises(ReproError):
+        report.histogram(bins=0)

@@ -1,0 +1,62 @@
+"""API hygiene: every exported symbol exists and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.technology",
+    "repro.netlist",
+    "repro.activity",
+    "repro.interconnect",
+    "repro.timing",
+    "repro.power",
+    "repro.optimize",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.bdd",
+    "repro.fastpath",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_exist(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for symbol in package.__all__:
+        assert hasattr(package, symbol), \
+            f"{package_name}.__all__ exports missing symbol {symbol!r}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_exported_callables_documented(package_name):
+    package = importlib.import_module(package_name)
+    for symbol in package.__all__:
+        value = getattr(package, symbol)
+        if inspect.isclass(value) or inspect.isfunction(value):
+            assert inspect.getdoc(value), \
+                f"{package_name}.{symbol} has no docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_docstring(package_name):
+    package = importlib.import_module(package_name)
+    doc = inspect.getdoc(package)
+    assert doc and len(doc) > 40, \
+        f"{package_name} needs a substantive package docstring"
+
+
+def test_no_export_name_collisions_across_core_packages():
+    """A symbol exported by two subpackages must be the same object."""
+    seen = {}
+    for package_name in PACKAGES[1:]:
+        package = importlib.import_module(package_name)
+        for symbol in package.__all__:
+            value = getattr(package, symbol)
+            if symbol in seen and seen[symbol][1] is not value:
+                pytest.fail(
+                    f"{symbol!r} exported with different meanings by "
+                    f"{seen[symbol][0]} and {package_name}")
+            seen.setdefault(symbol, (package_name, value))

@@ -1,0 +1,206 @@
+"""Tests for the ROBDD engine."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.core import BDD, BDDFunction
+from repro.errors import ReproError
+
+
+def build_vars(count):
+    manager = BDD(count)
+    return manager, [manager.variable(level) for level in range(count)]
+
+
+def test_terminals():
+    manager = BDD(2)
+    assert manager.true.is_true
+    assert manager.false.is_false
+    assert (~manager.true).is_false
+
+
+def test_variable_bounds():
+    manager = BDD(2)
+    with pytest.raises(ReproError):
+        manager.variable(2)
+    with pytest.raises(ReproError):
+        manager.variable(-1)
+
+
+def test_hash_consing_gives_canonical_forms():
+    manager, (a, b) = build_vars(2)
+    left = (a & b) | (a & ~b)
+    assert left == a  # simplifies to a structurally
+    assert (a ^ a).is_false
+    assert (a | ~a).is_true
+    assert (a & ~a).is_false
+
+
+def test_de_morgan():
+    manager, (a, b) = build_vars(2)
+    assert ~(a & b) == (~a | ~b)
+    assert ~(a | b) == (~a & ~b)
+
+
+def test_different_managers_rejected():
+    first = BDD(1).variable(0)
+    second = BDD(1).variable(0)
+    with pytest.raises(ReproError):
+        first & second
+
+
+def test_evaluate_matches_truth_table():
+    manager, (a, b, c) = build_vars(3)
+    function = (a & b) ^ c
+    for bits in itertools.product([False, True], repeat=3):
+        expected = (bits[0] and bits[1]) != bits[2]
+        assignment = {0: bits[0], 1: bits[1], 2: bits[2]}
+        assert function.evaluate(assignment) == expected
+
+
+def test_evaluate_missing_variable():
+    manager, (a, b) = build_vars(2)
+    with pytest.raises(ReproError, match="misses variable"):
+        (a & b).evaluate({0: True})
+
+
+def test_restrict():
+    manager, (a, b) = build_vars(2)
+    function = a & b
+    assert function.restrict(0, True) == b
+    assert function.restrict(0, False).is_false
+    assert function.restrict(1, True) == a
+
+
+def test_support():
+    manager, (a, b, c) = build_vars(3)
+    assert (a & c).support() == (0, 2)
+    assert manager.true.support() == ()
+    # Dependence that cancels drops out of the support.
+    assert ((a & b) | (a & ~b)).support() == (0,)
+
+
+def test_probability_independent():
+    manager, (a, b) = build_vars(2)
+    function = a & b
+    assert function.probability([0.5, 0.5]) == pytest.approx(0.25)
+    assert (a | b).probability([0.2, 0.4]) == pytest.approx(
+        1 - 0.8 * 0.6)
+    assert (a ^ b).probability([0.3, 0.3]) == pytest.approx(
+        0.3 * 0.7 + 0.7 * 0.3)
+
+
+def test_probability_validation():
+    manager, (a,) = build_vars(1)
+    with pytest.raises(ReproError):
+        a.probability([])
+    with pytest.raises(ReproError):
+        a.probability([1.5])
+
+
+def test_satisfying_fraction():
+    manager, (a, b, c) = build_vars(3)
+    # Majority function: 4 of 8 assignments.
+    majority = (a & b) | (a & c) | (b & c)
+    assert majority.satisfying_fraction() == pytest.approx(0.5)
+
+
+def test_paired_probability_independent_pairs_reduce_to_product():
+    # With a joint that factorizes, paired == plain probability.
+    manager = BDD(4)
+    x0 = manager.variable(0)
+    y0 = manager.variable(1)
+    function = x0 & y0
+    p, q = 0.3, 0.6
+    joints = [(1 - p, 0.0, 0.0, p), (1.0, 0.0, 0.0, 0.0)]
+    # First pair perfectly correlated (x == y), second unused.
+    value = function.paired_probability(joints, [p, 0.0], [p, 0.0])
+    assert value == pytest.approx(p)  # x0 & y0 = "pair is 11"
+
+
+def test_paired_probability_anticorrelated():
+    manager = BDD(2)
+    x = manager.variable(0)
+    y = manager.variable(1)
+    toggled = x ^ y
+    # Always toggling input: P(01) = P(10) = 1/2.
+    joints = [(0.0, 0.5, 0.5, 0.0)]
+    assert toggled.paired_probability(joints, [0.5], [0.5]) \
+        == pytest.approx(1.0)
+    # Never toggling: XOR is never 1.
+    joints = [(0.5, 0.0, 0.0, 0.5)]
+    assert toggled.paired_probability(joints, [0.5], [0.5]) \
+        == pytest.approx(0.0)
+
+
+def test_paired_probability_validation():
+    manager = BDD(2)
+    x = manager.variable(0)
+    with pytest.raises(ReproError, match="sum to 1"):
+        x.paired_probability([(0.5, 0.5, 0.5, 0.5)], [0.5], [0.5])
+    odd_manager = BDD(3)
+    with pytest.raises(ReproError, match="even variable"):
+        odd_manager.variable(0).paired_probability([], [], [])
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255))
+@settings(max_examples=100)
+def test_apply_matches_bitwise_semantics(mask_f, mask_g):
+    """Treat 3-var truth tables as 8-bit masks; BDD ops == bitwise ops."""
+    manager, variables = build_vars(3)
+
+    def from_mask(mask):
+        function = manager.false
+        for row in range(8):
+            if not (mask >> row) & 1:
+                continue
+            term = manager.true
+            for var_index in range(3):
+                literal = variables[var_index]
+                if not (row >> var_index) & 1:
+                    literal = ~literal
+                term = term & literal
+            function = function | term
+        return function
+
+    f = from_mask(mask_f)
+    g = from_mask(mask_g)
+    for row in range(8):
+        assignment = {i: bool((row >> i) & 1) for i in range(3)}
+        assert (f & g).evaluate(assignment) \
+            == (f.evaluate(assignment) and g.evaluate(assignment))
+        assert (f | g).evaluate(assignment) \
+            == (f.evaluate(assignment) or g.evaluate(assignment))
+        assert (f ^ g).evaluate(assignment) \
+            == (f.evaluate(assignment) != g.evaluate(assignment))
+
+
+@given(st.integers(min_value=0, max_value=255))
+@settings(max_examples=60)
+def test_probability_equals_weighted_truth_table(mask):
+    manager, variables = build_vars(3)
+    function = manager.false
+    for row in range(8):
+        if not (mask >> row) & 1:
+            continue
+        term = manager.true
+        for var_index in range(3):
+            literal = variables[var_index]
+            if not (row >> var_index) & 1:
+                literal = ~literal
+            term = term & literal
+        function = function | term
+    probs = [0.2, 0.5, 0.8]
+    expected = 0.0
+    for row in range(8):
+        if not (mask >> row) & 1:
+            continue
+        weight = 1.0
+        for var_index in range(3):
+            bit = (row >> var_index) & 1
+            weight *= probs[var_index] if bit else 1 - probs[var_index]
+        expected += weight
+    assert function.probability(probs) == pytest.approx(expected)

@@ -1,0 +1,52 @@
+"""Property test: .bench serialization round-trips any generated network."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.generator import GeneratorSpec, generate_network
+
+
+def assert_isomorphic(original, reparsed):
+    assert set(reparsed.inputs) == set(original.inputs)
+    assert list(reparsed.outputs) == list(original.outputs)
+    assert reparsed.gate_count == original.gate_count
+    for name in original.logic_gates:
+        assert reparsed.gate(name).gate_type is original.gate(name).gate_type
+        assert reparsed.gate(name).fanins == original.gate(name).fanins
+
+
+def assert_functionally_equal(original, reparsed, seed: int,
+                              vectors: int = 12):
+    rng = random.Random(seed)
+    for _ in range(vectors):
+        assignment = {name: rng.random() < 0.5 for name in original.inputs}
+        expected = original.evaluate(assignment)
+        actual = reparsed.evaluate(assignment)
+        for output in original.outputs:
+            assert actual[output] == expected[output]
+
+
+@given(seed=st.integers(min_value=0, max_value=5000),
+       gates=st.integers(min_value=5, max_value=80),
+       depth=st.integers(min_value=2, max_value=7))
+@settings(max_examples=20, deadline=None)
+def test_generated_networks_roundtrip(seed, gates, depth):
+    gates = max(gates, depth)
+    spec = GeneratorSpec(name="rt", n_inputs=5, n_outputs=4,
+                         n_gates=gates, depth=depth, seed=seed)
+    original = generate_network(spec)
+    reparsed = parse_bench(write_bench(original), name="rt")
+    assert_isomorphic(original, reparsed)
+    assert_functionally_equal(original, reparsed, seed)
+
+
+@pytest.mark.parametrize("circuit", ["s27", "c17", "s298", "s444"])
+def test_benchmark_suite_roundtrips(circuit):
+    original = benchmark_circuit(circuit)
+    reparsed = parse_bench(write_bench(original), name=circuit)
+    assert_isomorphic(original, reparsed)
+    assert_functionally_equal(original, reparsed, seed=1)

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.netlist.benchmarks import S27_BENCH
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_decks_command(capsys):
+    assert main(["decks"]) == 0
+    out = capsys.readouterr().out
+    assert "generic-0.25um" in out
+    assert "mV/dec" in out
+
+
+def test_info_command(capsys):
+    assert main(["info", "s27"]) == 0
+    out = capsys.readouterr().out
+    assert "gates        10" in out
+    assert "lint: clean" in out
+
+
+def test_info_from_bench_file(tmp_path, capsys):
+    path = tmp_path / "mini.bench"
+    path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    assert main(["info", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "gates        1" in out
+
+
+def test_optimize_command(capsys):
+    assert main(["optimize", "s27", "--baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "savings:" in out
+    assert "joint" in out
+
+
+def test_optimize_json(capsys):
+    assert main(["optimize", "s27", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["joint"]["network"] == "s27"
+    assert payload["joint"]["feasible"] == "True" \
+        or payload["joint"]["feasible"] is True
+
+
+def test_optimize_bench_file_with_register_margin(tmp_path, capsys):
+    path = tmp_path / "s27.bench"
+    path.write_text(S27_BENCH)
+    assert main(["optimize", str(path), "--register-margin", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "joint" in out
+
+
+def test_activity_command(capsys):
+    assert main(["activity", "s27", "--compare", "--cycles", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "Najm D" in out
+    assert "exact D" in out
+    assert "MC D" in out
+
+
+def test_error_path(capsys):
+    assert main(["info", "not-a-circuit"]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_infeasible_clock_reports_error(capsys):
+    assert main(["optimize", "s27", "--frequency", "100000"]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_optimize_save_design(tmp_path, capsys):
+    out = tmp_path / "design.json"
+    assert main(["optimize", "s27", "--save-design", str(out)]) == 0
+    capsys.readouterr()
+    assert out.exists()
+    import json as json_module
+
+    payload = json_module.loads(out.read_text())
+    assert payload["network"] == "s27"
+    assert payload["widths"]

@@ -1,0 +1,48 @@
+"""Physical-constant helper tests."""
+
+import math
+
+import pytest
+
+from repro.constants import (
+    ideality_to_subthreshold_slope,
+    subthreshold_slope_to_ideality,
+    thermal_voltage,
+)
+
+
+def test_thermal_voltage_at_room_temperature():
+    assert thermal_voltage(300.0) == pytest.approx(0.025852, rel=1e-3)
+
+
+def test_thermal_voltage_scales_linearly():
+    assert thermal_voltage(600.0) == pytest.approx(2 * thermal_voltage(300.0))
+
+
+def test_thermal_voltage_rejects_nonpositive_temperature():
+    with pytest.raises(ValueError):
+        thermal_voltage(0.0)
+    with pytest.raises(ValueError):
+        thermal_voltage(-10.0)
+
+
+def test_ideal_60mv_per_decade_slope():
+    # n = 1 gives the textbook ~59.6 mV/decade at 300 K.
+    slope = ideality_to_subthreshold_slope(1.0, 300.0)
+    assert slope == pytest.approx(0.0595, rel=1e-2)
+
+
+def test_slope_ideality_roundtrip():
+    for slope in (0.06, 0.085, 0.1):
+        n = subthreshold_slope_to_ideality(slope)
+        assert ideality_to_subthreshold_slope(n) == pytest.approx(slope)
+
+
+def test_slope_must_be_positive():
+    with pytest.raises(ValueError):
+        subthreshold_slope_to_ideality(0.0)
+
+
+def test_ideality_must_be_at_least_one():
+    with pytest.raises(ValueError):
+        ideality_to_subthreshold_slope(0.9)

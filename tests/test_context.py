@@ -1,0 +1,86 @@
+"""Tests for the shared CircuitContext."""
+
+import pytest
+
+from repro.context import CircuitContext
+from repro.errors import ReproError
+from repro.interconnect.parasitics import network_parasitics
+from repro.netlist.benchmarks import s27
+from repro.technology.capacitance import gate_capacitances
+from repro.activity.profiles import uniform_profile
+from repro.technology.process import Technology
+
+TECH = Technology.default()
+
+
+def test_info_covers_all_nodes(s27_ctx):
+    for name in s27_ctx.network.topological_order():
+        info = s27_ctx.info(name)
+        assert info.name == name
+        assert len(info.fanout_names) == len(info.fanout_input_caps)
+        assert len(info.fanout_names) == len(info.branch_caps)
+
+
+def test_unknown_gate_rejected(s27_ctx):
+    with pytest.raises(ReproError):
+        s27_ctx.info("ghost")
+
+
+def test_boundary_branch_for_sinkless_output(s27_ctx):
+    # G17 is a primary output with no internal sinks.
+    info = s27_ctx.info("G17")
+    assert info.fanout_names == ("",)
+    boundary_cap = gate_capacitances(TECH, 2).input_cap
+    assert info.fanout_input_caps[0] == pytest.approx(boundary_cap)
+
+
+def test_output_load_matches_manual_assembly(s27_ctx):
+    widths = s27_ctx.uniform_widths(2.0)
+    name = "G8"  # AND gate with known fanouts G15, G16
+    info = s27_ctx.info(name)
+    load = s27_ctx.output_load(name, widths)
+    manual = 2.0 * info.self_cap + info.wire_cap
+    for sink, cap in zip(info.fanout_names, info.fanout_input_caps):
+        manual += (1.0 if sink == "" else 2.0) * cap
+    assert load == pytest.approx(manual)
+
+
+def test_activity_is_attached(s27_ctx):
+    for name in s27_ctx.network.logic_gates:
+        assert s27_ctx.info(name).activity >= 0.0
+
+
+def test_uniform_widths_validated(s27_ctx):
+    widths = s27_ctx.uniform_widths(3.0)
+    assert set(widths) == set(s27_ctx.network.logic_gates)
+    with pytest.raises(ReproError):
+        s27_ctx.uniform_widths(0.5)
+    with pytest.raises(ReproError):
+        s27_ctx.uniform_widths(200.0)
+
+
+def test_gates_reversed_is_reverse(s27_ctx):
+    assert s27_ctx.gates_reversed == tuple(reversed(s27_ctx.gates))
+
+
+def test_explicit_parasitics_accepted():
+    network = s27()
+    profile = uniform_profile(network, 0.5, 0.1)
+    parasitics = network_parasitics(TECH, network)
+    ctx = CircuitContext(TECH, network, profile, parasitics=parasitics)
+    assert ctx.info("G8").wire_cap == pytest.approx(
+        parasitics["G8"].total_cap)
+
+
+def test_missing_parasitics_rejected():
+    network = s27()
+    profile = uniform_profile(network, 0.5, 0.1)
+    parasitics = dict(network_parasitics(TECH, network))
+    del parasitics["G8"]
+    with pytest.raises(ReproError, match="no parasitics"):
+        CircuitContext(TECH, network, profile, parasitics=parasitics)
+
+
+def test_fanout_count_includes_boundary(s27_ctx):
+    # Primary output with no sinks: the paper's f_oi floor of 1.
+    assert s27_ctx.info("G17").fanout_count == 1

@@ -1,0 +1,103 @@
+"""Extra coverage: cross-feature combinations and CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.power.breakdown import energy_breakdown
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import DesignPoint
+from repro.technology.library import save_technology
+from repro.technology.process import Technology
+
+
+def test_breakdown_with_per_gate_vdd(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    gates = s27_ctx.network.logic_gates
+    vdd_map = {name: (1.0 if index % 2 else 1.5)
+               for index, name in enumerate(gates)}
+    breakdown = energy_breakdown(s27_ctx, vdd_map, 0.3, widths, 300e6)
+    assert breakdown.wire_dynamic + breakdown.device_dynamic \
+        == pytest.approx(breakdown.report.dynamic)
+
+
+def test_design_point_with_vdd_map_evaluates(s27_problem):
+    gates = s27_problem.network.logic_gates
+    widths = s27_problem.ctx.uniform_widths(8.0)
+    vdd_map = {name: 2.0 for name in gates}
+    design = DesignPoint(vdd=vdd_map, vth=0.3, widths=widths)
+    assert design.vdd_of(gates[0]) == 2.0
+    assert design.distinct_vdds() == (2.0,)
+    energy = design.evaluate_energy(s27_problem)
+    scalar = DesignPoint(vdd=2.0, vth=0.3,
+                         widths=widths).evaluate_energy(s27_problem)
+    assert energy.total == pytest.approx(scalar.total)
+
+
+def test_fast_engine_with_variation_bias(s27_problem):
+    from repro.optimize.variation import VariationModel, \
+        optimize_with_variation
+
+    settings = HeuristicSettings(engine="fast", grid_vdd=9, grid_vth=7,
+                                 refine_iters=6, refine_rounds=1)
+    scalar_settings = HeuristicSettings(grid_vdd=9, grid_vth=7,
+                                        refine_iters=6, refine_rounds=1)
+    model = VariationModel(0.15)
+    fast = optimize_with_variation(s27_problem, model, settings=settings)
+    scalar = optimize_with_variation(s27_problem, model,
+                                     settings=scalar_settings)
+    assert fast.total_energy == pytest.approx(scalar.total_energy,
+                                              rel=1e-9)
+
+
+def test_cli_deck_file(tmp_path, capsys):
+    deck_path = tmp_path / "deck.json"
+    save_technology(Technology.default().with_overrides(name="mine"),
+                    deck_path)
+    assert main(["optimize", "s27", "--deck-file", str(deck_path),
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["joint"]["network"] == "s27"
+
+
+def test_cli_experiments_subcommand(capsys, monkeypatch):
+    from repro.experiments import runner
+
+    monkeypatch.setitem(runner._EXPERIMENTS, "quick",
+                        lambda: "QUICK-ARTIFACT")
+    assert main(["experiments", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "QUICK-ARTIFACT" in out
+
+
+def test_cli_bad_deck_file(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{}")
+    assert main(["optimize", "s27", "--deck-file", str(path)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_multivdd_empty_cluster_returns_single(s27_problem):
+    from repro.optimize.multivdd import MultiVddSettings, optimize_multi_vdd
+
+    settings = MultiVddSettings(
+        cluster_fraction=0.01,  # too small to admit any gate on s27
+        refine_iters=4,
+        single=HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=6,
+                                 refine_rounds=1))
+    result = optimize_multi_vdd(s27_problem, settings=settings)
+    assert len(result.design.distinct_vdds()) == 1
+
+
+def test_experiment_csv_exports_integrate():
+    from repro.analysis.export import table1_rows_to_csv
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.table1 import run_table1
+
+    config = ExperimentConfig().with_circuits(("s298",))
+    rows = run_table1(config)
+    text = table1_rows_to_csv(rows)
+    lines = text.strip().splitlines()
+    assert lines[1].startswith("circuit,")
+    assert len(lines) == 2 + len(rows)

@@ -1,0 +1,27 @@
+"""Run the doctest examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.report
+import repro.constants
+import repro.netlist.gates
+import repro.netlist.network
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.constants,
+    repro.netlist.gates,
+    repro.netlist.network,
+    repro.analysis.report,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[module.__name__ for module in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

@@ -1,0 +1,66 @@
+"""Tests for the error hierarchy and miscellaneous plumbing."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import __version__, benchmark_circuit, benchmark_names
+from repro.errors import (
+    ActivityError,
+    BenchParseError,
+    InfeasibleError,
+    NetlistError,
+    OptimizationError,
+    ReproError,
+    TechnologyError,
+    TimingError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_type in (NetlistError, BenchParseError, TechnologyError,
+                       TimingError, InfeasibleError, OptimizationError,
+                       ActivityError):
+        assert issubclass(error_type, ReproError)
+
+
+def test_bench_parse_error_line_prefix():
+    error = BenchParseError("bad thing", line_number=7)
+    assert "line 7" in str(error)
+    assert error.line_number == 7
+    bare = BenchParseError("bad thing")
+    assert bare.line_number is None
+
+
+def test_catch_all_library_errors():
+    try:
+        benchmark_circuit("nope")
+    except ReproError:
+        pass
+    else:  # pragma: no cover
+        pytest.fail("NetlistError should be a ReproError")
+
+
+def test_package_exports():
+    assert isinstance(__version__, str)
+    names = benchmark_names()
+    assert names[0] == "s27"
+    assert benchmark_circuit("s27").name == "s27"
+
+
+def test_python_dash_m_entrypoint():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "decks"],
+        capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0
+    assert "generic-0.25um" in completed.stdout
+
+
+def test_experiment_runner_module_entrypoint():
+    completed = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.experiments import runner; print('importable')"],
+        capture_output=True, text=True, timeout=60)
+    assert completed.returncode == 0
+    assert "importable" in completed.stdout

@@ -1,0 +1,123 @@
+"""Tests for the experiment drivers (fast subsets of each table/figure)."""
+
+import pytest
+
+from repro.experiments.annealing_compare import (
+    format_annealing_comparison,
+    run_annealing_comparison,
+)
+from repro.experiments.common import ExperimentConfig, build_problem
+from repro.experiments.figure2a import format_figure2a, run_figure2a
+from repro.experiments.figure2b import format_figure2b, run_figure2b
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.optimize.annealing import AnnealingSettings
+from repro.optimize.heuristic import HeuristicSettings
+from repro.units import MHZ
+
+FAST_CONFIG = ExperimentConfig().with_circuits(("s298",))
+FAST_SETTINGS = HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=8,
+                                  refine_rounds=1)
+
+
+def test_experiment_config_defaults():
+    config = ExperimentConfig()
+    assert config.frequency == pytest.approx(300 * MHZ)
+    assert config.activities == (0.1, 0.5)
+    assert config.baseline_vth == 0.7
+    assert "s298" in config.circuits
+
+
+def test_build_problem_cached():
+    first = build_problem("s27", 0.1)
+    second = build_problem("s27", 0.1)
+    assert first is second
+
+
+def test_table1_rows_shape():
+    rows = run_table1(FAST_CONFIG)
+    assert len(rows) == 2  # one circuit x two activities
+    for row in rows:
+        assert row.circuit == "s298"
+        assert row.total_energy == pytest.approx(
+            row.static_energy + row.dynamic_energy)
+        assert row.critical_delay <= (1.0 / FAST_CONFIG.frequency) * (1 + 1e-9)
+        # Fixed 700 mV threshold: leakage is negligible.
+        assert row.static_energy < 1e-3 * row.dynamic_energy
+    # Higher activity -> more dynamic energy.
+    assert rows[1].dynamic_energy > rows[0].dynamic_energy
+    text = format_table1(rows)
+    assert "s298" in text and "Table 1" in text
+
+
+def test_table2_savings_shape():
+    baseline = run_table1(FAST_CONFIG)
+    rows = run_table2(FAST_CONFIG, settings=FAST_SETTINGS,
+                      baseline_rows=baseline)
+    assert len(rows) == 2
+    for row in rows:
+        assert row.savings > 3.0          # order-of-magnitude class
+        assert row.vdd < 1.6              # low supply at the optimum
+        assert row.vth <= 0.30            # 100-300 mV threshold band
+        assert 0.03 < row.static_to_dynamic < 10.0
+        assert row.critical_delay <= (1.0 / FAST_CONFIG.frequency) * (1 + 1e-9)
+    # Paper: savings increase with activity.
+    assert rows[1].savings > rows[0].savings
+    text = format_table2(rows)
+    assert "Savings" in text
+
+
+def test_figure2a_monotone_decay():
+    points = run_figure2a(circuit="s27", tolerances=(0.0, 0.15, 0.3),
+                          settings=FAST_SETTINGS)
+    savings = [point.savings for point in points]
+    assert savings == sorted(savings, reverse=True)
+    text = format_figure2a(points, circuit="s27")
+    assert "Vth variation" in text
+
+
+def test_figure2b_savings_grow_then_saturate():
+    points = run_figure2b(circuit="s27", slack_factors=(1.0, 2.0, 3.0),
+                          settings=FAST_SETTINGS)
+    savings = [point.savings for point in points]
+    # Growth from the pinned clock, with saturation allowed (leakage
+    # integrates over the longer cycle): no point dips below 95 % of the
+    # best seen so far, and the relaxed end beats the pinned start.
+    assert savings[-1] > savings[0]
+    best = savings[0]
+    for value in savings[1:]:
+        assert value >= 0.95 * best
+        best = max(best, value)
+    text = format_figure2b(points, circuit="s27")
+    assert "slack" in text
+
+
+def test_annealing_comparison_heuristic_wins():
+    rows = run_annealing_comparison(
+        circuits=("s27",), heuristic_settings=FAST_SETTINGS,
+        annealing_settings=AnnealingSettings(passes=1,
+                                             iterations_per_pass=400,
+                                             seed=2))
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.annealing_energy is None \
+        or row.annealing_energy > row.heuristic_energy
+    text = format_annealing_comparison(rows)
+    assert "annealing" in text.lower()
+
+
+def test_runner_main(capsys):
+    from repro.experiments import runner
+
+    # Patch in a fast experiment table to exercise the CLI path.
+    original = dict(runner._EXPERIMENTS)
+    runner._EXPERIMENTS.clear()
+    runner._EXPERIMENTS["demo"] = lambda: "DEMO-OUTPUT"
+    try:
+        assert runner.main(["demo"]) == 0
+        captured = capsys.readouterr()
+        assert "DEMO-OUTPUT" in captured.out
+        assert "regenerated" in captured.out
+    finally:
+        runner._EXPERIMENTS.clear()
+        runner._EXPERIMENTS.update(original)

@@ -1,0 +1,134 @@
+"""Equivalence tests: the vectorized engine vs the scalar reference."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.common import build_problem
+from repro.fastpath import (
+    ArrayContext,
+    fast_size_widths,
+    fast_sta,
+    fast_total_energy,
+)
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.width_search import size_widths
+from repro.power.energy import total_energy
+from repro.timing.sta import analyze_timing
+
+
+@pytest.fixture(scope="module")
+def s298_arrays():
+    problem = build_problem("s298", 0.1)
+    budgets = problem.budgets()
+    arrays = ArrayContext(problem.ctx)
+    return problem, budgets, arrays
+
+
+def test_processing_order_is_reverse_topological(s298_arrays):
+    problem, _, arrays = s298_arrays
+    network = problem.network
+    position = arrays.index
+    for name in network.logic_gates:
+        for sink in network.fanouts(name):
+            # Fanouts are processed earlier (lower index).
+            assert position[sink] < position[name]
+
+
+def test_level_slices_partition_all_gates(s298_arrays):
+    _, _, arrays = s298_arrays
+    covered = 0
+    previous_stop = 0
+    for start, stop in arrays.level_slices:
+        assert start == previous_stop
+        covered += stop - start
+        previous_stop = stop
+    assert covered == arrays.n_gates
+
+
+def test_widths_roundtrip(s298_arrays):
+    problem, _, arrays = s298_arrays
+    widths = {name: 1.0 + index * 0.01
+              for index, name in enumerate(problem.ctx.gates)}
+    array = arrays.widths_to_array(widths)
+    assert arrays.array_to_widths(array) == pytest.approx(widths)
+
+
+@given(vdd=st.floats(min_value=0.4, max_value=3.3),
+       vth=st.floats(min_value=0.1, max_value=0.5))
+@settings(max_examples=30, deadline=None)
+def test_sizing_matches_scalar(s298_arrays, vdd, vth):
+    problem, budgets, arrays = s298_arrays
+    scalar = size_widths(problem.ctx, budgets.budgets, vdd, vth)
+    fast = fast_size_widths(arrays, arrays.budgets_to_array(
+        dict(budgets.budgets)), vdd, vth)
+    assert fast.feasible == scalar.feasible
+    fast_map = fast.widths_map(arrays)
+    for name in problem.ctx.gates:
+        assert fast_map[name] == pytest.approx(scalar.widths[name],
+                                               rel=1e-9)
+
+
+@given(vdd=st.floats(min_value=0.5, max_value=3.3),
+       vth=st.floats(min_value=0.1, max_value=0.45),
+       width=st.floats(min_value=1.0, max_value=40.0))
+@settings(max_examples=30, deadline=None)
+def test_sta_and_energy_match_scalar(s298_arrays, vdd, vth, width):
+    problem, _, arrays = s298_arrays
+    widths = {name: width for name in problem.ctx.gates}
+    w = arrays.widths_to_array(widths)
+
+    critical, delays = fast_sta(arrays, vdd, vth, w)
+    reference = analyze_timing(problem.ctx, vdd, vth, widths)
+    assert critical == pytest.approx(reference.critical_delay, rel=1e-9)
+    for name in problem.ctx.gates:
+        assert delays[arrays.index[name]] == pytest.approx(
+            reference.delay(name), rel=1e-9)
+
+    static, dynamic = fast_total_energy(arrays, vdd, vth, w,
+                                        problem.frequency)
+    energy = total_energy(problem.ctx, vdd, vth, widths, problem.frequency)
+    assert static == pytest.approx(energy.static, rel=1e-9)
+    assert dynamic == pytest.approx(energy.dynamic, rel=1e-9)
+
+
+def test_fast_engine_gives_identical_optimum(s27_problem):
+    scalar = optimize_joint(s27_problem)
+    fast = optimize_joint(s27_problem,
+                          settings=HeuristicSettings(engine="fast"))
+    assert fast.total_energy == pytest.approx(scalar.total_energy,
+                                              rel=1e-12)
+    assert fast.design.vdd == pytest.approx(scalar.design.vdd)
+    assert fast.feasible
+
+
+def test_fast_engine_on_random_widths_sta_infinite_corner(s298_arrays):
+    # Dead-drive corner: fast STA reports an infinite critical delay.
+    problem, _, arrays = s298_arrays
+    w = np.ones(arrays.n_gates) * 4.0
+    critical, _ = fast_sta(arrays, 0.02, 0.6, w)
+    assert critical == float("inf")
+
+
+def test_unknown_engine_rejected():
+    from repro.errors import OptimizationError
+
+    with pytest.raises(OptimizationError):
+        HeuristicSettings(engine="warp")
+
+
+def test_multiple_circuits_agree():
+    rng = random.Random(7)
+    for circuit in ("s27", "c17", "s526"):
+        problem = build_problem(circuit, 0.1)
+        budgets = problem.budgets()
+        arrays = ArrayContext(problem.ctx)
+        budget_array = arrays.budgets_to_array(dict(budgets.budgets))
+        for _ in range(3):
+            vdd = rng.uniform(0.5, 3.3)
+            vth = rng.uniform(0.1, 0.5)
+            scalar = size_widths(problem.ctx, budgets.budgets, vdd, vth)
+            fast = fast_size_widths(arrays, budget_array, vdd, vth)
+            assert fast.feasible == scalar.feasible, circuit

@@ -1,0 +1,104 @@
+"""Cross-module integration tests: the paper's end-to-end claims.
+
+These run the whole stack (netlist → activity → parasitics → budgets →
+sizing → optimization → STA/energy) on small-to-medium circuits and
+assert the invariants and result shapes the paper reports.
+"""
+
+import pytest
+
+from repro.activity.profiles import uniform_profile
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.optimize.baseline import optimize_fixed_vth
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import OptimizationProblem
+from repro.technology.process import Technology
+from repro.timing.sta import analyze_timing
+from repro.units import MHZ
+
+
+def test_full_flow_on_generated_network(small_problem, fast_settings):
+    baseline = optimize_fixed_vth(small_problem)
+    joint = optimize_joint(small_problem, settings=fast_settings)
+
+    # Feasibility verified by independent STA at both designs.
+    for result in (baseline, joint):
+        report = analyze_timing(small_problem.ctx, result.design.vdd,
+                                result.design.vth
+                                if isinstance(result.design.vth, float)
+                                else dict(result.design.vth),
+                                result.design.widths)
+        assert report.meets(small_problem.cycle_time, tolerance=1e-6)
+
+    # Headline claim: large savings from the joint optimization.
+    assert baseline.total_energy / joint.total_energy > 3.0
+    # Baseline leaks essentially nothing; joint has comparable components.
+    assert baseline.energy.static < 1e-3 * baseline.energy.dynamic
+    ratio = joint.energy.static / joint.energy.dynamic
+    assert 0.02 < ratio < 10.0
+
+
+def test_savings_increase_with_activity(tech):
+    network = benchmark_circuit("s298")
+    savings = []
+    for density in (0.1, 0.5):
+        profile = uniform_profile(network, probability=0.5, density=density)
+        problem = OptimizationProblem.build(tech, network, profile,
+                                            frequency=300 * MHZ)
+        baseline = optimize_fixed_vth(problem)
+        joint = optimize_joint(problem)
+        savings.append(baseline.total_energy / joint.total_energy)
+    assert savings[1] > savings[0]
+    assert savings[1] > 8.0
+
+
+def test_paper_voltage_bands_on_s298(s298_problem):
+    joint = optimize_joint(s298_problem)
+    vth = float(joint.design.distinct_vths()[0])
+    # Paper: Vdd in [0.6, 1.2] V, Vth in [100, 300] mV.
+    assert 0.4 <= joint.design.vdd <= 1.6
+    assert 0.095 <= vth <= 0.35
+
+
+def test_baseline_vdd_near_process_rail_when_tight(tech):
+    # The paper: at fixed 700 mV Vth the baseline "coincidentally
+    # returned Vdd values close to 3.3 V". True for the deeper circuits.
+    network = benchmark_circuit("s344")
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    problem = OptimizationProblem.build(tech, network, profile,
+                                        frequency=300 * MHZ)
+    baseline = optimize_fixed_vth(problem)
+    assert baseline.design.vdd > 3.0
+
+
+def test_energy_delay_accounting_consistency(small_problem, fast_settings):
+    joint = optimize_joint(small_problem, settings=fast_settings)
+    # Energy report recomputed from the design point must match.
+    recomputed = joint.design.evaluate_energy(small_problem)
+    assert recomputed.total == pytest.approx(joint.total_energy)
+    retimed = joint.design.evaluate_timing(small_problem)
+    assert retimed.critical_delay == pytest.approx(
+        joint.timing.critical_delay)
+
+
+def test_skew_factor_costs_energy(s27_problem, fast_settings):
+    relaxed = optimize_joint(s27_problem, settings=fast_settings)
+    skewed_problem = OptimizationProblem(ctx=s27_problem.ctx,
+                                         frequency=s27_problem.frequency,
+                                         skew_factor=0.8)
+    skewed = optimize_joint(skewed_problem, settings=fast_settings)
+    # Less usable cycle -> at least as much energy.
+    assert skewed.total_energy >= relaxed.total_energy * 0.999
+    # And the skewed design still meets the *full* cycle with margin.
+    assert skewed.timing.critical_delay \
+        <= 0.8 * s27_problem.cycle_time * (1 + 1e-6)
+
+
+def test_multiple_circuits_all_feasible(tech, fast_settings):
+    for name in ("s27", "s382", "s526"):
+        network = benchmark_circuit(name)
+        profile = uniform_profile(network, probability=0.5, density=0.1)
+        problem = OptimizationProblem.build(tech, network, profile,
+                                            frequency=300 * MHZ)
+        joint = optimize_joint(problem, settings=fast_settings)
+        assert joint.feasible, name

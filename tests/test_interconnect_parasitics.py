@@ -1,0 +1,93 @@
+"""Tests for net parasitics assembly."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.interconnect.parasitics import (
+    NetParasitics,
+    WireModel,
+    net_parasitics,
+    network_parasitics,
+)
+from repro.netlist.benchmarks import s27
+from repro.technology.process import Technology
+
+TECH = Technology.default()
+
+
+def test_net_parasitics_unit_conversions():
+    parasitic = net_parasitics(TECH, "n", (2.0, 3.0))
+    length0 = 2.0 * TECH.gate_pitch
+    assert parasitic.branch_lengths[0] == pytest.approx(length0)
+    assert parasitic.branch_caps[0] == pytest.approx(
+        length0 * TECH.wire_cap_per_meter)
+    assert parasitic.branch_resistances[0] == pytest.approx(
+        length0 * TECH.wire_res_per_meter)
+    assert parasitic.branch_flight_times[0] == pytest.approx(
+        length0 / TECH.wire_velocity)
+    assert parasitic.total_cap == pytest.approx(
+        sum(parasitic.branch_caps))
+    assert parasitic.branch_count == 2
+
+
+def test_empty_branches_rejected():
+    with pytest.raises(ReproError):
+        net_parasitics(TECH, "n", ())
+
+
+def test_network_parasitics_covers_every_node():
+    network = s27()
+    parasitics = network_parasitics(TECH, network)
+    assert set(parasitics) == set(network.topological_order())
+
+
+def test_branch_count_matches_fanout():
+    network = s27()
+    parasitics = network_parasitics(TECH, network)
+    for name in network.topological_order():
+        fanout = len(network.fanouts(name))
+        expected = max(fanout, 1)
+        assert parasitics[name].branch_count == expected
+
+
+def test_fixed_model_one_pitch_per_branch():
+    network = s27()
+    parasitics = network_parasitics(TECH, network, model=WireModel.FIXED)
+    for parasitic in parasitics.values():
+        for length in parasitic.branch_lengths:
+            assert length == pytest.approx(TECH.gate_pitch)
+
+
+def test_sampled_model_deterministic_in_seed():
+    network = s27()
+    first = network_parasitics(TECH, network,
+                               model=WireModel.STOCHASTIC_SAMPLED, seed=3)
+    second = network_parasitics(TECH, network,
+                                model=WireModel.STOCHASTIC_SAMPLED, seed=3)
+    third = network_parasitics(TECH, network,
+                               model=WireModel.STOCHASTIC_SAMPLED, seed=4)
+    assert all(first[n].branch_lengths == second[n].branch_lengths
+               for n in first)
+    assert any(first[n].branch_lengths != third[n].branch_lengths
+               for n in first)
+
+
+def test_mean_model_splits_net_length_evenly():
+    network = s27()
+    parasitics = network_parasitics(TECH, network,
+                                    model=WireModel.STOCHASTIC_MEAN)
+    for parasitic in parasitics.values():
+        lengths = parasitic.branch_lengths
+        assert max(lengths) == pytest.approx(min(lengths))
+
+
+def test_stochastic_mean_total_grows_with_fanout():
+    network = s27()
+    parasitics = network_parasitics(TECH, network)
+    by_fanout = {}
+    for name in network.topological_order():
+        fanout = max(len(network.fanouts(name)), 1)
+        by_fanout.setdefault(fanout, parasitics[name].total_length)
+    fanouts = sorted(by_fanout)
+    for small, large in zip(fanouts, fanouts[1:]):
+        assert by_fanout[large] >= by_fanout[small]

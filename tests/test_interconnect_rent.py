@@ -1,0 +1,66 @@
+"""Tests for Rent's-rule parameters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.interconnect.rent import RentParameters, fit_rent_exponent
+from repro.netlist.benchmarks import benchmark_circuit, s27
+
+
+def test_terminals_power_law():
+    rent = RentParameters(terminals_per_gate=4.0, exponent=0.6)
+    assert rent.terminals(1) == pytest.approx(4.0)
+    assert rent.terminals(100) == pytest.approx(4.0 * 100 ** 0.6)
+
+
+def test_random_logic_defaults():
+    rent = RentParameters.random_logic()
+    assert rent.exponent == pytest.approx(0.6)
+    assert rent.terminals_per_gate == pytest.approx(4.0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(terminals_per_gate=0.0),
+    dict(terminals_per_gate=-1.0),
+    dict(exponent=0.0),
+    dict(exponent=1.0),
+    dict(exponent=1.5),
+])
+def test_invalid_parameters(kwargs):
+    with pytest.raises(ReproError):
+        RentParameters(**{**dict(terminals_per_gate=4.0, exponent=0.6),
+                          **kwargs})
+
+
+def test_terminals_requires_positive_block():
+    with pytest.raises(ReproError):
+        RentParameters().terminals(0)
+
+
+def test_fit_on_benchmark_is_in_physical_band():
+    for name in ("s27", "s298", "s526"):
+        rent = fit_rent_exponent(benchmark_circuit(name))
+        assert 0.1 <= rent.exponent <= 0.9
+        assert rent.terminals_per_gate > 1.0
+
+
+def test_fit_uses_observed_pin_count():
+    network = s27()
+    rent = fit_rent_exponent(network)
+    total_pins = sum(network.gate(g).fanin_count + 1
+                     for g in network.logic_gates)
+    assert rent.terminals_per_gate == pytest.approx(
+        total_pins / network.gate_count)
+
+
+def test_fit_with_explicit_t():
+    rent = fit_rent_exponent(s27(), terminals_per_gate=3.0)
+    assert rent.terminals_per_gate == 3.0
+
+
+@given(st.integers(min_value=2, max_value=10**6))
+@settings(max_examples=50)
+def test_terminals_monotone_in_block_size(n):
+    rent = RentParameters()
+    assert rent.terminals(n) >= rent.terminals(n - 1)

@@ -1,0 +1,116 @@
+"""Tests for the Davis wire-length distribution."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.interconnect.rent import RentParameters
+from repro.interconnect.wirelength import (
+    WireLengthDistribution,
+    distribution_for,
+)
+
+
+def test_pmf_normalized():
+    distribution = WireLengthDistribution(200)
+    assert sum(distribution.pmf) == pytest.approx(1.0)
+    assert all(p >= 0.0 for p in distribution.pmf)
+
+
+def test_support_spans_to_twice_side():
+    distribution = WireLengthDistribution(100)
+    assert distribution.lengths[0] == 1
+    assert distribution.lengths[-1] == 20  # 2 * sqrt(100)
+
+
+def test_short_wires_dominate():
+    # The Davis distribution is heavily weighted toward short wires.
+    distribution = WireLengthDistribution(400)
+    assert distribution.probability(1) > distribution.probability(10)
+    assert distribution.probability(10) > distribution.probability(35)
+
+
+def test_probability_outside_support_is_zero():
+    distribution = WireLengthDistribution(100)
+    assert distribution.probability(0) == 0.0
+    assert distribution.probability(21) == 0.0
+
+
+def test_mean_length_reasonable():
+    distribution = WireLengthDistribution(150)
+    mean = distribution.mean_length()
+    assert 1.0 < mean < 15.0
+
+
+def test_mean_grows_with_rent_exponent():
+    low = WireLengthDistribution(400, RentParameters(exponent=0.4))
+    high = WireLengthDistribution(400, RentParameters(exponent=0.8))
+    assert high.mean_length() > low.mean_length()
+
+
+def test_quantiles_monotone():
+    distribution = WireLengthDistribution(256)
+    q25 = distribution.quantile(0.25)
+    q50 = distribution.quantile(0.5)
+    q99 = distribution.quantile(0.99)
+    assert q25 <= q50 <= q99
+    with pytest.raises(ReproError):
+        distribution.quantile(1.5)
+
+
+def test_sampling_matches_pmf():
+    distribution = WireLengthDistribution(100)
+    rng = random.Random(0)
+    samples = [distribution.sample(rng) for _ in range(20000)]
+    empirical_mean = sum(samples) / len(samples)
+    assert empirical_mean == pytest.approx(distribution.mean_length(),
+                                           rel=0.05)
+    assert min(samples) >= 1
+    assert max(samples) <= distribution.lengths[-1]
+
+
+def test_net_length_sublinear_in_fanout():
+    distribution = WireLengthDistribution(150)
+    one = distribution.net_length(1)
+    four = distribution.net_length(4)
+    assert four > one
+    assert four < 4 * one  # trunk sharing
+
+
+def test_net_length_zero_fanout_boundary():
+    distribution = WireLengthDistribution(150)
+    assert distribution.net_length(0) == pytest.approx(
+        distribution.mean_length())
+
+
+def test_net_length_validation():
+    distribution = WireLengthDistribution(150)
+    with pytest.raises(ReproError):
+        distribution.net_length(-1)
+    with pytest.raises(ReproError):
+        distribution.net_length(2, sharing=0.0)
+
+
+def test_degenerate_single_gate():
+    distribution = WireLengthDistribution(1)
+    assert sum(distribution.pmf) == pytest.approx(1.0)
+    assert distribution.mean_length() >= 1.0
+
+
+def test_distribution_for_is_cached():
+    first = distribution_for(100, 4.0, 0.6)
+    second = distribution_for(100, 4.0, 0.6)
+    assert first is second
+
+
+@given(st.integers(min_value=1, max_value=5000),
+       st.floats(min_value=0.2, max_value=0.85))
+@settings(max_examples=60, deadline=None)
+def test_pmf_always_normalized(n_gates, exponent):
+    distribution = WireLengthDistribution(
+        n_gates, RentParameters(exponent=exponent))
+    assert sum(distribution.pmf) == pytest.approx(1.0)
+    assert distribution.mean_length() >= 1.0

@@ -1,0 +1,107 @@
+"""Tests for the ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.errors import BenchParseError
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.benchmarks import S27_BENCH, s27
+from repro.netlist.gates import GateType
+
+SIMPLE = """
+# a comment
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+"""
+
+
+def test_parse_simple():
+    network = parse_bench(SIMPLE, name="simple")
+    assert network.inputs == ("a", "b")
+    assert network.outputs == ("y",)
+    assert network.gate("y").gate_type is GateType.NAND
+
+
+def test_parse_s27_shape():
+    network = s27()
+    # 3 flip-flops cut -> 4 PIs + 3 pseudo PIs; 1 PO + 3 pseudo POs.
+    assert len(network.inputs) == 7
+    assert len(network.outputs) == 4
+    assert network.gate_count == 10
+    assert network.gate("G11").gate_type is GateType.NOR
+
+
+def test_flipflop_cutting():
+    text = """
+    INPUT(a)
+    OUTPUT(q)
+    q = DFF(d)
+    d = NOT(a)
+    """
+    network = parse_bench(text)
+    assert "q" in set(network.inputs)  # Q pin became a pseudo input
+    assert "d" in set(network.outputs)  # D pin became a pseudo output
+
+
+def test_duplicate_fanin_collapse():
+    text = """
+    INPUT(a)
+    OUTPUT(x)
+    OUTPUT(y)
+    x = AND(a, a)
+    y = NAND(a, a)
+    """
+    network = parse_bench(text)
+    assert network.gate("x").gate_type is GateType.BUF
+    assert network.gate("y").gate_type is GateType.NOT
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "# hi\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)  # trailing\n"
+    network = parse_bench(text)
+    assert network.gate_count == 1
+
+
+@pytest.mark.parametrize("bad, fragment", [
+    ("INPUT(a)\nOUTPUT(y)\ny = NOT()", "no fanins"),
+    ("INPUT(a)\nOUTPUT(y)\ny = FROB(a)", "unknown gate"),
+    ("INPUT(a)\nwhat is this line", "unrecognized syntax"),
+    ("INPUT(a)\nINPUT(a)\nOUTPUT(a)", "declared twice"),
+    ("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = NOT(a)", "defined twice"),
+    ("INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)", "unknown primary output"),
+])
+def test_parse_errors(bad, fragment):
+    with pytest.raises(BenchParseError, match=fragment):
+        parse_bench(bad)
+
+
+def test_error_carries_line_number():
+    try:
+        parse_bench("INPUT(a)\nbogus line here\n")
+    except BenchParseError as error:
+        assert error.line_number == 2
+    else:  # pragma: no cover
+        pytest.fail("expected BenchParseError")
+
+
+def test_roundtrip_s27():
+    original = s27()
+    text = write_bench(original)
+    reparsed = parse_bench(text, name="s27rt")
+    assert set(reparsed.inputs) == set(original.inputs)
+    assert set(reparsed.outputs) == set(original.outputs)
+    assert reparsed.gate_count == original.gate_count
+    for name in original.logic_gates:
+        assert reparsed.gate(name).gate_type is original.gate(name).gate_type
+        assert reparsed.gate(name).fanins == original.gate(name).fanins
+
+
+def test_roundtrip_preserves_evaluation():
+    original = parse_bench(SIMPLE, name="simple")
+    reparsed = parse_bench(write_bench(original), name="simple2")
+    for a in (False, True):
+        for b in (False, True):
+            assignment = {"a": a, "b": b}
+            assert original.evaluate(assignment)["y"] \
+                == reparsed.evaluate(assignment)["y"]

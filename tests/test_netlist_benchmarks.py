@@ -1,0 +1,99 @@
+"""Tests for the embedded benchmark suite."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.benchmarks import (
+    ISCAS_LIKE_SPECS,
+    PAPER_CIRCUITS,
+    benchmark_circuit,
+    benchmark_names,
+    s27,
+)
+from repro.netlist.stats import network_stats
+from repro.netlist.validate import lint
+
+
+def test_paper_suite_order():
+    assert PAPER_CIRCUITS[0] == "s298"
+    assert "s526" in PAPER_CIRCUITS
+    assert benchmark_names()[0] == "s27"
+    assert benchmark_names(include_s27=False) == PAPER_CIRCUITS
+
+
+def test_unknown_benchmark():
+    with pytest.raises(NetlistError, match="unknown benchmark"):
+        benchmark_circuit("c6288")
+
+
+def test_s27_is_genuine():
+    network = s27()
+    # Spot-check the published structure.
+    assert network.gate("G8").fanins == ("G14", "G6")
+    assert network.gate("G9").fanins == ("G16", "G15")
+    # Functional check: with G0=1, G14=0 so G8=0, G10=NOR(0, G11).
+    values = network.evaluate({"G0": True, "G1": False, "G2": False,
+                               "G3": False, "G5": False, "G6": True,
+                               "G7": False})
+    assert values["G14"] is False
+    assert values["G8"] is False
+
+
+@pytest.mark.parametrize("name", PAPER_CIRCUITS)
+def test_iscas_like_matches_published_stats(name):
+    inputs, outputs, gates, depth, _ = ISCAS_LIKE_SPECS[name]
+    network = benchmark_circuit(name)
+    stats = network_stats(network)
+    assert stats.n_gates == gates
+    assert stats.depth == depth
+    assert stats.n_inputs == inputs
+
+
+@pytest.mark.parametrize("name", PAPER_CIRCUITS)
+def test_iscas_like_structurally_clean(name):
+    network = benchmark_circuit(name)
+    bad = [issue for issue in lint(network)
+           if issue.kind in ("dangling-gate", "dead-logic")]
+    assert bad == []
+
+
+def test_benchmark_circuit_is_cached():
+    assert benchmark_circuit("s298") is benchmark_circuit("s298")
+
+
+def test_c17_is_genuine():
+    from repro.netlist.benchmarks import c17
+    from repro.netlist.gates import GateType
+
+    network = c17()
+    assert network.gate_count == 6
+    assert network.depth == 3
+    assert all(network.gate(name).gate_type is GateType.NAND
+               for name in network.logic_gates)
+    # Truth spot-checks against the published function.
+    values = network.evaluate({"N1": True, "N2": True, "N3": True,
+                               "N6": True, "N7": False})
+    assert values["N22"] is True
+    assert values["N23"] is False
+    values = network.evaluate({"N1": False, "N2": False, "N3": False,
+                               "N6": False, "N7": False})
+    # All-zero inputs: N10=N11=1, N16=NAND(0,1)=1, N19=NAND(1,0)=1,
+    # so both outputs NAND(1,1) = 0.
+    assert values["N22"] is False
+    assert values["N23"] is False
+
+
+def test_c_suite_matches_specs():
+    from repro.netlist.benchmarks import ISCAS85_LIKE_SPECS
+
+    for name, (inputs, _, gates, depth, _) in ISCAS85_LIKE_SPECS.items():
+        network = benchmark_circuit(name)
+        assert network.gate_count == gates, name
+        assert network.depth == depth, name
+        assert len(network.inputs) == inputs, name
+
+
+def test_benchmark_names_with_c_suite():
+    names = benchmark_names(include_c_suite=True)
+    assert "c432" in names and "s298" in names
+    assert names.index("s526") < names.index("c432")

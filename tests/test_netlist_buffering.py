@@ -1,0 +1,85 @@
+"""Tests for the fanout-buffering transform."""
+
+import random
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.benchmarks import benchmark_circuit, s27
+from repro.netlist.buffering import buffer_high_fanout, max_internal_fanout
+from repro.netlist.gates import GateType
+from repro.netlist.network import NetworkBuilder
+
+
+def wide_net(fanout: int):
+    builder = NetworkBuilder("wide")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_gate("drv", GateType.AND, ["a", "b"])
+    outputs = []
+    for index in range(fanout):
+        name = f"sink{index}"
+        builder.add_gate(name, GateType.NOT, ["drv"])
+        outputs.append(name)
+    return builder.build(outputs=outputs)
+
+
+def test_fanout_bounded_after_transform():
+    network = wide_net(20)
+    assert max_internal_fanout(network) == 20
+    buffered = buffer_high_fanout(network, max_fanout=6)
+    assert max_internal_fanout(buffered) <= 6
+    assert buffered.name.endswith("-buffered")
+
+
+def test_unchanged_network_returned_as_is():
+    network = s27()
+    assert max_internal_fanout(network) <= 6
+    assert buffer_high_fanout(network, max_fanout=6) is network
+
+
+def test_functional_equivalence():
+    network = wide_net(15)
+    buffered = buffer_high_fanout(network, max_fanout=4)
+    rng = random.Random(0)
+    for _ in range(30):
+        assignment = {name: rng.random() < 0.5 for name in network.inputs}
+        original = network.evaluate(assignment)
+        transformed = buffered.evaluate(assignment)
+        for output in network.outputs:
+            assert original[output] == transformed[output]
+
+
+def test_functional_equivalence_on_benchmark():
+    network = benchmark_circuit("s400")  # max fanout 15 in the family
+    buffered = buffer_high_fanout(network, max_fanout=5)
+    assert max_internal_fanout(buffered) <= 5
+    rng = random.Random(1)
+    for _ in range(10):
+        assignment = {name: rng.random() < 0.5 for name in network.inputs}
+        original = network.evaluate(assignment)
+        transformed = buffered.evaluate(assignment)
+        for output in network.outputs:
+            assert original[output] == transformed[output]
+
+
+def test_tree_for_very_wide_net():
+    network = wide_net(50)
+    buffered = buffer_high_fanout(network, max_fanout=4)
+    assert max_internal_fanout(buffered) <= 4
+    # ceil(50/4)=13 first-level buffers, which themselves need a level.
+    buffer_count = sum(1 for name in buffered.logic_gates
+                      if "__buf" in name)
+    assert buffer_count > 13
+    assert buffered.depth > network.depth
+
+
+def test_outputs_preserved():
+    network = wide_net(20)
+    buffered = buffer_high_fanout(network, max_fanout=6)
+    assert buffered.outputs == network.outputs
+
+
+def test_validation():
+    with pytest.raises(NetlistError):
+        buffer_high_fanout(s27(), max_fanout=1)

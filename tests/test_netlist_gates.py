@@ -1,0 +1,92 @@
+"""Tests for gate semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.gates import (
+    GateType,
+    evaluate,
+    gate_type_from_name,
+    truth_table,
+)
+
+
+@pytest.mark.parametrize("name, expected", [
+    ("NAND", GateType.NAND),
+    ("nand", GateType.NAND),
+    ("Not", GateType.NOT),
+    ("INV", GateType.NOT),
+    ("BUFF", GateType.BUF),
+    ("xnor", GateType.XNOR),
+])
+def test_gate_type_from_name(name, expected):
+    assert gate_type_from_name(name) is expected
+
+
+def test_unknown_gate_name_rejected():
+    with pytest.raises(NetlistError, match="unknown gate function"):
+        gate_type_from_name("FROB")
+
+
+@pytest.mark.parametrize("gate_type, inputs, expected", [
+    (GateType.AND, (True, True), True),
+    (GateType.AND, (True, False), False),
+    (GateType.NAND, (True, True), False),
+    (GateType.OR, (False, False), False),
+    (GateType.NOR, (False, False), True),
+    (GateType.XOR, (True, False, True), False),
+    (GateType.XOR, (True, False, False), True),
+    (GateType.XNOR, (True, True), True),
+    (GateType.NOT, (True,), False),
+    (GateType.BUF, (False,), False),
+])
+def test_evaluate(gate_type, inputs, expected):
+    assert evaluate(gate_type, inputs) is expected
+
+
+def test_evaluate_arity_checks():
+    with pytest.raises(NetlistError):
+        evaluate(GateType.AND, (True,))
+    with pytest.raises(NetlistError):
+        evaluate(GateType.NOT, (True, False))
+    with pytest.raises(NetlistError):
+        evaluate(GateType.INPUT, ())
+
+
+def test_inverting_property():
+    assert GateType.NAND.inverting
+    assert GateType.NOR.inverting
+    assert GateType.NOT.inverting
+    assert not GateType.AND.inverting
+    assert not GateType.XOR.inverting
+
+
+def test_truth_table_nand2():
+    table = truth_table(GateType.NAND, 2)
+    # index bit i = input i; NAND is False only at (1, 1) = index 3.
+    assert table == (True, True, True, False)
+
+
+def test_truth_table_size():
+    assert len(truth_table(GateType.OR, 5)) == 32
+
+
+def test_truth_table_fanin_cap():
+    with pytest.raises(NetlistError):
+        truth_table(GateType.AND, 17)
+
+
+@given(st.sampled_from([GateType.AND, GateType.OR, GateType.NAND,
+                        GateType.NOR, GateType.XOR, GateType.XNOR]),
+       st.lists(st.booleans(), min_size=2, max_size=6))
+@settings(max_examples=200)
+def test_demorgan_dualities(gate_type, inputs):
+    """NAND = NOT(AND), NOR = NOT(OR), XNOR = NOT(XOR)."""
+    duals = {GateType.NAND: GateType.AND, GateType.NOR: GateType.OR,
+             GateType.XNOR: GateType.XOR}
+    if gate_type in duals:
+        assert evaluate(gate_type, inputs) is not evaluate(duals[gate_type],
+                                                           inputs)
+    else:
+        assert evaluate(gate_type, inputs) in (True, False)

@@ -1,0 +1,103 @@
+"""Tests for the random-logic generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.generator import (
+    DEFAULT_FANIN_PROBS,
+    GeneratorSpec,
+    generate_network,
+)
+from repro.netlist.stats import network_stats
+from repro.netlist.validate import lint
+
+
+def test_exact_gate_count_and_depth():
+    spec = GeneratorSpec(name="g", n_inputs=6, n_outputs=4, n_gates=50,
+                         depth=6, seed=3)
+    network = generate_network(spec)
+    assert network.gate_count == 50
+    assert network.depth == 6
+    assert len(network.inputs) == 6
+
+
+def test_deterministic_in_seed():
+    spec = GeneratorSpec(name="g", n_inputs=6, n_outputs=4, n_gates=40,
+                         depth=5, seed=7)
+    first = generate_network(spec)
+    second = generate_network(spec)
+    assert first.topological_order() == second.topological_order()
+    for name in first.logic_gates:
+        assert first.gate(name).fanins == second.gate(name).fanins
+
+
+def test_different_seeds_differ():
+    base = dict(name="g", n_inputs=6, n_outputs=4, n_gates=40, depth=5)
+    first = generate_network(GeneratorSpec(seed=1, **base))
+    second = generate_network(GeneratorSpec(seed=2, **base))
+    fanins_first = [first.gate(name).fanins for name in first.logic_gates]
+    fanins_second = [second.gate(name).fanins for name in second.logic_gates]
+    assert fanins_first != fanins_second
+
+
+def test_no_dangling_logic():
+    spec = GeneratorSpec(name="g", n_inputs=8, n_outputs=6, n_gates=80,
+                         depth=8, seed=5)
+    network = generate_network(spec)
+    issues = [issue for issue in lint(network)
+              if issue.kind == "dangling-gate"]
+    assert issues == []
+
+
+def test_fanout_skew_increases_max_fanout():
+    base = dict(name="g", n_inputs=10, n_outputs=8, n_gates=150, depth=8)
+    flat = network_stats(generate_network(
+        GeneratorSpec(seed=9, fanout_skew=0.0, **base)))
+    skewed = network_stats(generate_network(
+        GeneratorSpec(seed=9, fanout_skew=1.5, **base)))
+    assert skewed.max_fanout >= flat.max_fanout
+
+
+@pytest.mark.parametrize("kwargs, fragment", [
+    (dict(n_inputs=0, n_outputs=1, n_gates=5, depth=2), "n_inputs"),
+    (dict(n_inputs=1, n_outputs=0, n_gates=5, depth=2), "n_outputs"),
+    (dict(n_inputs=1, n_outputs=1, n_gates=5, depth=0), "depth"),
+    (dict(n_inputs=1, n_outputs=1, n_gates=2, depth=5), "n_gates"),
+    (dict(n_inputs=1, n_outputs=1, n_gates=5, depth=2, fanout_skew=-1.0),
+     "fanout_skew"),
+    (dict(n_inputs=1, n_outputs=1, n_gates=5, depth=2,
+          fanin_probs=((2, 0.5),)), "sum to 1"),
+])
+def test_spec_validation(kwargs, fragment):
+    with pytest.raises(NetlistError, match=fragment):
+        GeneratorSpec(name="bad", **kwargs)
+
+
+def test_fanin_distribution_roughly_respected():
+    spec = GeneratorSpec(name="g", n_inputs=12, n_outputs=8, n_gates=400,
+                         depth=10, seed=13)
+    network = generate_network(spec)
+    stats = network_stats(network)
+    histogram = dict(stats.fanin_histogram)
+    # 2-input gates dominate, as specified by DEFAULT_FANIN_PROBS.
+    assert histogram.get(2, 0) > histogram.get(4, 0)
+    expected_mean = sum(fanin * prob for fanin, prob in DEFAULT_FANIN_PROBS)
+    assert stats.mean_fanin == pytest.approx(expected_mean, rel=0.25)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       gates=st.integers(min_value=10, max_value=120),
+       depth=st.integers(min_value=2, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_generated_networks_always_valid(seed, gates, depth):
+    if gates < depth:
+        gates = depth
+    spec = GeneratorSpec(name="h", n_inputs=5, n_outputs=4, n_gates=gates,
+                         depth=depth, seed=seed)
+    network = generate_network(spec)
+    # Construction itself validates acyclicity; check the hard promises.
+    assert network.gate_count == gates
+    assert network.depth == depth
+    assert not [issue for issue in lint(network)
+                if issue.kind == "dangling-gate"]

@@ -1,0 +1,149 @@
+"""Tests for the LogicNetwork DAG."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.network import Gate, LogicNetwork, NetworkBuilder
+
+
+def build_demo() -> LogicNetwork:
+    builder = NetworkBuilder("demo")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_input("c")
+    builder.add_gate("n1", GateType.NAND, ["a", "b"])
+    builder.add_gate("n2", GateType.NOR, ["n1", "c"])
+    builder.add_gate("n3", GateType.NOT, ["n1"])
+    return builder.build(outputs=["n2", "n3"])
+
+
+def test_basic_queries():
+    network = build_demo()
+    assert len(network) == 6
+    assert network.gate_count == 3
+    assert network.inputs == ("a", "b", "c")
+    assert network.outputs == ("n2", "n3")
+    assert network.depth == 2
+    assert "n1" in network
+    assert "zz" not in network
+
+
+def test_fanouts_and_fanout_count():
+    network = build_demo()
+    assert set(network.fanouts("n1")) == {"n2", "n3"}
+    assert network.fanout_count("n1") == 2
+    # Sink-less primary output still counts one boundary load.
+    assert network.fanouts("n2") == ()
+    assert network.fanout_count("n2") == 1
+
+
+def test_levels():
+    network = build_demo()
+    assert network.level("a") == 0
+    assert network.level("n1") == 1
+    assert network.level("n2") == 2
+    levels = network.levels()
+    assert set(levels[0]) == {"a", "b", "c"}
+    assert set(levels[2]) == {"n2", "n3"}
+
+
+def test_topological_order_respects_dependencies():
+    network = build_demo()
+    order = network.topological_order()
+    for name in network.logic_gates:
+        gate = network.gate(name)
+        for fanin in gate.fanins:
+            assert order.index(fanin) < order.index(name)
+
+
+def test_cones():
+    network = build_demo()
+    assert network.fanin_cone("n2") == {"a", "b", "c", "n1", "n2"}
+    assert network.fanout_cone("a") == {"a", "n1", "n2", "n3"}
+    assert network.dead_nodes() == ()
+
+
+def test_evaluate():
+    network = build_demo()
+    values = network.evaluate({"a": True, "b": True, "c": False})
+    assert values["n1"] is False  # NAND(1,1)
+    assert values["n2"] is True   # NOR(0,0)
+    assert values["n3"] is True   # NOT(0)
+
+
+def test_evaluate_missing_input():
+    with pytest.raises(NetlistError, match="missing value"):
+        build_demo().evaluate({"a": True, "b": False})
+
+
+def test_cycle_detection():
+    gates = [
+        Gate("a", GateType.INPUT),
+        Gate("x", GateType.AND, ("a", "y")),
+        Gate("y", GateType.NOT, ("x",)),
+    ]
+    with pytest.raises(NetlistError, match="cycle"):
+        LogicNetwork("cyclic", gates, outputs=["y"])
+
+
+def test_unknown_fanin_rejected():
+    gates = [Gate("a", GateType.INPUT), Gate("x", GateType.NOT, ("ghost",))]
+    with pytest.raises(NetlistError, match="unknown net"):
+        LogicNetwork("bad", gates, outputs=["x"])
+
+
+def test_unknown_output_rejected():
+    gates = [Gate("a", GateType.INPUT)]
+    with pytest.raises(NetlistError, match="unknown primary output"):
+        LogicNetwork("bad", gates, outputs=["ghost"])
+
+
+def test_duplicate_gate_name_rejected():
+    builder = NetworkBuilder("dup")
+    builder.add_input("a")
+    with pytest.raises(NetlistError, match="duplicate"):
+        builder.add_input("a")
+
+
+def test_duplicate_outputs_rejected():
+    gates = [Gate("a", GateType.INPUT), Gate("x", GateType.NOT, ("a",))]
+    with pytest.raises(NetlistError, match="duplicate primary outputs"):
+        LogicNetwork("bad", gates, outputs=["x", "x"])
+
+
+def test_empty_network_rejected():
+    gates = [Gate("x", GateType.INPUT)]
+    network = LogicNetwork("ok", gates, outputs=["x"])  # input as output: fine
+    assert network.gate_count == 0
+    with pytest.raises(NetlistError, match="no nodes"):
+        LogicNetwork("bad", [], outputs=[])
+
+
+def test_no_outputs_rejected():
+    gates = [Gate("a", GateType.INPUT), Gate("x", GateType.NOT, ("a",))]
+    with pytest.raises(NetlistError, match="no primary outputs"):
+        LogicNetwork("bad", gates, outputs=[])
+
+
+def test_gate_arity_validation():
+    with pytest.raises(NetlistError):
+        Gate("x", GateType.NOT, ("a", "b"))
+    with pytest.raises(NetlistError):
+        Gate("x", GateType.AND, ("a",))
+    with pytest.raises(NetlistError):
+        Gate("x", GateType.AND, ("a", "a"))
+
+
+def test_dead_node_detection():
+    builder = NetworkBuilder("dead")
+    builder.add_input("a")
+    builder.add_gate("live", GateType.NOT, ["a"])
+    builder.add_gate("dead", GateType.NOT, ["a"])
+    network = builder.build(outputs=["live"])
+    assert network.dead_nodes() == ("dead",)
+
+
+def test_repr_mentions_shape():
+    text = repr(build_demo())
+    assert "gates=3" in text and "depth=2" in text

@@ -1,0 +1,87 @@
+"""Tests for the sequential-circuit wrapper."""
+
+import pytest
+
+from repro.errors import NetlistError, TimingError
+from repro.netlist.bench import extract_registers
+from repro.netlist.benchmarks import S27_BENCH
+from repro.netlist.sequential import (
+    RegisterTiming,
+    SequentialCircuit,
+    parse_sequential_bench,
+    sequential_problem,
+)
+from repro.activity.profiles import uniform_profile
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.technology.process import Technology
+from repro.units import MHZ, PS
+
+
+def test_extract_registers_s27():
+    registers = extract_registers(S27_BENCH)
+    assert set(registers) == {("G5", "G10"), ("G6", "G11"), ("G7", "G13")}
+
+
+def test_parse_sequential_s27():
+    circuit = parse_sequential_bench(S27_BENCH, name="s27")
+    assert circuit.register_count == 3
+    assert circuit.core.gate_count == 10
+    # True PIs exclude register Q pins; true POs exclude D pins.
+    assert set(circuit.true_inputs) == {"G0", "G1", "G2", "G3"}
+    assert set(circuit.true_outputs) == {"G17"}
+
+
+def test_register_nets_must_exist():
+    circuit = parse_sequential_bench(S27_BENCH, name="s27")
+    with pytest.raises(NetlistError, match="missing from the core"):
+        SequentialCircuit(core=circuit.core,
+                          registers=(("ghost", "G10"),))
+    with pytest.raises(NetlistError, match="missing from the core"):
+        SequentialCircuit(core=circuit.core,
+                          registers=(("G5", "ghost"),))
+
+
+def test_register_timing_validation():
+    with pytest.raises(TimingError):
+        RegisterTiming(clock_to_q=-1.0)
+    timing = RegisterTiming(clock_to_q=80 * PS, setup=50 * PS)
+    assert timing.total == pytest.approx(130 * PS)
+
+
+def test_usable_cycle_fraction():
+    circuit = parse_sequential_bench(S27_BENCH, name="s27")
+    timing = RegisterTiming(clock_to_q=100 * PS, setup=100 * PS)
+    cycle = 2000 * PS
+    fraction = circuit.usable_cycle_fraction(cycle, timing)
+    assert fraction == pytest.approx(0.9)
+    # Skew stacks multiplicatively on the cycle before margins.
+    skewed = circuit.usable_cycle_fraction(cycle, timing, skew_factor=0.9)
+    assert skewed == pytest.approx((0.9 * cycle - 200 * PS) / cycle)
+
+
+def test_margins_eating_whole_cycle_rejected():
+    circuit = parse_sequential_bench(S27_BENCH, name="s27")
+    timing = RegisterTiming(clock_to_q=2000 * PS, setup=2000 * PS)
+    with pytest.raises(TimingError, match="consume the whole"):
+        circuit.usable_cycle_fraction(1000 * PS, timing)
+
+
+def test_sequential_problem_optimizes_with_margin():
+    tech = Technology.default()
+    circuit = parse_sequential_bench(S27_BENCH, name="s27")
+    profile = uniform_profile(circuit.core, probability=0.5, density=0.1)
+    settings = HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=6,
+                                 refine_rounds=1)
+
+    plain = sequential_problem(tech, circuit, profile, 300 * MHZ,
+                               timing=RegisterTiming(0.0, 0.0))
+    margined = sequential_problem(tech, circuit, profile, 300 * MHZ)
+    assert margined.skew_factor < plain.skew_factor == pytest.approx(1.0)
+
+    result = optimize_joint(margined, settings=settings)
+    # The optimized core leaves room for the register margins.
+    assert result.timing.critical_delay \
+        <= margined.skew_factor * margined.cycle_time * (1 + 1e-6)
+    # Margins cost energy relative to the margin-free problem.
+    free = optimize_joint(plain, settings=settings)
+    assert result.total_energy >= free.total_energy * 0.999

@@ -1,0 +1,87 @@
+"""Tests for network statistics and lint."""
+
+import pytest
+
+from repro.netlist.benchmarks import s27
+from repro.netlist.gates import GateType
+from repro.netlist.network import NetworkBuilder
+from repro.netlist.stats import network_stats
+from repro.netlist.validate import assert_clean, lint
+
+
+def test_stats_s27():
+    stats = network_stats(s27())
+    assert stats.n_gates == 10
+    assert stats.n_inputs == 7
+    assert stats.depth == 6
+    assert dict(stats.gate_type_counts)["nor"] == 4
+    assert stats.mean_fanin == pytest.approx(1.8)
+    assert stats.as_dict()["gates"] == 10
+
+
+def test_stats_fanout_histogram_covers_all_nodes():
+    stats = network_stats(s27())
+    total = sum(count for _, count in stats.fanout_histogram)
+    assert total == 17  # 7 inputs + 10 gates
+
+
+def test_lint_clean_network():
+    builder = NetworkBuilder("clean")
+    builder.add_input("a")
+    builder.add_gate("x", GateType.NOT, ["a"])
+    network = builder.build(outputs=["x"])
+    assert lint(network) == ()
+    assert_clean(network)
+
+
+def test_lint_unused_input():
+    builder = NetworkBuilder("n")
+    builder.add_input("a")
+    builder.add_input("unused")
+    builder.add_gate("x", GateType.NOT, ["a"])
+    network = builder.build(outputs=["x"])
+    kinds = {issue.kind for issue in lint(network)}
+    assert "unused-input" in kinds
+
+
+def test_lint_dangling_and_dead():
+    builder = NetworkBuilder("n")
+    builder.add_input("a")
+    builder.add_gate("x", GateType.NOT, ["a"])
+    builder.add_gate("hang", GateType.NOT, ["a"])
+    network = builder.build(outputs=["x"])
+    kinds = {issue.kind for issue in lint(network)}
+    assert "dangling-gate" in kinds
+    assert "dead-logic" in kinds
+
+
+def test_lint_buffer_chain():
+    builder = NetworkBuilder("n")
+    builder.add_input("a")
+    builder.add_gate("b1", GateType.BUF, ["a"])
+    builder.add_gate("b2", GateType.BUF, ["b1"])
+    network = builder.build(outputs=["b2"])
+    kinds = {issue.kind for issue in lint(network)}
+    assert "buffer-chain" in kinds
+
+
+def test_assert_clean_raises_with_summary():
+    builder = NetworkBuilder("n")
+    builder.add_input("a")
+    builder.add_gate("x", GateType.NOT, ["a"])
+    builder.add_gate("hang", GateType.NOT, ["a"])
+    network = builder.build(outputs=["x"])
+    with pytest.raises(AssertionError, match="dangling-gate"):
+        assert_clean(network)
+    # Allow-list suppresses the failure.
+    assert_clean(network, allow_kinds=("dangling-gate", "dead-logic"))
+
+
+def test_issue_str():
+    builder = NetworkBuilder("n")
+    builder.add_input("a")
+    builder.add_input("unused")
+    builder.add_gate("x", GateType.NOT, ["a"])
+    network = builder.build(outputs=["x"])
+    issue = [i for i in lint(network) if i.kind == "unused-input"][0]
+    assert "unused" in str(issue)

@@ -1,0 +1,52 @@
+"""Tests for the simulated-annealing comparator."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.annealing import AnnealingSettings, optimize_annealing
+from repro.optimize.heuristic import optimize_joint
+
+FAST = AnnealingSettings(passes=1, iterations_per_pass=250, seed=3)
+
+
+def test_settings_validation():
+    with pytest.raises(OptimizationError):
+        AnnealingSettings(passes=0)
+    with pytest.raises(OptimizationError):
+        AnnealingSettings(cooling=1.0)
+    with pytest.raises(OptimizationError):
+        AnnealingSettings(iterations_per_pass=0)
+
+
+def test_annealing_returns_feasible_design(s27_problem):
+    result = optimize_annealing(s27_problem, settings=FAST)
+    assert result.feasible
+    assert result.details["strategy"] == "annealing"
+    tech = s27_problem.tech
+    assert tech.vdd_min <= result.design.vdd <= tech.vdd_max
+    for width in result.design.widths.values():
+        assert tech.width_min <= width <= tech.width_max
+
+
+def test_annealing_deterministic_in_seed(s27_problem):
+    first = optimize_annealing(s27_problem, settings=FAST)
+    second = optimize_annealing(s27_problem, settings=FAST)
+    assert first.total_energy == second.total_energy
+
+
+def test_heuristic_beats_annealing(s27_problem, fast_settings):
+    # The paper's §5 claim, at a realistic annealing budget.
+    annealed = optimize_annealing(
+        s27_problem, settings=AnnealingSettings(passes=2,
+                                                iterations_per_pass=600,
+                                                seed=1))
+    heuristic = optimize_joint(s27_problem, settings=fast_settings)
+    assert heuristic.total_energy < annealed.total_energy
+
+
+def test_warm_start_from_design(s27_problem, fast_settings):
+    heuristic = optimize_joint(s27_problem, settings=fast_settings)
+    warm = optimize_annealing(s27_problem, settings=FAST,
+                              initial=heuristic.design)
+    # Warm-started annealing cannot end worse than ~its start.
+    assert warm.total_energy <= heuristic.total_energy * 1.5

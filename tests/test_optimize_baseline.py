@@ -1,0 +1,65 @@
+"""Tests for the fixed-Vth baseline optimizer."""
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.optimize.baseline import DEFAULT_FIXED_VTH, optimize_fixed_vth
+from repro.optimize.problem import OptimizationProblem
+from repro.units import GHZ
+
+
+def test_baseline_feasible(s27_problem):
+    result = optimize_fixed_vth(s27_problem)
+    assert result.feasible
+    assert result.design.distinct_vths() == (DEFAULT_FIXED_VTH,)
+
+
+def test_baseline_leakage_negligible(s27_problem):
+    # At Vth = 700 mV static energy is many orders below dynamic.
+    result = optimize_fixed_vth(s27_problem)
+    assert result.energy.static < 1e-4 * result.energy.dynamic
+
+
+def test_baseline_prefers_lowest_feasible_vdd(s27_problem):
+    # Dynamic energy dominates and scales with Vdd^2, so the chosen Vdd
+    # must sit near the feasibility edge: a slightly lower Vdd fails.
+    from repro.optimize.width_search import size_widths
+
+    result = optimize_fixed_vth(s27_problem)
+    budgets = s27_problem.budgets()
+    probe = size_widths(s27_problem.ctx, budgets.budgets,
+                        result.design.vdd * 0.80, DEFAULT_FIXED_VTH,
+                        repair_ceiling=budgets.effective_cycle_time)
+    if probe.feasible:
+        # Feasible but must cost more energy (width blow-up).
+        from repro.power.energy import total_energy
+
+        energy = total_energy(s27_problem.ctx, result.design.vdd * 0.80,
+                              DEFAULT_FIXED_VTH, probe.widths,
+                              s27_problem.frequency).total
+        assert energy >= result.total_energy * 0.999
+
+
+def test_baseline_alternate_vth(s27_problem):
+    low = optimize_fixed_vth(s27_problem, vth=0.4)
+    high = optimize_fixed_vth(s27_problem, vth=0.7)
+    # Lower fixed threshold unlocks lower Vdd.
+    assert low.design.vdd <= high.design.vdd + 1e-9
+
+
+def test_baseline_custom_range(s27_problem):
+    result = optimize_fixed_vth(s27_problem, vdd_range=(2.5, 3.3))
+    assert 2.5 <= result.design.vdd <= 3.3
+
+
+def test_baseline_infeasible_raises(s27_problem):
+    impossible = OptimizationProblem(ctx=s27_problem.ctx,
+                                     frequency=100 * GHZ)
+    with pytest.raises(InfeasibleError, match="no Vdd meets"):
+        optimize_fixed_vth(impossible)
+
+
+def test_baseline_details(s27_problem):
+    result = optimize_fixed_vth(s27_problem)
+    assert result.details["strategy"] == "fixed-vth"
+    assert result.details["fixed_vth"] == DEFAULT_FIXED_VTH

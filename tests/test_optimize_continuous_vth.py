@@ -1,0 +1,74 @@
+"""Tests for per-gate continuous-Vth slack reclamation."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.continuous_vth import (
+    optimize_continuous_vth,
+    reclaim_slack_with_vth,
+)
+from repro.optimize.heuristic import optimize_joint
+
+
+@pytest.fixture(scope="module")
+def s298_outcome():
+    from repro.experiments.common import build_problem
+
+    problem = build_problem("s298", 0.1)
+    return problem, optimize_continuous_vth(problem)
+
+
+def test_never_worse_than_single(s298_outcome):
+    _, outcome = s298_outcome
+    assert outcome.gain >= 1.0
+    assert outcome.refined.total_energy <= outcome.single.total_energy
+
+
+def test_widths_untouched(s298_outcome):
+    _, outcome = s298_outcome
+    assert outcome.refined.design.widths == outcome.single.design.widths
+
+
+def test_only_reclaimed_gates_change_threshold(s298_outcome):
+    problem, outcome = s298_outcome
+    if not outcome.reclaimed:
+        pytest.skip("no reclaimable gates on this circuit")
+    base = float(outcome.single.design.distinct_vths()[0])
+    reclaimed = set(outcome.reclaimed)
+    for name in problem.network.logic_gates:
+        vth = outcome.refined.design.vth_of(name)
+        if name in reclaimed:
+            assert vth > base
+        else:
+            assert vth == pytest.approx(base)
+
+
+def test_static_energy_strictly_reduced(s298_outcome):
+    _, outcome = s298_outcome
+    if outcome.reclaimed:
+        assert outcome.refined.energy.static < outcome.single.energy.static
+        # Dynamic untouched: same widths, same Vdd.
+        assert outcome.refined.energy.dynamic == pytest.approx(
+            outcome.single.energy.dynamic, rel=1e-12)
+
+
+def test_timing_still_met(s298_outcome):
+    problem, outcome = s298_outcome
+    assert outcome.refined.timing.meets(problem.cycle_time,
+                                        tolerance=1e-9)
+
+
+def test_reclaim_targets_minimum_width_gates(s298_outcome):
+    problem, outcome = s298_outcome
+    widths = outcome.single.design.widths
+    for name in outcome.reclaimed:
+        assert widths[name] == pytest.approx(problem.tech.width_min,
+                                             rel=1e-5)
+
+
+def test_validation(s27_problem, fast_settings):
+    single = optimize_joint(s27_problem, settings=fast_settings)
+    budgets = s27_problem.budgets()
+    with pytest.raises(OptimizationError):
+        reclaim_slack_with_vth(s27_problem, single, budgets,
+                               refine_iters=1)

@@ -1,0 +1,66 @@
+"""Tests for discrete width snapping."""
+
+import math
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.discretize import (
+    DiscretizationOutcome,
+    discretize_result,
+    geometric_grid,
+    snap_widths,
+)
+from repro.optimize.heuristic import optimize_joint
+
+
+def test_geometric_grid_shape():
+    grid = geometric_grid(1.0, 100.0)
+    assert grid[0] == 1.0
+    assert grid[-1] == 100.0
+    for small, large in zip(grid, grid[1:]):
+        assert large > small
+        assert large / small <= math.sqrt(2.0) * (1 + 1e-9)
+
+
+def test_geometric_grid_validation():
+    with pytest.raises(OptimizationError):
+        geometric_grid(0.0, 10.0)
+    with pytest.raises(OptimizationError):
+        geometric_grid(10.0, 1.0)
+    with pytest.raises(OptimizationError):
+        geometric_grid(1.0, 10.0, ratio=1.0)
+
+
+def test_snap_is_on_grid_and_never_below(s27_problem, fast_settings):
+    result = optimize_joint(s27_problem, settings=fast_settings)
+    grid = geometric_grid(1.0, 100.0)
+    snapped = snap_widths(s27_problem, result.design, grid=grid)
+    for name, width in snapped.items():
+        assert any(abs(width - size) < 1e-9 for size in grid)
+        assert width >= result.design.widths[name] - 1e-9 \
+            or width == grid[-1]
+
+
+def test_discrete_design_still_meets_timing(s298_problem):
+    result = optimize_joint(s298_problem)
+    outcome = discretize_result(s298_problem, result)
+    assert outcome.discrete.feasible
+    assert outcome.discrete.timing.critical_delay \
+        <= s298_problem.cycle_time * (1 + 1e-9)
+
+
+def test_energy_penalty_is_small(s298_problem):
+    # A sqrt(2) ladder costs percents, not factors.
+    result = optimize_joint(s298_problem)
+    outcome = discretize_result(s298_problem, result)
+    assert 1.0 <= outcome.energy_penalty < 1.30
+
+
+def test_coarser_grid_costs_more(s298_problem):
+    result = optimize_joint(s298_problem)
+    fine = discretize_result(s298_problem, result,
+                             grid=geometric_grid(1.0, 100.0, ratio=1.2))
+    coarse = discretize_result(s298_problem, result,
+                               grid=geometric_grid(1.0, 100.0, ratio=2.0))
+    assert coarse.energy_penalty >= fine.energy_penalty * 0.999

@@ -1,0 +1,113 @@
+"""Tests for Procedure 2 (the joint heuristic)."""
+
+import pytest
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.optimize.baseline import optimize_fixed_vth
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import OptimizationProblem
+from repro.units import GHZ
+
+
+def test_settings_validation():
+    with pytest.raises(OptimizationError):
+        HeuristicSettings(strategy="magic")
+    with pytest.raises(OptimizationError):
+        HeuristicSettings(m_steps=1)
+    with pytest.raises(OptimizationError):
+        HeuristicSettings(grid_vdd=1)
+
+
+def test_joint_result_feasible_and_in_ranges(s27_problem, fast_settings):
+    result = optimize_joint(s27_problem, settings=fast_settings)
+    tech = s27_problem.tech
+    assert result.feasible
+    assert tech.vdd_min <= result.design.vdd <= tech.vdd_max
+    vth = result.design.distinct_vths()[0]
+    assert tech.vth_min <= vth <= tech.vth_max
+    for width in result.design.widths.values():
+        assert tech.width_min <= width <= tech.width_max
+
+
+def test_joint_beats_fixed_vth_baseline(s27_problem, fast_settings):
+    baseline = optimize_fixed_vth(s27_problem)
+    joint = optimize_joint(s27_problem, settings=fast_settings)
+    assert joint.total_energy < baseline.total_energy
+    # The headline shape: a large factor, not a shave.
+    assert baseline.total_energy / joint.total_energy > 3.0
+
+
+def test_joint_optimum_has_low_vdd_low_vth(s298_problem):
+    result = optimize_joint(s298_problem)
+    vth = result.design.distinct_vths()[0]
+    # Paper: Vdd in [0.6, 1.2] V (wider here for deck differences),
+    # Vth in [100, 300] mV.
+    assert result.design.vdd < 1.6
+    assert vth <= 0.30
+
+
+def test_joint_static_dynamic_comparable(s298_problem):
+    result = optimize_joint(s298_problem)
+    ratio = result.energy.static / result.energy.dynamic
+    assert 0.05 < ratio < 5.0
+
+
+def test_paper_strategy_runs_and_is_feasible(s27_problem):
+    settings = HeuristicSettings(strategy="paper", m_steps=8)
+    result = optimize_joint(s27_problem, settings=settings)
+    assert result.feasible
+    assert result.details["strategy"] == "paper"
+
+
+def test_grid_not_much_worse_than_anything(s27_problem, fast_settings):
+    # The grid+refine strategy should be at least as good as the paper's
+    # steered bisection (which can get stuck on feasibility boundaries).
+    grid = optimize_joint(s27_problem, settings=fast_settings)
+    paper = optimize_joint(s27_problem,
+                           settings=HeuristicSettings(strategy="paper",
+                                                      m_steps=10))
+    assert grid.total_energy <= paper.total_energy * 1.10
+
+
+def test_infeasible_clock_raises(s27_problem):
+    impossible = OptimizationProblem(ctx=s27_problem.ctx,
+                                     frequency=100 * GHZ)
+    with pytest.raises(InfeasibleError, match="no .*point meets"):
+        optimize_joint(impossible)
+
+
+def test_custom_search_ranges_respected(s27_problem):
+    settings = HeuristicSettings(grid_vdd=7, grid_vth=5, refine_iters=6,
+                                 refine_rounds=1,
+                                 vdd_range=(2.0, 3.3),
+                                 vth_range=(0.3, 0.5))
+    result = optimize_joint(s27_problem, settings=settings)
+    assert 2.0 <= result.design.vdd <= 3.3
+    assert 0.3 <= result.design.distinct_vths()[0] <= 0.5
+
+
+def test_bad_range_rejected(s27_problem):
+    settings = HeuristicSettings(vdd_range=(3.0, 1.0))
+    with pytest.raises(OptimizationError, match="bad search ranges"):
+        optimize_joint(s27_problem, settings=settings)
+
+
+def test_bisect_width_method_supported(s27_problem):
+    settings = HeuristicSettings(grid_vdd=6, grid_vth=5, refine_iters=4,
+                                 refine_rounds=1, width_method="bisect")
+    result = optimize_joint(s27_problem, settings=settings)
+    assert result.feasible
+
+
+def test_details_populated(s27_problem, fast_settings):
+    result = optimize_joint(s27_problem, settings=fast_settings)
+    assert result.details["strategy"] == "grid"
+    assert result.details["feasible_points"] > 0
+    assert result.evaluations > 0
+
+
+def test_deterministic(s27_problem, fast_settings):
+    first = optimize_joint(s27_problem, settings=fast_settings)
+    second = optimize_joint(s27_problem, settings=fast_settings)
+    assert first.design.vdd == second.design.vdd
+    assert first.total_energy == second.total_energy

@@ -1,0 +1,104 @@
+"""Tests for optimizer internals (search helpers, annealing moves)."""
+
+import math
+import random
+
+import pytest
+
+from repro.optimize.annealing import AnnealingSettings, _State, _clamp, _perturb
+from repro.optimize.heuristic import (
+    HeuristicSettings,
+    _SearchState,
+    _linspace,
+    _ternary_min,
+)
+from repro.technology.process import Technology
+
+
+def test_linspace_endpoints():
+    values = _linspace(0.0, 1.0, 5)
+    assert values[0] == 0.0
+    assert values[-1] == 1.0
+    assert len(values) == 5
+    assert _linspace(2.0, 4.0, 1) == [3.0]
+
+
+def test_ternary_min_finds_parabola_minimum():
+    minimizer = _ternary_min(lambda x: (x - 0.7) ** 2, 0.0, 2.0, 40)
+    assert minimizer == pytest.approx(0.7, abs=1e-4)
+
+
+def test_ternary_min_monotone_function_goes_to_edge():
+    minimizer = _ternary_min(lambda x: x, 0.0, 1.0, 40)
+    assert minimizer == pytest.approx(0.0, abs=1e-4)
+
+
+def test_search_state_defaults():
+    state = _SearchState()
+    assert state.best_energy == math.inf
+    assert state.best_point is None
+    assert state.evaluations == 0
+
+
+def test_clamp():
+    assert _clamp(5.0, 0.0, 1.0) == 1.0
+    assert _clamp(-5.0, 0.0, 1.0) == 0.0
+    assert _clamp(0.5, 0.0, 1.0) == 0.5
+
+
+def test_perturb_respects_bounds():
+    tech = Technology.default()
+    settings = AnnealingSettings()
+    rng = random.Random(0)
+    gates = [f"g{i}" for i in range(10)]
+    state = _State(vdd=3.3, vth=0.7, widths={name: 100.0 for name in gates})
+    for _ in range(500):
+        _perturb(state, rng, settings, tech, gates)
+        assert tech.vdd_min <= state.vdd <= tech.vdd_max
+        assert tech.vth_min <= state.vth <= tech.vth_max
+        for width in state.widths.values():
+            assert tech.width_min <= width <= tech.width_max
+
+
+def test_perturb_eventually_touches_every_variable_class():
+    tech = Technology.default()
+    settings = AnnealingSettings()
+    rng = random.Random(1)
+    gates = ["g0", "g1"]
+    state = _State(vdd=1.5, vth=0.4, widths={"g0": 10.0, "g1": 10.0})
+    touched_vdd = touched_vth = touched_width = False
+    for _ in range(300):
+        before = (state.vdd, state.vth, dict(state.widths))
+        _perturb(state, rng, settings, tech, gates)
+        if state.vdd != before[0]:
+            touched_vdd = True
+        if state.vth != before[1]:
+            touched_vth = True
+        if state.widths != before[2]:
+            touched_width = True
+    assert touched_vdd and touched_vth and touched_width
+
+
+def test_state_copy_is_deep_for_widths():
+    state = _State(vdd=1.0, vth=0.2, widths={"g": 5.0})
+    clone = state.copy()
+    clone.widths["g"] = 7.0
+    assert state.widths["g"] == 5.0
+
+
+def test_heuristic_settings_defaults_stable():
+    settings = HeuristicSettings()
+    assert settings.strategy == "grid"
+    assert settings.engine == "scalar"
+    assert settings.width_method == "closed_form"
+
+
+def test_seeds_improve_or_match_result(s27_problem, fast_settings):
+    from repro.optimize.heuristic import optimize_joint
+
+    plain = optimize_joint(s27_problem, settings=fast_settings)
+    vdd = plain.design.vdd
+    vth = float(plain.design.distinct_vths()[0])
+    seeded = optimize_joint(s27_problem, settings=fast_settings,
+                            seeds=((vdd, vth),))
+    assert seeded.total_energy <= plain.total_energy * (1 + 1e-12)

@@ -1,0 +1,91 @@
+"""Tests for the multi-Vth optimizer."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.heuristic import HeuristicSettings
+from repro.optimize.multivth import (
+    MultiVthSettings,
+    group_gates_by_budget,
+    optimize_multi_vth,
+)
+from repro.optimize.problem import OptimizationProblem
+from repro.units import MHZ
+
+FAST = MultiVthSettings(refine_iters=8, rounds=2,
+                        single=HeuristicSettings(grid_vdd=9, grid_vth=7,
+                                                 refine_iters=8,
+                                                 refine_rounds=1))
+
+
+def multi_problem(base_problem, n_vth):
+    return OptimizationProblem(ctx=base_problem.ctx,
+                               frequency=base_problem.frequency,
+                               n_vth=n_vth)
+
+
+def test_settings_validation():
+    with pytest.raises(OptimizationError):
+        MultiVthSettings(refine_iters=1)
+    with pytest.raises(OptimizationError):
+        MultiVthSettings(rounds=0)
+
+
+def test_grouping_partitions_all_gates(s27_problem):
+    budgets = s27_problem.budgets()
+    groups = group_gates_by_budget(s27_problem, budgets, 3)
+    flattened = [name for group in groups for name in group]
+    assert sorted(flattened) == sorted(s27_problem.network.logic_gates)
+    assert len(groups) <= 3
+
+
+def test_grouping_orders_by_tightness(s27_problem):
+    from repro.timing.paths import node_weight
+
+    budgets = s27_problem.budgets()
+    groups = group_gates_by_budget(s27_problem, budgets, 2)
+    network = s27_problem.network
+
+    def tightness(name):
+        return budgets.budgets[name] / max(node_weight(network, name), 1)
+
+    tight_max = max(tightness(name) for name in groups[0])
+    loose_min = min(tightness(name) for name in groups[-1])
+    assert tight_max <= loose_min + 1e-15
+
+
+def test_grouping_validation(s27_problem):
+    with pytest.raises(OptimizationError):
+        group_gates_by_budget(s27_problem, s27_problem.budgets(), 0)
+
+
+def test_n_vth_one_reduces_to_single(s27_problem):
+    result = optimize_multi_vth(s27_problem, settings=FAST)
+    assert len(result.design.distinct_vths()) == 1
+
+
+def test_multi_vth_never_worse_than_single(s27_problem):
+    problem = multi_problem(s27_problem, 2)
+    result = optimize_multi_vth(problem, settings=FAST)
+    single_energy = result.details["single_vth_energy"]
+    assert result.feasible
+    assert result.total_energy <= single_energy * (1 + 1e-9)
+
+
+def test_multi_vth_uses_at_most_n_values(s298_problem):
+    problem = multi_problem(s298_problem, 2)
+    result = optimize_multi_vth(problem, settings=FAST)
+    assert len(result.design.distinct_vths()) <= 2
+    assert result.feasible
+    # Vth map covers every gate.
+    assert set(result.design.vth) == set(problem.network.logic_gates)
+
+
+def test_multi_vth_slack_group_not_meaningfully_faster(s298_problem):
+    # Coordinate descent gives no hard ordering guarantee, but the
+    # slack-rich group should never end up with a *meaningfully lower*
+    # (leakier) threshold than the speed-critical group.
+    problem = multi_problem(s298_problem, 2)
+    result = optimize_multi_vth(problem, settings=FAST)
+    vths = result.details["group_vths"]
+    assert vths[-1] >= vths[0] - 0.05

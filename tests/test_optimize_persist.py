@@ -1,0 +1,102 @@
+"""Tests for design-point serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.heuristic import optimize_joint
+from repro.optimize.persist import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    save_design,
+)
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    from repro.experiments.common import build_problem
+    from repro.optimize.heuristic import HeuristicSettings
+
+    problem = build_problem("s27", 0.1)
+    result = optimize_joint(problem, settings=HeuristicSettings(
+        grid_vdd=9, grid_vth=7, refine_iters=8, refine_rounds=1))
+    path = tmp_path_factory.mktemp("designs") / "s27.json"
+    save_design(result, path)
+    return problem, result, path
+
+
+def test_roundtrip(saved):
+    problem, result, path = saved
+    design = load_design(path, problem)
+    assert design.vdd == pytest.approx(result.design.vdd)
+    assert design.distinct_vths() == pytest.approx(
+        result.design.distinct_vths())
+    for name in problem.network.logic_gates:
+        assert design.width_of(name) == pytest.approx(
+            result.design.width_of(name))
+    # The reloaded design evaluates identically.
+    assert design.evaluate_energy(problem).total == pytest.approx(
+        result.total_energy)
+    assert design.is_feasible(problem)
+
+
+def test_provenance_fields(saved):
+    _, result, path = saved
+    payload = json.loads(path.read_text())
+    assert payload["network"] == "s27"
+    assert payload["technology"] == "generic-0.25um"
+    assert payload["total_energy_j"] == pytest.approx(result.total_energy)
+
+
+def test_wrong_network_rejected(saved):
+    from repro.experiments.common import build_problem
+
+    _, _, path = saved
+    other = build_problem("s298", 0.1)
+    with pytest.raises(OptimizationError, match="is for network"):
+        load_design(path, other)
+
+
+def test_missing_widths_rejected(saved):
+    problem, _, path = saved
+    payload = json.loads(path.read_text())
+    first_gate = next(iter(payload["widths"]))
+    del payload["widths"][first_gate]
+    with pytest.raises(OptimizationError, match="misses widths"):
+        design_from_dict(payload, problem)
+
+
+def test_format_checks(saved):
+    problem, _, _ = saved
+    with pytest.raises(OptimizationError, match="format marker"):
+        design_from_dict({"widths": {}}, problem)
+    payload = {"_format": "repro-design", "_version": 99}
+    with pytest.raises(OptimizationError, match="version"):
+        design_from_dict(payload, problem)
+
+
+def test_invalid_json(tmp_path, saved):
+    problem, _, _ = saved
+    path = tmp_path / "junk.json"
+    path.write_text("{nope")
+    with pytest.raises(OptimizationError, match="invalid JSON"):
+        load_design(path, problem)
+
+
+def test_vth_map_roundtrips(saved, tmp_path):
+    from repro.optimize.problem import OptimizationResult, DesignPoint
+
+    problem, result, _ = saved
+    vth_map = {name: 0.2 for name in problem.network.logic_gates}
+    mapped = OptimizationResult(
+        problem=problem,
+        design=DesignPoint(vdd=result.design.vdd, vth=vth_map,
+                           widths=result.design.widths),
+        energy=result.energy, timing=result.timing, evaluations=0)
+    path = tmp_path / "mapped.json"
+    save_design(mapped, path)
+    design = load_design(path, problem)
+    assert design.vth_of("G8") == pytest.approx(0.2)
+    assert isinstance(design.vth, dict)

@@ -1,0 +1,68 @@
+"""Tests for problem/design-point/result types."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.problem import DesignPoint, OptimizationProblem
+from repro.units import MHZ
+
+
+def test_problem_properties(s27_problem):
+    assert s27_problem.cycle_time == pytest.approx(1.0 / (300 * MHZ))
+    assert s27_problem.tech is s27_problem.ctx.tech
+    assert s27_problem.network is s27_problem.ctx.network
+
+
+def test_problem_validation(s27_ctx):
+    with pytest.raises(OptimizationError):
+        OptimizationProblem(ctx=s27_ctx, frequency=0.0)
+    with pytest.raises(OptimizationError):
+        OptimizationProblem(ctx=s27_ctx, frequency=1e8, skew_factor=0.0)
+    with pytest.raises(OptimizationError):
+        OptimizationProblem(ctx=s27_ctx, frequency=1e8, n_vth=0)
+
+
+def test_problem_budgets_shortcut(s27_problem):
+    budgets = s27_problem.budgets()
+    assert budgets.cycle_time == pytest.approx(s27_problem.cycle_time)
+    assert set(budgets.budgets) == set(s27_problem.network.logic_gates)
+
+
+def test_design_point_scalar_vth(s27_problem):
+    widths = s27_problem.ctx.uniform_widths(4.0)
+    design = DesignPoint(vdd=2.0, vth=0.3, widths=widths)
+    assert design.vth_of("G8") == 0.3
+    assert design.distinct_vths() == (0.3,)
+    assert design.width_of("G8") == 4.0
+
+
+def test_design_point_vth_map(s27_problem):
+    widths = s27_problem.ctx.uniform_widths(4.0)
+    vth = {name: (0.2 if name == "G8" else 0.4)
+           for name in s27_problem.network.logic_gates}
+    design = DesignPoint(vdd=2.0, vth=vth, widths=widths)
+    assert design.vth_of("G8") == 0.2
+    assert design.distinct_vths() == (0.2, 0.4)
+
+
+def test_design_point_evaluation(s27_problem):
+    widths = s27_problem.ctx.uniform_widths(8.0)
+    design = DesignPoint(vdd=3.3, vth=0.3, widths=widths)
+    energy = design.evaluate_energy(s27_problem)
+    timing = design.evaluate_timing(s27_problem)
+    assert energy.total > 0.0
+    assert timing.critical_delay > 0.0
+    assert design.is_feasible(s27_problem) \
+        == timing.meets(s27_problem.cycle_time)
+
+
+def test_result_summary(s27_problem, fast_settings):
+    from repro.optimize.heuristic import optimize_joint
+
+    result = optimize_joint(s27_problem, settings=fast_settings)
+    summary = result.summary()
+    assert summary["network"] == "s27"
+    assert summary["feasible"] is True
+    assert summary["total_energy"] == pytest.approx(result.total_energy)
+    assert result.total_power == pytest.approx(
+        result.total_energy * s27_problem.frequency)

@@ -1,0 +1,53 @@
+"""Tests for the SciPy cross-check optimizers."""
+
+import pytest
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.optimize.heuristic import optimize_joint
+from repro.optimize.problem import OptimizationProblem
+from repro.optimize.scipy_opt import optimize_scipy
+from repro.units import GHZ
+
+
+def test_unknown_method_rejected(s27_problem):
+    with pytest.raises(OptimizationError):
+        optimize_scipy(s27_problem, method="genetic")
+
+
+def test_differential_evolution_agrees_with_heuristic(s27_problem,
+                                                      fast_settings):
+    scipy_result = optimize_scipy(s27_problem, maxiter=25, popsize=10,
+                                  seed=11)
+    heuristic = optimize_joint(s27_problem, settings=fast_settings)
+    assert scipy_result.feasible
+    # Independent optimizers over the same objective: within 10 %.
+    ratio = scipy_result.total_energy / heuristic.total_energy
+    assert 0.90 < ratio < 1.10
+
+
+def test_nelder_mead_polish(s27_problem):
+    result = optimize_scipy(s27_problem, method="nelder-mead", maxiter=30)
+    assert result.feasible
+    assert result.details["strategy"] == "scipy-nelder-mead"
+
+
+def test_nelder_mead_with_explicit_start(s27_problem, fast_settings):
+    heuristic = optimize_joint(s27_problem, settings=fast_settings)
+    start = (heuristic.design.vdd,
+             float(heuristic.design.distinct_vths()[0]))
+    polished = optimize_scipy(s27_problem, method="nelder-mead",
+                              maxiter=20, start=start)
+    assert polished.total_energy <= heuristic.total_energy * 1.02
+
+
+def test_infeasible_raises(s27_problem):
+    impossible = OptimizationProblem(ctx=s27_problem.ctx,
+                                     frequency=100 * GHZ)
+    with pytest.raises(InfeasibleError):
+        optimize_scipy(impossible, maxiter=3, popsize=4)
+
+
+def test_deterministic_in_seed(s27_problem):
+    first = optimize_scipy(s27_problem, maxiter=10, popsize=6, seed=5)
+    second = optimize_scipy(s27_problem, maxiter=10, popsize=6, seed=5)
+    assert first.total_energy == second.total_energy

@@ -1,0 +1,77 @@
+"""Tests for worst-case Vth-variation optimization."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.variation import VariationModel, optimize_with_variation
+
+FAST = HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=8,
+                         refine_rounds=1)
+
+
+def test_variation_model_corners():
+    model = VariationModel(0.2)
+    assert model.slow_corner(0.2) == pytest.approx(0.24)
+    assert model.leaky_corner(0.2) == pytest.approx(0.16)
+
+
+def test_variation_model_validation():
+    with pytest.raises(OptimizationError):
+        VariationModel(-0.1)
+    with pytest.raises(OptimizationError):
+        VariationModel(1.0)
+
+
+def test_zero_tolerance_matches_nominal(s27_problem):
+    nominal = optimize_joint(s27_problem, settings=FAST)
+    robust = optimize_with_variation(s27_problem, VariationModel(0.0),
+                                     settings=FAST)
+    assert robust.total_energy == pytest.approx(nominal.total_energy,
+                                                rel=1e-9)
+
+
+def test_timing_verified_at_slow_corner(s27_problem):
+    model = VariationModel(0.25)
+    result = optimize_with_variation(s27_problem, model, settings=FAST)
+    # The reported timing is the slow-corner guarantee.
+    assert result.feasible
+    from repro.timing.sta import analyze_timing
+
+    nominal_vth = float(result.design.distinct_vths()[0])
+    slow = analyze_timing(s27_problem.ctx, result.design.vdd,
+                          model.slow_corner(nominal_vth),
+                          result.design.widths)
+    assert slow.critical_delay == pytest.approx(
+        result.timing.critical_delay)
+    assert slow.meets(s27_problem.cycle_time, tolerance=1e-6)
+
+
+def test_energy_reported_at_leaky_corner(s27_problem):
+    model = VariationModel(0.25)
+    result = optimize_with_variation(s27_problem, model, settings=FAST)
+    from repro.power.energy import total_energy
+
+    nominal_vth = float(result.design.distinct_vths()[0])
+    leaky = total_energy(s27_problem.ctx, result.design.vdd,
+                         model.leaky_corner(nominal_vth),
+                         result.design.widths, s27_problem.frequency)
+    assert leaky.total == pytest.approx(result.total_energy)
+
+
+def test_savings_decay_with_tolerance(s27_problem):
+    energies = []
+    for tolerance in (0.0, 0.15, 0.3):
+        result = optimize_with_variation(s27_problem,
+                                         VariationModel(tolerance),
+                                         settings=FAST)
+        energies.append(result.total_energy)
+    # Worst-case energy grows with tolerance -> savings decay (Fig 2a).
+    assert energies[0] <= energies[1] <= energies[2]
+
+
+def test_details_record_tolerance(s27_problem):
+    result = optimize_with_variation(s27_problem, VariationModel(0.1),
+                                     settings=FAST)
+    assert result.details["strategy"] == "variation-aware"
+    assert result.details["vth_tolerance"] == 0.1

@@ -1,0 +1,111 @@
+"""Tests for the minimum-width sizing pass."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OptimizationError
+from repro.optimize.width_search import size_widths
+from repro.timing.budgeting import assign_delay_budgets
+from repro.timing.sta import analyze_timing
+
+CYCLE = 1.0 / 300e6
+
+
+@pytest.fixture(scope="module")
+def s27_budgets(s27_ctx):
+    return assign_delay_budgets(s27_ctx.network, CYCLE)
+
+
+def test_feasible_at_nominal_corner(s27_ctx, s27_budgets):
+    assignment = size_widths(s27_ctx, s27_budgets.budgets, 3.3, 0.7)
+    assert assignment.feasible
+    assert not assignment.infeasible_gates
+    for name in s27_ctx.gates:
+        width = assignment.widths[name]
+        assert s27_ctx.tech.width_min <= width <= s27_ctx.tech.width_max
+
+
+def test_sized_design_meets_cycle_time(s27_ctx, s27_budgets):
+    assignment = size_widths(s27_ctx, s27_budgets.budgets, 3.3, 0.7)
+    report = analyze_timing(s27_ctx, 3.3, 0.7, assignment.widths)
+    assert report.meets(CYCLE)
+
+
+def test_every_gate_meets_its_own_budget(s27_ctx, s27_budgets):
+    assignment = size_widths(s27_ctx, s27_budgets.budgets, 3.3, 0.7)
+    report = analyze_timing(s27_ctx, 3.3, 0.7, assignment.widths)
+    for name in s27_ctx.gates:
+        assert report.delay(name) \
+            <= s27_budgets.budgets[name] * (1 + 1e-9)
+
+
+def test_bisect_agrees_with_closed_form(s27_ctx, s27_budgets):
+    closed = size_widths(s27_ctx, s27_budgets.budgets, 3.3, 0.7,
+                         method="closed_form")
+    bisect = size_widths(s27_ctx, s27_budgets.budgets, 3.3, 0.7,
+                         method="bisect", bisect_steps=40)
+    assert bisect.feasible
+    for name in s27_ctx.gates:
+        assert bisect.widths[name] == pytest.approx(
+            closed.widths[name], rel=1e-3, abs=1e-3)
+
+
+def test_unknown_method_rejected(s27_ctx, s27_budgets):
+    with pytest.raises(OptimizationError, match="unknown width-search"):
+        size_widths(s27_ctx, s27_budgets.budgets, 3.3, 0.7, method="magic")
+
+
+def test_missing_budget_rejected(s27_ctx, s27_budgets):
+    budgets = dict(s27_budgets.budgets)
+    del budgets["G8"]
+    with pytest.raises(OptimizationError, match="no delay budget"):
+        size_widths(s27_ctx, budgets, 3.3, 0.7)
+
+
+def test_infeasible_corner_reported(s27_ctx, s27_budgets):
+    assignment = size_widths(s27_ctx, s27_budgets.budgets, 0.12, 0.7)
+    assert not assignment.feasible
+    assert assignment.infeasible_gates
+
+
+def test_tighter_budgets_need_wider_gates(s27_ctx):
+    loose = assign_delay_budgets(s27_ctx.network, 2 * CYCLE)
+    tight = assign_delay_budgets(s27_ctx.network, CYCLE)
+    wide = size_widths(s27_ctx, tight.budgets, 3.3, 0.7)
+    narrow = size_widths(s27_ctx, loose.budgets, 3.3, 0.7)
+    assert sum(wide.widths.values()) >= sum(narrow.widths.values())
+
+
+def test_vth_map_supported(s27_ctx, s27_budgets):
+    vth_map = {name: 0.7 for name in s27_ctx.gates}
+    mapped = size_widths(s27_ctx, s27_budgets.budgets, 3.3, vth_map)
+    scalar = size_widths(s27_ctx, s27_budgets.budgets, 3.3, 0.7)
+    for name in s27_ctx.gates:
+        assert mapped.widths[name] == pytest.approx(scalar.widths[name])
+
+
+def test_repair_recovers_marginal_budgets(s27_ctx, s27_budgets):
+    # Shrink one gate's budget below its floor: repair must rescue it.
+    budgets = dict(s27_budgets.budgets)
+    victim = "G9"
+    budgets[victim] *= 0.02
+    bare = size_widths(s27_ctx, budgets, 3.3, 0.7)
+    assert not bare.feasible and victim in bare.infeasible_gates
+    repaired = size_widths(s27_ctx, budgets, 3.3, 0.7,
+                           repair_ceiling=CYCLE)
+    assert repaired.feasible
+    assert victim in repaired.repaired_gates
+    report = analyze_timing(s27_ctx, 3.3, 0.7, repaired.widths)
+    assert report.meets(CYCLE)
+
+
+@given(vdd=st.floats(min_value=0.5, max_value=3.3),
+       vth=st.floats(min_value=0.1, max_value=0.5))
+@settings(max_examples=40, deadline=None)
+def test_feasible_assignments_always_meet_cycle(s27_ctx, vdd, vth):
+    budgets = assign_delay_budgets(s27_ctx.network, CYCLE)
+    assignment = size_widths(s27_ctx, budgets.budgets, vdd, vth,
+                             repair_ceiling=CYCLE)
+    if assignment.feasible:
+        report = analyze_timing(s27_ctx, vdd, vth, assignment.widths)
+        assert report.meets(CYCLE, tolerance=1e-6)

@@ -1,0 +1,60 @@
+"""Tests for the yield-targeted robust optimizer."""
+
+import pytest
+
+from repro.analysis.montecarlo import VariationStatistics
+from repro.errors import InfeasibleError, OptimizationError
+from repro.optimize.heuristic import HeuristicSettings
+from repro.optimize.yield_opt import YieldTarget, optimize_for_yield
+
+FAST = HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=6,
+                         refine_rounds=1)
+FAST_TARGET_KWARGS = dict(samples=60, iterations=3, seed=5)
+
+
+def test_target_validation():
+    with pytest.raises(OptimizationError):
+        YieldTarget(timing_yield=0.0)
+    with pytest.raises(OptimizationError):
+        YieldTarget(max_tolerance=1.0)
+    with pytest.raises(OptimizationError):
+        YieldTarget(iterations=0)
+
+
+def test_zero_variation_accepts_nominal(s27_problem):
+    target = YieldTarget(timing_yield=0.99,
+                         statistics=VariationStatistics(sigma_die=0.0,
+                                                        sigma_within=0.0),
+                         **FAST_TARGET_KWARGS)
+    result = optimize_for_yield(s27_problem, target=target, settings=FAST)
+    assert result.tolerance == 0.0
+    assert result.timing_yield == 1.0
+
+
+def test_variation_forces_positive_tolerance(s27_problem):
+    statistics = VariationStatistics(sigma_die=0.03, sigma_within=0.02)
+    target = YieldTarget(timing_yield=0.95, statistics=statistics,
+                         **FAST_TARGET_KWARGS)
+    result = optimize_for_yield(s27_problem, target=target, settings=FAST)
+    assert result.tolerance > 0.0
+    assert result.timing_yield >= 0.95
+    assert result.result.feasible
+
+
+def test_compliant_design_costs_more_than_nominal(s27_problem):
+    from repro.optimize.heuristic import optimize_joint
+
+    statistics = VariationStatistics(sigma_die=0.03, sigma_within=0.02)
+    target = YieldTarget(timing_yield=0.95, statistics=statistics,
+                         **FAST_TARGET_KWARGS)
+    robust = optimize_for_yield(s27_problem, target=target, settings=FAST)
+    nominal = optimize_joint(s27_problem, settings=FAST)
+    assert robust.result.total_energy >= nominal.total_energy * 0.999
+
+
+def test_unreachable_target_raises(s27_problem):
+    statistics = VariationStatistics(sigma_die=0.25, sigma_within=0.20)
+    target = YieldTarget(timing_yield=0.999, statistics=statistics,
+                         max_tolerance=0.05, **FAST_TARGET_KWARGS)
+    with pytest.raises(InfeasibleError, match="unreachable"):
+        optimize_for_yield(s27_problem, target=target, settings=FAST)

@@ -1,0 +1,29 @@
+"""Tests for energy breakdowns."""
+
+import pytest
+
+from repro.power.breakdown import energy_breakdown
+
+
+def test_breakdown_partitions_dynamic(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    breakdown = energy_breakdown(s27_ctx, 1.0, 0.2, widths, 300e6)
+    assert breakdown.wire_dynamic + breakdown.device_dynamic \
+        == pytest.approx(breakdown.report.dynamic)
+    assert 0.0 < breakdown.wire_fraction < 1.0
+
+
+def test_ratio_and_hottest(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    breakdown = energy_breakdown(s27_ctx, 1.0, 0.2, widths, 300e6, top=3)
+    assert len(breakdown.hottest_gates) == 3
+    energies = [value for _, value in breakdown.hottest_gates]
+    assert energies == sorted(energies, reverse=True)
+    assert breakdown.static_to_dynamic_ratio == pytest.approx(
+        breakdown.report.static / breakdown.report.dynamic)
+
+
+def test_hottest_top_caps_at_gate_count(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    breakdown = energy_breakdown(s27_ctx, 1.0, 0.2, widths, 300e6, top=99)
+    assert len(breakdown.hottest_gates) == s27_ctx.network.gate_count

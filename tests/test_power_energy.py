@@ -1,0 +1,108 @@
+"""Tests for the energy models (eqs. A1, A2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.power.energy import (
+    dynamic_energy_of_gate,
+    static_energy_of_gate,
+    total_energy,
+)
+from repro.technology import leakage
+from repro.technology.process import Technology
+
+TECH = Technology.default()
+FC = 300e6
+
+
+def test_static_energy_formula(s27_ctx):
+    # E_si = Vdd * w * I_off / f_c with I_off at Vds = Vdd.
+    expected = 1.0 * 4.0 * leakage.off_current_per_width(TECH, 0.2,
+                                                         vds=1.0) / FC
+    value = static_energy_of_gate(s27_ctx, "G8", vdd=1.0, vth=0.2,
+                                  width=4.0, frequency=FC)
+    assert value == pytest.approx(expected)
+
+
+def test_static_energy_linear_in_width(s27_ctx):
+    one = static_energy_of_gate(s27_ctx, "G8", 1.0, 0.2, 1.0, FC)
+    five = static_energy_of_gate(s27_ctx, "G8", 1.0, 0.2, 5.0, FC)
+    assert five == pytest.approx(5 * one)
+
+
+def test_static_energy_exponential_in_vth(s27_ctx):
+    slope = TECH.subthreshold_slope
+    low = static_energy_of_gate(s27_ctx, "G8", 1.0, 0.2, 1.0, FC)
+    high = static_energy_of_gate(s27_ctx, "G8", 1.0, 0.2 + slope, 1.0, FC)
+    assert low / high == pytest.approx(10.0, rel=0.01)
+
+
+def test_dynamic_energy_formula(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    info = s27_ctx.info("G8")
+    load = s27_ctx.output_load("G8", widths)
+    expected = 0.5 * info.activity * 1.2 ** 2 * load
+    assert dynamic_energy_of_gate(s27_ctx, "G8", 1.2, widths) \
+        == pytest.approx(expected)
+
+
+def test_dynamic_energy_quadratic_in_vdd(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    one = dynamic_energy_of_gate(s27_ctx, "G8", 1.0, widths)
+    two = dynamic_energy_of_gate(s27_ctx, "G8", 2.0, widths)
+    assert two == pytest.approx(4 * one)
+
+
+def test_total_energy_report(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    report = total_energy(s27_ctx, 1.0, 0.2, widths, FC)
+    assert report.total == pytest.approx(report.static + report.dynamic)
+    assert report.total_power == pytest.approx(report.total * FC)
+    assert report.static_power == pytest.approx(report.static * FC)
+    assert 0.0 < report.static_fraction < 1.0
+    assert report.static == pytest.approx(
+        sum(report.per_gate_static.values()))
+    assert report.dynamic == pytest.approx(
+        sum(report.per_gate_dynamic.values()))
+
+
+def test_input_nets_carry_dynamic_energy(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    report = total_energy(s27_ctx, 1.0, 0.2, widths, FC)
+    for name in s27_ctx.network.inputs:
+        assert name in report.per_gate_dynamic
+        assert name not in report.per_gate_static
+
+
+def test_total_energy_with_vth_map(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    vth_map = {name: 0.2 for name in s27_ctx.network.logic_gates}
+    mapped = total_energy(s27_ctx, 1.0, vth_map, widths, FC)
+    scalar = total_energy(s27_ctx, 1.0, 0.2, widths, FC)
+    assert mapped.total == pytest.approx(scalar.total)
+
+
+def test_missing_width_rejected(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    del widths["G8"]
+    with pytest.raises(ReproError, match="no width"):
+        total_energy(s27_ctx, 1.0, 0.2, widths, FC)
+
+
+def test_validation_errors(s27_ctx):
+    with pytest.raises(ReproError):
+        static_energy_of_gate(s27_ctx, "G8", 1.0, 0.2, 4.0, frequency=0.0)
+    with pytest.raises(ReproError):
+        static_energy_of_gate(s27_ctx, "G8", 1.0, 0.2, 0.0, FC)
+
+
+@given(vdd=st.floats(min_value=0.1, max_value=3.3),
+       vth=st.floats(min_value=0.1, max_value=0.7),
+       width=st.floats(min_value=1.0, max_value=100.0))
+@settings(max_examples=80, deadline=None)
+def test_energies_positive(s27_ctx, vdd, vth, width):
+    widths = s27_ctx.uniform_widths(width)
+    report = total_energy(s27_ctx, vdd, vth, widths, FC)
+    assert report.static > 0.0
+    assert report.dynamic > 0.0

@@ -1,0 +1,65 @@
+"""Tests for the Figure 1 static back-bias model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TechnologyError
+from repro.technology.backbias import (
+    bias_for_target_vth,
+    body_effect_vth,
+    max_adjustable_vth,
+)
+from repro.technology.process import Technology
+
+TECH = Technology.default()
+
+
+def test_zero_bias_gives_natural_threshold():
+    assert body_effect_vth(TECH, 0.0) == pytest.approx(TECH.vth_natural)
+
+
+def test_body_effect_monotone_increasing():
+    previous = body_effect_vth(TECH, 0.0)
+    for bias in (0.5, 1.0, 2.0, 4.0):
+        current = body_effect_vth(TECH, bias)
+        assert current > previous
+        previous = current
+
+
+@given(st.floats(min_value=0.0, max_value=8.0))
+@settings(max_examples=100)
+def test_bias_roundtrip(bias):
+    vth = body_effect_vth(TECH, bias)
+    recovered = bias_for_target_vth(TECH, vth)
+    assert recovered == pytest.approx(bias, abs=1e-9)
+
+
+def test_forward_bias_rejected():
+    with pytest.raises(TechnologyError):
+        body_effect_vth(TECH, -0.1)
+
+
+def test_target_below_natural_rejected():
+    with pytest.raises(TechnologyError, match="below the natural"):
+        bias_for_target_vth(TECH, TECH.vth_natural - 0.05)
+
+
+def test_absurd_target_rejected():
+    with pytest.raises(TechnologyError, match="unrealistic"):
+        bias_for_target_vth(TECH, 5.0)
+
+
+def test_max_adjustable_vth():
+    limit = max_adjustable_vth(TECH, max_bias=5.0)
+    assert limit == pytest.approx(body_effect_vth(TECH, 5.0))
+    with pytest.raises(TechnologyError):
+        max_adjustable_vth(TECH, max_bias=-1.0)
+
+
+def test_paper_vth_range_is_reachable():
+    # The optimizer's 100-300 mV choices must be realizable with modest
+    # substrate/n-well biases.
+    for vth in (0.1, 0.2, 0.3):
+        if vth >= TECH.vth_natural:
+            bias = bias_for_target_vth(TECH, vth)
+            assert 0.0 <= bias < 3.0

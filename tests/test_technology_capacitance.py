@@ -1,0 +1,66 @@
+"""Tests for the gate capacitance models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TechnologyError
+from repro.technology.capacitance import (
+    GateCapacitances,
+    gate_capacitances,
+    output_load,
+)
+from repro.technology.process import Technology
+
+TECH = Technology.default()
+
+
+def test_input_cap_includes_complementary_pair():
+    caps = gate_capacitances(TECH, 2)
+    assert caps.input_cap == pytest.approx(
+        (1.0 + TECH.beta_ratio) * TECH.c_gate)
+
+
+def test_self_cap_grows_with_fanin():
+    two = gate_capacitances(TECH, 2).self_cap
+    four = gate_capacitances(TECH, 4).self_cap
+    assert four - two == pytest.approx(2 * TECH.c_intermediate)
+
+
+def test_inverter_has_no_intermediate_nodes():
+    inv = gate_capacitances(TECH, 1)
+    assert inv.self_cap == pytest.approx(
+        (1.0 + TECH.beta_ratio) * TECH.c_parasitic)
+
+
+def test_fanin_must_be_positive():
+    with pytest.raises(TechnologyError):
+        gate_capacitances(TECH, 0)
+
+
+def test_output_load_assembly():
+    load = output_load(TECH, fanin=2, width=4.0,
+                       fanout_widths=[2.0, 3.0], fanout_fanins=[2, 3],
+                       wire_cap=5e-15)
+    expected = (4.0 * gate_capacitances(TECH, 2).self_cap
+                + 5e-15
+                + 2.0 * gate_capacitances(TECH, 2).input_cap
+                + 3.0 * gate_capacitances(TECH, 3).input_cap)
+    assert load == pytest.approx(expected)
+
+
+def test_output_load_validates_inputs():
+    with pytest.raises(TechnologyError):
+        output_load(TECH, 2, 1.0, [1.0], [2, 3], 0.0)
+    with pytest.raises(TechnologyError):
+        output_load(TECH, 2, 1.0, [1.0], [2], -1e-15)
+
+
+@given(width=st.floats(min_value=1.0, max_value=100.0),
+       wire=st.floats(min_value=0.0, max_value=1e-12))
+@settings(max_examples=100)
+def test_output_load_monotone_in_width_and_wire(width, wire):
+    small = output_load(TECH, 2, width, [1.0], [2], wire)
+    bigger_width = output_load(TECH, 2, width + 1.0, [1.0], [2], wire)
+    bigger_wire = output_load(TECH, 2, width, [1.0], [2], wire + 1e-15)
+    assert bigger_width > small
+    assert bigger_wire > small

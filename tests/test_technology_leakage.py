@@ -1,0 +1,70 @@
+"""Tests for the leakage models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TechnologyError
+from repro.technology.leakage import (
+    junction_leakage_per_width,
+    leakage_decades_saved,
+    off_current_per_width,
+    subthreshold_off_current_per_width,
+)
+from repro.technology.process import Technology
+
+TECH = Technology.default()
+
+
+def test_one_slope_of_vth_is_one_decade():
+    slope = TECH.subthreshold_slope
+    low = subthreshold_off_current_per_width(TECH, 0.3)
+    high = subthreshold_off_current_per_width(TECH, 0.3 + slope)
+    assert low / high == pytest.approx(10.0, rel=1e-9)
+
+
+def test_off_current_includes_junction_leakage():
+    # At very high Vth the subthreshold part is negligible and the floor
+    # is the junction leakage.
+    total = off_current_per_width(TECH.with_overrides(vth_max=3.0), 2.5)
+    assert total == pytest.approx(junction_leakage_per_width(TECH), rel=1e-3)
+
+
+def test_off_current_at_anchor():
+    # I_off(Vth) = i0 * 10^(-Vth/S): check one decade below the anchor.
+    value = subthreshold_off_current_per_width(TECH, TECH.subthreshold_slope)
+    assert value == pytest.approx(TECH.subthreshold_i0 / 10.0)
+
+
+@given(st.floats(min_value=0.05, max_value=1.5))
+@settings(max_examples=100)
+def test_off_current_positive(vth):
+    assert off_current_per_width(TECH, vth) > 0.0
+
+
+@given(lo=st.floats(min_value=0.05, max_value=1.5),
+       hi=st.floats(min_value=0.05, max_value=1.5))
+@settings(max_examples=100)
+def test_off_current_monotone_decreasing_in_vth(lo, hi):
+    lo, hi = sorted((lo, hi))
+    assert off_current_per_width(TECH, lo) >= off_current_per_width(TECH, hi)
+
+
+def test_vds_factor_reduces_leakage_at_low_drain_bias():
+    full = subthreshold_off_current_per_width(TECH, 0.3)
+    throttled = subthreshold_off_current_per_width(TECH, 0.3, vds=0.01)
+    assert throttled < full
+
+
+def test_decades_saved():
+    assert leakage_decades_saved(TECH, 0.1, 0.1 + 2 * TECH.subthreshold_slope) \
+        == pytest.approx(2.0)
+    assert leakage_decades_saved(TECH, 0.3, 0.2) < 0.0
+
+
+def test_invalid_inputs():
+    with pytest.raises(TechnologyError):
+        subthreshold_off_current_per_width(TECH, 0.0)
+    with pytest.raises(TechnologyError):
+        subthreshold_off_current_per_width(TECH, 0.3, vds=-1.0)
+    with pytest.raises(TechnologyError):
+        leakage_decades_saved(TECH, -0.1, 0.3)

@@ -1,0 +1,103 @@
+"""Tests for deck serialization and the built-in library."""
+
+import json
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.technology.library import (
+    builtin_decks,
+    deck,
+    deck_names,
+    load_technology,
+    save_technology,
+    technology_from_dict,
+    technology_to_dict,
+)
+from repro.technology.process import Technology
+
+
+def test_roundtrip_dict():
+    original = Technology.default()
+    rebuilt = technology_from_dict(technology_to_dict(original))
+    assert rebuilt == original
+
+
+def test_roundtrip_file(tmp_path):
+    original = Technology.default().with_overrides(alpha=1.35,
+                                                   name="custom")
+    path = tmp_path / "deck.json"
+    save_technology(original, path)
+    loaded = load_technology(path)
+    assert loaded == original
+    assert loaded.alpha == 1.35
+
+
+def test_missing_format_marker():
+    with pytest.raises(TechnologyError, match="format marker"):
+        technology_from_dict({"alpha": 1.2})
+
+
+def test_wrong_version():
+    payload = technology_to_dict(Technology.default())
+    payload["_version"] = 99
+    with pytest.raises(TechnologyError, match="version"):
+        technology_from_dict(payload)
+
+
+def test_unknown_field_rejected():
+    payload = technology_to_dict(Technology.default())
+    payload["frobnication"] = 3
+    with pytest.raises(TechnologyError, match="unknown technology field"):
+        technology_from_dict(payload)
+
+
+def test_missing_field_rejected():
+    payload = technology_to_dict(Technology.default())
+    del payload["alpha"]
+    with pytest.raises(TechnologyError, match="missing field"):
+        technology_from_dict(payload)
+
+
+def test_invalid_values_rejected_on_load(tmp_path):
+    payload = technology_to_dict(Technology.default())
+    payload["alpha"] = 5.0  # outside [1, 2]
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(TechnologyError):
+        load_technology(path)
+
+
+def test_invalid_json(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("{not json")
+    with pytest.raises(TechnologyError, match="invalid JSON"):
+        load_technology(path)
+    path.write_text("[1, 2]")
+    with pytest.raises(TechnologyError, match="JSON object"):
+        load_technology(path)
+
+
+def test_builtin_decks_all_valid():
+    decks = builtin_decks()
+    assert "generic-0.25um" in decks
+    assert "generic-0.35um" in decks
+    assert "generic-0.18um" in decks
+    for name, tech in decks.items():
+        tech.validate()
+        assert tech.name == name
+
+
+def test_deck_lookup():
+    assert deck("generic-0.25um") == Technology.default()
+    with pytest.raises(TechnologyError, match="unknown deck"):
+        deck("tsmc-7nm")
+    assert deck_names() == tuple(sorted(builtin_decks()))
+
+
+def test_scaling_direction_across_library():
+    old = deck("generic-0.35um")
+    mid = deck("generic-0.25um")
+    new = deck("generic-0.18um")
+    assert old.c_gate > mid.c_gate > new.c_gate
+    assert old.feature_size > mid.feature_size > new.feature_size

@@ -1,0 +1,108 @@
+"""Tests for the transregional MOSFET model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TechnologyError
+from repro.technology.mosfet import (
+    drain_current_per_width,
+    saturation_current_per_width,
+    subthreshold_current_per_width,
+    transconductance_per_width,
+)
+from repro.technology.process import Technology
+
+TECH = Technology.default()
+
+voltages = st.floats(min_value=0.05, max_value=3.3)
+thresholds = st.floats(min_value=0.05, max_value=0.9)
+
+
+def test_reference_corner_is_exact():
+    current = drain_current_per_width(TECH, TECH.vdd_reference,
+                                      TECH.vth_reference)
+    assert current == pytest.approx(TECH.idsat_reference, rel=1e-6)
+
+
+def test_deep_subthreshold_matches_exponential():
+    # Far below threshold the transregional model must collapse to the
+    # anchored subthreshold exponential.
+    full = drain_current_per_width(TECH, 0.1, 0.7, vds=3.0)
+    asymptote = subthreshold_current_per_width(TECH, 0.1, 0.7)
+    assert full == pytest.approx(asymptote, rel=0.01)
+
+
+def test_strong_inversion_matches_alpha_power():
+    full = drain_current_per_width(TECH, 3.3, 0.3)
+    alpha_law = saturation_current_per_width(TECH, 3.3, 0.3)
+    # The calibrated threshold shift perturbs the pure alpha law slightly.
+    assert full == pytest.approx(alpha_law, rel=0.05)
+
+
+def test_saturation_current_zero_below_threshold():
+    assert saturation_current_per_width(TECH, 0.3, 0.7) == 0.0
+
+
+@given(vgs=voltages, vth=thresholds)
+@settings(max_examples=200)
+def test_current_positive_and_finite(vgs, vth):
+    current = drain_current_per_width(TECH, vgs, vth)
+    assert current > 0.0
+    assert math.isfinite(current)
+
+
+@given(vth=thresholds, lo=voltages, hi=voltages)
+@settings(max_examples=200)
+def test_current_monotone_in_vgs(vth, lo, hi):
+    lo, hi = sorted((lo, hi))
+    # Fixed drain bias isolates the gate-drive monotonicity.
+    i_lo = drain_current_per_width(TECH, lo, vth, vds=1.0)
+    i_hi = drain_current_per_width(TECH, hi, vth, vds=1.0)
+    assert i_hi >= i_lo
+
+
+@given(vgs=voltages, lo=thresholds, hi=thresholds)
+@settings(max_examples=200)
+def test_current_monotone_decreasing_in_vth(vgs, lo, hi):
+    lo, hi = sorted((lo, hi))
+    i_low_vth = drain_current_per_width(TECH, vgs, lo)
+    i_high_vth = drain_current_per_width(TECH, vgs, hi)
+    assert i_low_vth >= i_high_vth
+
+
+def test_transregional_smoothness_across_threshold():
+    # The transconductance must not jump at Vgs = Vth.
+    vth = 0.4
+    below = transconductance_per_width(TECH, vth - 0.01, vth)
+    at = transconductance_per_width(TECH, vth, vth)
+    above = transconductance_per_width(TECH, vth + 0.01, vth)
+    assert below < at < above
+    assert above / below < 5.0  # no orders-of-magnitude kink
+
+
+def test_drain_saturation_factor_kills_current_at_zero_vds():
+    assert drain_current_per_width(TECH, 1.0, 0.3, vds=0.0) == 0.0
+
+
+def test_drain_saturation_factor_saturates():
+    partial = drain_current_per_width(TECH, 1.0, 0.3, vds=0.5)
+    full = drain_current_per_width(TECH, 1.0, 0.3, vds=3.0)
+    assert partial == pytest.approx(full, rel=1e-6)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(TechnologyError):
+        drain_current_per_width(TECH, -0.1, 0.3)
+    with pytest.raises(TechnologyError):
+        drain_current_per_width(TECH, 1.0, 0.0)
+
+
+def test_calibration_is_stable_across_decks():
+    # Different decks must each hit their own reference corner.
+    for slope in (0.08, 0.095, 0.11):
+        deck = TECH.with_overrides(subthreshold_slope=slope)
+        current = drain_current_per_width(deck, deck.vdd_reference,
+                                          deck.vth_reference)
+        assert current == pytest.approx(deck.idsat_reference, rel=1e-5)

@@ -1,0 +1,97 @@
+"""Tests for the Technology deck."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TechnologyError
+from repro.technology.process import Technology
+
+
+def test_default_deck_is_valid():
+    tech = Technology.default()
+    assert tech.feature_size == pytest.approx(0.25e-6)
+    assert tech.vdd_max == pytest.approx(3.3)
+
+
+def test_current_factor_reproduces_reference_asymptote():
+    tech = Technology.default()
+    overdrive = tech.vdd_reference - tech.vth_reference
+    assert tech.current_factor * overdrive ** tech.alpha \
+        == pytest.approx(tech.idsat_reference)
+
+
+def test_ideality_consistent_with_slope():
+    tech = Technology.default()
+    assert tech.ideality * tech.thermal_voltage * math.log(10.0) \
+        == pytest.approx(tech.subthreshold_slope)
+
+
+def test_with_overrides_replaces_fields():
+    tech = Technology.default().with_overrides(alpha=1.5, name="custom")
+    assert tech.alpha == 1.5
+    assert tech.name == "custom"
+    # Original is untouched (frozen value object).
+    assert Technology.default().alpha != 1.5
+
+
+def test_with_overrides_rejects_unknown_field():
+    with pytest.raises(TechnologyError, match="unknown technology field"):
+        Technology.default().with_overrides(not_a_field=1.0)
+
+
+@pytest.mark.parametrize("field, value", [
+    ("feature_size", -1.0),
+    ("feature_size", 0.0),
+    ("alpha", 0.5),
+    ("alpha", 2.5),
+    ("subthreshold_slope", 0.0),
+    ("c_gate", -1e-15),
+    ("stack_derating", 1.5),
+    ("velocity_saturation_coeff", 0.1),
+    ("junction_leakage", -1e-18),
+])
+def test_invalid_fields_rejected(field, value):
+    with pytest.raises(TechnologyError):
+        Technology.default().with_overrides(**{field: value})
+
+
+def test_reference_corner_must_have_positive_overdrive():
+    with pytest.raises(TechnologyError):
+        Technology.default().with_overrides(vdd_reference=0.5,
+                                            vth_reference=0.7)
+
+
+def test_bad_ranges_rejected():
+    with pytest.raises(TechnologyError):
+        Technology.default().with_overrides(vdd_min=2.0, vdd_max=1.0)
+    with pytest.raises(TechnologyError):
+        Technology.default().with_overrides(width_min=10.0, width_max=5.0)
+
+
+def test_scaled_deck_scales_capacitance_and_drive():
+    base = Technology.default()
+    scaled = Technology.scaled(0.18e-6)
+    ratio = 0.18e-6 / base.feature_size
+    assert scaled.c_gate == pytest.approx(base.c_gate * ratio)
+    assert scaled.idsat_reference == pytest.approx(
+        base.idsat_reference * ratio)
+    assert scaled.wire_res_per_meter == pytest.approx(
+        base.wire_res_per_meter / ratio)
+    scaled.validate()
+
+
+def test_scaled_rejects_nonpositive_feature_size():
+    with pytest.raises(TechnologyError):
+        Technology.scaled(0.0)
+
+
+def test_technology_is_hashable_and_equal_by_value():
+    assert Technology.default() == Technology.default()
+    assert hash(Technology.default()) == hash(Technology.default())
+
+
+@given(st.floats(min_value=0.05e-6, max_value=1.0e-6))
+def test_scaled_decks_always_validate(feature_size):
+    Technology.scaled(feature_size).validate()

@@ -1,0 +1,162 @@
+"""Tests for Procedure 1 delay budgeting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TimingError
+from repro.netlist.benchmarks import benchmark_circuit, s27
+from repro.netlist.generator import GeneratorSpec, generate_network
+from repro.netlist.gates import GateType
+from repro.netlist.network import NetworkBuilder
+from repro.timing.budgeting import BudgetResult, assign_delay_budgets
+from repro.timing.paths import enumerate_critical_paths, node_weight
+
+CYCLE = 1.0 / 300e6
+
+
+def all_path_sums(network, budgets):
+    sums = []
+    for path in enumerate_critical_paths(network):
+        sums.append(sum(budgets[name] for name in path.gates(network)))
+    return sums
+
+
+@pytest.mark.parametrize("method", ["through", "paths"])
+def test_invariant_no_path_exceeds_cycle(method):
+    network = s27()
+    result = assign_delay_budgets(network, CYCLE, method=method)
+    for total in all_path_sums(network, result.budgets):
+        assert total <= CYCLE * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("method", ["through", "paths"])
+def test_longest_budget_path_is_exactly_target(method):
+    network = s27()
+    result = assign_delay_budgets(network, CYCLE, method=method)
+    assert result.longest_budget_path(network) == pytest.approx(CYCLE)
+
+
+def test_every_gate_budgeted_positive():
+    network = benchmark_circuit("s298")
+    result = assign_delay_budgets(network, CYCLE)
+    assert set(result.budgets) == set(network.logic_gates)
+    assert all(budget > 0.0 for budget in result.budgets.values())
+
+
+def test_skew_factor_shrinks_target():
+    network = s27()
+    full = assign_delay_budgets(network, CYCLE, skew_factor=1.0)
+    skewed = assign_delay_budgets(network, CYCLE, skew_factor=0.8)
+    assert skewed.effective_cycle_time == pytest.approx(0.8 * CYCLE)
+    assert skewed.longest_budget_path(network) \
+        == pytest.approx(0.8 * CYCLE)
+    assert full.budgets != skewed.budgets
+
+
+def test_budgets_scale_linearly_with_cycle_time():
+    network = s27()
+    one = assign_delay_budgets(network, CYCLE)
+    two = assign_delay_budgets(network, 2 * CYCLE)
+    for name in network.logic_gates:
+        assert two.budgets[name] == pytest.approx(2 * one.budgets[name])
+
+
+def test_through_budgets_proportional_to_fanout_on_critical_path():
+    # Along the most critical path, budget / fanout is constant before
+    # the slope post-processing; disable it to observe the pure rate.
+    network = s27()
+    result = assign_delay_budgets(network, CYCLE, method="through",
+                                  slope_max=0.0)
+    from repro.timing.paths import most_critical_path
+
+    path = most_critical_path(network)
+    rates = [result.budgets[name] / node_weight(network, name)
+             for name in path.gates(network)]
+    for rate in rates:
+        assert rate == pytest.approx(rates[0], rel=1e-6)
+
+
+def test_slope_post_processing_limits_driver_budgets():
+    network = benchmark_circuit("s298")
+    result = assign_delay_budgets(network, CYCLE, slope_max=0.25,
+                                  slope_share=0.6)
+    ceiling_ratio = 0.6 / 0.25
+    for name in network.logic_gates:
+        own = result.budgets[name]
+        for fanin in network.gate(name).fanins:
+            if fanin in result.budgets:
+                assert result.budgets[fanin] \
+                    <= ceiling_ratio * own * (1 + 1e-9)
+
+
+def test_paths_method_reports_enumeration():
+    network = s27()
+    result = assign_delay_budgets(network, CYCLE, method="paths")
+    assert result.paths_processed > 0
+    assert result.method == "paths"
+
+
+def test_paths_method_fallback_on_tiny_cap():
+    network = benchmark_circuit("s298")
+    result = assign_delay_budgets(network, CYCLE, method="paths",
+                                  max_paths=5)
+    assert result.fallback_gates  # most gates via the through rate
+    for total in all_path_sums(network, result.budgets):
+        assert total <= CYCLE * (1 + 1e-9)
+
+
+def test_dead_gates_get_loose_budgets():
+    builder = NetworkBuilder("dead")
+    builder.add_input("a")
+    builder.add_gate("live1", GateType.NOT, ["a"])
+    builder.add_gate("live2", GateType.NOT, ["live1"])
+    builder.add_gate("dead", GateType.NOT, ["a"])
+    network = builder.build(outputs=["live2"])
+    result = assign_delay_budgets(network, CYCLE, slope_max=0.0)
+    assert result.budgets["dead"] >= max(result.budgets["live1"],
+                                         result.budgets["live2"])
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(cycle_time=0.0),
+    dict(cycle_time=-1.0),
+    dict(cycle_time=CYCLE, skew_factor=0.0),
+    dict(cycle_time=CYCLE, skew_factor=1.5),
+    dict(cycle_time=CYCLE, slope_max=0.9),
+    dict(cycle_time=CYCLE, slope_share=1.0),
+    dict(cycle_time=CYCLE, method="bogus"),
+])
+def test_parameter_validation(kwargs):
+    with pytest.raises(TimingError):
+        assign_delay_budgets(s27(), **kwargs)
+
+
+@given(seed=st.integers(min_value=0, max_value=300),
+       method=st.sampled_from(["through", "paths"]))
+@settings(max_examples=20, deadline=None)
+def test_invariant_on_random_networks(seed, method):
+    spec = GeneratorSpec(name="r", n_inputs=5, n_outputs=4, n_gates=30,
+                         depth=5, seed=seed)
+    network = generate_network(spec)
+    result = assign_delay_budgets(network, CYCLE, method=method)
+    for total in all_path_sums(network, result.budgets):
+        assert total <= CYCLE * (1 + 1e-9)
+    assert result.longest_budget_path(network) == pytest.approx(CYCLE)
+
+
+def test_unit_criticality_scheme():
+    network = s27()
+    result = assign_delay_budgets(network, CYCLE, criticality="unit",
+                                  slope_max=0.0)
+    # With unit weights the most critical path is the deepest one and
+    # each of its gates gets an equal share of the cycle.
+    for total in all_path_sums(network, result.budgets):
+        assert total <= CYCLE * (1 + 1e-9)
+    deepest_share = CYCLE / network.depth
+    budgets = sorted(result.budgets.values())
+    assert budgets[0] == pytest.approx(deepest_share, rel=1e-6)
+
+
+def test_unknown_criticality_scheme_rejected():
+    with pytest.raises(TimingError):
+        assign_delay_budgets(s27(), CYCLE, criticality="bogus")

@@ -1,0 +1,143 @@
+"""Tests for the transregional gate delay model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TimingError
+from repro.technology.process import Technology
+from repro.timing.delay_model import (
+    DelayBreakdown,
+    effective_drive_per_width,
+    fixed_delay_floor,
+    gate_delay,
+    gate_delay_breakdown,
+    slope_coefficient,
+    stack_height_factor,
+)
+
+TECH = Technology.default()
+
+vdds = st.floats(min_value=0.3, max_value=3.3)
+vths = st.floats(min_value=0.1, max_value=0.7)
+widths_strategy = st.floats(min_value=1.0, max_value=100.0)
+
+
+def test_slope_coefficient_limits():
+    # Deep superthreshold: small; at/below threshold: clamps to 1/2.
+    assert slope_coefficient(TECH, 3.3, 0.1) < 0.2
+    assert slope_coefficient(TECH, 0.3, 0.5) == 0.5
+    assert slope_coefficient(TECH, 1.0, 1.0) == 0.5
+
+
+def test_slope_coefficient_monotone_in_vth():
+    values = [slope_coefficient(TECH, 1.0, vth)
+              for vth in (0.1, 0.2, 0.4, 0.6)]
+    assert values == sorted(values)
+
+
+def test_slope_coefficient_rejects_bad_vdd():
+    with pytest.raises(TimingError):
+        slope_coefficient(TECH, 0.0, 0.3)
+
+
+def test_stack_height_factor():
+    assert stack_height_factor(TECH, 1) == 1.0
+    assert stack_height_factor(TECH, 3) == pytest.approx(
+        1.0 + 2 * TECH.stack_derating)
+    with pytest.raises(TimingError):
+        stack_height_factor(TECH, 0)
+
+
+def test_effective_drive_decreases_with_fanin():
+    one = effective_drive_per_width(TECH, 1.0, 0.2, 1)
+    four = effective_drive_per_width(TECH, 1.0, 0.2, 4)
+    assert one > four > 0.0
+
+
+def test_effective_drive_can_go_negative_in_deep_subthreshold():
+    # Tiny Vdd, moderate Vth, big stack: contention can kill the drive.
+    drive = effective_drive_per_width(TECH, 0.05, 0.45, 4)
+    assert drive <= 0.0 or drive < effective_drive_per_width(
+        TECH, 0.05, 0.45, 1)
+
+
+def test_gate_delay_breakdown_components(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    breakdown = gate_delay_breakdown(s27_ctx, "G8", 1.0, 0.2, widths,
+                                     max_fanin_delay=1e-10)
+    assert breakdown.slope > 0.0
+    assert breakdown.switching > 0.0
+    assert breakdown.wire_rc >= 0.0
+    assert breakdown.flight > 0.0
+    assert breakdown.total == pytest.approx(
+        breakdown.slope + breakdown.switching + breakdown.wire_rc
+        + breakdown.flight)
+
+
+def test_gate_delay_infinite_when_drive_dies(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    delay = gate_delay(s27_ctx, "G9", 0.02, 0.6, widths, 0.0)
+    assert math.isinf(delay)
+
+
+@given(vdd=vdds, vth=vths, w_lo=widths_strategy, w_hi=widths_strategy)
+@settings(max_examples=80, deadline=None)
+def test_delay_monotone_decreasing_in_own_width(s27_ctx, vdd, vth,
+                                                w_lo, w_hi):
+    w_lo, w_hi = sorted((w_lo, w_hi))
+    widths = s27_ctx.uniform_widths(4.0)
+    widths["G9"] = w_lo
+    slow = gate_delay(s27_ctx, "G9", vdd, vth, widths, 0.0)
+    widths["G9"] = w_hi
+    fast = gate_delay(s27_ctx, "G9", vdd, vth, widths, 0.0)
+    assert fast <= slow * (1 + 1e-12)
+
+
+@given(vth=vths, v_lo=vdds, v_hi=vdds)
+@settings(max_examples=80, deadline=None)
+def test_switching_delay_improves_with_vdd(s27_ctx, vth, v_lo, v_hi):
+    v_lo, v_hi = sorted((v_lo, v_hi))
+    widths = s27_ctx.uniform_widths(4.0)
+    slow = gate_delay_breakdown(s27_ctx, "G9", v_lo, vth, widths, 0.0)
+    fast = gate_delay_breakdown(s27_ctx, "G9", v_hi, vth, widths, 0.0)
+    assert fast.switching <= slow.switching * (1 + 1e-9)
+
+
+@given(vdd=vdds, t_lo=vths, t_hi=vths)
+@settings(max_examples=80, deadline=None)
+def test_delay_monotone_increasing_in_vth(s27_ctx, vdd, t_lo, t_hi):
+    t_lo, t_hi = sorted((t_lo, t_hi))
+    widths = s27_ctx.uniform_widths(4.0)
+    fast = gate_delay(s27_ctx, "G9", vdd, t_lo, widths, 0.0)
+    slow = gate_delay(s27_ctx, "G9", vdd, t_hi, widths, 0.0)
+    assert slow >= fast * (1 - 1e-12)
+
+
+def test_slope_term_scales_with_fanin_delay(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    base = gate_delay(s27_ctx, "G9", 1.0, 0.2, widths, 0.0)
+    with_slope = gate_delay(s27_ctx, "G9", 1.0, 0.2, widths, 1e-9)
+    coefficient = slope_coefficient(TECH, 1.0, 0.2)
+    assert with_slope - base == pytest.approx(coefficient * 1e-9)
+
+
+def test_negative_fanin_delay_rejected(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    with pytest.raises(TimingError):
+        gate_delay(s27_ctx, "G9", 1.0, 0.2, widths, -1.0)
+
+
+def test_nonpositive_width_rejected(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    widths["G9"] = 0.0
+    with pytest.raises(TimingError):
+        gate_delay(s27_ctx, "G9", 1.0, 0.2, widths, 0.0)
+
+
+def test_fixed_delay_floor_is_width_and_voltage_free(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    floor = fixed_delay_floor(s27_ctx, "G9", widths)
+    breakdown = gate_delay_breakdown(s27_ctx, "G9", 2.0, 0.3, widths, 0.0)
+    assert floor == pytest.approx(breakdown.wire_rc + breakdown.flight)

@@ -1,0 +1,165 @@
+"""Tests for K-most-critical path enumeration."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TimingError
+from repro.netlist.benchmarks import s27
+from repro.netlist.gates import GateType
+from repro.netlist.generator import GeneratorSpec, generate_network
+from repro.netlist.network import NetworkBuilder
+from repro.timing.paths import (
+    criticality_suffixes,
+    criticality_through,
+    enumerate_critical_paths,
+    most_critical_path,
+    node_weight,
+)
+
+
+def diamond():
+    builder = NetworkBuilder("diamond")
+    builder.add_input("a")
+    builder.add_gate("top", GateType.NOT, ["a"])
+    builder.add_gate("left", GateType.NOT, ["top"])
+    builder.add_gate("right", GateType.NOT, ["top"])
+    builder.add_gate("join", GateType.AND, ["left", "right"])
+    return builder.build(outputs=["join"])
+
+
+def brute_force_paths(network):
+    """All input→output paths by DFS, with their criticalities."""
+    paths = []
+
+    def walk(node, acc_nodes, acc_crit):
+        if node in set(network.outputs):
+            paths.append((tuple(acc_nodes), acc_crit))
+        for sink in network.fanouts(node):
+            walk(sink, acc_nodes + [sink],
+                 acc_crit + node_weight(network, sink))
+
+    for source in network.inputs:
+        walk(source, [source], node_weight(network, source))
+    return paths
+
+
+def test_node_weight():
+    network = diamond()
+    assert node_weight(network, "a") == 0  # primary input
+    assert node_weight(network, "top") == 2
+    assert node_weight(network, "join") == 1  # boundary load
+
+
+def test_diamond_paths():
+    network = diamond()
+    paths = list(enumerate_critical_paths(network))
+    assert len(paths) == 2
+    # Both paths have identical criticality 2 + 1 + 1 = 4.
+    assert all(path.criticality == 4 for path in paths)
+    assert {path.nodes[2] for path in paths} == {"left", "right"}
+
+
+def test_most_critical_path_s27():
+    path = most_critical_path(s27())
+    assert path.criticality >= 1
+    network = s27()
+    assert network.gate(path.source).is_input
+    assert path.sink in network.outputs
+
+
+def test_emission_order_nonincreasing_s27():
+    criticalities = [path.criticality
+                     for path in enumerate_critical_paths(s27())]
+    assert criticalities == sorted(criticalities, reverse=True)
+
+
+def test_enumeration_matches_brute_force_s27():
+    network = s27()
+    expected = brute_force_paths(network)
+    produced = list(enumerate_critical_paths(network))
+    assert len(produced) == len(expected)
+    assert {nodes for nodes, _ in expected} \
+        == {path.nodes for path in produced}
+    expected_crits = sorted((crit for _, crit in expected), reverse=True)
+    assert [path.criticality for path in produced] == expected_crits
+
+
+def test_max_paths_limits_emission():
+    network = s27()
+    produced = list(enumerate_critical_paths(network, max_paths=3))
+    assert len(produced) == 3
+    with pytest.raises(TimingError):
+        list(enumerate_critical_paths(network, max_paths=-1))
+
+
+def test_path_gates_drop_inputs():
+    network = s27()
+    path = most_critical_path(network)
+    gates = path.gates(network)
+    assert all(not network.gate(name).is_input for name in gates)
+    assert len(gates) == len(path) - 1  # exactly one input at the front
+
+
+def test_suffixes_consistent_with_most_critical_path():
+    network = s27()
+    suffixes = criticality_suffixes(network)
+    best = max(suffixes.get(source, -1) for source in network.inputs)
+    assert best == most_critical_path(network).criticality
+
+
+def test_criticality_through_bounds():
+    network = s27()
+    through = criticality_through(network)
+    best = most_critical_path(network).criticality
+    assert max(through.values()) == best
+    for name in network.logic_gates:
+        assert through[name] >= node_weight(network, name)
+
+
+def test_dead_gate_excluded_from_paths():
+    builder = NetworkBuilder("dead")
+    builder.add_input("a")
+    builder.add_gate("live", GateType.NOT, ["a"])
+    builder.add_gate("dead", GateType.NOT, ["a"])
+    network = builder.build(outputs=["live"])
+    for path in enumerate_critical_paths(network):
+        assert "dead" not in path.nodes
+    assert criticality_through(network)["dead"] == -1
+
+
+def test_output_with_fanout_still_terminates_path():
+    builder = NetworkBuilder("tap")
+    builder.add_input("a")
+    builder.add_gate("mid", GateType.NOT, ["a"])  # also a primary output
+    builder.add_gate("end", GateType.NOT, ["mid"])
+    network = builder.build(outputs=["mid", "end"])
+    paths = {path.nodes for path in enumerate_critical_paths(network)}
+    assert ("a", "mid") in paths
+    assert ("a", "mid", "end") in paths
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None)
+def test_enumeration_matches_brute_force_random(seed):
+    spec = GeneratorSpec(name="r", n_inputs=4, n_outputs=3, n_gates=18,
+                         depth=4, seed=seed)
+    network = generate_network(spec)
+    expected = brute_force_paths(network)
+    produced = list(enumerate_critical_paths(network))
+    assert len(produced) == len(expected)
+    expected_crits = sorted((crit for _, crit in expected), reverse=True)
+    assert [path.criticality for path in produced] == expected_crits
+
+
+def test_unit_scheme_counts_gates():
+    network = s27()
+    path = most_critical_path(network, scheme="unit")
+    assert path.criticality == len(path.gates(network))
+    assert path.criticality == network.depth
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(TimingError):
+        node_weight(s27(), "G8", scheme="bogus")

@@ -1,0 +1,92 @@
+"""Tests for static timing analysis."""
+
+import math
+
+import pytest
+
+from repro.errors import TimingError
+from repro.timing.sta import analyze_timing
+from repro.units import NS
+
+
+def test_inputs_have_zero_delay_and_arrival(s27_ctx):
+    report = analyze_timing(s27_ctx, 2.0, 0.3, s27_ctx.uniform_widths(4.0))
+    for name in s27_ctx.network.inputs:
+        assert report.delay(name) == 0.0
+        assert report.arrival(name) == 0.0
+
+
+def test_arrival_is_max_fanin_plus_own_delay(s27_ctx):
+    report = analyze_timing(s27_ctx, 2.0, 0.3, s27_ctx.uniform_widths(4.0))
+    network = s27_ctx.network
+    for name in network.logic_gates:
+        gate = network.gate(name)
+        expected = max(report.arrival(f) for f in gate.fanins) \
+            + report.delay(name)
+        assert report.arrival(name) == pytest.approx(expected)
+
+
+def test_critical_delay_is_worst_output(s27_ctx):
+    report = analyze_timing(s27_ctx, 2.0, 0.3, s27_ctx.uniform_widths(4.0))
+    worst = max(report.arrival(o) for o in s27_ctx.network.outputs)
+    assert report.critical_delay == pytest.approx(worst)
+
+
+def test_critical_path_is_connected_and_ends_at_endpoint(s27_ctx):
+    report = analyze_timing(s27_ctx, 2.0, 0.3, s27_ctx.uniform_widths(4.0))
+    path = report.critical_path
+    network = s27_ctx.network
+    assert network.gate(path[0]).is_input
+    assert path[-1] in network.outputs
+    for upstream, downstream in zip(path, path[1:]):
+        assert upstream in network.gate(downstream).fanins
+
+
+def test_critical_path_arrival_sums_to_critical_delay(s27_ctx):
+    report = analyze_timing(s27_ctx, 2.0, 0.3, s27_ctx.uniform_widths(4.0))
+    total = sum(report.delay(name) for name in report.critical_path)
+    assert total == pytest.approx(report.critical_delay)
+
+
+def test_meets_and_slack(s27_ctx):
+    report = analyze_timing(s27_ctx, 2.0, 0.3, s27_ctx.uniform_widths(4.0))
+    cycle = report.critical_delay * 1.1
+    assert report.meets(cycle)
+    assert report.slack(cycle) == pytest.approx(0.1 * report.critical_delay,
+                                                rel=1e-6)
+    tight = report.critical_delay * 0.9
+    assert not report.meets(tight)
+    assert report.slack(tight) < 0.0
+
+
+def test_wider_gates_reduce_critical_delay(s27_ctx):
+    narrow = analyze_timing(s27_ctx, 2.0, 0.3, s27_ctx.uniform_widths(2.0))
+    wide = analyze_timing(s27_ctx, 2.0, 0.3, s27_ctx.uniform_widths(8.0))
+    assert wide.critical_delay < narrow.critical_delay
+
+
+def test_lower_vdd_increases_critical_delay(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    fast = analyze_timing(s27_ctx, 3.0, 0.3, widths)
+    slow = analyze_timing(s27_ctx, 0.8, 0.3, widths)
+    assert slow.critical_delay > fast.critical_delay
+
+
+def test_per_gate_vth_map_supported(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    vth_map = {name: 0.3 for name in s27_ctx.network.logic_gates}
+    mapped = analyze_timing(s27_ctx, 2.0, vth_map, widths)
+    scalar = analyze_timing(s27_ctx, 2.0, 0.3, widths)
+    assert mapped.critical_delay == pytest.approx(scalar.critical_delay)
+
+
+def test_missing_vth_in_map_rejected(s27_ctx):
+    widths = s27_ctx.uniform_widths(4.0)
+    with pytest.raises(TimingError):
+        analyze_timing(s27_ctx, 2.0, {"G8": 0.3}, widths)
+
+
+def test_infinite_delay_reported_for_dead_corner(s27_ctx):
+    report = analyze_timing(s27_ctx, 0.02, 0.6, s27_ctx.uniform_widths(4.0))
+    assert math.isinf(report.critical_delay)
+    assert not report.meets(1.0)

@@ -1,0 +1,51 @@
+"""Unit-helper tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_frequency_constants():
+    assert units.MHZ == 1e6
+    assert units.GHZ == 1e9
+
+
+def test_time_constants():
+    assert units.NS == 1e-9
+    assert units.PS == 1e-12
+
+
+def test_to_unit_roundtrip():
+    assert units.to_unit(3.3e-9, units.NS) == pytest.approx(3.3)
+    assert units.from_unit(300, units.MHZ) == pytest.approx(3e8)
+
+
+@given(st.floats(min_value=1e-18, max_value=1e9, allow_nan=False),
+       st.sampled_from([units.NS, units.FF, units.MHZ, units.UM]))
+def test_to_from_unit_inverse(value, unit):
+    assert units.from_unit(units.to_unit(value, unit), unit) \
+        == pytest.approx(value, rel=1e-12)
+
+
+@pytest.mark.parametrize("value, expected", [
+    (3.3e-9, "3.300 ns"),
+    (2.5e-13, "250.000 fs"),
+    (0.0, "0.000 s"),
+    (1.5, "1.500 s"),
+    (2.2e6, "2.200 Ms"),
+    (4.4e3, "4.400 ks"),
+])
+def test_format_si(value, expected):
+    assert units.format_si(value, "s") == expected
+
+
+def test_format_si_tiny_value_falls_back_to_exponent():
+    text = units.format_si(1e-21, "J")
+    assert "e-" in text
+
+
+def test_format_si_negative():
+    assert units.format_si(-3.3e-9, "s") == "-3.300 ns"

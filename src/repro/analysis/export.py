@@ -16,6 +16,7 @@ from typing import Iterable, Sequence
 
 from repro import __version__
 from repro.errors import ReproError
+from repro.runtime.atomicio import atomic_write_text
 
 
 def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -39,11 +40,13 @@ def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]],
 def write_csv(path: str | Path, headers: Sequence[str],
               rows: Iterable[Sequence[object]],
               provenance: str | None = None) -> Path:
-    """Write :func:`render_csv` output to ``path`` and return it."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_csv(headers, rows, provenance=provenance))
-    return path
+    """Write :func:`render_csv` output to ``path`` and return it.
+
+    The write is atomic (tempfile + ``os.replace``), so an interrupted
+    export never leaves a truncated CSV behind.
+    """
+    return atomic_write_text(path, render_csv(headers, rows,
+                                              provenance=provenance))
 
 
 def table1_rows_to_csv(rows) -> str:

@@ -28,7 +28,7 @@ from repro.activity.profiles import uniform_profile
 from repro.activity.simulation import simulate_activity
 from repro.activity.transition_density import estimate_activity
 from repro.analysis.report import format_energy, format_table
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, ReproError
 from repro.netlist.bench import parse_bench_file
 from repro.netlist.benchmarks import benchmark_circuit, benchmark_names
 from repro.netlist.sequential import (
@@ -40,6 +40,7 @@ from repro.netlist.validate import lint
 from repro.optimize.baseline import optimize_fixed_vth
 from repro.optimize.heuristic import HeuristicSettings, optimize_joint
 from repro.optimize.problem import OptimizationProblem
+from repro.runtime.controller import RunController
 from repro.technology.library import deck, deck_names, load_technology
 from repro.technology.process import Technology
 from repro.units import MHZ, NS, PS
@@ -97,13 +98,46 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             tech, network, profile, frequency=args.frequency * MHZ,
             n_vth=args.n_vth, activity_method=args.activity_method)
 
-    settings = HeuristicSettings(strategy=args.strategy)
-    if problem.n_vth > 1:
-        from repro.optimize.multivth import optimize_multi_vth
+    controller = None
+    if args.deadline is not None or args.checkpoint is not None:
+        controller = RunController(deadline_s=args.deadline,
+                                   checkpoint_path=args.checkpoint)
+    resume_from = args.resume
+    settings = HeuristicSettings(strategy=args.strategy,
+                                 controller=controller)
+    try:
+        if problem.n_vth > 1:
+            from repro.optimize.multivth import MultiVthSettings, \
+                optimize_multi_vth
 
-        result = optimize_multi_vth(problem)
-    else:
-        result = optimize_joint(problem, settings=settings)
+            result = optimize_multi_vth(
+                problem,
+                settings=MultiVthSettings(single=settings,
+                                          controller=controller),
+                resume_from=resume_from)
+        elif args.fallback:
+            from repro.runtime.fallback import optimize_with_fallback
+
+            result = optimize_with_fallback(problem, settings=settings,
+                                            resume_from=resume_from)
+        else:
+            result = optimize_joint(problem, settings=settings,
+                                    resume_from=resume_from)
+    except DeadlineExceeded as error:
+        print(f"error: {error}", file=sys.stderr)
+        checkpoint = resume_from or args.checkpoint
+        if checkpoint:
+            print(f"partial search state saved to {checkpoint}; re-run "
+                  f"with --resume {checkpoint} to continue",
+                  file=sys.stderr)
+        return 2
+
+    degradation = getattr(result, "degradation", None)
+    if degradation:
+        stage = degradation.get("stage")
+        print(f"warning: degraded result (recovered via stage {stage!r}); "
+              f"see the JSON 'degradation' field for diagnostics",
+              file=sys.stderr)
 
     rows = [["joint",
              "/".join(f"{v:.2f}" for v in result.design.distinct_vdds()),
@@ -114,6 +148,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
              format_energy(result.total_energy),
              f"{result.timing.critical_delay / NS:.3f}"]]
     payload = {"joint": result.summary()}
+    if degradation:
+        payload["degradation"] = {key: value for key, value
+                                  in degradation.items()}
     if args.baseline:
         baseline = optimize_fixed_vth(problem)
         rows.insert(0, ["baseline (Vth=700mV)",
@@ -233,6 +270,21 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--save-design", default=None, metavar="PATH",
                           help="write the optimized design point to a "
                                "JSON file")
+    optimize.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget; exceeding it aborts "
+                               "with exit code 2 (resumable if "
+                               "checkpointing)")
+    optimize.add_argument("--checkpoint", default=None, metavar="PATH",
+                          help="checkpoint the search state to PATH as "
+                               "it runs")
+    optimize.add_argument("--resume", default=None, metavar="PATH",
+                          help="resume an interrupted search from (and "
+                               "keep checkpointing to) PATH")
+    optimize.add_argument("--fallback", action="store_true",
+                          help="on failure, walk the strategy fallback "
+                               "chain (grid -> paper -> relaxed clock) "
+                               "and return a labeled degraded result")
     optimize.set_defaults(handler=_cmd_optimize)
 
     info = subparsers.add_parser("info", help="show circuit statistics")

@@ -49,3 +49,45 @@ class OptimizationError(ReproError):
 
 class ActivityError(ReproError):
     """Activity/transition-density estimation was given invalid inputs."""
+
+
+# --- resilient-runtime taxonomy (see :mod:`repro.runtime`) ---------------
+
+
+class RuntimeControlError(ReproError):
+    """Base class for run-control conditions (deadline, cancellation)."""
+
+
+class DeadlineExceeded(RuntimeControlError):
+    """The wall-clock deadline of a :class:`~repro.runtime.RunController`
+    expired before the run completed.
+
+    Long searches flush their checkpoint before raising, so the run can
+    be resumed with ``resume_from=`` / ``--resume``.
+    """
+
+
+class RunCancelled(RuntimeControlError):
+    """The run was cooperatively cancelled via ``RunController.cancel()``."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is corrupt, truncated, or belongs to a
+    different search (mismatched network/strategy fingerprint)."""
+
+
+class FaultInjectedError(ReproError):
+    """An error deliberately raised by the fault-injection harness
+    (:mod:`repro.runtime.faults`); never raised in production runs."""
+
+
+class FallbackExhaustedError(OptimizationError):
+    """Every strategy in a fallback chain failed.
+
+    Carries the per-stage diagnostics so callers can report what was
+    attempted; see :mod:`repro.runtime.fallback`.
+    """
+
+    def __init__(self, message: str, attempts: tuple = ()):  # noqa: D401
+        self.attempts = tuple(attempts)
+        super().__init__(message)

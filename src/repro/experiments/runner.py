@@ -2,10 +2,21 @@
 
 Usage::
 
-    python -m repro.experiments.runner              # everything
-    python -m repro.experiments.runner table1 fig2a # a subset
+    python -m repro.experiments.runner                 # everything
+    python -m repro.experiments.runner table1 fig2a    # a subset
+    python -m repro.experiments.runner --list          # enumerate names
+    python -m repro.experiments.runner --deadline 900  # wall-clock bound
 
 Prints the regenerated tables/figures to stdout, in the paper's order.
+
+Experiments are *isolated*: a failure in one prints a compact traceback
+summary and the suite continues with the rest (``--fail-fast`` restores
+abort-on-first-failure). A summary table reports per-experiment status
+at the end, and the exit code is nonzero iff anything failed — so a
+batch job always produces every result it can, and CI still notices.
+``--deadline`` installs an ambient :class:`~repro.runtime.RunController`
+for the whole suite; an experiment that exhausts the budget is reported
+as timed out and the remaining ones are skipped.
 """
 
 from __future__ import annotations
@@ -13,8 +24,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Sequence
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TextIO
 
+from repro.errors import DeadlineExceeded, RunCancelled
 from repro.experiments.annealing_compare import (
     format_annealing_comparison,
     run_annealing_comparison,
@@ -23,6 +37,7 @@ from repro.experiments.figure2a import format_figure2a, run_figure2a
 from repro.experiments.figure2b import format_figure2b, run_figure2b
 from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.table2 import run_table2, format_table2
+from repro.runtime.controller import RunController, use_controller
 
 _EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": lambda: format_table1(run_table1()),
@@ -32,28 +47,150 @@ _EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "anneal": lambda: format_annealing_comparison(run_annealing_comparison()),
 }
 
+#: Traceback frames kept in a failure summary.
+_TRACEBACK_FRAMES = 4
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """Per-experiment result of one suite run."""
+
+    name: str
+    #: "ok", "failed", "timeout", or "skipped".
+    status: str
+    elapsed_s: float
+    #: Compact traceback summary ("" when the experiment succeeded).
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _failure_summary(error: BaseException) -> str:
+    """The last few traceback frames plus the exception line."""
+    frames = traceback.extract_tb(error.__traceback__)
+    lines = traceback.format_list(frames[-_TRACEBACK_FRAMES:])
+    lines += traceback.format_exception_only(type(error), error)
+    return "".join(lines).rstrip()
+
+
+def run_experiments(names: Sequence[str], fail_fast: bool = False,
+                    deadline_s: Optional[float] = None,
+                    stream: TextIO | None = None
+                    ) -> List[ExperimentOutcome]:
+    """Run the named experiments with per-experiment error isolation.
+
+    Returns one :class:`ExperimentOutcome` per requested experiment, in
+    order. A failing experiment contributes a ``failed`` outcome (with
+    a traceback summary) and the run continues unless ``fail_fast``;
+    once a shared ``deadline_s`` budget is exhausted the failing
+    experiment is ``timeout`` and the remainder are ``skipped``.
+    """
+    stream = stream if stream is not None else sys.stdout
+    controller = (RunController(deadline_s=deadline_s)
+                  if deadline_s is not None else None)
+    outcomes: List[ExperimentOutcome] = []
+    pending = list(names)
+    with use_controller(controller):
+        while pending:
+            name = pending.pop(0)
+            start = time.perf_counter()
+            try:
+                if controller is not None:
+                    controller.check(f"experiment {name}")
+                output = _EXPERIMENTS[name]()
+            except (DeadlineExceeded, RunCancelled) as error:
+                elapsed = time.perf_counter() - start
+                status = ("timeout" if isinstance(error, DeadlineExceeded)
+                          else "failed")
+                outcomes.append(ExperimentOutcome(
+                    name=name, status=status, elapsed_s=elapsed,
+                    error=str(error)))
+                print(f"[{name} {status} after {elapsed:.1f} s: {error}]",
+                      file=stream)
+                # The budget is shared: nothing left for the rest.
+                outcomes.extend(
+                    ExperimentOutcome(name=rest, status="skipped",
+                                      elapsed_s=0.0,
+                                      error="suite deadline exhausted")
+                    for rest in pending)
+                break
+            except Exception as error:  # noqa: BLE001 - isolation boundary
+                elapsed = time.perf_counter() - start
+                summary = _failure_summary(error)
+                outcomes.append(ExperimentOutcome(
+                    name=name, status="failed", elapsed_s=elapsed,
+                    error=summary))
+                print(f"[{name} FAILED after {elapsed:.1f} s]", file=stream)
+                print(summary, file=stream)
+                print(file=stream)
+                if fail_fast:
+                    outcomes.extend(
+                        ExperimentOutcome(name=rest, status="skipped",
+                                          elapsed_s=0.0,
+                                          error="--fail-fast")
+                        for rest in pending)
+                    break
+                continue
+            elapsed = time.perf_counter() - start
+            outcomes.append(ExperimentOutcome(name=name, status="ok",
+                                              elapsed_s=elapsed))
+            print(output, file=stream)
+            print(f"[{name} regenerated in {elapsed:.1f} s]", file=stream)
+            print(file=stream)
+    return outcomes
+
+
+def format_summary(outcomes: Sequence[ExperimentOutcome]) -> str:
+    """Aligned status table for the end of a suite run."""
+    width = max((len(outcome.name) for outcome in outcomes), default=4)
+    lines = ["experiment summary:"]
+    for outcome in outcomes:
+        note = ""
+        if outcome.status in ("timeout", "skipped") and outcome.error:
+            note = f"  ({outcome.error.splitlines()[0]})"
+        lines.append(f"  {outcome.name:<{width}}  {outcome.status:<7}"
+                     f"  {outcome.elapsed_s:7.1f} s{note}")
+    failed = sum(1 for outcome in outcomes if not outcome.ok)
+    lines.append(f"  {len(outcomes)} run, {len(outcomes) - failed} ok, "
+                 f"{failed} not ok")
+    return "\n".join(lines)
+
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the selected experiments (all by default)."""
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures.")
-    parser.add_argument("experiments", nargs="*",
-                        choices=[*_EXPERIMENTS, "all"],
-                        default=["all"],
-                        help="which experiments to run (default: all)")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="which experiments to run: "
+                             f"{', '.join(_EXPERIMENTS)}, or all "
+                             "(default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the available experiment names and exit")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort the suite on the first failure")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the whole suite")
     arguments = parser.parse_args(argv)
-    selected = list(arguments.experiments)
+    if arguments.list:
+        for name in _EXPERIMENTS:
+            print(name)
+        return 0
+    selected = list(arguments.experiments or [])
+    unknown = [name for name in selected
+               if name != "all" and name not in _EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {', '.join(unknown)}; "
+                     f"choose from {', '.join([*_EXPERIMENTS, 'all'])}")
     if not selected or "all" in selected:
         selected = list(_EXPERIMENTS)
 
-    for name in selected:
-        start = time.perf_counter()
-        output = _EXPERIMENTS[name]()
-        elapsed = time.perf_counter() - start
-        print(output)
-        print(f"[{name} regenerated in {elapsed:.1f} s]")
-        print()
-    return 0
+    outcomes = run_experiments(selected, fail_fast=arguments.fail_fast,
+                               deadline_s=arguments.deadline)
+    print(format_summary(outcomes))
+    return 0 if all(outcome.ok for outcome in outcomes) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,7 @@ from repro.optimize.problem import (
     OptimizationResult,
 )
 from repro.power.energy import total_energy
+from repro.runtime.controller import RunController, resolve_controller
 from repro.timing.sta import analyze_timing
 
 
@@ -47,6 +48,9 @@ class AnnealingSettings:
     vth_step: float = 0.05
     width_step: float = 0.35
     seed: int = 1
+    #: Optional run control (deadline/cancel/progress); falls back to
+    #: the ambient :func:`repro.runtime.use_controller` controller.
+    controller: Optional[RunController] = None
 
     def __post_init__(self) -> None:
         if self.passes < 1:
@@ -95,6 +99,7 @@ def optimize_annealing(problem: OptimizationProblem,
     paper's point about annealing on this problem).
     """
     settings = settings or AnnealingSettings()
+    controller = resolve_controller(settings.controller)
     rng = random.Random(settings.seed)
     tech = problem.tech
     gates = list(problem.ctx.gates)
@@ -121,6 +126,8 @@ def optimize_annealing(problem: OptimizationProblem,
     for _ in range(settings.passes):
         temperature = settings.initial_temperature
         for _ in range(settings.iterations_per_pass):
+            if controller is not None:
+                controller.check(f"{problem.network.name} annealing")
             candidate = state.copy()
             _perturb(candidate, rng, settings, tech, gates)
             new_cost, new_energy, new_feasible = _cost(
@@ -136,6 +143,9 @@ def optimize_annealing(problem: OptimizationProblem,
                     best_feasible_energy = new_energy
                 best_cost = min(best_cost, new_cost)
             temperature *= settings.cooling
+        if controller is not None:
+            controller.report(phase="anneal", evaluations=evaluations,
+                              best_energy=best_feasible_energy)
         if best_feasible is not None:
             state = best_feasible.copy()
             cost, _, _ = _cost(problem, state, settings.penalty, reference)

@@ -24,6 +24,7 @@ from repro.optimize.problem import (
 )
 from repro.optimize.width_search import size_widths
 from repro.power.energy import total_energy
+from repro.runtime.controller import RunController, resolve_controller
 from repro.timing.budgeting import BudgetResult
 from repro.timing.sta import analyze_timing
 
@@ -38,10 +39,18 @@ def optimize_fixed_vth(problem: OptimizationProblem,
                        refine_iters: int = 24,
                        width_method: str = "closed_form",
                        vdd_range: Optional[Tuple[float, float]] = None,
+                       controller: Optional[RunController] = None,
                        ) -> OptimizationResult:
-    """Minimize energy over (Vdd, widths) at a fixed threshold voltage."""
+    """Minimize energy over (Vdd, widths) at a fixed threshold voltage.
+
+    ``controller`` (explicit, or the ambient one installed via
+    :func:`repro.runtime.use_controller`) bounds the sweep with a
+    wall-clock deadline and cooperative cancellation, and receives
+    progress events.
+    """
     if budgets is None:
         budgets = problem.budgets()
+    controller = resolve_controller(controller)
     tech = problem.tech
     low, high = vdd_range or (tech.vdd_min, tech.vdd_max)
 
@@ -52,6 +61,8 @@ def optimize_fixed_vth(problem: OptimizationProblem,
 
     def objective(vdd: float) -> float:
         nonlocal evaluations, best_energy, best_vdd, best_widths
+        if controller is not None:
+            controller.check(f"{problem.network.name} fixed-Vth sweep")
         evaluations += 1
         assignment = size_widths(problem.ctx, budgets.budgets, vdd, vth,
                                  method=width_method,
@@ -64,6 +75,9 @@ def optimize_fixed_vth(problem: OptimizationProblem,
             best_energy = report.total
             best_vdd = vdd
             best_widths = assignment.widths
+        if controller is not None:
+            controller.report(phase="baseline", evaluations=evaluations,
+                              best_energy=best_energy)
         return report.total
 
     step = (high - low) / (grid_points - 1)
@@ -91,6 +105,16 @@ def optimize_fixed_vth(problem: OptimizationProblem,
     energy = total_energy(problem.ctx, best_vdd, vth, design.widths,
                           problem.frequency)
     timing = analyze_timing(problem.ctx, best_vdd, vth, design.widths)
+    if not (math.isfinite(energy.total)
+            and math.isfinite(timing.critical_delay)):
+        # A corrupted model evaluation must surface as a typed error,
+        # never as a silently-wrong optimum.
+        from repro.errors import OptimizationError
+
+        raise OptimizationError(
+            f"{problem.network.name}: non-finite result at the fixed-Vth "
+            f"optimum (energy={energy.total!r}, "
+            f"delay={timing.critical_delay!r})")
     details: Dict[str, object] = {
         "strategy": "fixed-vth",
         "fixed_vth": vth,

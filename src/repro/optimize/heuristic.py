@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import InfeasibleError, OptimizationError
@@ -39,6 +40,8 @@ from repro.optimize.problem import (
 )
 from repro.optimize.width_search import WidthAssignment, size_widths
 from repro.power.energy import total_energy
+from repro.runtime.checkpoint import SearchCheckpoint
+from repro.runtime.controller import RunController, resolve_controller
 from repro.timing.budgeting import BudgetResult
 from repro.timing.sta import analyze_timing
 
@@ -66,6 +69,10 @@ class HeuristicSettings:
     #: Optional search-range overrides (defaults: technology bounds).
     vdd_range: Optional[Tuple[float, float]] = None
     vth_range: Optional[Tuple[float, float]] = None
+    #: Optional run control (deadline/cancel/progress/checkpointing).
+    #: When None, the ambient controller installed via
+    #: :func:`repro.runtime.use_controller` applies, if any.
+    controller: Optional[RunController] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ("grid", "paper"):
@@ -255,10 +262,64 @@ def _paper_search(objective: Callable[[float, float], float],
             vdd_low = vdd
 
 
+def _search_fingerprint(problem: OptimizationProblem,
+                        settings: HeuristicSettings,
+                        vdd_range: Tuple[float, float],
+                        vth_range: Tuple[float, float]) -> Dict[str, object]:
+    """Identity of a search for checkpoint validation.
+
+    Two searches with equal fingerprints perform the identical
+    deterministic evaluation sequence, which is what makes corner-level
+    resume exact; any field differing makes a checkpoint unusable.
+    """
+    return {
+        "network": problem.network.name,
+        "gate_count": problem.network.gate_count,
+        "frequency_hz": problem.frequency,
+        "skew_factor": problem.skew_factor,
+        "strategy": settings.strategy,
+        "m_steps": settings.m_steps,
+        "grid_vdd": settings.grid_vdd,
+        "grid_vth": settings.grid_vth,
+        "refine_iters": settings.refine_iters,
+        "refine_rounds": settings.refine_rounds,
+        "width_method": settings.width_method,
+        "engine": settings.engine,
+        "vdd_range": list(vdd_range),
+        "vth_range": list(vth_range),
+    }
+
+
+def _open_checkpoint(problem: OptimizationProblem,
+                     settings: HeuristicSettings,
+                     controller: Optional[RunController],
+                     resume_from, vdd_range, vth_range
+                     ) -> Optional[SearchCheckpoint]:
+    """Load (or create) the search checkpoint, if one was requested.
+
+    ``resume_from`` wins over the controller's ``checkpoint_path``; a
+    nonexistent ``resume_from`` file starts a fresh checkpoint at that
+    path, so ``--resume run.ckpt`` is idempotent across interruptions.
+    """
+    path = None
+    if resume_from is not None:
+        path = Path(resume_from)
+    elif controller is not None and controller.checkpoint_path is not None:
+        path = controller.checkpoint_path
+    if path is None:
+        return None
+    every = controller.checkpoint_every if controller is not None else 1
+    fingerprint = _search_fingerprint(problem, settings, vdd_range, vth_range)
+    if path.exists():
+        return SearchCheckpoint.load(path, fingerprint, every=every)
+    return SearchCheckpoint(fingerprint, path=path, every=every)
+
+
 def optimize_joint(problem: OptimizationProblem,
                    settings: HeuristicSettings | None = None,
                    budgets: BudgetResult | None = None,
                    seeds: "Tuple[Tuple[float, float], ...]" = (),
+                   resume_from: str | Path | None = None,
                    _energy_vth_bias: Callable[[float], float] | None = None,
                    _delay_vth_bias: Callable[[float], float] | None = None,
                    ) -> OptimizationResult:
@@ -268,47 +329,134 @@ def optimize_joint(problem: OptimizationProblem,
     search — sweeps warm-start each point with the previous optimum so a
     relaxed problem can never appear worse than a tighter one.
 
+    ``resume_from`` names a checkpoint file: if it exists, the search
+    resumes from the last completed corner recorded there (and keeps
+    checkpointing to the same file); if not, a fresh checkpoint is
+    written there as the search runs. ``settings.controller`` (or the
+    ambient :func:`repro.runtime.use_controller` controller) adds
+    wall-clock deadlines, cooperative cancellation, and progress
+    callbacks; the checkpoint is flushed before a deadline or
+    cancellation propagates, so the run can be resumed.
+
     Raises :class:`InfeasibleError` when no (Vdd, Vth, widths) point in
     the technology's ranges meets the cycle time. For ``n_vth > 1`` use
     :func:`repro.optimize.multivth.optimize_multi_vth`, which builds on
     this single-Vth optimizer.
     """
     settings = settings or HeuristicSettings()
+    controller = resolve_controller(settings.controller)
     if budgets is None:
         budgets = problem.budgets()
     state = _SearchState()
-    objective = _make_objective(problem, budgets, settings, state,
-                                energy_vth_bias=_energy_vth_bias,
-                                delay_vth_bias=_delay_vth_bias)
+    raw_objective = _make_objective(problem, budgets, settings, state,
+                                    energy_vth_bias=_energy_vth_bias,
+                                    delay_vth_bias=_delay_vth_bias)
     vdd_range, vth_range = _ranges(problem, settings)
+    checkpoint = _open_checkpoint(problem, settings, controller, resume_from,
+                                  vdd_range, vth_range)
+    resumed_corners = checkpoint.completed if checkpoint is not None else 0
 
-    for seed_vdd, seed_vth in seeds:
-        objective(seed_vdd, seed_vth)
-    if settings.strategy == "grid":
-        _grid_search(objective, vdd_range, vth_range, settings)
-        _refine(objective, state, vdd_range, vth_range, settings)
+    if checkpoint is None and controller is None:
+        objective = raw_objective
     else:
-        _paper_search(objective, state, vdd_range, vth_range, settings)
-    # Refine once more around the overall best (a seed may have won).
-    if settings.strategy == "grid":
-        _refine(objective, state, vdd_range, vth_range, settings)
+        where = f"{problem.network.name} (Vdd, Vth) search"
 
-    if state.best_point is None or state.best_widths is None:
+        def objective(vdd: float, vth: float) -> float:
+            if controller is not None:
+                controller.check(where)
+            if checkpoint is not None:
+                cached = checkpoint.lookup(vdd, vth)
+                if cached is not None:
+                    # Replay the recorded evaluation without recomputing.
+                    # Updating the running best here (not seeding it up
+                    # front) matters: the refinement steers by the best
+                    # point *as it evolves*, so resume must rebuild that
+                    # trajectory corner by corner to stay on the exact
+                    # path of the interrupted run. The widths of a
+                    # replayed best are recovered from the checkpoint
+                    # snapshot after the search.
+                    energy, feasible = cached
+                    state.evaluations += 1
+                    if feasible:
+                        state.feasible_points += 1
+                    if energy < state.best_energy:
+                        state.best_energy = energy
+                        state.best_point = (vdd, vth)
+                        state.best_widths = None
+                    return energy
+            feasible_before = state.feasible_points
+            energy = raw_objective(vdd, vth)
+            if checkpoint is not None:
+                checkpoint.record(
+                    vdd, vth, energy,
+                    feasible=state.feasible_points > feasible_before,
+                    best_energy=state.best_energy,
+                    best_point=state.best_point,
+                    best_widths=state.best_widths)
+            if controller is not None:
+                controller.report(phase=settings.strategy,
+                                  evaluations=state.evaluations,
+                                  best_energy=state.best_energy)
+            return energy
+
+    try:
+        for seed_vdd, seed_vth in seeds:
+            objective(seed_vdd, seed_vth)
+        if settings.strategy == "grid":
+            _grid_search(objective, vdd_range, vth_range, settings)
+            _refine(objective, state, vdd_range, vth_range, settings)
+        else:
+            _paper_search(objective, state, vdd_range, vth_range, settings)
+        # Refine once more around the overall best (a seed may have won).
+        if settings.strategy == "grid":
+            _refine(objective, state, vdd_range, vth_range, settings)
+    finally:
+        # Persist progress even when a deadline, cancellation, SIGINT,
+        # or model error aborts the search mid-corner.
+        if checkpoint is not None:
+            checkpoint.flush()
+
+    if state.best_point is None:
         raise InfeasibleError(
             f"{problem.network.name}: no (Vdd, Vth) point meets "
             f"T_c = {problem.cycle_time:.3e} s — even the fastest corner "
             f"fails; relax the clock or widen the technology ranges")
 
     vdd, vth = state.best_point
+    if state.best_widths is None and checkpoint is not None \
+            and checkpoint.best_point == state.best_point:
+        # The winning corner was replayed from the checkpoint cache; its
+        # widths come from the persisted best snapshot.
+        state.best_widths = checkpoint.best_widths
+    if state.best_widths is None:
+        # Defensive re-derivation: size the winning corner once more.
+        state.best_energy = math.inf
+        raw_objective(vdd, vth)
+    if state.best_widths is None:
+        raise InfeasibleError(
+            f"{problem.network.name}: the recorded best corner "
+            f"(Vdd={vdd:.4f} V, Vth={vth:.4f} V) is no longer sizable")
     design = DesignPoint(vdd=vdd, vth=vth, widths=dict(state.best_widths))
     energy = total_energy(problem.ctx, vdd,
                           vth if _energy_vth_bias is None
                           else _energy_vth_bias(vth),
                           design.widths, problem.frequency)
+    if not math.isfinite(energy.total):
+        # Never report a silently-wrong optimum: a corrupted model
+        # evaluation (e.g. an injected NaN) must surface as a typed
+        # error so fallback policies can react.
+        raise OptimizationError(
+            f"{problem.network.name}: non-finite energy "
+            f"{energy.total!r} at the chosen optimum "
+            f"(Vdd={vdd:.4f} V, Vth={vth:.4f} V)")
     timing = analyze_timing(problem.ctx, vdd,
                             vth if _delay_vth_bias is None
                             else _delay_vth_bias(vth),
                             design.widths)
+    if not math.isfinite(timing.critical_delay):
+        raise OptimizationError(
+            f"{problem.network.name}: non-finite critical delay "
+            f"{timing.critical_delay!r} at the chosen optimum")
     details: Dict[str, object] = {
         "strategy": settings.strategy,
         "feasible_points": state.feasible_points,
@@ -316,6 +464,10 @@ def optimize_joint(problem: OptimizationProblem,
         "budget_paths": budgets.paths_processed,
         "width_method": settings.width_method,
     }
+    if checkpoint is not None:
+        checkpoint.flush()
+        details["checkpoint"] = str(checkpoint.path)
+        details["resumed_corners"] = resumed_corners
     return OptimizationResult(problem=problem, design=design, energy=energy,
                               timing=timing, evaluations=state.evaluations,
                               details=details)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import InfeasibleError, OptimizationError
 from repro.optimize.heuristic import HeuristicSettings, optimize_joint
@@ -34,6 +34,11 @@ from repro.optimize.problem import (
 )
 from repro.optimize.width_search import size_widths
 from repro.power.energy import total_energy
+from repro.runtime.controller import (
+    RunController,
+    resolve_controller,
+    use_controller,
+)
 from repro.timing.budgeting import BudgetResult
 from repro.timing.paths import node_weight
 from repro.timing.sta import analyze_timing
@@ -49,6 +54,10 @@ class MultiVthSettings:
     rounds: int = 3
     #: Settings of the bootstrap single-Vth solve.
     single: HeuristicSettings = HeuristicSettings()
+    #: Optional run control, applied to the bootstrap solve and every
+    #: group-refinement evaluation; falls back to the ambient
+    #: :func:`repro.runtime.use_controller` controller.
+    controller: Optional[RunController] = None
 
     def __post_init__(self) -> None:
         if self.refine_iters < 2 or self.rounds < 1:
@@ -82,13 +91,32 @@ def group_gates_by_budget(problem: OptimizationProblem,
 def optimize_multi_vth(problem: OptimizationProblem,
                        settings: MultiVthSettings | None = None,
                        budgets: BudgetResult | None = None,
+                       resume_from=None,
                        ) -> OptimizationResult:
-    """Solve with ``problem.n_vth`` distinct threshold voltages."""
+    """Solve with ``problem.n_vth`` distinct threshold voltages.
+
+    ``resume_from`` forwards to the bootstrap single-Vth Procedure 2
+    solve (the dominant cost), making it checkpoint/resumable; the
+    group refinement obeys the settings' (or ambient) controller for
+    deadlines and cancellation.
+    """
     settings = settings or MultiVthSettings()
+    controller = resolve_controller(settings.controller)
+    with use_controller(controller):
+        return _optimize_multi_vth(problem, settings, budgets, resume_from,
+                                   controller)
+
+
+def _optimize_multi_vth(problem: OptimizationProblem,
+                        settings: MultiVthSettings,
+                        budgets: BudgetResult | None,
+                        resume_from,
+                        controller: Optional[RunController],
+                        ) -> OptimizationResult:
     if budgets is None:
         budgets = problem.budgets()
     single = optimize_joint(problem, settings=settings.single,
-                            budgets=budgets)
+                            budgets=budgets, resume_from=resume_from)
     if problem.n_vth == 1:
         return single
 
@@ -109,6 +137,8 @@ def optimize_multi_vth(problem: OptimizationProblem,
     def evaluate(vdd_value: float, vths: List[float]
                  ) -> Tuple[float, Mapping[str, float] | None]:
         nonlocal evaluations
+        if controller is not None:
+            controller.check(f"{problem.network.name} multi-Vth refinement")
         evaluations += 1
         mapping = vth_map(vths)
         assignment = size_widths(problem.ctx, budgets.budgets, vdd_value,

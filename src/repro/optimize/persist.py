@@ -20,6 +20,7 @@ from repro.optimize.problem import (
     OptimizationProblem,
     OptimizationResult,
 )
+from repro.runtime.atomicio import atomic_write_text, read_json_object
 
 FORMAT_KEY = "repro-design"
 FORMAT_VERSION = 1
@@ -52,11 +53,14 @@ def design_to_dict(result: OptimizationResult) -> Dict[str, object]:
 
 
 def save_design(result: OptimizationResult, path: str | Path) -> Path:
-    """Write the design point to ``path`` as pretty-printed JSON."""
-    path = Path(path)
-    path.write_text(json.dumps(design_to_dict(result), indent=2,
-                               sort_keys=True) + "\n")
-    return path
+    """Write the design point to ``path`` as pretty-printed JSON.
+
+    The write is atomic (tempfile + ``os.replace``): a crash mid-save
+    leaves either the previous complete file or the new one, never a
+    truncated design.
+    """
+    return atomic_write_text(path, json.dumps(design_to_dict(result),
+                                              indent=2, sort_keys=True) + "\n")
 
 
 def design_from_dict(payload: Dict[str, object],
@@ -94,12 +98,11 @@ def design_from_dict(payload: Dict[str, object],
 
 def load_design(path: str | Path,
                 problem: OptimizationProblem) -> DesignPoint:
-    """Read a design point from JSON and validate it against ``problem``."""
-    path = Path(path)
-    try:
-        payload = json.loads(path.read_text())
-    except json.JSONDecodeError as error:
-        raise OptimizationError(f"{path}: invalid JSON ({error})") from None
-    if not isinstance(payload, dict):
-        raise OptimizationError(f"{path}: design must be a JSON object")
+    """Read a design point from JSON and validate it against ``problem``.
+
+    Truncated, empty, or otherwise corrupt files raise a clear
+    :class:`~repro.errors.OptimizationError` (never a bare
+    ``json.JSONDecodeError``).
+    """
+    payload = read_json_object(path, error=OptimizationError)
     return design_from_dict(payload, problem)

@@ -1,0 +1,74 @@
+"""Resilient execution runtime for optimizers and experiments.
+
+Production reality for an optimization service: runs must be bounded in
+wall-clock time, interruptible, resumable, and a single failure must
+degrade — visibly — rather than abort a batch. This package supplies
+those guarantees as a layer *around* the numeric code:
+
+* :mod:`~repro.runtime.controller` — :class:`RunController`: deadlines,
+  cooperative cancellation, progress callbacks; threaded through every
+  optimizer via its settings object or ambiently via
+  :func:`use_controller`.
+* :mod:`~repro.runtime.checkpoint` — :class:`SearchCheckpoint`: exact
+  resume of the deterministic (Vdd, Vth) searches from the last
+  completed corner (``resume_from=`` on the optimizers, ``--resume`` on
+  the CLI).
+* :mod:`~repro.runtime.fallback` — :func:`optimize_with_fallback`:
+  a declared strategy chain (grid → paper bisection → nearest-feasible
+  cycle-time relaxation) returning labeled :class:`DegradedResult`
+  outcomes instead of raising.
+* :mod:`~repro.runtime.faults` — :class:`FaultInjector`: deterministic
+  NaN/exception/timeout injection at the energy/delay/sizing model
+  seams, so every recovery path above is actually tested.
+* :mod:`~repro.runtime.atomicio` — crash-safe tempfile +
+  ``os.replace`` persistence used by checkpoints, design points, and
+  CSV exports.
+"""
+
+from repro.runtime.controller import (
+    FakeClock,
+    ProgressEvent,
+    RunController,
+    current_controller,
+    resolve_controller,
+    use_controller,
+)
+from repro.runtime.atomicio import (
+    atomic_write_json,
+    atomic_write_text,
+    read_json_object,
+)
+from repro.runtime.checkpoint import SearchCheckpoint
+from repro.runtime.faults import (
+    SEAMS,
+    FaultInjector,
+    FaultSpec,
+    TriggeredFault,
+)
+from repro.runtime.fallback import (
+    RELAX_STAGE,
+    DegradedResult,
+    FallbackPolicy,
+    optimize_with_fallback,
+)
+
+__all__ = [
+    "RunController",
+    "ProgressEvent",
+    "FakeClock",
+    "use_controller",
+    "current_controller",
+    "resolve_controller",
+    "SearchCheckpoint",
+    "atomic_write_text",
+    "atomic_write_json",
+    "read_json_object",
+    "FaultSpec",
+    "FaultInjector",
+    "TriggeredFault",
+    "SEAMS",
+    "FallbackPolicy",
+    "DegradedResult",
+    "RELAX_STAGE",
+    "optimize_with_fallback",
+]

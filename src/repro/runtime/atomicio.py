@@ -1,0 +1,89 @@
+"""Crash-safe file persistence primitives.
+
+A process killed mid-``write_text`` leaves a truncated file behind — for
+a design point or a checkpoint that means the *previous* good state is
+destroyed along with the new one. Every durable artifact in the library
+(design points, CSV exports, search checkpoints) therefore goes through
+:func:`atomic_write_text`: the payload is written to a temporary file in
+the destination directory, fsynced, and atomically renamed over the
+target with :func:`os.replace`. Readers either see the old complete file
+or the new complete file, never a torn write.
+
+:func:`read_json_object` is the matching loader: it turns truncated or
+corrupt JSON into a typed library error with an actionable message
+instead of a bare :class:`json.JSONDecodeError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Type
+
+from repro.errors import OptimizationError, ReproError
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tempfile + ``os.replace``).
+
+    The temporary file is created in the destination directory so the
+    final rename never crosses a filesystem boundary. Parent directories
+    are created as needed. On any failure the temporary file is removed
+    and the original ``path`` (if it existed) is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already renamed or gone
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: str | Path, payload: Dict[str, object]) -> Path:
+    """Serialize ``payload`` as pretty-printed JSON and write atomically."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def read_json_object(path: str | Path,
+                     error: Type[ReproError] = OptimizationError
+                     ) -> Dict[str, object]:
+    """Load a JSON object from ``path`` with corruption detection.
+
+    Raises ``error`` (default :class:`~repro.errors.OptimizationError`)
+    with a clear message when the file is missing, empty, truncated,
+    not valid JSON, or not a JSON object — callers never see a bare
+    :class:`json.JSONDecodeError`.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise error(f"{path}: no such file") from None
+    except OSError as exc:
+        raise error(f"{path}: unreadable ({exc})") from None
+    if not text.strip():
+        raise error(f"{path}: empty file (interrupted or truncated write?)")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise error(
+            f"{path}: invalid JSON at line {exc.lineno}, column {exc.colno} "
+            f"({exc.msg}); the file may be truncated or corrupt") from None
+    if not isinstance(payload, dict):
+        raise error(f"{path}: expected a JSON object, "
+                    f"got {type(payload).__name__}")
+    return payload

@@ -1,0 +1,216 @@
+"""Strategy fallback: degrade gracefully instead of aborting.
+
+Procedure 2 can fail two ways in practice: the published bisection's
+steering predicate is not monotone near the feasible boundary (DESIGN.md
+deviation 5), and a tight clock can make the problem genuinely
+infeasible at every corner. A production flow re-running hundreds of
+perturbed instances wants neither failure to abort the batch — it wants
+the best answer the chain of strategies can produce, *labeled* as such.
+
+:func:`optimize_with_fallback` walks a declared chain of stages:
+
+1. ``"grid"`` / ``"paper"`` — the two Procedure 2 strategies;
+2. ``"relax_cycle_time"`` — a nearest-feasible relaxation: the cycle
+   time is stretched along a geometric ladder up to
+   ``FallbackPolicy.relax_max`` and the first feasible stretch wins.
+
+The first stage to succeed returns. If it was not the first stage
+attempted (or the clock had to be relaxed), the outcome is a
+:class:`DegradedResult` — a normal
+:class:`~repro.optimize.problem.OptimizationResult` whose
+``degradation`` mapping records which stages failed, why, and what was
+relaxed, and whose ``details["degraded"]`` flag is set. Callers that
+ignore the label still get a feasible design for the (possibly relaxed)
+problem; callers that check it can route the instance for review.
+Deadline/cancellation always propagate — a fallback chain must not eat
+the stop signal. When every stage fails,
+:class:`~repro.errors.FallbackExhaustedError` carries the per-stage
+diagnostics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+
+from repro.errors import (
+    DeadlineExceeded,
+    FallbackExhaustedError,
+    InfeasibleError,
+    OptimizationError,
+    ReproError,
+    RunCancelled,
+)
+from repro.optimize.problem import (
+    OptimizationProblem,
+    OptimizationResult,
+)
+from repro.runtime.controller import resolve_controller
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.optimize.heuristic import HeuristicSettings
+
+#: The terminal stage: solve at the nearest feasible (relaxed) clock.
+RELAX_STAGE = "relax_cycle_time"
+
+_STRATEGY_STAGES = ("grid", "paper")
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """Declared recovery chain and its relaxation budget."""
+
+    #: Stages tried in order: Procedure 2 strategies and/or the
+    #: terminal ``"relax_cycle_time"`` stage.
+    chain: Tuple[str, ...] = ("grid", "paper", RELAX_STAGE)
+    #: Largest cycle-time stretch factor the relax stage may use.
+    relax_max: float = 4.0
+    #: Geometric ladder resolution between 1x and ``relax_max``.
+    relax_steps: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise OptimizationError("fallback chain must not be empty")
+        for stage in self.chain:
+            if stage not in _STRATEGY_STAGES and stage != RELAX_STAGE:
+                raise OptimizationError(
+                    f"unknown fallback stage {stage!r}; have "
+                    f"{_STRATEGY_STAGES + (RELAX_STAGE,)}")
+        if self.relax_max <= 1.0:
+            raise OptimizationError(
+                f"relax_max must be > 1, got {self.relax_max}")
+        if self.relax_steps < 1:
+            raise OptimizationError(
+                f"relax_steps must be >= 1, got {self.relax_steps}")
+
+
+@dataclass(frozen=True)
+class DegradedResult(OptimizationResult):
+    """A labeled fallback outcome.
+
+    Identical to :class:`~repro.optimize.problem.OptimizationResult`
+    (and usable anywhere one is) plus the ``degradation`` record:
+    ``stage`` that finally succeeded, the ``attempts`` that failed
+    before it (stage, error type, message), and — when the clock was
+    relaxed — ``relax_factor`` / ``requested_cycle_time`` /
+    ``relaxed_cycle_time``. ``details["degraded"]`` is always set so
+    table/report code can flag the row.
+    """
+
+    degradation: Mapping[str, object] = field(default_factory=dict)
+
+
+def _degrade(result: OptimizationResult,
+             degradation: Dict[str, object]) -> DegradedResult:
+    details = dict(result.details)
+    details["degraded"] = True
+    return DegradedResult(problem=result.problem, design=result.design,
+                          energy=result.energy, timing=result.timing,
+                          evaluations=result.evaluations, details=details,
+                          degradation=degradation)
+
+
+def optimize_with_fallback(problem: OptimizationProblem,
+                           settings: "HeuristicSettings | None" = None,
+                           policy: FallbackPolicy | None = None,
+                           budgets=None,
+                           resume_from=None) -> OptimizationResult:
+    """Run Procedure 2 with the declared retry/fallback chain.
+
+    The first chain stage uses ``settings.strategy`` semantics with
+    checkpoint resume (``resume_from``); later stages run clean. A
+    clean first-stage success returns a plain
+    :class:`~repro.optimize.problem.OptimizationResult`; any recovery
+    returns a :class:`DegradedResult`. Deadline and cancellation errors
+    propagate immediately. Raises
+    :class:`~repro.errors.FallbackExhaustedError` when every stage
+    fails, with per-stage diagnostics attached.
+    """
+    from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+
+    settings = settings or HeuristicSettings()
+    policy = policy or FallbackPolicy()
+    controller = resolve_controller(settings.controller)
+    attempts: list = []
+
+    for position, stage in enumerate(policy.chain):
+        if controller is not None:
+            controller.check(where=f"fallback stage {stage!r}")
+        relax_info: Optional[Dict[str, object]] = None
+        try:
+            if stage == RELAX_STAGE:
+                result, relax_info = _relaxed_solve(problem, settings, policy)
+            else:
+                stage_settings = dataclasses.replace(settings, strategy=stage)
+                result = optimize_joint(
+                    problem, settings=stage_settings, budgets=budgets,
+                    resume_from=resume_from if position == 0 else None)
+                if not result.feasible:
+                    raise OptimizationError(
+                        f"stage {stage!r} returned an infeasible design")
+            if not math.isfinite(result.total_energy):
+                raise OptimizationError(
+                    f"stage {stage!r} returned non-finite energy "
+                    f"{result.total_energy!r}")
+        except (DeadlineExceeded, RunCancelled):
+            raise
+        except ReproError as error:
+            attempts.append({"stage": stage,
+                             "error": type(error).__name__,
+                             "message": str(error)})
+            continue
+
+        if not attempts and relax_info is None:
+            return result
+        degradation: Dict[str, object] = {
+            "stage": stage,
+            "requested_strategy": settings.strategy,
+            "attempts": tuple(dict(attempt) for attempt in attempts),
+        }
+        if relax_info is not None:
+            degradation.update(relax_info)
+        return _degrade(result, degradation)
+
+    summary = "; ".join(f"{attempt['stage']}: {attempt['error']} "
+                        f"({attempt['message']})" for attempt in attempts)
+    raise FallbackExhaustedError(
+        f"{problem.network.name}: every fallback stage failed — {summary}",
+        attempts=tuple(dict(attempt) for attempt in attempts))
+
+
+def _relaxed_solve(problem: OptimizationProblem,
+                   settings: "HeuristicSettings",
+                   policy: FallbackPolicy
+                   ) -> Tuple[OptimizationResult, Dict[str, object]]:
+    """Nearest-feasible cycle-time relaxation (the terminal stage).
+
+    Walks a geometric ladder of stretch factors in ``(1, relax_max]``
+    and returns the solve at the smallest feasible stretch, together
+    with the degradation record. Raises
+    :class:`~repro.errors.InfeasibleError` when even ``relax_max`` is
+    not enough.
+    """
+    from repro.optimize.heuristic import optimize_joint
+
+    last_error: Optional[ReproError] = None
+    for step in range(1, policy.relax_steps + 1):
+        factor = policy.relax_max ** (step / policy.relax_steps)
+        relaxed = dataclasses.replace(problem,
+                                      frequency=problem.frequency / factor)
+        try:
+            result = optimize_joint(problem=relaxed, settings=settings)
+        except InfeasibleError as error:
+            last_error = error
+            continue
+        info: Dict[str, object] = {
+            "relax_factor": factor,
+            "requested_cycle_time": problem.cycle_time,
+            "relaxed_cycle_time": relaxed.cycle_time,
+        }
+        return result, info
+    raise InfeasibleError(
+        f"{problem.network.name}: no feasible point within a "
+        f"{policy.relax_max:g}x cycle-time relaxation"
+        + (f" (last: {last_error})" if last_error is not None else ""))

@@ -1,0 +1,170 @@
+"""Deterministic fault injection at the model seams.
+
+Recovery code that is never exercised is broken code. This harness
+injects three fault kinds — NaN results, raised exceptions, and
+wall-clock timeouts — at the three seams every optimizer funnels
+through:
+
+* ``"energy"``  — :func:`repro.power.energy.total_energy`
+* ``"delay"``   — :func:`repro.timing.sta.analyze_timing`
+* ``"sizing"``  — :func:`repro.optimize.width_search.size_widths`
+
+Faults trigger on exact per-seam call counts (``at_call``/``count``), so
+every run of a test is identical. Because the library imports these
+functions with ``from ... import``, a patch of the defining module alone
+would miss the consumers' bindings; :class:`FaultInjector` therefore
+rebinds every module attribute in :data:`sys.modules` that references
+the original function, and restores all of them on exit.
+
+Use as a context manager::
+
+    plan = [FaultSpec(seam="energy", kind="nan", at_call=3, count=2)]
+    with FaultInjector(plan) as injector:
+        optimize_joint(problem)
+    assert injector.triggered
+
+Timeout faults advance the injector's :class:`FakeClock` when one is
+supplied (the deterministic path used by tests — pair it with a
+``RunController(clock=fake_clock)``) and fall back to a real
+:func:`time.sleep` otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import FaultInjectedError, OptimizationError
+from repro.runtime.controller import FakeClock
+
+#: seam name -> (defining module, function name).
+SEAMS: Dict[str, Tuple[str, str]] = {
+    "energy": ("repro.power.energy", "total_energy"),
+    "delay": ("repro.timing.sta", "analyze_timing"),
+    "sizing": ("repro.optimize.width_search", "size_widths"),
+}
+
+_KINDS = ("nan", "exception", "timeout")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: *what* to inject, *where*, and *when*.
+
+    ``at_call`` is 1-based: ``at_call=3, count=2`` faults the third and
+    fourth calls of the seam. ``delay_s`` only applies to ``timeout``
+    faults.
+    """
+
+    seam: str
+    kind: str
+    at_call: int = 1
+    count: int = 1
+    delay_s: float = 3600.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.seam not in SEAMS:
+            raise OptimizationError(
+                f"unknown fault seam {self.seam!r}; have {sorted(SEAMS)}")
+        if self.kind not in _KINDS:
+            raise OptimizationError(
+                f"unknown fault kind {self.kind!r}; have {_KINDS}")
+        if self.at_call < 1 or self.count < 1:
+            raise OptimizationError("at_call and count must be >= 1")
+        if self.kind == "nan" and self.seam == "sizing":
+            raise OptimizationError(
+                "NaN injection applies to the energy/delay model seams; "
+                "use kind='exception' for the sizing seam")
+
+    def matches(self, call_number: int) -> bool:
+        """Does this spec fire on the seam's ``call_number``-th call?"""
+        return self.at_call <= call_number < self.at_call + self.count
+
+
+@dataclass(frozen=True)
+class TriggeredFault:
+    """A fault that actually fired (for test assertions)."""
+
+    spec: FaultSpec
+    call_number: int
+
+
+class FaultInjector:
+    """Context manager that arms a plan of :class:`FaultSpec` faults."""
+
+    def __init__(self, plan: Iterable[FaultSpec],
+                 clock: Optional[FakeClock] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.plan: Tuple[FaultSpec, ...] = tuple(plan)
+        self.clock = clock
+        self._sleep = sleep
+        self.calls: Dict[str, int] = {seam: 0 for seam in SEAMS}
+        self.triggered: List[TriggeredFault] = []
+        #: (module, attribute, original) bindings to restore on exit.
+        self._patched: List[Tuple[object, str, object]] = []
+
+    # -- arming/disarming --------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        for seam, (module_name, function_name) in SEAMS.items():
+            module = importlib.import_module(module_name)
+            original = getattr(module, function_name)
+            wrapper = self._wrap(seam, original)
+            for candidate in list(sys.modules.values()):
+                candidate_dict = getattr(candidate, "__dict__", None)
+                if not isinstance(candidate_dict, dict):
+                    continue
+                for attribute, value in list(candidate_dict.items()):
+                    if value is original:
+                        self._patched.append((candidate, attribute, original))
+                        setattr(candidate, attribute, wrapper)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for module, attribute, original in reversed(self._patched):
+            setattr(module, attribute, original)
+        self._patched.clear()
+
+    # -- the injected behaviors -------------------------------------------
+
+    def _wrap(self, seam: str, original: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            self.calls[seam] += 1
+            call_number = self.calls[seam]
+            spec = next((candidate for candidate in self.plan
+                         if candidate.seam == seam
+                         and candidate.matches(call_number)), None)
+            if spec is None:
+                return original(*args, **kwargs)
+            self.triggered.append(TriggeredFault(spec, call_number))
+            if spec.kind == "exception":
+                raise FaultInjectedError(
+                    f"{spec.message} (seam={seam}, call={call_number})")
+            if spec.kind == "timeout":
+                if self.clock is not None:
+                    self.clock.advance(spec.delay_s)
+                else:  # pragma: no cover - real sleeps are test-hostile
+                    self._sleep(spec.delay_s)
+                return original(*args, **kwargs)
+            # kind == "nan": compute the genuine result, then poison it.
+            result = original(*args, **kwargs)
+            return _poison(seam, result)
+
+        wrapper.__name__ = f"faulty_{original.__name__}"
+        wrapper.__doc__ = original.__doc__
+        return wrapper
+
+
+def _poison(seam: str, result):
+    """Replace the headline figure of a model result with NaN."""
+    if seam == "energy":
+        return dataclasses.replace(result, static=float("nan"))
+    if seam == "delay":
+        return dataclasses.replace(result, critical_delay=float("nan"))
+    raise OptimizationError(
+        f"NaN poisoning unsupported for seam {seam!r}")  # pragma: no cover

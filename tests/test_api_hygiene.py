@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.optimize",
     "repro.analysis",
     "repro.experiments",
+    "repro.runtime",
     "repro.bdd",
     "repro.fastpath",
 ]

@@ -1,0 +1,117 @@
+"""Experiment runner isolation: one failure must not sink the suite."""
+
+import io
+import time
+
+import pytest
+
+from repro.experiments import runner
+from repro.runtime.controller import current_controller
+
+
+def _boom():
+    raise RuntimeError("table generator exploded")
+
+
+FAKES = {
+    "alpha": lambda: "ALPHA TABLE",
+    "bad": _boom,
+    "omega": lambda: "OMEGA TABLE",
+}
+
+
+@pytest.fixture
+def fake_experiments(monkeypatch):
+    monkeypatch.setattr(runner, "_EXPERIMENTS", dict(FAKES))
+
+
+class TestOutcome:
+    def test_ok_property(self):
+        ok = runner.ExperimentOutcome(name="x", status="ok", elapsed_s=1.0)
+        bad = runner.ExperimentOutcome(name="x", status="failed",
+                                       elapsed_s=1.0, error="boom")
+        assert ok.ok and not bad.ok
+
+
+class TestIsolation:
+    def test_failure_does_not_stop_the_suite(self, fake_experiments):
+        stream = io.StringIO()
+        outcomes = runner.run_experiments(["alpha", "bad", "omega"],
+                                          stream=stream)
+        assert [outcome.status for outcome in outcomes] == \
+            ["ok", "failed", "ok"]
+        text = stream.getvalue()
+        assert "ALPHA TABLE" in text and "OMEGA TABLE" in text
+        assert "table generator exploded" in text
+
+    def test_failure_carries_a_traceback_summary(self, fake_experiments):
+        outcomes = runner.run_experiments(["bad"], stream=io.StringIO())
+        (outcome,) = outcomes
+        assert "_boom" in outcome.error
+        assert "RuntimeError: table generator exploded" in outcome.error
+
+    def test_fail_fast_skips_the_rest(self, fake_experiments):
+        outcomes = runner.run_experiments(["bad", "alpha", "omega"],
+                                          fail_fast=True,
+                                          stream=io.StringIO())
+        assert [outcome.status for outcome in outcomes] == \
+            ["failed", "skipped", "skipped"]
+        assert outcomes[1].error == "--fail-fast"
+
+    def test_deadline_times_out_and_skips_the_rest(self, monkeypatch):
+        def slow():
+            time.sleep(0.02)
+            current_controller().check("slow experiment")
+            return "SLOW"
+
+        monkeypatch.setattr(runner, "_EXPERIMENTS",
+                            {"slow": slow, "alpha": FAKES["alpha"]})
+        outcomes = runner.run_experiments(["slow", "alpha"],
+                                          deadline_s=0.005,
+                                          stream=io.StringIO())
+        assert [outcome.status for outcome in outcomes] == \
+            ["timeout", "skipped"]
+        assert outcomes[1].error == "suite deadline exhausted"
+
+    def test_ambient_controller_installed_for_experiments(self, monkeypatch):
+        seen = {}
+
+        def probe():
+            seen["controller"] = current_controller()
+            return "PROBE"
+
+        monkeypatch.setattr(runner, "_EXPERIMENTS", {"probe": probe})
+        runner.run_experiments(["probe"], deadline_s=60.0,
+                               stream=io.StringIO())
+        assert seen["controller"] is not None
+        assert seen["controller"].deadline_s == 60.0
+
+
+class TestSummaryAndMain:
+    def test_format_summary_counts(self, fake_experiments):
+        outcomes = runner.run_experiments(["alpha", "bad"],
+                                          stream=io.StringIO())
+        summary = runner.format_summary(outcomes)
+        assert "alpha" in summary and "bad" in summary
+        assert "2 run, 1 ok, 1 not ok" in summary
+
+    def test_main_exit_codes(self, fake_experiments, capsys):
+        assert runner.main(["alpha", "omega"]) == 0
+        assert runner.main(["alpha", "bad"]) == 1
+        capsys.readouterr()
+
+    def test_main_all_and_default_select_everything(self, fake_experiments,
+                                                    capsys):
+        assert runner.main(["--fail-fast", "all"]) == 1
+        out = capsys.readouterr().out
+        assert "ALPHA TABLE" in out
+        assert "3 run" in out
+
+    def test_main_list(self, fake_experiments, capsys):
+        assert runner.main(["--list"]) == 0
+        assert capsys.readouterr().out.split() == ["alpha", "bad", "omega"]
+
+    def test_main_rejects_unknown_experiment(self, fake_experiments, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["nonexistent"])
+        assert "unknown experiment" in capsys.readouterr().err

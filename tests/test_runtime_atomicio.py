@@ -1,0 +1,94 @@
+"""Atomic writes and corruption-detecting JSON reads."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, OptimizationError
+from repro.runtime.atomicio import (
+    atomic_write_json,
+    atomic_write_text,
+    read_json_object,
+)
+
+
+def _tmp_droppings(directory):
+    return [name for name in os.listdir(directory) if name.endswith(".tmp")]
+
+
+class TestAtomicWrite:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.txt"
+        returned = atomic_write_text(target, "hello\n")
+        assert returned == target
+        assert target.read_text() == "hello\n"
+        assert _tmp_droppings(tmp_path) == []
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "deep")
+        assert target.read_text() == "deep"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_failed_replace_preserves_original(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+
+        def broken_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write_text(target, "lost")
+        monkeypatch.undo()
+        assert target.read_text() == "precious"
+        assert _tmp_droppings(tmp_path) == []
+
+    def test_json_roundtrip(self, tmp_path):
+        target = tmp_path / "data.json"
+        payload = {"b": [1, 2], "a": {"nested": True}}
+        atomic_write_json(target, payload)
+        assert json.loads(target.read_text()) == payload
+        assert target.read_text().endswith("\n")
+
+
+class TestReadJsonObject:
+    def test_reads_an_object(self, tmp_path):
+        target = tmp_path / "data.json"
+        target.write_text('{"x": 1}')
+        assert read_json_object(target) == {"x": 1}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OptimizationError, match="no such file"):
+            read_json_object(tmp_path / "absent.json")
+
+    def test_empty_file(self, tmp_path):
+        target = tmp_path / "empty.json"
+        target.write_text("   \n")
+        with pytest.raises(OptimizationError, match="empty file"):
+            read_json_object(target)
+
+    def test_truncated_json(self, tmp_path):
+        target = tmp_path / "torn.json"
+        target.write_text('{"x": 1, "y": [2,')
+        with pytest.raises(OptimizationError,
+                           match="invalid JSON.*truncated or corrupt"):
+            read_json_object(target)
+
+    def test_non_object_payload(self, tmp_path):
+        target = tmp_path / "list.json"
+        target.write_text("[1, 2, 3]")
+        with pytest.raises(OptimizationError, match="expected a JSON object"):
+            read_json_object(target)
+
+    def test_custom_error_type(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text("{broken")
+        with pytest.raises(CheckpointError, match="invalid JSON"):
+            read_json_object(target, error=CheckpointError)

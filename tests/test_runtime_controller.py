@@ -1,0 +1,149 @@
+"""RunController: deadlines, cancellation, progress, ambient install."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded, OptimizationError, RunCancelled
+from repro.runtime.controller import (
+    FakeClock,
+    ProgressEvent,
+    RunController,
+    current_controller,
+    resolve_controller,
+    use_controller,
+)
+
+
+class TestFakeClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = FakeClock()
+        assert clock() == 0.0
+        clock.advance(2.5)
+        clock.advance(0.5)
+        assert clock() == 3.0
+
+    def test_custom_start(self):
+        assert FakeClock(start=100.0)() == 100.0
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(OptimizationError, match="backwards"):
+            FakeClock().advance(-1.0)
+
+
+class TestValidation:
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(OptimizationError, match="deadline_s"):
+            RunController(deadline_s=0.0)
+        with pytest.raises(OptimizationError, match="deadline_s"):
+            RunController(deadline_s=-5.0)
+
+    def test_checkpoint_every_must_be_positive(self):
+        with pytest.raises(OptimizationError, match="checkpoint_every"):
+            RunController(checkpoint_every=0)
+
+
+class TestDeadline:
+    def test_unbounded_controller_never_expires(self):
+        controller = RunController(clock=FakeClock())
+        assert controller.remaining() is None
+        assert not controller.expired
+        for _ in range(100):
+            controller.check("loop")
+        assert controller.checks == 100
+
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        controller = RunController(deadline_s=10.0, clock=clock)
+        assert controller.remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert controller.elapsed() == pytest.approx(4.0)
+        assert controller.remaining() == pytest.approx(6.0)
+        assert not controller.expired
+
+    def test_check_raises_once_expired(self):
+        clock = FakeClock()
+        controller = RunController(deadline_s=1.0, clock=clock)
+        controller.check("before")
+        clock.advance(1.5)
+        assert controller.expired
+        with pytest.raises(DeadlineExceeded, match="during the sweep"):
+            controller.check("the sweep")
+
+    def test_elapsed_measured_from_construction(self):
+        clock = FakeClock(start=50.0)
+        controller = RunController(deadline_s=5.0, clock=clock)
+        clock.advance(2.0)
+        assert controller.elapsed() == pytest.approx(2.0)
+
+
+class TestCancellation:
+    def test_cancel_trips_next_check(self):
+        controller = RunController(clock=FakeClock())
+        controller.check()
+        assert not controller.cancelled
+        controller.cancel()
+        assert controller.cancelled
+        with pytest.raises(RunCancelled, match="during refine"):
+            controller.check("refine")
+
+    def test_cancel_wins_over_deadline(self):
+        clock = FakeClock()
+        controller = RunController(deadline_s=1.0, clock=clock)
+        clock.advance(2.0)
+        controller.cancel()
+        with pytest.raises(RunCancelled):
+            controller.check()
+
+
+class TestProgress:
+    def test_events_reach_the_callback(self):
+        clock = FakeClock()
+        events = []
+        controller = RunController(clock=clock, progress=events.append)
+        controller.report(phase="grid", evaluations=3, best_energy=1e-12)
+        clock.advance(1.0)
+        controller.report(phase="refine", evaluations=7, best_energy=9e-13)
+        assert controller.events_emitted == 2
+        assert [event.phase for event in events] == ["grid", "refine"]
+        assert events[1] == ProgressEvent(phase="refine", evaluations=7,
+                                          best_energy=9e-13, elapsed_s=1.0)
+
+    def test_report_without_callback_only_counts(self):
+        controller = RunController(clock=FakeClock())
+        controller.report(phase="grid", evaluations=1, best_energy=1.0)
+        assert controller.events_emitted == 1
+
+
+class TestAmbientController:
+    def test_no_ambient_by_default(self):
+        assert current_controller() is None
+        assert resolve_controller(None) is None
+
+    def test_use_controller_installs_and_restores(self):
+        controller = RunController(clock=FakeClock())
+        with use_controller(controller) as installed:
+            assert installed is controller
+            assert current_controller() is controller
+            assert resolve_controller(None) is controller
+        assert current_controller() is None
+
+    def test_explicit_wins_over_ambient(self):
+        ambient = RunController(clock=FakeClock())
+        explicit = RunController(clock=FakeClock())
+        with use_controller(ambient):
+            assert resolve_controller(explicit) is explicit
+            assert resolve_controller(None) is ambient
+
+    def test_nesting_restores_the_outer_controller(self):
+        outer = RunController(clock=FakeClock())
+        inner = RunController(clock=FakeClock())
+        with use_controller(outer):
+            with use_controller(inner):
+                assert current_controller() is inner
+            assert current_controller() is outer
+
+    def test_use_controller_accepts_none(self):
+        ambient = RunController(clock=FakeClock())
+        with use_controller(ambient):
+            with use_controller(None):
+                assert current_controller() is None
+            assert current_controller() is ambient

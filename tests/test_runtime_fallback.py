@@ -1,0 +1,121 @@
+"""Strategy fallback: degraded-but-labeled results, never silent ones."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    FallbackExhaustedError,
+    OptimizationError,
+)
+from repro.optimize.problem import OptimizationProblem, OptimizationResult
+from repro.runtime.controller import FakeClock, RunController
+from repro.runtime.fallback import (
+    RELAX_STAGE,
+    DegradedResult,
+    FallbackPolicy,
+    optimize_with_fallback,
+)
+from repro.runtime.faults import FaultInjector, FaultSpec
+from repro.units import MHZ
+
+
+class TestFallbackPolicy:
+    def test_default_chain(self):
+        policy = FallbackPolicy()
+        assert policy.chain == ("grid", "paper", RELAX_STAGE)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(OptimizationError, match="empty"):
+            FallbackPolicy(chain=())
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(OptimizationError, match="unknown fallback"):
+            FallbackPolicy(chain=("grid", "prayer"))
+
+    def test_relax_budget_validated(self):
+        with pytest.raises(OptimizationError, match="relax_max"):
+            FallbackPolicy(relax_max=1.0)
+        with pytest.raises(OptimizationError, match="relax_steps"):
+            FallbackPolicy(relax_steps=0)
+
+
+class TestFallbackOutcomes:
+    def test_clean_first_stage_returns_plain_result(self, s27_problem,
+                                                    fast_settings):
+        result = optimize_with_fallback(s27_problem, settings=fast_settings)
+        assert isinstance(result, OptimizationResult)
+        assert not isinstance(result, DegradedResult)
+        assert "degraded" not in result.details
+
+    def test_transient_fault_recovers_via_next_stage(self, s27_problem,
+                                                     fast_settings):
+        plan = [FaultSpec(seam="energy", kind="exception", at_call=1)]
+        with FaultInjector(plan):
+            result = optimize_with_fallback(s27_problem,
+                                            settings=fast_settings)
+        assert isinstance(result, DegradedResult)
+        assert result.details["degraded"] is True
+        assert result.degradation["stage"] == "paper"
+        assert result.degradation["requested_strategy"] == "grid"
+        (attempt,) = result.degradation["attempts"]
+        assert attempt["stage"] == "grid"
+        assert attempt["error"] == "FaultInjectedError"
+        assert result.feasible
+
+    def test_infeasible_clock_relaxes_to_nearest_feasible(self, s27_ctx,
+                                                          fast_settings):
+        # 4000 MHz is just past s27's feasible boundary: the strategies
+        # fail with InfeasibleError and the relax stage finds a small
+        # cycle-time stretch that works.
+        problem = OptimizationProblem(ctx=s27_ctx, frequency=4000 * MHZ)
+        result = optimize_with_fallback(problem, settings=fast_settings)
+        assert isinstance(result, DegradedResult)
+        assert result.degradation["stage"] == RELAX_STAGE
+        assert 1.0 < result.degradation["relax_factor"] <= 4.0
+        assert result.degradation["relaxed_cycle_time"] == pytest.approx(
+            result.degradation["requested_cycle_time"]
+            * result.degradation["relax_factor"])
+        stages = [attempt["stage"]
+                  for attempt in result.degradation["attempts"]]
+        assert stages == ["grid", "paper"]
+        assert result.feasible  # for the relaxed problem it solved
+
+    def test_exhaustion_raises_with_per_stage_diagnostics(self, s27_ctx,
+                                                          fast_settings):
+        # 100x past feasible: even a 4x relaxation cannot save it.
+        problem = OptimizationProblem(ctx=s27_ctx, frequency=30000 * MHZ)
+        with pytest.raises(FallbackExhaustedError) as excinfo:
+            optimize_with_fallback(problem, settings=fast_settings)
+        stages = [attempt["stage"] for attempt in excinfo.value.attempts]
+        assert stages == ["grid", "paper", RELAX_STAGE]
+        for attempt in excinfo.value.attempts:
+            assert attempt["error"]
+            assert attempt["message"]
+
+    def test_persistent_nan_exhausts_with_typed_attempts(self, s27_problem,
+                                                         fast_settings):
+        policy = FallbackPolicy(chain=("grid", "paper"))
+        plan = [FaultSpec(seam="energy", kind="nan", count=10 ** 9)]
+        with FaultInjector(plan):
+            with pytest.raises(FallbackExhaustedError) as excinfo:
+                optimize_with_fallback(s27_problem, settings=fast_settings,
+                                       policy=policy)
+        assert len(excinfo.value.attempts) == 2
+
+    def test_deadline_is_never_swallowed(self, s27_problem, fast_settings):
+        clock = FakeClock()
+        controller = RunController(deadline_s=1.0, clock=clock)
+        clock.advance(2.0)
+        settings = dataclasses.replace(fast_settings, controller=controller)
+        with pytest.raises(DeadlineExceeded):
+            optimize_with_fallback(s27_problem, settings=settings)
+
+    def test_single_stage_policy_failure_exhausts(self, s27_ctx,
+                                                  fast_settings):
+        problem = OptimizationProblem(ctx=s27_ctx, frequency=30000 * MHZ)
+        policy = FallbackPolicy(chain=("grid",))
+        with pytest.raises(FallbackExhaustedError):
+            optimize_with_fallback(problem, settings=fast_settings,
+                                   policy=policy)

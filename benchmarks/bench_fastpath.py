@@ -28,8 +28,9 @@ def problem_for(circuit: str) -> OptimizationProblem:
                                      profile, frequency=frequency)
 
 
-def test_fast_engine_speedup(benchmark, record_artifact):
+def test_fast_engine_speedup(benchmark, record_artifact, record_json):
     rows = []
+    results = []
     for circuit in ("s298", "c1355", "c2670"):
         problem = problem_for(circuit)
         start = time.perf_counter()
@@ -44,6 +45,14 @@ def test_fast_engine_speedup(benchmark, record_artifact):
         rows.append([circuit, problem.network.gate_count,
                      f"{scalar_seconds:.2f}", f"{fast_seconds:.2f}",
                      f"{scalar_seconds / fast_seconds:.2f}x"])
+        results.append({"unit": f"{circuit} scalar",
+                        "evaluations": scalar.evaluations,
+                        "wall_s": scalar_seconds,
+                        "best_energy": scalar.total_energy})
+        results.append({"unit": f"{circuit} fast",
+                        "evaluations": fast.evaluations,
+                        "wall_s": fast_seconds,
+                        "best_energy": fast.total_energy})
 
     problem = problem_for("s298")
     benchmark.pedantic(lambda: optimize_joint(problem, settings=FAST),
@@ -53,3 +62,4 @@ def test_fast_engine_speedup(benchmark, record_artifact):
         rows=rows,
         title="Vectorized engine vs scalar reference "
               "(identical optima asserted)"))
+    record_json("fastpath", results=results)

@@ -2,27 +2,61 @@
 
 Timed unit: the baseline optimization of one circuit (the paper reports
 5–20 s per circuit for the whole flow on 1997 hardware). The full table
-over all 8 circuits × 2 activities is regenerated once and archived.
+over all 8 circuits × 2 activities is regenerated once and archived —
+as text for EXPERIMENTS.md and as a ``repro-bench-result/1`` JSON
+document (per-row best energy plus suite-level evaluation counters).
 """
+
+import time
 
 from repro.experiments.common import ExperimentConfig, build_problem
 from repro.experiments.table1 import format_table1, run_table1
+from repro.obs.instrument import OBJECTIVE_EVALUATIONS, STA_CALLS
+from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.optimize.baseline import optimize_fixed_vth
 
 
-def test_table1_single_circuit_baseline(benchmark):
+def test_table1_single_circuit_baseline(benchmark, record_json):
     problem = build_problem("s298", 0.1)
 
+    start = time.perf_counter()
     result = benchmark.pedantic(
         lambda: optimize_fixed_vth(problem), rounds=3, iterations=1)
+    elapsed = time.perf_counter() - start
     assert result.feasible
     assert result.energy.static < 1e-3 * result.energy.dynamic
+    record_json("table1_baseline", results=[{
+        "unit": "s298@0.1 baseline",
+        "evaluations": result.evaluations,
+        "wall_s": elapsed / 3,
+        "best_energy": result.total_energy,
+    }])
 
 
-def test_table1_full_regeneration(benchmark, record_artifact):
-    rows = benchmark.pedantic(
-        lambda: run_table1(ExperimentConfig()), rounds=1, iterations=1)
+def test_table1_full_regeneration(benchmark, record_artifact, record_json):
+    registry = MetricsRegistry()
+    timing = {}
+
+    def regenerate():
+        start = time.perf_counter()
+        with use_metrics(registry):
+            rows = run_table1(ExperimentConfig())
+        timing["wall_s"] = time.perf_counter() - start
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     assert len(rows) == 16  # 8 circuits x 2 activities
     for row in rows:
         assert row.critical_delay <= (1.0 / 300e6) * (1 + 1e-9)
     record_artifact("table1", format_table1(rows))
+    record_json("table1", results=[{
+        "unit": f"{row.circuit}@{row.activity:g}",
+        "evaluations": None,  # counted suite-wide, see totals
+        "wall_s": None,
+        "best_energy": row.total_energy,
+        "vdd": row.vdd,
+    } for row in rows], totals={
+        "evaluations": registry.counter(OBJECTIVE_EVALUATIONS),
+        "sta_calls": registry.counter(STA_CALLS),
+        "wall_s": timing["wall_s"],
+    })

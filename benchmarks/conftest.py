@@ -10,11 +10,17 @@ is the one-shot wall time of regenerating the artifact (the paper quotes
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro.obs.serialize import json_sanitize
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Schema marker of the machine-readable bench results.
+RESULT_SCHEMA = "repro-bench-result/1"
 
 
 @pytest.fixture(scope="session")
@@ -26,5 +32,28 @@ def record_artifact():
         print()
         print(text)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Archive a machine-readable bench result under results/.
+
+    Stable schema (``repro-bench-result/1``): a ``results`` list whose
+    entries carry at least ``evaluations``, ``wall_s`` and
+    ``best_energy`` per timed unit, sanitized to strict JSON so
+    downstream tooling can diff runs across commits.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, results: list, **extra) -> Path:
+        document = {"schema": RESULT_SCHEMA, "bench": name,
+                    "results": json_sanitize(results),
+                    **json_sanitize(extra)}
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(document, sort_keys=True,
+                                   allow_nan=False, indent=2) + "\n")
+        return path
 
     return _record

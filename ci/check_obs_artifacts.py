@@ -1,0 +1,90 @@
+"""CI gate: a traced experiment run must leave parseable artifacts.
+
+Usage::
+
+    python ci/check_obs_artifacts.py obs-artifacts/table1
+
+Given the artifact stem ``<dir>/<name>``, asserts that
+
+* ``<stem>.trace.jsonl`` is strict JSONL whose span records form a
+  well-nested tree (every parent_id refers to a recorded span), and
+* ``<stem>.metrics.json`` parses and carries nonzero core counters
+  (``objective_evaluations``, ``sta_calls``).
+
+Exits nonzero with a one-line diagnosis on any violation, so the CI
+step fails loudly instead of archiving broken telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import NoReturn
+
+CORE_COUNTERS = ("objective_evaluations", "sta_calls")
+
+
+def fail(message: str) -> NoReturn:
+    print(f"check_obs_artifacts: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_trace(path: Path) -> int:
+    if not path.exists():
+        fail(f"{path}: missing trace file")
+    span_ids = set()
+    parents = []
+    spans = 0
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{lineno}: invalid JSON ({exc.msg})")
+        if record.get("type") != "span":
+            continue
+        spans += 1
+        span_ids.add(record["span_id"])
+        if record.get("parent_id") is not None:
+            parents.append((lineno, record["parent_id"]))
+        if record.get("wall_s") is None:
+            fail(f"{path}:{lineno}: span without wall time")
+    if not spans:
+        fail(f"{path}: no span records")
+    for lineno, parent in parents:
+        if parent not in span_ids:
+            fail(f"{path}:{lineno}: dangling parent_id {parent}")
+    return spans
+
+
+def check_metrics(path: Path) -> dict:
+    if not path.exists():
+        fail(f"{path}: missing metrics file")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        fail(f"{path}: invalid JSON ({exc.msg})")
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}: no counters object")
+    for name in CORE_COUNTERS:
+        if not counters.get(name):
+            fail(f"{path}: core counter {name!r} missing or zero")
+    return counters
+
+
+def main(argv: list) -> int:
+    if len(argv) != 1:
+        fail("usage: check_obs_artifacts.py <artifact-stem>")
+    stem = Path(argv[0])
+    spans = check_trace(stem.with_suffix(stem.suffix + ".trace.jsonl"))
+    counters = check_metrics(stem.with_suffix(stem.suffix + ".metrics.json"))
+    print(f"ok: {spans} spans, "
+          + ", ".join(f"{name}={counters[name]}" for name in CORE_COUNTERS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

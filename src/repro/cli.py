@@ -4,6 +4,8 @@
 
     python -m repro optimize s298 --frequency 300 --activity 0.1
     python -m repro optimize my_design.bench --baseline
+    python -m repro optimize s298 --trace t.jsonl --metrics m.json --profile
+    python -m repro trace-report t.jsonl
     python -m repro info s344
     python -m repro activity s27 --compare
     python -m repro decks
@@ -14,11 +16,19 @@
 ``--register-margin`` to charge their clock-to-Q + setup against the
 cycle). Results print as an aligned table; ``--json`` emits a
 machine-readable summary instead.
+
+Observability: ``--trace PATH`` records a JSONL span trace of the
+search, ``--metrics PATH`` snapshots the hot counters as JSON,
+``--profile`` adds per-seam duration histograms, and ``repro
+trace-report`` renders a top-span/hot-counter summary from a recorded
+trace. ``-v``/``-q`` (before the subcommand) steer the ``repro.*``
+logger verbosity.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -37,6 +47,9 @@ from repro.netlist.sequential import (
 )
 from repro.netlist.stats import network_stats
 from repro.netlist.validate import lint
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.trace import Tracer, use_tracer
 from repro.optimize.baseline import optimize_fixed_vth
 from repro.optimize.heuristic import HeuristicSettings, optimize_joint
 from repro.optimize.problem import OptimizationProblem
@@ -44,6 +57,8 @@ from repro.runtime.controller import RunController
 from repro.technology.library import deck, deck_names, load_technology
 from repro.technology.process import Technology
 from repro.units import MHZ, NS, PS
+
+logger = get_logger(__name__)
 
 
 def _resolve_network(spec: str):
@@ -98,12 +113,46 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             tech, network, profile, frequency=args.frequency * MHZ,
             n_vth=args.n_vth, activity_method=args.activity_method)
 
+    registry = (MetricsRegistry()
+                if (args.trace or args.metrics or args.profile) else None)
+    tracer = Tracer() if args.trace else None
+    with contextlib.ExitStack() as stack:
+        if registry is not None:
+            stack.enter_context(use_metrics(registry))
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        if args.profile:
+            from repro.obs.instrument import use_profiling
+
+            stack.enter_context(use_profiling())
+        try:
+            return _run_optimize(args, problem, network)
+        finally:
+            # Export even when the run hits its deadline or fails — a
+            # partial trace is exactly what explains the abort.
+            _export_observability(args, tracer, registry)
+
+
+def _export_observability(args: argparse.Namespace,
+                          tracer: Optional[Tracer],
+                          registry: Optional[MetricsRegistry]) -> None:
+    if tracer is not None:
+        tracer.export_jsonl(args.trace, metrics=registry)
+        logger.info("trace written to %s (%d spans)", args.trace,
+                    len(tracer.spans))
+    if registry is not None and args.metrics:
+        registry.write(args.metrics)
+        logger.info("metrics written to %s", args.metrics)
+
+
+def _run_optimize(args: argparse.Namespace, problem, network) -> int:
     controller = None
     if args.deadline is not None or args.checkpoint is not None:
         controller = RunController(deadline_s=args.deadline,
                                    checkpoint_path=args.checkpoint)
     resume_from = args.resume
     settings = HeuristicSettings(strategy=args.strategy,
+                                 width_method=args.width_method,
                                  controller=controller)
     try:
         if problem.n_vth > 1:
@@ -124,20 +173,20 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             result = optimize_joint(problem, settings=settings,
                                     resume_from=resume_from)
     except DeadlineExceeded as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error("error: %s", error)
         checkpoint = resume_from or args.checkpoint
         if checkpoint:
-            print(f"partial search state saved to {checkpoint}; re-run "
-                  f"with --resume {checkpoint} to continue",
-                  file=sys.stderr)
+            logger.error("partial search state saved to %s; re-run "
+                         "with --resume %s to continue",
+                         checkpoint, checkpoint)
         return 2
 
     degradation = getattr(result, "degradation", None)
     if degradation:
         stage = degradation.get("stage")
-        print(f"warning: degraded result (recovered via stage {stage!r}); "
-              f"see the JSON 'degradation' field for diagnostics",
-              file=sys.stderr)
+        logger.warning("warning: degraded result (recovered via stage "
+                       "%r); see the JSON 'degradation' field for "
+                       "diagnostics", stage)
 
     rows = [["joint",
              "/".join(f"{v:.2f}" for v in result.design.distinct_vdds()),
@@ -242,11 +291,22 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return runner.main(args.names or ["all"])
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_trace_report
+
+    print(render_trace_report(args.trace_file, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Device-circuit optimization for minimal CMOS energy "
                     "(Pant/De/Chatterjee, DAC 1997).")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="raise repro.* log verbosity (repeatable)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="lower repro.* log verbosity (repeatable)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     optimize = subparsers.add_parser(
@@ -285,6 +345,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="on failure, walk the strategy fallback "
                                "chain (grid -> paper -> relaxed clock) "
                                "and return a labeled degraded result")
+    optimize.add_argument("--width-method",
+                          choices=("closed_form", "bisect"),
+                          default="closed_form",
+                          help="Procedure 2 width sizing: the closed-form "
+                               "solve or the paper's bisection")
+    optimize.add_argument("--trace", default=None, metavar="PATH",
+                          help="record a JSONL span trace of the search "
+                               "to PATH")
+    optimize.add_argument("--metrics", default=None, metavar="PATH",
+                          help="write a JSON counter/histogram snapshot "
+                               "to PATH")
+    optimize.add_argument("--profile", action="store_true",
+                          help="time the hot seams (STA, energy, width "
+                               "sizing...) into duration histograms")
     optimize.set_defaults(handler=_cmd_optimize)
 
     info = subparsers.add_parser("info", help="show circuit statistics")
@@ -309,17 +383,35 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("names", nargs="*", default=[])
     experiments.set_defaults(handler=_cmd_experiments)
 
+    trace_report = subparsers.add_parser(
+        "trace-report",
+        help="summarize a recorded --trace file (top spans, counters)")
+    trace_report.add_argument("trace_file", help="JSONL trace file path")
+    trace_report.add_argument("--top", type=int, default=10,
+                              help="number of span rows to show "
+                                   "(default 10)")
+    trace_report.set_defaults(handler=_cmd_trace_report)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     try:
         return args.handler(args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error("error: %s", error)
         return 1
+    except BrokenPipeError:
+        # Piping long output into e.g. `head` closes stdout early;
+        # redirect to devnull so the interpreter's exit flush does not
+        # raise a second time, and exit like a well-behaved filter.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

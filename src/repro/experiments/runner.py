@@ -9,7 +9,7 @@ Usage::
 
 Prints the regenerated tables/figures to stdout, in the paper's order.
 
-Experiments are *isolated*: a failure in one prints a compact traceback
+Experiments are *isolated*: a failure in one logs a compact traceback
 summary and the suite continues with the rest (``--fail-fast`` restores
 abort-on-first-failure). A summary table reports per-experiment status
 at the end, and the exit code is nonzero iff anything failed — so a
@@ -17,16 +17,26 @@ batch job always produces every result it can, and CI still notices.
 ``--deadline`` installs an ambient :class:`~repro.runtime.RunController`
 for the whole suite; an experiment that exhausts the budget is reported
 as timed out and the remaining ones are skipped.
+
+Run status goes through the ``repro.experiments.runner`` logger and is
+mirrored into the output stream, so batch logs interleave status with
+results while ``-v``/``-q`` steer the stderr verbosity. ``--trace-dir
+DIR`` records one span trace (``<name>.trace.jsonl``) and one counter
+snapshot (``<name>.metrics.json``) per experiment; ``--profile`` adds
+per-seam duration histograms to those snapshots.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import logging
 import sys
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, TextIO
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TextIO
 
 from repro.errors import DeadlineExceeded, RunCancelled
 from repro.experiments.annealing_compare import (
@@ -37,7 +47,13 @@ from repro.experiments.figure2a import format_figure2a, run_figure2a
 from repro.experiments.figure2b import format_figure2b, run_figure2b
 from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.table2 import run_table2, format_table2
+from repro.obs import trace
+from repro.obs.logs import configure_logging, get_logger, stream_handler
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.trace import Tracer, use_tracer
 from repro.runtime.controller import RunController, use_controller
+
+logger = get_logger(__name__)
 
 _EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": lambda: format_table1(run_table1()),
@@ -75,9 +91,72 @@ def _failure_summary(error: BaseException) -> str:
     return "".join(lines).rstrip()
 
 
+@contextlib.contextmanager
+def _mirror_status(stream: TextIO) -> Iterator[None]:
+    """Mirror runner log records into ``stream`` for the run's duration.
+
+    The runner's status lines are part of its output contract (batch
+    logs interleave them with the regenerated tables), so they must
+    reach ``stream`` even when no global logging is configured — and
+    *only* ``stream``: propagation is paused so a configured stderr
+    handler does not print every status line a second time.
+    """
+    handler = stream_handler(stream, level=logging.INFO)
+    previous_level = logger.level
+    previous_propagate = logger.propagate
+    if logger.getEffectiveLevel() > logging.INFO:
+        logger.setLevel(logging.INFO)
+    logger.propagate = False
+    logger.addHandler(handler)
+    try:
+        yield
+    finally:
+        logger.removeHandler(handler)
+        logger.setLevel(previous_level)
+        logger.propagate = previous_propagate
+
+
+def _run_one(name: str, trace_dir: str | Path | None,
+             profile: bool) -> str:
+    """Run one experiment, recording per-experiment observability.
+
+    With ``trace_dir`` set, the experiment runs under its own tracer
+    and metrics registry and exports ``<name>.trace.jsonl`` plus
+    ``<name>.metrics.json`` — written in a ``finally`` so a failing or
+    timed-out experiment still leaves the partial trace that explains
+    it.
+    """
+    if trace_dir is None and not profile:
+        return _EXPERIMENTS[name]()
+    registry = MetricsRegistry()
+    tracer = Tracer() if trace_dir is not None else None
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(use_metrics(registry))
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        if profile:
+            from repro.obs.instrument import use_profiling
+
+            stack.enter_context(use_profiling())
+        try:
+            with trace.span(name, experiment=name):
+                return _EXPERIMENTS[name]()
+        finally:
+            if trace_dir is not None:
+                directory = Path(trace_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                tracer.export_jsonl(directory / f"{name}.trace.jsonl",
+                                    metrics=registry)
+                registry.write(directory / f"{name}.metrics.json")
+                logger.info("[%s observability written to %s]",
+                            name, directory)
+
+
 def run_experiments(names: Sequence[str], fail_fast: bool = False,
                     deadline_s: Optional[float] = None,
-                    stream: TextIO | None = None
+                    stream: TextIO | None = None,
+                    trace_dir: str | Path | None = None,
+                    profile: bool = False,
                     ) -> List[ExperimentOutcome]:
     """Run the named experiments with per-experiment error isolation.
 
@@ -86,20 +165,22 @@ def run_experiments(names: Sequence[str], fail_fast: bool = False,
     a traceback summary) and the run continues unless ``fail_fast``;
     once a shared ``deadline_s`` budget is exhausted the failing
     experiment is ``timeout`` and the remainder are ``skipped``.
+    ``trace_dir``/``profile`` enable per-experiment trace and metrics
+    artifacts (see :func:`_run_one`).
     """
     stream = stream if stream is not None else sys.stdout
     controller = (RunController(deadline_s=deadline_s)
                   if deadline_s is not None else None)
     outcomes: List[ExperimentOutcome] = []
     pending = list(names)
-    with use_controller(controller):
+    with use_controller(controller), _mirror_status(stream):
         while pending:
             name = pending.pop(0)
             start = time.perf_counter()
             try:
                 if controller is not None:
                     controller.check(f"experiment {name}")
-                output = _EXPERIMENTS[name]()
+                output = _run_one(name, trace_dir, profile)
             except (DeadlineExceeded, RunCancelled) as error:
                 elapsed = time.perf_counter() - start
                 status = ("timeout" if isinstance(error, DeadlineExceeded)
@@ -107,8 +188,8 @@ def run_experiments(names: Sequence[str], fail_fast: bool = False,
                 outcomes.append(ExperimentOutcome(
                     name=name, status=status, elapsed_s=elapsed,
                     error=str(error)))
-                print(f"[{name} {status} after {elapsed:.1f} s: {error}]",
-                      file=stream)
+                logger.error("[%s %s after %.1f s: %s]",
+                             name, status, elapsed, error)
                 # The budget is shared: nothing left for the rest.
                 outcomes.extend(
                     ExperimentOutcome(name=rest, status="skipped",
@@ -122,9 +203,8 @@ def run_experiments(names: Sequence[str], fail_fast: bool = False,
                 outcomes.append(ExperimentOutcome(
                     name=name, status="failed", elapsed_s=elapsed,
                     error=summary))
-                print(f"[{name} FAILED after {elapsed:.1f} s]", file=stream)
-                print(summary, file=stream)
-                print(file=stream)
+                logger.error("[%s FAILED after %.1f s]\n%s\n",
+                             name, elapsed, summary)
                 if fail_fast:
                     outcomes.extend(
                         ExperimentOutcome(name=rest, status="skipped",
@@ -137,8 +217,7 @@ def run_experiments(names: Sequence[str], fail_fast: bool = False,
             outcomes.append(ExperimentOutcome(name=name, status="ok",
                                               elapsed_s=elapsed))
             print(output, file=stream)
-            print(f"[{name} regenerated in {elapsed:.1f} s]", file=stream)
-            print(file=stream)
+            logger.info("[%s regenerated in %.1f s]\n", name, elapsed)
     return outcomes
 
 
@@ -173,7 +252,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--deadline", type=float, default=None,
                         metavar="SECONDS",
                         help="wall-clock budget for the whole suite")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write per-experiment trace/metrics "
+                             "artifacts (<name>.trace.jsonl, "
+                             "<name>.metrics.json) into DIR")
+    parser.add_argument("--profile", action="store_true",
+                        help="time the hot seams into duration "
+                             "histograms in the metrics artifacts")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="raise repro.* log verbosity (repeatable)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="lower repro.* log verbosity (repeatable)")
     arguments = parser.parse_args(argv)
+    configure_logging(arguments.verbose - arguments.quiet)
     if arguments.list:
         for name in _EXPERIMENTS:
             print(name)
@@ -188,7 +279,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         selected = list(_EXPERIMENTS)
 
     outcomes = run_experiments(selected, fail_fast=arguments.fail_fast,
-                               deadline_s=arguments.deadline)
+                               deadline_s=arguments.deadline,
+                               trace_dir=arguments.trace_dir,
+                               profile=arguments.profile)
     print(format_summary(outcomes))
     return 0 if all(outcome.ok for outcome in outcomes) else 1
 

@@ -1,0 +1,136 @@
+"""Observability: span tracing, metrics, profiling hooks, logging.
+
+Dependency-free instrumentation for the optimizer stack, designed so
+that *disabled is the default and costs (almost) nothing*:
+
+* :mod:`~repro.obs.trace` — a span-based tracer.
+  ``with trace.span("grid_search", vdd_points=15): ...`` records nested,
+  wall/CPU-timed, attributed spans; export is strict-JSON JSONL through
+  the crash-safe atomic writer. Without an installed tracer, ``span()``
+  hands back one shared no-op context manager.
+* :mod:`~repro.obs.metrics` — a process-local, thread-safe registry of
+  counters, gauges, and histograms (``objective_evaluations``,
+  ``sta_calls``, ``budget_repairs``...). The ambient default is a null
+  sink whose mutators are no-ops.
+* :mod:`~repro.obs.instrument` — canonical metric names plus the
+  :func:`~repro.obs.instrument.seam` profiling hook wrapping the hot
+  seams (delay model, STA, energy, budgeting, width search); under
+  :func:`~repro.obs.instrument.use_profiling` every crossing is timed
+  into a ``seam.<name>.seconds`` histogram.
+* :mod:`~repro.obs.logs` — the ``repro.*`` stdlib-logging hierarchy and
+  the CLI ``-v``/``-q`` plumbing.
+* :mod:`~repro.obs.report` — ``repro trace-report``: top-spans-by-self-
+  time and hot-counter summaries rendered from a JSONL trace.
+* :mod:`~repro.obs.serialize` — strict-JSON sanitization (non-finite
+  floats become ``null``) shared by every exporter.
+
+Everything installs ambiently via context managers
+(:func:`use_tracer`, :func:`use_metrics`,
+:func:`~repro.obs.instrument.use_profiling`), mirroring
+:func:`repro.runtime.use_controller`, and is deterministic under an
+injected :class:`~repro.runtime.controller.FakeClock`.
+"""
+
+from repro.obs.instrument import (
+    ANNEALING_ACCEPTS,
+    ANNEALING_MOVES,
+    BUDGET_PATHS_PROCESSED,
+    BUDGET_REPAIRS,
+    BUDGETING_RUNS,
+    CHECKPOINT_FLUSHES,
+    DELAY_MODEL_CALLS,
+    ENERGY_EVALUATIONS,
+    FALLBACK_ATTEMPTS,
+    FALLBACK_STAGE,
+    FEASIBLE_POINTS,
+    OBJECTIVE_EVALUATIONS,
+    SEAM_NAMES,
+    STA_CALLS,
+    WIDTH_BISECT_ITERATIONS,
+    WIDTH_SIZINGS,
+    profiling_enabled,
+    seam,
+    seam_metric,
+    use_profiling,
+)
+from repro.obs.logs import configure_logging, get_logger, stream_handler
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    current_metrics,
+    use_metrics,
+)
+from repro.obs.report import (
+    SpanAggregate,
+    TraceSummary,
+    format_trace_report,
+    load_trace,
+    render_trace_report,
+    summarize_trace,
+)
+from repro.obs.serialize import dumps_strict, json_sanitize, to_jsonl
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    # trace
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "span",
+    "use_tracer",
+    "current_tracer",
+    # metrics
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Histogram",
+    "use_metrics",
+    "current_metrics",
+    # instrument
+    "seam",
+    "seam_metric",
+    "use_profiling",
+    "profiling_enabled",
+    "SEAM_NAMES",
+    "OBJECTIVE_EVALUATIONS",
+    "FEASIBLE_POINTS",
+    "STA_CALLS",
+    "DELAY_MODEL_CALLS",
+    "ENERGY_EVALUATIONS",
+    "BUDGETING_RUNS",
+    "BUDGET_PATHS_PROCESSED",
+    "BUDGET_REPAIRS",
+    "WIDTH_SIZINGS",
+    "WIDTH_BISECT_ITERATIONS",
+    "CHECKPOINT_FLUSHES",
+    "FALLBACK_ATTEMPTS",
+    "FALLBACK_STAGE",
+    "ANNEALING_MOVES",
+    "ANNEALING_ACCEPTS",
+    # logs
+    "configure_logging",
+    "get_logger",
+    "stream_handler",
+    # report
+    "load_trace",
+    "summarize_trace",
+    "format_trace_report",
+    "render_trace_report",
+    "TraceSummary",
+    "SpanAggregate",
+    # serialize
+    "json_sanitize",
+    "dumps_strict",
+    "to_jsonl",
+]

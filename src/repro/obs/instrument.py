@@ -1,0 +1,117 @@
+"""Profiling hooks and canonical metric names for the hot seams.
+
+The optimizer stack is instrumented at five seams — delay model, STA,
+energy/leakage evaluation, Procedure 1 budgeting, and the Procedure 2
+inner width search. Each seam increments its canonical call counter on
+the ambient :mod:`~repro.obs.metrics` registry (a no-op without one);
+under :func:`use_profiling` it additionally times every call into a
+``seam.<name>.seconds`` histogram, which is what feeds the
+"where did the 40s go" half of ``repro trace-report``.
+
+The canonical counter names below are the shared vocabulary of the
+tracer, the metrics registry, the ``repro.*`` loggers, and the
+benchmark JSON artifacts — grep for a constant, not a string.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from contextvars import ContextVar
+from typing import Callable, Iterator, Optional
+
+from repro.obs.metrics import current_metrics
+
+# -- canonical metric names -----------------------------------------------
+
+#: Objective evaluations (one candidate (Vdd, Vth) corner, any optimizer).
+OBJECTIVE_EVALUATIONS = "objective_evaluations"
+#: Corners whose width sizing met every budget.
+FEASIBLE_POINTS = "feasible_points"
+#: Full STA passes (:func:`repro.timing.sta.analyze_timing`).
+STA_CALLS = "sta_calls"
+#: Per-gate delay-model evaluations (aggregated, not per-gate counted).
+DELAY_MODEL_CALLS = "delay_model_calls"
+#: Network energy evaluations (:func:`repro.power.energy.total_energy`).
+ENERGY_EVALUATIONS = "energy_evaluations"
+#: Procedure 1 budgeting runs.
+BUDGETING_RUNS = "budgeting_runs"
+#: Paths consumed by the literal Procedure 1 path iteration.
+BUDGET_PATHS_PROCESSED = "budget_paths_processed"
+#: Gates repaired by the width-search budget post-processing.
+BUDGET_REPAIRS = "budget_repairs"
+#: Width-sizing passes (Procedure 2's inner loop).
+WIDTH_SIZINGS = "width_sizings"
+#: Delay evaluations spent inside the paper's per-gate width bisection.
+WIDTH_BISECT_ITERATIONS = "width_bisect_iterations"
+#: Checkpoint files written (batched saves + final flushes).
+CHECKPOINT_FLUSHES = "checkpoint_flushes"
+#: Fallback-chain stages attempted.
+FALLBACK_ATTEMPTS = "fallback_attempts"
+#: Gauge: index of the fallback stage currently running / last run.
+FALLBACK_STAGE = "fallback_stage"
+#: Annealing moves proposed / accepted.
+ANNEALING_MOVES = "annealing_moves"
+ANNEALING_ACCEPTS = "annealing_accepts"
+
+#: Seam names with profiling hooks (see :func:`seam`).
+SEAM_NAMES = ("sta", "energy", "width_search", "budgeting", "delay_model")
+
+
+def seam_metric(name: str) -> str:
+    """Histogram name recording per-call seconds of seam ``name``."""
+    return f"seam.{name}.seconds"
+
+
+# -- profiling switch -----------------------------------------------------
+
+#: The profiling clock for the current context; ``None`` = disabled.
+_PROFILE_CLOCK: ContextVar[Optional[Callable[[], float]]] = ContextVar(
+    "repro_profile_clock", default=None)
+
+
+@contextlib.contextmanager
+def use_profiling(clock: Optional[Callable[[], float]] = None
+                  ) -> Iterator[Callable[[], float]]:
+    """Enable per-seam duration histograms for this context.
+
+    ``clock`` defaults to :func:`time.perf_counter`; inject a
+    :class:`~repro.runtime.controller.FakeClock` for deterministic
+    tests.
+    """
+    clock = clock or time.perf_counter
+    token = _PROFILE_CLOCK.set(clock)
+    try:
+        yield clock
+    finally:
+        _PROFILE_CLOCK.reset(token)
+
+
+def profiling_enabled() -> bool:
+    """True inside a :func:`use_profiling` scope."""
+    return _PROFILE_CLOCK.get() is not None
+
+
+@contextlib.contextmanager
+def seam(name: str, counter: Optional[str] = None,
+         calls: int = 1) -> Iterator[None]:
+    """Count (and, under profiling, time) one crossing of a hot seam.
+
+    ``counter`` is the canonical counter incremented per crossing
+    (e.g. :data:`STA_CALLS`); ``calls`` lets an aggregate seam book N
+    underlying model calls with a single counter update — the per-gate
+    delay model is counted this way so the innermost loop stays
+    untouched.
+    """
+    metrics = current_metrics()
+    if counter is not None:
+        metrics.incr(counter, calls)
+    clock = _PROFILE_CLOCK.get()
+    if clock is None or not metrics.enabled:
+        yield
+        return
+    start = clock()
+    try:
+        yield
+    finally:
+        metrics.observe(seam_metric(name), clock() - start)

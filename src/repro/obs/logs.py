@@ -1,0 +1,83 @@
+"""Logging setup for the ``repro.*`` logger hierarchy.
+
+The library logs through standard :mod:`logging` under the ``repro``
+namespace (``repro.cli``, ``repro.experiments.runner``...), using the
+same event names as the tracer spans, and stays silent unless a handler
+is configured — the normal contract for a library.
+
+:func:`configure_logging` is the CLI entry point (``-v``/``-q`` flags):
+it attaches one message-only handler to the ``repro`` logger writing to
+*the current* ``sys.stderr`` (resolved at emit time, so pytest's capture
+and stream redirection keep working). :func:`stream_handler` builds the
+same style of handler for an arbitrary stream — the experiment runner
+uses it to mirror run status into its output stream.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Verbosity (``-q``…``-vv``) to logging level.
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING,
+           1: logging.INFO, 2: logging.DEBUG}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (idempotent)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class _CurrentStderr:
+    """A stream proxy resolving ``sys.stderr`` at every write.
+
+    A plain ``StreamHandler()`` captures the ``sys.stderr`` object at
+    construction; anything that later swaps the stream (pytest's
+    ``capsys``, CLI redirection) would silently lose the log output.
+    """
+
+    def write(self, text: str) -> int:
+        return sys.stderr.write(text)
+
+    def flush(self) -> None:
+        sys.stderr.flush()
+
+
+def stream_handler(stream: TextIO,
+                   level: int = logging.INFO) -> logging.Handler:
+    """A message-only handler writing to ``stream``."""
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    return handler
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-q``/``-v`` count to a logging level (clamped)."""
+    return _LEVELS[max(min(verbosity, 2), -1)]
+
+
+def configure_logging(verbosity: int = 0) -> logging.Logger:
+    """Point the ``repro`` logger at stderr with the requested verbosity.
+
+    Idempotent: repeated calls adjust the level of the one managed
+    handler instead of stacking handlers.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    level = verbosity_level(verbosity)
+    managed: Optional[logging.Handler] = None
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_managed", False):
+            managed = handler
+            break
+    if managed is None:
+        managed = stream_handler(_CurrentStderr(), level=logging.DEBUG)
+        managed._repro_managed = True  # type: ignore[attr-defined]
+        logger.addHandler(managed)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,216 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a thread-safe bag of named instruments the
+optimizer stack increments at its hot seams (``objective_evaluations``,
+``sta_calls``, ``budget_repairs``...). Registries reach the instrumented
+code *ambiently*: :func:`use_metrics` installs one on the current
+context (mirroring :func:`repro.runtime.use_controller`) and
+:func:`current_metrics` retrieves it. When none is installed, the shared
+:data:`NULL_METRICS` sink is returned — every mutator on it is a bound
+no-op method, so instrumentation costs one :class:`~contextvars.ContextVar`
+lookup and one no-op call when observability is disabled.
+
+Histograms keep raw observations (runs are bounded, so memory is too)
+and report count/sum/min/max plus interpolated percentiles — enough to
+answer "what does the p95 STA call cost" without a stats dependency.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import ReproError
+from repro.obs.serialize import json_sanitize
+
+
+class Histogram:
+    """Raw-sample histogram with interpolated percentiles."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated ``q``-th percentile, ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ReproError(f"percentile must lie in [0, 100], got {q}")
+        if not self._values:
+            raise ReproError("percentile of an empty histogram")
+        ordered = sorted(self._values)
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/min/max/mean/p50/p95/p99 of the observations."""
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self._values),
+            "max": max(self._values),
+            "mean": self.total / self.count,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges, and histograms.
+
+    Instruments are created on first use; all mutation goes through one
+    registry lock (the contended path is a dict update — fine at the
+    once-per-objective-evaluation rates the stack emits).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- mutation ---------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    # -- reading ----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def counters(self) -> Dict[str, int]:
+        """A point-in-time copy of all counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe point-in-time view of every instrument."""
+        with self._lock:
+            return json_sanitize({
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {name: histogram.summary()
+                               for name, histogram
+                               in self._histograms.items()},
+            })
+
+    # -- persistence ------------------------------------------------------
+
+    def write(self, path) -> object:
+        """Atomically persist :meth:`snapshot` as a JSON file at ``path``."""
+        from repro.runtime.atomicio import atomic_write_json
+
+        return atomic_write_json(path, self.snapshot())
+
+
+class NullMetrics(MetricsRegistry):
+    """The disabled registry: every mutator is a no-op, every read empty.
+
+    A single shared instance (:data:`NULL_METRICS`) is the ambient
+    default, making ``current_metrics().incr(...)`` safe — and nearly
+    free — in uninstrumented runs.
+    """
+
+    enabled = False
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def write(self, path) -> object:
+        raise ReproError("cannot persist the null metrics registry")
+
+
+#: The shared disabled registry returned when none is installed.
+NULL_METRICS = NullMetrics()
+
+_METRICS: ContextVar[MetricsRegistry] = ContextVar(
+    "repro_metrics_registry", default=NULL_METRICS)
+
+
+def current_metrics() -> MetricsRegistry:
+    """The ambient registry (:data:`NULL_METRICS` when none installed)."""
+    return _METRICS.get()
+
+
+@contextlib.contextmanager
+def use_metrics(registry: Optional[MetricsRegistry]
+                ) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the ambient metrics sink for this context.
+
+    ``None`` (re)installs the null sink, which is how a caller shields
+    an inner scope from an outer registry.
+    """
+    registry = registry if registry is not None else NULL_METRICS
+    token = _METRICS.set(registry)
+    try:
+        yield registry
+    finally:
+        _METRICS.reset(token)
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Increment a counter on the ambient registry."""
+    _METRICS.get().incr(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the ambient registry."""
+    _METRICS.get().set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the ambient registry."""
+    _METRICS.get().observe(name, value)

@@ -1,0 +1,168 @@
+"""Render a human summary from a JSONL trace (``repro trace-report``).
+
+Aggregates span records by name — count, total/mean/max wall seconds,
+total CPU seconds, and *self* time (wall minus the wall of direct
+children, the number that actually answers "where did the time go") —
+and lists the hottest counters from the trace's embedded metrics
+record, if present.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.trace import METRICS_RECORD, SPAN_RECORD
+
+
+@dataclass
+class SpanAggregate:
+    """Per-span-name rollup across one trace."""
+
+    name: str
+    count: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    self_s: float = 0.0
+    max_wall_s: float = 0.0
+
+    @property
+    def mean_wall_s(self) -> float:
+        return self.wall_s / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``format_trace_report`` needs, precomputed."""
+
+    spans: List[SpanAggregate]
+    span_records: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Mapping[str, float]] = field(default_factory=dict)
+
+
+def load_trace(path) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file into records, with clear errors."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise ReproError(f"{path}: no such trace file") from None
+    except OSError as exc:
+        raise ReproError(f"{path}: unreadable trace ({exc})") from None
+    records: List[Dict[str, object]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"{path}:{lineno}: invalid trace line ({exc.msg}); "
+                f"the file may be truncated") from None
+        if not isinstance(record, dict):
+            raise ReproError(
+                f"{path}:{lineno}: trace records must be JSON objects, "
+                f"got {type(record).__name__}")
+        records.append(record)
+    return records
+
+
+def summarize_trace(records: Sequence[Mapping[str, object]]) -> TraceSummary:
+    """Aggregate raw trace records into a :class:`TraceSummary`."""
+    aggregates: Dict[str, SpanAggregate] = {}
+    child_wall: Dict[object, float] = {}
+    span_records = 0
+    counters: Dict[str, int] = {}
+    histograms: Dict[str, Mapping[str, float]] = {}
+    spans = [record for record in records
+             if record.get("type") == SPAN_RECORD]
+    # Children complete (and are recorded) before their parents, so a
+    # single pass accumulates each span's direct-child wall time before
+    # the parent needs it for self time.
+    for record in spans:
+        span_records += 1
+        name = str(record.get("name", "?"))
+        wall = float(record.get("wall_s") or 0.0)
+        cpu = float(record.get("cpu_s") or 0.0)
+        aggregate = aggregates.get(name)
+        if aggregate is None:
+            aggregate = aggregates[name] = SpanAggregate(name=name)
+        aggregate.count += 1
+        aggregate.wall_s += wall
+        aggregate.cpu_s += cpu
+        aggregate.max_wall_s = max(aggregate.max_wall_s, wall)
+        if record.get("status") == "error":
+            aggregate.errors += 1
+        aggregate.self_s += wall - child_wall.pop(record.get("span_id"), 0.0)
+        parent = record.get("parent_id")
+        if parent is not None:
+            child_wall[parent] = child_wall.get(parent, 0.0) + wall
+    for record in records:
+        if record.get("type") == METRICS_RECORD:
+            raw_counters = record.get("counters")
+            if isinstance(raw_counters, dict):
+                counters.update({str(key): int(value)
+                                 for key, value in raw_counters.items()})
+            raw_histograms = record.get("histograms")
+            if isinstance(raw_histograms, dict):
+                histograms.update(raw_histograms)
+    ordered = sorted(aggregates.values(),
+                     key=lambda agg: (-agg.self_s, -agg.wall_s, agg.name))
+    return TraceSummary(spans=ordered, span_records=span_records,
+                        counters=counters, histograms=histograms)
+
+
+def format_trace_report(summary: TraceSummary, top: int = 10,
+                        title: Optional[str] = None) -> str:
+    """Aligned top-span + hot-counter report of one trace."""
+    from repro.analysis.report import format_table
+
+    blocks: List[str] = []
+    rows = [[agg.name, agg.count,
+             f"{agg.self_s:.6f}", f"{agg.wall_s:.6f}",
+             f"{agg.mean_wall_s:.6f}", f"{agg.max_wall_s:.6f}",
+             f"{agg.cpu_s:.6f}",
+             str(agg.errors) if agg.errors else "-"]
+            for agg in summary.spans[:top]]
+    blocks.append(format_table(
+        headers=["span", "count", "self (s)", "total (s)", "mean (s)",
+                 "max (s)", "cpu (s)", "errors"],
+        rows=rows,
+        title=title or f"top spans by self time "
+                       f"({summary.span_records} span records)"))
+    if summary.counters:
+        hot: List[Tuple[str, int]] = sorted(summary.counters.items(),
+                                            key=lambda item: (-item[1],
+                                                              item[0]))
+        blocks.append(format_table(
+            headers=["counter", "value"],
+            rows=[[name, value] for name, value in hot[:top]],
+            title="hot counters"))
+    if summary.histograms:
+        rows = []
+        for name in sorted(summary.histograms):
+            stats = summary.histograms[name]
+            if not stats.get("count"):
+                continue
+            rows.append([name, stats["count"],
+                         f"{stats.get('mean', 0.0):.6f}",
+                         f"{stats.get('p95', 0.0):.6f}",
+                         f"{stats.get('max', 0.0):.6f}"])
+        if rows:
+            blocks.append(format_table(
+                headers=["histogram", "count", "mean", "p95", "max"],
+                rows=rows, title="seam timings (profiling)"))
+    return "\n\n".join(blocks)
+
+
+def render_trace_report(path, top: int = 10) -> str:
+    """Load, summarize, and format the trace at ``path``."""
+    summary = summarize_trace(load_trace(path))
+    return format_trace_report(summary, top=top,
+                               title=f"top spans by self time — {path} "
+                                     f"({summary.span_records} span records)")

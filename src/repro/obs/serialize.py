@@ -1,0 +1,49 @@
+"""JSON-safe serialization shared by the observability exporters.
+
+Python's ``json`` module happily emits ``Infinity`` and ``NaN`` — tokens
+that are **not** JSON and break every strict parser downstream (``jq``,
+browsers, other languages). Search state is full of non-finite floats by
+design (``best_energy`` is ``inf`` until the first feasible corner), so
+every observability artifact (trace lines, metric snapshots, progress
+events) passes through :func:`json_sanitize` first: non-finite floats
+become ``null``, containers are converted recursively, and anything
+exotic falls back to ``repr``. The result always survives
+``json.dumps(..., allow_nan=False)``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable, List, Mapping
+
+
+def json_sanitize(value: Any) -> Any:
+    """Recursively convert ``value`` into strictly-valid JSON data.
+
+    Non-finite floats (``inf``, ``-inf``, ``nan``) become ``None``;
+    mappings and sequences are converted recursively; unknown objects
+    are stringified with ``repr`` so a stray dataclass can never make an
+    export unreadable.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, Mapping):
+        return {str(key): json_sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_sanitize(item) for item in value]
+    return repr(value)
+
+
+def dumps_strict(value: Any) -> str:
+    """One-line strict-JSON encoding of ``json_sanitize(value)``."""
+    return json.dumps(json_sanitize(value), sort_keys=True,
+                      allow_nan=False, separators=(", ", ": "))
+
+
+def to_jsonl(records: Iterable[Mapping[str, Any]]) -> str:
+    """Encode ``records`` as newline-delimited strict JSON."""
+    lines: List[str] = [dumps_strict(record) for record in records]
+    return "\n".join(lines) + ("\n" if lines else "")

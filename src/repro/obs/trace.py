@@ -1,0 +1,223 @@
+"""Span-based tracing for the optimizer stack.
+
+A :class:`Tracer` records a tree of named, timed spans::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("grid_search", vdd_points=15) as span:
+            ...
+            span.annotate(best_energy=energy)
+    tracer.export_jsonl("run.trace.jsonl", metrics=registry)
+
+Spans nest naturally (the tracer keeps a stack per tracer instance),
+capture wall *and* CPU time, carry free-form attributes, and mark
+themselves ``error`` when an exception propagates through them. Export
+is newline-delimited strict JSON written through the crash-safe
+:mod:`repro.runtime.atomicio` writer; non-finite floats in attributes
+serialize as ``null`` (see :mod:`repro.obs.serialize`).
+
+Like the metrics registry, tracers install ambiently
+(:func:`use_tracer`) and default to the shared no-op
+:data:`NULL_TRACER`, whose ``span()`` returns one reusable no-op
+context manager — instrumentation at the hot seams costs a
+:class:`~contextvars.ContextVar` lookup when tracing is off.
+
+Determinism: both clocks are injectable. Passing a
+:class:`~repro.runtime.controller.FakeClock` as ``clock`` (with
+``cpu_clock`` defaulting to the same source) makes traces byte-stable,
+which is how the golden-file tests pin the ``trace-report`` output.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, List, Optional
+
+import contextlib
+
+from repro.errors import ReproError
+from repro.obs.serialize import to_jsonl
+
+#: Marker of a metrics record inside a trace JSONL file.
+METRICS_RECORD = "metrics"
+#: Marker of a span record inside a trace JSONL file.
+SPAN_RECORD = "span"
+
+
+class Span:
+    """One timed, attributed node of the trace tree."""
+
+    __slots__ = ("span_id", "parent_id", "name", "depth", "attrs",
+                 "start_s", "wall_s", "cpu_s", "status")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 depth: int, attrs: Dict[str, object], start_s: float):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.depth = depth
+        self.attrs = attrs
+        self.start_s = start_s
+        self.wall_s: Optional[float] = None
+        self.cpu_s: Optional[float] = None
+        self.status = "ok"
+
+    def annotate(self, **attrs: object) -> "Span":
+        """Attach (or overwrite) attributes mid-span."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSONL record of a finished span."""
+        return {
+            "type": SPAN_RECORD,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """The reusable no-op span context manager of :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def annotate(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records a tree of spans; completed spans land in :attr:`spans`.
+
+    ``clock`` is the wall-time source (default
+    :func:`time.perf_counter`); ``cpu_clock`` the CPU-time source
+    (default :func:`time.process_time`, but when a custom ``clock`` is
+    injected it defaults to that same clock so fake-clock traces are
+    fully deterministic).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 cpu_clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or time.perf_counter
+        if cpu_clock is not None:
+            self._cpu_clock = cpu_clock
+        else:
+            self._cpu_clock = clock if clock is not None \
+                else time.process_time
+        self._origin = self._clock()
+        #: Completed spans, in completion order (children before parents).
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of the currently open span stack."""
+        return len(self._stack)
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a child span of the innermost active span."""
+        parent = self._stack[-1] if self._stack else None
+        record = Span(span_id=self._next_id,
+                      parent_id=parent.span_id if parent is not None else None,
+                      name=name, depth=len(self._stack), attrs=dict(attrs),
+                      start_s=self._clock() - self._origin)
+        self._next_id += 1
+        self._stack.append(record)
+        wall_start = self._clock()
+        cpu_start = self._cpu_clock()
+        try:
+            yield record
+        except BaseException as error:
+            record.status = "error"
+            record.attrs.setdefault("error", type(error).__name__)
+            raise
+        finally:
+            record.wall_s = self._clock() - wall_start
+            record.cpu_s = self._cpu_clock() - cpu_start
+            self._stack.pop()
+            self.spans.append(record)
+
+    # -- export -----------------------------------------------------------
+
+    def records(self, metrics=None) -> List[Dict[str, object]]:
+        """All finished spans (+ optional metrics snapshot) as records."""
+        records: List[Dict[str, object]] = [span.to_dict()
+                                            for span in self.spans]
+        if metrics is not None:
+            records.append({"type": METRICS_RECORD, **metrics.snapshot()})
+        return records
+
+    def export_jsonl(self, path, metrics=None):
+        """Atomically write the trace as JSONL; returns the path.
+
+        ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+        appends one final ``{"type": "metrics", ...}`` record so a
+        single trace file carries both spans and hot counters.
+        """
+        from repro.runtime.atomicio import atomic_write_text
+
+        return atomic_write_text(path, to_jsonl(self.records(metrics)))
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: ``span()`` hands back one shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 - no clocks, no state
+        self.spans = []
+        self._stack = []
+
+    def span(self, name: str, **attrs: object):  # type: ignore[override]
+        return _NULL_SPAN
+
+    def export_jsonl(self, path, metrics=None):
+        raise ReproError("cannot export the null tracer")
+
+
+#: The shared disabled tracer returned when none is installed.
+NULL_TRACER = NullTracer()
+
+_TRACER: ContextVar[Tracer] = ContextVar("repro_tracer",
+                                         default=NULL_TRACER)
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer (:data:`NULL_TRACER` when none installed)."""
+    return _TRACER.get()
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for this context."""
+    tracer = tracer if tracer is not None else NULL_TRACER
+    token = _TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _TRACER.reset(token)
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the ambient tracer (no-op when tracing is off)."""
+    return _TRACER.get().span(name, **attrs)

@@ -23,6 +23,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import InfeasibleError, OptimizationError
+from repro.obs import trace
+from repro.obs.instrument import (
+    ANNEALING_ACCEPTS,
+    ANNEALING_MOVES,
+    OBJECTIVE_EVALUATIONS,
+)
+from repro.obs.metrics import current_metrics
 from repro.optimize.problem import (
     DesignPoint,
     OptimizationProblem,
@@ -123,26 +130,38 @@ def optimize_annealing(problem: OptimizationProblem,
     best_feasible_energy = energy if feasible else math.inf
     best_cost = cost
 
-    for _ in range(settings.passes):
-        temperature = settings.initial_temperature
-        for _ in range(settings.iterations_per_pass):
-            if controller is not None:
-                controller.check(f"{problem.network.name} annealing")
-            candidate = state.copy()
-            _perturb(candidate, rng, settings, tech, gates)
-            new_cost, new_energy, new_feasible = _cost(
-                problem, candidate, settings.penalty, reference)
-            evaluations += 1
-            accept = new_cost <= cost or (
-                math.isfinite(new_cost)
-                and rng.random() < math.exp((cost - new_cost) / temperature))
-            if accept:
-                state, cost = candidate, new_cost
-                if new_feasible and new_energy < best_feasible_energy:
-                    best_feasible = candidate.copy()
-                    best_feasible_energy = new_energy
-                best_cost = min(best_cost, new_cost)
-            temperature *= settings.cooling
+    tracer = trace.current_tracer()
+    metrics = current_metrics()
+    for pass_index in range(settings.passes):
+        with tracer.span("annealing_pass", index=pass_index) as pass_span:
+            temperature = settings.initial_temperature
+            accepts = 0
+            for _ in range(settings.iterations_per_pass):
+                if controller is not None:
+                    controller.check(f"{problem.network.name} annealing")
+                candidate = state.copy()
+                _perturb(candidate, rng, settings, tech, gates)
+                new_cost, new_energy, new_feasible = _cost(
+                    problem, candidate, settings.penalty, reference)
+                evaluations += 1
+                accept = new_cost <= cost or (
+                    math.isfinite(new_cost)
+                    and rng.random() < math.exp((cost - new_cost)
+                                                / temperature))
+                if accept:
+                    accepts += 1
+                    state, cost = candidate, new_cost
+                    if new_feasible and new_energy < best_feasible_energy:
+                        best_feasible = candidate.copy()
+                        best_feasible_energy = new_energy
+                    best_cost = min(best_cost, new_cost)
+                temperature *= settings.cooling
+            # One batched update per pass keeps the move loop hook-free.
+            metrics.incr(ANNEALING_MOVES, settings.iterations_per_pass)
+            metrics.incr(ANNEALING_ACCEPTS, accepts)
+            metrics.incr(OBJECTIVE_EVALUATIONS, settings.iterations_per_pass)
+            pass_span.annotate(accepts=accepts,
+                               best_energy=best_feasible_energy)
         if controller is not None:
             controller.report(phase="anneal", evaluations=evaluations,
                               best_energy=best_feasible_energy)

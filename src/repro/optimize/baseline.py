@@ -17,6 +17,9 @@ import math
 from typing import Dict, Optional, Tuple
 
 from repro.errors import InfeasibleError
+from repro.obs import trace
+from repro.obs.instrument import FEASIBLE_POINTS, OBJECTIVE_EVALUATIONS
+from repro.obs.metrics import current_metrics
 from repro.optimize.problem import (
     DesignPoint,
     OptimizationProblem,
@@ -64,11 +67,13 @@ def optimize_fixed_vth(problem: OptimizationProblem,
         if controller is not None:
             controller.check(f"{problem.network.name} fixed-Vth sweep")
         evaluations += 1
+        current_metrics().incr(OBJECTIVE_EVALUATIONS)
         assignment = size_widths(problem.ctx, budgets.budgets, vdd, vth,
                                  method=width_method,
                                  repair_ceiling=budgets.effective_cycle_time)
         if not assignment.feasible:
             return math.inf
+        current_metrics().incr(FEASIBLE_POINTS)
         report = total_energy(problem.ctx, vdd, vth, assignment.widths,
                               problem.frequency)
         if report.total < best_energy:
@@ -80,21 +85,27 @@ def optimize_fixed_vth(problem: OptimizationProblem,
                               best_energy=best_energy)
         return report.total
 
-    step = (high - low) / (grid_points - 1)
-    for index in range(grid_points):
-        objective(low + index * step)
-    if best_vdd is not None:
-        refine_low = max(low, best_vdd - step)
-        refine_high = min(high, best_vdd + step)
-        for _ in range(refine_iters):
-            third = (refine_high - refine_low) / 3.0
-            left = refine_low + third
-            right = refine_high - third
-            if objective(left) <= objective(right):
-                refine_high = right
-            else:
-                refine_low = left
-        objective(0.5 * (refine_low + refine_high))
+    tracer = trace.current_tracer()
+    with tracer.span("baseline_sweep", network=problem.network.name,
+                     fixed_vth=vth) as sweep_span:
+        step = (high - low) / (grid_points - 1)
+        with tracer.span("grid_search", vdd_points=grid_points):
+            for index in range(grid_points):
+                objective(low + index * step)
+        if best_vdd is not None:
+            with tracer.span("refine", iterations=refine_iters):
+                refine_low = max(low, best_vdd - step)
+                refine_high = min(high, best_vdd + step)
+                for _ in range(refine_iters):
+                    third = (refine_high - refine_low) / 3.0
+                    left = refine_low + third
+                    right = refine_high - third
+                    if objective(left) <= objective(right):
+                        refine_high = right
+                    else:
+                        refine_low = left
+                objective(0.5 * (refine_low + refine_high))
+        sweep_span.annotate(evaluations=evaluations, best_energy=best_energy)
 
     if best_vdd is None or best_widths is None:
         raise InfeasibleError(

@@ -33,6 +33,9 @@ from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import InfeasibleError, OptimizationError
+from repro.obs import trace
+from repro.obs.instrument import FEASIBLE_POINTS, OBJECTIVE_EVALUATIONS
+from repro.obs.metrics import current_metrics
 from repro.optimize.problem import (
     DesignPoint,
     OptimizationProblem,
@@ -119,6 +122,16 @@ def _make_objective(problem: OptimizationProblem, budgets: BudgetResult,
 
     def objective(vdd: float, vth: float) -> float:
         state.evaluations += 1
+        metrics = current_metrics()
+        metrics.incr(OBJECTIVE_EVALUATIONS)
+        feasible_before = state.feasible_points
+        try:
+            return evaluate(vdd, vth)
+        finally:
+            if state.feasible_points > feasible_before:
+                metrics.incr(FEASIBLE_POINTS)
+
+    def evaluate(vdd: float, vth: float) -> float:
         delay_vth = vth if delay_vth_bias is None else delay_vth_bias(vth)
         energy_vth = vth if energy_vth_bias is None else energy_vth_bias(vth)
 
@@ -399,17 +412,33 @@ def optimize_joint(problem: OptimizationProblem,
                                   best_energy=state.best_energy)
             return energy
 
+    tracer = trace.current_tracer()
     try:
-        for seed_vdd, seed_vth in seeds:
-            objective(seed_vdd, seed_vth)
-        if settings.strategy == "grid":
-            _grid_search(objective, vdd_range, vth_range, settings)
-            _refine(objective, state, vdd_range, vth_range, settings)
-        else:
-            _paper_search(objective, state, vdd_range, vth_range, settings)
-        # Refine once more around the overall best (a seed may have won).
-        if settings.strategy == "grid":
-            _refine(objective, state, vdd_range, vth_range, settings)
+        with tracer.span("optimize_joint", network=problem.network.name,
+                         strategy=settings.strategy,
+                         engine=settings.engine) as root:
+            if seeds:
+                with tracer.span("seeds", count=len(seeds)):
+                    for seed_vdd, seed_vth in seeds:
+                        objective(seed_vdd, seed_vth)
+            if settings.strategy == "grid":
+                with tracer.span("grid_search",
+                                 vdd_points=settings.grid_vdd,
+                                 vth_points=settings.grid_vth):
+                    _grid_search(objective, vdd_range, vth_range, settings)
+                with tracer.span("refine", rounds=settings.refine_rounds):
+                    _refine(objective, state, vdd_range, vth_range, settings)
+            else:
+                with tracer.span("paper_search", m_steps=settings.m_steps):
+                    _paper_search(objective, state, vdd_range, vth_range,
+                                  settings)
+            # Refine once more around the overall best (a seed may have won).
+            if settings.strategy == "grid":
+                with tracer.span("refine", rounds=settings.refine_rounds):
+                    _refine(objective, state, vdd_range, vth_range, settings)
+            root.annotate(evaluations=state.evaluations,
+                          feasible_points=state.feasible_points,
+                          best_energy=state.best_energy)
     finally:
         # Persist progress even when a deadline, cancellation, SIGINT,
         # or model error aborts the search mid-corner.

@@ -26,6 +26,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import InfeasibleError, OptimizationError
+from repro.obs import trace
+from repro.obs.instrument import OBJECTIVE_EVALUATIONS
+from repro.obs.metrics import current_metrics
 from repro.optimize.heuristic import HeuristicSettings, optimize_joint
 from repro.optimize.problem import (
     DesignPoint,
@@ -115,8 +118,10 @@ def _optimize_multi_vth(problem: OptimizationProblem,
                         ) -> OptimizationResult:
     if budgets is None:
         budgets = problem.budgets()
-    single = optimize_joint(problem, settings=settings.single,
-                            budgets=budgets, resume_from=resume_from)
+    tracer = trace.current_tracer()
+    with tracer.span("multivth_bootstrap", network=problem.network.name):
+        single = optimize_joint(problem, settings=settings.single,
+                                budgets=budgets, resume_from=resume_from)
     if problem.n_vth == 1:
         return single
 
@@ -140,6 +145,7 @@ def _optimize_multi_vth(problem: OptimizationProblem,
         if controller is not None:
             controller.check(f"{problem.network.name} multi-Vth refinement")
         evaluations += 1
+        current_metrics().incr(OBJECTIVE_EVALUATIONS)
         mapping = vth_map(vths)
         assignment = size_widths(problem.ctx, budgets.budgets, vdd_value,
                                  mapping,
@@ -158,53 +164,58 @@ def _optimize_multi_vth(problem: OptimizationProblem,
     best_vths = list(group_vths)
     best_vdd = vdd
 
-    for _ in range(settings.rounds):
-        moved = False
-        # Slack-rich groups first (reverse order): they have the most
-        # leakage to give back.
-        for index in reversed(range(len(groups))):
-            low, high = tech.vth_min, tech.vth_max
+    with tracer.span("multivth_refine", groups=len(groups),
+                     rounds=settings.rounds) as refine_span:
+        for round_index in range(settings.rounds):
+            moved = False
+            # Slack-rich groups first (reverse order): they have the most
+            # leakage to give back.
+            for index in reversed(range(len(groups))):
+                low, high = tech.vth_min, tech.vth_max
 
-            def group_objective(vth_value: float) -> float:
+                def group_objective(vth_value: float) -> float:
+                    trial = list(best_vths)
+                    trial[index] = vth_value
+                    energy, _ = evaluate(best_vdd, trial)
+                    return energy
+
+                for _ in range(settings.refine_iters):
+                    third = (high - low) / 3.0
+                    left, right = low + third, high - third
+                    if group_objective(left) <= group_objective(right):
+                        high = right
+                    else:
+                        low = left
+                candidate = 0.5 * (low + high)
                 trial = list(best_vths)
-                trial[index] = vth_value
-                energy, _ = evaluate(best_vdd, trial)
-                return energy
-
+                trial[index] = candidate
+                energy, widths = evaluate(best_vdd, trial)
+                if widths is not None and energy < best_energy:
+                    best_energy, best_widths = energy, widths
+                    best_vths = trial
+                    moved = True
+            # Re-refine the shared supply around the current point.
+            low = max(tech.vdd_min, best_vdd - 0.2)
+            high = min(tech.vdd_max, best_vdd + 0.2)
             for _ in range(settings.refine_iters):
                 third = (high - low) / 3.0
                 left, right = low + third, high - third
-                if group_objective(left) <= group_objective(right):
+                left_energy, _ = evaluate(left, best_vths)
+                right_energy, _ = evaluate(right, best_vths)
+                if left_energy <= right_energy:
                     high = right
                 else:
                     low = left
-            candidate = 0.5 * (low + high)
-            trial = list(best_vths)
-            trial[index] = candidate
-            energy, widths = evaluate(best_vdd, trial)
+            candidate_vdd = 0.5 * (low + high)
+            energy, widths = evaluate(candidate_vdd, best_vths)
             if widths is not None and energy < best_energy:
-                best_energy, best_widths = energy, widths
-                best_vths = trial
+                best_energy, best_widths, best_vdd = (energy, widths,
+                                                      candidate_vdd)
                 moved = True
-        # Re-refine the shared supply around the current point.
-        low = max(tech.vdd_min, best_vdd - 0.2)
-        high = min(tech.vdd_max, best_vdd + 0.2)
-        for _ in range(settings.refine_iters):
-            third = (high - low) / 3.0
-            left, right = low + third, high - third
-            left_energy, _ = evaluate(left, best_vths)
-            right_energy, _ = evaluate(right, best_vths)
-            if left_energy <= right_energy:
-                high = right
-            else:
-                low = left
-        candidate_vdd = 0.5 * (low + high)
-        energy, widths = evaluate(candidate_vdd, best_vths)
-        if widths is not None and energy < best_energy:
-            best_energy, best_widths, best_vdd = energy, widths, candidate_vdd
-            moved = True
-        if not moved:
-            break
+            if not moved:
+                break
+        refine_span.annotate(rounds_run=round_index + 1,
+                             best_energy=best_energy)
 
     mapping = vth_map(best_vths)
     design = DesignPoint(vdd=best_vdd, vth=mapping, widths=dict(best_widths))

@@ -39,6 +39,14 @@ from typing import Dict, List, Mapping, Tuple
 
 from repro.context import CircuitContext
 from repro.errors import OptimizationError
+from repro.obs import trace
+from repro.obs.instrument import (
+    BUDGET_REPAIRS,
+    WIDTH_BISECT_ITERATIONS,
+    WIDTH_SIZINGS,
+    seam,
+)
+from repro.obs.metrics import current_metrics
 from repro.timing.delay_model import (
     effective_drive_per_width,
     gate_delay,
@@ -85,6 +93,18 @@ def size_widths(ctx: CircuitContext, budgets: Mapping[str, float],
     """
     if method not in ("closed_form", "bisect"):
         raise OptimizationError(f"unknown width-search method {method!r}")
+    span_name = "width_bisect" if method == "bisect" else "width_search"
+    with trace.span(span_name, method=method), \
+            seam("width_search", counter=WIDTH_SIZINGS):
+        return _size_widths(ctx, budgets, vdd, vth, method, bisect_steps,
+                            repair_ceiling)
+
+
+def _size_widths(ctx: CircuitContext, budgets: Mapping[str, float],
+                 vdd: float | Mapping[str, float],
+                 vth: float | Mapping[str, float],
+                 method: str, bisect_steps: int,
+                 repair_ceiling: float | None) -> WidthAssignment:
     tech = ctx.tech
     working: Dict[str, float] = dict(budgets)
     widths: Dict[str, float] = {}
@@ -142,6 +162,10 @@ def size_widths(ctx: CircuitContext, budgets: Mapping[str, float],
             feasible = False
             infeasible = list(repaired)
 
+    metrics = current_metrics()
+    metrics.incr(WIDTH_BISECT_ITERATIONS, evaluations)
+    if repaired:
+        metrics.incr(BUDGET_REPAIRS, len(repaired))
     return WidthAssignment(widths=widths, feasible=feasible,
                            infeasible_gates=tuple(infeasible),
                            repaired_gates=tuple(repaired),

@@ -19,6 +19,7 @@ from typing import Dict, Mapping
 
 from repro.context import CircuitContext
 from repro.errors import ReproError
+from repro.obs.instrument import ENERGY_EVALUATIONS, seam
 from repro.technology import leakage
 
 
@@ -130,16 +131,17 @@ def total_energy(ctx: CircuitContext, vdd: float | Mapping[str, float],
     """
     per_static: Dict[str, float] = {}
     per_dynamic: Dict[str, float] = {}
-    for name in ctx.gates:
-        width = widths.get(name)
-        if width is None:
-            raise ReproError(f"no width supplied for gate {name!r}")
-        per_static[name] = static_energy_of_gate(
-            ctx, name, _vdd_for(vdd, name), _vth_for(vth, name), width,
-            frequency)
-        per_dynamic[name] = dynamic_energy_of_gate(ctx, name, vdd, widths)
-    for name in ctx.network.inputs:
-        per_dynamic[name] = dynamic_energy_of_gate(ctx, name, vdd, widths)
+    with seam("energy", counter=ENERGY_EVALUATIONS):
+        for name in ctx.gates:
+            width = widths.get(name)
+            if width is None:
+                raise ReproError(f"no width supplied for gate {name!r}")
+            per_static[name] = static_energy_of_gate(
+                ctx, name, _vdd_for(vdd, name), _vth_for(vth, name), width,
+                frequency)
+            per_dynamic[name] = dynamic_energy_of_gate(ctx, name, vdd, widths)
+        for name in ctx.network.inputs:
+            per_dynamic[name] = dynamic_energy_of_gate(ctx, name, vdd, widths)
     return EnergyReport(network_name=ctx.network.name, frequency=frequency,
                         vdd=vdd,
                         static=sum(per_static.values()),

@@ -24,6 +24,8 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import CheckpointError
+from repro.obs.instrument import CHECKPOINT_FLUSHES
+from repro.obs.metrics import current_metrics
 from repro.runtime.atomicio import atomic_write_json, read_json_object
 
 FORMAT_KEY = "repro-checkpoint"
@@ -126,6 +128,7 @@ class SearchCheckpoint:
         if self.path is None:
             return None
         atomic_write_json(self.path, self.to_dict())
+        current_metrics().incr(CHECKPOINT_FLUSHES)
         self._pending = 0
         return self.path
 

@@ -25,11 +25,12 @@ a :class:`FakeClock` deterministically instead of sleeping.
 from __future__ import annotations
 
 import contextlib
+import math
 import time
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Mapping, Optional
 
 from repro.errors import DeadlineExceeded, OptimizationError, RunCancelled
 
@@ -47,6 +48,43 @@ class ProgressEvent:
     best_energy: float
     #: Wall-clock seconds since the controller was created.
     elapsed_s: float
+    #: Counter snapshot from the ambient metrics registry at emit time
+    #: (``None`` when observability is disabled).
+    metrics: Optional[Mapping[str, int]] = None
+
+    def to_dict(self) -> dict:
+        """Strict-JSON form of the event.
+
+        ``best_energy`` is ``inf`` until the first feasible point;
+        ``json.dumps`` would emit the non-JSON token ``Infinity`` and
+        corrupt checkpoints/traces downstream, so non-finite values
+        serialize as ``null`` (:func:`ProgressEvent.from_dict` restores
+        them).
+        """
+        from repro.obs.serialize import json_sanitize
+
+        return {
+            "phase": self.phase,
+            "evaluations": self.evaluations,
+            "best_energy": (self.best_energy
+                            if math.isfinite(self.best_energy) else None),
+            "elapsed_s": self.elapsed_s,
+            "metrics": json_sanitize(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ProgressEvent":
+        """Rebuild an event from :meth:`to_dict` output.
+
+        A ``null`` ``best_energy`` round-trips back to ``inf`` (the
+        not-yet-feasible sentinel the optimizers use).
+        """
+        best = payload.get("best_energy")
+        return cls(phase=str(payload["phase"]),
+                   evaluations=int(payload["evaluations"]),
+                   best_energy=math.inf if best is None else float(best),
+                   elapsed_s=float(payload["elapsed_s"]),
+                   metrics=payload.get("metrics"))
 
 
 class FakeClock:
@@ -154,12 +192,22 @@ class RunController:
 
     def report(self, phase: str, evaluations: int,
                best_energy: float) -> None:
-        """Emit a :class:`ProgressEvent` to the callback, if any."""
+        """Emit a :class:`ProgressEvent` to the callback, if any.
+
+        When an ambient metrics registry is installed
+        (:func:`repro.obs.use_metrics`), the event carries a counter
+        snapshot so progress consumers see the hot counters live.
+        """
         self.events_emitted += 1
         if self._progress is not None:
+            from repro.obs.metrics import current_metrics
+
+            registry = current_metrics()
+            snapshot = registry.counters() if registry.enabled else None
             self._progress(ProgressEvent(phase=phase, evaluations=evaluations,
                                          best_energy=best_energy,
-                                         elapsed_s=self.elapsed()))
+                                         elapsed_s=self.elapsed(),
+                                         metrics=snapshot))
 
 
 #: Ambient controller for the current thread/task (see use_controller).

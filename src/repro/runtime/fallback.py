@@ -43,6 +43,9 @@ from repro.errors import (
     ReproError,
     RunCancelled,
 )
+from repro.obs import trace
+from repro.obs.instrument import FALLBACK_ATTEMPTS, FALLBACK_STAGE
+from repro.obs.metrics import current_metrics
 from repro.optimize.problem import (
     OptimizationProblem,
     OptimizationResult,
@@ -135,25 +138,34 @@ def optimize_with_fallback(problem: OptimizationProblem,
     controller = resolve_controller(settings.controller)
     attempts: list = []
 
+    metrics = current_metrics()
     for position, stage in enumerate(policy.chain):
         if controller is not None:
             controller.check(where=f"fallback stage {stage!r}")
         relax_info: Optional[Dict[str, object]] = None
+        metrics.incr(FALLBACK_ATTEMPTS)
+        metrics.set_gauge(FALLBACK_STAGE, position)
         try:
-            if stage == RELAX_STAGE:
-                result, relax_info = _relaxed_solve(problem, settings, policy)
-            else:
-                stage_settings = dataclasses.replace(settings, strategy=stage)
-                result = optimize_joint(
-                    problem, settings=stage_settings, budgets=budgets,
-                    resume_from=resume_from if position == 0 else None)
-                if not result.feasible:
+            # A per-stage span (marked ``error`` when the stage fails)
+            # makes a trace explain *why* a run degraded, stage by stage.
+            with trace.span("fallback_stage", stage=stage,
+                            position=position):
+                if stage == RELAX_STAGE:
+                    result, relax_info = _relaxed_solve(problem, settings,
+                                                        policy)
+                else:
+                    stage_settings = dataclasses.replace(settings,
+                                                         strategy=stage)
+                    result = optimize_joint(
+                        problem, settings=stage_settings, budgets=budgets,
+                        resume_from=resume_from if position == 0 else None)
+                    if not result.feasible:
+                        raise OptimizationError(
+                            f"stage {stage!r} returned an infeasible design")
+                if not math.isfinite(result.total_energy):
                     raise OptimizationError(
-                        f"stage {stage!r} returned an infeasible design")
-            if not math.isfinite(result.total_energy):
-                raise OptimizationError(
-                    f"stage {stage!r} returned non-finite energy "
-                    f"{result.total_energy!r}")
+                        f"stage {stage!r} returned non-finite energy "
+                        f"{result.total_energy!r}")
         except (DeadlineExceeded, RunCancelled):
             raise
         except ReproError as error:

@@ -44,6 +44,12 @@ from typing import Dict, Mapping, Tuple
 
 from repro.errors import TimingError
 from repro.netlist.network import LogicNetwork
+from repro.obs.instrument import (
+    BUDGET_PATHS_PROCESSED,
+    BUDGETING_RUNS,
+    seam,
+)
+from repro.obs.metrics import current_metrics
 from repro.timing.paths import (
     criticality_through,
     enumerate_critical_paths,
@@ -154,17 +160,20 @@ def assign_delay_budgets(network: LogicNetwork, cycle_time: float,
         raise TimingError(f"unknown budgeting method {method!r}")
 
     target = cycle_time * skew_factor
-    if method == "through":
-        budgets = _through_assignment(network, target, criticality)
-        paths_processed = 0
-        fallback: Tuple[str, ...] = ()
-    else:
-        budgets, paths_processed, fallback = _path_assignment(
-            network, target, max_paths, criticality)
+    with seam("budgeting", counter=BUDGETING_RUNS):
+        if method == "through":
+            budgets = _through_assignment(network, target, criticality)
+            paths_processed = 0
+            fallback: Tuple[str, ...] = ()
+        else:
+            budgets, paths_processed, fallback = _path_assignment(
+                network, target, max_paths, criticality)
 
-    slope_adjusted = _slope_post_process(network, budgets, slope_max,
-                                         slope_share)
-    rescale = _final_rescale(network, budgets, target)
+        slope_adjusted = _slope_post_process(network, budgets, slope_max,
+                                             slope_share)
+        rescale = _final_rescale(network, budgets, target)
+    if paths_processed:
+        current_metrics().incr(BUDGET_PATHS_PROCESSED, paths_processed)
 
     return BudgetResult(network_name=network.name, cycle_time=cycle_time,
                         skew_factor=skew_factor, budgets=budgets,

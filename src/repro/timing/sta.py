@@ -21,6 +21,8 @@ from typing import Dict, Mapping, Tuple
 
 from repro.context import CircuitContext
 from repro.errors import TimingError
+from repro.obs.instrument import DELAY_MODEL_CALLS, STA_CALLS, seam
+from repro.obs.metrics import current_metrics
 from repro.timing.delay_model import gate_delay
 
 
@@ -70,17 +72,23 @@ def analyze_timing(ctx: CircuitContext, vdd: float | Mapping[str, float],
     delays: Dict[str, float] = {}
     arrivals: Dict[str, float] = {}
 
-    for name in network.topological_order():
-        gate = network.gate(name)
-        if gate.is_input:
-            delays[name] = 0.0
-            arrivals[name] = 0.0
-            continue
-        max_fanin_delay = max(delays[fanin] for fanin in gate.fanins)
-        delay = gate_delay(ctx, name, vdd, _vth_for(vth, name), widths,
-                           max_fanin_delay)
-        delays[name] = delay
-        arrivals[name] = max(arrivals[fanin] for fanin in gate.fanins) + delay
+    with seam("sta", counter=STA_CALLS):
+        gate_evaluations = 0
+        for name in network.topological_order():
+            gate = network.gate(name)
+            if gate.is_input:
+                delays[name] = 0.0
+                arrivals[name] = 0.0
+                continue
+            max_fanin_delay = max(delays[fanin] for fanin in gate.fanins)
+            delay = gate_delay(ctx, name, vdd, _vth_for(vth, name), widths,
+                               max_fanin_delay)
+            gate_evaluations += 1
+            delays[name] = delay
+            arrivals[name] = max(arrivals[fanin]
+                                 for fanin in gate.fanins) + delay
+        # One aggregate update keeps the per-gate loop free of hooks.
+        current_metrics().incr(DELAY_MODEL_CALLS, gate_evaluations)
 
     critical_delay = max(arrivals[output] for output in network.outputs)
     critical_path = _trace_critical_path(ctx, delays, arrivals, critical_delay)

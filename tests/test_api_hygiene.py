@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.runtime",
+    "repro.obs",
     "repro.bdd",
     "repro.fastpath",
 ]

@@ -88,3 +88,57 @@ def test_optimize_save_design(tmp_path, capsys):
     payload = json_module.loads(out.read_text())
     assert payload["network"] == "s27"
     assert payload["widths"]
+
+
+def test_optimize_writes_trace_and_metrics(tmp_path, capsys):
+    trace_path = tmp_path / "run.trace.jsonl"
+    metrics_path = tmp_path / "run.metrics.json"
+    assert main(["optimize", "s27",
+                 "--trace", str(trace_path),
+                 "--metrics", str(metrics_path),
+                 "--profile"]) == 0
+    capsys.readouterr()
+    records = [json.loads(line)
+               for line in trace_path.read_text().splitlines()]
+    names = {record["name"] for record in records
+             if record["type"] == "span"}
+    assert {"optimize_joint", "grid_search", "refine",
+            "width_search"} <= names
+    # Spans nest: the grid search is a child of the optimize root.
+    by_name = {record["name"]: record for record in records
+               if record["type"] == "span"}
+    roots = [r for r in records if r.get("type") == "span"
+             and r["parent_id"] is None]
+    assert by_name["grid_search"]["parent_id"] == roots[0]["span_id"]
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"]["objective_evaluations"] > 0
+    assert metrics["counters"]["sta_calls"] > 0
+    assert metrics["histograms"]["seam.sta.seconds"]["count"] > 0
+
+
+def test_optimize_bisect_width_method_traces_width_bisect(tmp_path, capsys):
+    trace_path = tmp_path / "run.trace.jsonl"
+    assert main(["optimize", "s27", "--width-method", "bisect",
+                 "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    names = {json.loads(line)["name"]
+             for line in trace_path.read_text().splitlines()
+             if json.loads(line).get("type") == "span"}
+    assert "width_bisect" in names
+
+
+def test_trace_report_command(tmp_path, capsys):
+    trace_path = tmp_path / "run.trace.jsonl"
+    assert main(["optimize", "s27", "--trace", str(trace_path),
+                 "--metrics", str(tmp_path / "m.json")]) == 0
+    capsys.readouterr()
+    assert main(["trace-report", str(trace_path), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "top spans by self time" in out
+    assert "hot counters" in out
+    assert "objective_evaluations" in out
+
+
+def test_trace_report_missing_file_errors(capsys):
+    assert main(["trace-report", "/nonexistent/trace.jsonl"]) == 1
+    assert "error:" in capsys.readouterr().err

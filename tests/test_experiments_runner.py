@@ -87,6 +87,60 @@ class TestIsolation:
         assert seen["controller"].deadline_s == 60.0
 
 
+class TestObservability:
+    def test_trace_dir_writes_per_experiment_artifacts(self, monkeypatch,
+                                                       tmp_path):
+        import json
+
+        from repro.obs import trace
+        from repro.obs.metrics import incr
+
+        def instrumented():
+            incr("objective_evaluations", 5)
+            with trace.span("grid_search"):
+                pass
+            return "INSTRUMENTED"
+
+        monkeypatch.setattr(runner, "_EXPERIMENTS",
+                            {"alpha": instrumented, "omega": FAKES["omega"]})
+        outcomes = runner.run_experiments(["alpha", "omega"],
+                                          stream=io.StringIO(),
+                                          trace_dir=tmp_path)
+        assert all(outcome.ok for outcome in outcomes)
+        for name in ("alpha", "omega"):
+            assert (tmp_path / f"{name}.trace.jsonl").exists()
+            assert (tmp_path / f"{name}.metrics.json").exists()
+        records = [json.loads(line) for line in
+                   (tmp_path / "alpha.trace.jsonl").read_text().splitlines()]
+        names = {record["name"] for record in records
+                 if record["type"] == "span"}
+        assert names == {"alpha", "grid_search"}
+        metrics = json.loads((tmp_path / "alpha.metrics.json").read_text())
+        assert metrics["counters"]["objective_evaluations"] == 5
+        # The second experiment gets a fresh registry.
+        omega = json.loads((tmp_path / "omega.metrics.json").read_text())
+        assert omega["counters"] == {}
+
+    def test_failed_experiment_still_exports_its_trace(self, monkeypatch,
+                                                       tmp_path):
+        import json
+
+        monkeypatch.setattr(runner, "_EXPERIMENTS", {"bad": FAKES["bad"]})
+        outcomes = runner.run_experiments(["bad"], stream=io.StringIO(),
+                                          trace_dir=tmp_path)
+        assert outcomes[0].status == "failed"
+        records = [json.loads(line) for line in
+                   (tmp_path / "bad.trace.jsonl").read_text().splitlines()]
+        (root,) = [record for record in records
+                   if record["type"] == "span"]
+        assert root["name"] == "bad" and root["status"] == "error"
+
+    def test_status_lines_keep_reaching_the_stream(self, fake_experiments):
+        stream = io.StringIO()
+        runner.run_experiments(["alpha"], stream=stream)
+        assert "[alpha regenerated in" in stream.getvalue()
+
+
 class TestSummaryAndMain:
     def test_format_summary_counts(self, fake_experiments):
         outcomes = runner.run_experiments(["alpha", "bad"],

@@ -1,0 +1,78 @@
+"""Seam hooks: counters, profiling histograms, and the disabled path."""
+
+import time
+
+from repro.obs.instrument import (
+    STA_CALLS,
+    profiling_enabled,
+    seam,
+    seam_metric,
+    use_profiling,
+)
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, current_metrics
+from repro.obs.trace import NULL_TRACER, current_tracer, span
+from repro.runtime.controller import FakeClock
+
+
+def test_seam_increments_canonical_counter():
+    registry = MetricsRegistry()
+    from repro.obs.metrics import use_metrics
+
+    with use_metrics(registry):
+        with seam("sta", counter=STA_CALLS):
+            pass
+        with seam("delay_model", counter="delay_model_calls", calls=40):
+            pass
+    assert registry.counter(STA_CALLS) == 1
+    assert registry.counter("delay_model_calls") == 40
+    # No profiling scope -> no duration histogram.
+    assert registry.histogram(seam_metric("sta")) is None
+
+
+def test_seam_times_into_histogram_under_profiling():
+    from repro.obs.metrics import use_metrics
+
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    assert not profiling_enabled()
+    with use_metrics(registry), use_profiling(clock):
+        assert profiling_enabled()
+        with seam("sta", counter=STA_CALLS):
+            clock.advance(0.125)
+    histogram = registry.histogram(seam_metric("sta"))
+    assert histogram is not None
+    assert histogram.count == 1
+    assert histogram.total == 0.125
+
+
+def test_profiling_without_registry_is_inert():
+    with use_profiling(FakeClock()):
+        with seam("sta", counter=STA_CALLS):
+            pass  # NULL_METRICS swallows both the counter and the timing
+    assert NULL_METRICS.counter(STA_CALLS) == 0
+
+
+def test_disabled_observability_allocates_nothing():
+    """The off path must stay allocation-free: shared singletons only."""
+    assert current_metrics() is NULL_METRICS
+    assert current_tracer() is NULL_TRACER
+    first = NULL_TRACER.span("grid_search", vdd_points=15)
+    second = NULL_TRACER.span("refine")
+    assert first is second
+    assert span("via_ambient") is first
+
+
+def test_noop_seam_overhead_guard():
+    """20k uninstrumented seam crossings must stay clearly sub-second.
+
+    A loose absolute bound: it only catches an accidental O(n) cost
+    (span allocation, histogram writes) sneaking onto the disabled
+    path, without being flaky on slow CI machines.
+    """
+    iterations = 20_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with seam("sta", counter=STA_CALLS):
+            pass
+    elapsed = time.perf_counter() - start
+    assert elapsed < 2.0, f"no-op seam too slow: {elapsed:.3f}s"

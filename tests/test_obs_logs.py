@@ -1,0 +1,78 @@
+"""Logging setup: hierarchy, verbosity mapping, capture-friendly stderr."""
+
+import io
+import logging
+
+from repro.obs.logs import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    stream_handler,
+    verbosity_level,
+)
+
+
+def _managed_handlers():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    return [handler for handler in root.handlers
+            if getattr(handler, "_repro_managed", False)]
+
+
+def test_get_logger_prefixes_into_the_repro_hierarchy():
+    assert get_logger("cli").name == "repro.cli"
+    assert get_logger("repro.experiments.runner").name == \
+        "repro.experiments.runner"
+    assert get_logger("repro").name == "repro"
+
+
+def test_verbosity_level_maps_and_clamps():
+    assert verbosity_level(-5) == logging.ERROR
+    assert verbosity_level(-1) == logging.ERROR
+    assert verbosity_level(0) == logging.WARNING
+    assert verbosity_level(1) == logging.INFO
+    assert verbosity_level(2) == logging.DEBUG
+    assert verbosity_level(7) == logging.DEBUG
+
+
+def test_configure_logging_is_idempotent():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    before = list(root.handlers)
+    try:
+        configure_logging(0)
+        configure_logging(2)
+        configure_logging(1)
+        assert len(_managed_handlers()) == 1
+        assert root.level == logging.INFO
+    finally:
+        for handler in _managed_handlers():
+            root.removeHandler(handler)
+        root.handlers = before
+        root.setLevel(logging.NOTSET)
+
+
+def test_configured_logs_reach_the_current_stderr(capsys):
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    before = list(root.handlers)
+    try:
+        configure_logging(0)
+        get_logger("cli").warning("warning: something degraded")
+        assert "warning: something degraded" in capsys.readouterr().err
+    finally:
+        for handler in _managed_handlers():
+            root.removeHandler(handler)
+        root.handlers = before
+        root.setLevel(logging.NOTSET)
+
+
+def test_stream_handler_writes_message_only():
+    buffer = io.StringIO()
+    logger = logging.getLogger("repro.test_stream_handler")
+    handler = stream_handler(buffer, level=logging.INFO)
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
+    try:
+        logger.info("[table1 regenerated in 4.2 s]")
+    finally:
+        logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+    assert buffer.getvalue() == "[table1 regenerated in 4.2 s]\n"

@@ -1,0 +1,101 @@
+"""Metrics registry: counters, gauges, histograms, thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    incr,
+    use_metrics,
+)
+
+
+def test_counters_and_gauges():
+    registry = MetricsRegistry()
+    assert registry.counter("sta_calls") == 0
+    registry.incr("sta_calls")
+    registry.incr("sta_calls", 4)
+    assert registry.counter("sta_calls") == 5
+    registry.set_gauge("fallback_stage", 1)
+    registry.set_gauge("fallback_stage", 2)
+    assert registry.gauge("fallback_stage") == 2.0
+    assert registry.gauge("missing") is None
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    registry = MetricsRegistry()
+    threads = [
+        threading.Thread(
+            target=lambda: [registry.incr("objective_evaluations")
+                            for _ in range(1000)])
+        for _ in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.counter("objective_evaluations") == 8000
+
+
+def test_histogram_percentiles_interpolate():
+    histogram = Histogram()
+    for value in range(1, 101):
+        histogram.observe(float(value))
+    assert histogram.percentile(0.0) == 1.0
+    assert histogram.percentile(100.0) == 100.0
+    assert histogram.percentile(50.0) == pytest.approx(50.5)
+    assert histogram.percentile(95.0) == pytest.approx(95.05)
+    summary = histogram.summary()
+    assert summary["count"] == 100
+    assert summary["mean"] == pytest.approx(50.5)
+    assert summary["min"] == 1.0 and summary["max"] == 100.0
+
+
+def test_histogram_percentile_errors():
+    histogram = Histogram()
+    with pytest.raises(ReproError):
+        histogram.percentile(50.0)  # empty
+    histogram.observe(1.0)
+    with pytest.raises(ReproError):
+        histogram.percentile(101.0)
+    assert Histogram().summary() == {"count": 0}
+
+
+def test_snapshot_is_strict_json_and_write_is_atomic(tmp_path):
+    registry = MetricsRegistry()
+    registry.incr("checkpoint_flushes")
+    registry.set_gauge("weird", float("inf"))
+    registry.observe("seam.sta.seconds", 0.25)
+    text = json.dumps(registry.snapshot(), allow_nan=False)
+    assert "Infinity" not in text
+    path = tmp_path / "metrics.json"
+    registry.write(path)
+    payload = json.loads(path.read_text())
+    assert payload["counters"]["checkpoint_flushes"] == 1
+    assert payload["gauges"]["weird"] is None
+    assert payload["histograms"]["seam.sta.seconds"]["count"] == 1
+
+
+def test_ambient_registry_defaults_to_null_sink():
+    assert current_metrics() is NULL_METRICS
+    incr("objective_evaluations")  # must be a safe no-op
+    assert NULL_METRICS.counter("objective_evaluations") == 0
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        assert current_metrics() is registry
+        incr("objective_evaluations", 2)
+        with use_metrics(None):  # inner scope shielded from the outer
+            incr("objective_evaluations", 99)
+    assert current_metrics() is NULL_METRICS
+    assert registry.counter("objective_evaluations") == 2
+
+
+def test_null_metrics_refuses_persistence(tmp_path):
+    with pytest.raises(ReproError):
+        NULL_METRICS.write(tmp_path / "nope.json")

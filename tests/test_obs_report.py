@@ -1,0 +1,93 @@
+"""trace-report: self-time aggregation and the golden rendering."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.instrument import OBJECTIVE_EVALUATIONS, STA_CALLS
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    format_trace_report,
+    load_trace,
+    render_trace_report,
+    summarize_trace,
+)
+from repro.obs.trace import Tracer
+from repro.runtime.controller import FakeClock
+
+GOLDEN = Path(__file__).parent / "data" / "trace_report.golden"
+
+
+def build_trace(path) -> None:
+    """A deterministic miniature optimizer trace (FakeClock-timed)."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    registry = MetricsRegistry()
+    registry.incr(OBJECTIVE_EVALUATIONS, 61)
+    registry.incr(STA_CALLS, 9)
+    registry.observe("seam.sta.seconds", 0.5)
+    registry.observe("seam.sta.seconds", 1.5)
+    with tracer.span("optimize_joint", network="s27"):
+        with tracer.span("grid_search", vdd_points=15):
+            clock.advance(2.0)
+            with tracer.span("width_search"):
+                clock.advance(1.0)
+        with tracer.span("refine"):
+            clock.advance(0.5)
+        try:
+            with tracer.span("doomed"):
+                clock.advance(0.25)
+                raise ValueError("boom")
+        except ValueError:
+            pass
+    tracer.export_jsonl(path, metrics=registry)
+
+
+def test_self_time_subtracts_direct_children(tmp_path):
+    path = tmp_path / "t.jsonl"
+    build_trace(path)
+    summary = summarize_trace(load_trace(path))
+    by_name = {agg.name: agg for agg in summary.spans}
+    assert by_name["grid_search"].wall_s == pytest.approx(3.0)
+    assert by_name["grid_search"].self_s == pytest.approx(2.0)
+    assert by_name["width_search"].self_s == pytest.approx(1.0)
+    assert by_name["refine"].self_s == pytest.approx(0.5)
+    assert by_name["optimize_joint"].wall_s == pytest.approx(3.75)
+    assert by_name["optimize_joint"].self_s == pytest.approx(0.0)
+    assert by_name["doomed"].errors == 1
+    # Ordered by self time, descending.
+    assert summary.spans[0].name == "grid_search"
+    assert summary.counters[OBJECTIVE_EVALUATIONS] == 61
+    assert summary.counters[STA_CALLS] == 9
+
+
+def test_trace_report_matches_golden(tmp_path):
+    path = tmp_path / "t.jsonl"
+    build_trace(path)
+    report = format_trace_report(summarize_trace(load_trace(path)),
+                                 top=10, title="golden trace")
+    assert report == GOLDEN.read_text().rstrip("\n")
+
+
+def test_render_trace_report_names_the_file(tmp_path):
+    path = tmp_path / "t.jsonl"
+    build_trace(path)
+    report = render_trace_report(path, top=2)
+    assert str(path) in report
+    assert "grid_search" in report
+    # top=2 keeps only the two hottest span rows.
+    assert "refine" not in report.splitlines()[4]
+
+
+def test_load_trace_errors(tmp_path):
+    with pytest.raises(ReproError, match="no such trace"):
+        load_trace(tmp_path / "missing.jsonl")
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type": "span"}\n{truncated')
+    with pytest.raises(ReproError, match="invalid trace line"):
+        load_trace(bad)
+    scalar = tmp_path / "scalar.jsonl"
+    scalar.write_text("42\n")
+    with pytest.raises(ReproError, match="must be JSON objects"):
+        load_trace(scalar)

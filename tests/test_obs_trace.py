@@ -1,0 +1,111 @@
+"""Tracer: nesting, timing, error status, export, and the null path."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    span,
+    use_tracer,
+)
+from repro.runtime.controller import FakeClock
+
+
+def test_spans_nest_and_record_children_before_parents():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.depth == 2
+    assert tracer.depth == 0
+    assert [record.name for record in tracer.spans] == ["inner", "outer"]
+    assert inner.parent_id == outer.span_id
+    assert inner.depth == 1 and outer.depth == 0
+
+
+def test_fake_clock_traces_are_deterministic():
+    def run() -> list:
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("grid_search", vdd_points=15):
+            clock.advance(2.0)
+            with tracer.span("width_search"):
+                clock.advance(0.5)
+        return tracer.records()
+
+    first, second = run(), run()
+    assert first == second
+    by_name = {record["name"]: record for record in first}
+    assert by_name["grid_search"]["wall_s"] == pytest.approx(2.5)
+    assert by_name["width_search"]["wall_s"] == pytest.approx(0.5)
+    # cpu clock defaults to the injected clock, so it matches too.
+    assert by_name["grid_search"]["cpu_s"] == pytest.approx(2.5)
+
+
+def test_span_error_status_and_annotation():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("doomed") as record:
+            record.annotate(best_energy=1.5)
+            raise ValueError("boom")
+    (finished,) = tracer.spans
+    assert finished.status == "error"
+    assert finished.attrs["error"] == "ValueError"
+    assert finished.attrs["best_energy"] == 1.5
+    assert finished.wall_s is not None  # timed despite the exception
+
+
+def test_export_jsonl_is_strict_json(tmp_path):
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("root", bad=float("inf")):
+        clock.advance(1.0)
+    path = tracer.export_jsonl(tmp_path / "run.trace.jsonl")
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert record["type"] == "span"
+    assert record["attrs"]["bad"] is None  # inf sanitized to null
+    assert "Infinity" not in lines[0]
+
+
+def test_export_appends_metrics_record(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.incr("objective_evaluations", 3)
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("root"):
+        pass
+    path = tracer.export_jsonl(tmp_path / "t.jsonl", metrics=registry)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records[-1]["type"] == "metrics"
+    assert records[-1]["counters"]["objective_evaluations"] == 3
+
+
+def test_ambient_tracer_defaults_to_null():
+    assert current_tracer() is NULL_TRACER
+    with span("ignored"):  # must be a working no-op
+        pass
+    tracer = Tracer()
+    with use_tracer(tracer):
+        assert current_tracer() is tracer
+        with span("seen"):
+            pass
+    assert current_tracer() is NULL_TRACER
+    assert [record.name for record in tracer.spans] == ["seen"]
+
+
+def test_null_tracer_reuses_one_span_and_refuses_export():
+    null = NullTracer()
+    first = null.span("a", attr=1)
+    second = null.span("b")
+    assert first is second  # zero allocation on the disabled path
+    assert first.annotate(x=1) is first
+    with pytest.raises(ReproError):
+        null.export_jsonl("/tmp/never.jsonl")
+    assert not null.enabled and not null.spans

@@ -112,6 +112,42 @@ class TestProgress:
         controller.report(phase="grid", evaluations=1, best_energy=1.0)
         assert controller.events_emitted == 1
 
+    def test_event_serializes_infinite_energy_as_null(self):
+        import json
+        import math
+
+        event = ProgressEvent(phase="grid", evaluations=0,
+                              best_energy=math.inf, elapsed_s=0.5)
+        payload = event.to_dict()
+        assert payload["best_energy"] is None
+        # json.dumps default mode would emit the non-JSON "Infinity"
+        # token; the dict form must survive a strict encoder.
+        text = json.dumps(payload, allow_nan=False)
+        restored = ProgressEvent.from_dict(json.loads(text))
+        assert restored.best_energy == math.inf
+        assert restored == event
+
+    def test_event_round_trips_finite_values_and_metrics(self):
+        event = ProgressEvent(phase="refine", evaluations=7,
+                              best_energy=9e-13, elapsed_s=1.0,
+                              metrics={"sta_calls": 4})
+        restored = ProgressEvent.from_dict(event.to_dict())
+        assert restored == event
+
+    def test_report_snapshots_ambient_metrics(self):
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        events = []
+        controller = RunController(clock=FakeClock(),
+                                   progress=events.append)
+        registry = MetricsRegistry()
+        registry.incr("sta_calls", 3)
+        with use_metrics(registry):
+            controller.report(phase="grid", evaluations=1, best_energy=1.0)
+        controller.report(phase="grid", evaluations=2, best_energy=1.0)
+        assert events[0].metrics == {"sta_calls": 3}
+        assert events[1].metrics is None  # observability disabled
+
 
 class TestAmbientController:
     def test_no_ambient_by_default(self):

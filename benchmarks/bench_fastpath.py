@@ -1,9 +1,13 @@
 """Bench: the vectorized evaluation engine vs the scalar reference.
 
 Times the full Procedure 2 run under both engines on a mid-size and a
-large circuit, asserting identical optima (the fast path falls back to
-the scalar path only where budget repair is needed, so the search visits
-the same surface) and archives the speedup.
+large circuit, asserting identical optima (budget repair runs inside the
+vectorized kernel, so the two engines visit the same surface with no
+scalar fallback) and archives the speedup. A second bench A/Bs the
+engines through the multi-Vth optimizer and the annealing comparator —
+the searches that stress per-gate voltage vectors and per-move
+measurement — and proves via the ``engine.<name>.evaluations`` counters
+that the fast legs never touch the scalar engine.
 """
 
 import time
@@ -12,7 +16,11 @@ from repro.activity.profiles import uniform_profile
 from repro.analysis.report import format_table
 from repro.experiments.common import build_problem
 from repro.netlist.benchmarks import benchmark_circuit
+from repro.obs.instrument import engine_evaluations_metric
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.optimize.annealing import AnnealingSettings, optimize_annealing
 from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.multivth import MultiVthSettings, optimize_multi_vth
 from repro.optimize.problem import OptimizationProblem
 from repro.technology.process import Technology
 from repro.units import MHZ
@@ -63,3 +71,95 @@ def test_fast_engine_speedup(benchmark, record_artifact, record_json):
         title="Vectorized engine vs scalar reference "
               "(identical optima asserted)"))
     record_json("fastpath", results=results)
+
+
+def _timed(run):
+    """(result, wall seconds, engine-evaluation counters) of one leg."""
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        start = time.perf_counter()
+        result = run()
+        seconds = time.perf_counter() - start
+    counters = {name: registry.counter(engine_evaluations_metric(name))
+                for name in ("scalar", "fast")}
+    return result, seconds, counters
+
+
+def test_engine_ab_multivth_and_annealing(benchmark, record_artifact,
+                                          record_json):
+    """A/B the engines through multivth (c2670) and annealing (s298).
+
+    The fast legs must run end-to-end on the array engine: the
+    ``engine.scalar.evaluations`` counter stays at zero (no fallback
+    anywhere), and multi-Vth on the largest benchmark must come out
+    >= 3x faster at an identical optimum.
+    """
+    rows = []
+    results = []
+
+    base = problem_for("c2670")
+    problem = OptimizationProblem(ctx=base.ctx, frequency=base.frequency,
+                                  n_vth=2)
+    legs = {}
+    for engine in ("scalar", "fast"):
+        settings = MultiVthSettings(
+            single=HeuristicSettings(engine=engine))
+        result, seconds, counters = _timed(
+            lambda: optimize_multi_vth(problem, settings=settings))
+        assert result.feasible
+        assert result.details["engine"] == engine
+        assert counters[engine] > 0
+        other = "fast" if engine == "scalar" else "scalar"
+        assert counters[other] == 0, f"{engine} leg leaked {other} evals"
+        legs[engine] = (result, seconds)
+        results.append({"unit": f"c2670 multivth {engine}",
+                        "evaluations": result.evaluations,
+                        "wall_s": seconds,
+                        "best_energy": result.total_energy,
+                        "engine_evaluations": counters})
+    scalar_result, scalar_seconds = legs["scalar"]
+    fast_result, fast_seconds = legs["fast"]
+    assert abs(fast_result.total_energy - scalar_result.total_energy) \
+        <= 1e-6 * scalar_result.total_energy
+    multivth_speedup = scalar_seconds / fast_seconds
+    assert multivth_speedup >= 3.0, (
+        f"multi-Vth speedup regressed to {multivth_speedup:.2f}x")
+    rows.append(["c2670 multivth", problem.network.gate_count,
+                 f"{scalar_seconds:.2f}", f"{fast_seconds:.2f}",
+                 f"{multivth_speedup:.2f}x"])
+
+    anneal_problem = problem_for("s298")
+    anneal_legs = {}
+    for engine in ("scalar", "fast"):
+        settings = AnnealingSettings(passes=2, iterations_per_pass=500,
+                                     engine=engine, seed=5)
+        result, seconds, counters = _timed(
+            lambda: optimize_annealing(anneal_problem, settings=settings))
+        assert result.feasible
+        assert result.details["engine"] == engine
+        assert counters[engine] == 2 * 500
+        other = "fast" if engine == "scalar" else "scalar"
+        assert counters[other] == 0, f"{engine} leg leaked {other} evals"
+        anneal_legs[engine] = seconds
+        results.append({"unit": f"s298 annealing {engine}",
+                        "evaluations": result.evaluations,
+                        "wall_s": seconds,
+                        "best_energy": result.total_energy,
+                        "engine_evaluations": counters})
+    rows.append(["s298 annealing", anneal_problem.network.gate_count,
+                 f"{anneal_legs['scalar']:.2f}",
+                 f"{anneal_legs['fast']:.2f}",
+                 f"{anneal_legs['scalar'] / anneal_legs['fast']:.2f}x"])
+
+    benchmark.pedantic(
+        lambda: optimize_multi_vth(
+            problem, settings=MultiVthSettings(
+                single=HeuristicSettings(engine="fast"))),
+        rounds=1, iterations=1)
+    record_artifact("fastpath_engines", format_table(
+        headers=["search", "gates", "scalar (s)", "fast (s)", "speedup"],
+        rows=rows,
+        title="Engine A/B through multi-Vth and annealing "
+              "(zero scalar fallbacks asserted via metrics)"))
+    record_json("fastpath_engines", results=results,
+                multivth_speedup=multivth_speedup)

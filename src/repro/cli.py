@@ -153,6 +153,7 @@ def _run_optimize(args: argparse.Namespace, problem, network) -> int:
     resume_from = args.resume
     settings = HeuristicSettings(strategy=args.strategy,
                                  width_method=args.width_method,
+                                 engine=args.engine,
                                  controller=controller)
     try:
         if problem.n_vth > 1:
@@ -350,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
                           default="closed_form",
                           help="Procedure 2 width sizing: the closed-form "
                                "solve or the paper's bisection")
+    optimize.add_argument("--engine",
+                          choices=("auto", "scalar", "fast"),
+                          default="auto",
+                          help="evaluation engine: the scalar reference, "
+                               "the vectorized NumPy fastpath, or auto "
+                               "(honor $REPRO_ENGINE, default scalar)")
     optimize.add_argument("--trace", default=None, metavar="PATH",
                           help="record a JSONL span trace of the search "
                                "to PATH")

@@ -1,0 +1,54 @@
+"""Unified evaluation-engine layer (see :mod:`repro.engine.base`).
+
+Every optimizer consumes Procedure 2's inner loop through this package:
+:func:`make_engine` (or :meth:`repro.optimize.problem.OptimizationProblem
+.evaluator`) resolves ``"auto"`` / ``"scalar"`` / ``"fast"`` to a
+concrete :class:`Engine` and the :class:`Evaluator` objective wraps it
+with the canonical evaluation counters.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import (
+    ENGINE_CHOICES,
+    ENGINE_ENV_VAR,
+    ENGINE_NAMES,
+    Engine,
+    EngineEvaluation,
+    EngineMeasurement,
+    EngineSizing,
+    Evaluator,
+    resolve_engine_name,
+    use_engine,
+)
+from repro.optimize.problem import OptimizationProblem
+
+__all__ = [
+    "ENGINE_CHOICES",
+    "ENGINE_ENV_VAR",
+    "ENGINE_NAMES",
+    "Engine",
+    "EngineEvaluation",
+    "EngineMeasurement",
+    "EngineSizing",
+    "Evaluator",
+    "make_engine",
+    "resolve_engine_name",
+    "use_engine",
+]
+
+
+def make_engine(problem: OptimizationProblem, engine: str = "auto", *,
+                width_method: str = "closed_form",
+                bisect_steps: int = 24) -> Engine:
+    """Resolve ``engine`` and construct the implementation."""
+    name = resolve_engine_name(engine)
+    if name == "fast":
+        from repro.engine.array import ArrayEngine
+
+        return ArrayEngine(problem, width_method=width_method,
+                           bisect_steps=bisect_steps)
+    from repro.engine.scalar import ScalarEngine
+
+    return ScalarEngine(problem, width_method=width_method,
+                        bisect_steps=bisect_steps)

@@ -1,0 +1,267 @@
+"""The evaluation-engine seam: one protocol, two implementations.
+
+Procedure 2's inner loop — budgets → minimum-width sizing → STA → energy
+(§4.3, eqs. A1–A3) — is what every optimizer in this repository spends
+its time on. :class:`Engine` is the single seam through which they all
+evaluate it:
+
+* :class:`~repro.engine.scalar.ScalarEngine` wraps the scalar reference
+  modules (``optimize.width_search``, ``timing.sta``, ``power.energy``),
+* :class:`~repro.engine.array.ArrayEngine` runs the vectorized
+  :mod:`repro.fastpath` kernels, including per-gate Vdd/Vth vectors and
+  in-engine budget repair, so multi-Vth / multi-Vdd searches and the
+  annealer stay vectorized with **no scalar fallback**.
+
+**Parity contract.** For any (budgets, Vdd, Vth) point the two engines
+agree on the feasibility verdict and, on feasible points, on energies
+and critical delays to float round-off (relative ~1e-9; the engines sum
+identical terms in different associations). ``tests/test_fastpath.py``
+and ``tests/test_engine_parity.py`` enforce this on every benchmark
+circuit and on randomized generator circuits, including corners that
+exercise budget repair.
+
+**Selection.** ``"scalar"`` and ``"fast"`` pick an engine explicitly;
+``"auto"`` (the default everywhere) resolves via the ambient
+:func:`use_engine` override, then the ``REPRO_ENGINE`` environment
+variable, then ``"scalar"``. Checkpoint fingerprints record the
+*resolved* name so a checkpoint can never silently resume under a
+different engine.
+
+All widths crossing this API — vectors returned by
+:meth:`Engine.widths_vector`, handles in :class:`EngineSizing` — are in
+canonical ``ctx.gates`` order; per-gate mappings are accepted anywhere
+widths or voltages are.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+import math
+import os
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    Iterator,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import OptimizationError
+from repro.obs.instrument import (
+    FEASIBLE_POINTS,
+    OBJECTIVE_EVALUATIONS,
+    engine_evaluations_metric,
+)
+from repro.obs.metrics import current_metrics
+from repro.optimize.problem import OptimizationProblem
+from repro.timing.budgeting import BudgetResult
+
+#: Concrete engine implementations.
+ENGINE_NAMES: Tuple[str, ...] = ("scalar", "fast")
+#: Accepted ``engine=`` settings values (``"auto"`` defers resolution).
+ENGINE_CHOICES: Tuple[str, ...] = ("auto",) + ENGINE_NAMES
+
+#: Environment variable consulted by ``"auto"`` resolution.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+_ENGINE_OVERRIDE: ContextVar[Optional[str]] = ContextVar(
+    "repro_engine_override", default=None)
+
+
+def _validate_choice(name: str, source: str) -> str:
+    if name not in ENGINE_CHOICES:
+        raise OptimizationError(
+            f"unknown engine {name!r} (from {source}); "
+            f"choose from {', '.join(ENGINE_CHOICES)}")
+    return name
+
+
+@contextlib.contextmanager
+def use_engine(name: Optional[str]) -> Iterator[None]:
+    """Ambient engine override for ``engine="auto"`` resolution.
+
+    ``None`` installs nothing (a convenience for optional CLI flags).
+    The override outranks ``REPRO_ENGINE``; an explicit non-``auto``
+    ``engine=`` setting outranks both.
+    """
+    if name is None:
+        yield
+        return
+    token = _ENGINE_OVERRIDE.set(_validate_choice(name, "use_engine"))
+    try:
+        yield
+    finally:
+        _ENGINE_OVERRIDE.reset(token)
+
+
+def resolve_engine_name(requested: str = "auto") -> str:
+    """The concrete engine a request resolves to ("scalar" or "fast")."""
+    _validate_choice(requested, "settings")
+    if requested != "auto":
+        return requested
+    override = _ENGINE_OVERRIDE.get()
+    if override is not None and override != "auto":
+        return override
+    env = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+    if env:
+        _validate_choice(env, f"${ENGINE_ENV_VAR}")
+        if env != "auto":
+            return env
+    return "scalar"
+
+
+@dataclass(frozen=True)
+class EngineSizing:
+    """One width-sizing outcome, engine-agnostic.
+
+    ``widths`` is the engine-native handle (a mapping for the scalar
+    engine, a canonical-order vector for the array engine) — cheap to
+    produce and accepted by the same engine's ``sta``/``total_energy``/
+    ``measure``. :meth:`widths_map` materializes a ``{name: width}``
+    dict; callers should do that only for results they keep.
+    """
+
+    feasible: bool
+    #: Gates whose budgets were repaired (deficit moved onto drivers).
+    repaired: Tuple[str, ...]
+    widths: object
+    materialize: Callable[[], Dict[str, float]] = field(repr=False)
+
+    def widths_map(self) -> Dict[str, float]:
+        return self.materialize()
+
+
+class EngineMeasurement(NamedTuple):
+    """Energy + timing of one concrete design point."""
+
+    static: float
+    dynamic: float
+    critical_delay: float
+
+    @property
+    def energy(self) -> float:
+        return self.static + self.dynamic
+
+
+@dataclass(frozen=True)
+class EngineEvaluation:
+    """One objective evaluation: budgets → sizing → energy.
+
+    ``energy`` is ``inf`` (and ``sizing`` is ``None``) when the sizing
+    was infeasible at this corner.
+    """
+
+    energy: float
+    static: float
+    dynamic: float
+    feasible: bool
+    sizing: Optional[EngineSizing]
+
+    def widths_map(self) -> Dict[str, float]:
+        if self.sizing is None:
+            raise OptimizationError(
+                "no widths: the evaluation was infeasible")
+        return self.sizing.widths_map()
+
+
+_INFEASIBLE = EngineEvaluation(energy=math.inf, static=math.inf,
+                               dynamic=math.inf, feasible=False, sizing=None)
+
+
+class Engine(abc.ABC):
+    """One implementation of the Procedure 2 evaluation kernel.
+
+    Voltages (``vdd``/``vth``) are scalars, per-gate mappings, or
+    canonical-order vectors throughout.
+    """
+
+    name: ClassVar[str]
+
+    def __init__(self, problem: OptimizationProblem):
+        self.problem = problem
+
+    @abc.abstractmethod
+    def size_widths(self, budgets: BudgetResult, vdd, vth) -> EngineSizing:
+        """Minimum-width sizing under ``budgets`` (budget repair on)."""
+
+    @abc.abstractmethod
+    def sta(self, vdd, vth, widths) -> float:
+        """Critical delay of a concrete design point (s)."""
+
+    @abc.abstractmethod
+    def total_energy(self, vdd, vth, widths) -> Tuple[float, float]:
+        """``(static, dynamic)`` energy per cycle (J), eqs. A1 + A2."""
+
+    @abc.abstractmethod
+    def widths_vector(self, source: "float | Mapping[str, float]"):
+        """A mutable per-gate width vector in canonical ``ctx.gates``
+        order, seeded from a scalar or a ``{name: width}`` map."""
+
+    def measure(self, vdd, vth, widths) -> EngineMeasurement:
+        """Energy and critical delay of one concrete design point."""
+        static, dynamic = self.total_energy(vdd, vth, widths)
+        return EngineMeasurement(static=static, dynamic=dynamic,
+                                 critical_delay=self.sta(vdd, vth, widths))
+
+    def evaluate(self, budgets: BudgetResult, vdd, vth, *,
+                 delay_vth=None, energy_vth=None) -> EngineEvaluation:
+        """The optimizers' objective: size at ``(vdd, delay_vth)``, then
+        energy at ``(vdd, energy_vth)`` (both default to ``vth``; the
+        split serves the variation-aware corners of Figure 2a)."""
+        delay_vth = vth if delay_vth is None else delay_vth
+        energy_vth = vth if energy_vth is None else energy_vth
+        sizing = self.size_widths(budgets, vdd, delay_vth)
+        if not sizing.feasible:
+            return _INFEASIBLE
+        static, dynamic = self.total_energy(vdd, energy_vth, sizing.widths)
+        return EngineEvaluation(energy=static + dynamic, static=static,
+                                dynamic=dynamic, feasible=True,
+                                sizing=sizing)
+
+
+class Evaluator:
+    """The shared objective factory product: one callable per search.
+
+    Binds (problem, budgets, engine) plus the optional Vth bias hooks,
+    counts evaluations and feasible points, and increments the canonical
+    metrics — :data:`~repro.obs.instrument.OBJECTIVE_EVALUATIONS`,
+    :data:`~repro.obs.instrument.FEASIBLE_POINTS`, and the engine-labeled
+    ``engine.<name>.evaluations`` — in exactly one place, replacing the
+    per-optimizer hand-rolled evaluate loops.
+    """
+
+    def __init__(self, problem: OptimizationProblem, engine: Engine,
+                 budgets: BudgetResult,
+                 delay_vth_bias: Callable[[float], float] | None = None,
+                 energy_vth_bias: Callable[[float], float] | None = None):
+        self.problem = problem
+        self.engine = engine
+        self.budgets = budgets
+        self.delay_vth_bias = delay_vth_bias
+        self.energy_vth_bias = energy_vth_bias
+        self.evaluations = 0
+        self.feasible_points = 0
+        self._engine_metric = engine_evaluations_metric(engine.name)
+
+    def __call__(self, vdd, vth) -> EngineEvaluation:
+        self.evaluations += 1
+        metrics = current_metrics()
+        metrics.incr(OBJECTIVE_EVALUATIONS)
+        metrics.incr(self._engine_metric)
+        delay_vth = (vth if self.delay_vth_bias is None
+                     else self.delay_vth_bias(vth))
+        energy_vth = (vth if self.energy_vth_bias is None
+                      else self.energy_vth_bias(vth))
+        evaluation = self.engine.evaluate(self.budgets, vdd, vth,
+                                          delay_vth=delay_vth,
+                                          energy_vth=energy_vth)
+        if evaluation.feasible:
+            self.feasible_points += 1
+            metrics.incr(FEASIBLE_POINTS)
+        return evaluation

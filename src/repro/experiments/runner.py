@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, TextIO
 
+from repro.engine import use_engine
 from repro.errors import DeadlineExceeded, RunCancelled
 from repro.experiments.annealing_compare import (
     format_annealing_comparison,
@@ -157,6 +158,7 @@ def run_experiments(names: Sequence[str], fail_fast: bool = False,
                     stream: TextIO | None = None,
                     trace_dir: str | Path | None = None,
                     profile: bool = False,
+                    engine: Optional[str] = None,
                     ) -> List[ExperimentOutcome]:
     """Run the named experiments with per-experiment error isolation.
 
@@ -166,14 +168,18 @@ def run_experiments(names: Sequence[str], fail_fast: bool = False,
     once a shared ``deadline_s`` budget is exhausted the failing
     experiment is ``timeout`` and the remainder are ``skipped``.
     ``trace_dir``/``profile`` enable per-experiment trace and metrics
-    artifacts (see :func:`_run_one`).
+    artifacts (see :func:`_run_one`). ``engine`` installs an ambient
+    evaluation-engine override (:func:`repro.engine.use_engine`) for the
+    whole suite — every optimizer running with ``engine="auto"`` then
+    uses it.
     """
     stream = stream if stream is not None else sys.stdout
     controller = (RunController(deadline_s=deadline_s)
                   if deadline_s is not None else None)
     outcomes: List[ExperimentOutcome] = []
     pending = list(names)
-    with use_controller(controller), _mirror_status(stream):
+    with use_engine(engine), use_controller(controller), \
+            _mirror_status(stream):
         while pending:
             name = pending.pop(0)
             start = time.perf_counter()
@@ -259,6 +265,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="time the hot seams into duration "
                              "histograms in the metrics artifacts")
+    parser.add_argument("--engine", choices=("auto", "scalar", "fast"),
+                        default=None,
+                        help="evaluation engine for the whole suite "
+                             "(default: each optimizer's own setting)")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="raise repro.* log verbosity (repeatable)")
     parser.add_argument("-q", "--quiet", action="count", default=0,
@@ -281,7 +291,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     outcomes = run_experiments(selected, fail_fast=arguments.fail_fast,
                                deadline_s=arguments.deadline,
                                trace_dir=arguments.trace_dir,
-                               profile=arguments.profile)
+                               profile=arguments.profile,
+                               engine=arguments.engine)
     print(format_summary(outcomes))
     return 0 if all(outcome.ok for outcome in outcomes) else 1
 

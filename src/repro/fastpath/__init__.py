@@ -8,15 +8,18 @@ provides a drop-in vectorized engine:
   :class:`~repro.context.CircuitContext` (CSR fanin/fanout structure,
   per-gate capacitance coefficients, level partition for topological
   vectorization),
-* :mod:`~repro.fastpath.evaluate` — vectorized minimum-width sizing,
-  STA and energy evaluation.
+* :mod:`~repro.fastpath.evaluate` — vectorized minimum-width sizing
+  (budget repair included), STA and energy evaluation, all accepting
+  per-gate Vdd/Vth vectors as well as global scalars.
 
-The engine is *bit-compatible by construction* with the scalar path (the
-same formulas over the same numbers, just batched); the test suite
-asserts agreement to float tolerance on every benchmark circuit and on
-random design points. The heuristic uses it via
-``HeuristicSettings(engine="fast")`` with automatic fallback to the
-scalar path wherever budget repair is needed.
+The kernels are *bit-compatible by construction* with the scalar path
+(the same formulas over the same numbers, just batched; transistor
+currents go through the scalar device model once per distinct voltage
+pair); the test suite asserts agreement to float round-off on every
+benchmark circuit and on random design points, repair corners included —
+there is no scalar fallback anywhere. Optimizers consume these kernels
+through :class:`repro.engine.array.ArrayEngine` (settings
+``engine="fast"``, or ``engine="auto"`` with ``REPRO_ENGINE=fast``).
 """
 
 from repro.fastpath.arrays import ArrayContext

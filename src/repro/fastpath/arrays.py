@@ -16,7 +16,7 @@ dynamic energy is handled by a dedicated input-net term mirroring
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -156,7 +156,31 @@ class ArrayContext:
         self.input_fanout_cap = np.asarray(in_cap)
         self.input_fixed_cap = np.asarray(in_fixed)
 
+        #: Array indices in the scalar width search's exact processing
+        #: order (``ctx.gates_reversed``). The vectorized level sweep
+        #: visits gates in level-contiguous order; budget *repair*
+        #: mutates driver budgets as it goes, so replaying repair
+        #: corners must follow the scalar order to stay equivalent.
+        self.scalar_order = np.asarray(
+            [self.index[name] for name in ctx.gates_reversed],
+            dtype=np.int64)
+
     # --- helpers -----------------------------------------------------------
+
+    def python_view(self) -> "PythonView":
+        """Plain-Python list mirrors of the adjacency, built lazily.
+
+        The scalar-order budget-repair replay visits gates one at a
+        time; per-gate NumPy calls on 2-4-element slices cost ~30x their
+        arithmetic, so the replay walks these plain lists instead. Built
+        on first use and cached (the arrays are immutable after
+        construction).
+        """
+        view = getattr(self, "_python_view", None)
+        if view is None:
+            view = PythonView(self)
+            self._python_view = view
+        return view
 
     def widths_to_array(self, widths: Dict[str, float]) -> np.ndarray:
         """A ``{name: w}`` map in processing order."""
@@ -168,6 +192,19 @@ class ArrayContext:
 
     def budgets_to_array(self, budgets: Dict[str, float]) -> np.ndarray:
         return np.asarray([budgets[name] for name in self.gate_names])
+
+    def values_to_array(self, value: "float | Mapping[str, float]"
+                        ) -> "float | np.ndarray":
+        """A per-gate value (scalar or ``{name: v}`` map) in array order.
+
+        Scalars pass through unchanged so downstream kernels keep the
+        exact scalar arithmetic of the global-voltage hot path; mappings
+        become vectors aligned with :attr:`gate_names`.
+        """
+        if isinstance(value, Mapping):
+            return np.asarray([value[name] for name in self.gate_names],
+                              dtype=float)
+        return float(value)
 
     def segment_sum(self, csr: _CSR, values: np.ndarray) -> np.ndarray:
         """Per-row sums of ``values`` (aligned with csr.indices)."""
@@ -187,3 +224,27 @@ class ArrayContext:
             maxima = np.maximum.reduceat(values, csr.ptr[:-1][nonempty])
             result[nonempty] = maxima
         return result
+
+
+class PythonView:
+    """Plain-Python (list) mirrors of an :class:`ArrayContext`.
+
+    See :meth:`ArrayContext.python_view`. Every attribute is a built-in
+    ``list`` (or ``float``), so the repair replay's per-gate loop runs
+    without NumPy scalar-boxing overhead.
+    """
+
+    def __init__(self, arrays: ArrayContext):
+        self.boundary_width = float(arrays.ctx.BOUNDARY_WIDTH)
+        self.fanout_ptr: List[int] = arrays.fanout.ptr.tolist()
+        self.fanout_idx: List[int] = arrays.fanout.indices.tolist()
+        self.fanout_cap: List[float] = arrays.fanout_cap.tolist()
+        self.branch_res: List[float] = arrays.branch_res.tolist()
+        self.branch_cap: List[float] = arrays.branch_cap.tolist()
+        self.branch_flight: List[float] = arrays.branch_flight.tolist()
+        self.wire_cap: List[float] = arrays.wire_cap.tolist()
+        self.boundary_cap: List[float] = arrays.boundary_cap.tolist()
+        self.self_cap: List[float] = arrays.self_cap.tolist()
+        self.fanin_ptr: List[int] = arrays.fanin.ptr.tolist()
+        self.fanin_idx: List[int] = arrays.fanin.indices.tolist()
+        self.scalar_order: List[int] = arrays.scalar_order.tolist()

@@ -1,44 +1,146 @@
 """Vectorized sizing, STA and energy over an :class:`ArrayContext`.
 
-Scalar-global ``Vdd``/``Vth`` only (the hot loop of Procedure 2);
-per-gate voltage maps stay on the scalar reference path. Formulas mirror
-``repro.optimize.width_search`` / ``repro.timing`` / ``repro.power``
-term by term — the equivalence tests assert agreement to float
-round-off on every benchmark circuit.
+``Vdd``/``Vth`` may be global scalars (the hot loop of Procedure 2) or
+per-gate values — a ``{name: value}`` mapping or a vector in array order
+— so multi-Vth and multi-Vdd searches run on the same kernels. Formulas
+mirror ``repro.optimize.width_search`` / ``repro.timing`` /
+``repro.power`` term by term; the equivalence tests assert agreement to
+float round-off on every benchmark circuit.
+
+Per-gate transistor currents are evaluated once per *distinct*
+``(Vdd, Vth)`` pair through the scalar reference model
+(:mod:`repro.technology.mosfet` / :mod:`repro.technology.leakage`) and
+scattered into vectors — searches use a handful of distinct voltages, so
+this is cheap and keeps the device physics in exactly one place.
+
+Budget repair (``repair_ceiling``) runs inside the kernel: when the
+vectorized level sweep hits an under-budgeted gate, sizing restarts as a
+replay in the scalar search's exact processing order (repair mutates
+driver budgets sequentially, so order is semantics), with the same
+4-iteration deficit shift and the same full-STA re-verification. A gate
+that stays unsizable even after repair aborts the replay immediately —
+the corner is definitively infeasible and only the verdict is
+observable, so the remaining widths need not be produced (they are left
+at 1.0, unlike the scalar path's ``w_max`` placeholders).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Mapping, Tuple, Union
 
 import numpy as np
 
-from repro.errors import OptimizationError
+from repro.errors import OptimizationError, TimingError
 from repro.fastpath.arrays import ArrayContext, _CSR
+from repro.obs import trace
+from repro.obs.instrument import (
+    BUDGET_REPAIRS,
+    DELAY_MODEL_CALLS,
+    ENERGY_EVALUATIONS,
+    STA_CALLS,
+    WIDTH_SIZINGS,
+    seam,
+)
+from repro.obs.metrics import current_metrics
 from repro.technology import leakage, mosfet
 from repro.timing.delay_model import slope_coefficient
 
+#: Smallest budget (s) a driver may be squeezed to during repair
+#: (mirrors ``repro.optimize.width_search._MIN_BUDGET``).
+_MIN_BUDGET = 1e-15
 
-def _drive_per_width(arrays: ArrayContext, vdd: float,
-                     vth: float) -> np.ndarray:
+#: A global voltage, a per-gate map, or a vector in array order.
+Voltage = Union[float, Mapping[str, float], np.ndarray]
+
+
+def _as_values(arrays: ArrayContext, value: Voltage) -> "float | np.ndarray":
+    """Normalize a voltage argument: scalar stays scalar, else a vector."""
+    if isinstance(value, np.ndarray):
+        if value.shape != (arrays.n_gates,):
+            raise OptimizationError(
+                f"voltage vector has shape {value.shape}, "
+                f"expected ({arrays.n_gates},)")
+        return value
+    return arrays.values_to_array(value)
+
+
+def _currents(arrays: ArrayContext, vdd, vth) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-gate ``(drain_current, off_current)`` per unit width.
+
+    Scalar voltages go straight through the scalar reference model (the
+    single-corner hot path); vectors are evaluated once per distinct
+    ``(vdd, vth)`` pair with the *same* scalar model and scattered, so
+    the physics is bit-identical between engines in both modes.
+    """
+    tech = arrays.ctx.tech
+    if not isinstance(vdd, np.ndarray) and not isinstance(vth, np.ndarray):
+        return (mosfet.drain_current_per_width(tech, vdd, vth),
+                leakage.off_current_per_width(tech, vth, vds=vdd))
+    n = arrays.n_gates
+    vdd_vec = np.broadcast_to(np.asarray(vdd, dtype=float), (n,))
+    vth_vec = np.broadcast_to(np.asarray(vth, dtype=float), (n,))
+    pairs = np.stack([vdd_vec, vth_vec], axis=1)
+    unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
+    drain = np.empty(len(unique))
+    off = np.empty(len(unique))
+    for k, (pair_vdd, pair_vth) in enumerate(unique):
+        drain[k] = mosfet.drain_current_per_width(tech, float(pair_vdd),
+                                                  float(pair_vth))
+        off[k] = leakage.off_current_per_width(tech, float(pair_vth),
+                                               vds=float(pair_vdd))
+    inverse = inverse.reshape(-1)
+    return drain[inverse], off[inverse]
+
+
+def _drive_per_width(arrays: ArrayContext, vdd, vth):
     """Vectorized ``effective_drive_per_width`` over all gates."""
     tech = arrays.ctx.tech
-    current = mosfet.drain_current_per_width(tech, vdd, vth)
-    off = leakage.off_current_per_width(tech, vth, vds=vdd)
+    current, off = _currents(arrays, vdd, vth)
     stack = 1.0 + tech.stack_derating * (arrays.fanin_count - 1)
     return current / stack - arrays.fanin_count * off
 
 
+def _slope_coefficients(arrays: ArrayContext, vdd, vth):
+    """``slope_coefficient`` elementwise (pure arithmetic, so exact)."""
+    tech = arrays.ctx.tech
+    if not isinstance(vdd, np.ndarray) and not isinstance(vth, np.ndarray):
+        return slope_coefficient(tech, vdd, vth)
+    if bool(np.any(np.asarray(vdd) <= 0.0)):
+        raise TimingError("vdd must be > 0")
+    raw = 0.5 - (1.0 - vth / vdd) / (1.0 + tech.alpha)
+    return np.clip(raw, 0.0, 0.5)
+
+
+def _at(value, index: int) -> float:
+    """One gate's value out of a scalar-or-vector quantity."""
+    if isinstance(value, np.ndarray):
+        return float(value[index])
+    return value
+
+
+def _sl(value, start: int, stop: int):
+    """A level slice of a scalar-or-vector quantity."""
+    if isinstance(value, np.ndarray):
+        return value[start:stop]
+    return value
+
+
 def _external_caps(arrays: ArrayContext, w: np.ndarray, start: int,
                    stop: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(ext_cap, wire_rc, flight) for gate rows ``start:stop``."""
+    """(ext_cap, wire_rc, flight) for gate rows ``start:stop``.
+
+    Boundary branches carry the sentinel index ``-1``; their receiver
+    cap is pre-folded into ``boundary_cap``, so the width gather only
+    touches real gate entries (boolean mask, no sentinel clamping).
+    """
     lo = arrays.fanout.ptr[start]
     hi = arrays.fanout.ptr[stop]
     idx = arrays.fanout.indices[lo:hi]
     is_gate = arrays.fanout_is_gate[lo:hi]
-    sink_w = np.where(is_gate, w[np.clip(idx, 0, None)],
-                      arrays.ctx.BOUNDARY_WIDTH)
+    sink_w = np.full(idx.shape, arrays.ctx.BOUNDARY_WIDTH)
+    sink_w[is_gate] = w[idx[is_gate]]
     cap_entries = np.where(is_gate,
                            sink_w * arrays.fanout_cap[lo:hi], 0.0)
     rc_entries = arrays.branch_res[lo:hi] * (
@@ -65,26 +167,61 @@ def _segment(csr: _CSR, values: np.ndarray, op, empty: float) -> np.ndarray:
 
 @dataclass(frozen=True)
 class FastSizing:
-    """Vectorized sizing outcome (processing order = reverse topological)."""
+    """Vectorized sizing outcome (processing order = reverse topological).
+
+    On an infeasible outcome the widths are not meaningful (the repair
+    replay aborts at the first definitively unsizable gate); only the
+    verdict and the repaired-gate list are part of the contract.
+    """
 
     widths: np.ndarray
     feasible: bool
+    #: Gates whose budgets were repaired (deficit moved onto drivers).
+    repaired: Tuple[str, ...] = ()
 
     def widths_map(self, arrays: ArrayContext) -> Dict[str, float]:
         return arrays.array_to_widths(self.widths)
 
 
 def fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
-                     vdd: float, vth: float) -> FastSizing:
-    """Vectorized minimum-width sizing (no budget repair — callers fall
-    back to the scalar path when this reports infeasible)."""
+                     vdd: Voltage, vth: Voltage,
+                     method: str = "closed_form",
+                     bisect_steps: int = 24,
+                     repair_ceiling: float | None = None) -> FastSizing:
+    """Vectorized minimum-width sizing, optionally with budget repair.
+
+    Without ``repair_ceiling`` this is the pure level sweep (infeasible
+    when any budget cannot be met, exactly like the scalar search run
+    without repair). With it, under-budgeted gates trigger the scalar-
+    order repair replay described in the module docstring, and any
+    assignment that used repair is re-verified with a full STA pass
+    against the ceiling.
+    """
+    if method not in ("closed_form", "bisect"):
+        raise OptimizationError(f"unknown width-search method {method!r}")
+    span_name = "width_bisect" if method == "bisect" else "width_search"
+    with trace.span(span_name, method=method, engine="fast"), \
+            seam("width_search", counter=WIDTH_SIZINGS):
+        return _fast_size_widths(arrays, budgets, vdd, vth, method,
+                                 bisect_steps, repair_ceiling)
+
+
+def _fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
+                      vdd: Voltage, vth: Voltage, method: str,
+                      bisect_steps: int,
+                      repair_ceiling: float | None) -> FastSizing:
     tech = arrays.ctx.tech
     n = arrays.n_gates
+    vdd = _as_values(arrays, vdd)
+    vth = _as_values(arrays, vth)
     drive = _drive_per_width(arrays, vdd, vth)
     if np.any(drive <= 0.0):
+        # Subthreshold contention: some gate cannot switch at any width,
+        # and repair cannot help (the scalar path reaches the same
+        # verdict after sizing the remaining gates).
         return FastSizing(widths=np.full(n, tech.width_max), feasible=False)
 
-    slope_k = slope_coefficient(tech, vdd, vth)
+    slope_k = _slope_coefficients(arrays, vdd, vth)
     fanin_budget = arrays.segment_max(arrays.fanin, budgets[
         arrays.fanin.indices], empty=0.0)
     slope = slope_k * fanin_budget
@@ -96,79 +233,349 @@ def fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
     feasible = True
     for start, stop in arrays.level_slices:
         ext, rc, flight = _external_caps(arrays, w, start, stop)
-        available = (budgets[start:stop] - slope[start:stop]
-                     - rc - flight - self_term[start:stop])
-        ext_term = k_vdd * ext / drive[start:stop]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            needed = np.where(available > 0.0, ext_term / available,
-                              np.inf)
-        if np.any(needed > tech.width_max):
+        if method == "closed_form":
+            available = (budgets[start:stop] - slope[start:stop]
+                         - rc - flight - self_term[start:stop])
+            ext_term = _sl(k_vdd, start, stop) * ext / _sl(drive, start, stop)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                needed = np.where(available > 0.0, ext_term / available,
+                                  np.inf)
+        else:
+            needed = _bisect_level(arrays, budgets, slope, rc, flight,
+                                   k_vdd, drive, ext, start, stop,
+                                   bisect_steps)
+        failed = needed > tech.width_max
+        if np.any(failed):
             feasible = False
+            if repair_ceiling is not None:
+                # Restart as a scalar-order replay with repair enabled.
+                return _size_with_repair(arrays, budgets, vdd, vth, drive,
+                                         slope_k, k_vdd, method,
+                                         bisect_steps, repair_ceiling)
             needed = np.minimum(needed, tech.width_max)
         w[start:stop] = np.maximum(needed, tech.width_min)
     return FastSizing(widths=w, feasible=feasible)
 
 
-def fast_sta(arrays: ArrayContext, vdd: float, vth: float,
+def _bisect_level(arrays: ArrayContext, budgets: np.ndarray,
+                  slope: np.ndarray, rc: np.ndarray, flight: np.ndarray,
+                  k_vdd, drive, ext: np.ndarray, start: int, stop: int,
+                  steps: int) -> np.ndarray:
+    """The paper's M-step width bisection, vectorized over one level.
+
+    Identical decision sequence to ``width_search._bisect_width`` gate
+    by gate (same delay form, same midpoint updates); returns ``inf``
+    for gates infeasible even at ``w_max`` so the caller's clamp/repair
+    logic is shared with the closed-form solver.
+    """
+    tech = arrays.ctx.tech
+    k_lvl = _sl(k_vdd, start, stop)
+    drive_lvl = _sl(drive, start, stop)
+    self_lvl = arrays.self_cap[start:stop]
+    fixed = slope[start:stop] + rc + flight
+    budget = budgets[start:stop]
+
+    def delay_at(width) -> np.ndarray:
+        load = width * self_lvl + ext
+        return fixed + k_lvl * load / (drive_lvl * width)
+
+    feasible_at_max = delay_at(tech.width_max) <= budget
+    done_at_min = delay_at(tech.width_min) <= budget
+
+    low = np.full(stop - start, tech.width_min)
+    high = np.full(stop - start, tech.width_max)
+    for _ in range(steps):
+        mid = 0.5 * (low + high)
+        meets = delay_at(mid) <= budget
+        high = np.where(meets, mid, high)
+        low = np.where(meets, low, mid)
+    return np.where(feasible_at_max,
+                    np.where(done_at_min, tech.width_min, high),
+                    np.inf)
+
+
+# -- scalar-order repair replay --------------------------------------------
+#
+# The replay visits gates one at a time (repair mutates driver budgets
+# sequentially, so order is semantics) — per-gate NumPy calls on tiny
+# slices would dominate its runtime, so everything below runs on the
+# plain-list :class:`~repro.fastpath.arrays.PythonView` mirrors and
+# built-in floats.
+
+
+def _row_parasitics(view, w: List[float], i: int
+                    ) -> Tuple[float, float, float]:
+    """(wire_rc, flight, external_cap) of one gate at current widths."""
+    ext = view.wire_cap[i] + view.boundary_cap[i]
+    wire_rc = 0.0
+    flight = 0.0
+    idx = view.fanout_idx
+    caps = view.fanout_cap
+    for k in range(view.fanout_ptr[i], view.fanout_ptr[i + 1]):
+        sink = idx[k]
+        if sink >= 0:
+            sink_w = w[sink]
+            ext += sink_w * caps[k]
+        else:
+            sink_w = view.boundary_width
+        rc = view.branch_res[k] * (0.5 * view.branch_cap[k]
+                                   + sink_w * caps[k])
+        if rc > wire_rc:
+            wire_rc = rc
+        if view.branch_flight[k] > flight:
+            flight = view.branch_flight[k]
+    return wire_rc, flight, ext
+
+
+def _fanin_budget(view, working: List[float], i: int) -> float:
+    budget = 0.0
+    idx = view.fanin_idx
+    for k in range(view.fanin_ptr[i], view.fanin_ptr[i + 1]):
+        if working[idx[k]] > budget:
+            budget = working[idx[k]]
+    return budget
+
+
+def _gate_floor_fast(view, i: int, w: List[float], drive: List[float],
+                     k_vdd: List[float]) -> float:
+    """Per-gate delay floor (mirrors ``width_search._gate_floor``)."""
+    drive_i = drive[i]
+    if drive_i <= 0.0:
+        return math.inf
+    wire_rc, flight, _ = _row_parasitics(view, w, i)
+    return k_vdd[i] * view.self_cap[i] / drive_i + wire_rc + flight
+
+
+def _gate_width(tech, method: str, bisect_steps: int, budget: float,
+                slope: float, wire_rc: float, flight: float,
+                self_term: float, ext_term: float, self_cap: float,
+                ext_cap: float, k_i: float, drive_i: float) -> float | None:
+    """One gate's minimum feasible width, or None (both solvers)."""
+    if method == "closed_form":
+        available = budget - slope - wire_rc - flight - self_term
+        if available <= 0.0:
+            return None
+        width = ext_term / available
+        if width > tech.width_max:
+            return None
+        return max(width, tech.width_min)
+
+    fixed = slope + wire_rc + flight
+
+    def delay_at(width: float) -> float:
+        load = width * self_cap + ext_cap
+        return fixed + k_i * load / (drive_i * width)
+
+    if delay_at(tech.width_max) > budget:
+        return None
+    if delay_at(tech.width_min) <= budget:
+        return tech.width_min
+    low, high = tech.width_min, tech.width_max
+    for _ in range(bisect_steps):
+        mid = 0.5 * (low + high)
+        if delay_at(mid) <= budget:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def _repair_gate(view, tech, i: int, w: List[float],
+                 working: List[float], drive: List[float],
+                 slope_k: List[float], k_vdd: List[float],
+                 wire_rc: float, flight: float, ext_cap: float
+                 ) -> float | None:
+    """Shift gate ``i``'s budget deficit onto its drivers.
+
+    Faithful port of ``width_search._attempt_repair``: the gate takes
+    the budget it needs at 80 % of ``w_max``; the same delta comes off
+    each logic-gate driver, never below 1.05x the driver's delay floor.
+    """
+    fanins = view.fanin_idx[view.fanin_ptr[i]:view.fanin_ptr[i + 1]]
+
+    drive_i = drive[i]
+    k_i = k_vdd[i]
+    slope_k_i = slope_k[i]
+    self_term = k_i * view.self_cap[i] / drive_i
+    ext_term = k_i * ext_cap / drive_i
+    floors = [1.05 * _gate_floor_fast(view, fanin, w, drive, k_vdd)
+              for fanin in fanins]
+
+    for _ in range(4):
+        slope = slope_k_i * _fanin_budget(view, working, i)
+        needed = (slope + wire_rc + flight + self_term
+                  + ext_term / (0.8 * tech.width_max))
+        delta = needed - working[i]
+        if delta <= 0.0:
+            break
+        working[i] += delta
+        for fanin, floor in zip(fanins, floors):
+            working[fanin] = max(working[fanin] - delta, floor,
+                                 _MIN_BUDGET)
+
+    slope = slope_k_i * _fanin_budget(view, working, i)
+    available = working[i] - slope - wire_rc - flight - self_term
+    if available <= 0.0:
+        return None
+    width = ext_term / available
+    if width > tech.width_max:
+        return None
+    return max(width, tech.width_min)
+
+
+def _as_list(value, n: int) -> List[float]:
+    """A per-gate quantity as a plain list (scalars broadcast)."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return [float(value)] * n
+
+
+def _size_with_repair(arrays: ArrayContext, budgets: np.ndarray,
+                      vdd, vth, drive, slope_k, k_vdd, method: str,
+                      bisect_steps: int,
+                      repair_ceiling: float) -> FastSizing:
+    """Replay sizing in scalar processing order with repair enabled.
+
+    Aborts at the first gate that stays unsizable after repair — the
+    corner is then definitively infeasible and widths are unobservable.
+    """
+    tech = arrays.ctx.tech
+    n = arrays.n_gates
+    view = arrays.python_view()
+    working = budgets.tolist()
+    w = [1.0] * n
+    drive_l = _as_list(drive, n)
+    slope_k_l = _as_list(slope_k, n)
+    k_vdd_l = _as_list(k_vdd, n)
+    self_cap = view.self_cap
+    repaired: List[int] = []
+
+    for i in view.scalar_order:
+        drive_i = drive_l[i]
+        budget_i = working[i]
+        slope = slope_k_l[i] * _fanin_budget(view, working, i)
+        wire_rc, flight, ext_cap = _row_parasitics(view, w, i)
+        k_i = k_vdd_l[i]
+        self_term = k_i * self_cap[i] / drive_i
+        ext_term = k_i * ext_cap / drive_i
+
+        width = _gate_width(tech, method, bisect_steps, budget_i, slope,
+                            wire_rc, flight, self_term, ext_term,
+                            self_cap[i], ext_cap, k_i, drive_i)
+        if width is None:
+            width = _repair_gate(view, tech, i, w, working, drive_l,
+                                 slope_k_l, k_vdd_l, wire_rc, flight,
+                                 ext_cap)
+            if width is None:
+                # Unrepairable: the verdict is already infeasible.
+                return FastSizing(widths=np.asarray(w), feasible=False,
+                                  repaired=_names(arrays, repaired))
+            repaired.append(i)
+        w[i] = width
+
+    widths = np.asarray(w)
+    feasible = True
+    if repaired:
+        current_metrics().incr(BUDGET_REPAIRS, len(repaired))
+        # Repairs perturb the budget bookkeeping the per-gate guarantees
+        # rest on; verify the actual design with a full STA pass.
+        critical, _ = fast_sta(arrays, vdd, vth, widths)
+        if critical > repair_ceiling * (1.0 + 1e-9):
+            feasible = False
+    return FastSizing(widths=widths, feasible=feasible,
+                      repaired=_names(arrays, repaired))
+
+
+def _names(arrays: ArrayContext, indices: List[int]) -> Tuple[str, ...]:
+    return tuple(arrays.gate_names[i] for i in indices)
+
+
+# -- STA and energy --------------------------------------------------------
+
+
+def fast_sta(arrays: ArrayContext, vdd: Voltage, vth: Voltage,
              w: np.ndarray) -> Tuple[float, np.ndarray]:
     """Vectorized STA: ``(critical delay, per-gate delays)``.
 
     Matches ``repro.timing.sta.analyze_timing`` (primary inputs ideal).
+    An output that is itself a primary input arrives at 0.0, exactly as
+    in the scalar pass; an output missing from both the gate index and
+    the primary inputs raises :class:`~repro.errors.TimingError`.
     """
     tech = arrays.ctx.tech
     n = arrays.n_gates
-    drive = _drive_per_width(arrays, vdd, vth)
-    slope_k = slope_coefficient(tech, vdd, vth)
-    k_vdd = tech.velocity_saturation_coeff * vdd
+    with seam("sta", counter=STA_CALLS):
+        vdd = _as_values(arrays, vdd)
+        vth = _as_values(arrays, vth)
+        drive = _drive_per_width(arrays, vdd, vth)
+        slope_k = _slope_coefficients(arrays, vdd, vth)
+        k_vdd = tech.velocity_saturation_coeff * vdd
 
-    ext, rc, flight = _external_caps(arrays, w, 0, n)
-    load = w * arrays.self_cap + ext
-    with np.errstate(divide="ignore", invalid="ignore"):
-        switching = np.where(drive > 0.0, k_vdd * load / (drive * w),
-                             np.inf)
-    fixed = switching + rc + flight
+        ext, rc, flight = _external_caps(arrays, w, 0, n)
+        load = w * arrays.self_cap + ext
+        with np.errstate(divide="ignore", invalid="ignore"):
+            switching = np.where(drive > 0.0, k_vdd * load / (drive * w),
+                                 np.inf)
+        fixed = switching + rc + flight
 
-    delays = np.zeros(n)
-    arrivals = np.zeros(n)
-    for start, stop in reversed(arrays.level_slices):
-        lo = arrays.fanin.ptr[start]
-        hi = arrays.fanin.ptr[stop]
-        idx = arrays.fanin.indices[lo:hi]
-        view = _CSR(arrays.fanin.ptr[start:stop + 1] - lo, idx)
-        max_fanin_delay = _segment(view, delays[idx], np.maximum, 0.0)
-        max_fanin_arrival = _segment(view, arrivals[idx], np.maximum, 0.0)
-        delays[start:stop] = slope_k * max_fanin_delay + fixed[start:stop]
-        arrivals[start:stop] = max_fanin_arrival + delays[start:stop]
+        delays = np.zeros(n)
+        arrivals = np.zeros(n)
+        for start, stop in reversed(arrays.level_slices):
+            lo = arrays.fanin.ptr[start]
+            hi = arrays.fanin.ptr[stop]
+            idx = arrays.fanin.indices[lo:hi]
+            view = _CSR(arrays.fanin.ptr[start:stop + 1] - lo, idx)
+            max_fanin_delay = _segment(view, delays[idx], np.maximum, 0.0)
+            max_fanin_arrival = _segment(view, arrivals[idx], np.maximum, 0.0)
+            delays[start:stop] = (_sl(slope_k, start, stop) * max_fanin_delay
+                                  + fixed[start:stop])
+            arrivals[start:stop] = max_fanin_arrival + delays[start:stop]
+        current_metrics().incr(DELAY_MODEL_CALLS, n)
 
-    outputs = arrays.ctx.network.outputs
+    network = arrays.ctx.network
     critical = 0.0
-    for name in outputs:
+    for name in network.outputs:
         position = arrays.index.get(name)
-        arrival = 0.0 if position is None else float(arrivals[position])
+        if position is None:
+            if not network.gate(name).is_input:
+                raise TimingError(
+                    f"output {name!r} is neither a logic gate nor a "
+                    f"primary input")
+            arrival = 0.0  # ideal primary input feeding an output port
+        else:
+            arrival = float(arrivals[position])
         critical = max(critical, arrival)
     return critical, delays
 
 
-def fast_total_energy(arrays: ArrayContext, vdd: float, vth: float,
+def fast_total_energy(arrays: ArrayContext, vdd: Voltage, vth: Voltage,
                       w: np.ndarray, frequency: float
                       ) -> Tuple[float, float]:
-    """Vectorized eqs. A1 + A2: ``(static, dynamic)`` totals (J/cycle)."""
+    """Vectorized eqs. A1 + A2: ``(static, dynamic)`` totals (J/cycle).
+
+    With per-gate rails the output swing is the driving gate's own rail
+    and primary-input nets swing at the module IO rail (the highest rail
+    in use), mirroring ``repro.power.energy``.
+    """
     if frequency <= 0.0:
         raise OptimizationError(f"frequency must be > 0, got {frequency}")
-    tech = arrays.ctx.tech
-    off = leakage.off_current_per_width(tech, vth, vds=vdd)
-    static = float(np.sum(vdd * w * off / frequency))
+    with seam("energy", counter=ENERGY_EVALUATIONS):
+        vdd = _as_values(arrays, vdd)
+        vth = _as_values(arrays, vth)
+        _, off = _currents(arrays, vdd, vth)
+        static = float(np.sum(vdd * w * off / frequency))
 
-    ext, _, _ = _external_caps(arrays, w, 0, arrays.n_gates)
-    load = w * arrays.self_cap + ext
-    dynamic = float(np.sum(0.5 * arrays.activity * vdd * vdd * load))
+        ext, _, _ = _external_caps(arrays, w, 0, arrays.n_gates)
+        load = w * arrays.self_cap + ext
+        dynamic = float(np.sum(0.5 * arrays.activity * vdd * vdd * load))
 
-    # Input-net term (module ports drive gate inputs and wire).
-    sink_caps = arrays.segment_sum(
-        arrays.input_fanout,
-        w[arrays.input_fanout.indices] * arrays.input_fanout_cap)
-    input_load = (arrays.input_self_plus_wire + arrays.input_fixed_cap
-                  + sink_caps)
-    dynamic += float(np.sum(0.5 * arrays.input_activity * vdd * vdd
-                            * input_load))
+        # Input-net term (module ports drive gate inputs and wire).
+        io_rail = float(np.max(vdd)) if isinstance(vdd, np.ndarray) else vdd
+        sink_caps = arrays.segment_sum(
+            arrays.input_fanout,
+            w[arrays.input_fanout.indices] * arrays.input_fanout_cap)
+        input_load = (arrays.input_self_plus_wire + arrays.input_fixed_cap
+                      + sink_caps)
+        dynamic += float(np.sum(0.5 * arrays.input_activity
+                                * io_rail * io_rail * input_load))
     return static, dynamic

@@ -63,6 +63,17 @@ def seam_metric(name: str) -> str:
     return f"seam.{name}.seconds"
 
 
+def engine_evaluations_metric(engine_name: str) -> str:
+    """Counter: objective evaluations performed by engine ``engine_name``.
+
+    Every optimizer routes its objective through
+    :class:`repro.engine.Evaluator`, which increments both the global
+    :data:`OBJECTIVE_EVALUATIONS` and this engine-labeled counter — so a
+    metrics snapshot shows exactly which engine did the work.
+    """
+    return f"engine.{engine_name}.evaluations"
+
+
 # -- profiling switch -----------------------------------------------------
 
 #: The profiling clock for the current context; ``None`` = disabled.

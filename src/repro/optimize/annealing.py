@@ -22,12 +22,19 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.engine import (
+    ENGINE_CHOICES,
+    Engine,
+    make_engine,
+    resolve_engine_name,
+)
 from repro.errors import InfeasibleError, OptimizationError
 from repro.obs import trace
 from repro.obs.instrument import (
     ANNEALING_ACCEPTS,
     ANNEALING_MOVES,
     OBJECTIVE_EVALUATIONS,
+    engine_evaluations_metric,
 )
 from repro.obs.metrics import current_metrics
 from repro.optimize.problem import (
@@ -55,6 +62,9 @@ class AnnealingSettings:
     vth_step: float = 0.05
     width_step: float = 0.35
     seed: int = 1
+    #: Evaluation engine for the per-move energy/STA measurement
+    #: ("auto" honors :func:`repro.engine.use_engine` / ``REPRO_ENGINE``).
+    engine: str = "auto"
     #: Optional run control (deadline/cancel/progress); falls back to
     #: the ambient :func:`repro.runtime.use_controller` controller.
     controller: Optional[RunController] = None
@@ -67,6 +77,8 @@ class AnnealingSettings:
         if not 0.0 < self.cooling < 1.0:
             raise OptimizationError(
                 f"cooling must lie in (0, 1), got {self.cooling}")
+        if self.engine not in ENGINE_CHOICES:
+            raise OptimizationError(f"unknown engine {self.engine!r}")
 
 
 class _State:
@@ -81,14 +93,18 @@ class _State:
         return _State(self.vdd, self.vth, dict(self.widths))
 
 
-def _cost(problem: OptimizationProblem, state: _State,
+def _cost(engine: Engine, problem: OptimizationProblem, state: _State,
           penalty: float, reference_energy: float) -> tuple[float, float, bool]:
-    """(cost, energy, feasible) of a state; cost is energy-normalized."""
-    energy = total_energy(problem.ctx, state.vdd, state.vth, state.widths,
-                          problem.frequency).total
-    timing = analyze_timing(problem.ctx, state.vdd, state.vth, state.widths)
+    """(cost, energy, feasible) of a state; cost is energy-normalized.
+
+    One :meth:`Engine.measure` call (energy then STA, the reference
+    evaluation order) — the annealer's only per-move work, so the array
+    engine vectorizes the entire move loop.
+    """
+    measurement = engine.measure(state.vdd, state.vth, state.widths)
+    energy = measurement.energy
     cycle = problem.cycle_time
-    violation = max(0.0, (timing.critical_delay - cycle) / cycle)
+    violation = max(0.0, (measurement.critical_delay - cycle) / cycle)
     if math.isinf(violation):
         return math.inf, energy, False
     cost = (energy / reference_energy) * (1.0 + penalty * violation)
@@ -107,6 +123,8 @@ def optimize_annealing(problem: OptimizationProblem,
     """
     settings = settings or AnnealingSettings()
     controller = resolve_controller(settings.controller)
+    engine_name = resolve_engine_name(settings.engine)
+    engine = make_engine(problem, engine_name)
     rng = random.Random(settings.seed)
     tech = problem.tech
     gates = list(problem.ctx.gates)
@@ -120,10 +138,11 @@ def optimize_annealing(problem: OptimizationProblem,
                        else sum(initial.vth.values()) / len(initial.vth),
                        dict(initial.widths))
 
-    reference = total_energy(problem.ctx, tech.vdd_max, tech.vth_max,
-                             {name: 10.0 for name in gates},
-                             problem.frequency).total
-    cost, energy, feasible = _cost(problem, state, settings.penalty, reference)
+    ref_static, ref_dynamic = engine.total_energy(
+        tech.vdd_max, tech.vth_max, {name: 10.0 for name in gates})
+    reference = ref_static + ref_dynamic
+    cost, energy, feasible = _cost(engine, problem, state, settings.penalty,
+                                   reference)
     evaluations = 1
 
     best_feasible: Optional[_State] = state.copy() if feasible else None
@@ -133,7 +152,8 @@ def optimize_annealing(problem: OptimizationProblem,
     tracer = trace.current_tracer()
     metrics = current_metrics()
     for pass_index in range(settings.passes):
-        with tracer.span("annealing_pass", index=pass_index) as pass_span:
+        with tracer.span("annealing_pass", index=pass_index,
+                         engine=engine_name) as pass_span:
             temperature = settings.initial_temperature
             accepts = 0
             for _ in range(settings.iterations_per_pass):
@@ -142,7 +162,7 @@ def optimize_annealing(problem: OptimizationProblem,
                 candidate = state.copy()
                 _perturb(candidate, rng, settings, tech, gates)
                 new_cost, new_energy, new_feasible = _cost(
-                    problem, candidate, settings.penalty, reference)
+                    engine, problem, candidate, settings.penalty, reference)
                 evaluations += 1
                 accept = new_cost <= cost or (
                     math.isfinite(new_cost)
@@ -160,6 +180,8 @@ def optimize_annealing(problem: OptimizationProblem,
             metrics.incr(ANNEALING_MOVES, settings.iterations_per_pass)
             metrics.incr(ANNEALING_ACCEPTS, accepts)
             metrics.incr(OBJECTIVE_EVALUATIONS, settings.iterations_per_pass)
+            metrics.incr(engine_evaluations_metric(engine_name),
+                         settings.iterations_per_pass)
             pass_span.annotate(accepts=accepts,
                                best_energy=best_feasible_energy)
         if controller is not None:
@@ -167,7 +189,8 @@ def optimize_annealing(problem: OptimizationProblem,
                               best_energy=best_feasible_energy)
         if best_feasible is not None:
             state = best_feasible.copy()
-            cost, _, _ = _cost(problem, state, settings.penalty, reference)
+            cost, _, _ = _cost(engine, problem, state, settings.penalty,
+                               reference)
 
     if best_feasible is None:
         raise InfeasibleError(
@@ -183,7 +206,8 @@ def optimize_annealing(problem: OptimizationProblem,
     return OptimizationResult(
         problem=problem, design=design, energy=energy_report, timing=timing,
         evaluations=evaluations,
-        details={"strategy": "annealing", "passes": settings.passes,
+        details={"strategy": "annealing", "engine": engine_name,
+                 "passes": settings.passes,
                  "iterations_per_pass": settings.iterations_per_pass,
                  "seed": settings.seed})
 

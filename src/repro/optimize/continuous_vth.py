@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.context import CircuitContext
+from repro.engine import make_engine, resolve_engine_name
 from repro.errors import OptimizationError
 from repro.optimize.heuristic import HeuristicSettings, optimize_joint
 from repro.optimize.problem import (
@@ -148,14 +149,19 @@ def optimize_continuous_vth(problem: OptimizationProblem,
                                     reclaimed=())
     vdd = float(single.design.distinct_vdds()[0])
     widths = dict(single.design.widths)
+    # Accept check through the engine seam (vectorized under the array
+    # engine); the full scalar reports are materialized only on accept.
+    engine_name = resolve_engine_name(
+        settings.engine if settings is not None else "auto")
+    check = make_engine(problem, engine_name).measure(vdd, vth_map, widths)
+    ceiling = problem.cycle_time * problem.skew_factor
+    if (check.critical_delay > ceiling * (1.0 + 1e-9)
+            or check.energy >= single.total_energy):
+        return ContinuousVthOutcome(single=single, refined=single,
+                                    reclaimed=())
     timing = analyze_timing(problem.ctx, vdd, vth_map, widths)
     energy = total_energy(problem.ctx, vdd, vth_map, widths,
                           problem.frequency)
-    if not timing.meets(problem.cycle_time * problem.skew_factor,
-                        tolerance=1e-9) \
-            or energy.total >= single.total_energy:
-        return ContinuousVthOutcome(single=single, refined=single,
-                                    reclaimed=())
     refined = OptimizationResult(
         problem=problem,
         design=DesignPoint(vdd=vdd, vth=vth_map, widths=widths),

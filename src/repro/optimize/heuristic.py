@@ -32,16 +32,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.engine import ENGINE_CHOICES, resolve_engine_name
 from repro.errors import InfeasibleError, OptimizationError
 from repro.obs import trace
-from repro.obs.instrument import FEASIBLE_POINTS, OBJECTIVE_EVALUATIONS
-from repro.obs.metrics import current_metrics
 from repro.optimize.problem import (
     DesignPoint,
     OptimizationProblem,
     OptimizationResult,
 )
-from repro.optimize.width_search import WidthAssignment, size_widths
 from repro.power.energy import total_energy
 from repro.runtime.checkpoint import SearchCheckpoint
 from repro.runtime.controller import RunController, resolve_controller
@@ -65,10 +63,11 @@ class HeuristicSettings:
     refine_rounds: int = 2
     #: Width solver: "closed_form" (exact) or "bisect" (paper-faithful).
     width_method: str = "closed_form"
-    #: Evaluation engine: "scalar" (reference) or "fast" (vectorized
-    #: NumPy; falls back to the scalar path wherever budget repair is
-    #: needed, so results are identical).
-    engine: str = "scalar"
+    #: Evaluation engine: "scalar" (reference), "fast" (vectorized
+    #: NumPy, budget repair included — equivalent to float round-off),
+    #: or "auto" (honor :func:`repro.engine.use_engine` / the
+    #: ``REPRO_ENGINE`` environment variable, defaulting to "scalar").
+    engine: str = "auto"
     #: Optional search-range overrides (defaults: technology bounds).
     vdd_range: Optional[Tuple[float, float]] = None
     vth_range: Optional[Tuple[float, float]] = None
@@ -84,7 +83,7 @@ class HeuristicSettings:
             raise OptimizationError(f"m_steps must be >= 2, got {self.m_steps}")
         if self.grid_vdd < 2 or self.grid_vth < 2:
             raise OptimizationError("grid must be at least 2x2")
-        if self.engine not in ("scalar", "fast"):
+        if self.engine not in ENGINE_CHOICES:
             raise OptimizationError(f"unknown engine {self.engine!r}")
 
 
@@ -102,73 +101,35 @@ class _SearchState:
 def _make_objective(problem: OptimizationProblem, budgets: BudgetResult,
                     settings: HeuristicSettings,
                     state: _SearchState,
+                    engine_name: str = "auto",
                     energy_vth_bias: Callable[[float], float] | None = None,
                     delay_vth_bias: Callable[[float], float] | None = None,
                     ) -> Callable[[float, float], float]:
     """Objective: total energy at (vdd, vth), inf when sizing fails.
 
-    The two bias hooks let the variation-aware optimizer evaluate delay at
-    the slow-corner threshold and leakage at the leaky-corner threshold
-    while the search variable remains the nominal Vth (Figure 2a).
+    A thin wrapper over the shared :class:`repro.engine.Evaluator` (the
+    single evaluate-loop implementation, on whichever engine
+    ``engine_name`` names) that tracks the running best in ``state``.
+    The two bias hooks let the variation-aware optimizer evaluate delay
+    at the slow-corner threshold and leakage at the leaky-corner
+    threshold while the search variable remains the nominal Vth
+    (Figure 2a).
     """
-
-    fast_state: Dict[str, object] = {}
-    if settings.engine == "fast":
-        from repro.fastpath import ArrayContext
-
-        fast_state["arrays"] = ArrayContext(problem.ctx)
-        fast_state["budgets"] = fast_state["arrays"].budgets_to_array(
-            dict(budgets.budgets))
+    evaluator = problem.evaluator(budgets, engine_name,
+                                  width_method=settings.width_method,
+                                  delay_vth_bias=delay_vth_bias,
+                                  energy_vth_bias=energy_vth_bias)
 
     def objective(vdd: float, vth: float) -> float:
         state.evaluations += 1
-        metrics = current_metrics()
-        metrics.incr(OBJECTIVE_EVALUATIONS)
-        feasible_before = state.feasible_points
-        try:
-            return evaluate(vdd, vth)
-        finally:
-            if state.feasible_points > feasible_before:
-                metrics.incr(FEASIBLE_POINTS)
-
-    def evaluate(vdd: float, vth: float) -> float:
-        delay_vth = vth if delay_vth_bias is None else delay_vth_bias(vth)
-        energy_vth = vth if energy_vth_bias is None else energy_vth_bias(vth)
-
-        if settings.engine == "fast":
-            from repro.fastpath import fast_size_widths, fast_total_energy
-
-            arrays = fast_state["arrays"]
-            sizing = fast_size_widths(arrays, fast_state["budgets"], vdd,
-                                      delay_vth)
-            if sizing.feasible:
-                state.feasible_points += 1
-                static, dynamic = fast_total_energy(
-                    arrays, vdd, energy_vth, sizing.widths,
-                    problem.frequency)
-                energy = static + dynamic
-                if energy < state.best_energy:
-                    state.best_energy = energy
-                    state.best_point = (vdd, vth)
-                    state.best_widths = sizing.widths_map(arrays)
-                return energy
-            # Fall through: the scalar path may still succeed via repair.
-
-        assignment = size_widths(
-            problem.ctx, budgets.budgets, vdd, delay_vth,
-            method=settings.width_method,
-            repair_ceiling=budgets.effective_cycle_time)
-        if not assignment.feasible:
-            return math.inf
-        state.feasible_points += 1
-        report = total_energy(problem.ctx, vdd, energy_vth,
-                              assignment.widths, problem.frequency)
-        energy = report.total
-        if energy < state.best_energy:
-            state.best_energy = energy
-            state.best_point = (vdd, vth)
-            state.best_widths = assignment.widths
-        return energy
+        evaluation = evaluator(vdd, vth)
+        if evaluation.feasible:
+            state.feasible_points += 1
+            if evaluation.energy < state.best_energy:
+                state.best_energy = evaluation.energy
+                state.best_point = (vdd, vth)
+                state.best_widths = evaluation.widths_map()
+        return evaluation.energy
 
     return objective
 
@@ -278,12 +239,16 @@ def _paper_search(objective: Callable[[float, float], float],
 def _search_fingerprint(problem: OptimizationProblem,
                         settings: HeuristicSettings,
                         vdd_range: Tuple[float, float],
-                        vth_range: Tuple[float, float]) -> Dict[str, object]:
+                        vth_range: Tuple[float, float],
+                        engine_name: str) -> Dict[str, object]:
     """Identity of a search for checkpoint validation.
 
     Two searches with equal fingerprints perform the identical
     deterministic evaluation sequence, which is what makes corner-level
-    resume exact; any field differing makes a checkpoint unusable.
+    resume exact; any field differing makes a checkpoint unusable. The
+    engine is recorded by its *resolved* name — ``engine="auto"`` under
+    ``REPRO_ENGINE=fast`` fingerprints as ``"fast"`` — so a resumed run
+    can never silently switch engines.
     """
     return {
         "network": problem.network.name,
@@ -297,7 +262,7 @@ def _search_fingerprint(problem: OptimizationProblem,
         "refine_iters": settings.refine_iters,
         "refine_rounds": settings.refine_rounds,
         "width_method": settings.width_method,
-        "engine": settings.engine,
+        "engine": engine_name,
         "vdd_range": list(vdd_range),
         "vth_range": list(vth_range),
     }
@@ -306,8 +271,8 @@ def _search_fingerprint(problem: OptimizationProblem,
 def _open_checkpoint(problem: OptimizationProblem,
                      settings: HeuristicSettings,
                      controller: Optional[RunController],
-                     resume_from, vdd_range, vth_range
-                     ) -> Optional[SearchCheckpoint]:
+                     resume_from, vdd_range, vth_range,
+                     engine_name: str) -> Optional[SearchCheckpoint]:
     """Load (or create) the search checkpoint, if one was requested.
 
     ``resume_from`` wins over the controller's ``checkpoint_path``; a
@@ -322,7 +287,8 @@ def _open_checkpoint(problem: OptimizationProblem,
     if path is None:
         return None
     every = controller.checkpoint_every if controller is not None else 1
-    fingerprint = _search_fingerprint(problem, settings, vdd_range, vth_range)
+    fingerprint = _search_fingerprint(problem, settings, vdd_range, vth_range,
+                                      engine_name)
     if path.exists():
         return SearchCheckpoint.load(path, fingerprint, every=every)
     return SearchCheckpoint(fingerprint, path=path, every=every)
@@ -358,15 +324,17 @@ def optimize_joint(problem: OptimizationProblem,
     """
     settings = settings or HeuristicSettings()
     controller = resolve_controller(settings.controller)
+    engine_name = resolve_engine_name(settings.engine)
     if budgets is None:
         budgets = problem.budgets()
     state = _SearchState()
     raw_objective = _make_objective(problem, budgets, settings, state,
+                                    engine_name=engine_name,
                                     energy_vth_bias=_energy_vth_bias,
                                     delay_vth_bias=_delay_vth_bias)
     vdd_range, vth_range = _ranges(problem, settings)
     checkpoint = _open_checkpoint(problem, settings, controller, resume_from,
-                                  vdd_range, vth_range)
+                                  vdd_range, vth_range, engine_name)
     resumed_corners = checkpoint.completed if checkpoint is not None else 0
 
     if checkpoint is None and controller is None:
@@ -416,7 +384,7 @@ def optimize_joint(problem: OptimizationProblem,
     try:
         with tracer.span("optimize_joint", network=problem.network.name,
                          strategy=settings.strategy,
-                         engine=settings.engine) as root:
+                         engine=engine_name) as root:
             if seeds:
                 with tracer.span("seeds", count=len(seeds)):
                     for seed_vdd, seed_vth in seeds:
@@ -488,6 +456,7 @@ def optimize_joint(problem: OptimizationProblem,
             f"{timing.critical_delay!r} at the chosen optimum")
     details: Dict[str, object] = {
         "strategy": settings.strategy,
+        "engine": engine_name,
         "feasible_points": state.feasible_points,
         "budget_rescale": budgets.rescale_factor,
         "budget_paths": budgets.paths_processed,

@@ -34,10 +34,10 @@ supply" stance.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Set, Tuple
+from typing import Dict, Mapping, Set, Tuple
 
+from repro.engine import resolve_engine_name
 from repro.errors import OptimizationError
 from repro.optimize.heuristic import HeuristicSettings, optimize_joint
 from repro.optimize.problem import (
@@ -45,7 +45,6 @@ from repro.optimize.problem import (
     OptimizationProblem,
     OptimizationResult,
 )
-from repro.optimize.width_search import size_widths
 from repro.power.energy import total_energy
 from repro.timing.budgeting import BudgetResult
 from repro.timing.sta import analyze_timing
@@ -123,6 +122,9 @@ def optimize_multi_vdd(problem: OptimizationProblem,
         return single
 
     evaluations = single.evaluations
+    engine_name = resolve_engine_name(settings.single.engine)
+    evaluator = problem.evaluator(
+        budgets, engine_name, width_method=settings.single.width_method)
 
     def rail_map(low_rail: float) -> Dict[str, float]:
         mapping = {name: high_rail for name in problem.network.logic_gates}
@@ -130,17 +132,17 @@ def optimize_multi_vdd(problem: OptimizationProblem,
             mapping[name] = low_rail
         return mapping
 
-    def evaluate(low_rail: float) -> Tuple[float, Mapping[str, float] | None]:
+    def evaluate(low_rail: float):
+        """(energy, sizing-or-None) with the cluster on ``low_rail``.
+
+        One shared-evaluator call on a per-gate Vdd mapping (vectorized
+        end-to-end on the array engine); widths stay an engine handle
+        until the winning rail is materialized.
+        """
         nonlocal evaluations
         evaluations += 1
-        mapping = rail_map(low_rail)
-        assignment = size_widths(problem.ctx, budgets.budgets, mapping, vth,
-                                 repair_ceiling=budgets.effective_cycle_time)
-        if not assignment.feasible:
-            return math.inf, None
-        energy = total_energy(problem.ctx, mapping, vth, assignment.widths,
-                              problem.frequency).total
-        return energy, assignment.widths
+        evaluation = evaluator(rail_map(low_rail), vth)
+        return evaluation.energy, evaluation.sizing
 
     low, high = problem.tech.vdd_min, high_rail
     for _ in range(settings.refine_iters):
@@ -151,9 +153,9 @@ def optimize_multi_vdd(problem: OptimizationProblem,
         else:
             low = left
     best_low = 0.5 * (low + high)
-    energy, widths = evaluate(best_low)
+    energy, sizing = evaluate(best_low)
 
-    if widths is None or energy >= single.total_energy:
+    if sizing is None or energy >= single.total_energy:
         details = dict(single.details)
         details["strategy"] = "multi-vdd-fallback"
         details["cluster_size"] = len(cluster)
@@ -164,7 +166,7 @@ def optimize_multi_vdd(problem: OptimizationProblem,
                                   details=details)
 
     mapping = rail_map(best_low)
-    design = DesignPoint(vdd=mapping, vth=vth, widths=dict(widths))
+    design = DesignPoint(vdd=mapping, vth=vth, widths=sizing.widths_map())
     energy_report = total_energy(problem.ctx, mapping, vth, design.widths,
                                  problem.frequency)
     timing = analyze_timing(problem.ctx, mapping, vth, design.widths)
@@ -172,6 +174,7 @@ def optimize_multi_vdd(problem: OptimizationProblem,
         problem=problem, design=design, energy=energy_report, timing=timing,
         evaluations=evaluations,
         details={"strategy": "multi-vdd", "cluster_size": len(cluster),
+                 "engine": engine_name,
                  "high_rail": round(high_rail, 4),
                  "low_rail": round(best_low, 4),
                  "single_vdd_energy": single.total_energy})

@@ -21,21 +21,18 @@ Implementation:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.engine import resolve_engine_name
 from repro.errors import InfeasibleError, OptimizationError
 from repro.obs import trace
-from repro.obs.instrument import OBJECTIVE_EVALUATIONS
-from repro.obs.metrics import current_metrics
 from repro.optimize.heuristic import HeuristicSettings, optimize_joint
 from repro.optimize.problem import (
     DesignPoint,
     OptimizationProblem,
     OptimizationResult,
 )
-from repro.optimize.width_search import size_widths
 from repro.power.energy import total_energy
 from repro.runtime.controller import (
     RunController,
@@ -131,6 +128,9 @@ def _optimize_multi_vth(problem: OptimizationProblem,
     group_vths: List[float] = [base_vth for _ in groups]
     vdd = single.design.vdd
     evaluations = single.evaluations
+    engine_name = resolve_engine_name(settings.single.engine)
+    evaluator = problem.evaluator(
+        budgets, engine_name, width_method=settings.single.width_method)
 
     def vth_map(vths: List[float]) -> Dict[str, float]:
         mapping: Dict[str, float] = {}
@@ -139,25 +139,23 @@ def _optimize_multi_vth(problem: OptimizationProblem,
                 mapping[name] = vth
         return mapping
 
-    def evaluate(vdd_value: float, vths: List[float]
-                 ) -> Tuple[float, Mapping[str, float] | None]:
+    def evaluate(vdd_value: float, vths: List[float]):
+        """(energy, sizing-or-None) at a per-group threshold vector.
+
+        One shared-evaluator call: the engine sizes at the per-gate
+        mapping (vectorized end-to-end on the array engine, budget
+        repair included). Widths stay an engine handle; only accepted
+        bests are materialized into a ``{name: width}`` dict.
+        """
         nonlocal evaluations
         if controller is not None:
             controller.check(f"{problem.network.name} multi-Vth refinement")
         evaluations += 1
-        current_metrics().incr(OBJECTIVE_EVALUATIONS)
-        mapping = vth_map(vths)
-        assignment = size_widths(problem.ctx, budgets.budgets, vdd_value,
-                                 mapping,
-                                 repair_ceiling=budgets.effective_cycle_time)
-        if not assignment.feasible:
-            return math.inf, None
-        energy = total_energy(problem.ctx, vdd_value, mapping,
-                              assignment.widths, problem.frequency).total
-        return energy, assignment.widths
+        evaluation = evaluator(vdd_value, vth_map(vths))
+        return evaluation.energy, evaluation.sizing
 
-    best_energy, best_widths = evaluate(vdd, group_vths)
-    if best_widths is None:
+    best_energy, best_sizing = evaluate(vdd, group_vths)
+    if best_sizing is None:
         raise InfeasibleError(
             f"{problem.network.name}: single-Vth optimum did not transfer "
             "to the multi-Vth evaluation")
@@ -165,7 +163,8 @@ def _optimize_multi_vth(problem: OptimizationProblem,
     best_vdd = vdd
 
     with tracer.span("multivth_refine", groups=len(groups),
-                     rounds=settings.rounds) as refine_span:
+                     rounds=settings.rounds,
+                     engine=engine_name) as refine_span:
         for round_index in range(settings.rounds):
             moved = False
             # Slack-rich groups first (reverse order): they have the most
@@ -189,9 +188,9 @@ def _optimize_multi_vth(problem: OptimizationProblem,
                 candidate = 0.5 * (low + high)
                 trial = list(best_vths)
                 trial[index] = candidate
-                energy, widths = evaluate(best_vdd, trial)
-                if widths is not None and energy < best_energy:
-                    best_energy, best_widths = energy, widths
+                energy, sizing = evaluate(best_vdd, trial)
+                if sizing is not None and energy < best_energy:
+                    best_energy, best_sizing = energy, sizing
                     best_vths = trial
                     moved = True
             # Re-refine the shared supply around the current point.
@@ -207,9 +206,9 @@ def _optimize_multi_vth(problem: OptimizationProblem,
                 else:
                     low = left
             candidate_vdd = 0.5 * (low + high)
-            energy, widths = evaluate(candidate_vdd, best_vths)
-            if widths is not None and energy < best_energy:
-                best_energy, best_widths, best_vdd = (energy, widths,
+            energy, sizing = evaluate(candidate_vdd, best_vths)
+            if sizing is not None and energy < best_energy:
+                best_energy, best_sizing, best_vdd = (energy, sizing,
                                                       candidate_vdd)
                 moved = True
             if not moved:
@@ -218,7 +217,8 @@ def _optimize_multi_vth(problem: OptimizationProblem,
                              best_energy=best_energy)
 
     mapping = vth_map(best_vths)
-    design = DesignPoint(vdd=best_vdd, vth=mapping, widths=dict(best_widths))
+    design = DesignPoint(vdd=best_vdd, vth=mapping,
+                         widths=best_sizing.widths_map())
     energy_report = total_energy(problem.ctx, best_vdd, mapping,
                                  design.widths, problem.frequency)
     timing = analyze_timing(problem.ctx, best_vdd, mapping, design.widths)
@@ -226,6 +226,7 @@ def _optimize_multi_vth(problem: OptimizationProblem,
         problem=problem, design=design, energy=energy_report, timing=timing,
         evaluations=evaluations,
         details={"strategy": "multi-vth", "n_vth": problem.n_vth,
+                 "engine": engine_name,
                  "group_vths": tuple(round(v, 4) for v in best_vths),
                  "group_sizes": tuple(len(g) for g in groups),
                  "single_vth_energy": single.energy.total})

@@ -61,6 +61,28 @@ class OptimizationProblem:
         return assign_delay_budgets(self.network, self.cycle_time,
                                     skew_factor=self.skew_factor, **kwargs)
 
+    def evaluator(self, budgets: Optional[BudgetResult] = None,
+                  engine: str = "auto", *,
+                  width_method: str = "closed_form",
+                  bisect_steps: int = 24,
+                  delay_vth_bias=None, energy_vth_bias=None):
+        """The shared objective factory: one engine-backed evaluator.
+
+        Resolves ``engine`` ("auto" honors :func:`repro.engine.use_engine`
+        and ``$REPRO_ENGINE``), runs Procedure 1 if ``budgets`` is not
+        supplied, and returns a :class:`repro.engine.Evaluator` — the
+        single evaluate-loop implementation every optimizer shares.
+        """
+        from repro.engine import Evaluator, make_engine
+
+        impl = make_engine(self, engine, width_method=width_method,
+                           bisect_steps=bisect_steps)
+        if budgets is None:
+            budgets = self.budgets()
+        return Evaluator(self, impl, budgets,
+                         delay_vth_bias=delay_vth_bias,
+                         energy_vth_bias=energy_vth_bias)
+
     @classmethod
     def build(cls, tech: Technology, network: LogicNetwork,
               profile: InputProfile, frequency: float,

@@ -107,6 +107,9 @@ class FaultInjector:
         self.triggered: List[TriggeredFault] = []
         #: (module, attribute, original) bindings to restore on exit.
         self._patched: List[Tuple[object, str, object]] = []
+        #: wrapper (by id) -> original, for bindings created *during* the
+        #: armed window by modules imported while the plan was active.
+        self._originals: Dict[int, object] = {}
 
     # -- arming/disarming --------------------------------------------------
 
@@ -115,6 +118,7 @@ class FaultInjector:
             module = importlib.import_module(module_name)
             original = getattr(module, function_name)
             wrapper = self._wrap(seam, original)
+            self._originals[id(wrapper)] = original
             for candidate in list(sys.modules.values()):
                 candidate_dict = getattr(candidate, "__dict__", None)
                 if not isinstance(candidate_dict, dict):
@@ -129,6 +133,20 @@ class FaultInjector:
         for module, attribute, original in reversed(self._patched):
             setattr(module, attribute, original)
         self._patched.clear()
+        # A module imported while the plan was armed (lazy imports inside
+        # an optimizer) copies the *wrapper* into its own namespace via
+        # ``from ... import``. Those bindings were not recorded above, and
+        # leaving them in place would hide the seam from the next
+        # injector, so sweep sys.modules for them too.
+        for candidate in list(sys.modules.values()):
+            candidate_dict = getattr(candidate, "__dict__", None)
+            if not isinstance(candidate_dict, dict):
+                continue
+            for attribute, value in list(candidate_dict.items()):
+                original = self._originals.get(id(value))
+                if original is not None:
+                    setattr(candidate, attribute, original)
+        self._originals.clear()
 
     # -- the injected behaviors -------------------------------------------
 

@@ -132,3 +132,90 @@ def test_multiple_circuits_agree():
             scalar = size_widths(problem.ctx, budgets.budgets, vdd, vth)
             fast = fast_size_widths(arrays, budget_array, vdd, vth)
             assert fast.feasible == scalar.feasible, circuit
+
+
+def _custom_problem(network):
+    from repro.activity.profiles import uniform_profile
+    from repro.optimize.problem import OptimizationProblem
+    from repro.technology.process import Technology
+    from repro.units import MHZ
+
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    return OptimizationProblem.build(Technology.default(), network, profile,
+                                     frequency=200 * MHZ)
+
+
+def test_boundary_only_fanout_rows_use_boundary_width():
+    """Regression: boundary branches must not gather a real gate's width.
+
+    The PO gate's fanout row holds *only* the boundary branch (sentinel
+    index -1). A clamped gather (``np.clip(idx, 0, None)``) would read
+    the width of array row 0 — the PO gate itself, given an extreme
+    width here — instead of ``BOUNDARY_WIDTH``; the masked gather keeps
+    the boundary receiver at fixed unit width. Parity with the scalar
+    reference pins the behavior down.
+    """
+    from repro.netlist.gates import GateType
+    from repro.netlist.network import NetworkBuilder
+
+    builder = NetworkBuilder("boundary_only")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_gate("g1", GateType.NAND, ["a", "b"])
+    builder.add_gate("g2", GateType.NOR, ["a", "b"])
+    builder.add_gate("y", GateType.NAND, ["g1", "g2"])
+    problem = _custom_problem(builder.build(outputs=["y"]))
+    arrays = ArrayContext(problem.ctx)
+
+    # The premise: y sits at array row 0 and its row is boundary-only.
+    row = arrays.index["y"]
+    assert row == 0
+    lo, hi = arrays.fanout.ptr[row], arrays.fanout.ptr[row + 1]
+    assert hi - lo == 1
+    assert not arrays.fanout_is_gate[lo:hi].any()
+
+    # Extreme width on row 0 so a sentinel-clamp bug cannot hide.
+    widths = {"g1": 2.0, "g2": 3.0, "y": 500.0}
+    w = arrays.widths_to_array(widths)
+    critical, _ = fast_sta(arrays, 2.5, 0.3, w)
+    reference = analyze_timing(problem.ctx, 2.5, 0.3, widths)
+    assert critical == pytest.approx(reference.critical_delay, rel=1e-12)
+    static, dynamic = fast_total_energy(arrays, 2.5, 0.3, w,
+                                        problem.frequency)
+    energy = total_energy(problem.ctx, 2.5, 0.3, widths, problem.frequency)
+    assert static == pytest.approx(energy.static, rel=1e-12)
+    assert dynamic == pytest.approx(energy.dynamic, rel=1e-12)
+
+
+def test_output_fed_by_primary_input_matches_scalar():
+    """A primary input listed as a primary output arrives at 0.0."""
+    from repro.netlist.gates import GateType
+    from repro.netlist.network import NetworkBuilder
+
+    builder = NetworkBuilder("pi_output")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_gate("g1", GateType.NAND, ["a", "b"])
+    builder.add_gate("y", GateType.NOT, ["g1"])
+    problem = _custom_problem(builder.build(outputs=["y", "b"]))
+    arrays = ArrayContext(problem.ctx)
+    assert "b" not in arrays.index  # an output port fed straight by a PI
+
+    widths = {"g1": 4.0, "y": 2.0}
+    w = arrays.widths_to_array(widths)
+    critical, _ = fast_sta(arrays, 2.5, 0.3, w)
+    reference = analyze_timing(problem.ctx, 2.5, 0.3, widths)
+    assert critical == pytest.approx(reference.critical_delay, rel=1e-12)
+
+
+def test_unknown_output_raises_timing_error(s27_problem):
+    """An output in neither the gate index nor the PIs is a hard error."""
+    from repro.errors import TimingError
+
+    arrays = ArrayContext(s27_problem.ctx)  # local copy: we mutate index
+    victim = s27_problem.network.outputs[0]
+    assert victim in arrays.index
+    del arrays.index[victim]
+    w = np.ones(arrays.n_gates) * 4.0
+    with pytest.raises(TimingError, match="neither a logic gate nor"):
+        fast_sta(arrays, 2.5, 0.3, w)

@@ -89,7 +89,7 @@ def test_state_copy_is_deep_for_widths():
 def test_heuristic_settings_defaults_stable():
     settings = HeuristicSettings()
     assert settings.strategy == "grid"
-    assert settings.engine == "scalar"
+    assert settings.engine == "auto"
     assert settings.width_method == "closed_form"
 
 

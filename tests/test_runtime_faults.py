@@ -12,6 +12,7 @@ import pytest
 
 import repro.optimize.baseline
 import repro.power.energy
+from repro.engine import use_engine
 from repro.errors import (
     DeadlineExceeded,
     FaultInjectedError,
@@ -26,6 +27,15 @@ from repro.runtime.controller import FakeClock, RunController
 from repro.runtime.faults import SEAMS, FaultInjector, FaultSpec
 
 PERSISTENT = 10 ** 9
+
+
+@pytest.fixture(autouse=True)
+def scalar_engine():
+    """Pin the scalar engine: faults are planted at the scalar model
+    seams, so per-seam call numbers are only deterministic there."""
+    with use_engine("scalar"):
+        yield
+
 
 
 class TestFaultSpec:

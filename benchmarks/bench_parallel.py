@@ -1,0 +1,102 @@
+"""Bench: the supervised worker pool vs serial execution.
+
+Times Table 1 and a Monte-Carlo variation sweep serially and on the
+pool, asserting identical artifacts (the pool's whole point is that
+parallelism never changes results) and archiving the wall times to
+``benchmarks/results/parallel.json``. The speedup floor is only
+asserted on machines with enough cores — on a single-core runner the
+pool is legitimately no faster, but the equality contract must hold
+everywhere.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo_variation
+from repro.analysis.report import format_table
+from repro.experiments.common import build_problem
+from repro.experiments.table1 import run_table1
+from repro.optimize.baseline import optimize_fixed_vth
+from repro.runtime.pool import multiprocessing_available
+from repro.runtime.supervisor import ParallelPlan, use_parallel
+
+JOBS = 4
+MC_SAMPLES = 96
+
+#: Speedup floors asserted only when the host can plausibly deliver
+#: them (the pool cannot beat serial on a single busy core).
+SPEEDUP_FLOOR = 2.0
+
+
+def _cores() -> int:
+    return os.cpu_count() or 1
+
+
+def _timed(run):
+    start = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.skipif(not multiprocessing_available(),
+                    reason="multiprocessing unavailable")
+def test_pool_speedup(benchmark, record_artifact, record_json):
+    plan = ParallelPlan(jobs=JOBS, heartbeat_s=0.1)
+    problem = build_problem("s298", 0.1)
+    design = optimize_fixed_vth(problem).design
+
+    serial_rows, serial_table_s = _timed(run_table1)
+    with use_parallel(plan):
+        pooled_rows, pooled_table_s = _timed(run_table1)
+    assert pooled_rows == serial_rows
+
+    serial_mc, serial_mc_s = _timed(
+        lambda: monte_carlo_variation(problem, design,
+                                      samples=MC_SAMPLES, seed=0))
+    with use_parallel(plan):
+        pooled_mc, pooled_mc_s = _timed(
+            lambda: monte_carlo_variation(problem, design,
+                                          samples=MC_SAMPLES, seed=0))
+    assert pooled_mc == serial_mc
+
+    if _cores() >= JOBS:
+        assert serial_mc_s / pooled_mc_s >= SPEEDUP_FLOOR, \
+            f"pool delivered only {serial_mc_s / pooled_mc_s:.2f}x on " \
+            f"{_cores()} cores"
+
+    with use_parallel(plan):
+        benchmark.pedantic(
+            lambda: monte_carlo_variation(problem, design,
+                                          samples=MC_SAMPLES, seed=0),
+            rounds=1, iterations=1)
+
+    rows = [["table1 (16 rows)", f"{serial_table_s:.2f}",
+             f"{pooled_table_s:.2f}",
+             f"{serial_table_s / pooled_table_s:.2f}x"],
+            [f"monte-carlo ({MC_SAMPLES} samples)", f"{serial_mc_s:.2f}",
+             f"{pooled_mc_s:.2f}", f"{serial_mc_s / pooled_mc_s:.2f}x"]]
+    record_artifact("parallel", format_table(
+        headers=["workload", "serial (s)", f"pool jobs={JOBS} (s)",
+                 "speedup"],
+        rows=rows,
+        title=f"Supervised pool vs serial on {_cores()} core(s) "
+              f"(identical artifacts asserted)"))
+    record_json(
+        "parallel",
+        results=[
+            {"unit": "table1 serial", "evaluations": len(serial_rows),
+             "wall_s": serial_table_s,
+             "best_energy": min(row.total_energy for row in serial_rows)},
+            {"unit": f"table1 jobs={JOBS}",
+             "evaluations": len(pooled_rows), "wall_s": pooled_table_s,
+             "best_energy": min(row.total_energy for row in pooled_rows)},
+            {"unit": "montecarlo serial", "evaluations": MC_SAMPLES,
+             "wall_s": serial_mc_s,
+             "best_energy": serial_mc.energies[0]},
+            {"unit": f"montecarlo jobs={JOBS}", "evaluations": MC_SAMPLES,
+             "wall_s": pooled_mc_s,
+             "best_energy": pooled_mc.energies[0]},
+        ],
+        jobs=JOBS, cores=_cores())

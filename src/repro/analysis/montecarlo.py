@@ -19,11 +19,14 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import OptimizationError
 from repro.optimize.problem import DesignPoint, OptimizationProblem
 from repro.power.energy import total_energy
+from repro.runtime.supervisor import (ParallelPlan, resolve_parallel,
+                                      run_sharded)
+from repro.runtime.tasks import Task, chunk_ranges
 from repro.timing.sta import analyze_timing
 
 
@@ -76,31 +79,39 @@ def _percentile(sorted_values: Tuple[float, ...], fraction: float) -> float:
     return sorted_values[index]
 
 
-def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
-                          statistics: VariationStatistics | None = None,
-                          samples: int = 200, seed: int = 0
-                          ) -> MonteCarloOutcome:
-    """Sample Vth variation around ``design`` and measure timing/energy.
+def _sample_rng(seed: int, index: int) -> random.Random:
+    """The RNG of sample ``index`` under run seed ``seed``.
 
-    The design's nominal Vth (scalar or per-gate) is perturbed per sample;
-    offsets are clamped so every perturbed threshold stays positive.
+    Counter-based (one independent stream per sample) rather than one
+    sequential stream for the whole run: sample ``index`` draws the same
+    offsets whether it is computed serially or inside any batch of any
+    worker, which is what makes the Monte-Carlo sweep jobs-invariant.
     """
-    if samples < 1:
-        raise OptimizationError(f"samples must be >= 1, got {samples}")
-    statistics = statistics or VariationStatistics()
-    rng = random.Random(seed)
-    gates = problem.network.logic_gates
+    return random.Random((seed << 32) ^ index)
 
-    nominal_timing = analyze_timing(problem.ctx, design.vdd, design.vth,
-                                    design.widths)
-    nominal_energy = total_energy(problem.ctx, design.vdd, design.vth,
-                                  design.widths, problem.frequency).total
 
+def _mc_init(problem: OptimizationProblem, design: DesignPoint,
+             statistics: VariationStatistics, seed: int):
+    """Worker init of the Monte-Carlo shards: the shared evaluation state."""
+    return (problem, design, statistics, seed,
+            tuple(problem.network.logic_gates))
+
+
+def _mc_batch(state, start: int, stop: int
+              ) -> Tuple[Tuple[float, ...], Tuple[float, ...], int]:
+    """Evaluate samples ``[start, stop)`` — a pure Monte-Carlo shard.
+
+    Returns (energies, delays, met) with the per-sample values in
+    sample order (the outcome sorts globally, so concatenation order
+    never matters — but determinism per sample does).
+    """
+    problem, design, statistics, seed, gates = state
     energies: List[float] = []
     delays: List[float] = []
     met = 0
     cycle = problem.cycle_time
-    for _ in range(samples):
+    for index in range(start, stop):
+        rng = _sample_rng(seed, index)
         die_offset = rng.gauss(0.0, statistics.sigma_die)
         vth_map: Dict[str, float] = {}
         for name in gates:
@@ -115,6 +126,55 @@ def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
         energies.append(energy)
         if timing.meets(cycle, tolerance=1e-9):
             met += 1
+    return tuple(energies), tuple(delays), met
+
+
+def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
+                          statistics: VariationStatistics | None = None,
+                          samples: int = 200, seed: int = 0,
+                          parallel: Optional[ParallelPlan] = None
+                          ) -> MonteCarloOutcome:
+    """Sample Vth variation around ``design`` and measure timing/energy.
+
+    The design's nominal Vth (scalar or per-gate) is perturbed per sample;
+    offsets are clamped so every perturbed threshold stays positive.
+    Sampling is counter-seeded per sample (see :func:`_sample_rng`), so
+    the outcome depends only on ``(seed, samples)`` — a parallel plan
+    (explicit ``parallel=`` or ambient
+    :func:`repro.runtime.use_parallel`) shards the samples into batches
+    without changing a single drawn value.
+    """
+    if samples < 1:
+        raise OptimizationError(f"samples must be >= 1, got {samples}")
+    statistics = statistics or VariationStatistics()
+
+    nominal_timing = analyze_timing(problem.ctx, design.vdd, design.vth,
+                                    design.widths)
+    nominal_energy = total_energy(problem.ctx, design.vdd, design.vth,
+                                  design.widths, problem.frequency).total
+
+    state = _mc_init(problem, design, statistics, seed)
+    plan = resolve_parallel(parallel)
+    if plan is not None and plan.active and samples > 1:
+        tasks = [Task(key=f"mc[{start}:{stop}]", index=start, fn=_mc_batch,
+                      args=(start, stop))
+                 for start, stop in chunk_ranges(samples, plan.jobs * 4)]
+        run = run_sharded(tasks, init_fn=_mc_init,
+                          init_args=(problem, design, statistics, seed),
+                          plan=plan,
+                          what=f"{problem.network.name} Monte-Carlo")
+        run.raise_if_quarantined(f"{problem.network.name} Monte-Carlo")
+        batches = run.values()
+    else:
+        batches = [_mc_batch(state, 0, samples)]
+
+    energies: List[float] = []
+    delays: List[float] = []
+    met = 0
+    for batch_energies, batch_delays, batch_met in batches:
+        energies.extend(batch_energies)
+        delays.extend(batch_delays)
+        met += batch_met
 
     return MonteCarloOutcome(samples=samples,
                              timing_yield=met / samples,

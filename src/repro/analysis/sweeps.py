@@ -23,6 +23,8 @@ from repro.optimize.problem import OptimizationProblem
 from repro.optimize.variation import VariationModel, optimize_with_variation
 from repro.optimize.width_search import size_widths
 from repro.power.energy import total_energy
+from repro.runtime.supervisor import resolve_parallel, run_sharded
+from repro.runtime.tasks import Task, chunk_ranges
 
 
 @dataclass(frozen=True)
@@ -41,6 +43,21 @@ class VariationSweepPoint:
         return self.baseline_energy / self.optimized_energy
 
 
+def _tolerance_point(_state, problem: OptimizationProblem,
+                     tolerance: float, baseline_energy: float,
+                     settings: HeuristicSettings | None,
+                     budgets) -> VariationSweepPoint:
+    """One Figure 2(a) tolerance point — a pure sweep shard."""
+    result = optimize_with_variation(problem, VariationModel(tolerance),
+                                     settings=settings, budgets=budgets)
+    return VariationSweepPoint(
+        tolerance=tolerance,
+        baseline_energy=baseline_energy,
+        optimized_energy=result.total_energy,
+        vdd=result.design.vdd,
+        vth_nominal=float(result.design.distinct_vths()[0]))
+
+
 def sweep_vth_tolerance(problem: OptimizationProblem,
                         tolerances: Sequence[float],
                         settings: HeuristicSettings | None = None
@@ -51,20 +68,28 @@ def sweep_vth_tolerance(problem: OptimizationProblem,
     once at nominal conditions, exactly as Table 1 anchors the paper's
     savings numbers; each tolerance point re-optimizes with worst-case
     corners and reports the *worst-case* optimized power.
+
+    Tolerance points are independent (each gets the same shared budgets
+    and baseline), so an ambient :func:`repro.runtime.use_parallel` plan
+    shards them one-per-task; the merge is positional and the points are
+    pure functions of their inputs, so the sweep is jobs-invariant.
     """
     budgets = problem.budgets()
     baseline = optimize_fixed_vth(problem, budgets=budgets)
-    points: List[VariationSweepPoint] = []
-    for tolerance in tolerances:
-        result = optimize_with_variation(problem, VariationModel(tolerance),
-                                         settings=settings, budgets=budgets)
-        points.append(VariationSweepPoint(
-            tolerance=tolerance,
-            baseline_energy=baseline.total_energy,
-            optimized_energy=result.total_energy,
-            vdd=result.design.vdd,
-            vth_nominal=float(result.design.distinct_vths()[0])))
-    return tuple(points)
+    plan = resolve_parallel(None)
+    if plan is not None and plan.active and len(tolerances) > 1:
+        tasks = [Task(key=f"vth_tol[{tolerance:g}]", index=index,
+                      fn=_tolerance_point,
+                      args=(problem, tolerance, baseline.total_energy,
+                            settings, budgets))
+                 for index, tolerance in enumerate(tolerances)]
+        run = run_sharded(tasks, plan=plan,
+                          what=f"{problem.network.name} Vth-tolerance sweep")
+        run.raise_if_quarantined(f"{problem.network.name} Vth-tolerance sweep")
+        return tuple(run.values())
+    return tuple(_tolerance_point(None, problem, tolerance,
+                                  baseline.total_energy, settings, budgets)
+                 for tolerance in tolerances)
 
 
 @dataclass(frozen=True)
@@ -95,6 +120,11 @@ def sweep_cycle_slack(problem: OptimizationProblem,
     clock — the paper's question is "how much more do we save if the
     clock could be relaxed?"; pass ``rebaseline=True`` to re-run the
     fixed-Vth baseline at each relaxed clock instead.
+
+    This sweep is deliberately *not* sharded: each point warm-starts
+    from the previous optimum (``seeds``), so the points form a chain,
+    not a set. Parallelism, if any, lives inside each ``optimize_joint``
+    call via the ambient plan.
     """
     base_frequency = problem.frequency
     pinned_baseline = optimize_fixed_vth(problem)
@@ -128,22 +158,49 @@ def sweep_cycle_slack(problem: OptimizationProblem,
     return tuple(points)
 
 
+def _surface_cell(problem: OptimizationProblem, budgets,
+                  vdd: float, vth: float) -> float:
+    assignment = size_widths(
+        problem.ctx, budgets.budgets, vdd, vth,
+        repair_ceiling=budgets.effective_cycle_time)
+    if not assignment.feasible:
+        return math.inf
+    return total_energy(problem.ctx, vdd, vth, assignment.widths,
+                        problem.frequency).total
+
+
+def _surface_chunk(_state, problem: OptimizationProblem, budgets,
+                   cells: Tuple[Tuple[float, float], ...]
+                   ) -> Tuple[float, ...]:
+    """Energies of a contiguous run of (Vdd, Vth) cells — a pure shard."""
+    return tuple(_surface_cell(problem, budgets, vdd, vth)
+                 for vdd, vth in cells)
+
+
 def scan_energy_surface(problem: OptimizationProblem,
                         vdd_values: Sequence[float],
                         vth_values: Sequence[float]
                         ) -> Dict[Tuple[float, float], float]:
-    """Total energy at each (Vdd, Vth); ``inf`` marks infeasible points."""
+    """Total energy at each (Vdd, Vth); ``inf`` marks infeasible points.
+
+    Cells are independent, so an ambient parallel plan shards the grid
+    into contiguous chunks; the surface dict is rebuilt in canonical
+    (vdd-outer, vth-inner) order either way.
+    """
     budgets = problem.budgets()
-    surface: Dict[Tuple[float, float], float] = {}
-    for vdd in vdd_values:
-        for vth in vth_values:
-            assignment = size_widths(
-                problem.ctx, budgets.budgets, vdd, vth,
-                repair_ceiling=budgets.effective_cycle_time)
-            if not assignment.feasible:
-                surface[(vdd, vth)] = math.inf
-                continue
-            surface[(vdd, vth)] = total_energy(
-                problem.ctx, vdd, vth, assignment.widths,
-                problem.frequency).total
-    return surface
+    cells = tuple((vdd, vth) for vdd in vdd_values for vth in vth_values)
+    plan = resolve_parallel(None)
+    if plan is not None and plan.active and len(cells) > 1:
+        chunks = chunk_ranges(len(cells), plan.jobs * 4)
+        tasks = [Task(key=f"surface[{start}:{stop}]", index=start,
+                      fn=_surface_chunk,
+                      args=(problem, budgets, cells[start:stop]))
+                 for start, stop in chunks]
+        run = run_sharded(tasks, plan=plan,
+                          what=f"{problem.network.name} energy surface")
+        run.raise_if_quarantined(f"{problem.network.name} energy surface")
+        energies = [energy for chunk in run.values() for energy in chunk]
+    else:
+        energies = [_surface_cell(problem, budgets, vdd, vth)
+                    for vdd, vth in cells]
+    return {cell: energy for cell, energy in zip(cells, energies)}

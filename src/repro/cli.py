@@ -17,6 +17,12 @@
 cycle). Results print as an aligned table; ``--json`` emits a
 machine-readable summary instead.
 
+Parallelism: ``--jobs N`` (on ``optimize`` and ``experiments``) shards
+the grid search / experiment suite across N crash-isolated worker
+processes supervised with retries and quarantine; ``--retries`` and
+``--task-timeout`` tune the failure policy. Results are identical at
+any jobs count, even when workers crash mid-task.
+
 Observability: ``--trace PATH`` records a JSONL span trace of the
 search, ``--metrics PATH`` snapshots the hot counters as JSON,
 ``--profile`` adds per-seam duration histograms, and ``repro
@@ -54,6 +60,7 @@ from repro.optimize.baseline import optimize_fixed_vth
 from repro.optimize.heuristic import HeuristicSettings, optimize_joint
 from repro.optimize.problem import OptimizationProblem
 from repro.runtime.controller import RunController
+from repro.runtime.supervisor import ParallelPlan, use_parallel
 from repro.technology.library import deck, deck_names, load_technology
 from repro.technology.process import Technology
 from repro.units import MHZ, NS, PS
@@ -88,6 +95,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="uniform input signal probability (default 0.5)")
 
 
+def _add_parallel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sharded stages "
+                             "(default 1 = in-process serial; results "
+                             "are identical at any jobs count)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="attempts-1 per task before quarantine "
+                             "(default 2)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task wall-clock deadline inside the "
+                             "worker pool (default: none)")
+
+
+def _parallel_plan(args: argparse.Namespace) -> Optional[ParallelPlan]:
+    """The ParallelPlan of ``--jobs/--retries/--task-timeout``, or None.
+
+    Construction validates the values (OptimizationError → exit 1).
+    """
+    if args.jobs == 1 and args.task_timeout is None:
+        return None
+    return ParallelPlan(jobs=args.jobs, retries=args.retries,
+                        task_timeout_s=args.task_timeout)
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     tech = _resolve_technology(args)
     spec_path = Path(args.circuit)
@@ -116,11 +148,14 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     registry = (MetricsRegistry()
                 if (args.trace or args.metrics or args.profile) else None)
     tracer = Tracer() if args.trace else None
+    plan = _parallel_plan(args)
     with contextlib.ExitStack() as stack:
         if registry is not None:
             stack.enter_context(use_metrics(registry))
         if tracer is not None:
             stack.enter_context(use_tracer(tracer))
+        if plan is not None:
+            stack.enter_context(use_parallel(plan))
         if args.profile:
             from repro.obs.instrument import use_profiling
 
@@ -289,7 +324,14 @@ def _cmd_decks(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
-    return runner.main(args.names or ["all"])
+    argv: list = []
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.retries != 2:
+        argv += ["--retries", str(args.retries)]
+    if args.task_timeout is not None:
+        argv += ["--task-timeout", str(args.task_timeout)]
+    return runner.main(argv + (args.names or ["all"]))
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
@@ -366,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--profile", action="store_true",
                           help="time the hot seams (STA, energy, width "
                                "sizing...) into duration histograms")
+    _add_parallel(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
 
     info = subparsers.add_parser("info", help="show circuit statistics")
@@ -388,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables/figures")
     experiments.add_argument("names", nargs="*", default=[])
+    _add_parallel(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
 
     trace_report = subparsers.add_parser(

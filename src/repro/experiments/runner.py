@@ -12,11 +12,21 @@ Prints the regenerated tables/figures to stdout, in the paper's order.
 Experiments are *isolated*: a failure in one logs a compact traceback
 summary and the suite continues with the rest (``--fail-fast`` restores
 abort-on-first-failure). A summary table reports per-experiment status
-at the end, and the exit code is nonzero iff anything failed — so a
-batch job always produces every result it can, and CI still notices.
-``--deadline`` installs an ambient :class:`~repro.runtime.RunController`
-for the whole suite; an experiment that exhausts the budget is reported
-as timed out and the remaining ones are skipped.
+at the end, and the exit code is part of the contract: 0 when every
+experiment succeeded, 1 when any failed or was quarantined, 2 when the
+shared deadline expired — so a batch job always produces every result
+it can, and CI still notices. ``--deadline`` installs an ambient
+:class:`~repro.runtime.RunController` for the whole suite; an
+experiment that exhausts the budget is reported as timed out and the
+remaining ones are skipped.
+
+``--jobs N`` runs on the supervised worker pool
+(:mod:`repro.runtime.supervisor`): several experiments shard one-per-
+task with crash isolation, retries (``--retries``), per-task deadlines
+(``--task-timeout``), and poison-task quarantine; a single experiment
+instead installs the plan ambiently so its own shardable seams (table
+rows, grid cells, Monte-Carlo batches) parallelize. Results are
+jobs-invariant either way.
 
 Run status goes through the ``repro.experiments.runner`` logger and is
 mirrored into the output stream, so batch logs interleave status with
@@ -53,6 +63,8 @@ from repro.obs.logs import configure_logging, get_logger, stream_handler
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.trace import Tracer, use_tracer
 from repro.runtime.controller import RunController, use_controller
+from repro.runtime.supervisor import ParallelPlan, run_sharded, use_parallel
+from repro.runtime.tasks import Task, TaskResult
 
 logger = get_logger(__name__)
 
@@ -73,7 +85,7 @@ class ExperimentOutcome:
     """Per-experiment result of one suite run."""
 
     name: str
-    #: "ok", "failed", "timeout", or "skipped".
+    #: "ok", "failed", "timeout", "quarantined", or "skipped".
     status: str
     elapsed_s: float
     #: Compact traceback summary ("" when the experiment succeeded).
@@ -82,6 +94,24 @@ class ExperimentOutcome:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+#: Process exit codes of :func:`main` — part of the CLI contract (see
+#: docs/runtime.md): 0 all ok, 1 any failed/quarantined, 2 the shared
+#: deadline expired (timeout outranks failure so batch schedulers can
+#: tell "broken" from "too slow").
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_TIMEOUT = 2
+
+
+def exit_code(outcomes: Sequence[ExperimentOutcome]) -> int:
+    """The suite exit code for a set of per-experiment outcomes."""
+    if any(outcome.status == "timeout" for outcome in outcomes):
+        return EXIT_TIMEOUT
+    if any(not outcome.ok for outcome in outcomes):
+        return EXIT_FAILED
+    return EXIT_OK
 
 
 def _failure_summary(error: BaseException) -> str:
@@ -153,12 +183,93 @@ def _run_one(name: str, trace_dir: str | Path | None,
                             name, directory)
 
 
+def _experiment_task(_state, name: str, trace_dir: Optional[str],
+                     profile: bool, engine: Optional[str]) -> str:
+    """One experiment as a supervised-pool shard (module-level so it
+    pickles by reference; the engine override rides along explicitly
+    because spawn-based workers do not inherit ambient context)."""
+    with use_engine(engine):
+        return _run_one(name, trace_dir, profile)
+
+
+def _run_sharded_suite(names: Sequence[str], plan: ParallelPlan,
+                       fail_fast: bool,
+                       controller: Optional[RunController],
+                       stream: TextIO,
+                       trace_dir: str | Path | None,
+                       profile: bool,
+                       engine: Optional[str]) -> List[ExperimentOutcome]:
+    """Run the experiments as crash-isolated pool tasks, one each.
+
+    Outputs print in the requested order once everything settles; a
+    quarantined experiment becomes a ``quarantined`` summary row (its
+    per-attempt errors logged), never a silent omission. A shared
+    deadline marks every unfinished experiment ``timeout``.
+    """
+    import dataclasses
+
+    plan = dataclasses.replace(plan, stop_after_failure=fail_fast)
+    tasks = [Task(key=name, index=index, fn=_experiment_task,
+                  args=(name,
+                        str(trace_dir) if trace_dir is not None else None,
+                        profile, engine))
+             for index, name in enumerate(names)]
+    collected: Dict[str, TaskResult] = {}
+
+    def on_result(result: TaskResult) -> None:
+        collected[result.key] = result
+        if result.status == "ok":
+            logger.info("[%s regenerated in %.1f s]\n",
+                        result.key, result.elapsed_s)
+        elif result.status == "quarantined":
+            logger.error("[%s QUARANTINED after %d attempts]\n%s\n",
+                         result.key, result.attempts, result.error)
+
+    interrupted = ""
+    interrupted_status = ""
+    try:
+        run_sharded(tasks, plan=plan, controller=controller,
+                    on_result=on_result, what="experiment suite")
+    except (DeadlineExceeded, RunCancelled) as error:
+        interrupted = str(error)
+        interrupted_status = ("timeout" if isinstance(error, DeadlineExceeded)
+                              else "failed")
+        logger.error("[experiment suite %s: %s]",
+                     interrupted_status, error)
+
+    outcomes: List[ExperimentOutcome] = []
+    for name in names:
+        result = collected.get(name)
+        if result is None:
+            outcomes.append(ExperimentOutcome(
+                name=name, status=interrupted_status or "skipped",
+                elapsed_s=0.0,
+                error=interrupted or "never dispatched"))
+            continue
+        if result.status == "ok":
+            print(result.value, file=stream)
+            outcomes.append(ExperimentOutcome(
+                name=name, status="ok", elapsed_s=result.elapsed_s))
+        elif result.status == "quarantined":
+            outcomes.append(ExperimentOutcome(
+                name=name, status="quarantined",
+                elapsed_s=result.elapsed_s, error=result.error))
+        else:  # skipped (fail-fast stopped the dispatch)
+            outcomes.append(ExperimentOutcome(
+                name=name, status="skipped", elapsed_s=0.0,
+                error="--fail-fast" if fail_fast else "skipped"))
+    return outcomes
+
+
 def run_experiments(names: Sequence[str], fail_fast: bool = False,
                     deadline_s: Optional[float] = None,
                     stream: TextIO | None = None,
                     trace_dir: str | Path | None = None,
                     profile: bool = False,
                     engine: Optional[str] = None,
+                    jobs: int = 1,
+                    retries: int = 2,
+                    task_timeout_s: Optional[float] = None,
                     ) -> List[ExperimentOutcome]:
     """Run the named experiments with per-experiment error isolation.
 
@@ -172,14 +283,46 @@ def run_experiments(names: Sequence[str], fail_fast: bool = False,
     evaluation-engine override (:func:`repro.engine.use_engine`) for the
     whole suite — every optimizer running with ``engine="auto"`` then
     uses it.
+
+    ``jobs > 1`` executes on the supervised worker pool
+    (:mod:`repro.runtime.supervisor`): with several experiments
+    selected, each experiment is one crash-isolated task (retried up to
+    ``retries`` times, ``quarantined`` after that); with a single
+    experiment, the plan installs ambiently instead so the experiment's
+    own shardable seams (table rows, grid cells, Monte-Carlo batches)
+    parallelize. Either way results are jobs-invariant.
     """
     stream = stream if stream is not None else sys.stdout
     controller = (RunController(deadline_s=deadline_s)
                   if deadline_s is not None else None)
+    plan = (ParallelPlan(jobs=jobs, retries=retries,
+                         task_timeout_s=task_timeout_s)
+            if jobs > 1 else None)
     outcomes: List[ExperimentOutcome] = []
     pending = list(names)
     with use_engine(engine), use_controller(controller), \
             _mirror_status(stream):
+        if plan is not None and len(pending) > 1:
+            return _run_sharded_suite(pending, plan, fail_fast, controller,
+                                      stream, trace_dir, profile, engine)
+        outcomes = _run_serial_suite(pending, plan, fail_fast, controller,
+                                     stream, trace_dir, profile)
+    return outcomes
+
+
+def _run_serial_suite(pending: List[str], plan: Optional[ParallelPlan],
+                      fail_fast: bool,
+                      controller: Optional[RunController],
+                      stream: TextIO,
+                      trace_dir: str | Path | None,
+                      profile: bool) -> List[ExperimentOutcome]:
+    """The in-process experiment loop (``jobs=1``, or one experiment).
+
+    ``plan`` installs ambiently so a single selected experiment still
+    parallelizes at its own shardable seams under ``--jobs``.
+    """
+    outcomes: List[ExperimentOutcome] = []
+    with use_parallel(plan):
         while pending:
             name = pending.pop(0)
             start = time.perf_counter()
@@ -235,6 +378,9 @@ def format_summary(outcomes: Sequence[ExperimentOutcome]) -> str:
         note = ""
         if outcome.status in ("timeout", "skipped") and outcome.error:
             note = f"  ({outcome.error.splitlines()[0]})"
+        elif outcome.status in ("failed", "quarantined") and outcome.error:
+            # The last traceback line is the exception itself.
+            note = f"  ({outcome.error.splitlines()[-1].strip()})"
         lines.append(f"  {outcome.name:<{width}}  {outcome.status:<7}"
                      f"  {outcome.elapsed_s:7.1f} s{note}")
     failed = sum(1 for outcome in outcomes if not outcome.ok)
@@ -269,6 +415,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                         default=None,
                         help="evaluation engine for the whole suite "
                              "(default: each optimizer's own setting)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the supervised pool "
+                             "(1 = in-process; results are identical at "
+                             "any jobs count)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retries per task before quarantine "
+                             "(default: 2)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task wall-clock budget on the pool "
+                             "(default: unbounded)")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="raise repro.* log verbosity (repeatable)")
     parser.add_argument("-q", "--quiet", action="count", default=0,
@@ -288,13 +445,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not selected or "all" in selected:
         selected = list(_EXPERIMENTS)
 
+    if arguments.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {arguments.jobs}")
+    if arguments.retries < 0:
+        parser.error(f"--retries must be >= 0, got {arguments.retries}")
+    if arguments.task_timeout is not None and arguments.task_timeout <= 0:
+        parser.error(f"--task-timeout must be > 0, "
+                     f"got {arguments.task_timeout}")
     outcomes = run_experiments(selected, fail_fast=arguments.fail_fast,
                                deadline_s=arguments.deadline,
                                trace_dir=arguments.trace_dir,
                                profile=arguments.profile,
-                               engine=arguments.engine)
+                               engine=arguments.engine,
+                               jobs=arguments.jobs,
+                               retries=arguments.retries,
+                               task_timeout_s=arguments.task_timeout)
     print(format_summary(outcomes))
-    return 0 if all(outcome.ok for outcome in outcomes) else 1
+    return exit_code(outcomes)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,12 +16,15 @@ checked.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Optional, Tuple
 
 from repro.analysis.report import format_energy, format_table
 from repro.experiments.common import ExperimentConfig, build_problem
 from repro.netlist.benchmarks import benchmark_circuit
 from repro.optimize.baseline import optimize_fixed_vth
+from repro.runtime.supervisor import (ParallelPlan, resolve_parallel,
+                                      run_sharded)
+from repro.runtime.tasks import Task
 from repro.units import NS
 
 
@@ -43,27 +46,50 @@ class Table1Row:
         return self.static_energy + self.dynamic_energy
 
 
-def run_table1(config: ExperimentConfig | None = None) -> Tuple[Table1Row, ...]:
-    """Regenerate Table 1 for the configured circuits and activities."""
+def _table1_row(_state, circuit: str, activity: float,
+                config: ExperimentConfig) -> Table1Row:
+    """One (circuit, activity) baseline row — a pure table shard."""
+    network = benchmark_circuit(circuit)
+    problem = build_problem(circuit, activity,
+                            frequency=config.frequency,
+                            probability=config.probability)
+    result = optimize_fixed_vth(problem, vth=config.baseline_vth)
+    return Table1Row(
+        circuit=circuit,
+        gates=network.gate_count,
+        depth=network.depth,
+        activity=activity,
+        static_energy=result.energy.static,
+        dynamic_energy=result.energy.dynamic,
+        critical_delay=result.timing.critical_delay,
+        vdd=result.design.vdd)
+
+
+def run_table1(config: ExperimentConfig | None = None,
+               parallel: Optional[ParallelPlan] = None
+               ) -> Tuple[Table1Row, ...]:
+    """Regenerate Table 1 for the configured circuits and activities.
+
+    With a parallel plan (explicit ``parallel=`` or the ambient
+    :func:`repro.runtime.use_parallel` plan) each (circuit, activity)
+    row runs as one supervised-pool task; rows are pure functions of
+    the config and the merge is canonical, so the table is identical at
+    any jobs count.
+    """
     config = config or ExperimentConfig()
-    rows: List[Table1Row] = []
-    for circuit in config.circuits:
-        network = benchmark_circuit(circuit)
-        for activity in config.activities:
-            problem = build_problem(circuit, activity,
-                                    frequency=config.frequency,
-                                    probability=config.probability)
-            result = optimize_fixed_vth(problem, vth=config.baseline_vth)
-            rows.append(Table1Row(
-                circuit=circuit,
-                gates=network.gate_count,
-                depth=network.depth,
-                activity=activity,
-                static_energy=result.energy.static,
-                dynamic_energy=result.energy.dynamic,
-                critical_delay=result.timing.critical_delay,
-                vdd=result.design.vdd))
-    return tuple(rows)
+    cells = [(circuit, activity)
+             for circuit in config.circuits
+             for activity in config.activities]
+    plan = resolve_parallel(parallel)
+    if plan is not None and plan.active and len(cells) > 1:
+        tasks = [Task(key=f"table1[{circuit}@{activity:g}]", index=index,
+                      fn=_table1_row, args=(circuit, activity, config))
+                 for index, (circuit, activity) in enumerate(cells)]
+        run = run_sharded(tasks, plan=plan, what="table1")
+        run.raise_if_quarantined("table1")
+        return tuple(run.values())
+    return tuple(_table1_row(None, circuit, activity, config)
+                 for circuit, activity in cells)
 
 
 def format_table1(rows: Tuple[Table1Row, ...]) -> str:

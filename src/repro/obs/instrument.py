@@ -53,6 +53,16 @@ FALLBACK_STAGE = "fallback_stage"
 #: Annealing moves proposed / accepted.
 ANNEALING_MOVES = "annealing_moves"
 ANNEALING_ACCEPTS = "annealing_accepts"
+#: Sharded tasks completed by the supervised pool (any mode).
+POOL_TASKS_COMPLETED = "pool.tasks.completed"
+#: Task attempts rescheduled after a failure/crash/timeout.
+POOL_TASKS_RETRIED = "pool.tasks.retried"
+#: Poison tasks quarantined after exhausting their retries.
+POOL_TASKS_QUARANTINED = "pool.tasks.quarantined"
+#: Worker processes replaced after a crash, hang, or task timeout.
+POOL_WORKER_RESPAWNS = "pool.workers.respawned"
+#: Worker processes spawned at pool start.
+POOL_WORKERS_STARTED = "pool.workers.started"
 
 #: Seam names with profiling hooks (see :func:`seam`).
 SEAM_NAMES = ("sta", "energy", "width_search", "budgeting", "delay_model")

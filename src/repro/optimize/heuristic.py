@@ -43,6 +43,9 @@ from repro.optimize.problem import (
 from repro.power.energy import total_energy
 from repro.runtime.checkpoint import SearchCheckpoint
 from repro.runtime.controller import RunController, resolve_controller
+from repro.runtime.supervisor import (ParallelPlan, resolve_parallel,
+                                      run_sharded)
+from repro.runtime.tasks import Task, chunk_ranges
 from repro.timing.budgeting import BudgetResult
 from repro.timing.sta import analyze_timing
 
@@ -75,6 +78,15 @@ class HeuristicSettings:
     #: When None, the ambient controller installed via
     #: :func:`repro.runtime.use_controller` applies, if any.
     controller: Optional[RunController] = None
+    #: Optional parallel execution of the grid phase on the supervised
+    #: worker pool. When None, the ambient plan installed via
+    #: :func:`repro.runtime.use_parallel` applies, if any. Results are
+    #: jobs-invariant: the grid cells are pure shard functions and the
+    #: merge is canonical, so any jobs count (with or without worker
+    #: crashes) yields the serial design. Only the ``"grid"`` strategy
+    #: shards; the paper bisection and the refinement are sequential by
+    #: construction.
+    parallel: Optional[ParallelPlan] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ("grid", "paper"):
@@ -162,6 +174,128 @@ def _grid_search(objective: Callable[[float, float], float],
     for vdd in vdd_values:
         for vth in vth_values:
             objective(vdd, vth)
+
+
+def _grid_shard_init(problem: OptimizationProblem, budgets: BudgetResult,
+                     engine_name: str, width_method: str):
+    """Worker initializer of the parallel grid: one evaluator per worker."""
+    return problem.evaluator(budgets, engine_name, width_method=width_method)
+
+
+def _grid_shard_task(evaluator, cells: Tuple[Tuple[int, float, float], ...]
+                     ) -> Dict[str, object]:
+    """One pure grid shard: evaluate a contiguous canonical-order chunk.
+
+    Returns per-cell ``(index, energy, feasible)`` plus the widths of
+    every *chunk-local* improvement (feasible cells that beat all prior
+    feasible cells of the chunk, scanned in canonical order). Any cell
+    that improves the *global* canonical running best necessarily
+    improves its chunk-local prefix too — the global prefix minimum is
+    never above the chunk prefix minimum — so the merge always finds the
+    winning cell's widths here without every feasible cell shipping its
+    (large) width map across the queue.
+    """
+    out_cells = []
+    improvements: Dict[int, Dict[str, float]] = {}
+    chunk_best = math.inf
+    for index, vdd, vth in cells:
+        evaluation = evaluator(vdd, vth)
+        out_cells.append((index, evaluation.energy, evaluation.feasible))
+        if evaluation.feasible and evaluation.energy < chunk_best:
+            chunk_best = evaluation.energy
+            improvements[index] = dict(evaluation.widths_map())
+    return {"cells": out_cells, "improvements": improvements}
+
+
+def _parallel_grid_search(problem: OptimizationProblem,
+                          budgets: BudgetResult,
+                          settings: HeuristicSettings,
+                          state: _SearchState,
+                          engine_name: str,
+                          vdd_range: Tuple[float, float],
+                          vth_range: Tuple[float, float],
+                          checkpoint: Optional[SearchCheckpoint],
+                          controller: Optional[RunController],
+                          plan: ParallelPlan,
+                          objective: Callable[[float, float], float]) -> None:
+    """The grid phase on the supervised pool, merged canonically.
+
+    Corners already in the checkpoint are excluded from sharding and
+    replayed through ``objective`` (the cache branch) during the merge;
+    fresh corners are computed by the workers and applied to ``state``
+    in exactly the serial scan order, so the best-point trajectory — and
+    therefore the refinement that follows — is identical to ``jobs=1``.
+    Completed chunks are recorded into the checkpoint as they finish
+    (``on_result``), so a crash mid-sweep resumes at chunk granularity.
+    """
+    vdd_values = _linspace(*vdd_range, settings.grid_vdd)
+    vth_values = _linspace(*vth_range, settings.grid_vth)
+    cells: List[Tuple[int, float, float]] = []
+    for vdd in vdd_values:
+        for vth in vth_values:
+            cells.append((len(cells), vdd, vth))
+    fresh = [cell for cell in cells
+             if checkpoint is None
+             or checkpoint.lookup(cell[1], cell[2]) is None]
+
+    what = f"{problem.network.name} grid search"
+    computed: Dict[int, Tuple[float, bool, Optional[Dict[str, float]]]] = {}
+    if fresh:
+        tasks = []
+        for start, stop in chunk_ranges(len(fresh), plan.jobs * 4):
+            tasks.append(Task(key=f"grid[{start}:{stop}]", index=start,
+                              fn=_grid_shard_task,
+                              args=(tuple(fresh[start:stop]),)))
+
+        def on_result(result) -> None:
+            # Crash-safety: persist finished chunks immediately (in
+            # completion order — record() is keyed, so the canonical
+            # re-record during the merge below is a harmless dedup).
+            if checkpoint is None or not result.ok:
+                return
+            for index, energy, feasible in result.value["cells"]:
+                widths = result.value["improvements"].get(index)
+                point = (cells[index][1], cells[index][2])
+                checkpoint.record(
+                    point[0], point[1], energy, feasible=feasible,
+                    best_energy=energy if widths is not None else math.inf,
+                    best_point=point if widths is not None else None,
+                    best_widths=widths)
+
+        run = run_sharded(tasks, init_fn=_grid_shard_init,
+                          init_args=(problem, budgets, engine_name,
+                                     settings.width_method),
+                          plan=plan, controller=controller,
+                          on_result=on_result, what=what)
+        run.raise_if_quarantined(what)
+        for result in run.results:
+            for index, energy, feasible in result.value["cells"]:
+                computed[index] = (energy, feasible,
+                                   result.value["improvements"].get(index))
+
+    for index, vdd, vth in cells:
+        if index not in computed:
+            objective(vdd, vth)  # checkpoint-cached corner: replay
+            continue
+        energy, feasible, widths = computed[index]
+        state.evaluations += 1
+        if feasible:
+            state.feasible_points += 1
+            if energy < state.best_energy:
+                if widths is None:  # pragma: no cover - see shard docstring
+                    raise OptimizationError(
+                        f"{what}: winning cell {index} returned no widths")
+                state.best_energy = energy
+                state.best_point = (vdd, vth)
+                state.best_widths = widths
+        if checkpoint is not None:
+            checkpoint.record(vdd, vth, energy, feasible=feasible,
+                              best_energy=state.best_energy,
+                              best_point=state.best_point,
+                              best_widths=state.best_widths)
+        if controller is not None:
+            controller.report(phase="grid", evaluations=state.evaluations,
+                              best_energy=state.best_energy)
 
 
 def _ternary_min(function: Callable[[float], float], low: float, high: float,
@@ -325,6 +459,13 @@ def optimize_joint(problem: OptimizationProblem,
     settings = settings or HeuristicSettings()
     controller = resolve_controller(settings.controller)
     engine_name = resolve_engine_name(settings.engine)
+    # The corner-bias hooks are closures and cannot cross a process
+    # boundary; variation-aware searches run their grids in-process.
+    plan = resolve_parallel(settings.parallel)
+    parallel_grid = (plan is not None and plan.active
+                     and settings.strategy == "grid"
+                     and _energy_vth_bias is None
+                     and _delay_vth_bias is None)
     if budgets is None:
         budgets = problem.budgets()
     state = _SearchState()
@@ -392,8 +533,16 @@ def optimize_joint(problem: OptimizationProblem,
             if settings.strategy == "grid":
                 with tracer.span("grid_search",
                                  vdd_points=settings.grid_vdd,
-                                 vth_points=settings.grid_vth):
-                    _grid_search(objective, vdd_range, vth_range, settings)
+                                 vth_points=settings.grid_vth,
+                                 jobs=plan.jobs if parallel_grid else 1):
+                    if parallel_grid:
+                        _parallel_grid_search(problem, budgets, settings,
+                                              state, engine_name, vdd_range,
+                                              vth_range, checkpoint,
+                                              controller, plan, objective)
+                    else:
+                        _grid_search(objective, vdd_range, vth_range,
+                                     settings)
                 with tracer.span("refine", rounds=settings.refine_rounds):
                     _refine(objective, state, vdd_range, vth_range, settings)
             else:
@@ -462,6 +611,8 @@ def optimize_joint(problem: OptimizationProblem,
         "budget_paths": budgets.paths_processed,
         "width_method": settings.width_method,
     }
+    if parallel_grid:
+        details["parallel_jobs"] = plan.jobs
     if checkpoint is not None:
         checkpoint.flush()
         details["checkpoint"] = str(checkpoint.path)

@@ -23,6 +23,13 @@ those guarantees as a layer *around* the numeric code:
 * :mod:`~repro.runtime.atomicio` — crash-safe tempfile +
   ``os.replace`` persistence used by checkpoints, design points, and
   CSV exports.
+* :mod:`~repro.runtime.supervisor` / :mod:`~repro.runtime.pool` /
+  :mod:`~repro.runtime.tasks` — the supervised parallel executor:
+  crash-isolated worker processes running pure task shards with
+  heartbeats, per-task deadlines, retry + backoff, poison-task
+  quarantine, and canonical (jobs-invariant) merging; installed
+  ambiently via :func:`use_parallel` and consumed by the optimizers,
+  the experiment runner, and the analysis sweeps.
 """
 
 from repro.runtime.controller import (
@@ -51,6 +58,22 @@ from repro.runtime.fallback import (
     FallbackPolicy,
     optimize_with_fallback,
 )
+from repro.runtime.pool import in_worker, multiprocessing_available
+from repro.runtime.supervisor import (
+    ParallelPlan,
+    current_parallel,
+    resolve_parallel,
+    run_sharded,
+    use_parallel,
+)
+from repro.runtime.tasks import (
+    PoolStats,
+    ShardedRun,
+    Task,
+    TaskResult,
+    backoff_delay,
+    chunk_ranges,
+)
 
 __all__ = [
     "RunController",
@@ -71,4 +94,17 @@ __all__ = [
     "DegradedResult",
     "RELAX_STAGE",
     "optimize_with_fallback",
+    "ParallelPlan",
+    "use_parallel",
+    "current_parallel",
+    "resolve_parallel",
+    "run_sharded",
+    "Task",
+    "TaskResult",
+    "ShardedRun",
+    "PoolStats",
+    "backoff_delay",
+    "chunk_ranges",
+    "in_worker",
+    "multiprocessing_available",
 ]

@@ -23,6 +23,23 @@ Use as a context manager::
         optimize_joint(problem)
     assert injector.triggered
 
+or imperatively — :meth:`FaultInjector.arm` / :meth:`FaultInjector.disarm`
+— which is how pool workers activate a plan for their whole lifetime.
+Plans serialize to JSON (:func:`plan_to_json` / :func:`plan_from_json`)
+so the supervisor can ship one to worker subprocesses through the task
+payload or the ``REPRO_FAULT_PLAN`` environment variable.
+
+Every wrapper carries the original callable on a well-known attribute
+(:data:`ORIGINAL_ATTR`). That makes restoration robust against the two
+ways a binding can escape the arm-time bookkeeping: a module imported
+(or re-imported — ``importlib.reload`` in a worker) while the plan was
+armed copies the *wrapper* into its namespace via ``from ... import``,
+and a forked worker inherits wrappers installed by a parent injector
+instance it never saw. Disarm sweeps :data:`sys.modules` and restores
+any binding tagged as a fault wrapper, whoever installed it; arm
+unwraps already-tagged bindings first, so stacked/stale wrappers can
+never double-count a call.
+
 Timeout faults advance the injector's :class:`FakeClock` when one is
 supplied (the deterministic path used by tests — pair it with a
 ``RunController(clock=fake_clock)``) and fall back to a real
@@ -33,6 +50,7 @@ from __future__ import annotations
 
 import dataclasses
 import importlib
+import json
 import sys
 import time
 from dataclasses import dataclass, field
@@ -49,6 +67,9 @@ SEAMS: Dict[str, Tuple[str, str]] = {
 }
 
 _KINDS = ("nan", "exception", "timeout")
+
+#: Attribute tagging a fault wrapper with the callable it replaced.
+ORIGINAL_ATTR = "__repro_fault_original__"
 
 
 @dataclass(frozen=True)
@@ -85,6 +106,19 @@ class FaultSpec:
         """Does this spec fire on the seam's ``call_number``-th call?"""
         return self.at_call <= call_number < self.at_call + self.count
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (see :func:`plan_to_json`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSpec":
+        known = {spec_field.name for spec_field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise OptimizationError(
+                f"unknown FaultSpec fields {sorted(unknown)}")
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class TriggeredFault:
@@ -113,10 +147,18 @@ class FaultInjector:
 
     # -- arming/disarming --------------------------------------------------
 
-    def __enter__(self) -> "FaultInjector":
+    def arm(self) -> "FaultInjector":
+        """Install the plan's wrappers at every seam binding.
+
+        A binding that is already a fault wrapper — left behind by a
+        prior injector in a forked worker, or re-imported while another
+        plan was armed — is unwrapped to its tagged original first, so
+        wrappers never stack.
+        """
         for seam, (module_name, function_name) in SEAMS.items():
             module = importlib.import_module(module_name)
             original = getattr(module, function_name)
+            original = getattr(original, ORIGINAL_ATTR, original)
             wrapper = self._wrap(seam, original)
             self._originals[id(wrapper)] = original
             for candidate in list(sys.modules.values()):
@@ -124,29 +166,39 @@ class FaultInjector:
                 if not isinstance(candidate_dict, dict):
                     continue
                 for attribute, value in list(candidate_dict.items()):
-                    if value is original:
+                    unwrapped = getattr(value, ORIGINAL_ATTR, value)
+                    if unwrapped is original:
                         self._patched.append((candidate, attribute, original))
                         setattr(candidate, attribute, wrapper)
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def disarm(self) -> None:
+        """Restore every seam binding this plan (or a stale one) wrapped."""
         for module, attribute, original in reversed(self._patched):
             setattr(module, attribute, original)
         self._patched.clear()
-        # A module imported while the plan was armed (lazy imports inside
-        # an optimizer) copies the *wrapper* into its own namespace via
-        # ``from ... import``. Those bindings were not recorded above, and
-        # leaving them in place would hide the seam from the next
-        # injector, so sweep sys.modules for them too.
+        # A module imported — or re-imported, as workers do — while the
+        # plan was armed copies the *wrapper* into its own namespace via
+        # ``from ... import``. Those bindings were not recorded above,
+        # and leaving them in place would hide the seam from the next
+        # injector, so sweep sys.modules and restore anything still
+        # tagged as a fault wrapper (even one installed by another
+        # injector instance, e.g. inherited across a fork).
         for candidate in list(sys.modules.values()):
             candidate_dict = getattr(candidate, "__dict__", None)
             if not isinstance(candidate_dict, dict):
                 continue
             for attribute, value in list(candidate_dict.items()):
-                original = self._originals.get(id(value))
+                original = getattr(value, ORIGINAL_ATTR, None)
                 if original is not None:
                     setattr(candidate, attribute, original)
         self._originals.clear()
+
+    def __enter__(self) -> "FaultInjector":
+        return self.arm()
+
+    def __exit__(self, *exc_info) -> None:
+        self.disarm()
 
     # -- the injected behaviors -------------------------------------------
 
@@ -175,7 +227,25 @@ class FaultInjector:
 
         wrapper.__name__ = f"faulty_{original.__name__}"
         wrapper.__doc__ = original.__doc__
+        setattr(wrapper, ORIGINAL_ATTR, original)
         return wrapper
+
+
+def plan_to_json(plan: Iterable[FaultSpec]) -> str:
+    """Serialize a fault plan for shipment to worker subprocesses."""
+    return json.dumps([spec.to_dict() for spec in plan], sort_keys=True)
+
+
+def plan_from_json(payload: str) -> Tuple[FaultSpec, ...]:
+    """Rebuild a plan serialized by :func:`plan_to_json`."""
+    try:
+        raw = json.loads(payload)
+    except json.JSONDecodeError as error:
+        raise OptimizationError(f"invalid fault plan JSON: {error}") from None
+    if not isinstance(raw, list):
+        raise OptimizationError(
+            f"fault plan JSON must be a list, got {type(raw).__name__}")
+    return tuple(FaultSpec.from_dict(item) for item in raw)
 
 
 def _poison(seam: str, result):

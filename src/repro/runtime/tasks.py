@@ -1,0 +1,240 @@
+"""The supervised-pool task model: pure shards, canonical merges.
+
+A :class:`Task` is one unit of a sharded computation — a chunk of
+(Vdd, Vth) grid cells, one experiment, a batch of Monte-Carlo samples.
+The determinism contract every producer must honour:
+
+* the task function is a **pure shard function**: its value depends only
+  on the worker-init state and the task arguments, never on execution
+  order, the worker it lands on, or how many attempts it took;
+* task ``index`` fixes the **canonical merge order**: consumers read
+  :attr:`ShardedRun.results` (sorted by index), so a run with 8 workers
+  and two crashed attempts merges to exactly what a serial run produces.
+
+Failure taxonomy (:class:`TaskResult.status`):
+
+``"ok"``
+    The task value is present; ``attempts`` says how many tries it took.
+``"quarantined"``
+    The task failed on every allowed attempt (a *poison task*). It is
+    reported — with the per-attempt error summaries in
+    :attr:`TaskResult.degradation` — never silently dropped; consumers
+    either surface it as a labeled degraded row (the experiment runner)
+    or refuse to merge (:meth:`ShardedRun.raise_if_quarantined`).
+``"skipped"``
+    Cancelled before dispatch (fail-fast or a shared deadline).
+
+Retry pacing is :func:`backoff_delay`: exponential in the attempt
+number, capped, with *deterministic* jitter derived from the task key —
+reproducible schedules, but no two poison tasks hammering a resource in
+lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError
+
+#: Final states a task can end a sharded run in.
+TASK_STATUSES = ("ok", "quarantined", "skipped")
+
+#: Traceback frames kept in a worker-side failure summary.
+_TRACEBACK_FRAMES = 4
+
+
+@dataclass(frozen=True)
+class Task:
+    """One pure shard of a sharded computation.
+
+    ``fn`` must be a module-level callable (picklable by reference) with
+    signature ``fn(state, *args)`` where ``state`` is whatever the
+    run's worker initializer returned (``None`` without one). ``key``
+    labels the task in logs/metrics/trace files and must be unique
+    within a run; ``index`` is the canonical merge position.
+    """
+
+    key: str
+    index: int
+    fn: Callable
+    args: Tuple = ()
+    #: Per-task wall-clock budget override (None = the plan's default).
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise OptimizationError("task key must be non-empty")
+        if self.index < 0:
+            raise OptimizationError(
+                f"task index must be >= 0, got {self.index}")
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Final outcome of one task after retries/quarantine resolved."""
+
+    key: str
+    index: int
+    #: One of :data:`TASK_STATUSES`.
+    status: str
+    #: The shard value (``None`` unless ``status == "ok"``).
+    value: object = None
+    #: Compact error summary of the *last* failed attempt.
+    error: str = ""
+    #: Attempts consumed (0 for skipped tasks).
+    attempts: int = 0
+    #: Wall-clock seconds of the successful attempt (worker-side).
+    elapsed_s: float = 0.0
+    #: Per-attempt failure summaries, oldest first.
+    failures: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def degradation(self) -> Dict[str, object]:
+        """The labeled-degraded record of a quarantined task.
+
+        Mirrors the shape of
+        :class:`repro.runtime.fallback.DegradedResult.degradation` so
+        report code can treat a quarantined shard like any other
+        degraded outcome: a ``stage`` label plus the attempts that
+        failed.
+        """
+        if self.status != "quarantined":
+            return {}
+        return {
+            "stage": "quarantine",
+            "task": self.key,
+            "attempts": self.attempts,
+            "errors": list(self.failures),
+        }
+
+
+class ShardedRun:
+    """The merged outcome of one supervised sharded run.
+
+    ``results`` holds one :class:`TaskResult` per submitted task in
+    canonical (index) order — *always*, whatever order workers finished
+    in and however many attempts each task took.
+    """
+
+    def __init__(self, results: Sequence[TaskResult], stats: "PoolStats"):
+        ordered = sorted(results, key=lambda result: result.index)
+        self.results: Tuple[TaskResult, ...] = tuple(ordered)
+        self.stats = stats
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def quarantined(self) -> Tuple[TaskResult, ...]:
+        return tuple(result for result in self.results
+                     if result.status == "quarantined")
+
+    def values(self) -> Tuple[object, ...]:
+        """Task values in canonical order (all tasks must be ok)."""
+        self.raise_if_quarantined()
+        return tuple(result.value for result in self.results)
+
+    def raise_if_quarantined(self, what: str = "sharded run") -> None:
+        """Refuse to merge a run with poison shards.
+
+        Consumers whose merge would be *wrong* with holes (an optimizer
+        grid, a Monte-Carlo estimate) call this; consumers that can
+        surface per-shard degradation (the experiment runner) inspect
+        :attr:`quarantined` instead.
+        """
+        poisoned = self.quarantined
+        if poisoned:
+            details = "; ".join(
+                f"{result.key} after {result.attempts} attempts "
+                f"({result.error.splitlines()[-1] if result.error else '?'})"
+                for result in poisoned[:4])
+            raise OptimizationError(
+                f"{what}: {len(poisoned)} task(s) quarantined — {details}")
+
+
+@dataclass
+class PoolStats:
+    """Counters of one sharded run (mirrored into the metrics registry)."""
+
+    #: "pool" (worker processes) or "in-process" (serial fallback).
+    mode: str = "in-process"
+    completed: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    skipped: int = 0
+    worker_respawns: int = 0
+    workers: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "completed": self.completed,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "skipped": self.skipped,
+            "worker_respawns": self.worker_respawns,
+            "workers": self.workers,
+        }
+
+
+def backoff_delay(attempt: int, key: str = "",
+                  base_s: float = 0.05, cap_s: float = 2.0,
+                  jitter: float = 0.5) -> float:
+    """Delay before retry number ``attempt`` (the first retry is 1).
+
+    Exponential (``base_s * 2**(attempt-1)``), capped at ``cap_s``,
+    with deterministic jitter: the multiplier is drawn from
+    ``[1 - jitter/2, 1 + jitter/2]`` by a :class:`random.Random` seeded
+    from ``(key, attempt)`` — the same task retries on the same
+    schedule in every run, but different tasks decorrelate.
+    """
+    if attempt < 1:
+        raise OptimizationError(f"attempt must be >= 1, got {attempt}")
+    if not 0.0 <= jitter <= 1.0:
+        raise OptimizationError(f"jitter must lie in [0, 1], got {jitter}")
+    raw = min(cap_s, base_s * (2.0 ** (attempt - 1)))
+    seed = int.from_bytes(f"{key}#{attempt}".encode(), "little")
+    spread = random.Random(seed).random() - 0.5
+    return raw * (1.0 + jitter * spread)
+
+
+def chunk_ranges(total: int, max_chunks: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``range(total)`` into at most ``max_chunks`` contiguous shards.
+
+    Chunk boundaries depend only on ``(total, max_chunks)`` — never on
+    worker count or timing — so sharded producers that batch by chunk
+    (Monte-Carlo samples, sweep points) stay jobs-invariant. Sizes
+    differ by at most one, larger chunks first.
+    """
+    if total < 0:
+        raise OptimizationError(f"total must be >= 0, got {total}")
+    if max_chunks < 1:
+        raise OptimizationError(
+            f"max_chunks must be >= 1, got {max_chunks}")
+    chunks = min(max_chunks, total)
+    if chunks == 0:
+        return ()
+    base, extra = divmod(total, chunks)
+    ranges = []
+    start = 0
+    for chunk in range(chunks):
+        size = base + (1 if chunk < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return tuple(ranges)
+
+
+def failure_summary(error: BaseException) -> str:
+    """Last traceback frames + exception line, shippable across a queue."""
+    frames = traceback.extract_tb(error.__traceback__)
+    lines = traceback.format_list(frames[-_TRACEBACK_FRAMES:])
+    lines += traceback.format_exception_only(type(error), error)
+    return "".join(lines).rstrip()

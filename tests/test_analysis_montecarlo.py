@@ -11,6 +11,8 @@ from repro.analysis.montecarlo import (
 from repro.errors import OptimizationError
 from repro.optimize.heuristic import optimize_joint
 from repro.optimize.variation import VariationModel, optimize_with_variation
+from repro.runtime.pool import multiprocessing_available
+from repro.runtime.supervisor import ParallelPlan, use_parallel
 
 
 @pytest.fixture(scope="module")
@@ -88,3 +90,24 @@ def test_robust_design_restores_yield(s27_problem, fast_settings_module,
     # Figure 2a's pessimism: the statistical (median) energy of the
     # robust design sits below its worst-case guaranteed energy.
     assert robust_outcome.energy_percentile(0.5) <= robust.total_energy
+
+
+@pytest.mark.skipif(not multiprocessing_available(),
+                    reason="multiprocessing unavailable")
+def test_sharded_run_is_jobs_invariant(s27_problem, s27_joint):
+    serial = monte_carlo_variation(s27_problem, s27_joint.design,
+                                   samples=16, seed=3)
+    with use_parallel(ParallelPlan(jobs=3, heartbeat_s=0.05)):
+        pooled = monte_carlo_variation(s27_problem, s27_joint.design,
+                                       samples=16, seed=3)
+    assert pooled == serial
+
+
+def test_explicit_single_job_plan_matches_ambient_none(s27_problem,
+                                                       s27_joint):
+    plain = monte_carlo_variation(s27_problem, s27_joint.design,
+                                  samples=6, seed=5)
+    planned = monte_carlo_variation(s27_problem, s27_joint.design,
+                                    samples=6, seed=5,
+                                    parallel=ParallelPlan(jobs=1))
+    assert planned == plain

@@ -11,6 +11,8 @@ from repro.analysis.sweeps import (
 )
 from repro.errors import InfeasibleError
 from repro.optimize.heuristic import HeuristicSettings
+from repro.runtime.pool import multiprocessing_available
+from repro.runtime.supervisor import ParallelPlan, use_parallel
 
 FAST = HeuristicSettings(grid_vdd=9, grid_vth=7, refine_iters=6,
                          refine_rounds=1)
@@ -68,3 +70,17 @@ def test_energy_surface_shape(s27_problem):
     # High Vdd with low Vth costs more than moderate Vdd with low Vth.
     if math.isfinite(surface[(1.0, 0.1)]):
         assert surface[(1.0, 0.1)] < surface[(3.3, 0.1)]
+
+
+@pytest.mark.skipif(not multiprocessing_available(),
+                    reason="multiprocessing unavailable")
+def test_surface_and_tolerance_sweep_jobs_invariant(s27_problem):
+    tolerances = (0.0, 0.1)
+    vdds, vths = (2.0, 3.0), (0.4, 0.6)
+    serial_points = sweep_vth_tolerance(s27_problem, tolerances)
+    serial_surface = scan_energy_surface(s27_problem, vdds, vths)
+    with use_parallel(ParallelPlan(jobs=2, heartbeat_s=0.05)):
+        pooled_points = sweep_vth_tolerance(s27_problem, tolerances)
+        pooled_surface = scan_energy_surface(s27_problem, vdds, vths)
+    assert pooled_points == serial_points
+    assert pooled_surface == serial_surface

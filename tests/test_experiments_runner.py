@@ -7,6 +7,7 @@ import pytest
 
 from repro.experiments import runner
 from repro.runtime.controller import current_controller
+from repro.runtime.pool import multiprocessing_available
 
 
 def _boom():
@@ -169,3 +170,85 @@ class TestSummaryAndMain:
         with pytest.raises(SystemExit):
             runner.main(["nonexistent"])
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    @staticmethod
+    def _outcome(status):
+        return runner.ExperimentOutcome(name="x", status=status,
+                                        elapsed_s=0.0)
+
+    def test_taxonomy(self):
+        assert runner.exit_code([self._outcome("ok")]) == runner.EXIT_OK
+        assert runner.exit_code([self._outcome("failed")]) == \
+            runner.EXIT_FAILED
+        assert runner.exit_code([self._outcome("quarantined")]) == \
+            runner.EXIT_FAILED
+        assert runner.exit_code([self._outcome("skipped")]) == \
+            runner.EXIT_FAILED
+        # A suite timeout outranks ordinary failures.
+        assert runner.exit_code([self._outcome("failed"),
+                                 self._outcome("timeout")]) == \
+            runner.EXIT_TIMEOUT
+
+    def test_main_rejects_bad_parallel_flags(self, fake_experiments,
+                                             capsys):
+        for argv in (["--jobs", "0", "alpha"],
+                     ["--retries", "-1", "alpha"],
+                     ["--task-timeout", "0", "alpha"]):
+            with pytest.raises(SystemExit):
+                runner.main(argv)
+        capsys.readouterr()
+
+
+@pytest.mark.skipif(not multiprocessing_available(),
+                    reason="multiprocessing unavailable")
+class TestShardedSuite:
+    def test_failure_quarantined_without_sinking_the_suite(
+            self, fake_experiments):
+        stream = io.StringIO()
+        outcomes = runner.run_experiments(["alpha", "bad", "omega"],
+                                          jobs=2, retries=0, stream=stream)
+        assert [outcome.status for outcome in outcomes] == \
+            ["ok", "quarantined", "ok"]
+        assert runner.exit_code(outcomes) == runner.EXIT_FAILED
+        text = stream.getvalue()
+        assert "ALPHA TABLE" in text and "OMEGA TABLE" in text
+        assert "table generator exploded" in outcomes[1].error
+
+    def test_sharded_outcomes_in_request_order(self, fake_experiments):
+        outcomes = runner.run_experiments(["omega", "alpha"], jobs=2,
+                                          retries=0, stream=io.StringIO())
+        assert [outcome.name for outcome in outcomes] == ["omega", "alpha"]
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_fail_fast_skips_unfinished_work(self, monkeypatch):
+        def slow():
+            time.sleep(5.0)
+            return "SLOW"  # pragma: no cover
+
+        monkeypatch.setattr(runner, "_EXPERIMENTS",
+                            {"bad": FAKES["bad"], "slow": slow,
+                             "late": FAKES["alpha"]})
+        outcomes = runner.run_experiments(["bad", "slow", "late"],
+                                          jobs=2, retries=0,
+                                          fail_fast=True,
+                                          stream=io.StringIO())
+        assert outcomes[0].status == "quarantined"
+        assert [outcome.status for outcome in outcomes[1:]] == \
+            ["skipped", "skipped"]
+        assert runner.exit_code(outcomes) == runner.EXIT_FAILED
+
+    def test_summary_labels_quarantined_rows(self, fake_experiments):
+        outcomes = runner.run_experiments(["alpha", "bad"], jobs=2,
+                                          retries=0, stream=io.StringIO())
+        summary = runner.format_summary(outcomes)
+        assert "quarantined" in summary
+        assert "1 ok, 1 not ok" in summary
+
+    def test_main_jobs_flag(self, fake_experiments, capsys):
+        assert runner.main(["--jobs", "2", "--retries", "0",
+                            "alpha", "omega"]) == runner.EXIT_OK
+        assert runner.main(["--jobs", "2", "--retries", "0",
+                            "alpha", "bad"]) == runner.EXIT_FAILED
+        capsys.readouterr()

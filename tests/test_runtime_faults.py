@@ -24,7 +24,9 @@ from repro.optimize.annealing import AnnealingSettings, optimize_annealing
 from repro.optimize.baseline import optimize_fixed_vth
 from repro.optimize.heuristic import optimize_joint
 from repro.runtime.controller import FakeClock, RunController
-from repro.runtime.faults import SEAMS, FaultInjector, FaultSpec
+from repro.runtime.faults import (ORIGINAL_ATTR, SEAMS, FaultInjector,
+                                  FaultSpec, plan_from_json,
+                                  plan_to_json)
 
 PERSISTENT = 10 ** 9
 
@@ -176,3 +178,67 @@ class TestOtherOptimizers:
                         f"silent non-finite optimum for {seam}/{kind}"
                     assert result.feasible, \
                         f"silent infeasible optimum for {seam}/{kind}"
+
+
+class TestPlanSerialization:
+    def test_roundtrip(self):
+        plan = (FaultSpec(seam="energy", kind="nan", at_call=3, count=2),
+                FaultSpec(seam="sizing", kind="exception",
+                          message="sizing boom"))
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_invalid_json_is_a_typed_error(self):
+        with pytest.raises(OptimizationError, match="invalid fault plan"):
+            plan_from_json("{not json")
+
+    def test_non_list_payload_rejected(self):
+        with pytest.raises(OptimizationError, match="must be a list"):
+            plan_from_json('{"seam": "energy"}')
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(OptimizationError, match="unknown FaultSpec"):
+            plan_from_json('[{"seam": "energy", "kind": "nan", '
+                           '"bogus": 1}]')
+
+
+class TestWrapperRestoration:
+    def test_reimported_consumer_restored_on_disarm(self):
+        """A module (re)imported while a plan is armed copies the
+        *wrapper* via ``from ... import``; disarm must still find and
+        restore that binding."""
+        import importlib
+
+        import repro.analysis.montecarlo as montecarlo
+        import repro.power.energy as energy
+
+        original = energy.total_energy
+        assert not hasattr(original, ORIGINAL_ATTR)
+        injector = FaultInjector(
+            [FaultSpec(seam="energy", kind="nan")]).arm()
+        try:
+            assert getattr(energy.total_energy, ORIGINAL_ATTR) is original
+            montecarlo = importlib.reload(montecarlo)
+            assert getattr(montecarlo.total_energy,
+                           ORIGINAL_ATTR) is original
+        finally:
+            injector.disarm()
+        assert energy.total_energy is original
+        assert montecarlo.total_energy is original
+
+    def test_stale_wrappers_never_stack(self):
+        """Arming over a leftover wrapper (e.g. inherited across a fork)
+        wraps the tagged original, not the stale wrapper — and a single
+        disarm restores the true original everywhere."""
+        import repro.power.energy as energy
+
+        original = energy.total_energy
+        stale = FaultInjector([FaultSpec(seam="energy", kind="nan")]).arm()
+        fresh = FaultInjector(
+            [FaultSpec(seam="delay", kind="exception")]).arm()
+        try:
+            assert getattr(energy.total_energy, ORIGINAL_ATTR) is original
+        finally:
+            fresh.disarm()
+        assert energy.total_energy is original
+        stale.disarm()  # harmless: everything is already restored
+        assert energy.total_energy is original

@@ -1,0 +1,144 @@
+"""CI gate: delta evaluation and bound pruning must change nothing.
+
+Usage::
+
+    python ci/check_incremental_parity.py [--jobs 4] [--circuit s298]
+
+Three proofs, each required to demonstrate its mechanism actually fired
+(a vacuously-passing run exits nonzero):
+
+1. Annealing under the incremental engine reproduces the ``"fast"``
+   engine's accepted-move trajectory, final design and energy exactly
+   (same seed) — and the delta path really ran (move counter > 0, at
+   least one early-terminated cone).
+2. The bound-pruned grid search returns the identical optimum as the
+   unpruned scan, serially and on the worker pool — and cells were
+   really pruned (PRUNED_CELLS > 0) with fewer total evaluations.
+3. The archived bench result (``benchmarks/results/incremental.json``)
+   meets its own recorded speedup floors, so a regression cannot hide
+   behind a stale artifact.
+
+Exits nonzero with a one-line diagnosis on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import NoReturn
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "benchmarks",
+                       "results", "incremental.json")
+
+
+def fail(message: str) -> NoReturn:
+    print(f"check_incremental_parity: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--circuit", default="s298")
+    args = parser.parse_args()
+
+    from repro.experiments.common import build_problem
+    from repro.obs.metrics import MetricsRegistry, use_metrics
+    from repro.optimize.annealing import AnnealingSettings, \
+        optimize_annealing
+    from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+    from repro.runtime.pool import multiprocessing_available
+    from repro.runtime.supervisor import ParallelPlan
+
+    problem = build_problem(args.circuit, 0.1)
+
+    print(f"[1/3] {args.circuit} annealing: fast vs incremental "
+          f"trajectory identity")
+    registry = MetricsRegistry()
+    results = {}
+    for engine in ("fast", "incremental"):
+        settings = AnnealingSettings(passes=2, iterations_per_pass=250,
+                                     seed=11, engine=engine)
+        with use_metrics(registry):
+            results[engine] = optimize_annealing(problem, settings=settings)
+    fast, delta = results["fast"], results["incremental"]
+    if delta.details["trajectory"] != fast.details["trajectory"]:
+        fail(f"accepted-move trajectories diverged:\n"
+             f"  fast:        {fast.details['trajectory']}\n"
+             f"  incremental: {delta.details['trajectory']}")
+    if delta.details["accepts_per_pass"] != fast.details["accepts_per_pass"]:
+        fail("per-pass accept counts diverged")
+    if (delta.design.vdd, delta.design.vth) \
+            != (fast.design.vdd, fast.design.vth) \
+            or delta.design.widths != fast.design.widths \
+            or delta.energy.total != fast.energy.total:
+        fail("final designs diverged between fast and incremental")
+    moves = registry.counter("engine.incremental.moves")
+    if moves == 0:
+        fail("the incremental move path never ran; the gate proved nothing")
+
+    print(f"[2/3] {args.circuit} grid search: pruned vs unpruned argmin, "
+          f"serial and --jobs {args.jobs}")
+    grid = dict(engine="fast", grid_vdd=9, grid_vth=7, refine_iters=6,
+                refine_rounds=1)
+    plain = optimize_joint(problem, settings=HeuristicSettings(**grid))
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        pruned = optimize_joint(problem, settings=HeuristicSettings(
+            prune=True, **grid))
+    if not multiprocessing_available():
+        fail("multiprocessing unavailable; the pruned pool leg "
+             "cannot run")
+    pooled = optimize_joint(problem, settings=HeuristicSettings(
+        prune=True, parallel=ParallelPlan(jobs=args.jobs, heartbeat_s=0.1),
+        **grid))
+    for label, other in (("serial", pruned), (f"jobs={args.jobs}", pooled)):
+        if (other.design.vdd, other.design.vth) \
+                != (plain.design.vdd, plain.design.vth) \
+                or other.design.widths != plain.design.widths \
+                or other.energy.total != plain.energy.total:
+            fail(f"pruned {label} search found a different optimum: "
+                 f"(Vdd={other.design.vdd}, Vth={other.design.vth}, "
+                 f"E={other.energy.total}) vs unpruned "
+                 f"(Vdd={plain.design.vdd}, Vth={plain.design.vth}, "
+                 f"E={plain.energy.total})")
+    cut = registry.counter("search.pruned_cells")
+    if cut == 0 or pruned.details.get("pruned_cells", 0) == 0:
+        fail("no cells were pruned; the gate proved nothing")
+    if pruned.evaluations + pruned.details["prune_probes"] \
+            >= plain.evaluations:
+        fail(f"pruning was not a net saving: "
+             f"{pruned.evaluations} + {pruned.details['prune_probes']} "
+             f"probes vs {plain.evaluations} unpruned")
+
+    print("[3/3] archived bench result meets its recorded floors")
+    if not os.path.exists(RESULTS):
+        fail(f"missing archived bench result {RESULTS}; run "
+             f"'pytest benchmarks/bench_incremental.py'")
+    with open(RESULTS) as handle:
+        document = json.load(handle)
+    delta_speedup = document.get("delta_speedup", 0.0)
+    delta_floor = document.get("delta_floor", 0.0)
+    anneal = document.get("anneal_speedups", {})
+    anneal_floor = document.get("anneal_floor", 0.0)
+    if delta_speedup < delta_floor:
+        fail(f"archived delta-move speedup {delta_speedup:.2f}x is below "
+             f"the {delta_floor:.1f}x floor")
+    if anneal.get("c2670", 0.0) < anneal_floor:
+        fail(f"archived c2670 annealing speedup "
+             f"{anneal.get('c2670', 0.0):.2f}x is below the "
+             f"{anneal_floor:.1f}x floor")
+
+    print(f"incremental parity OK: trajectory identical over {moves} "
+          f"delta moves, argmin identical with {cut} cells pruned "
+          f"({pruned.evaluations} vs {plain.evaluations} evaluations), "
+          f"archived delta speedup {delta_speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,7 @@ from repro.netlist.sequential import (
 )
 from repro.netlist.stats import network_stats
 from repro.netlist.validate import lint
+from repro.engine import ENGINE_CHOICES
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.trace import Tracer, use_tracer
@@ -189,6 +190,8 @@ def _run_optimize(args: argparse.Namespace, problem, network) -> int:
     settings = HeuristicSettings(strategy=args.strategy,
                                  width_method=args.width_method,
                                  engine=args.engine,
+                                 prune=args.prune,
+                                 warm_start=args.warm_start,
                                  controller=controller)
     try:
         if problem.n_vth > 1:
@@ -394,11 +397,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Procedure 2 width sizing: the closed-form "
                                "solve or the paper's bisection")
     optimize.add_argument("--engine",
-                          choices=("auto", "scalar", "fast"),
+                          choices=ENGINE_CHOICES,
                           default="auto",
                           help="evaluation engine: the scalar reference, "
-                               "the vectorized NumPy fastpath, or auto "
+                               "the vectorized NumPy fastpath, the "
+                               "delta-evaluation engine, or auto "
                                "(honor $REPRO_ENGINE, default scalar)")
+    optimize.add_argument("--prune", action="store_true",
+                          help="grid strategy: skip (Vdd, Vth) cells whose "
+                               "closed-form energy lower bound already "
+                               "exceeds a probed feasible design; the "
+                               "argmin is provably unchanged")
+    optimize.add_argument("--warm-start", action="store_true",
+                          help="bisect sizing: seed each cell's width "
+                               "brackets from the previous feasible "
+                               "solution (serial grid only)")
     optimize.add_argument("--trace", default=None, metavar="PATH",
                           help="record a JSONL span trace of the search "
                                "to PATH")

@@ -9,6 +9,8 @@ with the canonical evaluation counters.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.engine.base import (
     ENGINE_CHOICES,
     ENGINE_ENV_VAR,
@@ -21,7 +23,8 @@ from repro.engine.base import (
     resolve_engine_name,
     use_engine,
 )
-from repro.optimize.problem import OptimizationProblem
+if TYPE_CHECKING:  # annotation-only: breaks the engine <-> optimize cycle
+    from repro.optimize.problem import OptimizationProblem
 
 __all__ = [
     "ENGINE_CHOICES",
@@ -48,6 +51,11 @@ def make_engine(problem: OptimizationProblem, engine: str = "auto", *,
 
         return ArrayEngine(problem, width_method=width_method,
                            bisect_steps=bisect_steps)
+    if name == "incremental":
+        from repro.engine.incremental import IncrementalEngine
+
+        return IncrementalEngine(problem, width_method=width_method,
+                                 bisect_steps=bisect_steps)
     from repro.engine.scalar import ScalarEngine
 
     return ScalarEngine(problem, width_method=width_method,

@@ -92,12 +92,15 @@ class ArrayEngine(Engine):
 
     # -- Engine API ---------------------------------------------------------
 
-    def size_widths(self, budgets: BudgetResult, vdd, vth) -> EngineSizing:
+    def size_widths(self, budgets: BudgetResult, vdd, vth, *,
+                    warm=None) -> EngineSizing:
         result = fast_size_widths(self.arrays, self._budget_vector(budgets),
                                   self._values(vdd), self._values(vth),
                                   method=self.width_method,
                                   bisect_steps=self.bisect_steps,
-                                  repair_ceiling=budgets.effective_cycle_time)
+                                  repair_ceiling=budgets.effective_cycle_time,
+                                  warm=None if warm is None
+                                  else self._internal_widths(warm))
         canonical = result.widths[self._canonical]
         gates = self.problem.ctx.gates
         return EngineSizing(

@@ -10,7 +10,11 @@ evaluate it:
 * :class:`~repro.engine.array.ArrayEngine` runs the vectorized
   :mod:`repro.fastpath` kernels, including per-gate Vdd/Vth vectors and
   in-engine budget repair, so multi-Vth / multi-Vdd searches and the
-  annealer stay vectorized with **no scalar fallback**.
+  annealer stay vectorized with **no scalar fallback**,
+* :class:`~repro.engine.incremental.IncrementalEngine` wraps the array
+  engine and adds a stateful delta-evaluation API
+  (``begin``/``apply_move``/``apply_voltage``) whose results are
+  bit-identical to full evaluation — the annealer's per-move fastpath.
 
 **Parity contract.** For any (budgets, Vdd, Vth) point the two engines
 agree on the feasibility verdict and, on feasible points, on energies
@@ -20,7 +24,8 @@ and ``tests/test_engine_parity.py`` enforce this on every benchmark
 circuit and on randomized generator circuits, including corners that
 exercise budget repair.
 
-**Selection.** ``"scalar"`` and ``"fast"`` pick an engine explicitly;
+**Selection.** ``"scalar"``, ``"fast"`` and ``"incremental"`` pick an
+engine explicitly;
 ``"auto"`` (the default everywhere) resolves via the ambient
 :func:`use_engine` override, then the ``REPRO_ENGINE`` environment
 variable, then ``"scalar"``. Checkpoint fingerprints record the
@@ -42,6 +47,7 @@ import os
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     ClassVar,
     Dict,
@@ -56,14 +62,17 @@ from repro.errors import OptimizationError
 from repro.obs.instrument import (
     FEASIBLE_POINTS,
     OBJECTIVE_EVALUATIONS,
+    WARM_STARTS,
     engine_evaluations_metric,
 )
 from repro.obs.metrics import current_metrics
-from repro.optimize.problem import OptimizationProblem
 from repro.timing.budgeting import BudgetResult
 
+if TYPE_CHECKING:  # annotation-only: breaks the engine <-> optimize cycle
+    from repro.optimize.problem import OptimizationProblem
+
 #: Concrete engine implementations.
-ENGINE_NAMES: Tuple[str, ...] = ("scalar", "fast")
+ENGINE_NAMES: Tuple[str, ...] = ("scalar", "fast", "incremental")
 #: Accepted ``engine=`` settings values (``"auto"`` defers resolution).
 ENGINE_CHOICES: Tuple[str, ...] = ("auto",) + ENGINE_NAMES
 
@@ -101,7 +110,7 @@ def use_engine(name: Optional[str]) -> Iterator[None]:
 
 
 def resolve_engine_name(requested: str = "auto") -> str:
-    """The concrete engine a request resolves to ("scalar" or "fast")."""
+    """The concrete engine a request resolves to (one of ENGINE_NAMES)."""
     _validate_choice(requested, "settings")
     if requested != "auto":
         return requested
@@ -187,8 +196,18 @@ class Engine(abc.ABC):
         self.problem = problem
 
     @abc.abstractmethod
-    def size_widths(self, budgets: BudgetResult, vdd, vth) -> EngineSizing:
-        """Minimum-width sizing under ``budgets`` (budget repair on)."""
+    def size_widths(self, budgets: BudgetResult, vdd, vth, *,
+                    warm=None) -> EngineSizing:
+        """Minimum-width sizing under ``budgets`` (budget repair on).
+
+        ``warm`` optionally carries a previously-solved width assignment
+        (engine-native handle or ``{name: width}`` map) used to seed the
+        per-gate bisection brackets of ``width_method="bisect"``; the
+        closed-form solver is exact and ignores it. Warm starts change
+        the bisection's discretization (results stay within the solver's
+        bracket tolerance but are not bit-identical), so they are opt-in
+        and excluded from the cross-engine parity gates.
+        """
 
     @abc.abstractmethod
     def sta(self, vdd, vth, widths) -> float:
@@ -204,19 +223,33 @@ class Engine(abc.ABC):
         order, seeded from a scalar or a ``{name: width}`` map."""
 
     def measure(self, vdd, vth, widths) -> EngineMeasurement:
-        """Energy and critical delay of one concrete design point."""
+        """Energy and critical delay of one concrete design point.
+
+        **Reference evaluation order**: energy first, then STA. Every
+        cost built on measurements (the annealer's ``_cost``, the
+        incremental engine's refresh) delegates to this method or
+        reproduces this order, so instrumented call sequences, counter
+        totals and profiling attributions stay comparable across
+        engines; implementations and wrappers must preserve it.
+        """
         static, dynamic = self.total_energy(vdd, vth, widths)
         return EngineMeasurement(static=static, dynamic=dynamic,
                                  critical_delay=self.sta(vdd, vth, widths))
 
     def evaluate(self, budgets: BudgetResult, vdd, vth, *,
-                 delay_vth=None, energy_vth=None) -> EngineEvaluation:
+                 delay_vth=None, energy_vth=None,
+                 warm=None) -> EngineEvaluation:
         """The optimizers' objective: size at ``(vdd, delay_vth)``, then
         energy at ``(vdd, energy_vth)`` (both default to ``vth``; the
-        split serves the variation-aware corners of Figure 2a)."""
+        split serves the variation-aware corners of Figure 2a).
+        ``warm`` seeds the bisection brackets (see :meth:`size_widths`).
+        """
         delay_vth = vth if delay_vth is None else delay_vth
         energy_vth = vth if energy_vth is None else energy_vth
-        sizing = self.size_widths(budgets, vdd, delay_vth)
+        if warm is None:
+            sizing = self.size_widths(budgets, vdd, delay_vth)
+        else:
+            sizing = self.size_widths(budgets, vdd, delay_vth, warm=warm)
         if not sizing.feasible:
             return _INFEASIBLE
         static, dynamic = self.total_energy(vdd, energy_vth, sizing.widths)
@@ -239,12 +272,20 @@ class Evaluator:
     def __init__(self, problem: OptimizationProblem, engine: Engine,
                  budgets: BudgetResult,
                  delay_vth_bias: Callable[[float], float] | None = None,
-                 energy_vth_bias: Callable[[float], float] | None = None):
+                 energy_vth_bias: Callable[[float], float] | None = None,
+                 warm_starts: bool = False):
         self.problem = problem
         self.engine = engine
         self.budgets = budgets
         self.delay_vth_bias = delay_vth_bias
         self.energy_vth_bias = energy_vth_bias
+        #: When set, each sizing seeds its bisection brackets from the
+        #: widths of the nearest already-solved point — the previous
+        #: feasible evaluation through this evaluator (evaluation order
+        #: is the neighborhood: grid scans visit adjacent cells
+        #: consecutively). See :meth:`Engine.size_widths`.
+        self.warm_starts = warm_starts
+        self._warm_hint = None
         self.evaluations = 0
         self.feasible_points = 0
         self._engine_metric = engine_evaluations_metric(engine.name)
@@ -258,10 +299,16 @@ class Evaluator:
                      else self.delay_vth_bias(vth))
         energy_vth = (vth if self.energy_vth_bias is None
                       else self.energy_vth_bias(vth))
+        warm = self._warm_hint if self.warm_starts else None
+        if warm is not None:
+            metrics.incr(WARM_STARTS)
         evaluation = self.engine.evaluate(self.budgets, vdd, vth,
                                           delay_vth=delay_vth,
-                                          energy_vth=energy_vth)
+                                          energy_vth=energy_vth,
+                                          warm=warm)
         if evaluation.feasible:
             self.feasible_points += 1
             metrics.incr(FEASIBLE_POINTS)
+            if self.warm_starts:
+                self._warm_hint = evaluation.sizing.widths
         return evaluation

@@ -40,11 +40,14 @@ class ScalarEngine(Engine):
         value = float(widths)
         return {name: value for name in self.problem.ctx.gates}
 
-    def size_widths(self, budgets: BudgetResult, vdd, vth) -> EngineSizing:
+    def size_widths(self, budgets: BudgetResult, vdd, vth, *,
+                    warm=None) -> EngineSizing:
         assignment = size_widths(self.problem.ctx, budgets.budgets, vdd, vth,
                                  method=self.width_method,
                                  bisect_steps=self.bisect_steps,
-                                 repair_ceiling=budgets.effective_cycle_time)
+                                 repair_ceiling=budgets.effective_cycle_time,
+                                 warm=None if warm is None
+                                 else self._as_map(warm))
         widths = dict(assignment.widths)
         return EngineSizing(feasible=assignment.feasible,
                             repaired=assignment.repaired_gates,

@@ -187,7 +187,8 @@ def fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
                      vdd: Voltage, vth: Voltage,
                      method: str = "closed_form",
                      bisect_steps: int = 24,
-                     repair_ceiling: float | None = None) -> FastSizing:
+                     repair_ceiling: float | None = None,
+                     warm: np.ndarray | None = None) -> FastSizing:
     """Vectorized minimum-width sizing, optionally with budget repair.
 
     Without ``repair_ceiling`` this is the pure level sweep (infeasible
@@ -195,7 +196,9 @@ def fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
     without repair). With it, under-budgeted gates trigger the scalar-
     order repair replay described in the module docstring, and any
     assignment that used repair is re-verified with a full STA pass
-    against the ceiling.
+    against the ceiling. ``warm`` (an array-order width vector) seeds
+    the ``bisect`` brackets — one extra probe per level, mirroring the
+    scalar search gate by gate; the closed-form solver ignores it.
     """
     if method not in ("closed_form", "bisect"):
         raise OptimizationError(f"unknown width-search method {method!r}")
@@ -203,13 +206,14 @@ def fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
     with trace.span(span_name, method=method, engine="fast"), \
             seam("width_search", counter=WIDTH_SIZINGS):
         return _fast_size_widths(arrays, budgets, vdd, vth, method,
-                                 bisect_steps, repair_ceiling)
+                                 bisect_steps, repair_ceiling, warm)
 
 
 def _fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
                       vdd: Voltage, vth: Voltage, method: str,
                       bisect_steps: int,
-                      repair_ceiling: float | None) -> FastSizing:
+                      repair_ceiling: float | None,
+                      warm: np.ndarray | None = None) -> FastSizing:
     tech = arrays.ctx.tech
     n = arrays.n_gates
     vdd = _as_values(arrays, vdd)
@@ -243,7 +247,7 @@ def _fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
         else:
             needed = _bisect_level(arrays, budgets, slope, rc, flight,
                                    k_vdd, drive, ext, start, stop,
-                                   bisect_steps)
+                                   bisect_steps, warm)
         failed = needed > tech.width_max
         if np.any(failed):
             feasible = False
@@ -251,7 +255,7 @@ def _fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
                 # Restart as a scalar-order replay with repair enabled.
                 return _size_with_repair(arrays, budgets, vdd, vth, drive,
                                          slope_k, k_vdd, method,
-                                         bisect_steps, repair_ceiling)
+                                         bisect_steps, repair_ceiling, warm)
             needed = np.minimum(needed, tech.width_max)
         w[start:stop] = np.maximum(needed, tech.width_min)
     return FastSizing(widths=w, feasible=feasible)
@@ -260,13 +264,13 @@ def _fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
 def _bisect_level(arrays: ArrayContext, budgets: np.ndarray,
                   slope: np.ndarray, rc: np.ndarray, flight: np.ndarray,
                   k_vdd, drive, ext: np.ndarray, start: int, stop: int,
-                  steps: int) -> np.ndarray:
+                  steps: int, warm: np.ndarray | None = None) -> np.ndarray:
     """The paper's M-step width bisection, vectorized over one level.
 
     Identical decision sequence to ``width_search._bisect_width`` gate
-    by gate (same delay form, same midpoint updates); returns ``inf``
-    for gates infeasible even at ``w_max`` so the caller's clamp/repair
-    logic is shared with the closed-form solver.
+    by gate (same delay form, same midpoint updates, same warm-probe
+    rule); returns ``inf`` for gates infeasible even at ``w_max`` so the
+    caller's clamp/repair logic is shared with the closed-form solver.
     """
     tech = arrays.ctx.tech
     k_lvl = _sl(k_vdd, start, stop)
@@ -284,6 +288,13 @@ def _bisect_level(arrays: ArrayContext, budgets: np.ndarray,
 
     low = np.full(stop - start, tech.width_min)
     high = np.full(stop - start, tech.width_max)
+    if warm is not None:
+        warm_lvl = warm[start:stop]
+        probe = (warm_lvl > low) & (warm_lvl < high)
+        if np.any(probe):
+            meets = delay_at(np.where(probe, warm_lvl, high)) <= budget
+            high = np.where(probe & meets, warm_lvl, high)
+            low = np.where(probe & ~meets, warm_lvl, low)
     for _ in range(steps):
         mid = 0.5 * (low + high)
         meets = delay_at(mid) <= budget
@@ -349,7 +360,8 @@ def _gate_floor_fast(view, i: int, w: List[float], drive: List[float],
 def _gate_width(tech, method: str, bisect_steps: int, budget: float,
                 slope: float, wire_rc: float, flight: float,
                 self_term: float, ext_term: float, self_cap: float,
-                ext_cap: float, k_i: float, drive_i: float) -> float | None:
+                ext_cap: float, k_i: float, drive_i: float,
+                warm_width: float | None = None) -> float | None:
     """One gate's minimum feasible width, or None (both solvers)."""
     if method == "closed_form":
         available = budget - slope - wire_rc - flight - self_term
@@ -371,6 +383,11 @@ def _gate_width(tech, method: str, bisect_steps: int, budget: float,
     if delay_at(tech.width_min) <= budget:
         return tech.width_min
     low, high = tech.width_min, tech.width_max
+    if warm_width is not None and low < warm_width < high:
+        if delay_at(warm_width) <= budget:
+            high = warm_width
+        else:
+            low = warm_width
     for _ in range(bisect_steps):
         mid = 0.5 * (low + high)
         if delay_at(mid) <= budget:
@@ -432,8 +449,8 @@ def _as_list(value, n: int) -> List[float]:
 
 def _size_with_repair(arrays: ArrayContext, budgets: np.ndarray,
                       vdd, vth, drive, slope_k, k_vdd, method: str,
-                      bisect_steps: int,
-                      repair_ceiling: float) -> FastSizing:
+                      bisect_steps: int, repair_ceiling: float,
+                      warm: np.ndarray | None = None) -> FastSizing:
     """Replay sizing in scalar processing order with repair enabled.
 
     Aborts at the first gate that stays unsizable after repair — the
@@ -461,7 +478,8 @@ def _size_with_repair(arrays: ArrayContext, budgets: np.ndarray,
 
         width = _gate_width(tech, method, bisect_steps, budget_i, slope,
                             wire_rc, flight, self_term, ext_term,
-                            self_cap[i], ext_cap, k_i, drive_i)
+                            self_cap[i], ext_cap, k_i, drive_i,
+                            None if warm is None else float(warm[i]))
         if width is None:
             width = _repair_gate(view, tech, i, w, working, drive_l,
                                  slope_k_l, k_vdd_l, wire_rc, flight,

@@ -53,6 +53,17 @@ FALLBACK_STAGE = "fallback_stage"
 #: Annealing moves proposed / accepted.
 ANNEALING_MOVES = "annealing_moves"
 ANNEALING_ACCEPTS = "annealing_accepts"
+#: Delta-evaluation moves applied by the incremental engine.
+INCREMENTAL_MOVES = "engine.incremental.moves"
+#: Gates re-evaluated inside incremental arrival cones (aggregate).
+INCREMENTAL_CONE_GATES = "engine.incremental.cone_gates"
+#: Full vectorized refreshes the incremental engine fell back to
+#: (``begin`` and voltage moves; width moves never trigger one).
+INCREMENTAL_FULL_REFRESHES = "engine.incremental.full_refreshes"
+#: Grid cells skipped by the admissible lower-bound pre-pass.
+PRUNED_CELLS = "search.pruned_cells"
+#: Bisection brackets seeded from a neighbor cell's solved widths.
+WARM_STARTS = "search.warm_starts"
 #: Sharded tasks completed by the supervised pool (any mode).
 POOL_TASKS_COMPLETED = "pool.tasks.completed"
 #: Task attempts rescheduled after a failure/crash/timeout.

@@ -13,14 +13,23 @@ total energy with a multiplicative penalty for cycle-time violation, so
 the annealer may traverse infeasible regions but converges to feasible
 designs. Each *pass* restarts the temperature schedule from the best
 state found so far.
+
+With ``engine="incremental"`` each width move is evaluated as an exact
+delta on the installed design point (and reverted by re-applying the
+previous width on rejection); voltage moves snapshot, refresh and
+restore. Measurements are bit-identical to full evaluation, so the
+accepted-move trajectory — exposed as a digest in
+``details["trajectory"]`` — matches ``engine="fast"`` move for move.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
+import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine import (
     ENGINE_CHOICES,
@@ -93,15 +102,10 @@ class _State:
         return _State(self.vdd, self.vth, dict(self.widths))
 
 
-def _cost(engine: Engine, problem: OptimizationProblem, state: _State,
-          penalty: float, reference_energy: float) -> tuple[float, float, bool]:
-    """(cost, energy, feasible) of a state; cost is energy-normalized.
-
-    One :meth:`Engine.measure` call (energy then STA, the reference
-    evaluation order) — the annealer's only per-move work, so the array
-    engine vectorizes the entire move loop.
-    """
-    measurement = engine.measure(state.vdd, state.vth, state.widths)
+def _cost_of(measurement, problem: OptimizationProblem, penalty: float,
+             reference_energy: float) -> tuple[float, float, bool]:
+    """(cost, energy, feasible) from one measurement; cost is
+    energy-normalized with a multiplicative cycle-violation penalty."""
     energy = measurement.energy
     cycle = problem.cycle_time
     violation = max(0.0, (measurement.critical_delay - cycle) / cycle)
@@ -109,6 +113,17 @@ def _cost(engine: Engine, problem: OptimizationProblem, state: _State,
         return math.inf, energy, False
     cost = (energy / reference_energy) * (1.0 + penalty * violation)
     return cost, energy, violation <= 1e-9
+
+
+def _cost(engine: Engine, problem: OptimizationProblem, state: _State,
+          penalty: float, reference_energy: float) -> tuple[float, float, bool]:
+    """(cost, energy, feasible) of a state.
+
+    One :meth:`Engine.measure` call — the annealer's only per-move work
+    (see that method's reference-evaluation-order contract).
+    """
+    return _cost_of(engine.measure(state.vdd, state.vth, state.widths),
+                    problem, penalty, reference_energy)
 
 
 def optimize_annealing(problem: OptimizationProblem,
@@ -141,13 +156,25 @@ def optimize_annealing(problem: OptimizationProblem,
     ref_static, ref_dynamic = engine.total_energy(
         tech.vdd_max, tech.vth_max, {name: 10.0 for name in gates})
     reference = ref_static + ref_dynamic
-    cost, energy, feasible = _cost(engine, problem, state, settings.penalty,
-                                   reference)
+    # Engines exposing the stateful move API (the incremental engine)
+    # evaluate each move as a delta on the installed design point; every
+    # measurement is bit-identical to the stateless full evaluation, so
+    # the accepted-move trajectory is engine-independent.
+    incremental = bool(getattr(engine, "supports_moves", False))
+    if incremental:
+        cost, energy, feasible = _cost_of(
+            engine.begin(state.vdd, state.vth, state.widths),
+            problem, settings.penalty, reference)
+    else:
+        cost, energy, feasible = _cost(engine, problem, state,
+                                       settings.penalty, reference)
     evaluations = 1
 
     best_feasible: Optional[_State] = state.copy() if feasible else None
     best_feasible_energy = energy if feasible else math.inf
     best_cost = cost
+    trajectory = hashlib.sha256()
+    accepts_per_pass: List[int] = []
 
     tracer = trace.current_tracer()
     metrics = current_metrics()
@@ -156,13 +183,29 @@ def optimize_annealing(problem: OptimizationProblem,
                          engine=engine_name) as pass_span:
             temperature = settings.initial_temperature
             accepts = 0
-            for _ in range(settings.iterations_per_pass):
+            for iteration in range(settings.iterations_per_pass):
                 if controller is not None:
                     controller.check(f"{problem.network.name} annealing")
-                candidate = state.copy()
-                _perturb(candidate, rng, settings, tech, gates)
-                new_cost, new_energy, new_feasible = _cost(
-                    engine, problem, candidate, settings.penalty, reference)
+                move = _propose(state, rng, settings, tech, gates)
+                if incremental:
+                    candidate = None
+                    if move[0] == "width":
+                        old_width = state.widths[move[1]]
+                        token = None
+                        measurement = engine.apply_move(move[1], move[2])
+                    else:
+                        token = engine.snapshot()
+                        measurement = (engine.apply_voltage(vdd=move[1])
+                                       if move[0] == "vdd"
+                                       else engine.apply_voltage(vth=move[1]))
+                    new_cost, new_energy, new_feasible = _cost_of(
+                        measurement, problem, settings.penalty, reference)
+                else:
+                    candidate = state.copy()
+                    _apply(candidate, move)
+                    new_cost, new_energy, new_feasible = _cost(
+                        engine, problem, candidate, settings.penalty,
+                        reference)
                 evaluations += 1
                 accept = new_cost <= cost or (
                     math.isfinite(new_cost)
@@ -170,11 +213,25 @@ def optimize_annealing(problem: OptimizationProblem,
                                                 / temperature))
                 if accept:
                     accepts += 1
-                    state, cost = candidate, new_cost
+                    if incremental:
+                        _apply(state, move)
+                    else:
+                        state = candidate
+                    cost = new_cost
+                    trajectory.update(struct.pack(
+                        "<qqdd", pass_index, iteration, new_cost, new_energy))
                     if new_feasible and new_energy < best_feasible_energy:
-                        best_feasible = candidate.copy()
+                        best_feasible = state.copy()
                         best_feasible_energy = new_energy
                     best_cost = min(best_cost, new_cost)
+                elif incremental:
+                    # Exact revert: re-applying the previous width
+                    # recomputes the same pure functions; voltage moves
+                    # restore the pre-refresh snapshot.
+                    if move[0] == "width":
+                        engine.apply_move(move[1], old_width)
+                    else:
+                        engine.restore(token)
                 temperature *= settings.cooling
             # One batched update per pass keeps the move loop hook-free.
             metrics.incr(ANNEALING_MOVES, settings.iterations_per_pass)
@@ -182,6 +239,7 @@ def optimize_annealing(problem: OptimizationProblem,
             metrics.incr(OBJECTIVE_EVALUATIONS, settings.iterations_per_pass)
             metrics.incr(engine_evaluations_metric(engine_name),
                          settings.iterations_per_pass)
+            accepts_per_pass.append(accepts)
             pass_span.annotate(accepts=accepts,
                                best_energy=best_feasible_energy)
         if controller is not None:
@@ -189,8 +247,13 @@ def optimize_annealing(problem: OptimizationProblem,
                               best_energy=best_feasible_energy)
         if best_feasible is not None:
             state = best_feasible.copy()
-            cost, _, _ = _cost(engine, problem, state, settings.penalty,
-                               reference)
+            if incremental:
+                cost, _, _ = _cost_of(
+                    engine.begin(state.vdd, state.vth, state.widths),
+                    problem, settings.penalty, reference)
+            else:
+                cost, _, _ = _cost(engine, problem, state, settings.penalty,
+                                   reference)
 
     if best_feasible is None:
         raise InfeasibleError(
@@ -209,24 +272,47 @@ def optimize_annealing(problem: OptimizationProblem,
         details={"strategy": "annealing", "engine": engine_name,
                  "passes": settings.passes,
                  "iterations_per_pass": settings.iterations_per_pass,
-                 "seed": settings.seed})
+                 "seed": settings.seed,
+                 "accepts_per_pass": accepts_per_pass,
+                 "trajectory": trajectory.hexdigest()})
+
+
+#: ("vdd", value) | ("vth", value) | ("width", gate, value).
+_Move = Tuple
+
+
+def _propose(state: _State, rng: random.Random, settings: AnnealingSettings,
+             tech, gates: List[str]) -> _Move:
+    """Draw one move. The rng consumption sequence is the determinism
+    contract: identical across engines and across apply/revert paths."""
+    roll = rng.random()
+    if roll < 0.15:
+        return ("vdd", _clamp(state.vdd + rng.uniform(-1.0, 1.0)
+                              * settings.vdd_step,
+                              tech.vdd_min, tech.vdd_max))
+    if roll < 0.30:
+        return ("vth", _clamp(state.vth + rng.uniform(-1.0, 1.0)
+                              * settings.vth_step,
+                              tech.vth_min, tech.vth_max))
+    name = gates[rng.randrange(len(gates))]
+    factor = math.exp(rng.uniform(-1.0, 1.0) * settings.width_step)
+    return ("width", name, _clamp(state.widths[name] * factor,
+                                  tech.width_min, tech.width_max))
+
+
+def _apply(state: _State, move: _Move) -> None:
+    if move[0] == "vdd":
+        state.vdd = move[1]
+    elif move[0] == "vth":
+        state.vth = move[1]
+    else:
+        state.widths[move[1]] = move[2]
 
 
 def _perturb(state: _State, rng: random.Random, settings: AnnealingSettings,
              tech, gates: List[str]) -> None:
     """Mutate one randomly chosen variable in place."""
-    roll = rng.random()
-    if roll < 0.15:
-        state.vdd = _clamp(state.vdd + rng.uniform(-1.0, 1.0)
-                           * settings.vdd_step, tech.vdd_min, tech.vdd_max)
-    elif roll < 0.30:
-        state.vth = _clamp(state.vth + rng.uniform(-1.0, 1.0)
-                           * settings.vth_step, tech.vth_min, tech.vth_max)
-    else:
-        name = gates[rng.randrange(len(gates))]
-        factor = math.exp(rng.uniform(-1.0, 1.0) * settings.width_step)
-        state.widths[name] = _clamp(state.widths[name] * factor,
-                                    tech.width_min, tech.width_max)
+    _apply(state, _propose(state, rng, settings, tech, gates))
 
 
 def _clamp(value: float, low: float, high: float) -> float:

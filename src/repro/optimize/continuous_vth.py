@@ -37,7 +37,11 @@ from repro.optimize.problem import (
     OptimizationProblem,
     OptimizationResult,
 )
-from repro.optimize.width_search import _closed_form_width, _slope_term
+from repro.optimize.width_search import (
+    _closed_form_width,
+    _fixed_and_external,
+    _slope_term,
+)
 from repro.power.energy import total_energy
 from repro.timing.budgeting import BudgetResult
 from repro.timing.delay_model import effective_drive_per_width
@@ -53,8 +57,9 @@ def _required_width(ctx: CircuitContext, name: str, vdd: float, vth: float,
     if drive <= 0.0:
         return None
     slope = _slope_term(ctx, name, vdd, vth, budgets)
+    wire_rc, flight, external_cap = _fixed_and_external(ctx, name, widths)
     width, _ = _closed_form_width(ctx, name, budget, slope, vdd, drive,
-                                  widths)
+                                  wire_rc, flight, external_cap)
     return width
 
 

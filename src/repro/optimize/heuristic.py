@@ -35,6 +35,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from repro.engine import ENGINE_CHOICES, resolve_engine_name
 from repro.errors import InfeasibleError, OptimizationError
 from repro.obs import trace
+from repro.obs.instrument import PRUNED_CELLS
+from repro.obs.metrics import current_metrics
 from repro.optimize.problem import (
     DesignPoint,
     OptimizationProblem,
@@ -71,6 +73,25 @@ class HeuristicSettings:
     #: or "auto" (honor :func:`repro.engine.use_engine` / the
     #: ``REPRO_ENGINE`` environment variable, defaulting to "scalar").
     engine: str = "auto"
+    #: Grid strategy: skip cells whose admissible closed-form lower
+    #: bound (dynamic energy at all-minimum widths + leakage floor,
+    #: vectorized pre-pass) exceeds the best energy found by a few probe
+    #: evaluations. The bound is a true lower bound on any feasible
+    #: sizing's energy, so pruning never changes the argmin — the CI
+    #: parity gate (``ci/check_incremental_parity.py``) proves the
+    #: pruned and unpruned scans pick the identical cell at any
+    #: ``--jobs`` count. Costs ``prune_probes + 1`` extra sizings
+    #: (probed cells are re-evaluated in scan order so the best-point
+    #: trajectory is untouched).
+    prune: bool = False
+    prune_probes: int = 8
+    #: Bisect-only: seed each cell's per-gate bisection brackets from
+    #: the nearest already-solved cell (the previous feasible evaluation
+    #: — grid scans visit adjacent cells consecutively). Changes the
+    #: bisection discretization (within solver tolerance, not
+    #: bit-identical), so it is opt-in, excluded from the cross-engine
+    #: parity gates, and forces the grid phase serial.
+    warm_start: bool = False
     #: Optional search-range overrides (defaults: technology bounds).
     vdd_range: Optional[Tuple[float, float]] = None
     vth_range: Optional[Tuple[float, float]] = None
@@ -97,6 +118,9 @@ class HeuristicSettings:
             raise OptimizationError("grid must be at least 2x2")
         if self.engine not in ENGINE_CHOICES:
             raise OptimizationError(f"unknown engine {self.engine!r}")
+        if self.prune_probes < 1:
+            raise OptimizationError(
+                f"prune_probes must be >= 1, got {self.prune_probes}")
 
 
 @dataclass
@@ -130,7 +154,8 @@ def _make_objective(problem: OptimizationProblem, budgets: BudgetResult,
     evaluator = problem.evaluator(budgets, engine_name,
                                   width_method=settings.width_method,
                                   delay_vth_bias=delay_vth_bias,
-                                  energy_vth_bias=energy_vth_bias)
+                                  energy_vth_bias=energy_vth_bias,
+                                  warm_starts=settings.warm_start)
 
     def objective(vdd: float, vth: float) -> float:
         state.evaluations += 1
@@ -165,14 +190,140 @@ def _linspace(low: float, high: float, count: int) -> List[float]:
     return [low + index * step for index in range(count)]
 
 
-def _grid_search(objective: Callable[[float, float], float],
+def _grid_cells(vdd_range: Tuple[float, float],
+                vth_range: Tuple[float, float],
+                settings: HeuristicSettings
+                ) -> List[Tuple[int, float, float]]:
+    """The grid corners, indexed in canonical (vdd-outer) scan order.
+
+    Serial scan, parallel sharding and the bound-based prune pre-pass all
+    work off this one list, so "cell index" means the same corner
+    everywhere.
+    """
+    cells: List[Tuple[int, float, float]] = []
+    for vdd in _linspace(*vdd_range, settings.grid_vdd):
+        for vth in _linspace(*vth_range, settings.grid_vth):
+            cells.append((len(cells), vdd, vth))
+    return cells
+
+
+def _grid_lower_bounds(problem: OptimizationProblem,
+                       cells: List[Tuple[int, float, float]]) -> List[float]:
+    """Admissible per-cell lower bound on total energy (J/cycle).
+
+    Every energy term of eqs. A1 + A2 is monotonically increasing in
+    each gate width — static is ``Vdd * sum(w * I_off) / f``, and both
+    dynamic terms charge loads that only grow with the widths they
+    gather — so evaluating them at all-minimum widths bounds any sizing
+    the solver can return, feasible or not. The width-dependent load
+    sums are computed once (vectorized, via the fastpath parasitics
+    kernel); each cell then costs two scalar device-model calls. Cells
+    whose drive is non-positive at minimum stack loading are infeasible
+    for *every* width assignment and bound to ``inf``.
+    """
+    import numpy as np
+
+    from repro.engine.array import array_context_for
+    from repro.fastpath.evaluate import _currents, _external_caps
+
+    arrays = array_context_for(problem.ctx)
+    tech = problem.tech
+    n = arrays.n_gates
+    wmin = np.full(n, tech.width_min)
+    ext, _, _ = _external_caps(arrays, wmin, 0, n)
+    load = wmin * arrays.self_cap + ext
+    activity_load = float(np.sum(arrays.activity * load))
+    sink_caps = arrays.segment_sum(
+        arrays.input_fanout,
+        wmin[arrays.input_fanout.indices] * arrays.input_fanout_cap)
+    input_load = float(np.sum(arrays.input_activity * (
+        arrays.input_self_plus_wire + arrays.input_fixed_cap + sink_caps)))
+    width_sum = float(np.sum(wmin))
+    stacks = [(float(fanin), 1.0 + tech.stack_derating * (fanin - 1))
+              for fanin in np.unique(arrays.fanin_count)]
+    frequency = problem.frequency
+
+    bounds: List[float] = []
+    for _, vdd, vth in cells:
+        current, off = _currents(arrays, vdd, vth)
+        if any(current / stack - fanin * off <= 0.0
+               for fanin, stack in stacks):
+            bounds.append(math.inf)
+            continue
+        bounds.append(vdd * width_sum * off / frequency
+                      + 0.5 * vdd * vdd * (activity_load + input_load))
+    return bounds
+
+
+def _prune_cells(problem: OptimizationProblem, budgets: BudgetResult,
+                 settings: HeuristicSettings, engine_name: str,
+                 cells: List[Tuple[int, float, float]],
                  vdd_range: Tuple[float, float],
-                 vth_range: Tuple[float, float],
-                 settings: HeuristicSettings) -> None:
+                 vth_range: Tuple[float, float]) -> Tuple[set, int]:
+    """The bound-based cut: ``(pruned cell indices, probes spent)``.
+
+    A short feasibility bisection along the Vdd axis (at the middle Vth
+    column, falling back to the fastest corner) finds a cheap feasible
+    design whose energy ``U`` is an upper bound on the grid optimum;
+    any cell whose *lower* bound exceeds ``U`` is strictly worse than
+    the optimum and is skipped. The probes run on a private evaluator —
+    they never touch the search state or the checkpoint — so the
+    surviving scan's best-point trajectory is exactly the unpruned one
+    minus provably-losing corners. The margin ``U * (1 + 1e-9)`` keeps
+    any exact tie for the minimum unpruned — and absorbs the few-ulp
+    summation-order slack between the closed-form bound and the
+    engine's per-gate sums — so the argmin (including tie-breaking by
+    scan order) is invariant.
+    """
+    bounds = _grid_lower_bounds(problem, cells)
+    pruned = {index for index, bound in enumerate(bounds)
+              if not math.isfinite(bound)}
+    if len(pruned) == len(cells):
+        return pruned, 0
+
     vdd_values = _linspace(*vdd_range, settings.grid_vdd)
     vth_values = _linspace(*vth_range, settings.grid_vth)
-    for vdd in vdd_values:
-        for vth in vth_values:
+    mid_vth = vth_values[len(vth_values) // 2]
+    prober = problem.evaluator(budgets, engine_name,
+                               width_method=settings.width_method)
+    upper = math.inf
+    probes = 0
+
+    def probe(vdd: float, vth: float) -> bool:
+        nonlocal upper, probes
+        probes += 1
+        evaluation = prober(vdd, vth)
+        if evaluation.feasible and evaluation.energy < upper:
+            upper = evaluation.energy
+        return evaluation.feasible
+
+    lo, hi = 0, len(vdd_values) - 1
+    if probe(vdd_values[hi], mid_vth):
+        # Walk the feasibility boundary down: the lowest feasible Vdd
+        # probed has the smallest energy, hence the tightest cut.
+        while probes < settings.prune_probes and lo < hi - 1:
+            mid = (lo + hi) // 2
+            if probe(vdd_values[mid], mid_vth):
+                hi = mid
+            else:
+                lo = mid
+    else:
+        # Mid-Vth column fails even at max Vdd; the fastest corner is
+        # the last hope for a feasibility witness.
+        probe(vdd_values[-1], vth_values[0])
+
+    if math.isfinite(upper):
+        cut = upper * (1.0 + 1e-9)
+        pruned.update(index for index, bound in enumerate(bounds)
+                      if bound > cut)
+    return pruned, probes
+
+
+def _grid_search(objective: Callable[[float, float], float],
+                 cells: List[Tuple[int, float, float]],
+                 pruned: set) -> None:
+    for index, vdd, vth in cells:
+        if index not in pruned:
             objective(vdd, vth)
 
 
@@ -212,12 +363,12 @@ def _parallel_grid_search(problem: OptimizationProblem,
                           settings: HeuristicSettings,
                           state: _SearchState,
                           engine_name: str,
-                          vdd_range: Tuple[float, float],
-                          vth_range: Tuple[float, float],
                           checkpoint: Optional[SearchCheckpoint],
                           controller: Optional[RunController],
                           plan: ParallelPlan,
-                          objective: Callable[[float, float], float]) -> None:
+                          objective: Callable[[float, float], float],
+                          cells: List[Tuple[int, float, float]],
+                          pruned: set) -> None:
     """The grid phase on the supervised pool, merged canonically.
 
     Corners already in the checkpoint are excluded from sharding and
@@ -227,16 +378,16 @@ def _parallel_grid_search(problem: OptimizationProblem,
     therefore the refinement that follows — is identical to ``jobs=1``.
     Completed chunks are recorded into the checkpoint as they finish
     (``on_result``), so a crash mid-sweep resumes at chunk granularity.
+
+    ``pruned`` cells are computed in-process *before* sharding (the same
+    set at every jobs count), excluded here exactly as the serial scan
+    excludes them, and never checkpointed — a resumed run re-derives the
+    identical set from the same deterministic bound pre-pass.
     """
-    vdd_values = _linspace(*vdd_range, settings.grid_vdd)
-    vth_values = _linspace(*vth_range, settings.grid_vth)
-    cells: List[Tuple[int, float, float]] = []
-    for vdd in vdd_values:
-        for vth in vth_values:
-            cells.append((len(cells), vdd, vth))
     fresh = [cell for cell in cells
-             if checkpoint is None
-             or checkpoint.lookup(cell[1], cell[2]) is None]
+             if cell[0] not in pruned
+             and (checkpoint is None
+                  or checkpoint.lookup(cell[1], cell[2]) is None)]
 
     what = f"{problem.network.name} grid search"
     computed: Dict[int, Tuple[float, bool, Optional[Dict[str, float]]]] = {}
@@ -274,6 +425,8 @@ def _parallel_grid_search(problem: OptimizationProblem,
                                    result.value["improvements"].get(index))
 
     for index, vdd, vth in cells:
+        if index in pruned:
+            continue
         if index not in computed:
             objective(vdd, vth)  # checkpoint-cached corner: replay
             continue
@@ -397,6 +550,9 @@ def _search_fingerprint(problem: OptimizationProblem,
         "refine_rounds": settings.refine_rounds,
         "width_method": settings.width_method,
         "engine": engine_name,
+        "prune": settings.prune,
+        "prune_probes": settings.prune_probes,
+        "warm_start": settings.warm_start,
         "vdd_range": list(vdd_range),
         "vth_range": list(vth_range),
     }
@@ -462,10 +618,18 @@ def optimize_joint(problem: OptimizationProblem,
     # The corner-bias hooks are closures and cannot cross a process
     # boundary; variation-aware searches run their grids in-process.
     plan = resolve_parallel(settings.parallel)
+    # Warm starts make each evaluation depend on the previous feasible
+    # one, which a sharded scan cannot reproduce — the grid stays serial.
     parallel_grid = (plan is not None and plan.active
                      and settings.strategy == "grid"
+                     and not settings.warm_start
                      and _energy_vth_bias is None
                      and _delay_vth_bias is None)
+    # The bound pre-pass assumes the plain objective (energy billed at
+    # the search Vth); variation-aware searches scan unpruned.
+    prune_active = (settings.prune and settings.strategy == "grid"
+                    and _energy_vth_bias is None
+                    and _delay_vth_bias is None)
     if budgets is None:
         budgets = problem.budgets()
     state = _SearchState()
@@ -531,18 +695,26 @@ def optimize_joint(problem: OptimizationProblem,
                     for seed_vdd, seed_vth in seeds:
                         objective(seed_vdd, seed_vth)
             if settings.strategy == "grid":
+                cells = _grid_cells(vdd_range, vth_range, settings)
+                pruned: set = set()
+                if prune_active:
+                    with tracer.span("prune_bounds", cells=len(cells)):
+                        pruned, prune_probes_used = _prune_cells(
+                            problem, budgets, settings, engine_name,
+                            cells, vdd_range, vth_range)
+                    current_metrics().incr(PRUNED_CELLS, len(pruned))
                 with tracer.span("grid_search",
                                  vdd_points=settings.grid_vdd,
                                  vth_points=settings.grid_vth,
+                                 pruned=len(pruned),
                                  jobs=plan.jobs if parallel_grid else 1):
                     if parallel_grid:
                         _parallel_grid_search(problem, budgets, settings,
-                                              state, engine_name, vdd_range,
-                                              vth_range, checkpoint,
-                                              controller, plan, objective)
+                                              state, engine_name, checkpoint,
+                                              controller, plan, objective,
+                                              cells, pruned)
                     else:
-                        _grid_search(objective, vdd_range, vth_range,
-                                     settings)
+                        _grid_search(objective, cells, pruned)
                 with tracer.span("refine", rounds=settings.refine_rounds):
                     _refine(objective, state, vdd_range, vth_range, settings)
             else:
@@ -613,6 +785,11 @@ def optimize_joint(problem: OptimizationProblem,
     }
     if parallel_grid:
         details["parallel_jobs"] = plan.jobs
+    if prune_active:
+        details["pruned_cells"] = len(pruned)
+        details["prune_probes"] = prune_probes_used
+    if settings.warm_start:
+        details["warm_start"] = True
     if checkpoint is not None:
         checkpoint.flush()
         details["checkpoint"] = str(checkpoint.path)

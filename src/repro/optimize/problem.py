@@ -65,13 +65,16 @@ class OptimizationProblem:
                   engine: str = "auto", *,
                   width_method: str = "closed_form",
                   bisect_steps: int = 24,
-                  delay_vth_bias=None, energy_vth_bias=None):
+                  delay_vth_bias=None, energy_vth_bias=None,
+                  warm_starts: bool = False):
         """The shared objective factory: one engine-backed evaluator.
 
         Resolves ``engine`` ("auto" honors :func:`repro.engine.use_engine`
         and ``$REPRO_ENGINE``), runs Procedure 1 if ``budgets`` is not
         supplied, and returns a :class:`repro.engine.Evaluator` — the
         single evaluate-loop implementation every optimizer shares.
+        ``warm_starts`` seeds each sizing's bisection brackets from the
+        previous feasible evaluation (see :class:`repro.engine.Evaluator`).
         """
         from repro.engine import Evaluator, make_engine
 
@@ -81,7 +84,8 @@ class OptimizationProblem:
             budgets = self.budgets()
         return Evaluator(self, impl, budgets,
                          delay_vth_bias=delay_vth_bias,
-                         energy_vth_bias=energy_vth_bias)
+                         energy_vth_bias=energy_vth_bias,
+                         warm_starts=warm_starts)
 
     @classmethod
     def build(cls, tech: Technology, network: LogicNetwork,

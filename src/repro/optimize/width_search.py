@@ -49,7 +49,6 @@ from repro.obs.instrument import (
 from repro.obs.metrics import current_metrics
 from repro.timing.delay_model import (
     effective_drive_per_width,
-    gate_delay,
     slope_coefficient,
     vdd_for,
 )
@@ -83,13 +82,17 @@ def size_widths(ctx: CircuitContext, budgets: Mapping[str, float],
                 vth: float | Mapping[str, float],
                 method: str = "closed_form",
                 bisect_steps: int = 24,
-                repair_ceiling: float | None = None) -> WidthAssignment:
+                repair_ceiling: float | None = None,
+                warm: Mapping[str, float] | None = None) -> WidthAssignment:
     """Size every gate to the smallest budget-meeting width.
 
     ``budgets`` maps each logic gate to its Procedure 1 maximum delay.
     Passing ``repair_ceiling`` (the effective cycle time ``b * T_c``)
     enables the local budget-repair post-processing described in the
-    module docstring.
+    module docstring. ``warm`` optionally maps gates to previously-solved
+    widths used to seed the ``bisect`` brackets (one extra probe per
+    gate, usually collapsing the bracket immediately); the closed-form
+    solver is exact and ignores it.
     """
     if method not in ("closed_form", "bisect"):
         raise OptimizationError(f"unknown width-search method {method!r}")
@@ -97,14 +100,15 @@ def size_widths(ctx: CircuitContext, budgets: Mapping[str, float],
     with trace.span(span_name, method=method), \
             seam("width_search", counter=WIDTH_SIZINGS):
         return _size_widths(ctx, budgets, vdd, vth, method, bisect_steps,
-                            repair_ceiling)
+                            repair_ceiling, warm)
 
 
 def _size_widths(ctx: CircuitContext, budgets: Mapping[str, float],
                  vdd: float | Mapping[str, float],
                  vth: float | Mapping[str, float],
                  method: str, bisect_steps: int,
-                 repair_ceiling: float | None) -> WidthAssignment:
+                 repair_ceiling: float | None,
+                 warm: Mapping[str, float] | None = None) -> WidthAssignment:
     tech = ctx.tech
     working: Dict[str, float] = dict(budgets)
     widths: Dict[str, float] = {}
@@ -129,17 +133,25 @@ def _size_widths(ctx: CircuitContext, budgets: Mapping[str, float],
             continue
 
         slope = _slope_term(ctx, name, gate_vdd, gate_vth, working)
+        # The gate's fanout widths are final (reverse topological order),
+        # so its parasitics are computed once here and shared by the
+        # solver and, on failure, the repair pass.
+        wire_rc, flight, external_cap = _fixed_and_external(ctx, name, widths)
         if method == "closed_form":
             width, used = _closed_form_width(ctx, name, budget, slope,
-                                             gate_vdd, drive, widths)
+                                             gate_vdd, drive, wire_rc,
+                                             flight, external_cap)
         else:
-            width, used = _bisect_width(ctx, name, budget, vdd, gate_vth,
-                                        working, widths, bisect_steps)
+            width, used = _bisect_width(ctx, name, budget, slope, gate_vdd,
+                                        drive, wire_rc, flight, external_cap,
+                                        bisect_steps,
+                                        None if warm is None
+                                        else warm.get(name))
         evaluations += used
 
         if width is None and repair_ceiling is not None:
             width = _attempt_repair(ctx, name, vdd, gate_vth, drive, working,
-                                    widths)
+                                    widths, wire_rc, flight, external_cap)
             if width is not None:
                 repaired.append(name)
         if width is None:
@@ -205,12 +217,11 @@ def _fixed_and_external(ctx: CircuitContext, name: str,
 
 def _closed_form_width(ctx: CircuitContext, name: str, budget: float,
                        slope: float, vdd: float, drive_per_width: float,
-                       widths: Mapping[str, float]
+                       wire_rc: float, flight: float, external_cap: float
                        ) -> Tuple[float | None, int]:
     """Exact minimum feasible width from the ``t = t_fix + A + B/w`` form."""
     tech = ctx.tech
     info = ctx.info(name)
-    wire_rc, flight, external_cap = _fixed_and_external(ctx, name, widths)
     k_vdd = tech.velocity_saturation_coeff * vdd
     self_term = k_vdd * info.self_cap / drive_per_width
     available = budget - slope - wire_rc - flight - self_term
@@ -224,23 +235,29 @@ def _closed_form_width(ctx: CircuitContext, name: str, budget: float,
 
 
 def _bisect_width(ctx: CircuitContext, name: str, budget: float,
-                  vdd: float | Mapping[str, float],
-                  vth: float, budgets: Mapping[str, float],
-                  widths: Mapping[str, float],
-                  steps: int) -> Tuple[float | None, int]:
-    """The paper's M-step binary search on the width range."""
+                  slope: float, vdd: float, drive_per_width: float,
+                  wire_rc: float, flight: float, external_cap: float,
+                  steps: int,
+                  warm_width: float | None = None
+                  ) -> Tuple[float | None, int]:
+    """The paper's M-step binary search on the width range.
+
+    The width-independent delay terms (slope, wire RC, flight, external
+    cap) are hoisted by the caller, so each probe is pure arithmetic —
+    no per-step fanout re-walk. ``warm_width`` (an interior
+    previously-solved width) collapses the starting bracket with a
+    single extra probe.
+    """
     tech = ctx.tech
     info = ctx.info(name)
-    fanin_budget = 0.0
-    for fanin in info.fanin_names:
-        if fanin in budgets:
-            fanin_budget = max(fanin_budget, budgets[fanin])
+    k_vdd = tech.velocity_saturation_coeff * vdd
+    fixed = slope + wire_rc + flight
+    self_cap = info.self_cap
     evaluations = 0
 
     def delay_at(width: float) -> float:
-        trial = dict(widths)
-        trial[name] = width
-        return gate_delay(ctx, name, vdd, vth, trial, fanin_budget)
+        load = width * self_cap + external_cap
+        return fixed + k_vdd * load / (drive_per_width * width)
 
     evaluations += 1
     if delay_at(tech.width_max) > budget:
@@ -250,6 +267,12 @@ def _bisect_width(ctx: CircuitContext, name: str, budget: float,
         return tech.width_min, evaluations
 
     low, high = tech.width_min, tech.width_max
+    if warm_width is not None and low < warm_width < high:
+        evaluations += 1
+        if delay_at(warm_width) <= budget:
+            high = warm_width
+        else:
+            low = warm_width
     for _ in range(steps):
         mid = 0.5 * (low + high)
         evaluations += 1
@@ -280,7 +303,9 @@ def _attempt_repair(ctx: CircuitContext, name: str,
                     vdd: float | Mapping[str, float],
                     vth: float | Mapping[str, float],
                     drive_per_width: float, working: Dict[str, float],
-                    widths: Mapping[str, float]) -> float | None:
+                    widths: Mapping[str, float],
+                    wire_rc: float, flight: float,
+                    external_cap: float) -> float | None:
     """Shift the gate's budget deficit onto its drivers (see module doc).
 
     The gate is given the budget it needs at a conservative width
@@ -290,6 +315,11 @@ def _attempt_repair(ctx: CircuitContext, name: str,
     may therefore grow in aggregate — the caller re-verifies the final
     design with a full STA pass. Returns the width, or None when even the
     repaired budget cannot be met.
+
+    The gate's own parasitics (``wire_rc``/``flight``/``external_cap``)
+    come from the caller's sizing pass — repair never changes fanout
+    widths, so recomputing them here would walk the same fanouts for the
+    same values.
     """
     tech = ctx.tech
     info = ctx.info(name)
@@ -297,7 +327,6 @@ def _attempt_repair(ctx: CircuitContext, name: str,
     gate_vdd = vdd_for(vdd, name)
     logic_fanins = [fanin for fanin in info.fanin_names if fanin in working]
 
-    wire_rc, flight, external_cap = _fixed_and_external(ctx, name, widths)
     k_vdd = tech.velocity_saturation_coeff * gate_vdd
     self_term = k_vdd * info.self_cap / drive_per_width
     external_term = k_vdd * external_cap / drive_per_width
@@ -316,7 +345,8 @@ def _attempt_repair(ctx: CircuitContext, name: str,
 
     slope = _slope_term(ctx, name, gate_vdd, gate_vth, working)
     width, _ = _closed_form_width(ctx, name, working[name], slope, gate_vdd,
-                                  drive_per_width, widths)
+                                  drive_per_width, wire_rc, flight,
+                                  external_cap)
     return width
 
 

@@ -38,8 +38,8 @@ from repro.obs.metrics import MetricsRegistry, use_metrics
 
 
 def test_choice_vocabulary():
-    assert ENGINE_NAMES == ("scalar", "fast")
-    assert ENGINE_CHOICES == ("auto", "scalar", "fast")
+    assert ENGINE_NAMES == ("scalar", "fast", "incremental")
+    assert ENGINE_CHOICES == ("auto", "scalar", "fast", "incremental")
 
 
 def test_default_resolution_is_scalar(monkeypatch):

@@ -1,0 +1,238 @@
+"""Bit-identity tests for the incremental delta-evaluation engine.
+
+The incremental engine's contract is stronger than the cross-engine
+parity contract: its measurements after any sequence of width/voltage
+moves must be *bit-identical* (``==``, not approx) to a fresh full
+evaluation by the array engine at the same design point. Every
+comparison below is exact equality.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.activity.profiles import uniform_profile
+from repro.engine import ENGINE_NAMES, make_engine, use_engine
+from repro.engine.incremental import IncrementalEngine
+from repro.errors import OptimizationError
+from repro.experiments.common import build_problem
+from repro.netlist.generator import GeneratorSpec, generate_network
+from repro.obs.instrument import (
+    INCREMENTAL_CONE_GATES,
+    INCREMENTAL_FULL_REFRESHES,
+    INCREMENTAL_MOVES,
+)
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.optimize.annealing import AnnealingSettings, optimize_annealing
+from repro.optimize.problem import OptimizationProblem
+from repro.technology.process import Technology
+from repro.units import MHZ
+
+
+def _generated_problem(seed: int) -> OptimizationProblem:
+    spec = GeneratorSpec(name=f"delta{seed}", n_inputs=6, n_outputs=5,
+                         n_gates=40 + 7 * (seed % 5), depth=6, seed=seed)
+    network = generate_network(spec)
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    return OptimizationProblem.build(Technology.default(), network, profile,
+                                     frequency=250 * MHZ)
+
+
+def _assert_identical(incremental, fast, vdd, vth, widths, context=""):
+    """The maintained state vs a fresh full evaluation, bitwise."""
+    expected = fast.measure(vdd, vth, widths)
+    actual = incremental.measurement()
+    assert actual.static == expected.static, context
+    assert actual.dynamic == expected.dynamic, context
+    assert actual.critical_delay == expected.critical_delay, context
+
+
+@pytest.mark.parametrize("seed", [3, 7, 11])
+def test_random_width_moves_bit_identical(seed):
+    """Hundreds of random width moves; every state matches full eval."""
+    problem = _generated_problem(seed)
+    tech = problem.tech
+    engine = IncrementalEngine(problem)
+    fast = make_engine(problem, "fast")
+    rng = random.Random(100 + seed)
+    gates = list(problem.ctx.gates)
+    widths = {name: rng.uniform(1.0, 20.0) for name in gates}
+    vdd, vth = 1.8, 0.3
+
+    engine.begin(vdd, vth, widths)
+    _assert_identical(engine, fast, vdd, vth, widths, "begin")
+    n = engine.arrays.n_gates
+    for step in range(200):
+        name = gates[rng.randrange(len(gates))]
+        widths[name] = rng.uniform(tech.width_min, tech.width_max)
+        engine.apply_move(name, widths[name])
+        _assert_identical(engine, fast, vdd, vth, widths,
+                          f"seed={seed} step={step} gate={name}")
+    assert engine.moves == 200
+    # Cone sanity: an N-gate circuit can never re-evaluate more than N
+    # gates per move, and the early-termination cut must actually fire.
+    assert engine.cone_gates <= 200 * n
+    assert engine.early_stops >= 1
+
+
+@pytest.mark.parametrize("seed", [4, 9])
+def test_mixed_move_sequences_bit_identical(seed):
+    """Interleaved width / Vdd / Vth moves stay exact."""
+    problem = _generated_problem(seed)
+    tech = problem.tech
+    engine = IncrementalEngine(problem)
+    fast = make_engine(problem, "fast")
+    rng = random.Random(500 + seed)
+    gates = list(problem.ctx.gates)
+    widths = {name: rng.uniform(1.0, 15.0) for name in gates}
+    vdd, vth = 2.5, 0.25
+
+    engine.begin(vdd, vth, widths)
+    for step in range(120):
+        roll = rng.random()
+        if roll < 0.2:
+            vdd = rng.uniform(max(tech.vdd_min, 0.9), tech.vdd_max)
+            engine.apply_voltage(vdd=vdd)
+        elif roll < 0.4:
+            vth = rng.uniform(tech.vth_min, tech.vth_max)
+            engine.apply_voltage(vth=vth)
+        else:
+            name = gates[rng.randrange(len(gates))]
+            widths[name] = rng.uniform(tech.width_min, tech.width_max)
+            engine.apply_move(name, widths[name])
+        _assert_identical(engine, fast, vdd, vth, widths,
+                          f"seed={seed} step={step}")
+
+
+def test_infeasible_corner_measures_inf_critical(s27_problem):
+    """Subthreshold corners (drive <= 0) propagate inf, exactly as the
+    fast engine reports them."""
+    engine = IncrementalEngine(s27_problem)
+    fast = make_engine(s27_problem, "fast")
+    widths = {name: 10.0 for name in s27_problem.ctx.gates}
+    engine.begin(0.5, 0.49, widths)
+    _assert_identical(engine, fast, 0.5, 0.49, widths, "subthreshold")
+    name = next(iter(widths))
+    widths[name] = 42.0
+    engine.apply_move(name, 42.0)
+    _assert_identical(engine, fast, 0.5, 0.49, widths, "subthreshold move")
+
+
+def test_width_revert_is_exact(s27_problem):
+    """Re-applying the previous width restores the state bit-exactly."""
+    engine = IncrementalEngine(s27_problem)
+    widths = {name: 10.0 for name in s27_problem.ctx.gates}
+    before = engine.begin(1.8, 0.3, widths)
+    name = list(widths)[3]
+    engine.apply_move(name, 2.5)
+    after = engine.apply_move(name, 10.0)
+    assert after == before
+
+
+def test_snapshot_restore_roundtrip(s27_problem):
+    """Voltage-move revert: snapshot, refresh at new rails, restore."""
+    engine = IncrementalEngine(s27_problem)
+    fast = make_engine(s27_problem, "fast")
+    widths = {name: 8.0 for name in s27_problem.ctx.gates}
+    before = engine.begin(2.0, 0.3, widths)
+    token = engine.snapshot()
+    engine.apply_voltage(vdd=1.1, vth=0.22)
+    _assert_identical(engine, fast, 1.1, 0.22, widths, "after voltage")
+    restored = engine.restore(token)
+    assert restored == before
+    _assert_identical(engine, fast, 2.0, 0.3, widths, "after restore")
+    # The restored state must keep evolving correctly.
+    name = list(widths)[0]
+    widths[name] = 3.0
+    engine.apply_move(name, 3.0)
+    _assert_identical(engine, fast, 2.0, 0.3, widths, "move after restore")
+
+
+def test_noop_move_early_terminates(s27_problem):
+    """Re-applying the current width stops the cone at the seed rows."""
+    engine = IncrementalEngine(s27_problem)
+    widths = {name: 10.0 for name in s27_problem.ctx.gates}
+    engine.begin(1.8, 0.3, widths)
+    name = list(widths)[0]
+    before = engine.early_stops
+    engine.apply_move(name, 10.0)
+    assert engine.early_stops > before
+    # A no-op move's cone is exactly the seed rows (gate + fanins).
+    assert engine.cone_gates <= 1 + len(
+        s27_problem.ctx.info(name).fanin_names)
+
+
+def test_move_counters_are_metered(s27_problem):
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        engine = IncrementalEngine(s27_problem)
+        widths = {name: 10.0 for name in s27_problem.ctx.gates}
+        engine.begin(1.8, 0.3, widths)
+        name = list(widths)[1]
+        engine.apply_move(name, 4.0)
+        engine.apply_voltage(vdd=2.2)
+    assert registry.counter(INCREMENTAL_MOVES) == 1
+    assert registry.counter(INCREMENTAL_CONE_GATES) >= 1
+    assert registry.counter(INCREMENTAL_FULL_REFRESHES) == 2  # begin + vdd
+
+
+def test_requires_begin(s27_problem):
+    engine = IncrementalEngine(s27_problem)
+    with pytest.raises(OptimizationError, match="begin"):
+        engine.apply_move("any", 1.0)
+    with pytest.raises(OptimizationError, match="begin"):
+        engine.measurement()
+
+
+def test_unknown_gate_rejected(s27_problem):
+    engine = IncrementalEngine(s27_problem)
+    engine.begin(1.8, 0.3, {name: 10.0 for name in s27_problem.ctx.gates})
+    with pytest.raises(OptimizationError, match="unknown gate"):
+        engine.apply_move("no-such-gate", 1.0)
+
+
+def test_engine_selection_resolves_incremental(s27_problem, monkeypatch):
+    assert "incremental" in ENGINE_NAMES
+    assert isinstance(make_engine(s27_problem, "incremental"),
+                      IncrementalEngine)
+    with use_engine("incremental"):
+        assert isinstance(make_engine(s27_problem, "auto"),
+                          IncrementalEngine)
+    monkeypatch.setenv("REPRO_ENGINE", "incremental")
+    assert isinstance(make_engine(s27_problem, "auto"), IncrementalEngine)
+
+
+def test_stateless_api_delegates_to_fast(s27_problem):
+    """Outside the move API the engine behaves exactly like "fast"."""
+    budgets = s27_problem.budgets()
+    incremental = make_engine(s27_problem, "incremental")
+    fast = make_engine(s27_problem, "fast")
+    lhs = incremental.evaluate(budgets, 1.8, 0.3)
+    rhs = fast.evaluate(budgets, 1.8, 0.3)
+    assert lhs.feasible == rhs.feasible
+    assert lhs.energy == rhs.energy
+    assert lhs.static == rhs.static
+    assert lhs.dynamic == rhs.dynamic
+
+
+ANNEAL = AnnealingSettings(passes=2, iterations_per_pass=120, seed=7)
+
+
+def test_annealing_trajectory_identical_to_fast(s27_problem):
+    """The tentpole acceptance: same seed, same accepted-move trajectory
+    and same final design under "fast" and "incremental"."""
+    fast = optimize_annealing(
+        s27_problem, settings=AnnealingSettings(
+            passes=2, iterations_per_pass=120, seed=7, engine="fast"))
+    delta = optimize_annealing(
+        s27_problem, settings=AnnealingSettings(
+            passes=2, iterations_per_pass=120, seed=7, engine="incremental"))
+    assert delta.details["trajectory"] == fast.details["trajectory"]
+    assert delta.details["accepts_per_pass"] == fast.details["accepts_per_pass"]
+    assert delta.evaluations == fast.evaluations
+    assert delta.design.vdd == fast.design.vdd
+    assert delta.design.vth == fast.design.vth
+    assert delta.design.widths == fast.design.widths
+    assert delta.energy.total == fast.energy.total

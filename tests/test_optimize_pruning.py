@@ -1,0 +1,202 @@
+"""The grid-search cuts: bound-based pruning and warm-started bisection.
+
+Pruning carries a proof obligation — skipping a cell must never change
+the argmin — so these tests compare pruned and unpruned searches for
+*identical* results (design, energy, best point), not merely similar
+ones, serially and on the worker pool. The closed-form bound itself is
+checked admissible against real evaluations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine import use_engine
+from repro.errors import InfeasibleError, OptimizationError
+from repro.obs.instrument import PRUNED_CELLS, WARM_STARTS
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.optimize.heuristic import (
+    HeuristicSettings,
+    _grid_cells,
+    _grid_lower_bounds,
+    _prune_cells,
+    optimize_joint,
+)
+from repro.runtime.supervisor import ParallelPlan
+
+GRID = dict(grid_vdd=9, grid_vth=7, refine_iters=6, refine_rounds=1)
+
+
+def _assert_same_result(lhs, rhs):
+    assert lhs.design.vdd == rhs.design.vdd
+    assert lhs.design.vth == rhs.design.vth
+    assert lhs.design.widths == rhs.design.widths
+    assert lhs.energy.total == rhs.energy.total
+    assert lhs.timing.critical_delay == rhs.timing.critical_delay
+
+
+def test_prune_probes_validated():
+    with pytest.raises(OptimizationError, match="prune_probes"):
+        HeuristicSettings(prune_probes=0)
+
+
+def test_bounds_are_admissible(s27_problem):
+    """The closed-form bound never exceeds a real sized evaluation."""
+    settings = HeuristicSettings(engine="fast", **GRID)
+    vdd_range = (s27_problem.tech.vdd_min, s27_problem.tech.vdd_max)
+    vth_range = (s27_problem.tech.vth_min, s27_problem.tech.vth_max)
+    cells = _grid_cells(vdd_range, vth_range, settings)
+    bounds = _grid_lower_bounds(s27_problem, cells)
+    assert len(bounds) == len(cells) == 9 * 7
+    evaluator = s27_problem.evaluator(engine="fast")
+    checked = 0
+    for (_, vdd, vth), bound in zip(cells, bounds):
+        evaluation = evaluator(vdd, vth)
+        if evaluation.feasible:
+            # When the solver returns all-minimum widths the bound
+            # equals the energy mathematically and may land an ulp
+            # above it (different summation order); the prune cut's
+            # 1e-9 relative margin absorbs exactly this.
+            assert bound <= evaluation.energy * (1.0 + 1e-9), (vdd, vth)
+            checked += 1
+        elif not math.isfinite(bound):
+            # Drive-infeasible bound: the evaluator must agree.
+            assert evaluation.energy == math.inf
+    assert checked > 0
+
+
+def test_prune_cells_spares_the_argmin(s27_problem):
+    """Direct check on the prune set: the unpruned winner survives."""
+    settings = HeuristicSettings(engine="fast", prune=True, **GRID)
+    vdd_range = (s27_problem.tech.vdd_min, s27_problem.tech.vdd_max)
+    vth_range = (s27_problem.tech.vth_min, s27_problem.tech.vth_max)
+    cells = _grid_cells(vdd_range, vth_range, settings)
+    budgets = s27_problem.budgets()
+    pruned, probes = _prune_cells(s27_problem, budgets, settings, "fast",
+                                  cells, vdd_range, vth_range)
+    assert 0 < probes <= settings.prune_probes + 1
+    assert pruned, "the cut never fired on s27"
+    evaluator = s27_problem.evaluator(budgets, "fast")
+    best_index, best_energy = None, math.inf
+    for index, vdd, vth in cells:
+        evaluation = evaluator(vdd, vth)
+        if evaluation.feasible and evaluation.energy < best_energy:
+            best_index, best_energy = index, evaluation.energy
+    assert best_index is not None
+    assert best_index not in pruned
+
+
+@pytest.mark.parametrize("engine", ["fast", "incremental"])
+def test_pruned_search_identical_serial(s27_problem, engine):
+    settings = HeuristicSettings(engine=engine, **GRID)
+    plain = optimize_joint(s27_problem, settings=settings)
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        pruned = optimize_joint(
+            s27_problem,
+            settings=HeuristicSettings(engine=engine, prune=True, **GRID))
+    _assert_same_result(plain, pruned)
+    assert pruned.details["pruned_cells"] > 0
+    assert registry.counter(PRUNED_CELLS) == pruned.details["pruned_cells"]
+    # The cut plus its probes must still be a net saving.
+    assert (pruned.evaluations + pruned.details["prune_probes"]
+            < plain.evaluations)
+    assert "pruned_cells" not in plain.details
+
+
+def test_pruned_search_identical_parallel(s27_problem):
+    plain = optimize_joint(s27_problem,
+                           settings=HeuristicSettings(engine="fast", **GRID))
+    pooled = optimize_joint(
+        s27_problem,
+        settings=HeuristicSettings(
+            engine="fast", prune=True,
+            parallel=ParallelPlan(jobs=2, heartbeat_s=0.05), **GRID))
+    _assert_same_result(plain, pooled)
+    assert pooled.details["pruned_cells"] > 0
+    assert pooled.details["parallel_jobs"] == 2
+
+
+def test_pruned_search_identical_s298(s298_problem):
+    settings = HeuristicSettings(engine="fast", **GRID)
+    plain = optimize_joint(s298_problem, settings=settings)
+    pruned = optimize_joint(
+        s298_problem,
+        settings=HeuristicSettings(engine="fast", prune=True, **GRID))
+    _assert_same_result(plain, pruned)
+    assert pruned.details["pruned_cells"] > 0
+
+
+def test_infeasible_problem_still_raises(s27_problem):
+    """An unmeetable clock raises the same typed error pruned or not."""
+    from repro.optimize.problem import OptimizationProblem
+
+    tight = OptimizationProblem(ctx=s27_problem.ctx, frequency=1e12)
+    with pytest.raises(InfeasibleError):
+        optimize_joint(tight, settings=HeuristicSettings(engine="fast",
+                                                         **GRID))
+    with pytest.raises(InfeasibleError):
+        optimize_joint(tight, settings=HeuristicSettings(
+            engine="fast", prune=True, **GRID))
+
+
+def test_variation_bias_disables_pruning(s27_problem):
+    """Corner-biased objectives break the bound's premise; the search
+    must quietly scan unpruned rather than mis-prune."""
+    settings = HeuristicSettings(engine="fast", prune=True, **GRID)
+    result = optimize_joint(s27_problem, settings=settings,
+                            _energy_vth_bias=lambda vth: vth + 0.05)
+    assert result.feasible
+    assert "pruned_cells" not in result.details
+
+
+# --- warm-started bisection --------------------------------------------------
+
+
+def test_warm_start_bisect_feasible_and_close(s27_problem):
+    cold = optimize_joint(s27_problem, settings=HeuristicSettings(
+        engine="fast", width_method="bisect", **GRID))
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        warm = optimize_joint(s27_problem, settings=HeuristicSettings(
+            engine="fast", width_method="bisect", warm_start=True, **GRID))
+    assert warm.feasible
+    assert registry.counter(WARM_STARTS) > 0
+    assert warm.details["warm_start"] is True
+    # Warm brackets change the bisection discretization, not the
+    # optimum: the designs agree to solver tolerance.
+    assert warm.energy.total == pytest.approx(cold.energy.total, rel=1e-2)
+    assert warm.design.vdd == pytest.approx(cold.design.vdd, rel=1e-2)
+
+
+def test_warm_start_forces_serial_grid(s27_problem):
+    result = optimize_joint(s27_problem, settings=HeuristicSettings(
+        engine="fast", width_method="bisect", warm_start=True,
+        parallel=ParallelPlan(jobs=2, heartbeat_s=0.05), **GRID))
+    assert result.feasible
+    assert "parallel_jobs" not in result.details
+
+
+def test_warm_start_deterministic(s27_problem):
+    settings = HeuristicSettings(engine="fast", width_method="bisect",
+                                 warm_start=True, **GRID)
+    first = optimize_joint(s27_problem, settings=settings)
+    second = optimize_joint(s27_problem, settings=settings)
+    _assert_same_result(first, second)
+
+
+def test_fingerprint_records_cut_settings(s27_problem):
+    from repro.optimize.heuristic import _search_fingerprint
+
+    ranges = ((0.5, 3.3), (0.1, 0.5))
+    plain = _search_fingerprint(s27_problem, HeuristicSettings(), *ranges,
+                                engine_name="fast")
+    cut = _search_fingerprint(s27_problem, HeuristicSettings(prune=True),
+                              *ranges, engine_name="fast")
+    warm = _search_fingerprint(s27_problem,
+                               HeuristicSettings(warm_start=True),
+                               *ranges, engine_name="fast")
+    assert plain["prune"] is False and cut["prune"] is True
+    assert plain != cut and plain != warm

@@ -1,0 +1,118 @@
+"""Bench: serving latency — cold solve vs cache hit vs crash recovery.
+
+Times the three paths a job can take through the optimization service:
+a cold solve (queue → pool → result), a content-addressed cache hit
+for the identical request (which must skip the pool entirely and be
+far cheaper than the solve), and a crash recovery (journal replay plus
+a checkpoint-resumed solve). Archives the numbers to
+``benchmarks/results/serve.json`` and ``BENCH_serve.json`` at the
+repo root.
+"""
+
+import json
+import shutil
+import time
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.errors import DeadlineExceeded
+from repro.obs.metrics import MetricsRegistry
+from repro.optimize.heuristic import optimize_joint
+from repro.runtime.controller import RunController, use_controller
+from repro.serve.jobs import JobRequest, problem_for, settings_for
+from repro.serve.service import OptimizationService
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The served request: s27 on the default 15x13 grid with refinement —
+#: a few hundred milliseconds of genuine solve to amortize against.
+REQUEST = dict(circuit="s27", frequency_mhz=1000.0)
+
+
+def _timed(run):
+    start = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - start
+
+
+def test_serve_latency(benchmark, tmp_path, record_artifact, record_json):
+    request = JobRequest(**REQUEST)
+    service = OptimizationService(tmp_path / "serve",
+                                  registry=MetricsRegistry())
+
+    cold_job = service.submit(request)
+    _, cold_s = _timed(service.step)
+    assert cold_job.state == "DONE"
+    payload = json.loads(
+        (service.root / "results"
+         / f"{cold_job.job_id}.json").read_text())
+    evaluations = payload["summary"]["evaluations"]
+    energy = payload["summary"]["total_energy"]
+
+    hit_job = service.submit(request)
+    _, hit_s = _timed(service.step)
+    assert hit_job.detail["cached"] is True
+    assert hit_s < cold_s, \
+        f"cache hit ({hit_s:.3f}s) not cheaper than the solve " \
+        f"({cold_s:.3f}s)"
+    service.close()
+
+    # Crash recovery: a half-finished solve (deadline-bounded so it
+    # flushes a partial checkpoint), a job stuck RUNNING in the
+    # journal, then replay + checkpoint-resumed completion.
+    crash_root = tmp_path / "crash"
+    crashed = OptimizationService(crash_root, registry=MetricsRegistry())
+    crash_job = crashed.submit(request)
+    checkpoint = crash_root / "checkpoints" / f"{crash_job.job_id}.ckpt"
+    with use_controller(RunController(deadline_s=max(0.05,
+                                                     0.4 * cold_s))):
+        try:
+            optimize_joint(problem_for(request), settings_for(request),
+                           resume_from=checkpoint)
+        except DeadlineExceeded:
+            pass
+    assert checkpoint.exists(), "no checkpoint flushed before the crash"
+    crashed._transition(crash_job, "RUNNING", {})
+    crashed.close()
+
+    revived, replay_s = _timed(
+        lambda: OptimizationService(crash_root,
+                                    registry=MetricsRegistry()))
+    _, resume_s = _timed(revived.step)
+    survivor = revived.jobs[crash_job.job_id]
+    assert survivor.state == "DONE"
+    assert (crash_root / "results"
+            / f"{crash_job.job_id}.json").read_bytes() \
+        == (service.root / "results"
+            / f"{cold_job.job_id}.json").read_bytes()
+    revived.close()
+
+    # The timed unit: one cache-hit round trip, submit to terminal.
+    with OptimizationService(tmp_path / "serve",
+                             registry=MetricsRegistry()) as again:
+        benchmark.pedantic(
+            lambda: (again.submit(request), again.step()),
+            rounds=1, iterations=1)
+
+    rows = [["cold solve", f"{cold_s * 1e3:.1f}"],
+            ["cache hit", f"{hit_s * 1e3:.1f}"],
+            ["recovery: journal replay", f"{replay_s * 1e3:.1f}"],
+            ["recovery: resumed solve", f"{resume_s * 1e3:.1f}"]]
+    record_artifact("serve", format_table(
+        headers=["path", "latency (ms)"], rows=rows,
+        title=f"Serving latency for {request.circuit} "
+              f"({evaluations} evaluations when solving)"))
+    path = record_json(
+        "serve",
+        results=[
+            {"unit": "cold", "evaluations": evaluations,
+             "wall_s": cold_s, "best_energy": energy},
+            {"unit": "cache_hit", "evaluations": 0, "wall_s": hit_s,
+             "best_energy": energy},
+            {"unit": "recovery_replay", "evaluations": 0,
+             "wall_s": replay_s, "best_energy": energy},
+            {"unit": "recovery_resume", "evaluations": evaluations,
+             "wall_s": resume_s, "best_energy": energy},
+        ],
+        circuit=request.circuit)
+    shutil.copyfile(path, REPO_ROOT / "BENCH_serve.json")

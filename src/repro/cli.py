@@ -10,6 +10,9 @@
     python -m repro activity s27 --compare
     python -m repro decks
     python -m repro experiments table2 fig2a
+    python -m repro serve /var/run/repro --capacity 32 --jobs 4
+    python -m repro submit /var/run/repro s298 --wait
+    python -m repro jobs /var/run/repro
 
 ``optimize`` accepts a built-in benchmark name or a path to an ISCAS
 ``.bench`` file (flip-flops are cut automatically; pass
@@ -29,6 +32,12 @@ search, ``--metrics PATH`` snapshots the hot counters as JSON,
 trace-report`` renders a top-span/hot-counter summary from a recorded
 trace. ``-v``/``-q`` (before the subcommand) steer the ``repro.*``
 logger verbosity.
+
+Serving: ``repro serve ROOT`` runs the resilient optimization-service
+daemon (journaled job queue, admission control, content-addressed
+result cache — see ``docs/serving.md``); ``repro submit`` and ``repro
+jobs`` are its file-protocol clients and work whether or not the
+daemon is currently up.
 """
 
 from __future__ import annotations
@@ -344,6 +353,83 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.service import OptimizationService
+
+    service = OptimizationService(args.root, capacity=args.capacity,
+                                  pool_jobs=args.jobs,
+                                  retries=args.retries,
+                                  cache_entries=args.cache_entries,
+                                  poll_s=args.poll)
+    logger.info("serving from %s (capacity %d, pool jobs %d)",
+                args.root, args.capacity, args.jobs)
+    finished = service.run(max_jobs=args.max_jobs,
+                           max_idle_s=args.max_idle)
+    logger.info("daemon exiting after %d job(s)", finished)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import client
+    from repro.serve.jobs import JobRequest
+
+    request = JobRequest(circuit=args.circuit, deck=args.deck,
+                         frequency_mhz=args.frequency,
+                         activity=args.activity,
+                         probability=args.probability,
+                         n_vth=args.n_vth, strategy=args.strategy,
+                         engine=args.engine,
+                         width_method=args.width_method,
+                         grid_vdd=args.grid_vdd, grid_vth=args.grid_vth,
+                         fallback=args.fallback, priority=args.priority,
+                         deadline_s=args.job_deadline)
+    ticket = client.submit_request(args.root, request)
+    logger.info("request spooled as %s", ticket)
+    try:
+        reply = client.wait_for_reply(args.root, ticket,
+                                      timeout_s=args.timeout)
+    except DeadlineExceeded as error:
+        logger.error("error: %s", error)
+        return 2
+    if reply.get("status") != "accepted":
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 1
+    job_id = reply["job_id"]
+    if not args.wait:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    try:
+        status = client.wait_for_terminal(args.root, job_id,
+                                          timeout_s=args.timeout)
+    except DeadlineExceeded as error:
+        logger.error("error: %s", error)
+        return 2
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0 if status.get("state") in ("DONE", "DEGRADED") else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve import client
+
+    if args.cancel:
+        client.request_cancel(args.root, args.cancel)
+        print(f"cancel requested for {args.cancel}")
+        return 0
+    rows = client.list_jobs(args.root)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("no jobs")
+        return 0
+    print(format_table(
+        headers=["job", "circuit", "state", "prio", "digest"],
+        rows=[[row["job_id"], row["circuit"], row["state"],
+               str(row["priority"]), row["digest"]] for row in rows],
+        title=f"jobs @ {args.root}"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -446,6 +532,75 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("names", nargs="*", default=[])
     _add_parallel(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resilient optimization-service daemon")
+    serve.add_argument("root", help="service root directory (journal, "
+                                    "spool, cache, results)")
+    serve.add_argument("--capacity", type=int, default=16,
+                       help="bounded queue size; beyond it submissions "
+                            "are rejected as ServiceOverloaded "
+                            "(default 16)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="supervised pool workers per batch "
+                            "(default 1 = in-process)")
+    serve.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="task retries before quarantine (default 2)")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="result-cache LRU size cap (default 256)")
+    serve.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                       help="exit after finishing N jobs (default: serve "
+                            "forever)")
+    serve.add_argument("--max-idle", type=float, default=None,
+                       metavar="SECONDS",
+                       help="exit after this long with no activity "
+                            "(default: serve forever)")
+    serve.add_argument("--poll", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="spool/control poll interval (default 0.05)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one job to a service root")
+    submit.add_argument("root", help="service root directory")
+    submit.add_argument("circuit", help="benchmark circuit name")
+    _add_common(submit)
+    submit.add_argument("--strategy", choices=("grid", "paper"),
+                        default="grid")
+    submit.add_argument("--n-vth", type=int, default=1)
+    submit.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
+    submit.add_argument("--width-method",
+                        choices=("closed_form", "bisect"),
+                        default="closed_form")
+    submit.add_argument("--grid-vdd", type=int, default=15)
+    submit.add_argument("--grid-vth", type=int, default=13)
+    submit.add_argument("--fallback", action="store_true",
+                        help="solve through the fallback chain; degraded "
+                             "results surface labeled in job status")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="admission priority (higher runs first)")
+    submit.add_argument("--job-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget enforced by the "
+                             "daemon")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal "
+                             "state and print its status")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="max seconds to wait for the daemon "
+                             "(default 300)")
+    submit.set_defaults(handler=_cmd_submit)
+
+    jobs = subparsers.add_parser(
+        "jobs", help="list (or cancel) jobs at a service root")
+    jobs.add_argument("root", help="service root directory")
+    jobs.add_argument("--json", action="store_true",
+                      help="emit machine-readable rows")
+    jobs.add_argument("--cancel", default=None, metavar="JOB_ID",
+                      help="request cooperative cancellation of a job")
+    jobs.set_defaults(handler=_cmd_jobs)
 
     trace_report = subparsers.add_parser(
         "trace-report",

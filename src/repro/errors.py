@@ -81,6 +81,41 @@ class FaultInjectedError(ReproError):
     (:mod:`repro.runtime.faults`); never raised in production runs."""
 
 
+# --- serving taxonomy (see :mod:`repro.serve`) ----------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for optimization-service failures (:mod:`repro.serve`)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The service's bounded job queue is full; the submission was
+    rejected by admission control.
+
+    Rejection is explicit and labeled — the submitter receives a
+    ``{"status": "rejected", "error": "ServiceOverloaded"}`` reply
+    instead of unbounded queue growth. ``capacity`` and ``queued``
+    record the queue state at rejection time.
+    """
+
+    def __init__(self, message: str, capacity: int = 0, queued: int = 0):
+        self.capacity = capacity
+        self.queued = queued
+        super().__init__(message)
+
+
+class JournalError(ServiceError):
+    """The job journal is unusable beyond tail repair (unreadable file,
+    unwritable directory). Torn *tails* never raise — they are truncated
+    with a warning on daemon startup (see
+    :class:`repro.serve.journal.JobJournal`)."""
+
+
+class JobStateError(ServiceError):
+    """An invalid job lifecycle transition was attempted (e.g. resuming
+    a job already in a terminal state)."""
+
+
 class FallbackExhaustedError(OptimizationError):
     """Every strategy in a fallback chain failed.
 

@@ -74,6 +74,34 @@ POOL_TASKS_QUARANTINED = "pool.tasks.quarantined"
 POOL_WORKER_RESPAWNS = "pool.workers.respawned"
 #: Worker processes spawned at pool start.
 POOL_WORKERS_STARTED = "pool.workers.started"
+#: Jobs accepted by the optimization service (admission passed).
+SERVE_JOBS_SUBMITTED = "serve.jobs.submitted"
+#: Submissions rejected by admission control (queue at capacity).
+SERVE_JOBS_REJECTED = "serve.jobs.rejected"
+#: Jobs re-enqueued from the journal after a daemon restart.
+SERVE_JOBS_RECOVERED = "serve.jobs.recovered"
+#: Result-cache lookups served without touching the pool.
+SERVE_CACHE_HITS = "serve.cache.hits"
+#: Result-cache lookups that required computation.
+SERVE_CACHE_MISSES = "serve.cache.misses"
+#: Cache entries evicted by the LRU size cap.
+SERVE_CACHE_EVICTIONS = "serve.cache.evictions"
+#: Cache entries quarantined after failing their integrity digest.
+SERVE_CACHE_CORRUPT = "serve.cache.corrupt"
+#: Torn journal tails truncated during recovery.
+SERVE_JOURNAL_TRUNCATED = "serve.journal.truncated"
+#: Corrupt/mismatched checkpoints discarded before a fresh solve.
+SERVE_CHECKPOINT_DISCARDED = "serve.checkpoint.discarded"
+
+
+def serve_state_metric(state: str) -> str:
+    """Counter: jobs that entered lifecycle state ``state``.
+
+    One counter per :data:`repro.serve.jobs.JOB_STATES` entry (e.g.
+    ``serve.jobs.done``); incremented by the service on every journaled
+    transition, so a metrics snapshot is a live census of the queue.
+    """
+    return f"serve.jobs.{state.lower()}"
 
 #: Seam names with profiling hooks (see :func:`seam`).
 SEAM_NAMES = ("sta", "energy", "width_search", "budgeting", "delay_model")

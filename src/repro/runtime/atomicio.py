@@ -58,6 +58,25 @@ def atomic_write_json(path: str | Path, payload: Dict[str, object]) -> Path:
         path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+def append_text(path: str | Path, text: str) -> Path:
+    """Append ``text`` to ``path`` durably (open-append, flush, fsync).
+
+    The write-ahead journal's primitive: ``O_APPEND`` makes each record
+    a single contiguous write and the fsync makes it durable before the
+    caller acts on it. Appends are *not* atomic across a crash — a
+    SIGKILL can leave a torn final record — which is exactly the damage
+    :meth:`repro.serve.journal.JobJournal.read` detects and repairs by
+    truncating to the last complete line.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as stream:
+        stream.write(text)
+        stream.flush()
+        os.fsync(stream.fileno())
+    return path
+
+
 def read_json_object(path: str | Path,
                      error: Type[ReproError] = OptimizationError
                      ) -> Dict[str, object]:

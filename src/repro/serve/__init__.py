@@ -1,0 +1,45 @@
+"""Optimization-as-a-service: the resilient serving layer.
+
+This package turns the batch optimizer into a long-running service
+built from the robustness substrate of the lower layers:
+
+* :mod:`repro.serve.journal` — the write-ahead job journal (append-only
+  JSONL, fsynced per record, torn tails repaired on restart);
+* :mod:`repro.serve.jobs` — the request/job model and the lifecycle
+  state machine (``QUEUED → RUNNING → {DONE, DEGRADED, FAILED,
+  CANCELLED, QUARANTINED}``) replayable from the journal;
+* :mod:`repro.serve.admission` — the bounded priority queue with
+  labeled ``ServiceOverloaded`` rejection;
+* :mod:`repro.serve.cache` — the content-addressed, integrity-checked,
+  LRU-bounded result cache;
+* :mod:`repro.serve.service` — :class:`OptimizationService`, the daemon
+  composing all of the above on the supervised pool;
+* :mod:`repro.serve.client` — the file-protocol client used by
+  ``repro submit`` / ``repro jobs``.
+
+See ``docs/serving.md`` for the operational story.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import (Job, JobRequest, JOB_STATES, TERMINAL_STATES,
+                              replay, request_fingerprint,
+                              search_fingerprint_for, transition)
+from repro.serve.journal import JobJournal, JournalDamage
+from repro.serve.service import OptimizationService
+
+__all__ = [
+    "AdmissionQueue",
+    "Job",
+    "JobRequest",
+    "JobJournal",
+    "JournalDamage",
+    "JOB_STATES",
+    "OptimizationService",
+    "ResultCache",
+    "TERMINAL_STATES",
+    "replay",
+    "request_fingerprint",
+    "search_fingerprint_for",
+    "transition",
+]

@@ -1,0 +1,84 @@
+"""Admission control: a bounded priority queue with explicit rejection.
+
+The service accepts at most ``capacity`` queued-or-running jobs. A
+submission beyond that is **rejected immediately** with a labeled
+:class:`~repro.errors.ServiceOverloaded` — backpressure by refusal, not
+by unbounded buffering or blocking the submitter. Rejection is the
+load-shedding contract the ROADMAP's serving goal requires: memory use
+is bounded by ``capacity`` regardless of offered load, and a client
+holding a rejection knows to retry later rather than waiting on a queue
+that may never drain.
+
+Ordering: higher ``priority`` first; within a priority, submission
+order (the journal sequence number). Cancellation uses lazy removal —
+the heap entry is tombstoned and skipped at pop time — so cancel is
+O(1) and the heap never needs re-building.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ServiceOverloaded
+
+
+class AdmissionQueue:
+    """Bounded max-priority queue of job ids."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ServiceOverloaded(
+                f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: Min-heap of (-priority, seq, job_id).
+        self._heap: List[Tuple[int, int, str]] = []
+        self._queued: Set[str] = set()
+        self._removed: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._queued
+
+    def push(self, job_id: str, priority: int, seq: int,
+             force: bool = False) -> None:
+        """Admit one job, or raise :class:`ServiceOverloaded` when full.
+
+        ``force=True`` bypasses the capacity check — used only for
+        journal recovery, where the jobs were *already admitted* before
+        the crash and dropping them would violate the no-job-lost
+        guarantee. Recovery can therefore transiently exceed capacity;
+        new submissions stay rejected until the backlog drains.
+        """
+        if job_id in self._queued:
+            return
+        if not force and len(self._queued) >= self.capacity:
+            raise ServiceOverloaded(
+                f"job queue at capacity ({self.capacity}); "
+                f"submission rejected", capacity=self.capacity,
+                queued=len(self._queued))
+        heapq.heappush(self._heap, (-priority, seq, job_id))
+        self._queued.add(job_id)
+        self._removed.discard(job_id)
+
+    def pop(self) -> Optional[str]:
+        """The highest-priority queued job id, or ``None`` when empty."""
+        while self._heap:
+            _neg_priority, _seq, job_id = heapq.heappop(self._heap)
+            if job_id in self._removed:
+                self._removed.discard(job_id)
+                continue
+            if job_id in self._queued:
+                self._queued.discard(job_id)
+                return job_id
+        return None
+
+    def remove(self, job_id: str) -> bool:
+        """Tombstone a queued job (cancellation); True if it was queued."""
+        if job_id not in self._queued:
+            return False
+        self._queued.discard(job_id)
+        self._removed.add(job_id)
+        return True

@@ -1,0 +1,180 @@
+"""Content-addressed result cache with integrity checking and LRU cap.
+
+Entries are keyed by the request's content-address digest
+(:func:`repro.serve.jobs.request_fingerprint`): netlist + technology +
+constraints + engine + search knobs. Two requests share a slot iff
+their solves are guaranteed identical, so a hit can skip the pool
+entirely and still return the byte-identical result a fresh solve
+would produce.
+
+Robustness properties:
+
+* every entry carries an **integrity digest** of its result payload; a
+  corrupted entry (bit-rot, torn write from a pre-atomic tool, manual
+  edit) is *quarantined* — moved into ``quarantine/`` for post-mortem —
+  and recomputed, never served;
+* writes go through :func:`~repro.runtime.atomicio.atomic_write_json`,
+  so a crash mid-``put`` can not tear an entry;
+* the store is bounded: beyond ``max_entries`` the least-recently-used
+  entries (file mtime; hits refresh it) are evicted.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ReproError
+from repro.obs.instrument import (SERVE_CACHE_CORRUPT, SERVE_CACHE_EVICTIONS,
+                                  SERVE_CACHE_HITS, SERVE_CACHE_MISSES)
+from repro.obs.metrics import current_metrics
+from repro.runtime.atomicio import atomic_write_json, read_json_object
+from repro.serve.jobs import result_digest
+
+LOGGER = logging.getLogger("repro.serve")
+
+FORMAT_KEY = "repro-result-cache"
+FORMAT_VERSION = 1
+
+
+class CacheEntryError(ReproError):
+    """A cache entry is unreadable, malformed, or fails its integrity
+    digest (internal to :class:`ResultCache`; corrupt entries are
+    quarantined, not raised to callers)."""
+
+
+class ResultCache:
+    """Bounded, integrity-checked result store under one directory."""
+
+    def __init__(self, root: str | Path, max_entries: int = 256):
+        if max_entries < 1:
+            raise ReproError(
+                f"cache max_entries must be >= 1, got {max_entries}")
+        self.root = Path(root)
+        self.quarantine_dir = self.root / "quarantine"
+        self.max_entries = max_entries
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _entry_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        """The cached result payload for ``digest``, or ``None``.
+
+        A hit increments :data:`SERVE_CACHE_HITS` and refreshes the
+        entry's LRU clock; a miss increments :data:`SERVE_CACHE_MISSES`.
+        An entry failing validation is quarantined (moved, counted on
+        :data:`SERVE_CACHE_CORRUPT`) and reported as a miss — corrupt
+        data is never served.
+        """
+        path = self._entry_path(digest)
+        metrics = current_metrics()
+        if not path.exists():
+            metrics.incr(SERVE_CACHE_MISSES)
+            return None
+        try:
+            payload = self._validate(path, digest)
+        except CacheEntryError as exc:
+            self._quarantine(path, str(exc))
+            metrics.incr(SERVE_CACHE_MISSES)
+            return None
+        metrics.incr(SERVE_CACHE_HITS)
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        return payload["result"]
+
+    def put(self, digest: str, fingerprint: Mapping[str, object],
+            result: Mapping[str, object]) -> Path:
+        """Store ``result`` under ``digest`` atomically, then evict LRU."""
+        path = atomic_write_json(self._entry_path(digest), {
+            "_format": FORMAT_KEY,
+            "_version": FORMAT_VERSION,
+            "digest": digest,
+            "fingerprint": dict(fingerprint),
+            "integrity": result_digest(result),
+            "result": dict(result),
+        })
+        self._evict()
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    # -- internals ---------------------------------------------------------
+
+    def _validate(self, path: Path, digest: str) -> Dict[str, object]:
+        payload = read_json_object(path, error=CacheEntryError)
+        if payload.get("_format") != FORMAT_KEY:
+            raise CacheEntryError(f"{path}: not a cache entry")
+        if payload.get("digest") != digest:
+            raise CacheEntryError(
+                f"{path}: entry digest {payload.get('digest')!r} does not "
+                f"match its address {digest!r}")
+        result = payload.get("result")
+        if not isinstance(result, dict):
+            raise CacheEntryError(f"{path}: entry has no result object")
+        if result_digest(result) != payload.get("integrity"):
+            raise CacheEntryError(
+                f"{path}: integrity digest mismatch (corrupt entry)")
+        return payload
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        LOGGER.warning("cache: quarantining %s (%s)", path.name, reason)
+        current_metrics().incr(SERVE_CACHE_CORRUPT)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / f"{path.name}.{int(time.time())}"
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+
+    def _evict(self) -> None:
+        entries = sorted(self.root.glob("*.json"),
+                         key=lambda entry: entry.stat().st_mtime)
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        metrics = current_metrics()
+        for entry in entries[:excess]:
+            try:
+                entry.unlink()
+            except OSError:  # pragma: no cover - entry raced away
+                continue
+            metrics.incr(SERVE_CACHE_EVICTIONS)
+            LOGGER.info("cache: evicted %s (LRU, cap %d)", entry.name,
+                        self.max_entries)
+
+
+def entry_summary(root: str | Path) -> Dict[str, object]:
+    """Cheap census of a cache directory (for status/benchmarks)."""
+    root = Path(root)
+    entries = list(root.glob("*.json")) if root.exists() else []
+    quarantined = (list((root / "quarantine").glob("*"))
+                   if (root / "quarantine").exists() else [])
+    return {
+        "entries": len(entries),
+        "quarantined": len(quarantined),
+        "bytes": sum(entry.stat().st_size for entry in entries),
+    }
+
+
+def corrupt_entry_for_test(root: str | Path, digest: str) -> Path:
+    """Flip the stored result of an entry (tests/CI only).
+
+    Rewrites the entry with a mutated result but the *old* integrity
+    digest, simulating bit-rot that JSON parsing alone cannot catch.
+    """
+    root = Path(root)
+    path = root / f"{digest}.json"
+    payload = read_json_object(path, error=CacheEntryError)
+    result = dict(payload["result"])
+    result["_tampered"] = True
+    payload["result"] = result
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,135 @@
+"""Client side of the file-based service protocol.
+
+A client submits by atomically dropping ``<ticket>.json`` into the
+service root's ``spool/`` directory (tickets are unique:
+``<time_ns>-<pid>-<random>``); the daemon moves it through admission
+and answers with ``replies/<ticket>.json`` — ``accepted`` (with the
+job id), ``rejected`` (labeled ``ServiceOverloaded``), or ``invalid``.
+Job progress is observable without talking to the daemon at all: the
+per-job status files under ``jobs/`` and the journal are both plain
+JSON on disk.
+
+Everything here is safe to run while the daemon is down: submissions
+queue up in the spool and are admitted when it (re)starts, and
+:func:`list_jobs` replays the journal read-only (tolerating a torn
+tail) without repairing it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import DeadlineExceeded, OptimizationError
+from repro.runtime.atomicio import atomic_write_json, read_json_object
+from repro.serve import journal as journal_mod
+from repro.serve.jobs import JobRequest, job_table_rows, replay
+from repro.serve.service import (CONTROL_DIR, JOBS_DIR, JOURNAL_FILE,
+                                 REPLIES_DIR, SPOOL_DIR)
+
+
+def new_ticket() -> str:
+    """A unique spool ticket name (sortable by submission time)."""
+    return f"{time.time_ns():020d}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+def submit_request(root: str | Path, request: JobRequest,
+                   ticket: Optional[str] = None) -> str:
+    """Drop ``request`` into the service spool; returns the ticket name.
+
+    The write is atomic (dot-prefixed temp file + rename), so the
+    daemon's ``spool/*.json`` glob can never pick up a half-written
+    request.
+    """
+    root = Path(root)
+    ticket = ticket or new_ticket()
+    atomic_write_json(root / SPOOL_DIR / f"{ticket}.json",
+                      request.to_dict())
+    return ticket
+
+
+def wait_for_reply(root: str | Path, ticket: str,
+                   timeout_s: float = 30.0,
+                   poll_s: float = 0.05) -> Dict[str, object]:
+    """Block until the daemon answers ``ticket`` (or raise on timeout)."""
+    reply_path = Path(root) / REPLIES_DIR / f"{ticket}.json"
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if reply_path.exists():
+            return read_json_object(reply_path, error=OptimizationError)
+        if time.monotonic() >= deadline:
+            raise DeadlineExceeded(
+                f"no reply for ticket {ticket} within {timeout_s:.3g} s "
+                f"(is the daemon running?)")
+        time.sleep(poll_s)
+
+
+def read_job_status(root: str | Path,
+                    job_id: str) -> Optional[Dict[str, object]]:
+    """The job's status file, or ``None`` if not (yet) present."""
+    path = Path(root) / JOBS_DIR / f"{job_id}.json"
+    if not path.exists():
+        return None
+    return read_json_object(path, error=OptimizationError)
+
+
+def wait_for_terminal(root: str | Path, job_id: str,
+                      timeout_s: float = 300.0,
+                      poll_s: float = 0.05) -> Dict[str, object]:
+    """Block until the job reaches a terminal state (or raise)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status = read_job_status(root, job_id)
+        if status is not None and status.get("terminal"):
+            return status
+        if time.monotonic() >= deadline:
+            state = status.get("state") if status else "unknown"
+            raise DeadlineExceeded(
+                f"job {job_id} not terminal within {timeout_s:.3g} s "
+                f"(state: {state})")
+        time.sleep(poll_s)
+
+
+def request_cancel(root: str | Path, job_id: str) -> None:
+    """Drop a cancel marker; the daemon honours it cooperatively."""
+    path = Path(root) / CONTROL_DIR / f"{job_id}.cancel"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.touch()
+
+
+def list_jobs(root: str | Path) -> List[Dict[str, object]]:
+    """Replay the journal read-only into compact job listing rows.
+
+    Tolerates a torn tail (the damaged suffix is simply not listed) and
+    never modifies the journal — safe to run concurrently with the
+    daemon.
+    """
+    records, _damage = journal_mod.read(Path(root) / JOURNAL_FILE)
+    return job_table_rows(replay(records))
+
+
+def read_result(root: str | Path, job_id: str) -> Dict[str, object]:
+    """The persisted result payload of a finished job."""
+    status = read_job_status(root, job_id)
+    if status is None:
+        raise OptimizationError(f"unknown job {job_id}")
+    result_file = status.get("detail", {}).get("result_file")
+    if not result_file:
+        raise OptimizationError(
+            f"job {job_id} has no result (state: {status.get('state')})")
+    return read_json_object(result_file, error=OptimizationError)
+
+
+def read_result_text(root: str | Path, job_id: str) -> str:
+    """The exact bytes of a job's result file (byte-identity checks)."""
+    status = read_job_status(root, job_id)
+    if status is None:
+        raise OptimizationError(f"unknown job {job_id}")
+    result_file = status.get("detail", {}).get("result_file")
+    if not result_file:
+        raise OptimizationError(
+            f"job {job_id} has no result (state: {status.get('state')})")
+    return Path(result_file).read_text()

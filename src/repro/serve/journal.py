@@ -1,0 +1,152 @@
+"""The write-ahead job journal: append-only JSONL with tail repair.
+
+Every accepted job and every lifecycle transition is appended (and
+fsynced) *before* the service acts on it, so a SIGKILLed daemon can
+rebuild its exact queue state by replaying the journal on restart.
+
+The failure mode of an append-only log is a **torn tail**: the process
+died mid-write and the last line is half a record. :meth:`JobJournal.read`
+detects this — any undecodable or non-object line — and reports the byte
+offset of the last good record; :meth:`JobJournal.open_repair` truncates
+the file there with a *warning*, never a traceback, because everything
+before the tear is intact and must be recovered. Damage anywhere but the
+tail also truncates (dropping the suffix): a record after a corrupt line
+cannot be trusted to be ordered correctly, and the state machine replay
+(:func:`repro.serve.jobs.replay`) tolerates the resulting dangling jobs
+by re-enqueueing them.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import JournalError
+from repro.obs.instrument import SERVE_JOURNAL_TRUNCATED
+from repro.obs.metrics import current_metrics
+
+LOGGER = logging.getLogger("repro.serve")
+
+
+@dataclass(frozen=True)
+class JournalDamage:
+    """Description of a torn/corrupt journal tail found by :func:`read`."""
+
+    #: Byte offset of the first damaged line (= size of the good prefix).
+    good_bytes: int
+    #: 1-based line number of the first damaged line.
+    line_number: int
+    #: Why the line was rejected (decode error, non-object...).
+    reason: str
+
+
+def read(path: str | Path
+         ) -> Tuple[List[Dict[str, object]], Optional[JournalDamage]]:
+    """Parse journal records, stopping at the first damaged line.
+
+    Returns ``(records, damage)`` where ``damage`` is ``None`` for a
+    clean journal. A missing or empty journal is simply ``([], None)``
+    — a fresh service. Never raises on content damage; raises
+    :class:`~repro.errors.JournalError` only when the file itself is
+    unreadable (permissions, I/O error).
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return [], None
+    except OSError as exc:
+        raise JournalError(f"{path}: unreadable journal ({exc})") from None
+    records: List[Dict[str, object]] = []
+    offset = 0
+    line_number = 0
+    for raw_line in data.split(b"\n"):
+        if offset >= len(data):
+            break
+        line_number += 1
+        # A line not terminated by "\n" was torn mid-append: even if it
+        # happens to decode, it is not durable — treat it as damage.
+        terminated = offset + len(raw_line) < len(data)
+        line = raw_line.strip()
+        if line:
+            reason = None
+            if not terminated:
+                reason = "unterminated final line (torn append)"
+            else:
+                try:
+                    record = json.loads(line.decode("utf-8", "strict"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    reason = f"undecodable record ({exc})"
+                else:
+                    if isinstance(record, dict):
+                        records.append(record)
+                    else:
+                        reason = (f"expected a JSON object, got "
+                                  f"{type(record).__name__}")
+            if reason is not None:
+                return records, JournalDamage(good_bytes=offset,
+                                              line_number=line_number,
+                                              reason=reason)
+        offset += len(raw_line) + 1
+    return records, None
+
+
+class JobJournal:
+    """Appender for one service's write-ahead journal."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._stream = None
+
+    @classmethod
+    def open_repair(cls, path: str | Path
+                    ) -> Tuple["JobJournal", List[Dict[str, object]]]:
+        """Open a journal for appending, repairing any torn tail first.
+
+        Returns ``(journal, records)`` — the replayable good prefix.
+        Damage is logged as a warning and counted on the ambient metrics
+        registry (:data:`SERVE_JOURNAL_TRUNCATED`); it never raises.
+        """
+        path = Path(path)
+        records, damage = read(path)
+        if damage is not None:
+            LOGGER.warning(
+                "journal %s: truncating damaged tail at line %d "
+                "(byte %d): %s", path, damage.line_number,
+                damage.good_bytes, damage.reason)
+            current_metrics().incr(SERVE_JOURNAL_TRUNCATED)
+            with open(path, "rb+") as stream:
+                stream.truncate(damage.good_bytes)
+                stream.flush()
+                os.fsync(stream.fileno())
+        return cls(path), records
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Durably append one record (single line, flushed + fsynced)."""
+        line = json.dumps(dict(record), sort_keys=True,
+                          separators=(",", ":"))
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                self._stream = open(self.path, "a")
+            except OSError as exc:
+                raise JournalError(
+                    f"{self.path}: cannot open journal ({exc})") from None
+        self._stream.write(line + "\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,561 @@
+"""The optimization service: journaled queue + cache + supervised pool.
+
+:class:`OptimizationService` composes the robustness substrate the
+earlier layers provide into a long-running daemon:
+
+* every accepted job and every lifecycle transition is written to the
+  **write-ahead journal** (:mod:`repro.serve.journal`) before it takes
+  effect, so a SIGKILLed daemon recovers every job on restart — queued
+  jobs re-enqueue, running jobs re-enqueue and **resume from their
+  checkpoint** (the solver's corner-level resume makes the recovered
+  result identical to an uninterrupted run);
+* admission is bounded (:mod:`repro.serve.admission`): at capacity, new
+  submissions get a labeled ``ServiceOverloaded`` rejection;
+* results are served from the **content-addressed cache**
+  (:mod:`repro.serve.cache`) when possible — a hit never touches the
+  pool and returns the byte-identical payload of the original solve;
+* execution rides the PR 4 supervised pool
+  (:func:`repro.runtime.supervisor.run_sharded`): heartbeats, retries,
+  crash respawn, and poison-job quarantine apply to service jobs
+  exactly as to batch sweeps.
+
+Submission is file-based (no network dependency): clients drop request
+files into ``spool/``, the daemon replies into ``replies/`` and keeps a
+live status file per job under ``jobs/``; ``control/<job>.cancel``
+markers request cooperative cancellation, honoured mid-search via the
+solver's own :class:`~repro.runtime.controller.RunController` checks.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import (CheckpointError, DeadlineExceeded,
+                          FallbackExhaustedError, InfeasibleError,
+                          OptimizationError, ReproError, RunCancelled,
+                          ServiceOverloaded)
+from repro.obs.instrument import (SERVE_CHECKPOINT_DISCARDED,
+                                  SERVE_JOBS_RECOVERED, SERVE_JOBS_REJECTED,
+                                  SERVE_JOBS_SUBMITTED, serve_state_metric)
+from repro.obs.metrics import MetricsRegistry, current_metrics, use_metrics
+from repro.runtime.atomicio import atomic_write_json, atomic_write_text, \
+    read_json_object
+from repro.runtime.controller import ProgressEvent, RunController
+from repro.runtime.supervisor import ParallelPlan, run_sharded
+from repro.runtime.tasks import Task, TaskResult
+from repro.serve import jobs as lifecycle
+from repro.serve.admission import AdmissionQueue
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import (Job, JobRequest, request_fingerprint, replay,
+                              search_fingerprint_for, transition)
+from repro.serve.journal import JobJournal
+
+LOGGER = logging.getLogger("repro.serve")
+
+#: Sub-directories of a service root.
+SPOOL_DIR = "spool"
+REPLIES_DIR = "replies"
+JOBS_DIR = "jobs"
+RESULTS_DIR = "results"
+CACHE_DIR = "cache"
+CHECKPOINTS_DIR = "checkpoints"
+CONTROL_DIR = "control"
+
+JOURNAL_FILE = "journal.jsonl"
+EVENTS_FILE = "events.jsonl"
+METRICS_FILE = "metrics.json"
+DAEMON_FILE = "daemon.json"
+
+
+class _JobRunController(RunController):
+    """Run control inside one job's solve: deadline + cancel marker.
+
+    The cancel marker is a file (``control/<job>.cancel``) so
+    cooperative cancellation reaches the solve wherever it runs — the
+    in-process path and pool workers alike — through the solver's
+    ordinary per-evaluation ``check()`` calls.
+
+    Deliberately carries *no* ``checkpoint_path``: the solve gets
+    ``resume_from`` explicitly instead. An ambient checkpoint path
+    would leak the first fallback stage's checkpoint into the later
+    recovery stages (whose fingerprints differ), turning each of them
+    into a ``CheckpointError``.
+    """
+
+    def __init__(self, cancel_path: Path, deadline_s: Optional[float]):
+        super().__init__(deadline_s=deadline_s)
+        self._cancel_path = cancel_path
+
+    def check(self, where: str = "") -> None:
+        if not self.cancelled and self._cancel_path.exists():
+            self.cancel()
+        super().check(where)
+
+
+def _execute_job_task(_state, request_dict: Dict[str, object],
+                      checkpoint_path: str, cancel_path: str
+                      ) -> Dict[str, object]:
+    """Solve one job (pool task function; module-level, picklable).
+
+    Returns exactly one of::
+
+        {"result": {...}, ...diagnostics}     # clean or degraded solve
+        {"failed": {...}, ...diagnostics}     # deterministic failure
+        {"cancelled": true, ...diagnostics}   # cooperative cancel
+
+    Deterministic failures (infeasible constraint, exhausted fallback,
+    expired job deadline) return a labeled ``failed`` payload instead of
+    raising so the supervisor does not burn retries re-deriving the
+    same outcome. Unexpected exceptions *do* propagate — those are what
+    retries and quarantine are for.
+
+    An existing checkpoint is validated against the request's search
+    fingerprint *before* the solve: a corrupt/truncated file or one
+    from a different search is moved aside (``.corrupt``) and the job
+    recomputes from scratch — stale state is never resumed. The
+    pre-check matters because the fallback path deliberately absorbs
+    per-stage errors and would otherwise mask the corruption.
+    """
+    from repro.obs.serialize import json_sanitize
+    from repro.optimize.persist import design_to_dict
+    from repro.runtime.checkpoint import SearchCheckpoint
+    from repro.serve.jobs import problem_for, settings_for
+
+    request = JobRequest.from_dict(request_dict)
+    ckpt = Path(checkpoint_path)
+    diagnostics: Dict[str, object] = {"checkpoint_discarded": False,
+                                      "resumed_corners": 0}
+    if ckpt.exists():
+        try:
+            loaded = SearchCheckpoint.load(
+                ckpt, search_fingerprint_for(request))
+            diagnostics["resumed_corners"] = len(loaded.log)
+        except CheckpointError as exc:
+            quarantined = ckpt.with_suffix(ckpt.suffix + ".corrupt")
+            os.replace(ckpt, quarantined)
+            current_metrics().incr(SERVE_CHECKPOINT_DISCARDED)
+            diagnostics["checkpoint_discarded"] = True
+            diagnostics["checkpoint_error"] = str(exc)
+            LOGGER.warning("job checkpoint %s unusable, recomputing "
+                           "fresh (%s)", ckpt.name, exc)
+
+    problem = problem_for(request)
+    settings = settings_for(request)
+    controller = _JobRunController(Path(cancel_path), request.deadline_s)
+    from repro.runtime.controller import use_controller
+
+    try:
+        with use_controller(controller):
+            if request.n_vth > 1:
+                from repro.optimize.multivth import (MultiVthSettings,
+                                                     optimize_multi_vth)
+
+                result = optimize_multi_vth(
+                    problem, MultiVthSettings(single=settings),
+                    resume_from=ckpt)
+            elif request.fallback:
+                from repro.runtime.fallback import optimize_with_fallback
+
+                result = optimize_with_fallback(problem, settings,
+                                                resume_from=ckpt)
+            else:
+                from repro.optimize.heuristic import optimize_joint
+
+                result = optimize_joint(problem, settings,
+                                        resume_from=ckpt)
+    except RunCancelled:
+        return {"cancelled": True, **diagnostics}
+    except DeadlineExceeded as exc:
+        return {"failed": {"error": "DeadlineExceeded",
+                           "message": str(exc)}, **diagnostics}
+    except (InfeasibleError, FallbackExhaustedError) as exc:
+        failure = {"error": type(exc).__name__, "message": str(exc)}
+        if isinstance(exc, FallbackExhaustedError):
+            failure["attempts"] = json_sanitize(list(exc.attempts))
+        return {"failed": failure, **diagnostics}
+    except CheckpointError as exc:
+        # Belt-and-braces: checkpoint damage surfacing mid-solve is a
+        # labeled failure, never an unhandled traceback.
+        return {"failed": {"error": "CheckpointError",
+                           "message": str(exc)}, **diagnostics}
+
+    degradation = getattr(result, "degradation", None) or None
+    payload = {
+        "summary": json_sanitize(result.summary()),
+        "design": json_sanitize(design_to_dict(result)),
+        "degraded": bool(result.details.get("degraded", False)),
+        "degradation": json_sanitize(dict(degradation))
+        if degradation else None,
+    }
+    return {"result": payload, **diagnostics}
+
+
+class OptimizationService:
+    """One service instance rooted at a directory.
+
+    Constructing the service **is** recovery: the journal is opened
+    with tail repair, replayed into the job table, and every
+    non-terminal job is re-enqueued (running jobs via the journaled
+    ``RUNNING → QUEUED`` recovery transition, keeping their checkpoint
+    for resume). A fresh root is simply an empty journal.
+    """
+
+    def __init__(self, root: str | Path, capacity: int = 16,
+                 pool_jobs: int = 1, retries: int = 2,
+                 cache_entries: int = 256, poll_s: float = 0.05,
+                 registry: Optional[MetricsRegistry] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        for name in (SPOOL_DIR, REPLIES_DIR, JOBS_DIR, RESULTS_DIR,
+                     CHECKPOINTS_DIR, CONTROL_DIR):
+            (self.root / name).mkdir(exist_ok=True)
+        self.pool_jobs = max(1, int(pool_jobs))
+        self.retries = retries
+        self.poll_s = poll_s
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.queue = AdmissionQueue(capacity)
+        self.cache = ResultCache(self.root / CACHE_DIR,
+                                 max_entries=cache_entries)
+        self.jobs: Dict[str, Job] = {}
+        #: Spool source name -> job id (exactly-once file submission).
+        self._sources: Dict[str, str] = {}
+        self._next_seq = 1
+        with use_metrics(self.registry):
+            self.journal, records = JobJournal.open_repair(
+                self.root / JOURNAL_FILE)
+            self._recover(records)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self, records: List[Dict[str, object]]) -> None:
+        self.jobs = replay(records)
+        for record in records:
+            if record.get("type") == "job" and record.get("source") \
+                    and str(record.get("job_id", "")) in self.jobs:
+                self._sources[str(record["source"])] = str(record["job_id"])
+        recovered = 0
+        for job in self.jobs.values():
+            self._next_seq = max(self._next_seq, job.seq + 1)
+            if job.state == lifecycle.RUNNING:
+                # The daemon died mid-run: re-enqueue, keep the
+                # checkpoint — the solve resumes where it stopped.
+                self._transition(job, lifecycle.QUEUED,
+                                 {"recovered": True})
+                self.queue.push(job.job_id, job.priority, job.seq,
+                                force=True)
+                recovered += 1
+            elif job.state == lifecycle.QUEUED:
+                self.queue.push(job.job_id, job.priority, job.seq,
+                                force=True)
+                recovered += 1
+            self._write_status(job)
+        if recovered:
+            self.registry.incr(SERVE_JOBS_RECOVERED, recovered)
+            LOGGER.warning("recovered %d unfinished job(s) from %s",
+                           recovered, self.journal.path)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: JobRequest,
+               source: Optional[str] = None) -> Job:
+        """Admit one request; raises :class:`ServiceOverloaded` if full."""
+        with use_metrics(self.registry):
+            fingerprint, digest = request_fingerprint(request)
+            seq = self._next_seq
+            job_id = f"job-{seq:06d}-{digest[:8]}"
+            try:
+                self.queue.push(job_id, request.priority, seq)
+            except ServiceOverloaded:
+                self.registry.incr(SERVE_JOBS_REJECTED)
+                raise
+            self._next_seq = seq + 1
+            record = {"type": "job", "job_id": job_id, "seq": seq,
+                      "request": request.to_dict(), "digest": digest,
+                      "priority": request.priority,
+                      "deadline_s": request.deadline_s,
+                      "ts": time.time()}
+            if source is not None:
+                record["source"] = source
+            try:
+                self.journal.append(record)
+            except ReproError:
+                self.queue.remove(job_id)
+                raise
+            job = Job(job_id=job_id, request=request, digest=digest,
+                      seq=seq, priority=request.priority,
+                      deadline_s=request.deadline_s)
+            self.jobs[job_id] = job
+            if source is not None:
+                self._sources[source] = job_id
+            self.registry.incr(SERVE_JOBS_SUBMITTED)
+            self.registry.incr(serve_state_metric(lifecycle.QUEUED))
+            self._write_status(job)
+            self._emit_event(job)
+            return job
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _transition(self, job: Job, state: str,
+                    detail: Optional[Dict[str, object]] = None) -> None:
+        """Validate, journal, apply, and instrument one transition."""
+        transition(job, state, detail)
+        self.journal.append({"type": "state", "job_id": job.job_id,
+                             "state": state, "detail": job.detail,
+                             "ts": time.time()})
+        self.registry.incr(serve_state_metric(state))
+        self._write_status(job)
+        self._emit_event(job)
+
+    def _write_status(self, job: Job) -> None:
+        atomic_write_json(self.root / JOBS_DIR / f"{job.job_id}.json",
+                          job.to_dict())
+
+    def _emit_event(self, job: Job) -> None:
+        """Append one ProgressEvent per transition to ``events.jsonl``."""
+        event = ProgressEvent(phase=f"serve.{job.state.lower()}",
+                              evaluations=job.seq, best_energy=math.inf,
+                              elapsed_s=0.0,
+                              metrics=self.registry.counters()
+                              if self.registry.enabled else None)
+        with open(self.root / EVENTS_FILE, "a") as stream:
+            stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+
+    # -- file protocol ------------------------------------------------------
+
+    def poll_spool(self) -> int:
+        """Process pending submission files; returns submissions seen."""
+        with use_metrics(self.registry):
+            processed = 0
+            for path in sorted((self.root / SPOOL_DIR).glob("*.json")):
+                processed += 1
+                reply_path = self.root / REPLIES_DIR / path.name
+                if path.name in self._sources:
+                    # Replayed after a crash between journal append and
+                    # reply write: acknowledge the existing job, never
+                    # submit a duplicate.
+                    job = self.jobs[self._sources[path.name]]
+                    reply = {"status": "accepted", "job_id": job.job_id,
+                             "digest": job.digest}
+                elif reply_path.exists():
+                    path.unlink()
+                    continue
+                else:
+                    reply = self._admit_file(path)
+                atomic_write_json(reply_path, reply)
+                path.unlink()
+            return processed
+
+    def _admit_file(self, path: Path) -> Dict[str, object]:
+        try:
+            payload = read_json_object(path, error=OptimizationError)
+            request = JobRequest.from_dict(payload)
+            job = self.submit(request, source=path.name)
+        except ServiceOverloaded as exc:
+            return {"status": "rejected", "error": "ServiceOverloaded",
+                    "message": str(exc), "capacity": exc.capacity,
+                    "queued": exc.queued}
+        except ReproError as exc:
+            return {"status": "invalid", "error": type(exc).__name__,
+                    "message": str(exc)}
+        return {"status": "accepted", "job_id": job.job_id,
+                "digest": job.digest}
+
+    def poll_control(self) -> None:
+        """Honour cancel markers for queued jobs; clean up stale ones."""
+        with use_metrics(self.registry):
+            for marker in (self.root / CONTROL_DIR).glob("*.cancel"):
+                job_id = marker.name[:-len(".cancel")]
+                job = self.jobs.get(job_id)
+                if job is None or job.terminal:
+                    marker.unlink(missing_ok=True)
+                elif job.state == lifecycle.QUEUED:
+                    self.queue.remove(job_id)
+                    self._transition(job, lifecycle.CANCELLED,
+                                     {"cancelled": True})
+                    marker.unlink(missing_ok=True)
+                # RUNNING: leave the marker — the solve's controller
+                # sees it and stops cooperatively.
+
+    def cancel(self, job_id: str) -> None:
+        """Request cancellation of a job (queued or running)."""
+        (self.root / CONTROL_DIR / f"{job_id}.cancel").touch()
+        self.poll_control()
+
+    # -- execution ----------------------------------------------------------
+
+    def _checkpoint_path(self, job: Job) -> Path:
+        return self.root / CHECKPOINTS_DIR / f"{job.job_id}.ckpt"
+
+    def _cancel_path(self, job_id: str) -> Path:
+        return self.root / CONTROL_DIR / f"{job_id}.cancel"
+
+    def step(self) -> int:
+        """Run one batch of queued jobs to terminal (or re-queued) state.
+
+        Returns the number of jobs taken off the queue. Cache hits are
+        finished inline — the pool never sees them.
+        """
+        with use_metrics(self.registry):
+            batch: List[Job] = []
+            while len(batch) < self.pool_jobs:
+                job_id = self.queue.pop()
+                if job_id is None:
+                    break
+                job = self.jobs.get(job_id)
+                if job is None or job.state != lifecycle.QUEUED:
+                    continue
+                batch.append(job)
+            if not batch:
+                return 0
+            misses: List[Job] = []
+            for job in batch:
+                self._transition(job, lifecycle.RUNNING, {})
+                cached = self.cache.get(job.digest)
+                if cached is not None:
+                    self._finish(job, cached, cached_hit=True)
+                else:
+                    misses.append(job)
+            if misses:
+                self._execute(misses)
+            return len(batch)
+
+    def _execute(self, misses: List[Job]) -> None:
+        by_id = {job.job_id: job for job in misses}
+        tasks = [Task(key=job.job_id, index=index, fn=_execute_job_task,
+                      args=(job.request.to_dict(),
+                            str(self._checkpoint_path(job)),
+                            str(self._cancel_path(job.job_id))))
+                 for index, job in enumerate(misses)]
+        plan = ParallelPlan(jobs=min(self.pool_jobs, len(tasks)),
+                            retries=self.retries)
+
+        def on_result(outcome: TaskResult) -> None:
+            self._apply_outcome(by_id[outcome.key], outcome)
+
+        try:
+            run_sharded(tasks, plan=plan, on_result=on_result,
+                        what="serve batch")
+        except (RunCancelled, DeadlineExceeded, OptimizationError) as exc:
+            # A run-level abort (ambient controller, pool failure)
+            # leaves some jobs mid-flight; re-queue them journaled so
+            # nothing is lost.
+            LOGGER.warning("serve batch aborted (%s); re-queueing "
+                           "unfinished jobs", exc)
+        for job in misses:
+            if job.state == lifecycle.RUNNING:
+                self._requeue(job, reason="batch aborted")
+
+    def _apply_outcome(self, job: Job, outcome: TaskResult) -> None:
+        diagnostics = {}
+        if outcome.ok and isinstance(outcome.value, dict):
+            diagnostics = {
+                key: outcome.value.get(key)
+                for key in ("checkpoint_discarded", "resumed_corners",
+                            "checkpoint_error")
+                if outcome.value.get(key) not in (None, False, 0)}
+        if outcome.status == "quarantined":
+            self._transition(job, lifecycle.QUARANTINED,
+                             dict(outcome.degradation))
+        elif outcome.status == "skipped":
+            self._requeue(job, reason="skipped")
+        elif not isinstance(outcome.value, dict):
+            self._transition(job, lifecycle.FAILED,
+                             {"error": "BadTaskValue",
+                              "message": f"unexpected task value "
+                                         f"{type(outcome.value).__name__}"})
+        elif outcome.value.get("cancelled"):
+            self._transition(job, lifecycle.CANCELLED,
+                             {"cancelled": True, **diagnostics})
+            self._cancel_path(job.job_id).unlink(missing_ok=True)
+        elif "failed" in outcome.value:
+            self._transition(job, lifecycle.FAILED,
+                             {**outcome.value["failed"], **diagnostics})
+        else:
+            payload = outcome.value["result"]
+            self._finish(job, payload, cached_hit=False,
+                         diagnostics=diagnostics)
+            fingerprint, _digest = request_fingerprint(job.request)
+            self.cache.put(job.digest, fingerprint, payload)
+
+    def _requeue(self, job: Job, reason: str) -> None:
+        self._transition(job, lifecycle.QUEUED, {"requeued": reason})
+        self.queue.push(job.job_id, job.priority, job.seq, force=True)
+
+    def _finish(self, job: Job, payload: Dict[str, object],
+                cached_hit: bool,
+                diagnostics: Optional[Dict[str, object]] = None) -> None:
+        """Persist the result payload and make the terminal transition.
+
+        The result file is the canonical JSON of the payload alone —
+        no timestamps, no cache/diagnostic markers — so a cache hit
+        reproduces the original solve's bytes exactly.
+        """
+        result_file = self.root / RESULTS_DIR / f"{job.job_id}.json"
+        atomic_write_text(result_file,
+                          json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+        state = (lifecycle.DEGRADED if payload.get("degraded")
+                 else lifecycle.DONE)
+        detail: Dict[str, object] = {"cached": cached_hit,
+                                     "result_file": str(result_file)}
+        if payload.get("degradation"):
+            detail["degradation"] = payload["degradation"]
+        if diagnostics:
+            detail.update(diagnostics)
+        self._transition(job, state, detail)
+        self._checkpoint_path(job).unlink(missing_ok=True)
+
+    # -- the daemon loop -----------------------------------------------------
+
+    def run(self, max_jobs: Optional[int] = None,
+            max_idle_s: Optional[float] = None,
+            sleep: Callable[[float], None] = time.sleep) -> int:
+        """Serve until ``max_jobs`` finished or idle for ``max_idle_s``.
+
+        With both limits ``None`` the loop runs until the process is
+        killed — which is safe by construction: every accepted job is
+        journaled before it is acknowledged.
+        """
+        finished = 0
+        last_activity = time.monotonic()
+        atomic_write_json(self.root / DAEMON_FILE,
+                          {"pid": os.getpid(), "started": time.time()})
+        try:
+            while True:
+                submitted = self.poll_spool()
+                self.poll_control()
+                stepped = self.step()
+                finished += stepped
+                if submitted or stepped:
+                    last_activity = time.monotonic()
+                    self.write_metrics()
+                if max_jobs is not None and finished >= max_jobs:
+                    break
+                if not submitted and not stepped:
+                    if max_idle_s is not None and \
+                            time.monotonic() - last_activity >= max_idle_s:
+                        break
+                    sleep(self.poll_s)
+        finally:
+            self.write_metrics()
+            self.close()
+        return finished
+
+    def write_metrics(self) -> None:
+        """Snapshot the service counters to ``metrics.json`` (atomic)."""
+        self.registry.write(self.root / METRICS_FILE)
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "OptimizationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.runtime",
+    "repro.serve",
     "repro.obs",
     "repro.bdd",
     "repro.fastpath",

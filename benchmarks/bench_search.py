@@ -1,0 +1,87 @@
+"""Bench: search strategies — evaluations and wall time to the optimum.
+
+Runs the exhaustive reference grid (13x11 plus refinement) and the
+three adaptive strategies (random, surrogate, hyperband) on s27 and
+archives, per strategy, how many model evaluations and how much wall
+time it took to reach the optimum, and how far above the reference
+grid's energy it landed. This is the evaluations-saved table behind
+the 2x parity bar in ``tests/test_search_parity.py`` and the CI
+``search-parity`` gate. Results land in ``benchmarks/results/`` and
+``BENCH_search.json`` at the repo root.
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+from repro.activity.profiles import uniform_profile
+from repro.analysis.report import format_table
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import OptimizationProblem
+from repro.technology.process import Technology
+from repro.units import MHZ
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+CIRCUIT = "s27"
+REFERENCE = dict(grid_vdd=13, grid_vth=11, refine_iters=6,
+                 refine_rounds=1, engine="fast")
+ADAPTIVE = ("random", "surrogate", "hyperband")
+BUDGET = 12
+
+
+def _problem():
+    network = benchmark_circuit(CIRCUIT)
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    return OptimizationProblem.build(Technology.default(), network,
+                                     profile, frequency=300 * MHZ)
+
+
+def _timed(problem, settings):
+    start = time.perf_counter()
+    result = optimize_joint(problem, settings=settings)
+    return result, time.perf_counter() - start
+
+
+def test_search_strategies(benchmark, record_artifact, record_json):
+    problem = _problem()
+    grid, grid_s = _timed(problem, HeuristicSettings(**REFERENCE))
+
+    runs = [("grid", grid, grid_s)]
+    for strategy in ADAPTIVE:
+        settings = HeuristicSettings(strategy=strategy,
+                                     search_budget=BUDGET, **REFERENCE)
+        result, wall_s = _timed(problem, settings)
+        runs.append((strategy, result, wall_s))
+
+    # The timed unit: one adaptive search end to end.
+    benchmark.pedantic(
+        lambda: optimize_joint(problem, settings=HeuristicSettings(
+            strategy="random", search_budget=BUDGET, **REFERENCE)),
+        rounds=1, iterations=1)
+
+    rows = []
+    for name, result, wall_s in runs:
+        gap = (result.energy.total - grid.energy.total) / grid.energy.total
+        saved = grid.evaluations / result.evaluations
+        rows.append([name, f"{result.evaluations}", f"{saved:.2f}x",
+                     f"{result.energy.total:.4e}", f"{gap:+.2%}",
+                     f"{wall_s * 1e3:.0f}"])
+    record_artifact("search", format_table(
+        headers=["strategy", "evaluations", "saved", "energy (J)",
+                 "vs grid", "wall (ms)"],
+        rows=rows,
+        title=f"Search strategies on {CIRCUIT} "
+              f"(reference: {REFERENCE['grid_vdd']}x"
+              f"{REFERENCE['grid_vth']} grid)"))
+    path = record_json(
+        "search",
+        results=[
+            {"unit": name, "evaluations": result.evaluations,
+             "wall_s": wall_s, "best_energy": result.energy.total}
+            for name, result, wall_s in runs
+        ],
+        circuit=CIRCUIT, budget=BUDGET,
+        reference_grid=[REFERENCE["grid_vdd"], REFERENCE["grid_vth"]])
+    shutil.copyfile(path, REPO_ROOT / "BENCH_search.json")

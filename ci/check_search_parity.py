@@ -1,0 +1,169 @@
+"""CI gate: the search-strategy seam changes nothing it must not change.
+
+Usage::
+
+    python ci/check_search_parity.py [--jobs 4] [--budget 12]
+
+Four assertions on s27:
+
+1. **Grid identity** — the ``GridStrategy`` seam produces the identical
+   design (point, widths, energy, evaluation count) serially and on the
+   worker pool, with pruning on and off, exactly like the pre-seam
+   monolithic loop.
+2. **Adaptive quality** — random, surrogate, and hyperband each land
+   within 5% of the reference grid's refined optimum.
+3. **Adaptive efficiency** — each spends at least 2x fewer model
+   evaluations than the reference grid.
+4. **Jobs/resume invariance** — each adaptive strategy is byte-identical
+   serial vs pooled, and a run killed mid-search resumes to the
+   identical result.
+
+Exits nonzero with a one-line diagnosis on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import NoReturn
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REFERENCE = dict(grid_vdd=13, grid_vth=11, refine_iters=6,
+                 refine_rounds=1, engine="fast")
+ADAPTIVE = ("random", "surrogate", "hyperband")
+TOLERANCE = 0.05
+
+
+def fail(message: str) -> NoReturn:
+    print(f"check_search_parity: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _same_design(lhs, rhs) -> bool:
+    return (lhs.design.vdd == rhs.design.vdd
+            and lhs.design.vth == rhs.design.vth
+            and lhs.design.widths == rhs.design.widths
+            and lhs.energy.total == rhs.energy.total)
+
+
+def _same(lhs, rhs) -> bool:
+    return _same_design(lhs, rhs) and lhs.evaluations == rhs.evaluations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--budget", type=int, default=12)
+    args = parser.parse_args()
+
+    from repro.activity.profiles import uniform_profile
+    from repro.errors import RunCancelled
+    from repro.netlist.benchmarks import benchmark_circuit
+    from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+    from repro.optimize.problem import OptimizationProblem
+    from repro.runtime.controller import RunController
+    from repro.runtime.pool import multiprocessing_available
+    from repro.runtime.supervisor import ParallelPlan
+    from repro.technology.process import Technology
+    from repro.units import MHZ
+
+    if not multiprocessing_available():
+        fail("multiprocessing unavailable; the parity gate cannot "
+             "exercise the pool")
+
+    network = benchmark_circuit("s27")
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    problem = OptimizationProblem.build(Technology.default(), network,
+                                        profile, frequency=300 * MHZ)
+    plan = ParallelPlan(jobs=args.jobs, heartbeat_s=0.05)
+
+    print(f"[1/4] grid seam identity, serial vs --jobs {args.jobs}, "
+          f"pruned and unpruned")
+    serial = optimize_joint(problem, settings=HeuristicSettings(**REFERENCE))
+    for prune in (False, True):
+        pooled = optimize_joint(problem, settings=HeuristicSettings(
+            prune=prune, parallel=plan, **REFERENCE))
+        # Pruning provably keeps the argmin but skips evaluations, so
+        # the unpruned pooled run must be fully identical while the
+        # pruned one must agree on the design and spend *less*.
+        identical = _same(serial, pooled) if not prune else (
+            _same_design(serial, pooled)
+            and pooled.evaluations < serial.evaluations)
+        if not identical:
+            fail(f"grid (prune={prune}) diverged on the pool: "
+                 f"{pooled.design.vdd}/{pooled.design.vth} "
+                 f"({pooled.evaluations} evals) vs "
+                 f"{serial.design.vdd}/{serial.design.vth} "
+                 f"({serial.evaluations} evals)")
+
+    print("[2/4] adaptive quality within "
+          f"{TOLERANCE:.0%} of the reference optimum")
+    results = {}
+    for strategy in ADAPTIVE:
+        settings = HeuristicSettings(strategy=strategy,
+                                     search_budget=args.budget, **REFERENCE)
+        results[strategy] = optimize_joint(problem, settings=settings)
+        gap = (results[strategy].energy.total - serial.energy.total) \
+            / serial.energy.total
+        print(f"      {strategy}: {results[strategy].evaluations} evals, "
+              f"{gap:+.2%} vs grid")
+        if gap > TOLERANCE:
+            fail(f"{strategy} landed {gap:+.2%} above the grid optimum "
+                 f"(tolerance {TOLERANCE:.0%})")
+
+    print("[3/4] adaptive efficiency: >= 2x fewer evaluations than "
+          f"the grid's {serial.evaluations}")
+    for strategy in ADAPTIVE:
+        if results[strategy].evaluations * 2 > serial.evaluations:
+            fail(f"{strategy} used {results[strategy].evaluations} "
+                 f"evaluations; bar is {serial.evaluations / 2:.0f}")
+
+    print("[4/4] jobs and resume invariance per adaptive strategy")
+    for strategy in ADAPTIVE:
+        settings = HeuristicSettings(strategy=strategy,
+                                     search_budget=args.budget, **REFERENCE)
+        pooled = optimize_joint(problem, settings=dataclasses.replace(
+            settings, parallel=plan))
+        if not _same(results[strategy], pooled):
+            fail(f"{strategy} diverged between serial and --jobs "
+                 f"{args.jobs}")
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / f"{strategy}.ckpt"
+            box = {}
+            count = [0]
+
+            def cancel_soon(event, count=count, box=box):
+                count[0] += 1
+                if count[0] == 9:
+                    box["controller"].cancel()
+
+            controller = RunController(progress=cancel_soon,
+                                       checkpoint_path=path)
+            box["controller"] = controller
+            try:
+                optimize_joint(problem, settings=dataclasses.replace(
+                    settings, controller=controller))
+                fail(f"{strategy}: the mid-search cancel never fired")
+            except RunCancelled:
+                pass
+            resumed = optimize_joint(problem, settings=settings,
+                                     resume_from=path)
+            if not _same(results[strategy], resumed):
+                fail(f"{strategy} resume diverged from the "
+                     f"uninterrupted run")
+            if resumed.details.get("resumed_corners", 0) <= 0:
+                fail(f"{strategy} resume replayed no corners — the "
+                     f"kill landed after the search finished")
+
+    print("search parity holds: grid identity, adaptive quality, "
+          "2x efficiency, jobs/resume invariance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

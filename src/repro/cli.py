@@ -71,6 +71,7 @@ from repro.optimize.heuristic import HeuristicSettings, optimize_joint
 from repro.optimize.problem import OptimizationProblem
 from repro.runtime.controller import RunController
 from repro.runtime.supervisor import ParallelPlan, use_parallel
+from repro.search import STRATEGY_CHOICES
 from repro.technology.library import deck, deck_names, load_technology
 from repro.technology.process import Technology
 from repro.units import MHZ, NS, PS
@@ -197,6 +198,8 @@ def _run_optimize(args: argparse.Namespace, problem, network) -> int:
                                    checkpoint_path=args.checkpoint)
     resume_from = args.resume
     settings = HeuristicSettings(strategy=args.strategy,
+                                 search_budget=args.search_budget,
+                                 seed=args.seed,
                                  width_method=args.width_method,
                                  engine=args.engine,
                                  prune=args.prune,
@@ -378,6 +381,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                          activity=args.activity,
                          probability=args.probability,
                          n_vth=args.n_vth, strategy=args.strategy,
+                         search_budget=args.search_budget, seed=args.seed,
                          engine=args.engine,
                          width_method=args.width_method,
                          grid_vdd=args.grid_vdd, grid_vth=args.grid_vth,
@@ -448,8 +452,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(optimize)
     optimize.add_argument("--baseline", action="store_true",
                           help="also run the fixed-Vth=700mV baseline")
-    optimize.add_argument("--strategy", choices=("grid", "paper"),
-                          default="grid")
+    optimize.add_argument("--strategy",
+                          choices=STRATEGY_CHOICES + ("paper",),
+                          default="grid",
+                          help="the (Vdd, Vth) search strategy: the "
+                               "exhaustive grid, an adaptive sampler "
+                               "(random, surrogate, hyperband), or the "
+                               "paper's nested bisection")
+    optimize.add_argument("--search-budget", type=int, default=None,
+                          metavar="N",
+                          help="adaptive strategies: sampling-phase "
+                               "evaluation budget (default: the "
+                               "strategy's own)")
+    optimize.add_argument("--seed", type=int, default=0,
+                          help="adaptive strategies: RNG seed for the "
+                               "proposal sequence (default 0)")
     optimize.add_argument("--n-vth", type=int, default=1,
                           help="number of distinct threshold voltages")
     optimize.add_argument("--activity-method", choices=("najm", "exact"),
@@ -566,8 +583,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("root", help="service root directory")
     submit.add_argument("circuit", help="benchmark circuit name")
     _add_common(submit)
-    submit.add_argument("--strategy", choices=("grid", "paper"),
+    submit.add_argument("--strategy",
+                        choices=STRATEGY_CHOICES + ("paper",),
                         default="grid")
+    submit.add_argument("--search-budget", type=int, default=None,
+                        metavar="N",
+                        help="adaptive strategies: sampling-phase "
+                             "evaluation budget")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="adaptive strategies: proposal RNG seed")
     submit.add_argument("--n-vth", type=int, default=1)
     submit.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
     submit.add_argument("--width-method",

@@ -64,6 +64,9 @@ INCREMENTAL_FULL_REFRESHES = "engine.incremental.full_refreshes"
 PRUNED_CELLS = "search.pruned_cells"
 #: Bisection brackets seeded from a neighbor cell's solved widths.
 WARM_STARTS = "search.warm_starts"
+#: Warm-start sizing requested but skipped (parallel search active —
+#: warm starts chain evaluations and cannot cross a shard boundary).
+WARM_START_SKIPPED = "search.warm_start_skipped"
 #: Sharded tasks completed by the supervised pool (any mode).
 POOL_TASKS_COMPLETED = "pool.tasks.completed"
 #: Task attempts rescheduled after a failure/crash/timeout.
@@ -102,6 +105,19 @@ def serve_state_metric(state: str) -> str:
     transition, so a metrics snapshot is a live census of the queue.
     """
     return f"serve.jobs.{state.lower()}"
+
+def search_metric(strategy: str, event: str) -> str:
+    """Counter: search-strategy lifecycle events.
+
+    One counter per (strategy, event) pair — e.g.
+    ``search.random.proposals`` — incremented by the strategy driver
+    (``proposals``/``observations``) and by the strategies themselves
+    (``early_stops``: surrogate convergence, hyperband arm culls), so a
+    metrics snapshot shows how hard each sampler worked and how often
+    adaptive termination fired.
+    """
+    return f"search.{strategy}.{event}"
+
 
 #: Seam names with profiling hooks (see :func:`seam`).
 SEAM_NAMES = ("sta", "energy", "width_search", "budgeting", "delay_model")

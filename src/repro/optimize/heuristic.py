@@ -1,24 +1,29 @@
 """Procedure 2: the joint (Vdd, Vth, widths) heuristic (§4.3).
 
-Two search strategies over the (Vdd, Vth) plane are provided; both use
-the same inner loop (Procedure 1 budgets + minimum-width sizing, see
+All searches over the (Vdd, Vth) plane share the same inner loop
+(Procedure 1 budgets + minimum-width sizing, see
 :mod:`repro.optimize.width_search`) and the same objective (total energy
-per cycle, eqs. A1 + A2), and both exploit the §4.3 observation that
-power and delay are monotonic in each variable individually:
+per cycle, eqs. A1 + A2). Which corners get evaluated is pluggable
+behind the :mod:`repro.search` strategy seam:
 
-* ``"paper"`` — the published nested binary search: M bisection steps on
-  ``Vdd`` (range [0.1, 3.3] V), M on ``Vth`` (range [0.1, 0.7] V), with
-  range halving steered by feasibility and energy improvement, exactly as
-  in the Procedure 2 pseudocode. ``O(M^2)`` circuit evaluations with the
-  closed-form width solver (the paper's per-gate width bisection adds the
-  third M).
-* ``"grid"`` (default) — a coarse exhaustive grid over the same plane
-  followed by coordinate-descent ternary refinement around the best cell.
-  The published search can get trapped when the feasible region's
-  boundary makes the steering predicate non-monotone; the grid strategy
-  is deterministic, never misses the global basin at grid resolution, and
-  is what the experiments use. The ablation bench
-  (``benchmarks/bench_ablation_search.py``) compares the two.
+* ``"grid"`` (default) — a coarse exhaustive grid over the plane
+  followed by coordinate-descent ternary refinement around the best
+  cell. Deterministic, never misses the global basin at grid
+  resolution, and is what the experiments use.
+  :class:`repro.search.grid.GridStrategy` is the exact pre-seam scan
+  (PR 5 bound pruning included), bit-identical serial and sharded.
+* ``"random"`` / ``"surrogate"`` / ``"hyperband"`` — budgeted adaptive
+  samplers (uniform counter-seeded sampling; quadratic response surface
+  seeded from the closed-form lower bounds; successive halving over
+  annealing hyperparameters). Each ends with one refinement pass and is
+  held to the grid argmin's energy by the parity harness
+  (``tests/test_search_parity.py``) at a fraction of the evaluations.
+* ``"paper"`` — the published nested binary search: M bisection steps
+  on ``Vdd``, M on ``Vth``, range halving steered by feasibility and
+  energy improvement, exactly as in the Procedure 2 pseudocode. It
+  steers per evaluation (no round structure to shard), so it stays a
+  dedicated code path rather than a seam strategy. The ablation bench
+  (``benchmarks/bench_ablation_search.py``) compares it to the grid.
 
 The returned design is always re-verified with a full STA pass at the
 chosen point; the Procedure 1 + minimum-width construction guarantees the
@@ -35,7 +40,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from repro.engine import ENGINE_CHOICES, resolve_engine_name
 from repro.errors import InfeasibleError, OptimizationError
 from repro.obs import trace
-from repro.obs.instrument import PRUNED_CELLS
+from repro.obs.instrument import WARM_START_SKIPPED
+from repro.obs.logs import get_logger
 from repro.obs.metrics import current_metrics
 from repro.optimize.problem import (
     DesignPoint,
@@ -45,11 +51,19 @@ from repro.optimize.problem import (
 from repro.power.energy import total_energy
 from repro.runtime.checkpoint import SearchCheckpoint
 from repro.runtime.controller import RunController, resolve_controller
-from repro.runtime.supervisor import (ParallelPlan, resolve_parallel,
-                                      run_sharded)
-from repro.runtime.tasks import Task, chunk_ranges
+from repro.runtime.supervisor import ParallelPlan, resolve_parallel
+from repro.search import (STRATEGY_CHOICES, make_strategy, run_search,
+                          search_config)
+# Re-exported here for backward compatibility: the grid internals grew
+# up in this module before moving to the strategy package.
+from repro.search.grid import (grid_cells as _grid_cells,
+                               grid_lower_bounds as _grid_lower_bounds,
+                               linspace as _linspace,
+                               prune_cells as _prune_cells)
 from repro.timing.budgeting import BudgetResult
 from repro.timing.sta import analyze_timing
+
+logger = get_logger("optimize.heuristic")
 
 
 @dataclass(frozen=True)
@@ -57,6 +71,12 @@ class HeuristicSettings:
     """Tuning knobs of Procedure 2."""
 
     strategy: str = "grid"
+    #: Adaptive strategies (random/surrogate/hyperband): total objective
+    #: evaluations to spend before the final refinement pass (None =
+    #: per-strategy default, see :data:`repro.search.DEFAULT_BUDGETS`)
+    #: and the RNG seed of the counter-seeded proposal streams.
+    search_budget: Optional[int] = None
+    seed: int = 0
     #: Paper strategy: bisection steps per voltage loop (the paper's M).
     m_steps: int = 12
     #: Grid strategy: grid resolution on each axis.
@@ -110,8 +130,11 @@ class HeuristicSettings:
     parallel: Optional[ParallelPlan] = None
 
     def __post_init__(self) -> None:
-        if self.strategy not in ("grid", "paper"):
+        if self.strategy not in STRATEGY_CHOICES + ("paper",):
             raise OptimizationError(f"unknown strategy {self.strategy!r}")
+        if self.search_budget is not None and self.search_budget < 1:
+            raise OptimizationError(
+                f"search_budget must be >= 1, got {self.search_budget}")
         if self.m_steps < 2:
             raise OptimizationError(f"m_steps must be >= 2, got {self.m_steps}")
         if self.grid_vdd < 2 or self.grid_vth < 2:
@@ -140,6 +163,7 @@ def _make_objective(problem: OptimizationProblem, budgets: BudgetResult,
                     engine_name: str = "auto",
                     energy_vth_bias: Callable[[float], float] | None = None,
                     delay_vth_bias: Callable[[float], float] | None = None,
+                    warm_starts: Optional[bool] = None,
                     ) -> Callable[[float, float], float]:
     """Objective: total energy at (vdd, vth), inf when sizing fails.
 
@@ -151,11 +175,13 @@ def _make_objective(problem: OptimizationProblem, budgets: BudgetResult,
     threshold while the search variable remains the nominal Vth
     (Figure 2a).
     """
+    if warm_starts is None:
+        warm_starts = settings.warm_start
     evaluator = problem.evaluator(budgets, engine_name,
                                   width_method=settings.width_method,
                                   delay_vth_bias=delay_vth_bias,
                                   energy_vth_bias=energy_vth_bias,
-                                  warm_starts=settings.warm_start)
+                                  warm_starts=warm_starts)
 
     def objective(vdd: float, vth: float) -> float:
         state.evaluations += 1
@@ -181,274 +207,6 @@ def _ranges(problem: OptimizationProblem,
         raise OptimizationError(
             f"bad search ranges vdd={vdd_range}, vth={vth_range}")
     return vdd_range, vth_range
-
-
-def _linspace(low: float, high: float, count: int) -> List[float]:
-    if count == 1:
-        return [0.5 * (low + high)]
-    step = (high - low) / (count - 1)
-    return [low + index * step for index in range(count)]
-
-
-def _grid_cells(vdd_range: Tuple[float, float],
-                vth_range: Tuple[float, float],
-                settings: HeuristicSettings
-                ) -> List[Tuple[int, float, float]]:
-    """The grid corners, indexed in canonical (vdd-outer) scan order.
-
-    Serial scan, parallel sharding and the bound-based prune pre-pass all
-    work off this one list, so "cell index" means the same corner
-    everywhere.
-    """
-    cells: List[Tuple[int, float, float]] = []
-    for vdd in _linspace(*vdd_range, settings.grid_vdd):
-        for vth in _linspace(*vth_range, settings.grid_vth):
-            cells.append((len(cells), vdd, vth))
-    return cells
-
-
-def _grid_lower_bounds(problem: OptimizationProblem,
-                       cells: List[Tuple[int, float, float]]) -> List[float]:
-    """Admissible per-cell lower bound on total energy (J/cycle).
-
-    Every energy term of eqs. A1 + A2 is monotonically increasing in
-    each gate width — static is ``Vdd * sum(w * I_off) / f``, and both
-    dynamic terms charge loads that only grow with the widths they
-    gather — so evaluating them at all-minimum widths bounds any sizing
-    the solver can return, feasible or not. The width-dependent load
-    sums are computed once (vectorized, via the fastpath parasitics
-    kernel); each cell then costs two scalar device-model calls. Cells
-    whose drive is non-positive at minimum stack loading are infeasible
-    for *every* width assignment and bound to ``inf``.
-    """
-    import numpy as np
-
-    from repro.engine.array import array_context_for
-    from repro.fastpath.evaluate import _currents, _external_caps
-
-    arrays = array_context_for(problem.ctx)
-    tech = problem.tech
-    n = arrays.n_gates
-    wmin = np.full(n, tech.width_min)
-    ext, _, _ = _external_caps(arrays, wmin, 0, n)
-    load = wmin * arrays.self_cap + ext
-    activity_load = float(np.sum(arrays.activity * load))
-    sink_caps = arrays.segment_sum(
-        arrays.input_fanout,
-        wmin[arrays.input_fanout.indices] * arrays.input_fanout_cap)
-    input_load = float(np.sum(arrays.input_activity * (
-        arrays.input_self_plus_wire + arrays.input_fixed_cap + sink_caps)))
-    width_sum = float(np.sum(wmin))
-    stacks = [(float(fanin), 1.0 + tech.stack_derating * (fanin - 1))
-              for fanin in np.unique(arrays.fanin_count)]
-    frequency = problem.frequency
-
-    bounds: List[float] = []
-    for _, vdd, vth in cells:
-        current, off = _currents(arrays, vdd, vth)
-        if any(current / stack - fanin * off <= 0.0
-               for fanin, stack in stacks):
-            bounds.append(math.inf)
-            continue
-        bounds.append(vdd * width_sum * off / frequency
-                      + 0.5 * vdd * vdd * (activity_load + input_load))
-    return bounds
-
-
-def _prune_cells(problem: OptimizationProblem, budgets: BudgetResult,
-                 settings: HeuristicSettings, engine_name: str,
-                 cells: List[Tuple[int, float, float]],
-                 vdd_range: Tuple[float, float],
-                 vth_range: Tuple[float, float]) -> Tuple[set, int]:
-    """The bound-based cut: ``(pruned cell indices, probes spent)``.
-
-    A short feasibility bisection along the Vdd axis (at the middle Vth
-    column, falling back to the fastest corner) finds a cheap feasible
-    design whose energy ``U`` is an upper bound on the grid optimum;
-    any cell whose *lower* bound exceeds ``U`` is strictly worse than
-    the optimum and is skipped. The probes run on a private evaluator —
-    they never touch the search state or the checkpoint — so the
-    surviving scan's best-point trajectory is exactly the unpruned one
-    minus provably-losing corners. The margin ``U * (1 + 1e-9)`` keeps
-    any exact tie for the minimum unpruned — and absorbs the few-ulp
-    summation-order slack between the closed-form bound and the
-    engine's per-gate sums — so the argmin (including tie-breaking by
-    scan order) is invariant.
-    """
-    bounds = _grid_lower_bounds(problem, cells)
-    pruned = {index for index, bound in enumerate(bounds)
-              if not math.isfinite(bound)}
-    if len(pruned) == len(cells):
-        return pruned, 0
-
-    vdd_values = _linspace(*vdd_range, settings.grid_vdd)
-    vth_values = _linspace(*vth_range, settings.grid_vth)
-    mid_vth = vth_values[len(vth_values) // 2]
-    prober = problem.evaluator(budgets, engine_name,
-                               width_method=settings.width_method)
-    upper = math.inf
-    probes = 0
-
-    def probe(vdd: float, vth: float) -> bool:
-        nonlocal upper, probes
-        probes += 1
-        evaluation = prober(vdd, vth)
-        if evaluation.feasible and evaluation.energy < upper:
-            upper = evaluation.energy
-        return evaluation.feasible
-
-    lo, hi = 0, len(vdd_values) - 1
-    if probe(vdd_values[hi], mid_vth):
-        # Walk the feasibility boundary down: the lowest feasible Vdd
-        # probed has the smallest energy, hence the tightest cut.
-        while probes < settings.prune_probes and lo < hi - 1:
-            mid = (lo + hi) // 2
-            if probe(vdd_values[mid], mid_vth):
-                hi = mid
-            else:
-                lo = mid
-    else:
-        # Mid-Vth column fails even at max Vdd; the fastest corner is
-        # the last hope for a feasibility witness.
-        probe(vdd_values[-1], vth_values[0])
-
-    if math.isfinite(upper):
-        cut = upper * (1.0 + 1e-9)
-        pruned.update(index for index, bound in enumerate(bounds)
-                      if bound > cut)
-    return pruned, probes
-
-
-def _grid_search(objective: Callable[[float, float], float],
-                 cells: List[Tuple[int, float, float]],
-                 pruned: set) -> None:
-    for index, vdd, vth in cells:
-        if index not in pruned:
-            objective(vdd, vth)
-
-
-def _grid_shard_init(problem: OptimizationProblem, budgets: BudgetResult,
-                     engine_name: str, width_method: str):
-    """Worker initializer of the parallel grid: one evaluator per worker."""
-    return problem.evaluator(budgets, engine_name, width_method=width_method)
-
-
-def _grid_shard_task(evaluator, cells: Tuple[Tuple[int, float, float], ...]
-                     ) -> Dict[str, object]:
-    """One pure grid shard: evaluate a contiguous canonical-order chunk.
-
-    Returns per-cell ``(index, energy, feasible)`` plus the widths of
-    every *chunk-local* improvement (feasible cells that beat all prior
-    feasible cells of the chunk, scanned in canonical order). Any cell
-    that improves the *global* canonical running best necessarily
-    improves its chunk-local prefix too — the global prefix minimum is
-    never above the chunk prefix minimum — so the merge always finds the
-    winning cell's widths here without every feasible cell shipping its
-    (large) width map across the queue.
-    """
-    out_cells = []
-    improvements: Dict[int, Dict[str, float]] = {}
-    chunk_best = math.inf
-    for index, vdd, vth in cells:
-        evaluation = evaluator(vdd, vth)
-        out_cells.append((index, evaluation.energy, evaluation.feasible))
-        if evaluation.feasible and evaluation.energy < chunk_best:
-            chunk_best = evaluation.energy
-            improvements[index] = dict(evaluation.widths_map())
-    return {"cells": out_cells, "improvements": improvements}
-
-
-def _parallel_grid_search(problem: OptimizationProblem,
-                          budgets: BudgetResult,
-                          settings: HeuristicSettings,
-                          state: _SearchState,
-                          engine_name: str,
-                          checkpoint: Optional[SearchCheckpoint],
-                          controller: Optional[RunController],
-                          plan: ParallelPlan,
-                          objective: Callable[[float, float], float],
-                          cells: List[Tuple[int, float, float]],
-                          pruned: set) -> None:
-    """The grid phase on the supervised pool, merged canonically.
-
-    Corners already in the checkpoint are excluded from sharding and
-    replayed through ``objective`` (the cache branch) during the merge;
-    fresh corners are computed by the workers and applied to ``state``
-    in exactly the serial scan order, so the best-point trajectory — and
-    therefore the refinement that follows — is identical to ``jobs=1``.
-    Completed chunks are recorded into the checkpoint as they finish
-    (``on_result``), so a crash mid-sweep resumes at chunk granularity.
-
-    ``pruned`` cells are computed in-process *before* sharding (the same
-    set at every jobs count), excluded here exactly as the serial scan
-    excludes them, and never checkpointed — a resumed run re-derives the
-    identical set from the same deterministic bound pre-pass.
-    """
-    fresh = [cell for cell in cells
-             if cell[0] not in pruned
-             and (checkpoint is None
-                  or checkpoint.lookup(cell[1], cell[2]) is None)]
-
-    what = f"{problem.network.name} grid search"
-    computed: Dict[int, Tuple[float, bool, Optional[Dict[str, float]]]] = {}
-    if fresh:
-        tasks = []
-        for start, stop in chunk_ranges(len(fresh), plan.jobs * 4):
-            tasks.append(Task(key=f"grid[{start}:{stop}]", index=start,
-                              fn=_grid_shard_task,
-                              args=(tuple(fresh[start:stop]),)))
-
-        def on_result(result) -> None:
-            # Crash-safety: persist finished chunks immediately (in
-            # completion order — record() is keyed, so the canonical
-            # re-record during the merge below is a harmless dedup).
-            if checkpoint is None or not result.ok:
-                return
-            for index, energy, feasible in result.value["cells"]:
-                widths = result.value["improvements"].get(index)
-                point = (cells[index][1], cells[index][2])
-                checkpoint.record(
-                    point[0], point[1], energy, feasible=feasible,
-                    best_energy=energy if widths is not None else math.inf,
-                    best_point=point if widths is not None else None,
-                    best_widths=widths)
-
-        run = run_sharded(tasks, init_fn=_grid_shard_init,
-                          init_args=(problem, budgets, engine_name,
-                                     settings.width_method),
-                          plan=plan, controller=controller,
-                          on_result=on_result, what=what)
-        run.raise_if_quarantined(what)
-        for result in run.results:
-            for index, energy, feasible in result.value["cells"]:
-                computed[index] = (energy, feasible,
-                                   result.value["improvements"].get(index))
-
-    for index, vdd, vth in cells:
-        if index in pruned:
-            continue
-        if index not in computed:
-            objective(vdd, vth)  # checkpoint-cached corner: replay
-            continue
-        energy, feasible, widths = computed[index]
-        state.evaluations += 1
-        if feasible:
-            state.feasible_points += 1
-            if energy < state.best_energy:
-                if widths is None:  # pragma: no cover - see shard docstring
-                    raise OptimizationError(
-                        f"{what}: winning cell {index} returned no widths")
-                state.best_energy = energy
-                state.best_point = (vdd, vth)
-                state.best_widths = widths
-        if checkpoint is not None:
-            checkpoint.record(vdd, vth, energy, feasible=feasible,
-                              best_energy=state.best_energy,
-                              best_point=state.best_point,
-                              best_widths=state.best_widths)
-        if controller is not None:
-            controller.report(phase="grid", evaluations=state.evaluations,
-                              best_energy=state.best_energy)
 
 
 def _ternary_min(function: Callable[[float], float], low: float, high: float,
@@ -488,6 +246,87 @@ def _refine(objective: Callable[[float, float], float], state: _SearchState,
             lambda vth: objective(state.best_point[0], vth),
             low, high, settings.refine_iters)
         objective(state.best_point[0], vth_candidate)
+
+
+#: Pattern-search step halvings before the descent stops; six halvings
+#: of the initial quarter-span step leave ~0.4% resolution per axis,
+#: matching what the grid's local refinement achieves.
+_DESCEND_SHRINKS = 6
+
+
+def _descend(objective: Callable[[float, float], float],
+             state: _SearchState,
+             vdd_range: Tuple[float, float],
+             vth_range: Tuple[float, float]) -> None:
+    """Feasibility-frontier descent from an adaptive strategy's best.
+
+    The energy minimum lives in a *diagonal* valley: dynamic energy
+    pulls Vdd toward the feasibility frontier, but hugging the frontier
+    blows the widths (and with them the capacitance) up, so the optimum
+    sits where Vdd and Vth rise together off the wall. Coordinate-wise
+    ternary refinement stalls on such valleys, so the descent is a
+    Hooke-Jeeves pattern search: exploratory ±step probes per axis pick
+    a downhill move, and each accepted move is followed by a *pattern*
+    (momentum) step that doubles down along the achieved direction —
+    which is what lets the walk track the diagonal. When no probe
+    improves, the step halves; after ``_DESCEND_SHRINKS`` halvings the
+    resolution is ~0.4% of each axis span and the search stops.
+    Deterministic in ``state.best_point`` and driven through
+    ``objective`` like every other phase, so checkpoint replay and
+    resume-identity work unchanged. Infeasible probes read as +inf and
+    simply never attract a move.
+    """
+    if state.best_point is None:
+        # No feasible sample in budget: probe the fastest corners the
+        # way the prune pre-pass does, so the descent has a start.
+        objective(vdd_range[1], 0.5 * (vth_range[0] + vth_range[1]))
+        if state.best_point is None:
+            objective(vdd_range[1], vth_range[0])
+        if state.best_point is None:
+            return
+    ranges = (vdd_range, vth_range)
+
+    def clipped(point: Tuple[float, float], axis: int,
+                delta: float) -> Tuple[float, float]:
+        moved = list(point)
+        moved[axis] = min(max(moved[axis] + delta, ranges[axis][0]),
+                          ranges[axis][1])
+        return (moved[0], moved[1])
+
+    def explore(point: Tuple[float, float], value: float,
+                steps: List[float]) -> Tuple[Tuple[float, float], float]:
+        for axis in range(2):
+            for sign in (1.0, -1.0):
+                probe = clipped(point, axis, sign * steps[axis])
+                if probe[axis] == point[axis]:
+                    continue  # clipped onto the boundary: no move
+                energy = objective(*probe)
+                if energy < value:
+                    point, value = probe, energy
+                    break
+        return point, value
+
+    steps = [0.25 * (vdd_range[1] - vdd_range[0]),
+             0.25 * (vth_range[1] - vth_range[0])]
+    base = state.best_point
+    base_energy = state.best_energy
+    shrinks = 0
+    while shrinks < _DESCEND_SHRINKS:
+        point, value = explore(base, base_energy, steps)
+        if value >= base_energy:
+            steps = [0.5 * step for step in steps]
+            shrinks += 1
+            continue
+        previous, base, base_energy = base, point, value
+        pattern = (min(max(2.0 * base[0] - previous[0], vdd_range[0]),
+                       vdd_range[1]),
+                   min(max(2.0 * base[1] - previous[1], vth_range[0]),
+                       vth_range[1]))
+        pattern_energy = objective(*pattern)
+        if pattern_energy < base_energy:
+            point, value = explore(pattern, pattern_energy, steps)
+            if value < base_energy:
+                base, base_energy = point, value
 
 
 def _paper_search(objective: Callable[[float, float], float],
@@ -535,9 +374,14 @@ def _search_fingerprint(problem: OptimizationProblem,
     resume exact; any field differing makes a checkpoint unusable. The
     engine is recorded by its *resolved* name — ``engine="auto"`` under
     ``REPRO_ENGINE=fast`` fingerprints as ``"fast"`` — so a resumed run
-    can never silently switch engines.
+    can never silently switch engines. The ``search`` entry is the
+    resolved strategy config (:func:`repro.search.search_config` — name,
+    budget, seed, shape knobs), so a checkpoint — and, downstream, a
+    serve cache entry keyed off this same fingerprint — can never cross
+    strategies silently.
     """
     return {
+        "search": search_config(settings),
         "network": problem.network.name,
         "gate_count": problem.network.gate_count,
         "frequency_hz": problem.frequency,
@@ -616,15 +460,22 @@ def optimize_joint(problem: OptimizationProblem,
     controller = resolve_controller(settings.controller)
     engine_name = resolve_engine_name(settings.engine)
     # The corner-bias hooks are closures and cannot cross a process
-    # boundary; variation-aware searches run their grids in-process.
+    # boundary; variation-aware searches run their rounds in-process.
     plan = resolve_parallel(settings.parallel)
-    # Warm starts make each evaluation depend on the previous feasible
-    # one, which a sharded scan cannot reproduce — the grid stays serial.
-    parallel_grid = (plan is not None and plan.active
-                     and settings.strategy == "grid"
-                     and not settings.warm_start
-                     and _energy_vth_bias is None
-                     and _delay_vth_bias is None)
+    parallel_search = (plan is not None and plan.active
+                       and settings.strategy != "paper"
+                       and _energy_vth_bias is None
+                       and _delay_vth_bias is None)
+    # Warm starts chain each evaluation to the previous feasible one,
+    # which a sharded round cannot reproduce. Parallelism wins: the
+    # warm start is skipped, loudly.
+    warm_start_skipped = settings.warm_start and parallel_search
+    if warm_start_skipped:
+        current_metrics().incr(WARM_START_SKIPPED)
+        logger.warning(
+            "%s: warm_start=True skipped — warm starts are serial-only "
+            "and a parallel plan (jobs=%d) is active; drop --jobs to "
+            "keep warm starts", problem.network.name, plan.jobs)
     # The bound pre-pass assumes the plain objective (energy billed at
     # the search Vth); variation-aware searches scan unpruned.
     prune_active = (settings.prune and settings.strategy == "grid"
@@ -633,10 +484,12 @@ def optimize_joint(problem: OptimizationProblem,
     if budgets is None:
         budgets = problem.budgets()
     state = _SearchState()
-    raw_objective = _make_objective(problem, budgets, settings, state,
-                                    engine_name=engine_name,
-                                    energy_vth_bias=_energy_vth_bias,
-                                    delay_vth_bias=_delay_vth_bias)
+    raw_objective = _make_objective(
+        problem, budgets, settings, state,
+        engine_name=engine_name,
+        energy_vth_bias=_energy_vth_bias,
+        delay_vth_bias=_delay_vth_bias,
+        warm_starts=settings.warm_start and not warm_start_skipped)
     vdd_range, vth_range = _ranges(problem, settings)
     checkpoint = _open_checkpoint(problem, settings, controller, resume_from,
                                   vdd_range, vth_range, engine_name)
@@ -685,6 +538,7 @@ def optimize_joint(problem: OptimizationProblem,
                                   best_energy=state.best_energy)
             return energy
 
+    strategy = None
     tracer = trace.current_tracer()
     try:
         with tracer.span("optimize_joint", network=problem.network.name,
@@ -694,34 +548,33 @@ def optimize_joint(problem: OptimizationProblem,
                 with tracer.span("seeds", count=len(seeds)):
                     for seed_vdd, seed_vth in seeds:
                         objective(seed_vdd, seed_vth)
-            if settings.strategy == "grid":
-                cells = _grid_cells(vdd_range, vth_range, settings)
-                pruned: set = set()
-                if prune_active:
-                    with tracer.span("prune_bounds", cells=len(cells)):
-                        pruned, prune_probes_used = _prune_cells(
-                            problem, budgets, settings, engine_name,
-                            cells, vdd_range, vth_range)
-                    current_metrics().incr(PRUNED_CELLS, len(pruned))
-                with tracer.span("grid_search",
-                                 vdd_points=settings.grid_vdd,
-                                 vth_points=settings.grid_vth,
-                                 pruned=len(pruned),
-                                 jobs=plan.jobs if parallel_grid else 1):
-                    if parallel_grid:
-                        _parallel_grid_search(problem, budgets, settings,
-                                              state, engine_name, checkpoint,
-                                              controller, plan, objective,
-                                              cells, pruned)
-                    else:
-                        _grid_search(objective, cells, pruned)
-                with tracer.span("refine", rounds=settings.refine_rounds):
-                    _refine(objective, state, vdd_range, vth_range, settings)
-            else:
+            if settings.strategy == "paper":
                 with tracer.span("paper_search", m_steps=settings.m_steps):
                     _paper_search(objective, state, vdd_range, vth_range,
                                   settings)
-            # Refine once more around the overall best (a seed may have won).
+            else:
+                strategy = make_strategy(problem, budgets, settings,
+                                         engine_name, vdd_range, vth_range,
+                                         prune_active)
+                run_search(strategy, problem=problem, budgets=budgets,
+                           settings=settings, state=state,
+                           engine_name=engine_name, objective=objective,
+                           checkpoint=checkpoint, controller=controller,
+                           plan=plan, parallel=parallel_search)
+                if settings.strategy == "grid":
+                    with tracer.span("refine",
+                                     rounds=settings.refine_rounds):
+                        _refine(objective, state, vdd_range, vth_range,
+                                settings)
+                else:
+                    # The pattern search both escapes the sampled
+                    # best's basin and polishes to refine-level
+                    # resolution, so the adaptive path skips the
+                    # grid-step ternary refinement entirely.
+                    with tracer.span("descend", shrinks=_DESCEND_SHRINKS):
+                        _descend(objective, state, vdd_range, vth_range)
+            # Refine once more around the overall best (a seed may have
+            # won; the adaptive strategies' descent already polishes).
             if settings.strategy == "grid":
                 with tracer.span("refine", rounds=settings.refine_rounds):
                     _refine(objective, state, vdd_range, vth_range, settings)
@@ -777,19 +630,22 @@ def optimize_joint(problem: OptimizationProblem,
             f"{timing.critical_delay!r} at the chosen optimum")
     details: Dict[str, object] = {
         "strategy": settings.strategy,
+        "search": search_config(settings),
         "engine": engine_name,
         "feasible_points": state.feasible_points,
         "budget_rescale": budgets.rescale_factor,
         "budget_paths": budgets.paths_processed,
         "width_method": settings.width_method,
     }
-    if parallel_grid:
+    if parallel_search:
         details["parallel_jobs"] = plan.jobs
-    if prune_active:
-        details["pruned_cells"] = len(pruned)
-        details["prune_probes"] = prune_probes_used
+    if prune_active and strategy is not None:
+        details["pruned_cells"] = len(strategy.pruned)
+        details["prune_probes"] = strategy.prune_probes_used
     if settings.warm_start:
-        details["warm_start"] = True
+        details["warm_start"] = not warm_start_skipped
+        if warm_start_skipped:
+            details["warm_start_skipped"] = True
     if checkpoint is not None:
         checkpoint.flush()
         details["checkpoint"] = str(checkpoint.path)

@@ -75,7 +75,14 @@ class SearchCheckpoint:
         self.best_energy: float = math.inf
         self.best_point: Optional[Tuple[float, float]] = None
         self.best_widths: Optional[Dict[str, float]] = None
+        #: Serialized ``SearchStrategy.state()`` snapshot, when the
+        #: search runs through the strategy seam. Informational for
+        #: resume (strategies are deterministic and rebuild their state
+        #: by replaying the corner log) but persisted so an interrupted
+        #: adaptive search is inspectable and verifiable.
+        self.strategy_state: Optional[Dict[str, object]] = None
         self._pending = 0
+        self._state_dirty = False
 
     # -- recording ---------------------------------------------------------
 
@@ -101,6 +108,11 @@ class SearchCheckpoint:
         if self.path is not None and self._pending >= self.every:
             self.save()
 
+    def note_strategy_state(self, state: Optional[Dict[str, object]]) -> None:
+        """Update the persisted strategy snapshot (saved on next flush)."""
+        self.strategy_state = dict(state) if state is not None else None
+        self._state_dirty = True
+
     @property
     def completed(self) -> int:
         """Number of distinct corners already evaluated."""
@@ -121,6 +133,7 @@ class SearchCheckpoint:
             "best_point": (list(self.best_point)
                            if self.best_point is not None else None),
             "best_widths": self.best_widths,
+            "strategy_state": self.strategy_state,
         }
 
     def save(self) -> Optional[Path]:
@@ -130,11 +143,12 @@ class SearchCheckpoint:
         atomic_write_json(self.path, self.to_dict())
         current_metrics().incr(CHECKPOINT_FLUSHES)
         self._pending = 0
+        self._state_dirty = False
         return self.path
 
     def flush(self) -> Optional[Path]:
         """Persist any batched-but-unsaved records."""
-        if self.path is not None and self._pending > 0:
+        if self.path is not None and (self._pending > 0 or self._state_dirty):
             return self.save()
         return None
 
@@ -198,6 +212,12 @@ class SearchCheckpoint:
                         f"{path}: best_widths must be an object")
                 checkpoint.best_widths = {str(name): float(width)
                                           for name, width in widths.items()}
+            strategy_state = payload.get("strategy_state")
+            if strategy_state is not None:
+                if not isinstance(strategy_state, dict):
+                    raise CheckpointError(
+                        f"{path}: strategy_state must be an object")
+                checkpoint.strategy_state = strategy_state
         except CheckpointError:
             raise
         except (TypeError, ValueError, IndexError) as exc:

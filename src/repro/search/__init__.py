@@ -1,0 +1,124 @@
+"""Pluggable (Vdd, Vth) search strategies (ROADMAP item 2).
+
+See :mod:`repro.search.base` for the seam contract. This package
+exposes the factory (:func:`make_strategy`) and the resolved-config
+function (:func:`search_config`) that :mod:`repro.optimize.heuristic`
+threads into checkpoints, the serve cache key, and result details.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.errors import OptimizationError
+from repro.search.base import (Candidate, SearchStrategy, STRATEGY_CHOICES,
+                               proposal_rng)
+from repro.search.driver import run_search
+from repro.search.grid import GridStrategy, grid_cells, grid_lower_bounds
+from repro.search.hyperband import HyperbandStrategy
+from repro.search.randomized import RandomStrategy
+from repro.search.surrogate import SurrogateStrategy
+from repro.search import hyperband as _hyperband
+from repro.search import randomized as _randomized
+from repro.search import surrogate as _surrogate
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.optimize.problem import OptimizationProblem
+    from repro.timing.budgeting import BudgetResult
+
+__all__ = [
+    "Candidate", "SearchStrategy", "STRATEGY_CHOICES", "proposal_rng",
+    "run_search", "GridStrategy", "RandomStrategy", "SurrogateStrategy",
+    "HyperbandStrategy", "make_strategy", "search_config",
+]
+
+#: Default evaluation budgets when ``search_budget`` is unset.
+DEFAULT_BUDGETS = {
+    "random": _randomized.DEFAULT_BUDGET,
+    "surrogate": _surrogate.DEFAULT_BUDGET,
+    "hyperband": _hyperband.DEFAULT_BUDGET,
+}
+
+
+def search_config(settings) -> Dict[str, object]:
+    """The *resolved* strategy configuration for ``settings``.
+
+    This dict is the strategy's identity everywhere one is needed: it
+    is embedded in the checkpoint fingerprint (a resumed run can never
+    silently switch strategy, budget, or seed), in the serve
+    result-cache key (a cached grid result can never satisfy a random
+    request and vice versa), and in result ``details``. It therefore
+    contains every knob that shapes the proposal sequence — and, for
+    the exhaustive strategies, deliberately *omits* seed and budget
+    (they cannot affect a full scan, so equal scans keep hitting the
+    same cache slot across seeds). All values are JSON-native so the
+    fingerprint survives a round-trip through the checkpoint file.
+    """
+    name = settings.strategy
+    if name in ("grid", "paper"):
+        return {"name": name}
+    budget = settings.search_budget or DEFAULT_BUDGETS[name]
+    config: Dict[str, object] = {"name": name, "budget": budget,
+                                 "seed": settings.seed}
+    if name == "random":
+        config["batch"] = min(_randomized.DEFAULT_BATCH, budget)
+    elif name == "surrogate":
+        config.update(batch=_surrogate.DEFAULT_BATCH,
+                      init=[_surrogate.INIT_VDD, _surrogate.INIT_VTH],
+                      prior_cells=_surrogate.DEFAULT_PRIOR_CELLS)
+    elif name == "hyperband":
+        config.update(n_arms=_hyperband.DEFAULT_ARMS,
+                      eta=_hyperband.DEFAULT_ETA)
+    else:  # pragma: no cover - settings validation rejects this earlier
+        raise OptimizationError(f"unknown search strategy {name!r}")
+    return config
+
+
+def surrogate_priors(problem: "OptimizationProblem",
+                     vdd_range: Tuple[float, float],
+                     vth_range: Tuple[float, float],
+                     settings, count: int) -> List[Tuple[float, float]]:
+    """The ``count`` virtual-grid cells with the lowest closed-form bound.
+
+    Free model knowledge for the surrogate's init round: the PR 5
+    admissible lower bounds cost no objective evaluations and point at
+    the basin the true optimum sits in. Deterministic (bound, index)
+    ranking on the same canonical cell order the grid uses.
+    """
+    cells = grid_cells(vdd_range, vth_range, settings)
+    bounds = grid_lower_bounds(problem, cells)
+    ranked = sorted((index for index in range(len(cells))
+                     if math.isfinite(bounds[index])),
+                    key=lambda index: (bounds[index], index))
+    return [(cells[index][1], cells[index][2]) for index in ranked[:count]]
+
+
+def make_strategy(problem: "OptimizationProblem", budgets: "BudgetResult",
+                  settings, engine_name: str,
+                  vdd_range: Tuple[float, float],
+                  vth_range: Tuple[float, float],
+                  prune_active: bool) -> SearchStrategy:
+    """Build the strategy ``settings`` names, fully resolved."""
+    config = search_config(settings)
+    name = config["name"]
+    if name == "grid":
+        return GridStrategy(problem, budgets, settings, engine_name,
+                            vdd_range, vth_range, prune_active)
+    if name == "random":
+        return RandomStrategy(vdd_range, vth_range, budget=config["budget"],
+                              seed=config["seed"], batch=config["batch"])
+    if name == "surrogate":
+        priors = surrogate_priors(problem, vdd_range, vth_range, settings,
+                                  config["prior_cells"])
+        return SurrogateStrategy(vdd_range, vth_range,
+                                 budget=config["budget"],
+                                 seed=config["seed"], batch=config["batch"],
+                                 priors=priors,
+                                 prior_cells=config["prior_cells"])
+    if name == "hyperband":
+        return HyperbandStrategy(vdd_range, vth_range,
+                                 budget=config["budget"],
+                                 seed=config["seed"],
+                                 n_arms=config["n_arms"], eta=config["eta"])
+    raise OptimizationError(f"unknown search strategy {name!r}")

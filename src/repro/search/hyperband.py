@@ -1,0 +1,225 @@
+"""Successive halving over annealing hyperparameters (hyperband-style).
+
+Each *arm* is a simulated-annealing random walk over the (Vdd, Vth)
+plane whose hyperparameters — initial temperature ``t_max``, geometric
+``cooling_rate``, and ``iters_per_temp`` (exactly the knobs fpgahart's
+sweep config exposes, and the same vocabulary as
+:class:`repro.optimize.annealing.AnnealingSettings`) — are drawn from
+the arm's counter-seeded RNG. Arms advance in lock-step rounds (one
+objective evaluation per live arm per round); at the end of each rung
+the weakest ``1 - 1/eta`` fraction (ranked by best feasible energy so
+far, ties by arm index) is culled and the survivors get an
+``eta``-times-longer rung. Culled arms count on
+``search.hyperband.early_stops`` — that is the "early termination" half
+of ROADMAP item 2.
+
+Determinism: hyperparameters, start points, step proposals, and
+Metropolis accepts all come from per-arm counter-seeded RNGs, and the
+RNGs are touched only inside :meth:`propose`/:meth:`observe` in
+canonical order — never by the driver's sharding — so serial, sharded,
+and resumed runs are identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.instrument import search_metric
+from repro.obs.metrics import current_metrics
+from repro.search.base import (Candidate, SearchStrategy, decode_float,
+                               encode_float, proposal_rng)
+
+DEFAULT_BUDGET = 48
+DEFAULT_ARMS = 6
+DEFAULT_ETA = 2
+#: Hyperparameter priors (the fpgahart sweep ranges, normalized).
+T_MAX_RANGE = (0.2, 2.0)
+COOLING_RANGE = (0.85, 0.99)
+ITERS_PER_TEMP_RANGE = (1, 3)
+#: Walk step, as a fraction of the axis span at full temperature.
+STEP_FRACTION = 0.25
+
+
+def _clip(value: float, bounds: Tuple[float, float]) -> float:
+    return min(max(value, bounds[0]), bounds[1])
+
+
+class _Arm:
+    """One annealing walk with its own hyperparameters and RNG."""
+
+    def __init__(self, index: int, seed: int,
+                 vdd_range: Tuple[float, float],
+                 vth_range: Tuple[float, float]):
+        self.index = index
+        self.rng = proposal_rng(seed, index)
+        # Draw order is part of the arm's identity: hyperparameters
+        # first, then the start point, then the walk.
+        self.t_max = math.exp(self.rng.uniform(math.log(T_MAX_RANGE[0]),
+                                               math.log(T_MAX_RANGE[1])))
+        self.cooling = self.rng.uniform(*COOLING_RANGE)
+        self.iters_per_temp = self.rng.randint(*ITERS_PER_TEMP_RANGE)
+        self.point = (self.rng.uniform(*vdd_range),
+                      self.rng.uniform(*vth_range))
+        self.temperature = self.t_max
+        self.energy = math.inf
+        self.best_energy = math.inf
+        self.best_point: Optional[Tuple[float, float]] = None
+        self.steps = 0
+        self.alive = True
+
+
+def _rung_plan(n_arms: int, eta: int, budget: int
+               ) -> Tuple[List[int], List[int]]:
+    """(live arm count per rung, rounds per rung) fitting ``budget``."""
+    sizes = []
+    live = n_arms
+    while True:
+        sizes.append(live)
+        if live <= 1:
+            break
+        live = math.ceil(live / eta)
+    unit = sum(count * (eta ** rung) for rung, count in enumerate(sizes))
+    scale = max(1, budget // unit)
+    return sizes, [scale * (eta ** rung) for rung in range(len(sizes))]
+
+
+class HyperbandStrategy(SearchStrategy):
+    """Successive halving across a population of annealing walks."""
+
+    name = "hyperband"
+
+    def __init__(self, vdd_range: Tuple[float, float],
+                 vth_range: Tuple[float, float],
+                 budget: int = DEFAULT_BUDGET, seed: int = 0,
+                 n_arms: int = DEFAULT_ARMS, eta: int = DEFAULT_ETA):
+        self._check_budget(budget, n_arms, self.name)
+        self.vdd_range = vdd_range
+        self.vth_range = vth_range
+        self.budget = budget
+        self.seed = seed
+        self.n_arms = n_arms
+        self.eta = eta
+        self.proposal_batch = n_arms
+        self._arms = [_Arm(index, seed, vdd_range, vth_range)
+                      for index in range(n_arms)]
+        self._sizes, self._rounds = _rung_plan(n_arms, eta, budget)
+        self._rung = 0
+        self._rung_round = 0
+        self._observed = 0
+
+    # -- the seam ----------------------------------------------------------
+
+    def propose(self, batch: int) -> List[Candidate]:
+        self._advance_rungs()
+        live = self._live()
+        if self._rung >= len(self._rounds) or not live \
+                or self._observed + len(live) > self.budget:
+            return []
+        candidates = []
+        for arm in live:
+            if arm.steps == 0:
+                vdd, vth = arm.point
+            else:
+                heat = arm.temperature / arm.t_max
+                vdd = _clip(arm.point[0] + arm.rng.gauss(
+                    0.0, (self.vdd_range[1] - self.vdd_range[0])
+                    * STEP_FRACTION * heat), self.vdd_range)
+                vth = _clip(arm.point[1] + arm.rng.gauss(
+                    0.0, (self.vth_range[1] - self.vth_range[0])
+                    * STEP_FRACTION * heat), self.vth_range)
+            candidates.append(Candidate(vdd=vdd, vth=vth, tag=arm.index))
+        self._rung_round += 1
+        return candidates
+
+    def observe(self, candidate: Candidate, energy: float,
+                feasible: bool) -> None:
+        arm = self._arms[candidate.tag]
+        arm.steps += 1
+        self._observed += 1
+        value = energy if feasible else math.inf
+        point = (candidate.vdd, candidate.vth)
+        if feasible and value < arm.best_energy:
+            arm.best_energy = value
+            arm.best_point = point
+        if not math.isfinite(arm.energy):
+            # No feasible base yet: keep walking from wherever we probed.
+            arm.point, arm.energy = point, value
+        elif math.isfinite(value):
+            if value <= arm.energy:
+                arm.point, arm.energy = point, value
+            else:
+                relative = (value - arm.energy) \
+                    / max(abs(arm.best_energy), 1e-300)
+                heat = max(arm.temperature / arm.t_max, 1e-9)
+                if arm.rng.random() < math.exp(-relative / heat):
+                    arm.point, arm.energy = point, value
+        if arm.steps % arm.iters_per_temp == 0:
+            arm.temperature *= arm.cooling
+
+    def done(self) -> bool:
+        self._advance_rungs()
+        live = self._live()
+        return self._rung >= len(self._rounds) or not live \
+            or self._observed + len(live) > self.budget
+
+    def state(self) -> Dict[str, object]:
+        arms = []
+        for arm in self._arms:
+            version, internal, gauss_next = arm.rng.getstate()
+            arms.append({
+                "alive": arm.alive, "steps": arm.steps,
+                "temperature": arm.temperature,
+                "point": list(arm.point),
+                "energy": encode_float(arm.energy),
+                "best_energy": encode_float(arm.best_energy),
+                "best_point": (list(arm.best_point)
+                               if arm.best_point is not None else None),
+                "rng": [version, list(internal), gauss_next],
+            })
+        return {"rung": self._rung, "rung_round": self._rung_round,
+                "observed": self._observed, "arms": arms}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self._rung = int(state.get("rung", 0))
+        self._rung_round = int(state.get("rung_round", 0))
+        self._observed = int(state.get("observed", 0))
+        for arm, snapshot in zip(self._arms, state.get("arms", [])):
+            arm.alive = bool(snapshot["alive"])
+            arm.steps = int(snapshot["steps"])
+            arm.temperature = float(snapshot["temperature"])
+            arm.point = (float(snapshot["point"][0]),
+                         float(snapshot["point"][1]))
+            arm.energy = decode_float(snapshot["energy"])
+            arm.best_energy = decode_float(snapshot["best_energy"])
+            best_point = snapshot.get("best_point")
+            arm.best_point = (None if best_point is None else
+                              (float(best_point[0]), float(best_point[1])))
+            version, internal, gauss_next = snapshot["rng"]
+            arm.rng.setstate((version, tuple(internal), gauss_next))
+
+    def config(self) -> Dict[str, object]:
+        return {"name": self.name, "budget": self.budget, "seed": self.seed,
+                "n_arms": self.n_arms, "eta": self.eta}
+
+    # -- successive halving ------------------------------------------------
+
+    def _live(self) -> List[_Arm]:
+        return [arm for arm in self._arms if arm.alive]
+
+    def _advance_rungs(self) -> None:
+        while self._rung < len(self._rounds) \
+                and self._rung_round >= self._rounds[self._rung]:
+            ranked = sorted(self._live(),
+                            key=lambda arm: (arm.best_energy, arm.index))
+            self._rung += 1
+            self._rung_round = 0
+            if self._rung >= len(self._rounds):
+                break
+            keep = self._sizes[self._rung]
+            if len(ranked) > keep:
+                for arm in ranked[keep:]:
+                    arm.alive = False
+                current_metrics().incr(
+                    search_metric(self.name, "early_stops"),
+                    len(ranked) - keep)

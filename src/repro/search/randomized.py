@@ -1,0 +1,68 @@
+"""Uniform random sampling over the (Vdd, Vth) plane.
+
+The cheapest adaptive baseline: ``budget`` points drawn uniformly from
+the technology ranges. Each proposal's coordinates come from its own
+counter-seeded RNG (:func:`repro.search.base.proposal_rng`), so the
+point drawn as proposal ``i`` depends only on ``(seed, i)`` — sharded,
+serial, and resumed runs all draw the identical sequence, and the
+parity harness's byte-identity and resume-identity checks hold with no
+strategy-side effort.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.search.base import Candidate, SearchStrategy, proposal_rng
+
+DEFAULT_BUDGET = 48
+DEFAULT_BATCH = 16
+
+
+class RandomStrategy(SearchStrategy):
+    """Counter-seeded uniform sampling (PR 4's Monte-Carlo idiom)."""
+
+    name = "random"
+
+    def __init__(self, vdd_range: Tuple[float, float],
+                 vth_range: Tuple[float, float],
+                 budget: int = DEFAULT_BUDGET, seed: int = 0,
+                 batch: int = DEFAULT_BATCH):
+        self._check_budget(budget, 1, self.name)
+        self.vdd_range = vdd_range
+        self.vth_range = vth_range
+        self.budget = budget
+        self.seed = seed
+        self.proposal_batch = min(batch, budget)
+        self._proposed = 0
+        self._observed = 0
+
+    def propose(self, batch: int) -> List[Candidate]:
+        count = min(batch, self.budget - self._proposed)
+        candidates = []
+        for index in range(self._proposed, self._proposed + count):
+            rng = proposal_rng(self.seed, index)
+            candidates.append(Candidate(vdd=rng.uniform(*self.vdd_range),
+                                        vth=rng.uniform(*self.vth_range),
+                                        tag=index))
+        self._proposed += count
+        return candidates
+
+    def observe(self, candidate: Candidate, energy: float,
+                feasible: bool) -> None:
+        self._observed += 1
+
+    def done(self) -> bool:
+        return self._proposed >= self.budget \
+            and self._observed >= self._proposed
+
+    def state(self) -> Dict[str, object]:
+        return {"proposed": self._proposed, "observed": self._observed}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self._proposed = int(state.get("proposed", 0))
+        self._observed = int(state.get("observed", 0))
+
+    def config(self) -> Dict[str, object]:
+        return {"name": self.name, "budget": self.budget, "seed": self.seed,
+                "batch": self.proposal_batch}

@@ -1,0 +1,204 @@
+"""Model-based sampling: a quadratic response surface over the plane.
+
+The total-energy landscape over (Vdd, Vth) is smooth and near-convex
+inside the feasible region (eqs. A1 + A2 are low-order polynomials and
+exponentials of the voltages), so a six-coefficient quadratic fitted to
+the observed corners is an effective cheap surrogate. The strategy:
+
+1. **Init round** — a deterministic coarse sub-grid plus the
+   ``prior_cells`` grid cells with the *lowest* PR 5 closed-form
+   admissible lower bounds (:func:`repro.search.grid.grid_lower_bounds`).
+   The bounds are exact model knowledge that costs no objective
+   evaluations, and the true optimum tends to sit where the bound is
+   low, so the model starts with samples straddling the interesting
+   basin.
+2. **Model rounds** — fit the quadratic by least squares (infeasible
+   corners enter at a penalty above the worst feasible energy, which
+   pushes the surface up outside the feasible region), then score a
+   dense candidate lattice with an expected-improvement-style
+   acquisition: predicted improvement over the incumbent plus an
+   exploration bonus proportional to the distance from the nearest
+   observed corner. The top ``batch`` cells become the next round.
+3. **Early stop** — when no lattice cell scores above a small fraction
+   of the incumbent energy, the model says the basin is exhausted; the
+   search ends before the budget (counted on
+   ``search.surrogate.early_stops``).
+
+Everything is deterministic given (config, observation history): the
+fit is a fixed least-squares solve, the lattice and tie-breaks are
+fixed, and the only RNG (the cold-start fallback while fewer than six
+feasible corners exist) is counter-seeded — so serial, sharded, and
+resumed runs propose identical sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.obs.instrument import search_metric
+from repro.obs.metrics import current_metrics
+from repro.search.base import (Candidate, SearchStrategy, decode_float,
+                               encode_float, proposal_rng)
+from repro.search.grid import linspace
+
+DEFAULT_BUDGET = 40
+DEFAULT_BATCH = 4
+#: Init-round sub-grid resolution (vdd x vth).
+INIT_VDD = 4
+INIT_VTH = 3
+#: Grid cells with the lowest closed-form lower bounds joining the init
+#: round as priors.
+DEFAULT_PRIOR_CELLS = 4
+#: Acquisition lattice resolution per axis.
+LATTICE = 33
+#: Exploration weight: bonus per unit normalized distance, in units of
+#: the observed feasible energy spread.
+KAPPA = 0.35
+#: Early stop when the best acquisition score drops below this fraction
+#: of the incumbent energy.
+EARLY_STOP_REL = 1e-3
+
+
+class SurrogateStrategy(SearchStrategy):
+    """Quadratic surface + improvement/exploration acquisition."""
+
+    name = "surrogate"
+
+    def __init__(self, vdd_range: Tuple[float, float],
+                 vth_range: Tuple[float, float],
+                 budget: int = DEFAULT_BUDGET, seed: int = 0,
+                 batch: int = DEFAULT_BATCH,
+                 priors: Sequence[Tuple[float, float]] = (),
+                 prior_cells: int = DEFAULT_PRIOR_CELLS):
+        self._check_budget(budget, 1, self.name)
+        self.vdd_range = vdd_range
+        self.vth_range = vth_range
+        self.budget = budget
+        self.seed = seed
+        self.batch = batch
+        self.prior_cells = prior_cells
+        self.proposal_batch = batch
+        init: List[Tuple[float, float]] = []
+        for vdd in linspace(*vdd_range, INIT_VDD):
+            for vth in linspace(*vth_range, INIT_VTH):
+                init.append((vdd, vth))
+        for point in priors:
+            point = (float(point[0]), float(point[1]))
+            if point not in init:
+                init.append(point)
+        self._init_points = init[:budget]
+        self._observations: List[Tuple[float, float, float, bool]] = []
+        self._proposed = 0
+        self._stopped = False
+
+    # -- the seam ----------------------------------------------------------
+
+    def propose(self, batch: int) -> List[Candidate]:
+        if self._stopped or self._proposed >= self.budget:
+            return []
+        if self._proposed < len(self._init_points):
+            points = self._init_points[self._proposed:]
+            self._proposed += len(points)
+            return [Candidate(vdd=vdd, vth=vth, tag="init")
+                    for vdd, vth in points]
+        count = min(self.batch, self.budget - self._proposed)
+        points = self._acquire(count)
+        if not points:
+            self._stopped = True
+            current_metrics().incr(search_metric(self.name, "early_stops"))
+            return []
+        self._proposed += len(points)
+        return [Candidate(vdd=vdd, vth=vth, tag="model")
+                for vdd, vth in points]
+
+    def observe(self, candidate: Candidate, energy: float,
+                feasible: bool) -> None:
+        self._observations.append(
+            (candidate.vdd, candidate.vth, energy, feasible))
+
+    def done(self) -> bool:
+        return self._stopped or (self._proposed >= self.budget
+                                 and len(self._observations)
+                                 >= self._proposed)
+
+    def state(self) -> Dict[str, object]:
+        return {
+            "proposed": self._proposed,
+            "stopped": self._stopped,
+            "observations": [[vdd, vth, encode_float(energy), feasible]
+                             for vdd, vth, energy, feasible
+                             in self._observations],
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self._proposed = int(state.get("proposed", 0))
+        self._stopped = bool(state.get("stopped", False))
+        self._observations = [
+            (float(vdd), float(vth), decode_float(energy), bool(feasible))
+            for vdd, vth, energy, feasible in state.get("observations", [])]
+
+    def config(self) -> Dict[str, object]:
+        return {"name": self.name, "budget": self.budget, "seed": self.seed,
+                "batch": self.batch, "init": [INIT_VDD, INIT_VTH],
+                "prior_cells": self.prior_cells}
+
+    # -- the model ---------------------------------------------------------
+
+    def _acquire(self, count: int) -> List[Tuple[float, float]]:
+        """The next ``count`` points, or [] when the model has converged."""
+        finite = [(vdd, vth, energy)
+                  for vdd, vth, energy, feasible in self._observations
+                  if feasible and math.isfinite(energy)]
+        if len(finite) < 6:
+            # Too little signal for the six-coefficient fit: explore
+            # with the same counter-seeded stream the random strategy
+            # uses (deterministic in the proposal counter).
+            points = []
+            for offset in range(count):
+                rng = proposal_rng(self.seed, self._proposed + offset)
+                points.append((rng.uniform(*self.vdd_range),
+                               rng.uniform(*self.vth_range)))
+            return points
+
+        import numpy as np
+
+        vdd_lo, vdd_hi = self.vdd_range
+        vth_lo, vth_hi = self.vth_range
+        xs = np.array([(vdd - vdd_lo) / (vdd_hi - vdd_lo)
+                       for vdd, _, _, _ in self._observations])
+        ys = np.array([(vth - vth_lo) / (vth_hi - vth_lo)
+                       for _, vth, _, _ in self._observations])
+        best = min(energy for _, _, energy in finite)
+        worst = max(energy for _, _, energy in finite)
+        spread = max(worst - best, abs(best) * 1e-3, 1e-300)
+        penalty = worst + 2.0 * spread
+        values = np.array([energy if feasible and math.isfinite(energy)
+                           else penalty
+                           for _, _, energy, feasible in self._observations])
+
+        design = np.column_stack(
+            [np.ones_like(xs), xs, ys, xs * xs, ys * ys, xs * ys])
+        coeffs, *_ = np.linalg.lstsq(design, values, rcond=None)
+
+        axis = np.linspace(0.0, 1.0, LATTICE)
+        gx, gy = np.meshgrid(axis, axis, indexing="ij")
+        lx, ly = gx.ravel(), gy.ravel()
+        mu = (coeffs[0] + coeffs[1] * lx + coeffs[2] * ly
+              + coeffs[3] * lx * lx + coeffs[4] * ly * ly
+              + coeffs[5] * lx * ly)
+        distance = np.sqrt(np.min(
+            (lx[:, None] - xs[None, :]) ** 2
+            + (ly[:, None] - ys[None, :]) ** 2, axis=1))
+        score = (best - mu) + KAPPA * spread * distance
+        score[distance < 1e-9] = -math.inf  # already observed
+
+        threshold = EARLY_STOP_REL * max(abs(best), 1e-300)
+        if float(np.max(score)) <= threshold:
+            return []
+        order = sorted(range(score.size), key=lambda i: (-score[i], i))
+        points = []
+        for index in order[:count]:
+            points.append((vdd_lo + float(lx[index]) * (vdd_hi - vdd_lo),
+                           vth_lo + float(ly[index]) * (vth_hi - vth_lo)))
+        return points

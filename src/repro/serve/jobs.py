@@ -66,10 +66,10 @@ _TRANSITIONS: Mapping[str, frozenset] = {
 
 #: JSON keys accepted by :meth:`JobRequest.from_dict` (the wire schema).
 _REQUEST_FIELDS = ("circuit", "deck", "frequency_mhz", "activity",
-                   "probability", "n_vth", "strategy", "engine",
-                   "width_method", "grid_vdd", "grid_vth", "refine_iters",
-                   "refine_rounds", "m_steps", "fallback", "priority",
-                   "deadline_s")
+                   "probability", "n_vth", "strategy", "search_budget",
+                   "seed", "engine", "width_method", "grid_vdd", "grid_vth",
+                   "refine_iters", "refine_rounds", "m_steps", "fallback",
+                   "priority", "deadline_s")
 
 
 @dataclass(frozen=True)
@@ -88,8 +88,15 @@ class JobRequest:
     probability: float = 0.5
     #: Distinct threshold voltages (>1 routes to the multi-Vth solver).
     n_vth: int = 1
-    #: Procedure 2 strategy ("grid", "paper", "anneal").
+    #: Procedure 2 search strategy ("grid", "random", "surrogate",
+    #: "hyperband", or "paper").
     strategy: str = "grid"
+    #: Adaptive strategies: sampling-phase evaluation budget (None =
+    #: the strategy's default).
+    search_budget: Optional[int] = None
+    #: Adaptive strategies: proposal RNG seed. Part of the result-cache
+    #: key — a cached seed-0 run never satisfies a seed-1 request.
+    seed: int = 0
     #: Evaluation engine request ("auto", "scalar", "fast", ...).
     engine: str = "auto"
     #: Width solver ("closed_form" or "bisect").
@@ -117,6 +124,9 @@ class JobRequest:
                 f"deadline_s must be > 0, got {self.deadline_s}")
         if self.n_vth < 1:
             raise OptimizationError(f"n_vth must be >= 1, got {self.n_vth}")
+        if self.search_budget is not None and self.search_budget < 1:
+            raise OptimizationError(
+                f"search_budget must be >= 1, got {self.search_budget}")
 
     def to_dict(self) -> Dict[str, object]:
         """The wire/journal form of the request (plain JSON types)."""
@@ -172,6 +182,8 @@ def settings_for(request: JobRequest):
     from repro.optimize.heuristic import HeuristicSettings
 
     return HeuristicSettings(strategy=request.strategy,
+                             search_budget=request.search_budget,
+                             seed=request.seed,
                              m_steps=request.m_steps,
                              grid_vdd=request.grid_vdd,
                              grid_vth=request.grid_vth,

@@ -15,7 +15,8 @@ import pytest
 
 from repro.engine import use_engine
 from repro.errors import InfeasibleError, OptimizationError
-from repro.obs.instrument import PRUNED_CELLS, WARM_STARTS
+from repro.obs.instrument import (PRUNED_CELLS, WARM_START_SKIPPED,
+                                  WARM_STARTS)
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.optimize.heuristic import (
     HeuristicSettings,
@@ -171,12 +172,27 @@ def test_warm_start_bisect_feasible_and_close(s27_problem):
     assert warm.design.vdd == pytest.approx(cold.design.vdd, rel=1e-2)
 
 
-def test_warm_start_forces_serial_grid(s27_problem):
-    result = optimize_joint(s27_problem, settings=HeuristicSettings(
-        engine="fast", width_method="bisect", warm_start=True,
-        parallel=ParallelPlan(jobs=2, heartbeat_s=0.05), **GRID))
+def test_warm_start_skipped_under_parallel(s27_problem, caplog):
+    """warm_start + --jobs: parallelism wins and the skip is loud —
+    warning log, ``search.warm_start_skipped`` counter, and details —
+    never a silent drop."""
+    registry = MetricsRegistry()
+    with use_metrics(registry), caplog.at_level("WARNING", logger="repro"):
+        result = optimize_joint(s27_problem, settings=HeuristicSettings(
+            engine="fast", width_method="bisect", warm_start=True,
+            parallel=ParallelPlan(jobs=2, heartbeat_s=0.05), **GRID))
     assert result.feasible
-    assert "parallel_jobs" not in result.details
+    assert result.details["parallel_jobs"] == 2
+    assert result.details["warm_start"] is False
+    assert result.details["warm_start_skipped"] is True
+    assert registry.counter(WARM_START_SKIPPED) == 1
+    assert registry.counter(WARM_STARTS) == 0
+    assert any("warm_start" in message for message in caplog.messages)
+    # The sharded scan must match the plain (cold) parallel scan.
+    cold = optimize_joint(s27_problem, settings=HeuristicSettings(
+        engine="fast", width_method="bisect",
+        parallel=ParallelPlan(jobs=2, heartbeat_s=0.05), **GRID))
+    _assert_same_result(result, cold)
 
 
 def test_warm_start_deterministic(s27_problem):

@@ -1,0 +1,246 @@
+"""The search-strategy parity harness (gates the seam refactor).
+
+Three contracts, per adaptive strategy:
+
+* **Quality/efficiency parity** — on s27 and s298 the strategy reaches
+  the *reference grid's* refined optimum within a tight relative
+  tolerance while spending at least 2x fewer model evaluations. The
+  reference is a finer grid than the smoke-test grid (13x11 instead of
+  9x7) so the comparison is against a realistic exhaustive scan, not a
+  strawman.
+* **Jobs invariance** — the result (design point, widths, energy,
+  evaluation count) is byte-identical serial and under a worker pool,
+  because round composition never depends on the jobs count.
+* **Resume identity** — a run killed mid-search and resumed from its
+  checkpoint finishes exactly like an uninterrupted run, because every
+  strategy re-proposes deterministically and observed corners replay
+  from the checkpoint log.
+
+Plus unit round-trips of the ``state()``/``restore()`` half of the
+seam: a restored strategy proposes the identical continuation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.errors import RunCancelled
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.runtime.controller import RunController
+from repro.runtime.supervisor import ParallelPlan
+from repro.search import DEFAULT_BUDGETS, search_config
+from repro.search.hyperband import HyperbandStrategy
+from repro.search.randomized import RandomStrategy
+from repro.search.surrogate import SurrogateStrategy
+
+ADAPTIVE = ("random", "surrogate", "hyperband")
+#: The smoke grid every adaptive run shares (sets ranges/refine knobs).
+FAST = dict(grid_vdd=9, grid_vth=7, refine_iters=6, refine_rounds=1,
+            engine="fast")
+#: The exhaustive reference the parity bars are measured against.
+REFERENCE = dict(grid_vdd=13, grid_vth=11, refine_iters=6, refine_rounds=1,
+                 engine="fast")
+BUDGET = 12
+#: Adaptive optimum must land within 5% of the reference grid's.
+RELATIVE_TOLERANCE = 0.05
+
+
+def _adaptive_settings(strategy, **overrides):
+    merged = dict(FAST, strategy=strategy, search_budget=BUDGET)
+    merged.update(overrides)
+    return HeuristicSettings(**merged)
+
+
+@pytest.fixture(scope="module")
+def s27_reference(s27_problem):
+    return optimize_joint(s27_problem,
+                          settings=HeuristicSettings(**REFERENCE))
+
+
+@pytest.fixture(scope="module")
+def s298_reference(s298_problem):
+    return optimize_joint(s298_problem,
+                          settings=HeuristicSettings(**REFERENCE))
+
+
+def _assert_identical(lhs, rhs):
+    assert lhs.design.vdd == rhs.design.vdd
+    assert lhs.design.vth == rhs.design.vth
+    assert lhs.design.widths == rhs.design.widths
+    assert lhs.energy.total == rhs.energy.total
+    assert lhs.evaluations == rhs.evaluations
+
+
+# --- quality / efficiency parity ---------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ADAPTIVE)
+def test_parity_s27(s27_problem, s27_reference, strategy):
+    result = optimize_joint(s27_problem,
+                            settings=_adaptive_settings(strategy))
+    assert result.feasible
+    gap = (result.energy.total - s27_reference.energy.total) \
+        / s27_reference.energy.total
+    assert gap <= RELATIVE_TOLERANCE, (
+        f"{strategy} landed {gap:+.2%} above the reference grid optimum")
+    assert result.evaluations * 2 <= s27_reference.evaluations, (
+        f"{strategy} spent {result.evaluations} evaluations; the 2x bar "
+        f"is {s27_reference.evaluations / 2:.0f}")
+    assert result.details["search"]["name"] == strategy
+
+
+@pytest.mark.parametrize("strategy", ADAPTIVE)
+def test_parity_s298(s298_problem, s298_reference, strategy):
+    result = optimize_joint(s298_problem,
+                            settings=_adaptive_settings(strategy))
+    assert result.feasible
+    gap = (result.energy.total - s298_reference.energy.total) \
+        / s298_reference.energy.total
+    assert gap <= RELATIVE_TOLERANCE
+    assert result.evaluations * 2 <= s298_reference.evaluations
+
+
+# --- jobs invariance ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ADAPTIVE)
+def test_serial_and_pooled_runs_identical(s27_problem, strategy):
+    serial = optimize_joint(s27_problem,
+                            settings=_adaptive_settings(strategy))
+    pooled = optimize_joint(s27_problem, settings=_adaptive_settings(
+        strategy, parallel=ParallelPlan(jobs=4, heartbeat_s=0.05)))
+    _assert_identical(serial, pooled)
+    assert pooled.details["parallel_jobs"] == 4
+
+
+def test_seed_changes_the_sampling_but_not_feasibility(s27_problem):
+    base = optimize_joint(s27_problem, settings=_adaptive_settings("random"))
+    reseeded = optimize_joint(s27_problem,
+                              settings=_adaptive_settings("random", seed=7))
+    assert base.feasible and reseeded.feasible
+    assert base.details["search"]["seed"] == 0
+    assert reseeded.details["search"]["seed"] == 7
+
+
+# --- resume identity ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy,interrupt_after",
+                         [("random", 5), ("surrogate", 9),
+                          ("hyperband", 17)])
+def test_interrupted_search_resumes_identically(
+        s27_problem, strategy, interrupt_after, tmp_path):
+    settings = _adaptive_settings(strategy)
+    reference = optimize_joint(s27_problem, settings=settings)
+
+    path = tmp_path / f"{strategy}.ckpt"
+    box = {}
+    events = []
+
+    def cancel_after_k(event):
+        events.append(event)
+        if len(events) == interrupt_after:
+            box["controller"].cancel()
+
+    controller = RunController(progress=cancel_after_k,
+                               checkpoint_path=path)
+    box["controller"] = controller
+    with pytest.raises(RunCancelled):
+        optimize_joint(s27_problem, settings=dataclasses.replace(
+            settings, controller=controller))
+    assert path.exists()
+
+    resumed = optimize_joint(s27_problem, settings=settings,
+                             resume_from=path)
+    _assert_identical(resumed, reference)
+    assert 0 < resumed.details["resumed_corners"] <= interrupt_after
+
+
+# --- the state()/restore() half of the seam ----------------------------------
+
+
+def _drive(strategy, rounds):
+    """Feed a strategy synthetic observations for ``rounds`` rounds."""
+    for _ in range(rounds):
+        candidates = strategy.propose(strategy.proposal_batch)
+        if not candidates:
+            break
+        for candidate in candidates:
+            # A deterministic synthetic landscape with an infeasible
+            # shelf, so accept/reject and culling paths all fire.
+            energy = (candidate.vdd - 0.9) ** 2 + (candidate.vth - 0.3) ** 2
+            feasible = candidate.vdd > 0.4
+            strategy.observe(candidate, energy if feasible else math.inf,
+                             feasible)
+
+
+def _proposals(strategy, rounds):
+    out = []
+    for _ in range(rounds):
+        batch = strategy.propose(strategy.proposal_batch)
+        if not batch:
+            break
+        out.append([(c.vdd, c.vth, c.tag) for c in batch])
+        for candidate in batch:
+            strategy.observe(candidate, candidate.vdd, True)
+    return out
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: RandomStrategy((0.1, 3.3), (0.1, 0.7), budget=24, seed=3),
+    lambda: SurrogateStrategy((0.1, 3.3), (0.1, 0.7), budget=24, seed=3,
+                              priors=[(0.5, 0.2)]),
+    lambda: HyperbandStrategy((0.1, 3.3), (0.1, 0.7), budget=36, seed=3),
+])
+def test_restored_strategy_continues_like_the_original(factory):
+    original = factory()
+    _drive(original, rounds=2)
+    snapshot = original.state()
+
+    restored = factory()
+    restored.restore(snapshot)
+    assert restored.state() == snapshot
+    assert _proposals(restored, rounds=4) == _proposals(original, rounds=4)
+
+
+# --- satellite: the resolved config is the strategy's identity ---------------
+
+
+def test_search_config_distinguishes_strategies():
+    grid = search_config(HeuristicSettings(strategy="grid"))
+    random_cfg = search_config(HeuristicSettings(strategy="random"))
+    reseeded = search_config(HeuristicSettings(strategy="random", seed=5))
+    assert grid == {"name": "grid"}
+    assert random_cfg["name"] == "random"
+    assert random_cfg["budget"] == DEFAULT_BUDGETS["random"]
+    assert random_cfg != reseeded  # a cached run can't cross seeds
+    budgeted = search_config(
+        HeuristicSettings(strategy="random", search_budget=9))
+    assert budgeted["budget"] == 9
+
+
+def test_fingerprint_embeds_the_search_config(s27_problem):
+    from repro.optimize.heuristic import _search_fingerprint
+
+    ranges = ((0.5, 3.3), (0.1, 0.5))
+    grid = _search_fingerprint(s27_problem, HeuristicSettings(), *ranges,
+                               engine_name="fast")
+    random_fp = _search_fingerprint(
+        s27_problem, HeuristicSettings(strategy="random"), *ranges,
+        engine_name="fast")
+    reseeded = _search_fingerprint(
+        s27_problem, HeuristicSettings(strategy="random", seed=5), *ranges,
+        engine_name="fast")
+    assert grid["search"] == {"name": "grid"}
+    assert random_fp != grid
+    assert reseeded != random_fp
+
+
+def test_grid_strategy_unavailable_settings_rejected():
+    with pytest.raises(Exception, match="strategy"):
+        HeuristicSettings(strategy="simulated-annealing")
+    with pytest.raises(Exception, match="search_budget"):
+        HeuristicSettings(strategy="random", search_budget=0)

@@ -147,6 +147,29 @@ class TestDigestStability:
             assert request_fingerprint(base)[1] \
                 != request_fingerprint(other)[1]
 
+    def test_strategy_and_seed_change_the_address(self):
+        # A cached grid scan must never satisfy an adaptive-sampler
+        # request, and seeds/budgets never cross cache slots either.
+        grid = JobRequest(circuit="s27", grid_vdd=4, grid_vth=4)
+        sampled = JobRequest(circuit="s27", grid_vdd=4, grid_vth=4,
+                             strategy="random")
+        reseeded = JobRequest(circuit="s27", grid_vdd=4, grid_vth=4,
+                              strategy="random", seed=5)
+        budgeted = JobRequest(circuit="s27", grid_vdd=4, grid_vth=4,
+                              strategy="random", search_budget=8)
+        digests = [request_fingerprint(request)[1]
+                   for request in (grid, sampled, reseeded, budgeted)]
+        assert len(set(digests)) == 4
+
+    def test_seed_is_inert_for_the_exhaustive_grid(self):
+        # The grid visits every cell regardless of seed, so equal scans
+        # keep sharing a slot across client-side seed defaults.
+        assert request_fingerprint(
+            JobRequest(circuit="s27", grid_vdd=4, grid_vth=4))[1] \
+            == request_fingerprint(
+                JobRequest(circuit="s27", grid_vdd=4, grid_vth=4,
+                           seed=9))[1]
+
     def test_priority_and_deadline_do_not_change_the_address(self):
         # Scheduling knobs shape *when* a job runs, never its result.
         plain = JobRequest(circuit="s27", grid_vdd=4, grid_vth=4)

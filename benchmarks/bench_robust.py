@@ -1,0 +1,76 @@
+"""Bench: robust vs nominal vs worst-case under statistical variation.
+
+Regenerates the statistical counterpart of Figure 2(a) on s27 and s298:
+for each circuit, the nominal optimum, the worst-case (tolerance-
+guarded) optimum and the yield-constrained robust optimum (p95 energy,
+see ``repro.robust``), all re-scored under the same fresh-seed
+Monte-Carlo sample set. Archives, per leg, the design point, nominal
+and p95 energy, the fresh-seed timing yield, and whether the yield
+target was met — the acceptance evidence behind the ``robust-
+invariance`` CI gate. Results land in ``benchmarks/results/`` and
+``BENCH_robust.json`` at the repo root.
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+from repro.experiments.robust_compare import (DEFAULT_CIRCUITS,
+                                              format_robust_compare,
+                                              run_robust_compare)
+from repro.optimize.heuristic import HeuristicSettings
+from repro.robust import RobustConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+CONFIG = RobustConfig()  # p95, 95% yield target, 40 samples, z=1 guard
+SETTINGS = HeuristicSettings(engine="fast")
+
+
+def test_robust_compare(benchmark, record_artifact, record_json):
+    start = time.perf_counter()
+    reports = run_robust_compare(config=None, robust=CONFIG,
+                                 settings=SETTINGS)
+    wall_s = time.perf_counter() - start
+
+    # The timed unit: one full three-way comparison on s27.
+    benchmark.pedantic(
+        lambda: run_robust_compare(circuits=("s27",), robust=CONFIG,
+                                   settings=SETTINGS),
+        rounds=1, iterations=1)
+
+    record_artifact("robust", format_robust_compare(reports))
+
+    results = []
+    for report in reports:
+        for name, leg in report["legs"].items():
+            verification = leg["verification"]
+            results.append({
+                "unit": f"{report['circuit']}:{name}",
+                "evaluations": leg["evaluations"],
+                "wall_s": wall_s / (3 * len(reports)),
+                "best_energy": leg["nominal_energy"],
+                "vdd": leg["vdd"],
+                "vth": leg["vth"],
+                "p95_energy": verification["p95"],
+                "cvar_energy": verification["cvar"],
+                "timing_yield": verification["timing_yield"],
+                "yield_low": verification["yield_low"],
+                "yield_high": verification["yield_high"],
+                "meets_yield": leg["meets_yield"],
+                "degraded": leg["degraded"],
+            })
+    path = record_json(
+        "robust", results=results,
+        circuits=list(DEFAULT_CIRCUITS),
+        config=CONFIG.resolved(),
+        verify_samples=reports[0]["verify_samples"],
+        verify_seed=reports[0]["verify_seed"],
+        worst_tolerance=[report["worst_tolerance"] for report in reports],
+        wall_s=wall_s)
+    shutil.copyfile(path, REPO_ROOT / "BENCH_robust.json")
+
+    # The acceptance bar: the robust design must meet the target yield
+    # under fresh-seed verification on every benchmarked circuit.
+    for report in reports:
+        assert report["legs"]["robust"]["meets_yield"], report["circuit"]

@@ -1,0 +1,173 @@
+"""CI gate: the statistical objective changes nothing it must not change.
+
+Usage::
+
+    python ci/check_robust_invariance.py [--jobs 4]
+
+Four assertions on s27 with the default robust config (p95, 95% yield
+target, 40 samples, z=1 guard band):
+
+1. **Jobs invariance** — a robust search is byte-identical serial and
+   on a worker pool, including every per-corner Monte-Carlo statistic
+   (the counter-seeded sample streams make the estimate a pure function
+   of ``(design, config)``).
+2. **Resume identity** — a robust run cancelled mid-search resumes
+   from its checkpoint to the identical result, with the per-corner
+   statistics restored from the checkpoint instead of re-sampled.
+3. **Statistical identity separation** — a nominal checkpoint can
+   never resume a robust search (and vice versa): the resolved robust
+   config joins the checkpoint fingerprint.
+4. **Degradation labeling** — a robust search over a fault-injected
+   model quarantines the poisoned samples and returns a labeled
+   ``DegradedResult``; it never crashes and never passes silently.
+
+Exits nonzero with a one-line diagnosis on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import NoReturn
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+GRID = dict(grid_vdd=9, grid_vth=7, refine_iters=4, refine_rounds=1,
+            engine="fast")
+
+
+def fail(message: str) -> NoReturn:
+    print(f"check_robust_invariance: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def identity(result) -> str:
+    return json.dumps({
+        "vdd": result.design.vdd,
+        "vth": result.design.vth,
+        "widths": dict(result.design.widths),
+        "energy": result.energy.total,
+        "evaluations": result.evaluations,
+        "robust": result.details["robust"],
+    }, sort_keys=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    from repro.activity.profiles import uniform_profile
+    from repro.context import CircuitContext
+    from repro.engine import use_engine
+    from repro.errors import CheckpointError, RunCancelled
+    from repro.netlist.benchmarks import benchmark_circuit
+    from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+    from repro.optimize.problem import OptimizationProblem
+    from repro.robust import RobustConfig
+    from repro.runtime.controller import RunController
+    from repro.runtime.fallback import DegradedResult
+    from repro.runtime.faults import FaultInjector, FaultSpec
+    from repro.runtime.pool import multiprocessing_available
+    from repro.runtime.supervisor import ParallelPlan
+    from repro.technology.process import Technology
+    from repro.units import MHZ
+
+    if not multiprocessing_available():
+        fail("multiprocessing unavailable; the invariance gate cannot "
+             "exercise the pool")
+
+    network = benchmark_circuit("s27")
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    problem = OptimizationProblem(
+        ctx=CircuitContext(Technology.default(), network, profile),
+        frequency=300 * MHZ)
+    config = RobustConfig()
+
+    def settings(**overrides):
+        merged = dict(GRID, robust=config)
+        merged.update(overrides)
+        return HeuristicSettings(**merged)
+
+    # 1. Jobs invariance, byte for byte including the robust stats.
+    serial = optimize_joint(problem, settings=settings())
+    pooled = optimize_joint(problem, settings=settings(
+        parallel=ParallelPlan(jobs=args.jobs, heartbeat_s=0.05)))
+    if identity(serial) != identity(pooled):
+        fail(f"robust search diverges serial vs --jobs {args.jobs}")
+    print(f"jobs invariance: serial == jobs={args.jobs} "
+          f"({serial.details['robust']['corners']} corners, "
+          f"{serial.details['robust']['samples']} samples)")
+
+    # 2. Resume identity after a mid-search cancellation.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "robust.ckpt"
+        box = {}
+        events = []
+
+        def cancel_after_five(event):
+            events.append(event)
+            if len(events) == 5:
+                box["controller"].cancel()
+
+        controller = RunController(progress=cancel_after_five,
+                                   checkpoint_path=path)
+        box["controller"] = controller
+        try:
+            optimize_joint(problem, settings=settings(
+                controller=controller))
+            fail("cancellation never fired; the resume leg tested nothing")
+        except RunCancelled:
+            pass
+        if not path.exists():
+            fail("no checkpoint written before the cancellation")
+        resumed = optimize_joint(problem, settings=settings(),
+                                 resume_from=path)
+        if identity(resumed) != identity(serial):
+            fail("resumed robust search diverges from the uninterrupted "
+                 "run")
+        if resumed.details["resumed_corners"] <= 0:
+            fail("resume replayed no corners; the identity was vacuous")
+        print(f"resume identity: {resumed.details['resumed_corners']} "
+              f"corners replayed, result identical")
+
+        # 3. A nominal checkpoint must refuse a robust resume.
+        nominal_path = Path(tmp) / "nominal.ckpt"
+        optimize_joint(problem, settings=HeuristicSettings(
+            **GRID, controller=RunController(
+                checkpoint_path=nominal_path)))
+        try:
+            optimize_joint(problem, settings=settings(),
+                           resume_from=nominal_path)
+            fail("a robust search resumed from a nominal checkpoint")
+        except CheckpointError:
+            print("statistical identity: nominal checkpoint refused")
+
+    # 4. Fault-plan degradation labeling (scalar engine: faults live at
+    #    the scalar model seams).
+    plan = [FaultSpec(seam="energy", kind="nan", at_call=40, count=60)]
+    with use_engine("scalar"), FaultInjector(plan) as injector:
+        degraded = optimize_joint(problem, settings=settings(
+            engine="scalar"))
+    if not injector.triggered:
+        fail("fault plan never fired; the degradation leg tested nothing")
+    if not isinstance(degraded, DegradedResult):
+        fail("fault-injected robust search returned an unlabeled result")
+    if degraded.degradation.get("stage") != "robust_estimate":
+        fail(f"unexpected degradation stage: {degraded.degradation}")
+    if degraded.details["robust"]["samples_quarantined"] <= 0:
+        fail("no samples quarantined despite the armed fault plan")
+    print(f"degradation labeling: "
+          f"{degraded.details['robust']['samples_quarantined']} samples "
+          f"quarantined, result labeled degraded")
+
+    print("check_robust_invariance: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

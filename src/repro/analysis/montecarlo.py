@@ -21,13 +21,21 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import OptimizationError
+from repro.errors import (FaultInjectedError, InfeasibleError,
+                          OptimizationError, TimingError)
+from repro.obs.instrument import MC_SAMPLES_FAILED
+from repro.obs.metrics import current_metrics
 from repro.optimize.problem import DesignPoint, OptimizationProblem
 from repro.power.energy import total_energy
 from repro.runtime.supervisor import (ParallelPlan, resolve_parallel,
                                       run_sharded)
 from repro.runtime.tasks import Task, chunk_ranges
 from repro.timing.sta import analyze_timing
+
+#: Errors that quarantine a single sample instead of killing the run
+#: (matches :data:`repro.robust.estimator.SAMPLE_FAULTS`).
+_SAMPLE_FAULTS = (TimingError, InfeasibleError, OptimizationError,
+                  FaultInjectedError)
 
 
 @dataclass(frozen=True)
@@ -49,7 +57,7 @@ class MonteCarloOutcome:
     """Aggregate of one Monte-Carlo variation run."""
 
     samples: int
-    #: Fraction of samples meeting the cycle time.
+    #: Fraction of surviving samples meeting the cycle time.
     timing_yield: float
     #: Per-sample total energies (J), sorted ascending.
     energies: Tuple[float, ...]
@@ -57,6 +65,9 @@ class MonteCarloOutcome:
     delays: Tuple[float, ...]
     nominal_energy: float
     nominal_delay: float
+    #: Samples quarantined after an STA/energy fault (excluded from the
+    #: statistics; ``len(energies) == samples - samples_failed``).
+    samples_failed: int = 0
 
     def energy_percentile(self, fraction: float) -> float:
         return _percentile(self.energies, fraction)
@@ -98,17 +109,22 @@ def _mc_init(problem: OptimizationProblem, design: DesignPoint,
 
 
 def _mc_batch(state, start: int, stop: int
-              ) -> Tuple[Tuple[float, ...], Tuple[float, ...], int]:
+              ) -> Tuple[Tuple[float, ...], Tuple[float, ...], int, int]:
     """Evaluate samples ``[start, stop)`` — a pure Monte-Carlo shard.
 
-    Returns (energies, delays, met) with the per-sample values in
-    sample order (the outcome sorts globally, so concatenation order
-    never matters — but determinism per sample does).
+    Returns (energies, delays, met, failed) with the per-sample values
+    in sample order (the outcome sorts globally, so concatenation order
+    never matters — but determinism per sample does). A sample whose
+    STA or energy evaluation raises a model fault (or produces a
+    non-finite value) is quarantined and counted in ``failed`` rather
+    than killing the whole run; the caller enforces the failure-
+    fraction threshold.
     """
     problem, design, statistics, seed, gates = state
     energies: List[float] = []
     delays: List[float] = []
     met = 0
+    failed = 0
     cycle = problem.cycle_time
     for index in range(start, stop):
         rng = _sample_rng(seed, index)
@@ -118,21 +134,31 @@ def _mc_batch(state, start: int, stop: int
             nominal = design.vth_of(name)
             offset = die_offset + rng.gauss(0.0, statistics.sigma_within)
             vth_map[name] = max(nominal + offset, 0.02)
-        timing = analyze_timing(problem.ctx, design.vdd, vth_map,
-                                design.widths)
-        energy = total_energy(problem.ctx, design.vdd, vth_map,
-                              design.widths, problem.frequency).total
+        try:
+            timing = analyze_timing(problem.ctx, design.vdd, vth_map,
+                                    design.widths)
+            energy = total_energy(problem.ctx, design.vdd, vth_map,
+                                  design.widths, problem.frequency).total
+            if not (math.isfinite(energy)
+                    and math.isfinite(timing.critical_delay)):
+                raise OptimizationError(
+                    f"non-finite sample {index}: energy={energy!r}, "
+                    f"delay={timing.critical_delay!r}")
+        except _SAMPLE_FAULTS:
+            failed += 1
+            continue
         delays.append(timing.critical_delay)
         energies.append(energy)
         if timing.meets(cycle, tolerance=1e-9):
             met += 1
-    return tuple(energies), tuple(delays), met
+    return tuple(energies), tuple(delays), met, failed
 
 
 def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
                           statistics: VariationStatistics | None = None,
                           samples: int = 200, seed: int = 0,
-                          parallel: Optional[ParallelPlan] = None
+                          parallel: Optional[ParallelPlan] = None,
+                          max_failure_fraction: float = 0.5
                           ) -> MonteCarloOutcome:
     """Sample Vth variation around ``design`` and measure timing/energy.
 
@@ -143,9 +169,19 @@ def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
     (explicit ``parallel=`` or ambient
     :func:`repro.runtime.use_parallel`) shards the samples into batches
     without changing a single drawn value.
+
+    A sample whose evaluation raises a model fault is quarantined (see
+    :func:`_mc_batch`) and reported via ``samples_failed`` /
+    the ``mc.samples_failed`` counter; beyond ``max_failure_fraction``
+    the run raises a labeled :class:`~repro.errors.OptimizationError`
+    instead of reporting statistics too corrupted to trust.
     """
     if samples < 1:
         raise OptimizationError(f"samples must be >= 1, got {samples}")
+    if not 0.0 < max_failure_fraction <= 1.0:
+        raise OptimizationError(
+            f"max_failure_fraction must lie in (0, 1], "
+            f"got {max_failure_fraction}")
     statistics = statistics or VariationStatistics()
 
     nominal_timing = analyze_timing(problem.ctx, design.vdd, design.vth,
@@ -171,17 +207,31 @@ def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
     energies: List[float] = []
     delays: List[float] = []
     met = 0
-    for batch_energies, batch_delays, batch_met in batches:
+    failed = 0
+    for batch_energies, batch_delays, batch_met, batch_failed in batches:
         energies.extend(batch_energies)
         delays.extend(batch_delays)
         met += batch_met
+        failed += batch_failed
+
+    if failed:
+        # Counted at the merge, in the main process — worker-side
+        # metrics registries do not cross the pool boundary.
+        current_metrics().incr(MC_SAMPLES_FAILED, failed)
+    if failed / samples > max_failure_fraction or not energies:
+        raise OptimizationError(
+            f"{problem.network.name} Monte-Carlo: {failed}/{samples} "
+            f"samples failed (threshold "
+            f"{max_failure_fraction:.0%}) — statistics would be "
+            f"dominated by the fault, not the variation")
 
     return MonteCarloOutcome(samples=samples,
-                             timing_yield=met / samples,
+                             timing_yield=met / len(energies),
                              energies=tuple(sorted(energies)),
                              delays=tuple(sorted(delays)),
                              nominal_energy=nominal_energy,
-                             nominal_delay=nominal_timing.critical_delay)
+                             nominal_delay=nominal_timing.critical_delay,
+                             samples_failed=failed)
 
 
 def worst_case_pessimism(problem: OptimizationProblem,

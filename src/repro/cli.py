@@ -131,6 +131,57 @@ def _parallel_plan(args: argparse.Namespace) -> Optional[ParallelPlan]:
                         task_timeout_s=args.task_timeout)
 
 
+def _add_robust_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--yield-target", type=float, default=0.95,
+                        metavar="Y",
+                        help="minimum timing yield in (0, 1) enforced as "
+                             "feasibility (default 0.95)")
+    parser.add_argument("--sigma-within", type=float, default=0.010,
+                        metavar="V",
+                        help="within-die Vth sigma in volts "
+                             "(default 0.010)")
+    parser.add_argument("--sigma-die", type=float, default=0.015,
+                        metavar="V",
+                        help="die-to-die Vth sigma in volts "
+                             "(default 0.015)")
+    parser.add_argument("--samples", type=int, default=40, metavar="N",
+                        help="Monte-Carlo samples per corner "
+                             "(default 40)")
+    parser.add_argument("--cull-samples", type=int, default=8, metavar="N",
+                        help="stage-1 samples before hopeless corners "
+                             "are culled (default 8)")
+    parser.add_argument("--robust-seed", type=int, default=0,
+                        help="Monte-Carlo base seed; verification "
+                             "re-samples at seed+1 (default 0)")
+    parser.add_argument("--yield-margin-z", type=float, default=1.0,
+                        metavar="Z",
+                        help="guard band on the yield constraint: "
+                             "feasibility demands the Wilson lower "
+                             "bound at this z clears the target "
+                             "(default 1.0; 0 = raw sample yield)")
+
+
+def _robust_config(args: argparse.Namespace, measure: Optional[str]):
+    """Build the validated RobustConfig of the CLI flags, or None.
+
+    Validation happens here — at argument handling, before any search
+    starts — so a negative sigma is a labeled error at exit 1, never a
+    crash deep inside a worker.
+    """
+    if measure is None:
+        return None
+    from repro.robust import RobustConfig
+
+    return RobustConfig(measure=measure,
+                        yield_target=args.yield_target,
+                        sigma_within=args.sigma_within,
+                        sigma_die=args.sigma_die,
+                        samples=args.samples,
+                        cull_samples=args.cull_samples,
+                        seed=args.robust_seed,
+                        yield_margin_z=args.yield_margin_z)
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     tech = _resolve_technology(args)
     spec_path = Path(args.circuit)
@@ -205,8 +256,25 @@ def _run_optimize(args: argparse.Namespace, problem, network) -> int:
                                  prune=args.prune,
                                  warm_start=args.warm_start,
                                  controller=controller)
-    try:
+    robust_config = _robust_config(args, getattr(args, "robust", None))
+    if robust_config is not None:
+        from repro.errors import OptimizationError
+
         if problem.n_vth > 1:
+            raise OptimizationError(
+                "--robust supports a single Vth (drop --n-vth)")
+        if args.fallback:
+            raise OptimizationError(
+                "--robust and --fallback are mutually exclusive; the "
+                "robust objective has its own degradation labeling")
+    try:
+        if robust_config is not None:
+            from repro.robust import optimize_robust
+
+            result = optimize_robust(problem, robust_config,
+                                     settings=settings,
+                                     resume_from=resume_from)
+        elif problem.n_vth > 1:
             from repro.optimize.multivth import MultiVthSettings, \
                 optimize_multi_vth
 
@@ -248,6 +316,8 @@ def _run_optimize(args: argparse.Namespace, problem, network) -> int:
              format_energy(result.total_energy),
              f"{result.timing.critical_delay / NS:.3f}"]]
     payload = {"joint": result.summary()}
+    if robust_config is not None:
+        payload["robust"] = result.details.get("robust")
     if degradation:
         payload["degradation"] = {key: value for key, value
                                   in degradation.items()}
@@ -280,6 +350,90 @@ def _run_optimize(args: argparse.Namespace, problem, network) -> int:
         if args.baseline:
             print(f"\nsavings: {payload['savings']:.1f}x")
     return 0
+
+
+def _cmd_robust(args: argparse.Namespace) -> int:
+    """Robust optimization / robust-vs-nominal-vs-worst-case report."""
+    from repro.robust import compare_robust, optimize_robust
+
+    tech = _resolve_technology(args)
+    network = _resolve_network(args.circuit)
+    profile = uniform_profile(network, probability=args.probability,
+                              density=args.activity)
+    problem = OptimizationProblem.build(tech, network, profile,
+                                        frequency=args.frequency * MHZ)
+    config = _robust_config(args, args.measure)
+    settings = HeuristicSettings(strategy=args.strategy,
+                                 search_budget=args.search_budget,
+                                 seed=args.seed,
+                                 engine=args.engine,
+                                 grid_vdd=args.grid_vdd,
+                                 grid_vth=args.grid_vth)
+    plan = _parallel_plan(args)
+    with contextlib.ExitStack() as stack:
+        if plan is not None:
+            stack.enter_context(use_parallel(plan))
+        if args.compare:
+            report = compare_robust(problem, config, settings=settings,
+                                    worst_tolerance=args.worst_tolerance)
+            if args.json:
+                print(json.dumps(report, indent=2, sort_keys=True))
+                return 0
+            rows = []
+            for name in ("nominal", "worst_case", "robust"):
+                leg = report["legs"][name]
+                verification = leg["verification"]
+                rows.append([
+                    name, f"{leg['vdd']:.3f}", f"{leg['vth'] * 1000:.0f}",
+                    format_energy(leg["nominal_energy"]),
+                    format_energy(verification[config.measure])
+                    if verification[config.measure] is not None else "-",
+                    f"{verification['timing_yield']:.1%}"
+                    f" [{verification['yield_low']:.1%},"
+                    f" {verification['yield_high']:.1%}]",
+                    "yes" if leg["meets_yield"] else "NO",
+                ])
+            print(format_table(
+                headers=["design", "Vdd (V)", "Vth (mV)", "E nominal",
+                         f"E {config.measure}", "yield (95% CI)",
+                         f">= {config.yield_target:.0%}"],
+                rows=rows,
+                title=f"{network.name} @ {args.frequency:.0f} MHz — "
+                      f"fresh-seed verification "
+                      f"(seed {report['verify_seed']}, "
+                      f"{report['verify_samples']} samples; worst-case "
+                      f"tolerance {report['worst_tolerance']:.3f})"))
+            return 0
+        result = optimize_robust(problem, config, settings=settings)
+        robust = result.details["robust"]
+        payload = {"robust": robust,
+                   "design": result.summary()}
+        degradation = getattr(result, "degradation", None)
+        if degradation:
+            payload["degradation"] = dict(degradation)
+            logger.warning("warning: degraded robust result; see the "
+                           "'degradation' field")
+        if args.json:
+            print(json.dumps(payload, default=str, indent=2))
+            return 0
+        verification = robust["verification"]
+        print(format_table(
+            headers=["Vdd (V)", "Vth (mV)", f"E {config.measure}",
+                     "yield (95% CI)", "corners", "culled", "quarantined"],
+            rows=[[f"{result.design.vdd:.3f}",
+                   f"{result.design.vth * 1000:.0f}",
+                   format_energy(verification[config.measure])
+                   if verification[config.measure] is not None else "-",
+                   f"{verification['timing_yield']:.1%}"
+                   f" [{verification['yield_low']:.1%},"
+                   f" {verification['yield_high']:.1%}]",
+                   str(robust["corners"]), str(robust["corners_culled"]),
+                   str(robust["samples_quarantined"])]],
+            title=f"{network.name} robust optimum "
+                  f"({config.measure}, yield >= "
+                  f"{config.yield_target:.0%}; verified at seed "
+                  f"{verification['seed']})"))
+        return 0 if not degradation else 1
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -386,7 +540,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                          width_method=args.width_method,
                          grid_vdd=args.grid_vdd, grid_vth=args.grid_vth,
                          fallback=args.fallback, priority=args.priority,
-                         deadline_s=args.job_deadline)
+                         deadline_s=args.job_deadline,
+                         robust=args.robust,
+                         yield_target=args.yield_target,
+                         sigma_within=args.sigma_within,
+                         sigma_die=args.sigma_die,
+                         robust_samples=args.samples,
+                         robust_cull_samples=args.cull_samples,
+                         robust_seed=args.robust_seed,
+                         robust_margin_z=args.yield_margin_z)
     ticket = client.submit_request(args.root, request)
     logger.info("request spooled as %s", ticket)
     try:
@@ -515,6 +677,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="bisect sizing: seed each cell's width "
                                "brackets from the previous feasible "
                                "solution (serial grid only)")
+    optimize.add_argument("--robust", choices=("mean", "p95", "cvar"),
+                          default=None, metavar="MEASURE",
+                          help="optimize a statistical risk measure "
+                               "(mean, p95, cvar) of the energy under "
+                               "Vth variation instead of the nominal "
+                               "energy, with --yield-target as the "
+                               "feasibility constraint")
+    _add_robust_params(optimize)
     optimize.add_argument("--trace", default=None, metavar="PATH",
                           help="record a JSONL span trace of the search "
                                "to PATH")
@@ -526,6 +696,40 @@ def build_parser() -> argparse.ArgumentParser:
                                "sizing...) into duration histograms")
     _add_parallel(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
+
+    robust = subparsers.add_parser(
+        "robust",
+        help="variation-aware robust optimization and the "
+             "robust-vs-nominal-vs-worst-case comparison report")
+    robust.add_argument("circuit",
+                        help="benchmark name or .bench file path")
+    _add_common(robust)
+    robust.add_argument("--measure", choices=("mean", "p95", "cvar"),
+                        default="p95",
+                        help="risk measure to minimize (default p95)")
+    _add_robust_params(robust)
+    robust.add_argument("--compare", action="store_true",
+                        help="also optimize the nominal and worst-case "
+                             "(Figure 2a) objectives and verify all "
+                             "three designs on the same fresh samples")
+    robust.add_argument("--worst-tolerance", type=float, default=None,
+                        metavar="TOL",
+                        help="worst-case leg's Vth tolerance (default: "
+                             "+-3 sigma of the statistical model)")
+    robust.add_argument("--strategy",
+                        choices=STRATEGY_CHOICES + ("paper",),
+                        default="grid")
+    robust.add_argument("--search-budget", type=int, default=None,
+                        metavar="N")
+    robust.add_argument("--seed", type=int, default=0,
+                        help="adaptive strategies: proposal RNG seed")
+    robust.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
+    robust.add_argument("--grid-vdd", type=int, default=15)
+    robust.add_argument("--grid-vth", type=int, default=13)
+    robust.add_argument("--json", action="store_true",
+                        help="emit a JSON report")
+    _add_parallel(robust)
+    robust.set_defaults(handler=_cmd_robust)
 
     info = subparsers.add_parser("info", help="show circuit statistics")
     info.add_argument("circuit")
@@ -599,6 +803,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default="closed_form")
     submit.add_argument("--grid-vdd", type=int, default=15)
     submit.add_argument("--grid-vth", type=int, default=13)
+    submit.add_argument("--robust", choices=("mean", "p95", "cvar"),
+                        default=None, metavar="MEASURE",
+                        help="submit a robust job minimizing this risk "
+                             "measure under Vth variation")
+    _add_robust_params(submit)
     submit.add_argument("--fallback", action="store_true",
                         help="solve through the fallback chain; degraded "
                              "results surface labeled in job status")

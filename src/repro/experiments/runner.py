@@ -56,6 +56,10 @@ from repro.experiments.annealing_compare import (
 )
 from repro.experiments.figure2a import format_figure2a, run_figure2a
 from repro.experiments.figure2b import format_figure2b, run_figure2b
+from repro.experiments.robust_compare import (
+    format_robust_compare,
+    run_robust_compare,
+)
 from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.table2 import run_table2, format_table2
 from repro.obs import trace
@@ -74,6 +78,7 @@ _EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig2a": lambda: format_figure2a(run_figure2a()),
     "fig2b": lambda: format_figure2b(run_figure2b()),
     "anneal": lambda: format_annealing_comparison(run_annealing_comparison()),
+    "robust": lambda: format_robust_compare(run_robust_compare()),
 }
 
 #: Traceback frames kept in a failure summary.

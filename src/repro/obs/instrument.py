@@ -77,6 +77,21 @@ POOL_TASKS_QUARANTINED = "pool.tasks.quarantined"
 POOL_WORKER_RESPAWNS = "pool.workers.respawned"
 #: Worker processes spawned at pool start.
 POOL_WORKERS_STARTED = "pool.workers.started"
+#: Monte-Carlo samples drawn by the robust estimator (any corner).
+ROBUST_SAMPLES = "robust.samples"
+#: Robust-estimator samples quarantined after a model fault.
+ROBUST_SAMPLES_QUARANTINED = "robust.samples_quarantined"
+#: Corners culled by the two-stage schedule (stage-1 yield UCB missed
+#: the target before the full sample budget was spent).
+ROBUST_CORNERS_CULLED = "robust.corners_culled"
+#: Completed robust estimates (one per evaluated corner).
+ROBUST_ESTIMATES = "robust.estimates"
+#: Robust estimates returned with a degradation label (quarantined
+#: samples, deadline-partial schedules, or exceeded failure fraction).
+ROBUST_ESTIMATES_DEGRADED = "robust.estimates_degraded"
+#: Monte-Carlo variation samples quarantined after an STA/energy fault
+#: (:func:`repro.analysis.montecarlo.monte_carlo_variation`).
+MC_SAMPLES_FAILED = "mc.samples_failed"
 #: Jobs accepted by the optimization service (admission passed).
 SERVE_JOBS_SUBMITTED = "serve.jobs.submitted"
 #: Submissions rejected by admission control (queue at capacity).

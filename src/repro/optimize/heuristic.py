@@ -49,6 +49,9 @@ from repro.optimize.problem import (
     OptimizationResult,
 )
 from repro.power.energy import total_energy
+from repro.robust.config import RobustConfig
+from repro.robust.objective import (RobustEvaluator, corner_key,
+                                    robust_details)
 from repro.runtime.checkpoint import SearchCheckpoint
 from repro.runtime.controller import RunController, resolve_controller
 from repro.runtime.supervisor import ParallelPlan, resolve_parallel
@@ -128,6 +131,13 @@ class HeuristicSettings:
     #: shards; the paper bisection and the refinement are sequential by
     #: construction.
     parallel: Optional[ParallelPlan] = None
+    #: Optional statistical objective: when set, every corner is scored
+    #: by the configured risk measure (mean/p95/CVaR energy under Vth
+    #: variation) with the timing-yield target enforced as feasibility
+    #: (see :mod:`repro.robust`). The resolved config joins the
+    #: checkpoint fingerprint, so nominal and robust searches can never
+    #: share a checkpoint or a serve cache slot.
+    robust: Optional[RobustConfig] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGY_CHOICES + ("paper",):
@@ -155,6 +165,9 @@ class _SearchState:
     best_widths: Optional[Mapping[str, float]] = None
     evaluations: int = 0
     feasible_points: int = 0
+    #: Robust searches: per-corner estimate records (sample counters,
+    #: yield CI), keyed by :func:`repro.robust.objective.corner_key`.
+    robust_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
 def _make_objective(problem: OptimizationProblem, budgets: BudgetResult,
@@ -182,6 +195,9 @@ def _make_objective(problem: OptimizationProblem, budgets: BudgetResult,
                                   delay_vth_bias=delay_vth_bias,
                                   energy_vth_bias=energy_vth_bias,
                                   warm_starts=warm_starts)
+    if settings.robust is not None:
+        evaluator = RobustEvaluator(evaluator, settings.robust,
+                                    stats=state.robust_stats)
 
     def objective(vdd: float, vth: float) -> float:
         state.evaluations += 1
@@ -399,6 +415,8 @@ def _search_fingerprint(problem: OptimizationProblem,
         "warm_start": settings.warm_start,
         "vdd_range": list(vdd_range),
         "vth_range": list(vth_range),
+        "robust": (settings.robust.resolved()
+                   if settings.robust is not None else None),
     }
 
 
@@ -478,7 +496,10 @@ def optimize_joint(problem: OptimizationProblem,
             "keep warm starts", problem.network.name, plan.jobs)
     # The bound pre-pass assumes the plain objective (energy billed at
     # the search Vth); variation-aware searches scan unpruned.
+    # ... and so do robust searches: the admissible bound is a bound on
+    # the *nominal* energy, not on a risk measure over variation.
     prune_active = (settings.prune and settings.strategy == "grid"
+                    and settings.robust is None
                     and _energy_vth_bias is None
                     and _delay_vth_bias is None)
     if budgets is None:
@@ -522,10 +543,26 @@ def optimize_joint(problem: OptimizationProblem,
                         state.best_energy = energy
                         state.best_point = (vdd, vth)
                         state.best_widths = None
+                    if settings.robust is not None:
+                        # Restore the corner's Monte-Carlo bookkeeping
+                        # instead of re-sampling, so a resumed run
+                        # reports byte-identical robust counters.
+                        stat = checkpoint.robust_stats.get(
+                            corner_key(vdd, vth))
+                        if stat is not None:
+                            state.robust_stats[corner_key(vdd, vth)] = \
+                                dict(stat)
                     return energy
             feasible_before = state.feasible_points
             energy = raw_objective(vdd, vth)
             if checkpoint is not None:
+                if settings.robust is not None:
+                    # Nominal-infeasible corners never draw samples and
+                    # have no stat to persist.
+                    stat = state.robust_stats.get(corner_key(vdd, vth))
+                    if stat is not None:
+                        checkpoint.note_robust_stat(corner_key(vdd, vth),
+                                                    stat)
                 checkpoint.record(
                     vdd, vth, energy,
                     feasible=state.feasible_points > feasible_before,
@@ -646,10 +683,28 @@ def optimize_joint(problem: OptimizationProblem,
         details["warm_start"] = not warm_start_skipped
         if warm_start_skipped:
             details["warm_start_skipped"] = True
+    if settings.robust is not None:
+        details["robust"] = robust_details(settings.robust,
+                                           state.robust_stats,
+                                           state.best_point)
     if checkpoint is not None:
         checkpoint.flush()
         details["checkpoint"] = str(checkpoint.path)
         details["resumed_corners"] = resumed_corners
-    return OptimizationResult(problem=problem, design=design, energy=energy,
-                              timing=timing, evaluations=state.evaluations,
-                              details=details)
+    result = OptimizationResult(problem=problem, design=design, energy=energy,
+                                timing=timing, evaluations=state.evaluations,
+                                details=details)
+    if settings.robust is not None:
+        summary = details["robust"]
+        if summary["samples_quarantined"] or summary["corners_degraded"]:
+            # Statistical degradation is never silent: quarantined
+            # samples or deadline-partial estimates taint the result
+            # with an explicit label (the estimates themselves stay
+            # usable — that is the graceful half of the contract).
+            from repro.runtime.fallback import _degrade
+            result = _degrade(result, {
+                "stage": "robust_estimate",
+                "samples_quarantined": summary["samples_quarantined"],
+                "corners_degraded": summary["corners_degraded"],
+            })
+    return result

@@ -67,22 +67,47 @@ class YieldResult:
     result: OptimizationResult
     tolerance: float
     outcome: MonteCarloOutcome
+    #: Fresh-seed re-sampling of the chosen design (the bisection
+    #: selected on ``outcome``'s samples, so only an independent draw
+    #: measures the yield honestly), and the seed it used.
+    verification: Optional[MonteCarloOutcome] = None
+    verify_seed: Optional[int] = None
 
     @property
     def timing_yield(self) -> float:
         return self.outcome.timing_yield
 
+    @property
+    def verified_yield(self) -> Optional[float]:
+        """Timing yield under the fresh verification seed."""
+        if self.verification is None:
+            return None
+        return self.verification.timing_yield
+
 
 def optimize_for_yield(problem: OptimizationProblem,
                        target: YieldTarget | None = None,
-                       settings: HeuristicSettings | None = None
+                       settings: HeuristicSettings | None = None,
+                       verify_seed: Optional[int] = None
                        ) -> YieldResult:
     """Smallest-tolerance robust design meeting the yield target.
+
+    The chosen design is re-sampled with ``verify_seed`` (defaults to
+    ``target.seed + 1``; must differ from ``target.seed``) and both the
+    seed and the verification outcome are recorded on the result and in
+    ``result.details["yield_verification"]``.
 
     Raises :class:`InfeasibleError` if even ``max_tolerance`` cannot reach
     the target under the given statistics.
     """
     target = target or YieldTarget()
+    if verify_seed is None:
+        verify_seed = target.seed + 1
+    if verify_seed == target.seed:
+        raise OptimizationError(
+            f"verify_seed must differ from the bisection seed "
+            f"{target.seed} — re-sampling the selection set verifies "
+            f"nothing")
     budgets = problem.budgets()
 
     def probe(tolerance: float) -> tuple[OptimizationResult, MonteCarloOutcome]:
@@ -94,6 +119,27 @@ def optimize_for_yield(problem: OptimizationProblem,
                                         seed=target.seed)
         return result, outcome
 
+    def finish(tolerance: float, result: OptimizationResult,
+               outcome: MonteCarloOutcome) -> YieldResult:
+        verification = monte_carlo_variation(problem, result.design,
+                                             statistics=target.statistics,
+                                             samples=target.samples,
+                                             seed=verify_seed)
+        details = dict(result.details)
+        details["yield_verification"] = {
+            "seed": verify_seed,
+            "samples": target.samples,
+            "timing_yield": verification.timing_yield,
+            "samples_failed": verification.samples_failed,
+        }
+        result = OptimizationResult(
+            problem=result.problem, design=result.design,
+            energy=result.energy, timing=result.timing,
+            evaluations=result.evaluations, details=details)
+        return YieldResult(result=result, tolerance=tolerance,
+                           outcome=outcome, verification=verification,
+                           verify_seed=verify_seed)
+
     best: Optional[tuple[float, OptimizationResult,
                          MonteCarloOutcome]] = None
 
@@ -101,7 +147,7 @@ def optimize_for_yield(problem: OptimizationProblem,
     # and the max tolerance must comply for the bisection to make sense.
     result, outcome = probe(0.0)
     if outcome.timing_yield >= target.timing_yield:
-        return YieldResult(result=result, tolerance=0.0, outcome=outcome)
+        return finish(0.0, result, outcome)
     result, outcome = probe(target.max_tolerance)
     if outcome.timing_yield < target.timing_yield:
         raise InfeasibleError(
@@ -121,4 +167,4 @@ def optimize_for_yield(problem: OptimizationProblem,
             low = middle
 
     tolerance, result, outcome = best
-    return YieldResult(result=result, tolerance=tolerance, outcome=outcome)
+    return finish(tolerance, result, outcome)

@@ -1,0 +1,122 @@
+"""The robust drop-in objective: statistical energy behind the seam.
+
+:class:`RobustEvaluator` wraps the nominal
+:class:`repro.engine.Evaluator` and keeps its calling convention —
+``(vdd, vth) -> EngineEvaluation`` — so every search strategy
+(grid/random/surrogate/hyperband), the Hooke-Jeeves descent, the
+refinement passes, and the sharded round driver optimize robust metrics
+without knowing they are: ``energy`` becomes the configured risk
+measure (mean/p95/CVaR of the sampled energy distribution) and
+``feasible`` additionally enforces the timing-yield constraint.
+
+Per-corner estimates land in a ``stats`` sink keyed by
+:func:`corner_key` so the search layer can persist the Monte-Carlo
+bookkeeping (sample/quarantine counters) into checkpoints — which is
+what makes a SIGKILL-resumed robust search report byte-identical
+counters, not just the identical design.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+import math
+
+from repro.engine.base import EngineEvaluation, Evaluator
+from repro.robust.config import RobustConfig
+from repro.robust.estimator import RobustEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.runtime.controller import RunController
+
+
+def corner_key(vdd: float, vth: float) -> str:
+    """Canonical string key of a (Vdd, Vth) corner.
+
+    ``repr`` round-trips floats exactly, so the key built when a corner
+    is evaluated matches the key built when its checkpoint record is
+    replayed.
+    """
+    return f"{float(vdd)!r},{float(vth)!r}"
+
+
+class RobustEvaluator:
+    """Evaluator-compatible wrapper scoring corners by risk measure.
+
+    The nominal evaluation (Procedure 1 budgets + sizing) runs first:
+    a corner that cannot even be sized nominally is infeasible without
+    spending a single Monte-Carlo sample. Feasible sizings are then
+    estimated under variation at the engine-native width handle.
+
+    ``controller`` is deliberately *not* threaded into the per-corner
+    estimates on the search hot path — the search's own objective
+    wrapper checks the deadline between corners, so a checkpoint never
+    records a corner whose estimate was cut short (resume identity).
+    """
+
+    def __init__(self, evaluator: Evaluator, config: RobustConfig,
+                 stats: Optional[Dict[str, Dict[str, object]]] = None):
+        self.evaluator = evaluator
+        self.problem = evaluator.problem
+        self.engine = evaluator.engine
+        self.config = config
+        self.estimator = RobustEstimator(evaluator.problem, config,
+                                         evaluator.engine)
+        #: Per-corner estimate dicts, keyed by :func:`corner_key`.
+        self.stats: Dict[str, Dict[str, object]] = (
+            stats if stats is not None else {})
+
+    @property
+    def evaluations(self) -> int:
+        return self.evaluator.evaluations
+
+    @property
+    def feasible_points(self) -> int:
+        return self.evaluator.feasible_points
+
+    def __call__(self, vdd, vth) -> EngineEvaluation:
+        nominal = self.evaluator(vdd, vth)
+        if not nominal.feasible:
+            return nominal
+        estimate = self.estimator.estimate(vdd, vth, nominal.sizing.widths)
+        self.stats[corner_key(vdd, vth)] = estimate.to_dict()
+        return EngineEvaluation(
+            energy=estimate.objective if estimate.feasible else math.inf,
+            static=nominal.static, dynamic=nominal.dynamic,
+            feasible=estimate.feasible, sizing=nominal.sizing)
+
+    def take_stat(self, vdd, vth) -> Optional[Dict[str, object]]:
+        """Pop the estimate recorded for a corner (shard-merge hook)."""
+        return self.stats.pop(corner_key(vdd, vth), None)
+
+
+def robust_details(config: RobustConfig,
+                   stats: Dict[str, Dict[str, object]],
+                   best_point) -> Dict[str, object]:
+    """Aggregate a search's per-corner estimates for result details.
+
+    ``samples_used + samples_quarantined`` per corner is exactly the
+    number of samples *drawn* there (every drawn sample either survives
+    or is quarantined), so the totals below reconcile with the
+    ``robust.samples``/``robust.samples_quarantined`` counters of an
+    uninterrupted run — including after a checkpoint resume, where the
+    per-corner records are restored instead of re-sampled.
+    """
+    samples = sum(int(stat["samples_used"]) + int(stat["samples_quarantined"])
+                  for stat in stats.values())
+    quarantined = sum(int(stat["samples_quarantined"])
+                      for stat in stats.values())
+    culled = sum(1 for stat in stats.values() if stat["culled"])
+    degraded = sum(1 for stat in stats.values() if stat["degraded"])
+    best = None
+    if best_point is not None:
+        best = stats.get(corner_key(best_point[0], best_point[1]))
+    return {
+        "config": config.resolved(),
+        "corners": len(stats),
+        "samples": samples,
+        "samples_quarantined": quarantined,
+        "corners_culled": culled,
+        "corners_degraded": degraded,
+        "estimate": dict(best) if best is not None else None,
+    }

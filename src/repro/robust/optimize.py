@@ -1,0 +1,168 @@
+"""Robust optimization entry points and the three-way comparison.
+
+:func:`optimize_robust` runs Procedure 2 with the statistical objective
+threaded through the search (any strategy, any parallel plan), then
+*verifies* the winning design with a fresh Monte-Carlo seed — the
+optimizer selected on one sample set, so re-scoring on an independent
+set is what makes the reported yield honest (the winner's curse check).
+The verification seed is recorded in the result details, and a design
+that misses its yield target under verification comes back as a labeled
+:class:`~repro.runtime.fallback.DegradedResult`, never silently.
+
+:func:`compare_robust` produces the robust-vs-nominal-vs-worst-case
+report: the paper's Figure 2a worst-case corners guarantee timing at
+the extreme tolerance and pay for it in energy; the nominal optimum is
+cheapest but gambles on yield; the statistical optimum sits between —
+all three re-scored against the *same* fresh-seed sample set (common
+random numbers) so the energy and yield columns are comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional
+
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.optimize.problem import OptimizationProblem, OptimizationResult
+from repro.optimize.variation import VariationModel, optimize_with_variation
+from repro.robust.config import RobustConfig
+from repro.robust.estimator import RobustEstimate, estimate_design
+from repro.runtime.fallback import DegradedResult, _degrade
+from repro.timing.budgeting import BudgetResult
+
+
+def _verification_config(config: RobustConfig, seed: Optional[int],
+                         samples: Optional[int]) -> RobustConfig:
+    """The fresh-seed re-scoring config: independent samples, no cull.
+
+    Verification answers "what yield does this design really have", so
+    the two-stage cull (an optimization shortcut for hopeless corners)
+    is disabled, the full budget always runs, and the winner's-curse
+    guard band is dropped (``yield_margin_z=0``) — verification
+    measures against the target itself, it does not select.
+    """
+    samples = config.samples if samples is None else samples
+    return dataclasses.replace(
+        config, seed=config.seed + 1 if seed is None else seed,
+        samples=samples, cull_samples=samples, yield_margin_z=0.0)
+
+
+def optimize_robust(problem: OptimizationProblem, config: RobustConfig,
+                    settings: HeuristicSettings | None = None,
+                    budgets: BudgetResult | None = None,
+                    resume_from=None,
+                    verify_samples: Optional[int] = None,
+                    verify_seed: Optional[int] = None) -> OptimizationResult:
+    """Minimize the configured risk measure subject to the yield target.
+
+    Any ``settings.robust`` already present is overridden by ``config``.
+    ``verify_seed`` defaults to ``config.seed + 1`` — always disjoint
+    from the counter-seeded search streams — and is recorded in
+    ``details["robust"]["verification"]["seed"]``.
+    """
+    settings = dataclasses.replace(settings or HeuristicSettings(),
+                                   robust=config)
+    result = optimize_joint(problem, settings=settings, budgets=budgets,
+                            resume_from=resume_from)
+
+    verification = _verification_config(config, verify_seed, verify_samples)
+    estimate = estimate_design(problem, result.design, verification,
+                               engine=settings.engine)
+    details = dict(result.details)
+    robust = dict(details.get("robust") or {})
+    robust["verification"] = {"seed": verification.seed,
+                              **estimate.to_dict()}
+    details["robust"] = robust
+
+    degradation: Dict[str, object] = dict(
+        result.degradation) if isinstance(result, DegradedResult) else {}
+    if estimate.degraded:
+        degradation.setdefault("stage", "robust_verification")
+        degradation["verification_degraded"] = dict(estimate.degradation)
+    if not estimate.feasible:
+        degradation.setdefault("stage", "robust_verification")
+        degradation["yield_miss"] = {
+            "target": config.yield_target,
+            "verified_yield": estimate.timing_yield,
+            "yield_low": estimate.yield_low,
+            "yield_high": estimate.yield_high,
+        }
+
+    rebuilt = OptimizationResult(
+        problem=result.problem, design=result.design, energy=result.energy,
+        timing=result.timing, evaluations=result.evaluations,
+        details=details)
+    if degradation:
+        return _degrade(rebuilt, degradation)
+    return rebuilt
+
+
+def default_worst_tolerance(problem: OptimizationProblem,
+                            config: RobustConfig) -> float:
+    """The Figure 2a tolerance matching the statistical model's spread.
+
+    ±3σ of the combined die + within-die deviation, expressed relative
+    to the middle of the technology's threshold range, capped at the
+    variation model's validity limit — so the worst-case leg guards the
+    same variation the statistical legs sample.
+    """
+    sigma = math.sqrt(config.sigma_die ** 2 + config.sigma_within ** 2)
+    vth_ref = 0.5 * (problem.tech.vth_min + problem.tech.vth_max)
+    return min(0.5, 3.0 * sigma / vth_ref)
+
+
+def _leg(result: OptimizationResult,
+         estimate: RobustEstimate, config: RobustConfig) -> Dict[str, object]:
+    return {
+        "vdd": result.design.vdd,
+        "vth": result.design.vth,
+        "nominal_energy": result.energy.total,
+        "evaluations": result.evaluations,
+        "degraded": bool(result.details.get("degraded")),
+        "verification": estimate.to_dict(),
+        "meets_yield": bool(estimate.timing_yield >= config.yield_target),
+    }
+
+
+def compare_robust(problem: OptimizationProblem, config: RobustConfig,
+                   settings: HeuristicSettings | None = None,
+                   budgets: BudgetResult | None = None,
+                   worst_tolerance: Optional[float] = None,
+                   verify_samples: Optional[int] = None,
+                   verify_seed: Optional[int] = None) -> Dict[str, object]:
+    """Nominal vs worst-case (Figure 2a) vs robust, one report.
+
+    All three optima are re-scored under the *same* fresh-seed sample
+    set, so differences in the energy/yield columns are differences
+    between the designs, not between sample draws.
+    """
+    settings = settings or HeuristicSettings()
+    if budgets is None:
+        budgets = problem.budgets()
+    tolerance = (default_worst_tolerance(problem, config)
+                 if worst_tolerance is None else worst_tolerance)
+
+    nominal = optimize_joint(problem, settings=settings, budgets=budgets)
+    worst = optimize_with_variation(problem, VariationModel(tolerance),
+                                    settings=settings, budgets=budgets)
+    robust = optimize_robust(problem, config, settings=settings,
+                             budgets=budgets, verify_samples=verify_samples,
+                             verify_seed=verify_seed)
+
+    verification = _verification_config(config, verify_seed, verify_samples)
+    legs = {}
+    for name, result in (("nominal", nominal), ("worst_case", worst),
+                         ("robust", robust)):
+        estimate = estimate_design(problem, result.design, verification,
+                                   engine=settings.engine)
+        legs[name] = _leg(result, estimate, config)
+    return {
+        "circuit": problem.network.name,
+        "frequency_hz": problem.frequency,
+        "config": config.resolved(),
+        "verify_seed": verification.seed,
+        "verify_samples": verification.samples,
+        "worst_tolerance": tolerance,
+        "legs": legs,
+    }

@@ -81,6 +81,13 @@ class SearchCheckpoint:
         #: by replaying the corner log) but persisted so an interrupted
         #: adaptive search is inspectable and verifiable.
         self.strategy_state: Optional[Dict[str, object]] = None
+        #: Per-corner robust-estimate bookkeeping (sample/quarantine
+        #: counters, yield CI), keyed by
+        #: :func:`repro.robust.objective.corner_key`. Persisted so a
+        #: resumed robust search reports byte-identical Monte-Carlo
+        #: counters without re-sampling replayed corners; absent (and
+        #: empty) for nominal searches, so old checkpoints still load.
+        self.robust_stats: Dict[str, Dict[str, object]] = {}
         self._pending = 0
         self._state_dirty = False
 
@@ -113,6 +120,12 @@ class SearchCheckpoint:
         self.strategy_state = dict(state) if state is not None else None
         self._state_dirty = True
 
+    def note_robust_stat(self, key: str,
+                         stat: Mapping[str, object]) -> None:
+        """Attach one corner's robust-estimate record (keyed dedup)."""
+        self.robust_stats[key] = dict(stat)
+        self._state_dirty = True
+
     @property
     def completed(self) -> int:
         """Number of distinct corners already evaluated."""
@@ -134,6 +147,7 @@ class SearchCheckpoint:
                            if self.best_point is not None else None),
             "best_widths": self.best_widths,
             "strategy_state": self.strategy_state,
+            "robust_stats": self.robust_stats or None,
         }
 
     def save(self) -> Optional[Path]:
@@ -218,6 +232,14 @@ class SearchCheckpoint:
                     raise CheckpointError(
                         f"{path}: strategy_state must be an object")
                 checkpoint.strategy_state = strategy_state
+            robust_stats = payload.get("robust_stats")
+            if robust_stats is not None:
+                if not isinstance(robust_stats, dict):
+                    raise CheckpointError(
+                        f"{path}: robust_stats must be an object")
+                checkpoint.robust_stats = {
+                    str(key): dict(stat)
+                    for key, stat in robust_stats.items()}
         except CheckpointError:
             raise
         except (TypeError, ValueError, IndexError) as exc:

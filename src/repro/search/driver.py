@@ -30,12 +30,14 @@ from repro.errors import OptimizationError
 from repro.obs import trace
 from repro.obs.instrument import search_metric
 from repro.obs.metrics import current_metrics
+from repro.robust.objective import RobustEvaluator, corner_key
 from repro.runtime.supervisor import run_sharded
 from repro.runtime.tasks import Task, chunk_ranges
 from repro.search.base import Candidate, SearchStrategy
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.optimize.problem import OptimizationProblem
+    from repro.robust.config import RobustConfig
     from repro.runtime.checkpoint import SearchCheckpoint
     from repro.runtime.controller import RunController
     from repro.runtime.supervisor import ParallelPlan
@@ -43,9 +45,20 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 
 
 def _shard_init(problem: "OptimizationProblem", budgets: "BudgetResult",
-                engine_name: str, width_method: str):
-    """Worker initializer: one evaluator per worker."""
-    return problem.evaluator(budgets, engine_name, width_method=width_method)
+                engine_name: str, width_method: str,
+                robust: "Optional[RobustConfig]" = None):
+    """Worker initializer: one evaluator per worker.
+
+    Robust searches wrap the worker's evaluator exactly the way the
+    serial path does (counter-seeded common random numbers make every
+    worker draw the identical per-sample offsets), so shard results are
+    a pure function of the candidates — the jobs-invariance contract.
+    """
+    evaluator = problem.evaluator(budgets, engine_name,
+                                  width_method=width_method)
+    if robust is not None:
+        evaluator = RobustEvaluator(evaluator, robust)
+    return evaluator
 
 
 def _shard_task(evaluator, cells: Tuple[Tuple[int, float, float], ...]
@@ -61,17 +74,31 @@ def _shard_task(evaluator, cells: Tuple[Tuple[int, float, float], ...]
     is at most their minimum — so the merge always finds the winning
     candidate's widths here without every feasible candidate shipping
     its (large) width map across the queue.
+
+    Robust shards additionally return the per-candidate estimate
+    records (``robust``) so the main process can merge the Monte-Carlo
+    bookkeeping into the search state and checkpoint.
     """
     out_cells = []
     improvements: Dict[int, Dict[str, float]] = {}
+    robust: Dict[int, Dict[str, object]] = {}
+    take = getattr(evaluator, "take_stat", None)
     chunk_best = math.inf
     for position, vdd, vth in cells:
         evaluation = evaluator(vdd, vth)
         out_cells.append((position, evaluation.energy, evaluation.feasible))
+        if take is not None:
+            stat = take(vdd, vth)
+            if stat is not None:
+                robust[position] = stat
         if evaluation.feasible and evaluation.energy < chunk_best:
             chunk_best = evaluation.energy
             improvements[position] = dict(evaluation.widths_map())
-    return {"cells": out_cells, "improvements": improvements}
+    out: Dict[str, object] = {"cells": out_cells,
+                              "improvements": improvements}
+    if take is not None:
+        out["robust"] = robust
+    return out
 
 
 def _observe_serial(strategy: SearchStrategy, candidate: Candidate,
@@ -102,6 +129,7 @@ def _parallel_round(strategy: SearchStrategy, candidates: List[Candidate],
 
     what = f"{problem.network.name} {strategy.name} search"
     computed: Dict[int, Tuple[float, bool, Optional[Dict[str, float]]]] = {}
+    robust_stats: Dict[int, Dict[str, object]] = {}
     if fresh:
         prefix = (strategy.name if round_index == 0
                   else f"{strategy.name}[r{round_index}]")
@@ -120,6 +148,9 @@ def _parallel_round(strategy: SearchStrategy, candidates: List[Candidate],
             for position, energy, feasible in result.value["cells"]:
                 widths = result.value["improvements"].get(position)
                 point = (candidates[position].vdd, candidates[position].vth)
+                stat = result.value.get("robust", {}).get(position)
+                if stat is not None:
+                    checkpoint.note_robust_stat(corner_key(*point), stat)
                 checkpoint.record(
                     point[0], point[1], energy, feasible=feasible,
                     best_energy=energy if widths is not None else math.inf,
@@ -128,7 +159,8 @@ def _parallel_round(strategy: SearchStrategy, candidates: List[Candidate],
 
         run = run_sharded(tasks, init_fn=_shard_init,
                           init_args=(problem, budgets, engine_name,
-                                     settings.width_method),
+                                     settings.width_method,
+                                     getattr(settings, "robust", None)),
                           plan=plan, controller=controller,
                           on_result=on_result, what=what)
         run.raise_if_quarantined(what)
@@ -137,12 +169,21 @@ def _parallel_round(strategy: SearchStrategy, candidates: List[Candidate],
                 computed[position] = (energy, feasible,
                                       result.value["improvements"]
                                       .get(position))
+            robust_stats.update(result.value.get("robust") or {})
 
     for position, candidate in enumerate(candidates):
         if position not in computed:
             _observe_serial(strategy, candidate, state, objective)
             continue
         energy, feasible, widths = computed[position]
+        stat = robust_stats.get(position)
+        if stat is not None:
+            key = corner_key(candidate.vdd, candidate.vth)
+            sink = getattr(state, "robust_stats", None)
+            if sink is not None:
+                sink[key] = dict(stat)
+            if checkpoint is not None:
+                checkpoint.note_robust_stat(key, stat)
         state.evaluations += 1
         if feasible:
             state.feasible_points += 1

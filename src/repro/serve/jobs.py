@@ -69,7 +69,9 @@ _REQUEST_FIELDS = ("circuit", "deck", "frequency_mhz", "activity",
                    "probability", "n_vth", "strategy", "search_budget",
                    "seed", "engine", "width_method", "grid_vdd", "grid_vth",
                    "refine_iters", "refine_rounds", "m_steps", "fallback",
-                   "priority", "deadline_s")
+                   "priority", "deadline_s", "robust", "yield_target",
+                   "sigma_within", "sigma_die", "robust_samples",
+                   "robust_cull_samples", "robust_seed", "robust_margin_z")
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,17 @@ class JobRequest:
     priority: int = 0
     #: Per-job wall-clock budget in seconds (None = unbounded).
     deadline_s: Optional[float] = None
+    #: Robust risk measure ("mean"/"p95"/"cvar"); None = nominal job.
+    #: Part of the result-cache key via the search fingerprint — a
+    #: cached nominal result never satisfies a robust request.
+    robust: Optional[str] = None
+    yield_target: float = 0.95
+    sigma_within: float = 0.010
+    sigma_die: float = 0.015
+    robust_samples: int = 40
+    robust_cull_samples: int = 8
+    robust_seed: int = 0
+    robust_margin_z: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.circuit:
@@ -127,6 +140,15 @@ class JobRequest:
         if self.search_budget is not None and self.search_budget < 1:
             raise OptimizationError(
                 f"search_budget must be >= 1, got {self.search_budget}")
+        if self.robust is not None:
+            if self.n_vth > 1:
+                raise OptimizationError(
+                    "robust jobs support a single Vth (n_vth=1); the "
+                    "multi-Vth solver has no statistical objective yet")
+            # Statistical inputs are validated here — at admission —
+            # so a bad yield target is an {"status": "invalid"}
+            # response, never a deep worker crash.
+            robust_config_for(self)
 
     def to_dict(self) -> Dict[str, object]:
         """The wire/journal form of the request (plain JSON types)."""
@@ -177,6 +199,28 @@ def problem_for(request: JobRequest):
                            request.probability, request.n_vth)
 
 
+def robust_config_for(request: JobRequest):
+    """The :class:`~repro.robust.RobustConfig` of a robust request.
+
+    Raises the config's own labeled
+    :class:`~repro.errors.OptimizationError` on bad statistical inputs
+    (unknown measure, yield target outside (0, 1), negative sigmas,
+    too few samples); ``None`` for nominal requests.
+    """
+    if request.robust is None:
+        return None
+    from repro.robust import RobustConfig
+
+    return RobustConfig(measure=request.robust,
+                        yield_target=request.yield_target,
+                        sigma_within=request.sigma_within,
+                        sigma_die=request.sigma_die,
+                        samples=request.robust_samples,
+                        cull_samples=request.robust_cull_samples,
+                        seed=request.robust_seed,
+                        yield_margin_z=request.robust_margin_z)
+
+
 def settings_for(request: JobRequest):
     """The single-Vth Procedure 2 settings a request maps to."""
     from repro.optimize.heuristic import HeuristicSettings
@@ -190,7 +234,8 @@ def settings_for(request: JobRequest):
                              refine_iters=request.refine_iters,
                              refine_rounds=request.refine_rounds,
                              width_method=request.width_method,
-                             engine=request.engine)
+                             engine=request.engine,
+                             robust=robust_config_for(request))
 
 
 def search_fingerprint_for(request: JobRequest) -> Dict[str, object]:

@@ -193,6 +193,9 @@ def _execute_job_task(_state, request_dict: Dict[str, object],
         "degradation": json_sanitize(dict(degradation))
         if degradation else None,
     }
+    robust = result.details.get("robust")
+    if robust is not None:
+        payload["robust"] = json_sanitize(robust)
     return {"result": payload, **diagnostics}
 
 

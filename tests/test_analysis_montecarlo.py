@@ -111,3 +111,69 @@ def test_explicit_single_job_plan_matches_ambient_none(s27_problem,
                                     samples=6, seed=5,
                                     parallel=ParallelPlan(jobs=1))
     assert planned == plain
+
+
+# --- per-sample fault quarantine ---------------------------------------------
+
+
+def test_clean_run_reports_zero_failed_samples(s27_problem, s27_joint):
+    outcome = monte_carlo_variation(s27_problem, s27_joint.design,
+                                    samples=10, seed=3)
+    assert outcome.samples_failed == 0
+    assert len(outcome.energies) == 10
+
+
+def test_faulted_samples_are_quarantined_not_fatal(s27_problem, s27_joint):
+    from repro.runtime.faults import FaultInjector, FaultSpec
+
+    # Call 1 is the nominal evaluation; samples occupy calls 2..N+1.
+    plan = [FaultSpec(seam="energy", kind="nan", at_call=3, count=4)]
+    with FaultInjector(plan) as injector:
+        outcome = monte_carlo_variation(s27_problem, s27_joint.design,
+                                        samples=20, seed=3)
+    assert injector.triggered
+    assert outcome.samples_failed == 4
+    assert len(outcome.energies) == 16
+    assert 0.0 <= outcome.timing_yield <= 1.0
+
+
+def test_failure_threshold_raises_a_labeled_error(s27_problem, s27_joint):
+    from repro.runtime.faults import FaultInjector, FaultSpec
+
+    plan = [FaultSpec(seam="energy", kind="nan", at_call=2, count=10)]
+    with FaultInjector(plan):
+        with pytest.raises(OptimizationError, match="samples failed"):
+            monte_carlo_variation(s27_problem, s27_joint.design,
+                                  samples=20, seed=3,
+                                  max_failure_fraction=0.25)
+
+
+def test_all_samples_failing_raises_even_at_full_tolerance(
+        s27_problem, s27_joint):
+    from repro.runtime.faults import FaultInjector, FaultSpec
+
+    plan = [FaultSpec(seam="energy", kind="nan", at_call=2, count=10 ** 6)]
+    with FaultInjector(plan):
+        with pytest.raises(OptimizationError, match="samples failed"):
+            monte_carlo_variation(s27_problem, s27_joint.design,
+                                  samples=10, seed=3,
+                                  max_failure_fraction=1.0)
+
+
+def test_failure_fraction_validation(s27_problem, s27_joint):
+    with pytest.raises(OptimizationError, match="max_failure_fraction"):
+        monte_carlo_variation(s27_problem, s27_joint.design,
+                              samples=5, max_failure_fraction=0.0)
+
+
+def test_failed_counter_is_incremented(s27_problem, s27_joint):
+    from repro.obs.instrument import MC_SAMPLES_FAILED
+    from repro.obs.metrics import MetricsRegistry, use_metrics
+    from repro.runtime.faults import FaultInjector, FaultSpec
+
+    registry = MetricsRegistry()
+    plan = [FaultSpec(seam="energy", kind="nan", at_call=3, count=2)]
+    with use_metrics(registry), FaultInjector(plan):
+        monte_carlo_variation(s27_problem, s27_joint.design,
+                              samples=10, seed=3)
+    assert registry.counters()[MC_SAMPLES_FAILED] == 2

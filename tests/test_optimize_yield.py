@@ -58,3 +58,38 @@ def test_unreachable_target_raises(s27_problem):
                          max_tolerance=0.05, **FAST_TARGET_KWARGS)
     with pytest.raises(InfeasibleError, match="unreachable"):
         optimize_for_yield(s27_problem, target=target, settings=FAST)
+
+
+# --- fresh-seed verification -------------------------------------------------
+
+
+def test_verification_uses_a_fresh_seed_and_is_recorded(s27_problem):
+    statistics = VariationStatistics(sigma_die=0.03, sigma_within=0.02)
+    target = YieldTarget(timing_yield=0.95, statistics=statistics,
+                         **FAST_TARGET_KWARGS)
+    result = optimize_for_yield(s27_problem, target=target, settings=FAST)
+    assert result.verify_seed == target.seed + 1
+    assert result.verification is not None
+    assert result.verification.samples == target.samples
+    assert result.verified_yield == result.verification.timing_yield
+    recorded = result.result.details["yield_verification"]
+    assert recorded["seed"] == result.verify_seed
+    assert recorded["timing_yield"] == result.verified_yield
+    assert recorded["samples_failed"] == 0
+
+
+def test_explicit_verify_seed_is_honoured(s27_problem):
+    statistics = VariationStatistics(sigma_die=0.0, sigma_within=0.0)
+    target = YieldTarget(timing_yield=0.99, statistics=statistics,
+                         **FAST_TARGET_KWARGS)
+    result = optimize_for_yield(s27_problem, target=target, settings=FAST,
+                                verify_seed=123)
+    assert result.verify_seed == 123
+    assert result.result.details["yield_verification"]["seed"] == 123
+
+
+def test_verify_seed_equal_to_selection_seed_is_rejected(s27_problem):
+    target = YieldTarget(**FAST_TARGET_KWARGS)
+    with pytest.raises(OptimizationError, match="verify_seed"):
+        optimize_for_yield(s27_problem, target=target, settings=FAST,
+                           verify_seed=target.seed)

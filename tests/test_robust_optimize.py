@@ -1,0 +1,265 @@
+"""The robust objective threaded through the search stack.
+
+The contracts mirror the search-parity harness: a robust search must be
+byte-identical serial and under a worker pool, resume identically from
+a checkpoint, refuse a checkpoint with a different statistical
+identity, and label every statistical degradation — on top of actually
+optimizing the configured risk measure under the yield constraint.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine import use_engine
+from repro.errors import CheckpointError, RunCancelled
+from repro.obs.metrics import MetricsRegistry
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.robust import (RobustConfig, compare_robust, corner_key,
+                          optimize_robust)
+from repro.runtime.controller import RunController
+from repro.runtime.fallback import DegradedResult
+from repro.runtime.faults import FaultInjector, FaultSpec
+from repro.runtime.pool import multiprocessing_available
+from repro.runtime.supervisor import ParallelPlan
+from repro.serve.jobs import JobRequest, search_fingerprint_for
+from repro.serve.service import OptimizationService
+
+needs_mp = pytest.mark.skipif(not multiprocessing_available(),
+                              reason="multiprocessing unavailable")
+
+# With the z=1 guard band a perfect n/n yield certifies a target of
+# n/(n+1): 20 samples is the smallest budget that can clear 0.95.
+CONFIG = RobustConfig(samples=20, cull_samples=6, seed=1)
+FAST = dict(grid_vdd=9, grid_vth=7, refine_iters=4, refine_rounds=1,
+            engine="fast")
+
+
+def robust_settings(**overrides):
+    merged = dict(FAST, robust=CONFIG)
+    merged.update(overrides)
+    return HeuristicSettings(**merged)
+
+
+def identity(result):
+    """The byte-level identity of a robust result (design + stats)."""
+    return json.dumps({
+        "vdd": result.design.vdd,
+        "vth": result.design.vth,
+        "widths": dict(result.design.widths),
+        "energy": result.energy.total,
+        "evaluations": result.evaluations,
+        "robust": result.details["robust"],
+    }, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def s27_robust(s27_problem):
+    return optimize_joint(s27_problem, settings=robust_settings())
+
+
+class TestRobustSearch:
+    def test_end_to_end_feasible_with_details(self, s27_problem,
+                                              s27_robust):
+        result = s27_robust
+        assert result.feasible
+        robust = result.details["robust"]
+        assert robust["config"] == CONFIG.resolved()
+        assert robust["corners"] > 0
+        assert robust["samples"] > 0
+        assert robust["samples_quarantined"] == 0
+        assert robust["corners_degraded"] == 0
+        estimate = robust["estimate"]
+        assert estimate["feasible"] is True
+        assert estimate["measure"] == "p95"
+        assert result.details.get("degraded") is not True
+
+    def test_best_corner_estimate_matches_the_stream(self, s27_problem,
+                                                     s27_robust):
+        # The recorded winning estimate must be reproducible from the
+        # counter-seeded stream alone.
+        from repro.robust.estimator import estimate_design
+
+        recorded = s27_robust.details["robust"]["estimate"]
+        replayed = estimate_design(s27_problem, s27_robust.design,
+                                   CONFIG, engine="fast")
+        assert replayed.to_dict() == recorded
+
+    def test_robust_optimum_spends_no_less_energy_than_nominal(
+            self, s27_problem, s27_robust):
+        nominal = optimize_joint(s27_problem,
+                                 settings=HeuristicSettings(**FAST))
+        assert s27_robust.energy.total >= nominal.energy.total * 0.999
+
+    def test_measures_change_the_objective(self, s27_problem):
+        mean = optimize_joint(s27_problem, settings=robust_settings(
+            robust=dataclasses.replace(CONFIG, measure="mean")))
+        assert mean.details["robust"]["estimate"]["measure"] == "mean"
+
+    def test_random_strategy_carries_the_objective(self, s27_problem):
+        result = optimize_joint(s27_problem, settings=robust_settings(
+            strategy="random", search_budget=8))
+        assert result.details["search"]["name"] == "random"
+        assert result.details["robust"]["corners"] > 0
+
+
+class TestInvariance:
+    @needs_mp
+    def test_serial_and_pooled_byte_identical(self, s27_problem,
+                                              s27_robust):
+        pooled = optimize_joint(s27_problem, settings=robust_settings(
+            parallel=ParallelPlan(jobs=4, heartbeat_s=0.05)))
+        assert identity(pooled) == identity(s27_robust)
+        assert pooled.details["parallel_jobs"] == 4
+
+    def test_interrupted_search_resumes_identically(self, s27_problem,
+                                                    s27_robust, tmp_path):
+        path = tmp_path / "robust.ckpt"
+        box = {}
+        events = []
+
+        def cancel_after_five(event):
+            events.append(event)
+            if len(events) == 5:
+                box["controller"].cancel()
+
+        controller = RunController(progress=cancel_after_five,
+                                   checkpoint_path=path)
+        box["controller"] = controller
+        with pytest.raises(RunCancelled):
+            optimize_joint(s27_problem, settings=robust_settings(
+                controller=controller))
+        assert path.exists()
+
+        resumed = optimize_joint(s27_problem, settings=robust_settings(),
+                                 resume_from=path)
+        assert identity(resumed) == identity(s27_robust)
+        assert resumed.details["resumed_corners"] > 0
+
+    def test_nominal_checkpoint_refuses_a_robust_resume(self, s27_problem,
+                                                        tmp_path):
+        path = tmp_path / "nominal.ckpt"
+        controller = RunController(checkpoint_path=path)
+        optimize_joint(s27_problem, settings=HeuristicSettings(
+            **FAST, controller=controller))
+        assert path.exists()
+        with pytest.raises(CheckpointError, match="different search"):
+            optimize_joint(s27_problem, settings=robust_settings(),
+                           resume_from=path)
+
+    def test_fingerprint_separates_statistical_identities(self):
+        nominal = search_fingerprint_for(JobRequest(circuit="s27"))
+        robust = search_fingerprint_for(JobRequest(circuit="s27",
+                                                   robust="p95"))
+        reseeded = search_fingerprint_for(JobRequest(circuit="s27",
+                                                     robust="p95",
+                                                     robust_seed=3))
+        assert nominal["robust"] is None
+        assert robust["robust"]["measure"] == "p95"
+        assert robust != nominal
+        assert reseeded != robust
+
+
+class TestDegradationLabeling:
+    def test_transient_faults_label_the_result(self, s27_problem):
+        # Faults live at the scalar model seams; a robust search over
+        # them must quarantine the poisoned samples and come back as a
+        # labeled DegradedResult, never crash, never silently pass.
+        plan = [FaultSpec(seam="energy", kind="nan", at_call=40, count=60)]
+        with use_engine("scalar"), FaultInjector(plan) as injector:
+            result = optimize_joint(s27_problem, settings=robust_settings(
+                engine="scalar"))
+        assert injector.triggered
+        assert isinstance(result, DegradedResult)
+        assert result.degradation["stage"] == "robust_estimate"
+        assert result.degradation["samples_quarantined"] > 0
+        assert result.details["robust"]["samples_quarantined"] > 0
+        assert result.feasible
+
+
+class TestOptimizeRobust:
+    def test_verification_uses_a_fresh_seed(self, s27_problem):
+        result = optimize_robust(s27_problem, CONFIG,
+                                 settings=HeuristicSettings(**FAST))
+        verification = result.details["robust"]["verification"]
+        assert verification["seed"] == CONFIG.seed + 1
+        assert verification["samples_used"] == CONFIG.samples
+        assert verification["feasible"] is True
+        assert verification["timing_yield"] >= CONFIG.yield_target
+        assert not isinstance(result, DegradedResult)
+
+    def test_yield_miss_is_a_labeled_degradation(self, s27_problem):
+        # The winner's curse, reproduced: two lucky samples and no
+        # guard band let the search certify a boundary corner that a
+        # 40-sample fresh-seed verification shows misses the target.
+        # The result must come back labeled, never silently.
+        config = RobustConfig(samples=2, cull_samples=2, seed=1,
+                              yield_margin_z=0.0, sigma_die=0.05,
+                              sigma_within=0.03)
+        result = optimize_robust(s27_problem, config,
+                                 settings=HeuristicSettings(
+                                     grid_vdd=9, grid_vth=7,
+                                     refine_iters=1, refine_rounds=1,
+                                     engine="fast"),
+                                 verify_samples=40)
+        assert isinstance(result, DegradedResult)
+        degradation = result.degradation
+        assert degradation["stage"] == "robust_verification"
+        miss = degradation["yield_miss"]
+        assert miss["verified_yield"] < miss["target"] == 0.95
+        verification = result.details["robust"]["verification"]
+        assert verification["samples_used"] == 40
+        assert verification["seed"] == config.seed + 1
+
+    def test_compare_reports_all_three_legs(self, s27_problem):
+        report = compare_robust(s27_problem, CONFIG,
+                                settings=HeuristicSettings(**FAST))
+        assert set(report["legs"]) == {"nominal", "worst_case", "robust"}
+        for leg in report["legs"].values():
+            assert leg["verification"]["samples_used"] \
+                == report["verify_samples"]
+        assert report["legs"]["robust"]["meets_yield"]
+        assert report["verify_seed"] == CONFIG.seed + 1
+        # Guarding the worst case costs energy; the robust optimum
+        # must not be the most expensive of the three.
+        worst = report["legs"]["worst_case"]["nominal_energy"]
+        robust = report["legs"]["robust"]["nominal_energy"]
+        assert robust <= worst * 1.001
+
+
+class TestServeIntegration:
+    def test_robust_job_completes_with_robust_payload(self, tmp_path):
+        service = OptimizationService(tmp_path, registry=MetricsRegistry())
+        job = service.submit(JobRequest(
+            circuit="s27", grid_vdd=6, grid_vth=5, robust="p95",
+            yield_target=0.8, robust_samples=8, robust_cull_samples=4))
+        assert service.step() == 1
+        payload = json.loads((tmp_path / "results"
+                              / f"{job.job_id}.json").read_text())
+        robust = payload["robust"]
+        assert robust["corners"] > 0
+        assert robust["estimate"]["measure"] == "p95"
+        assert payload["summary"]["feasible"] is True
+
+    def test_robust_and_nominal_requests_never_share_cache(self, tmp_path):
+        service = OptimizationService(tmp_path, registry=MetricsRegistry())
+        base = dict(circuit="s27", grid_vdd=5, grid_vth=4)
+        robust_kwargs = dict(base, robust="p95", yield_target=0.8,
+                             robust_samples=8, robust_cull_samples=4)
+        nominal = service.submit(JobRequest(**base))
+        service.step()
+        robust = service.submit(JobRequest(**robust_kwargs))
+        service.step()
+        assert nominal.detail["cached"] is False
+        assert robust.detail["cached"] is False
+        # Identical resubmission of the robust request IS a cache hit.
+        again = service.submit(JobRequest(**robust_kwargs))
+        service.step()
+        assert again.detail["cached"] is True
+
+
+def test_corner_key_round_trips_floats():
+    assert corner_key(0.1 + 0.2, 0.3) == corner_key(0.30000000000000004,
+                                                    0.3)
+    assert corner_key(0.9, 0.25) != corner_key(0.9, 0.250000001)

@@ -1,0 +1,98 @@
+"""Crash recovery of a robust search under a real SIGKILL.
+
+The PR-4 property, extended to the statistical objective: SIGKILL a
+process mid-robust-search; resuming from its checkpoint must finish
+byte-identical to an uninterrupted run — including every per-corner
+Monte-Carlo statistic, which rides in the checkpoint instead of being
+re-sampled.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+from repro.robust import RobustConfig
+
+CONFIG = RobustConfig(samples=40, cull_samples=8, seed=1)
+#: A grid big enough that the kill lands mid-search (~200 corners).
+GRID = dict(grid_vdd=15, grid_vth=13, refine_iters=4, refine_rounds=1,
+            engine="fast")
+
+WORKER = textwrap.dedent("""
+    import sys
+
+    from repro.activity.profiles import uniform_profile
+    from repro.context import CircuitContext
+    from repro.netlist.benchmarks import s27
+    from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+    from repro.optimize.problem import OptimizationProblem
+    from repro.robust import RobustConfig
+    from repro.runtime.controller import RunController
+    from repro.technology.process import Technology
+    from repro.units import MHZ
+
+    checkpoint = sys.argv[1]
+    network = s27()
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    problem = OptimizationProblem(
+        ctx=CircuitContext(Technology.default(), network, profile),
+        frequency=300 * MHZ)
+    settings = HeuristicSettings(
+        grid_vdd=15, grid_vth=13, refine_iters=4, refine_rounds=1,
+        engine="fast",
+        robust=RobustConfig(samples=40, cull_samples=8, seed=1),
+        controller=RunController(checkpoint_path=checkpoint))
+    optimize_joint(problem, settings=settings)
+""")
+
+
+def identity(result):
+    return json.dumps({
+        "vdd": result.design.vdd,
+        "vth": result.design.vth,
+        "widths": dict(result.design.widths),
+        "energy": result.energy.total,
+        "evaluations": result.evaluations,
+        "robust": result.details["robust"],
+    }, sort_keys=True)
+
+
+@pytest.mark.slow
+def test_sigkill_mid_robust_search_resumes_identically(s27_problem,
+                                                       tmp_path):
+    reference = optimize_joint(s27_problem, settings=HeuristicSettings(
+        **GRID, robust=CONFIG))
+
+    checkpoint = tmp_path / "robust.ckpt"
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-c", WORKER, str(checkpoint)], env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    # Kill as soon as the search has checkpointed at least one corner,
+    # so the restart genuinely resumes mid-search.
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if checkpoint.exists() or process.poll() is not None:
+            break
+        time.sleep(0.01)
+    assert checkpoint.exists(), "worker never wrote a checkpoint"
+    if process.poll() is None:
+        process.send_signal(signal.SIGKILL)
+    process.wait(timeout=10)
+
+    resumed = optimize_joint(s27_problem, settings=HeuristicSettings(
+        **GRID, robust=CONFIG), resume_from=checkpoint)
+    assert identity(resumed) == identity(reference)
+    assert resumed.details["resumed_corners"] > 0

@@ -1,0 +1,194 @@
+"""CI gate: the batched engine is a pure execution detail.
+
+Usage::
+
+    python ci/check_batch_parity.py [--jobs 4]
+
+Five assertions on s27, comparing ``engine="batch"`` against
+``engine="fast"`` (the looped array engine the batch axis vectorizes):
+
+1. **Grid identity** — the grid search lands on the identical design
+   (point, widths, energy, evaluation count), and the checkpoint files
+   the two runs write are **byte-identical** (the batch engine
+   fingerprints as ``"fast"``, so the files are interchangeable).
+2. **Jobs invariance** — the same holds at ``--jobs N`` on the worker
+   pool, for both engines, against the serial reference.
+3. **Serve cache keys** — ``request_fingerprint`` digests (and the
+   checkpoint fingerprints they extend) are equal for the two engines:
+   a cached fast result satisfies a batch request and vice versa.
+4. **Robust + Monte-Carlo identity** — a robust (yield-constrained)
+   search and a Monte-Carlo sweep produce identical outcomes through
+   the batched die/sample stages.
+5. **Benchmark floors** — ``BENCH_batch.json`` is present, well formed,
+   and (when it was measured on >= 2 cores) meets the speedup floors it
+   declares.
+
+The gate also proves the batched path actually ran (``engine.batch.*``
+counters fired) — parity of a fallback loop would prove nothing.
+
+Exits nonzero with a one-line diagnosis on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import NoReturn
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_batch.json"
+
+REFERENCE = dict(grid_vdd=13, grid_vth=11, refine_iters=6, refine_rounds=1)
+
+
+def fail(message: str) -> NoReturn:
+    print(f"check_batch_parity: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _same(lhs, rhs) -> bool:
+    return (lhs.design.vdd == rhs.design.vdd
+            and lhs.design.vth == rhs.design.vth
+            and lhs.design.widths == rhs.design.widths
+            and lhs.energy.total == rhs.energy.total
+            and lhs.evaluations == rhs.evaluations)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    from repro.activity.profiles import uniform_profile
+    from repro.analysis.montecarlo import monte_carlo_variation
+    from repro.netlist.benchmarks import benchmark_circuit
+    from repro.obs.instrument import BATCH_CALLS
+    from repro.obs.metrics import MetricsRegistry, use_metrics
+    from repro.optimize.heuristic import HeuristicSettings, optimize_joint
+    from repro.optimize.problem import OptimizationProblem
+    from repro.robust.config import RobustConfig
+    from repro.runtime.controller import RunController
+    from repro.runtime.pool import multiprocessing_available
+    from repro.runtime.supervisor import ParallelPlan
+    from repro.serve.jobs import JobRequest, request_fingerprint, \
+        search_fingerprint_for
+    from repro.technology.process import Technology
+    from repro.units import MHZ
+
+    network = benchmark_circuit("s27")
+    profile = uniform_profile(network, probability=0.5, density=0.1)
+    problem = OptimizationProblem.build(Technology.default(), network,
+                                        profile, frequency=300 * MHZ)
+
+    def run(engine, *, checkpoint=None, registry=None, **overrides):
+        settings = HeuristicSettings(engine=engine, **REFERENCE, **overrides)
+        if checkpoint is not None:
+            settings = dataclasses.replace(settings, controller=RunController(
+                checkpoint_path=checkpoint))
+        with use_metrics(registry or MetricsRegistry()):
+            return optimize_joint(problem, settings=settings)
+
+    print("[1/5] grid identity and checkpoint bytes, fast vs batch")
+    batch_metrics = MetricsRegistry()
+    with tempfile.TemporaryDirectory() as tmp:
+        fast_ckpt = Path(tmp) / "fast.ckpt"
+        batch_ckpt = Path(tmp) / "batch.ckpt"
+        fast = run("fast", checkpoint=fast_ckpt)
+        batch = run("batch", checkpoint=batch_ckpt, registry=batch_metrics)
+        if not _same(fast, batch):
+            fail(f"grid diverged: batch {batch.design.vdd}/{batch.design.vth}"
+                 f" ({batch.evaluations} evals) vs fast "
+                 f"{fast.design.vdd}/{fast.design.vth} "
+                 f"({fast.evaluations} evals)")
+        if fast_ckpt.read_bytes() != batch_ckpt.read_bytes():
+            fail("checkpoint files differ between fast and batch — the "
+                 "engines are not interchangeable on resume")
+    if batch_metrics.counter(BATCH_CALLS) < 1:
+        fail("the batch run never entered a batched kernel "
+             f"({BATCH_CALLS} == 0); parity of the fallback loop proves "
+             "nothing")
+
+    print(f"[2/5] jobs invariance at --jobs {args.jobs}, both engines")
+    if not multiprocessing_available():
+        fail("multiprocessing unavailable; the parity gate cannot "
+             "exercise the pool")
+    plan = ParallelPlan(jobs=args.jobs, heartbeat_s=0.05)
+    for engine in ("fast", "batch"):
+        pooled = run(engine, parallel=plan)
+        if not _same(fast, pooled):
+            fail(f"{engine} diverged between serial and --jobs "
+                 f"{args.jobs}")
+
+    print("[3/5] serve cache keys equal for fast and batch requests")
+    requests = {engine: JobRequest(circuit="s27", engine=engine,
+                                   **REFERENCE)
+                for engine in ("fast", "batch")}
+    prints = {engine: search_fingerprint_for(request)
+              for engine, request in requests.items()}
+    if prints["fast"] != prints["batch"]:
+        fail(f"checkpoint fingerprints differ: {prints}")
+    digests = {engine: request_fingerprint(request)[1]
+               for engine, request in requests.items()}
+    if digests["fast"] != digests["batch"]:
+        fail(f"serve cache keys differ: {digests}")
+
+    print("[4/5] robust search and Monte-Carlo identity")
+    # 10 samples cap the Wilson z=1 lower bound at ~0.90, so the yield
+    # target must sit below that for the tiny CI budget to be feasible.
+    robust = RobustConfig(samples=10, cull_samples=4, seed=3,
+                          yield_target=0.80)
+    with tempfile.TemporaryDirectory() as tmp:
+        fast_ckpt = Path(tmp) / "fast.ckpt"
+        batch_ckpt = Path(tmp) / "batch.ckpt"
+        fast_r = run("fast", robust=robust, checkpoint=fast_ckpt)
+        batch_r = run("batch", robust=robust, checkpoint=batch_ckpt)
+        if not _same(fast_r, batch_r):
+            fail("robust search diverged between fast and batch")
+        if fast_ckpt.read_bytes() != batch_ckpt.read_bytes():
+            fail("robust checkpoints differ — per-corner robust stats "
+                 "are not batch-invariant")
+    fast_mc = monte_carlo_variation(problem, fast.design, samples=24,
+                                    seed=0, engine="fast")
+    batch_mc = monte_carlo_variation(problem, fast.design, samples=24,
+                                     seed=0, engine="batch")
+    if fast_mc != batch_mc:
+        fail(f"monte-carlo diverged:\n  fast:  {fast_mc}\n"
+             f"  batch: {batch_mc}")
+
+    print("[5/5] BENCH_batch.json floors")
+    if not BENCH_PATH.exists():
+        fail(f"{BENCH_PATH} missing — run benchmarks/bench_batch.py")
+    bench = json.loads(BENCH_PATH.read_text())
+    for key in ("grid_speedup", "robust_speedup", "grid_speedup_floor",
+                "robust_speedup_floor", "cores"):
+        if key not in bench:
+            fail(f"BENCH_batch.json missing {key!r}")
+    grid_x, robust_x = bench["grid_speedup"], bench["robust_speedup"]
+    if bench["cores"] >= 2:
+        if grid_x < bench["grid_speedup_floor"]:
+            fail(f"grid speedup {grid_x:.2f}x is below the "
+                 f"{bench['grid_speedup_floor']}x floor")
+        if robust_x < bench["robust_speedup_floor"]:
+            fail(f"robust speedup {robust_x:.2f}x is below the "
+                 f"{bench['robust_speedup_floor']}x floor")
+    elif min(grid_x, robust_x) <= 1.0:
+        fail(f"batching is not faster than the loop even on a loaded "
+             f"single-core host (grid {grid_x:.2f}x, robust "
+             f"{robust_x:.2f}x)")
+
+    print(f"batch parity holds: identical grid/robust/MC results, "
+          f"byte-identical checkpoints, equal cache keys, "
+          f"grid {grid_x:.2f}x / robust {robust_x:.2f}x "
+          f"(floors {'enforced' if bench['cores'] >= 2 else 'waived on 1 core'})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,10 +102,81 @@ def _sample_rng(seed: int, index: int) -> random.Random:
 
 
 def _mc_init(problem: OptimizationProblem, design: DesignPoint,
-             statistics: VariationStatistics, seed: int):
+             statistics: VariationStatistics, seed: int,
+             engine: Optional[str] = None):
     """Worker init of the Monte-Carlo shards: the shared evaluation state."""
+    engine_obj = None
+    if engine is not None:
+        from repro.engine import make_engine
+
+        engine_obj = make_engine(problem, engine)
     return (problem, design, statistics, seed,
-            tuple(problem.network.logic_gates))
+            tuple(problem.network.logic_gates), engine_obj)
+
+
+def _mc_vth_map(design: DesignPoint, statistics: VariationStatistics,
+                gates, seed: int, index: int) -> Dict[str, float]:
+    """Sample ``index``'s perturbed thresholds, in the legacy draw order."""
+    rng = _sample_rng(seed, index)
+    die_offset = rng.gauss(0.0, statistics.sigma_die)
+    vth_map: Dict[str, float] = {}
+    for name in gates:
+        nominal = design.vth_of(name)
+        offset = die_offset + rng.gauss(0.0, statistics.sigma_within)
+        vth_map[name] = max(nominal + offset, 0.02)
+    return vth_map
+
+
+def _mc_engine_batch(state, start: int, stop: int
+                     ) -> Tuple[Tuple[float, ...], Tuple[float, ...],
+                                int, int]:
+    """Engine-backed shard: whole sample ranges per kernel invocation.
+
+    The opt-in fast path of :func:`monte_carlo_variation`: identical
+    CRN draws (same ``_sample_rng`` streams, same per-gate order) fed
+    through the engine seam instead of the reference models. With a
+    batch-capable engine the shard is **one** ``measure_batch`` call;
+    otherwise it loops ``engine.measure``. A fault inside the batched
+    call falls back to the per-sample loop so exactly the faulty
+    sample(s) are quarantined.
+    """
+    problem, design, statistics, seed, gates, engine = state
+    maps = [_mc_vth_map(design, statistics, gates, seed, index)
+            for index in range(start, stop)]
+    measured = None
+    if getattr(engine, "supports_batch", False) and len(maps) > 1:
+        try:
+            rows = engine.measure_batch([design.vdd] * len(maps), maps,
+                                        [design.widths] * len(maps))
+            measured = [(m.energy, m.critical_delay) for m in rows]
+        except _SAMPLE_FAULTS:
+            measured = None
+    energies: List[float] = []
+    delays: List[float] = []
+    met = 0
+    failed = 0
+    cycle = problem.cycle_time
+    for offset, vth_map in enumerate(maps):
+        try:
+            if measured is not None:
+                energy, delay = measured[offset]
+            else:
+                measurement = engine.measure(design.vdd, vth_map,
+                                             design.widths)
+                energy = measurement.energy
+                delay = measurement.critical_delay
+            if not (math.isfinite(energy) and math.isfinite(delay)):
+                raise OptimizationError(
+                    f"non-finite sample {start + offset}: "
+                    f"energy={energy!r}, delay={delay!r}")
+        except _SAMPLE_FAULTS:
+            failed += 1
+            continue
+        delays.append(delay)
+        energies.append(energy)
+        if delay <= cycle * (1.0 + 1e-9):
+            met += 1
+    return tuple(energies), tuple(delays), met, failed
 
 
 def _mc_batch(state, start: int, stop: int
@@ -120,20 +191,14 @@ def _mc_batch(state, start: int, stop: int
     than killing the whole run; the caller enforces the failure-
     fraction threshold.
     """
-    problem, design, statistics, seed, gates = state
+    problem, design, statistics, seed, gates, _engine = state
     energies: List[float] = []
     delays: List[float] = []
     met = 0
     failed = 0
     cycle = problem.cycle_time
     for index in range(start, stop):
-        rng = _sample_rng(seed, index)
-        die_offset = rng.gauss(0.0, statistics.sigma_die)
-        vth_map: Dict[str, float] = {}
-        for name in gates:
-            nominal = design.vth_of(name)
-            offset = die_offset + rng.gauss(0.0, statistics.sigma_within)
-            vth_map[name] = max(nominal + offset, 0.02)
+        vth_map = _mc_vth_map(design, statistics, gates, seed, index)
         try:
             timing = analyze_timing(problem.ctx, design.vdd, vth_map,
                                     design.widths)
@@ -158,7 +223,8 @@ def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
                           statistics: VariationStatistics | None = None,
                           samples: int = 200, seed: int = 0,
                           parallel: Optional[ParallelPlan] = None,
-                          max_failure_fraction: float = 0.5
+                          max_failure_fraction: float = 0.5,
+                          engine: Optional[str] = None
                           ) -> MonteCarloOutcome:
     """Sample Vth variation around ``design`` and measure timing/energy.
 
@@ -175,6 +241,13 @@ def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
     the ``mc.samples_failed`` counter; beyond ``max_failure_fraction``
     the run raises a labeled :class:`~repro.errors.OptimizationError`
     instead of reporting statistics too corrupted to trust.
+
+    ``engine`` opts into evaluating samples through the named
+    :mod:`repro.engine` seam instead of the reference models — with
+    ``"batch"`` an entire sample range becomes one vectorized kernel
+    invocation (see :func:`_mc_engine_batch`). The CRN draws are
+    identical either way; ``None`` (the default) keeps the legacy
+    reference-model path bit-for-bit.
     """
     if samples < 1:
         raise OptimizationError(f"samples must be >= 1, got {samples}")
@@ -189,20 +262,22 @@ def monte_carlo_variation(problem: OptimizationProblem, design: DesignPoint,
     nominal_energy = total_energy(problem.ctx, design.vdd, design.vth,
                                   design.widths, problem.frequency).total
 
-    state = _mc_init(problem, design, statistics, seed)
+    state = _mc_init(problem, design, statistics, seed, engine)
+    shard_fn = _mc_batch if engine is None else _mc_engine_batch
     plan = resolve_parallel(parallel)
     if plan is not None and plan.active and samples > 1:
-        tasks = [Task(key=f"mc[{start}:{stop}]", index=start, fn=_mc_batch,
+        tasks = [Task(key=f"mc[{start}:{stop}]", index=start, fn=shard_fn,
                       args=(start, stop))
                  for start, stop in chunk_ranges(samples, plan.jobs * 4)]
         run = run_sharded(tasks, init_fn=_mc_init,
-                          init_args=(problem, design, statistics, seed),
+                          init_args=(problem, design, statistics, seed,
+                                     engine),
                           plan=plan,
                           what=f"{problem.network.name} Monte-Carlo")
         run.raise_if_quarantined(f"{problem.network.name} Monte-Carlo")
         batches = run.values()
     else:
-        batches = [_mc_batch(state, 0, samples)]
+        batches = [shard_fn(state, 0, samples)]
 
     energies: List[float] = []
     delays: List[float] = []

@@ -20,6 +20,7 @@ from repro.engine.base import (
     EngineMeasurement,
     EngineSizing,
     Evaluator,
+    fingerprint_engine_name,
     resolve_engine_name,
     use_engine,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "EngineMeasurement",
     "EngineSizing",
     "Evaluator",
+    "fingerprint_engine_name",
     "make_engine",
     "resolve_engine_name",
     "use_engine",
@@ -50,6 +52,11 @@ def make_engine(problem: OptimizationProblem, engine: str = "auto", *,
         from repro.engine.array import ArrayEngine
 
         return ArrayEngine(problem, width_method=width_method,
+                           bisect_steps=bisect_steps)
+    if name == "batch":
+        from repro.engine.batch import BatchEngine
+
+        return BatchEngine(problem, width_method=width_method,
                            bisect_steps=bisect_steps)
     if name == "incremental":
         from repro.engine.incremental import IncrementalEngine

@@ -60,6 +60,7 @@ from typing import (
 
 from repro.errors import OptimizationError
 from repro.obs.instrument import (
+    BATCH_FALLBACK,
     FEASIBLE_POINTS,
     OBJECTIVE_EVALUATIONS,
     WARM_STARTS,
@@ -72,7 +73,7 @@ if TYPE_CHECKING:  # annotation-only: breaks the engine <-> optimize cycle
     from repro.optimize.problem import OptimizationProblem
 
 #: Concrete engine implementations.
-ENGINE_NAMES: Tuple[str, ...] = ("scalar", "fast", "incremental")
+ENGINE_NAMES: Tuple[str, ...] = ("scalar", "fast", "incremental", "batch")
 #: Accepted ``engine=`` settings values (``"auto"`` defers resolution).
 ENGINE_CHOICES: Tuple[str, ...] = ("auto",) + ENGINE_NAMES
 
@@ -123,6 +124,19 @@ def resolve_engine_name(requested: str = "auto") -> str:
         if env != "auto":
             return env
     return "scalar"
+
+
+def fingerprint_engine_name(name: str) -> str:
+    """The engine name as recorded in checkpoint / serve fingerprints.
+
+    The batch engine is the array engine with a design axis — bit-
+    identical per row, batching a pure execution detail — so it
+    fingerprints as ``"fast"``: checkpoints, resumes and serve cache
+    keys are interchangeable between the two (gated by
+    ``ci/check_batch_parity.py``). Every other engine fingerprints as
+    itself.
+    """
+    return "fast" if name == "batch" else name
 
 
 @dataclass(frozen=True)
@@ -191,6 +205,11 @@ class Engine(abc.ABC):
     """
 
     name: ClassVar[str]
+    #: True when the engine evaluates design batches natively (one
+    #: vectorized kernel invocation for B rows). Engines without it
+    #: still serve the ``*_batch`` API through a row-at-a-time fallback
+    #: loop (counted by ``engine.batch.fallback``).
+    supports_batch: ClassVar[bool] = False
 
     def __init__(self, problem: OptimizationProblem):
         self.problem = problem
@@ -257,6 +276,41 @@ class Engine(abc.ABC):
                                 dynamic=dynamic, feasible=True,
                                 sizing=sizing)
 
+    # -- batched API (row-at-a-time fallback; see BatchEngine) ---------------
+
+    def measure_batch(self, vdd_rows, vth_rows,
+                      widths_rows) -> "list[EngineMeasurement]":
+        """Measure B design points (rows are ordinary ``measure`` args).
+
+        The default implementation is the row-at-a-time loop — results
+        are *by construction* what the caller would have computed
+        without batching. Engines with ``supports_batch`` override this
+        with one vectorized invocation whose rows are bit-identical to
+        the loop.
+        """
+        current_metrics().incr(BATCH_FALLBACK)
+        return [self.measure(vdd, vth, widths)
+                for vdd, vth, widths in zip(vdd_rows, vth_rows, widths_rows)]
+
+    def evaluate_batch(self, budgets: BudgetResult, vdd_rows, vth_rows, *,
+                       delay_vth_rows=None,
+                       energy_vth_rows=None) -> "list[EngineEvaluation]":
+        """Evaluate B objective corners (rows are ``evaluate`` args).
+
+        Same fallback contract as :meth:`measure_batch`; warm starts are
+        deliberately absent (they chain row N's sizing into row N+1's,
+        which a batch cannot honour).
+        """
+        current_metrics().incr(BATCH_FALLBACK)
+        count = len(vdd_rows)
+        delay_vth_rows = delay_vth_rows or [None] * count
+        energy_vth_rows = energy_vth_rows or [None] * count
+        return [self.evaluate(budgets, vdd, vth, delay_vth=delay_vth,
+                              energy_vth=energy_vth)
+                for vdd, vth, delay_vth, energy_vth
+                in zip(vdd_rows, vth_rows, delay_vth_rows,
+                       energy_vth_rows)]
+
 
 class Evaluator:
     """The shared objective factory product: one callable per search.
@@ -286,15 +340,59 @@ class Evaluator:
         #: consecutively). See :meth:`Engine.size_widths`.
         self.warm_starts = warm_starts
         self._warm_hint = None
+        self._prefetched: Dict[Tuple[float, float], EngineEvaluation] = {}
         self.evaluations = 0
         self.feasible_points = 0
         self._engine_metric = engine_evaluations_metric(engine.name)
+
+    def prefetch(self, corners) -> int:
+        """Pre-evaluate scalar ``(vdd, vth)`` corners in one batched
+        engine call; subsequent ``__call__``\\ s consume the cache.
+
+        A pure execution detail: the per-call counters, warm-start
+        bookkeeping and returned evaluations are exactly those of the
+        unprefetched loop (the batch engine is bit-identical per row).
+        No-ops (returns 0) when the engine lacks ``supports_batch``,
+        when warm starts are active (they chain sizings call to call),
+        or when fewer than two new corners remain.
+        """
+        if not self.engine.supports_batch or self.warm_starts:
+            return 0
+        fresh = []
+        for corner in corners:
+            vdd, vth = float(corner[0]), float(corner[1])
+            if (vdd, vth) not in self._prefetched \
+                    and (vdd, vth) not in {(c[0], c[1]) for c in fresh}:
+                fresh.append((vdd, vth))
+        if len(fresh) < 2:
+            return 0
+        delay_rows = [vth if self.delay_vth_bias is None
+                      else self.delay_vth_bias(vth) for _, vth in fresh]
+        energy_rows = [vth if self.energy_vth_bias is None
+                       else self.energy_vth_bias(vth) for _, vth in fresh]
+        evaluations = self.engine.evaluate_batch(
+            self.budgets, [vdd for vdd, _ in fresh],
+            [vth for _, vth in fresh], delay_vth_rows=delay_rows,
+            energy_vth_rows=energy_rows)
+        self._prefetched.update(zip(fresh, evaluations))
+        return len(fresh)
 
     def __call__(self, vdd, vth) -> EngineEvaluation:
         self.evaluations += 1
         metrics = current_metrics()
         metrics.incr(OBJECTIVE_EVALUATIONS)
         metrics.incr(self._engine_metric)
+        try:
+            evaluation = self._prefetched.pop((float(vdd), float(vth)))
+        except (KeyError, TypeError):
+            evaluation = None
+        if evaluation is not None:
+            if evaluation.feasible:
+                self.feasible_points += 1
+                metrics.incr(FEASIBLE_POINTS)
+                if self.warm_starts:
+                    self._warm_hint = evaluation.sizing.widths
+            return evaluation
         delay_vth = (vth if self.delay_vth_bias is None
                      else self.delay_vth_bias(vth))
         energy_vth = (vth if self.energy_vth_bias is None

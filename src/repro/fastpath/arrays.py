@@ -115,6 +115,14 @@ class ArrayContext:
         self.boundary_cap = np.asarray(boundary_cap)
         #: True where the CSR entry is a real gate (width looked up).
         self.fanout_is_gate = self.fanout.indices >= 0
+        #: Gather-safe sink indices: boundary sentinels (-1) clamped to 0
+        #: so ``w[fanout_safe_idx]`` is a single flat gather; the bogus
+        #: row-0 widths are masked off by ``fanout_is_gate``. Precomputed
+        #: once here — the per-evaluation boolean-mask gather it replaces
+        #: was superlinear on wide-fanout rows (two fancy indexes plus a
+        #: fill per level, per call).
+        self.fanout_safe_idx = np.where(self.fanout_is_gate,
+                                        self.fanout.indices, 0)
 
         # Fanin CSR (logic-gate fanins only; PI fanins contribute zero).
         fanin_ptr = [0]

@@ -132,15 +132,17 @@ def _external_caps(arrays: ArrayContext, w: np.ndarray, start: int,
     """(ext_cap, wire_rc, flight) for gate rows ``start:stop``.
 
     Boundary branches carry the sentinel index ``-1``; their receiver
-    cap is pre-folded into ``boundary_cap``, so the width gather only
-    touches real gate entries (boolean mask, no sentinel clamping).
+    cap is pre-folded into ``boundary_cap``. The width gather uses the
+    precomputed clamp-to-0 ``fanout_safe_idx`` (one flat gather + a
+    ``where``), replacing the boolean-mask double gather that was
+    superlinear on wide-fanout rows; the selected values are unchanged.
     """
     lo = arrays.fanout.ptr[start]
     hi = arrays.fanout.ptr[stop]
     idx = arrays.fanout.indices[lo:hi]
     is_gate = arrays.fanout_is_gate[lo:hi]
-    sink_w = np.full(idx.shape, arrays.ctx.BOUNDARY_WIDTH)
-    sink_w[is_gate] = w[idx[is_gate]]
+    sink_w = np.where(is_gate, w[arrays.fanout_safe_idx[lo:hi]],
+                      arrays.ctx.BOUNDARY_WIDTH)
     cap_entries = np.where(is_gate,
                            sink_w * arrays.fanout_cap[lo:hi], 0.0)
     rc_entries = arrays.branch_res[lo:hi] * (
@@ -200,6 +202,17 @@ def fast_size_widths(arrays: ArrayContext, budgets: np.ndarray,
     the ``bisect`` brackets — one extra probe per level, mirroring the
     scalar search gate by gate; the closed-form solver ignores it.
     """
+    from repro.fastpath import batch as _batch
+    if _batch.is_batch(vdd) or _batch.is_batch(vth):
+        if warm is not None:
+            raise OptimizationError(
+                "warm bisection seeds are not supported on the batched "
+                "path; size warm-started searches row by row")
+        vdd_b, vth_b, _, n_rows = _batch.normalize_args(arrays, vdd, vth)
+        return _batch.batch_size_widths(arrays, budgets, vdd_b, vth_b,
+                                        n_rows, method=method,
+                                        bisect_steps=bisect_steps,
+                                        repair_ceiling=repair_ceiling)
     if method not in ("closed_form", "bisect"):
         raise OptimizationError(f"unknown width-search method {method!r}")
     span_name = "width_bisect" if method == "bisect" else "width_search"
@@ -450,11 +463,17 @@ def _as_list(value, n: int) -> List[float]:
 def _size_with_repair(arrays: ArrayContext, budgets: np.ndarray,
                       vdd, vth, drive, slope_k, k_vdd, method: str,
                       bisect_steps: int, repair_ceiling: float,
-                      warm: np.ndarray | None = None) -> FastSizing:
+                      warm: np.ndarray | None = None,
+                      verify: bool = True) -> FastSizing:
     """Replay sizing in scalar processing order with repair enabled.
 
     Aborts at the first gate that stays unsizable after repair — the
     corner is then definitively infeasible and widths are unobservable.
+
+    ``verify=False`` skips the full-STA check of a repaired design and
+    reports it feasible *pending verification* — the batched path
+    collects those rows and verifies them all in one ``batch_sta`` call
+    (bit-identical per row, same counter totals).
     """
     tech = arrays.ctx.tech
     n = arrays.n_gates
@@ -497,9 +516,10 @@ def _size_with_repair(arrays: ArrayContext, budgets: np.ndarray,
         current_metrics().incr(BUDGET_REPAIRS, len(repaired))
         # Repairs perturb the budget bookkeeping the per-gate guarantees
         # rest on; verify the actual design with a full STA pass.
-        critical, _ = fast_sta(arrays, vdd, vth, widths)
-        if critical > repair_ceiling * (1.0 + 1e-9):
-            feasible = False
+        if verify:
+            critical, _ = fast_sta(arrays, vdd, vth, widths)
+            if critical > repair_ceiling * (1.0 + 1e-9):
+                feasible = False
     return FastSizing(widths=widths, feasible=feasible,
                       repaired=_names(arrays, repaired))
 
@@ -519,7 +539,15 @@ def fast_sta(arrays: ArrayContext, vdd: Voltage, vth: Voltage,
     An output that is itself a primary input arrives at 0.0, exactly as
     in the scalar pass; an output missing from both the gate index and
     the primary inputs raises :class:`~repro.errors.TimingError`.
+
+    With a ``(B, n)`` width batch (or :class:`~repro.fastpath.batch
+    .BatchValue` voltages) this dispatches to the batched kernel and
+    returns ``(critical (B,), delays (B, n))`` — bit-identical per row.
     """
+    from repro.fastpath import batch as _batch
+    if w.ndim == 2 or _batch.is_batch(vdd) or _batch.is_batch(vth):
+        vdd_b, vth_b, w2, n_rows = _batch.normalize_args(arrays, vdd, vth, w)
+        return _batch.batch_sta(arrays, vdd_b, vth_b, w2, n_rows)
     tech = arrays.ctx.tech
     n = arrays.n_gates
     with seam("sta", counter=STA_CALLS):
@@ -574,7 +602,15 @@ def fast_total_energy(arrays: ArrayContext, vdd: Voltage, vth: Voltage,
     With per-gate rails the output swing is the driving gate's own rail
     and primary-input nets swing at the module IO rail (the highest rail
     in use), mirroring ``repro.power.energy``.
+
+    With a ``(B, n)`` width batch (or batched voltages) this dispatches
+    to the batched kernel and returns ``(static (B,), dynamic (B,))``.
     """
+    from repro.fastpath import batch as _batch
+    if w.ndim == 2 or _batch.is_batch(vdd) or _batch.is_batch(vth):
+        vdd_b, vth_b, w2, n_rows = _batch.normalize_args(arrays, vdd, vth, w)
+        return _batch.batch_total_energy(arrays, vdd_b, vth_b, w2,
+                                         frequency, n_rows)
     if frequency <= 0.0:
         raise OptimizationError(f"frequency must be > 0, got {frequency}")
     with seam("energy", counter=ENERGY_EVALUATIONS):

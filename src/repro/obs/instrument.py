@@ -60,6 +60,14 @@ INCREMENTAL_CONE_GATES = "engine.incremental.cone_gates"
 #: Full vectorized refreshes the incremental engine fell back to
 #: (``begin`` and voltage moves; width moves never trigger one).
 INCREMENTAL_FULL_REFRESHES = "engine.incremental.full_refreshes"
+#: Batched (multi-design) engine invocations.
+BATCH_CALLS = "engine.batch.calls"
+#: Histogram: design rows per batched invocation (the batch-size
+#: distribution; observed, not incremented).
+BATCH_ROWS = "engine.batch.rows"
+#: Batched API called on an engine without ``supports_batch`` — the
+#: request was served by the row-at-a-time fallback loop.
+BATCH_FALLBACK = "engine.batch.fallback"
 #: Grid cells skipped by the admissible lower-bound pre-pass.
 PRUNED_CELLS = "search.pruned_cells"
 #: Bisection brackets seeded from a neighbor cell's solved widths.

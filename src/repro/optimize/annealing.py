@@ -74,6 +74,13 @@ class AnnealingSettings:
     #: Evaluation engine for the per-move energy/STA measurement
     #: ("auto" honors :func:`repro.engine.use_engine` / ``REPRO_ENGINE``).
     engine: str = "auto"
+    #: Number of lockstep restart chains. ``population > 1`` runs that
+    #: many independent annealing chains (chain ``k`` seeded
+    #: ``seed + k``) side by side, evaluating each step's B candidate
+    #: states with **one** :meth:`~repro.engine.Engine.measure_batch`
+    #: call; chain ``k``'s accepted-move trajectory digest equals a
+    #: sequential single-chain run with ``seed + k``.
+    population: int = 1
     #: Optional run control (deadline/cancel/progress); falls back to
     #: the ambient :func:`repro.runtime.use_controller` controller.
     controller: Optional[RunController] = None
@@ -88,6 +95,9 @@ class AnnealingSettings:
                 f"cooling must lie in (0, 1), got {self.cooling}")
         if self.engine not in ENGINE_CHOICES:
             raise OptimizationError(f"unknown engine {self.engine!r}")
+        if self.population < 1:
+            raise OptimizationError(
+                f"population must be >= 1, got {self.population}")
 
 
 class _State:
@@ -137,6 +147,8 @@ def optimize_annealing(problem: OptimizationProblem,
     paper's point about annealing on this problem).
     """
     settings = settings or AnnealingSettings()
+    if settings.population > 1:
+        return _optimize_population(problem, settings, initial)
     controller = resolve_controller(settings.controller)
     engine_name = resolve_engine_name(settings.engine)
     engine = make_engine(problem, engine_name)
@@ -144,14 +156,7 @@ def optimize_annealing(problem: OptimizationProblem,
     tech = problem.tech
     gates = list(problem.ctx.gates)
 
-    if initial is None:
-        state = _State(vdd=tech.vdd_max, vth=0.5 * (tech.vth_min + tech.vth_max),
-                       widths={name: 10.0 for name in gates})
-    else:
-        state = _State(initial.vdd,
-                       initial.vth if isinstance(initial.vth, float)
-                       else sum(initial.vth.values()) / len(initial.vth),
-                       dict(initial.widths))
+    state = _initial_state(problem, initial, gates)
 
     ref_static, ref_dynamic = engine.total_energy(
         tech.vdd_max, tech.vth_max, {name: 10.0 for name in gates})
@@ -275,6 +280,166 @@ def optimize_annealing(problem: OptimizationProblem,
                  "seed": settings.seed,
                  "accepts_per_pass": accepts_per_pass,
                  "trajectory": trajectory.hexdigest()})
+
+
+def _initial_state(problem: OptimizationProblem,
+                   initial: Optional[DesignPoint],
+                   gates: List[str]) -> _State:
+    tech = problem.tech
+    if initial is None:
+        return _State(vdd=tech.vdd_max,
+                      vth=0.5 * (tech.vth_min + tech.vth_max),
+                      widths={name: 10.0 for name in gates})
+    return _State(initial.vdd,
+                  initial.vth if isinstance(initial.vth, float)
+                  else sum(initial.vth.values()) / len(initial.vth),
+                  dict(initial.widths))
+
+
+def _optimize_population(problem: OptimizationProblem,
+                         settings: AnnealingSettings,
+                         initial: Optional[DesignPoint]
+                         ) -> OptimizationResult:
+    """Population annealing: B lockstep chains, one batched measure/step.
+
+    Chain ``k`` is an ordinary restart chain seeded ``settings.seed + k``
+    — it proposes with its own RNG, anneals its own state, and keeps its
+    own best — but all B candidate states of a step are measured with a
+    single :meth:`~repro.engine.Engine.measure_batch` call (one kernel
+    invocation on a batch-capable engine; a transparent per-chain loop
+    elsewhere). Measurements are stateless and bit-identical per row, so
+    each chain's trajectory digest equals the sequential single-chain
+    run with its seed, digest for digest.
+    """
+    controller = resolve_controller(settings.controller)
+    engine_name = resolve_engine_name(settings.engine)
+    engine = make_engine(problem, engine_name)
+    tech = problem.tech
+    gates = list(problem.ctx.gates)
+    size = settings.population
+
+    states = [_initial_state(problem, initial, gates) for _ in range(size)]
+    rngs = [random.Random(settings.seed + k) for k in range(size)]
+
+    ref_static, ref_dynamic = engine.total_energy(
+        tech.vdd_max, tech.vth_max, {name: 10.0 for name in gates})
+    reference = ref_static + ref_dynamic
+
+    def measure_states(chain_states: List[_State]):
+        return engine.measure_batch(
+            [chain.vdd for chain in chain_states],
+            [chain.vth for chain in chain_states],
+            [chain.widths for chain in chain_states])
+
+    costs = [math.inf] * size
+    best_states: List[Optional[_State]] = [None] * size
+    best_energies = [math.inf] * size
+    for k, measurement in enumerate(measure_states(states)):
+        cost, energy, feasible = _cost_of(measurement, problem,
+                                          settings.penalty, reference)
+        costs[k] = cost
+        if feasible:
+            best_states[k] = states[k].copy()
+            best_energies[k] = energy
+    evaluations = size
+
+    trajectories = [hashlib.sha256() for _ in range(size)]
+    accepts_per_pass = [[] for _ in range(size)]
+
+    tracer = trace.current_tracer()
+    metrics = current_metrics()
+    for pass_index in range(settings.passes):
+        with tracer.span("annealing_pass", index=pass_index,
+                         engine=engine_name,
+                         population=size) as pass_span:
+            temperature = settings.initial_temperature
+            accepts = [0] * size
+            for iteration in range(settings.iterations_per_pass):
+                if controller is not None:
+                    controller.check(f"{problem.network.name} annealing")
+                moves = [_propose(states[k], rngs[k], settings, tech, gates)
+                         for k in range(size)]
+                candidates = []
+                for k in range(size):
+                    candidate = states[k].copy()
+                    _apply(candidate, moves[k])
+                    candidates.append(candidate)
+                measurements = measure_states(candidates)
+                evaluations += size
+                for k in range(size):
+                    new_cost, new_energy, new_feasible = _cost_of(
+                        measurements[k], problem, settings.penalty,
+                        reference)
+                    # Identical accept expression (and rng consumption)
+                    # to the sequential chain — the determinism contract.
+                    accept = new_cost <= costs[k] or (
+                        math.isfinite(new_cost)
+                        and rngs[k].random() < math.exp(
+                            (costs[k] - new_cost) / temperature))
+                    if accept:
+                        accepts[k] += 1
+                        states[k] = candidates[k]
+                        costs[k] = new_cost
+                        trajectories[k].update(struct.pack(
+                            "<qqdd", pass_index, iteration, new_cost,
+                            new_energy))
+                        if new_feasible and new_energy < best_energies[k]:
+                            best_states[k] = states[k].copy()
+                            best_energies[k] = new_energy
+                temperature *= settings.cooling
+            metrics.incr(ANNEALING_MOVES,
+                         settings.iterations_per_pass * size)
+            metrics.incr(ANNEALING_ACCEPTS, sum(accepts))
+            metrics.incr(OBJECTIVE_EVALUATIONS,
+                         settings.iterations_per_pass * size)
+            metrics.incr(engine_evaluations_metric(engine_name),
+                         settings.iterations_per_pass * size)
+            for k in range(size):
+                accepts_per_pass[k].append(accepts[k])
+            pass_span.annotate(accepts=sum(accepts),
+                               best_energy=min(best_energies))
+        if controller is not None:
+            controller.report(phase="anneal", evaluations=evaluations,
+                              best_energy=min(best_energies))
+        # Restart every chain that has a feasible best from it — one
+        # batched re-measure for all restarting chains, uncounted, like
+        # the sequential pass-end re-cost.
+        restarting = [k for k in range(size) if best_states[k] is not None]
+        if restarting:
+            for k in restarting:
+                states[k] = best_states[k].copy()
+            for k, measurement in zip(
+                    restarting,
+                    measure_states([states[k] for k in restarting])):
+                costs[k], _, _ = _cost_of(measurement, problem,
+                                          settings.penalty, reference)
+
+    if all(best is None for best in best_states):
+        raise InfeasibleError(
+            f"{problem.network.name}: annealing never reached a feasible "
+            f"state in {evaluations} evaluations across {size} chains")
+
+    winner = min(range(size), key=lambda k: (best_energies[k], k))
+    best = best_states[winner]
+    design = DesignPoint(vdd=best.vdd, vth=best.vth,
+                         widths=dict(best.widths))
+    energy_report = total_energy(problem.ctx, design.vdd, design.vth,
+                                 design.widths, problem.frequency)
+    timing = analyze_timing(problem.ctx, design.vdd, design.vth,
+                            design.widths)
+    return OptimizationResult(
+        problem=problem, design=design, energy=energy_report, timing=timing,
+        evaluations=evaluations,
+        details={"strategy": "annealing", "engine": engine_name,
+                 "passes": settings.passes,
+                 "iterations_per_pass": settings.iterations_per_pass,
+                 "seed": settings.seed,
+                 "population": size,
+                 "chain": winner,
+                 "accepts_per_pass": accepts_per_pass[winner],
+                 "trajectory": trajectories[winner].hexdigest(),
+                 "trajectories": [digest.hexdigest()
+                                  for digest in trajectories]})
 
 
 #: ("vdd", value) | ("vth", value) | ("width", gate, value).

@@ -37,7 +37,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.engine import ENGINE_CHOICES, resolve_engine_name
+from repro.engine import (ENGINE_CHOICES, fingerprint_engine_name,
+                          resolve_engine_name)
 from repro.errors import InfeasibleError, OptimizationError
 from repro.obs import trace
 from repro.obs.instrument import WARM_START_SKIPPED
@@ -210,6 +211,11 @@ def _make_objective(problem: OptimizationProblem, budgets: BudgetResult,
                 state.best_widths = evaluation.widths_map()
         return evaluation.energy
 
+    # Batch-capable engines pre-evaluate whole strategy rounds through
+    # this hook (a no-op elsewhere); the per-corner calls then consume
+    # the cache with identical results and counters.
+    objective.prefetch = evaluator.prefetch
+    objective.engine = evaluator.engine
     return objective
 
 
@@ -409,7 +415,10 @@ def _search_fingerprint(problem: OptimizationProblem,
         "refine_iters": settings.refine_iters,
         "refine_rounds": settings.refine_rounds,
         "width_method": settings.width_method,
-        "engine": engine_name,
+        # Canonicalized: the batch engine is bit-identical to "fast"
+        # per corner, so their checkpoints (and serve cache entries,
+        # which reuse this fingerprint) are interchangeable.
+        "engine": fingerprint_engine_name(engine_name),
         "prune": settings.prune,
         "prune_probes": settings.prune_probes,
         "warm_start": settings.warm_start,
@@ -575,6 +584,19 @@ def optimize_joint(problem: OptimizationProblem,
                                   best_energy=state.best_energy)
             return energy
 
+        raw_prefetch = getattr(raw_objective, "prefetch", None)
+        if raw_prefetch is not None:
+            def _prefetch(corners):
+                # Corners already in the checkpoint replay from the
+                # record; only fresh corners are worth batching.
+                if checkpoint is not None:
+                    corners = [corner for corner in corners
+                               if checkpoint.lookup(corner[0], corner[1])
+                               is None]
+                return raw_prefetch(corners)
+
+            objective.prefetch = _prefetch
+
     strategy = None
     tracer = trace.current_tracer()
     try:
@@ -684,9 +706,9 @@ def optimize_joint(problem: OptimizationProblem,
         if warm_start_skipped:
             details["warm_start_skipped"] = True
     if settings.robust is not None:
-        details["robust"] = robust_details(settings.robust,
-                                           state.robust_stats,
-                                           state.best_point)
+        details["robust"] = robust_details(
+            settings.robust, state.robust_stats, state.best_point,
+            engine=getattr(raw_objective, "engine", None))
     if checkpoint is not None:
         checkpoint.flush()
         details["checkpoint"] = str(checkpoint.path)

@@ -27,6 +27,7 @@ from repro.analysis.montecarlo import (
     VariationStatistics,
     monte_carlo_variation,
 )
+from repro.engine import resolve_engine_name
 from repro.errors import InfeasibleError, OptimizationError
 from repro.optimize.heuristic import HeuristicSettings
 from repro.optimize.problem import OptimizationProblem, OptimizationResult
@@ -47,6 +48,10 @@ class YieldTarget:
     max_tolerance: float = 0.5
     iterations: int = 6
     seed: int = 0
+    #: Optional :mod:`repro.engine` name for the Monte-Carlo probes
+    #: (``"batch"`` evaluates whole sample ranges per kernel call);
+    #: ``None`` keeps the legacy reference-model path.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.timing_yield <= 1.0:
@@ -116,7 +121,8 @@ def optimize_for_yield(problem: OptimizationProblem,
         outcome = monte_carlo_variation(problem, result.design,
                                         statistics=target.statistics,
                                         samples=target.samples,
-                                        seed=target.seed)
+                                        seed=target.seed,
+                                        engine=target.engine)
         return result, outcome
 
     def finish(tolerance: float, result: OptimizationResult,
@@ -124,13 +130,21 @@ def optimize_for_yield(problem: OptimizationProblem,
         verification = monte_carlo_variation(problem, result.design,
                                              statistics=target.statistics,
                                              samples=target.samples,
-                                             seed=verify_seed)
+                                             seed=verify_seed,
+                                             engine=target.engine)
+        batched = (target.engine is not None
+                   and resolve_engine_name(target.engine) == "batch"
+                   and target.samples > 1)
         details = dict(result.details)
         details["yield_verification"] = {
             "seed": verify_seed,
             "samples": target.samples,
             "timing_yield": verification.timing_yield,
             "samples_failed": verification.samples_failed,
+            # Execution shape: dies per engine invocation (a serial
+            # batched run evaluates the whole draw in one call).
+            "batched": batched,
+            "samples_per_call": target.samples if batched else 1,
         }
         result = OptimizationResult(
             problem=result.problem, design=result.design,

@@ -182,6 +182,27 @@ class RobustEstimator:
             vth_map[name] = max(nominal + offset, MIN_VTH)
         return vth_map
 
+    def _measure_stage(self, vdd, vth, widths, start: int,
+                       stop: int) -> Optional[List[tuple]]:
+        """Batched measurements for dies ``[start, stop)``, or None.
+
+        One :meth:`~repro.engine.Engine.measure_batch` call evaluates
+        the whole stage (e.g. all 40 dies of a full schedule) in a
+        single kernel invocation — each row bit-identical to the looped
+        ``engine.measure`` call, with the same CRN Vth maps in the same
+        index order. A model fault inside the batched call returns
+        None: the caller falls back to the per-sample loop, which
+        quarantines precisely the faulty die(s) so the estimate's
+        bookkeeping matches the unbatched run exactly.
+        """
+        rows = [self._vth_map(vth, index) for index in range(start, stop)]
+        try:
+            measurements = self.engine.measure_batch(
+                [vdd] * len(rows), rows, [widths] * len(rows))
+        except SAMPLE_FAULTS:
+            return None
+        return [(m.energy, m.critical_delay) for m in measurements]
+
     def estimate(self, vdd, vth, widths, *,
                  controller: "Optional[RunController]" = None,
                  partial_on_deadline: bool = False) -> RobustEstimate:
@@ -196,6 +217,13 @@ class RobustEstimator:
         deadline_hit = False
         metrics = current_metrics()
         tracer = trace.current_tracer()
+        # Batch the two schedule stages ([0, cull) and [cull, samples))
+        # only on the deadline-free hot path: a deadline could stop the
+        # looped schedule mid-stage, which a one-shot batched stage
+        # cannot reproduce.
+        batched = (controller is None and config.samples > 1
+                   and getattr(self.engine, "supports_batch", False))
+        staged: Dict[int, tuple] = {}
 
         with tracer.span("robust_estimate", measure=config.measure,
                          samples=config.samples) as span:
@@ -213,11 +241,22 @@ class RobustEstimator:
                             deadline_hit = True
                             break
                         raise
+                if batched and index not in staged:
+                    stop = cull_at if index < cull_at else config.samples
+                    stage = self._measure_stage(vdd, vth, widths, index, stop)
+                    if stage is None:
+                        batched = False
+                    else:
+                        for offset, pair in enumerate(stage):
+                            staged[index + offset] = pair
                 try:
-                    measurement = self.engine.measure(
-                        vdd, self._vth_map(vth, index), widths)
-                    energy = measurement.energy
-                    delay = measurement.critical_delay
+                    if index in staged:
+                        energy, delay = staged[index]
+                    else:
+                        measurement = self.engine.measure(
+                            vdd, self._vth_map(vth, index), widths)
+                        energy = measurement.energy
+                        delay = measurement.critical_delay
                     if not (math.isfinite(energy) and math.isfinite(delay)):
                         raise OptimizationError(
                             f"non-finite sample: energy={energy!r}, "

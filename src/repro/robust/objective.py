@@ -85,6 +85,16 @@ class RobustEvaluator:
             static=nominal.static, dynamic=nominal.dynamic,
             feasible=estimate.feasible, sizing=nominal.sizing)
 
+    def prefetch(self, corners) -> int:
+        """Pre-size a round's *nominal* evaluations in one batched call.
+
+        Delegates to the wrapped evaluator's prefetch cache (a no-op
+        for engines without ``supports_batch``); the per-corner
+        variation estimates still run corner by corner on consumption,
+        batching their die stages internally.
+        """
+        return self.evaluator.prefetch(corners)
+
     def take_stat(self, vdd, vth) -> Optional[Dict[str, object]]:
         """Pop the estimate recorded for a corner (shard-merge hook)."""
         return self.stats.pop(corner_key(vdd, vth), None)
@@ -92,7 +102,7 @@ class RobustEvaluator:
 
 def robust_details(config: RobustConfig,
                    stats: Dict[str, Dict[str, object]],
-                   best_point) -> Dict[str, object]:
+                   best_point, *, engine=None) -> Dict[str, object]:
     """Aggregate a search's per-corner estimates for result details.
 
     ``samples_used + samples_quarantined`` per corner is exactly the
@@ -111,6 +121,16 @@ def robust_details(config: RobustConfig,
     best = None
     if best_point is not None:
         best = stats.get(corner_key(best_point[0], best_point[1]))
+    # Execution-shape telemetry (never checkpointed per corner, so it
+    # stays deterministic across resume): whether die stages ran
+    # through measure_batch, and how many dies one engine invocation
+    # covers — the always-executed first (cull) stage when batched,
+    # one die per call otherwise.
+    batched = bool(engine is not None
+                   and getattr(engine, "supports_batch", False)
+                   and config.samples > 1)
+    samples_per_call = (min(config.cull_samples, config.samples)
+                        if batched else 1)
     return {
         "config": config.resolved(),
         "corners": len(stats),
@@ -118,5 +138,7 @@ def robust_details(config: RobustConfig,
         "samples_quarantined": quarantined,
         "corners_culled": culled,
         "corners_degraded": degraded,
+        "batched": batched,
+        "samples_per_call": samples_per_call,
         "estimate": dict(best) if best is not None else None,
     }

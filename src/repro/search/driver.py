@@ -83,6 +83,12 @@ def _shard_task(evaluator, cells: Tuple[Tuple[int, float, float], ...]
     improvements: Dict[int, Dict[str, float]] = {}
     robust: Dict[int, Dict[str, object]] = {}
     take = getattr(evaluator, "take_stat", None)
+    prefetch = getattr(evaluator, "prefetch", None)
+    if prefetch is not None and len(cells) > 1:
+        # Batch-capable engines evaluate the whole chunk in one kernel
+        # invocation; the loop below then consumes the cache. A no-op
+        # (and bit-identical) everywhere else.
+        prefetch([(vdd, vth) for _, vdd, vth in cells])
     chunk_best = math.inf
     for position, vdd, vth in cells:
         evaluation = evaluator(vdd, vth)
@@ -232,6 +238,14 @@ def run_search(strategy: SearchStrategy, *,
                                 settings, state, engine_name, checkpoint,
                                 controller, plan, objective, round_index)
             else:
+                prefetch = getattr(objective, "prefetch", None)
+                if prefetch is not None and len(candidates) > 1:
+                    # Submit the whole strategy round as one batched
+                    # evaluation; the per-candidate loop below consumes
+                    # the cache (counters, checkpointing and the best-
+                    # point trajectory are untouched — the batch engine
+                    # is bit-identical per row).
+                    prefetch([(c.vdd, c.vth) for c in candidates])
                 for candidate in candidates:
                     _observe_serial(strategy, candidate, state, objective)
         metrics.incr(search_metric(strategy.name, "observations"),

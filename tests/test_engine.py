@@ -38,8 +38,9 @@ from repro.obs.metrics import MetricsRegistry, use_metrics
 
 
 def test_choice_vocabulary():
-    assert ENGINE_NAMES == ("scalar", "fast", "incremental")
-    assert ENGINE_CHOICES == ("auto", "scalar", "fast", "incremental")
+    assert ENGINE_NAMES == ("scalar", "fast", "incremental", "batch")
+    assert ENGINE_CHOICES == ("auto", "scalar", "fast", "incremental",
+                              "batch")
 
 
 def test_default_resolution_is_scalar(monkeypatch):
